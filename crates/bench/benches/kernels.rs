@@ -1,0 +1,182 @@
+//! Criterion microbenchmarks for the algorithmic kernels the PEs model:
+//! DSP, hashing, compression, linear algebra, and the LP solver. These
+//! quantify the software substrate; the PE latencies of Table 1 are the
+//! hardware ground truth.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalo_ilp::{Model, Sense};
+use scalo_lsh::{HashConfig, Measure, SshHasher};
+use scalo_ml::kalman::{KalmanFilter, KalmanModel};
+use scalo_ml::Matrix;
+use scalo_net::compress::{dcomp_decompress, hcomp_compress, lz_compress};
+use scalo_net::crc::crc32;
+use scalo_signal::dtw::{dtw_distance, DtwParams};
+use scalo_signal::emd::emd_signals;
+use scalo_signal::fft::magnitude_spectrum;
+use scalo_signal::filter::ButterworthBandpass;
+use scalo_signal::spike::detect_spikes;
+use scalo_signal::xcor::pearson;
+
+fn window(n: usize, f: f64) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * f).sin() + 0.3 * (i as f64 * f * 2.7).cos()).collect()
+}
+
+fn bench_dsp(c: &mut Criterion) {
+    let a = window(120, 0.21);
+    let b = window(120, 0.23);
+
+    let mut g = c.benchmark_group("dsp");
+    for band in [1usize, 10, 40] {
+        g.bench_with_input(BenchmarkId::new("dtw_120", band), &band, |bch, &band| {
+            bch.iter(|| dtw_distance(black_box(&a), black_box(&b), DtwParams::with_band(band)))
+        });
+    }
+    g.bench_function("fft_120", |bch| bch.iter(|| magnitude_spectrum(black_box(&a))));
+    g.bench_function("xcor_120", |bch| {
+        bch.iter(|| pearson(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("emd_120", |bch| {
+        bch.iter(|| emd_signals(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("bbf_filter_1200", |bch| {
+        let x = window(1_200, 0.05);
+        bch.iter(|| {
+            let mut f = ButterworthBandpass::new(2, 8.0, 150.0, 30_000.0);
+            f.filter(black_box(&x))
+        })
+    });
+    g.bench_function("spike_detect_30k", |bch| {
+        let x = window(30_000, 0.4);
+        bch.iter(|| detect_spikes(black_box(&x), 6.0, 8, 24))
+    });
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let a = window(120, 0.21);
+    let mut g = c.benchmark_group("hashing");
+    for measure in [Measure::Dtw, Measure::Euclidean, Measure::Xcor] {
+        let hasher = SshHasher::new(HashConfig::for_measure(measure));
+        g.bench_with_input(
+            BenchmarkId::new("ssh_hash", format!("{measure}")),
+            &hasher,
+            |bch, h| bch.iter(|| h.hash(black_box(&a))),
+        );
+    }
+    let emd = scalo_lsh::emd_hash::EmdHasher::new(120, 4.0, 3);
+    g.bench_function("emd_hash", |bch| bch.iter(|| emd.hash(black_box(&a))));
+    g.finish();
+}
+
+fn bench_external_codecs(c: &mut Criterion) {
+    use scalo_net::aes::Aes128;
+    use scalo_net::halo_comp::{lic_compress, ma_rc_compress, rc_compress};
+    let samples: Vec<i16> = (0..4_096)
+        .map(|i| ((800.0 * (i as f64 * 0.01).sin()) as i32) as i16)
+        .collect();
+    let bytes: Vec<u8> = samples.iter().flat_map(|s| s.to_le_bytes()).collect();
+    let mut g = c.benchmark_group("external_codecs");
+    g.bench_function("lic_4k_samples", |bch| bch.iter(|| lic_compress(black_box(&samples))));
+    g.bench_function("rc_8kB", |bch| bch.iter(|| rc_compress(black_box(&bytes))));
+    g.bench_function("ma_rc_8kB", |bch| bch.iter(|| ma_rc_compress(black_box(&bytes))));
+    g.bench_function("aes_ctr_8kB", |bch| {
+        let aes = Aes128::new(&[7u8; 16]);
+        bch.iter(|| {
+            let mut data = bytes.clone();
+            aes.ctr_transform(&[3u8; 16], &mut data);
+            data
+        })
+    });
+    g.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    // A realistic 960 B hash batch (10 windows × 96 electrodes).
+    let batch: Vec<u8> = (0..960).map(|i| [0x42u8, 0x42, 0x17, (i % 7) as u8][(i / 13) % 4]).collect();
+    let compressed = hcomp_compress(&batch);
+    let mut g = c.benchmark_group("compression");
+    g.bench_function("hcomp_960B", |bch| bch.iter(|| hcomp_compress(black_box(&batch))));
+    g.bench_function("dcomp_960B", |bch| {
+        bch.iter(|| dcomp_decompress(black_box(&compressed)))
+    });
+    g.bench_function("lz_960B", |bch| bch.iter(|| lz_compress(black_box(&batch))));
+    g.bench_function("crc32_256B", |bch| {
+        let data = vec![0xA5u8; 256];
+        bch.iter(|| crc32(black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg");
+    for n in [8usize, 16, 32] {
+        let mut m = Matrix::identity(n).scale(4.0);
+        for r in 0..n {
+            for cc in 0..n {
+                if r != cc {
+                    m.set(r, cc, ((r * 3 + cc) % 5) as f64 * 0.2);
+                }
+            }
+        }
+        g.bench_with_input(BenchmarkId::new("gauss_jordan_inverse", n), &m, |bch, m| {
+            bch.iter(|| m.inverse().unwrap())
+        });
+    }
+    // A Kalman step at 32 observations.
+    let obs = 32;
+    let model = KalmanModel::new(
+        Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]),
+        Matrix::identity(2).scale(1e-4),
+        Matrix::from_vec(obs, 2, (0..obs * 2).map(|i| (i % 7) as f64 * 0.1).collect()),
+        Matrix::identity(obs).scale(1e-2),
+    );
+    g.bench_function("kalman_step_32obs", |bch| {
+        bch.iter(|| {
+            let mut kf = KalmanFilter::new(model.clone());
+            kf.step(black_box(&vec![0.5; obs])).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    g.bench_function("simplex_3flow_lp", |bch| {
+        bch.iter(|| {
+            let mut m = Model::new();
+            let nd = m.add_var("nd", 0.0, None, false);
+            let nh = m.add_var("nh", 0.0, None, false);
+            let ns = m.add_var("ns", 0.0, None, false);
+            m.add_constraint(m.expr(&[(nd, 0.084), (nh, 0.045), (ns, 0.074)]), Sense::Le, 11.0);
+            m.add_constraint(m.expr(&[(nh, 44.0), (ns, 240.0)]), Sense::Le, 8_000.0);
+            m.add_constraint(m.expr(&[(ns, 1.0), (nh, -1.0)]), Sense::Le, 0.0);
+            m.maximize(m.expr(&[(nd, 1.0), (nh, 1.0), (ns, 1.0)]));
+            m.solve().unwrap()
+        })
+    });
+    g.bench_function("branch_and_bound_knapsack8", |bch| {
+        bch.iter(|| {
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..8)
+                .map(|i| m.add_var(format!("x{i}"), 0.0, Some(1.0), true))
+                .collect();
+            let w: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 2.0 + i as f64)).collect();
+            m.add_constraint(m.expr(&w), Sense::Le, 20.0);
+            let o: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 3.0 + (i * 7 % 5) as f64)).collect();
+            m.maximize(m.expr(&o));
+            m.solve().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dsp,
+    bench_hashing,
+    bench_compression,
+    bench_external_codecs,
+    bench_linalg,
+    bench_solver
+);
+criterion_main!(benches);

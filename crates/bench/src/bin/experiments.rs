@@ -1,0 +1,90 @@
+//! The experiment harness: one subcommand per paper table/figure.
+//!
+//! ```text
+//! experiments all            # everything (few minutes)
+//! experiments quick          # cheap analytic experiments only
+//! experiments fig8a          # one specific figure
+//! experiments fig15a --reps 50
+//! ```
+
+use scalo_bench::experiments as x;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("help");
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(10);
+
+    match which {
+        "table1" => x::table1(),
+        "table2" => x::table2(),
+        "table3" => x::table3(),
+        "fig8a" => x::fig8a(),
+        "fig8b" => x::fig8b(),
+        "fig8c" => x::fig8c(),
+        "fig9a" => x::fig9a(),
+        "fig9b" => x::fig9b(),
+        "fig10" => x::fig10(),
+        "fig11" => x::fig11(600),
+        "fig12" => x::fig12(400),
+        "fig13" => x::fig13(),
+        "fig14" => x::fig14(250),
+        "fig15a" => x::fig15a(reps),
+        "fig15b" => x::fig15b(reps),
+        "local-scaling" => x::local_scaling_exp(),
+        "spike-sorting" => x::spike_sorting_exp(),
+        "storage-layout" => x::storage_layout_exp(),
+        "compression" => x::compression_exp(),
+        "external-compression" => x::external_compression_exp(),
+        "quick" => {
+            x::table1();
+            x::table2();
+            x::table3();
+            x::fig8a();
+            x::fig8b();
+            x::fig8c();
+            x::fig9a();
+            x::fig9b();
+            x::fig10();
+            x::fig13();
+            x::local_scaling_exp();
+            x::storage_layout_exp();
+            x::compression_exp();
+        }
+        "all" => {
+            x::table1();
+            x::table2();
+            x::table3();
+            x::fig8a();
+            x::fig8b();
+            x::fig8c();
+            x::fig9a();
+            x::fig9b();
+            x::fig10();
+            x::fig11(600);
+            x::fig12(400);
+            x::fig13();
+            x::fig14(250);
+            x::fig15a(reps);
+            x::fig15b(reps);
+            x::local_scaling_exp();
+            x::spike_sorting_exp();
+            x::storage_layout_exp();
+            x::compression_exp();
+            x::external_compression_exp();
+        }
+        _ => {
+            eprintln!(
+                "usage: experiments <cmd> [--reps N]\n\
+                 cmds: all | quick | table1 | table2 | table3 | fig8a | fig8b | fig8c |\n\
+                 \x20     fig9a | fig9b | fig10 | fig11 | fig12 | fig13 | fig14 | fig15a |\n\
+                 \x20     fig15b | local-scaling | spike-sorting | storage-layout | compression |\n\x20     external-compression"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Experiment implementations behind the `experiments` binary: one
+//! function per paper table/figure, each returning printable rows so the
+//! binary, tests, and benches share the exact same code paths.
+//!
+//! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub mod experiments;
+pub mod fmt;

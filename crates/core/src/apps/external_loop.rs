@@ -1,0 +1,166 @@
+//! The external closed loop (§2.2's second application class): decoded
+//! movement intent drives a prosthesis outside the body, and the
+//! prosthesis' sensory consequences are relayed back as electrical
+//! stimulation — "the 'feeling' of movement is emulated by relaying the
+//! impact of the movement back to the individual's BCI".
+//!
+//! The whole loop — feature extraction, partial aggregation, decode,
+//! external-radio hop to the prosthesis, feedback hop back, stimulation —
+//! must complete within 50 ms (§2.2). This module simulates the loop over
+//! a synthetic reaching session and accounts its latency from the same
+//! component models the scheduler uses.
+
+use crate::apps::movement::{generate_session, Session};
+use crate::stim::{StimCommand, StimEngine};
+use scalo_ml::kalman::{fit_kalman, KalmanFilter};
+use scalo_net::radio::EXTERNAL;
+use scalo_net::tx_time_ms;
+use scalo_sched::movement::intent_latency_ms;
+use scalo_sched::{Scenario, TaskKind};
+
+/// Latency budget for one full sensorimotor loop (§2.2).
+pub const LOOP_DEADLINE_MS: f64 = 50.0;
+
+/// One step of the closed loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopStep {
+    /// Decoded velocity (x, y).
+    pub decoded_velocity: (f64, f64),
+    /// True velocity (x, y).
+    pub true_velocity: (f64, f64),
+    /// End-to-end loop latency in ms.
+    pub latency_ms: f64,
+    /// Whether sensory feedback stimulation was issued.
+    pub feedback_stimulated: bool,
+}
+
+/// Outcome of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct LoopRun {
+    /// Per-step records (decode half of the session).
+    pub steps: Vec<LoopStep>,
+    /// Mean absolute velocity error.
+    pub velocity_error: f64,
+    /// Worst loop latency in ms.
+    pub max_latency_ms: f64,
+    /// Stimulation commands issued as sensory feedback.
+    pub feedback_count: usize,
+}
+
+impl LoopRun {
+    /// Whether every step met the 50 ms sensorimotor deadline.
+    pub fn meets_deadline(&self) -> bool {
+        self.max_latency_ms <= LOOP_DEADLINE_MS
+    }
+}
+
+/// Runs the external closed loop over a synthetic session on `nodes`
+/// implants: train the KF on the first half, decode the second half,
+/// relay each intent to the prosthesis and stimulate sensory feedback
+/// when the prosthesis reports contact (here: velocity reversal, a
+/// simple mechanical event).
+pub fn run_external_loop(session: &Session, nodes: usize) -> LoopRun {
+    assert!(nodes >= 1, "need at least one implant");
+    let half = session.states.len() / 2;
+    let model = fit_kalman(&session.states[..half], &session.features[..half]);
+    let mut kf = KalmanFilter::new(model);
+    let mut stim = StimEngine::new();
+
+    // Component latencies per intent (the same accounting Figure 9b uses).
+    let scenario = Scenario::new(nodes, 15.0);
+    let decode_ms = intent_latency_ms(TaskKind::MiKf, &scenario);
+    // Prosthesis hop: decoded state (16 B) out; feedback event (16 B) back.
+    let hop_ms = tx_time_ms(16, EXTERNAL.data_rate_mbps);
+    // Stimulation issue occupies the DAC for the burst setup (~0.1 ms).
+    let stim_setup_ms = 0.1;
+
+    let mut steps = Vec::new();
+    let mut err = 0.0;
+    let mut prev_v = (0.0f64, 0.0f64);
+    for (t, (z, truth)) in session.features[half..]
+        .iter()
+        .zip(&session.states[half..])
+        .enumerate()
+    {
+        let est = kf.step(z).expect("regularised model");
+        let decoded = (est[2], est[3]);
+        err += (decoded.0 - truth[2]).abs() + (decoded.1 - truth[3]).abs();
+
+        // The prosthesis reports a contact event on velocity reversal.
+        let reversal = decoded.0 * prev_v.0 < 0.0 || decoded.1 * prev_v.1 < 0.0;
+        prev_v = decoded;
+        let mut latency = decode_ms + hop_ms;
+        let mut stimulated = false;
+        if reversal {
+            latency += hop_ms + stim_setup_ms;
+            stim.stimulate(t as u64 * 50_000, StimCommand::standard_burst(0))
+                .expect("standard burst valid");
+            stimulated = true;
+        }
+        steps.push(LoopStep {
+            decoded_velocity: decoded,
+            true_velocity: (truth[2], truth[3]),
+            latency_ms: latency,
+            feedback_stimulated: stimulated,
+        });
+    }
+    let n = steps.len().max(1);
+    LoopRun {
+        velocity_error: err / (2 * n) as f64,
+        max_latency_ms: steps.iter().map(|s| s.latency_ms).fold(0.0, f64::max),
+        feedback_count: stim.log().len(),
+        steps,
+    }
+}
+
+/// Convenience: run the loop on a fresh synthetic session.
+pub fn run_default_loop(nodes: usize, seed: u64) -> LoopRun {
+    let session = generate_session(160, 8 * nodes.max(1), seed);
+    run_external_loop(&session, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_meets_the_50ms_deadline() {
+        for nodes in [1usize, 2, 4] {
+            let run = run_default_loop(nodes, 42);
+            assert!(
+                run.meets_deadline(),
+                "{nodes} nodes: worst {} ms",
+                run.max_latency_ms
+            );
+            assert!(run.max_latency_ms > 30.0, "KF decode dominates the loop");
+        }
+    }
+
+    #[test]
+    fn decoding_tracks_the_reach() {
+        let run = run_default_loop(4, 7);
+        assert!(run.velocity_error < 0.3, "velocity error {}", run.velocity_error);
+    }
+
+    #[test]
+    fn direction_reversals_trigger_sensory_feedback() {
+        // The synthetic task switches target every 8 windows, so the
+        // decode half contains several reversals.
+        let run = run_default_loop(2, 11);
+        assert!(run.feedback_count >= 2, "{}", run.feedback_count);
+        assert_eq!(
+            run.feedback_count,
+            run.steps.iter().filter(|s| s.feedback_stimulated).count()
+        );
+    }
+
+    #[test]
+    fn feedback_adds_latency_only_on_contact_steps() {
+        let run = run_default_loop(2, 13);
+        let with: Vec<_> = run.steps.iter().filter(|s| s.feedback_stimulated).collect();
+        let without: Vec<_> = run.steps.iter().filter(|s| !s.feedback_stimulated).collect();
+        if let (Some(w), Some(wo)) = (with.first(), without.first()) {
+            assert!(w.latency_ms > wo.latency_ms);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! The application classes of §2.2, running end-to-end on synthetic
+//! electrophysiology.
+
+pub mod external_loop;
+pub mod movement;
+pub mod queries;
+pub mod seizure;
+pub mod spike_sort;

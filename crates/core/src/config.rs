@@ -1,0 +1,108 @@
+//! System configuration.
+
+use scalo_lsh::Measure;
+use scalo_net::radio::{Radio, LOW_POWER};
+
+/// Configuration of a SCALO deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaloConfig {
+    /// Number of implants.
+    pub nodes: usize,
+    /// Electrodes per implant.
+    pub electrodes_per_node: usize,
+    /// Per-implant power limit in mW.
+    pub power_limit_mw: f64,
+    /// Intra-SCALO radio.
+    pub radio: Radio,
+    /// Network bit-error ratio (defaults to the radio's).
+    pub ber: f64,
+    /// Similarity measure used for hash filtering.
+    pub measure: Measure,
+    /// Collision-check horizon in µs (§3.2: e.g. 100 ms of past hashes).
+    pub ccheck_horizon_us: u64,
+    /// RNG seed for error injection and data generation.
+    pub seed: u64,
+}
+
+impl ScaloConfig {
+    /// Sets the node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the electrode count per node.
+    pub fn with_electrodes(mut self, electrodes: usize) -> Self {
+        assert!(electrodes >= 1, "need at least one electrode");
+        self.electrodes_per_node = electrodes;
+        self
+    }
+
+    /// Sets the network bit-error ratio.
+    pub fn with_ber(mut self, ber: f64) -> Self {
+        assert!((0.0..1.0).contains(&ber), "BER out of range");
+        self.ber = ber;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the similarity measure.
+    pub fn with_measure(mut self, measure: Measure) -> Self {
+        self.measure = measure;
+        self
+    }
+}
+
+impl Default for ScaloConfig {
+    /// The paper's headline deployment: 11 nodes at 15 mW, Low Power
+    /// radio, DTW hashing, 100 ms collision horizon.
+    fn default() -> Self {
+        Self {
+            nodes: 11,
+            electrodes_per_node: 96,
+            power_limit_mw: 15.0,
+            radio: LOW_POWER,
+            ber: LOW_POWER.ber,
+            measure: Measure::Dtw,
+            ccheck_horizon_us: 100_000,
+            seed: 0x5ca1_0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_headline() {
+        let c = ScaloConfig::default();
+        assert_eq!(c.nodes, 11);
+        assert_eq!(c.electrodes_per_node, 96);
+        assert_eq!(c.power_limit_mw, 15.0);
+        assert_eq!(c.ber, 1e-5);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = ScaloConfig::default()
+            .with_nodes(2)
+            .with_electrodes(8)
+            .with_ber(1e-4)
+            .with_seed(7);
+        assert_eq!((c.nodes, c.electrodes_per_node), (2, 8));
+        assert_eq!(c.ber, 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = ScaloConfig::default().with_nodes(0);
+    }
+}

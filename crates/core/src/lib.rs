@@ -1,0 +1,37 @@
+//! The SCALO distributed BCI: nodes, the wireless network between them,
+//! and the three application classes of §2.2 running end-to-end.
+//!
+//! This crate composes every lower layer into the system of Figure 2:
+//!
+//! * [`node`] — one implant: fabric, storage, hashers, detector, clock;
+//! * [`system`] — the network of implants with a TDMA medium and
+//!   bit-error injection;
+//! * [`apps`] — functional applications on real (synthetic) signals:
+//!   seizure propagation, movement intent (SVM/NN/KF), spike sorting,
+//!   and interactive queries;
+//! * [`arch`] — the alternative architectures of Table 2 for the
+//!   Figure 8a comparison;
+//! * [`sntp`] — daily clock synchronisation (§3.6);
+//! * [`runtime`] — the MC runtime that compiles queries (via
+//!   `scalo-query` + `scalo-sched`) and reconfigures node pipelines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scalo_core::{Scalo, ScaloConfig};
+//!
+//! let system = Scalo::new(ScaloConfig::default().with_nodes(4));
+//! assert_eq!(system.node_count(), 4);
+//! ```
+
+pub mod apps;
+pub mod arch;
+pub mod config;
+pub mod node;
+pub mod runtime;
+pub mod sntp;
+pub mod stim;
+pub mod system;
+
+pub use config::ScaloConfig;
+pub use system::Scalo;

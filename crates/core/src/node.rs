@@ -1,0 +1,224 @@
+//! One SCALO implant.
+
+use crate::config::ScaloConfig;
+use scalo_lsh::ccheck::{CollisionChecker, HashMatch};
+use scalo_lsh::eval::MeasureHasher;
+use scalo_lsh::SignalHash;
+use scalo_ml::svm::LinearSvm;
+use scalo_signal::fft::band_power_features;
+use scalo_signal::stats::rms;
+use scalo_storage::partition::{PartitionKind, PartitionSet, Record};
+
+/// One implant: processing fabric state, local storage, hashers, and the
+/// locally-trained seizure detector.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: usize,
+    hasher: MeasureHasher,
+    ccheck: CollisionChecker,
+    storage: PartitionSet,
+    detector: Option<LinearSvm>,
+    /// Local clock offset from true time, in µs (corrected by SNTP).
+    pub clock_offset_us: i64,
+    window_samples: usize,
+}
+
+impl Node {
+    /// Builds a node per the system config.
+    pub fn new(id: usize, config: &ScaloConfig) -> Self {
+        Self {
+            id,
+            hasher: MeasureHasher::for_measure(config.measure, 120),
+            ccheck: CollisionChecker::new(16 * 1024),
+            storage: PartitionSet::standard(),
+            detector: None,
+            clock_offset_us: 0,
+            window_samples: 120,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The node's hash function.
+    pub fn hasher(&self) -> &MeasureHasher {
+        &self.hasher
+    }
+
+    /// Local storage partitions.
+    pub fn storage(&self) -> &PartitionSet {
+        &self.storage
+    }
+
+    /// Installs a trained seizure detector.
+    pub fn install_detector(&mut self, svm: LinearSvm) {
+        self.detector = Some(svm);
+    }
+
+    /// Extracts the seizure-detection feature vector of a window (the
+    /// BBF/FFT feature path of Figure 5: band powers + an amplitude
+    /// feature).
+    pub fn detection_features(window: &[f64]) -> Vec<f64> {
+        let mut f = band_power_features(window);
+        f.push(rms(window));
+        f
+    }
+
+    /// Runs local seizure detection on a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no detector is installed.
+    pub fn detect_seizure(&self, window: &[f64]) -> bool {
+        self.detector
+            .as_ref()
+            .expect("detector not installed")
+            .predict(&Self::detection_features(window))
+    }
+
+    /// Ingests one electrode window: stores the signal, hashes it, and
+    /// records the hash both in the NVM hash partition and the CCHECK
+    /// SRAM.
+    pub fn ingest_window(
+        &mut self,
+        electrode: usize,
+        timestamp_us: u64,
+        window: &[f64],
+    ) -> SignalHash {
+        assert_eq!(window.len(), self.window_samples, "window length");
+        let bytes: Vec<u8> = window
+            .iter()
+            .flat_map(|&x| ((x * 8_192.0) as i16).to_le_bytes())
+            .collect();
+        self.storage.get_mut(PartitionKind::Signals).append(Record {
+            timestamp_us,
+            key: electrode as u32,
+            data: bytes,
+        });
+        let hash = match &self.hasher {
+            MeasureHasher::Ssh(h) => h.hash(window),
+            MeasureHasher::Emd(h) => h.hash(window),
+        };
+        self.storage.get_mut(PartitionKind::Hashes).append(Record {
+            timestamp_us,
+            key: electrode as u32,
+            data: hash.0.clone(),
+        });
+        self.ccheck.record(electrode, timestamp_us, hash.clone());
+        hash
+    }
+
+    /// Retrieves a stored signal window (dequantised).
+    pub fn stored_window(&self, electrode: usize, timestamp_us: u64) -> Option<Vec<f64>> {
+        let rec = self
+            .storage
+            .get(PartitionKind::Signals)
+            .range_for_key(electrode as u32, timestamp_us, timestamp_us)
+            .into_iter()
+            .next()?;
+        Some(
+            rec.data
+                .chunks_exact(2)
+                .map(|b| i16::from_le_bytes([b[0], b[1]]) as f64 / 8_192.0)
+                .collect(),
+        )
+    }
+
+    /// Matches received hashes against recent local hashes (CCHECK),
+    /// probing within Hamming distance 1 (the PE's fixed probe set:
+    /// `1 + 8·bytes` patterns per received hash), so near-identical
+    /// cross-site hashes collide as the similarity semantics intend.
+    pub fn check_collisions(
+        &self,
+        received: &[SignalHash],
+        now_us: u64,
+        horizon_us: u64,
+    ) -> Vec<HashMatch> {
+        if received.is_empty() {
+            return Vec::new();
+        }
+        let probes: Vec<SignalHash> = received
+            .iter()
+            .flat_map(|h| h.neighbors(1))
+            .collect();
+        let probes_per_hash = probes.len() / received.len();
+        let mut matches = self.ccheck.matches(&probes, now_us, horizon_us);
+        // Map probe indices back to the original received batch.
+        for m in &mut matches {
+            m.received_index /= probes_per_hash;
+        }
+        matches
+    }
+
+    /// Number of hash records currently in the CCHECK SRAM.
+    pub fn ccheck_len(&self) -> usize {
+        self.ccheck.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_window(phase: f64) -> Vec<f64> {
+        (0..120).map(|i| (i as f64 * 0.2 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn ingest_stores_signal_and_hash() {
+        let cfg = ScaloConfig::default().with_nodes(1);
+        let mut node = Node::new(0, &cfg);
+        let h = node.ingest_window(3, 1_000, &test_window(0.0));
+        assert!(!h.0.is_empty());
+        assert_eq!(node.ccheck_len(), 1);
+        let back = node.stored_window(3, 1_000).unwrap();
+        assert_eq!(back.len(), 120);
+        // Quantisation error bounded.
+        for (a, b) in test_window(0.0).iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn identical_windows_collide_across_nodes() {
+        let cfg = ScaloConfig::default().with_nodes(2);
+        let mut a = Node::new(0, &cfg);
+        let b = Node::new(1, &cfg);
+        let w = test_window(0.3);
+        let hash = a.ingest_window(0, 500, &w);
+        // Node b computes the same hash for the same signal...
+        let hash_b = match b.hasher() {
+            MeasureHasher::Ssh(h) => h.hash(&w),
+            MeasureHasher::Emd(h) => h.hash(&w),
+        };
+        assert_eq!(hash, hash_b, "hashers are system-wide deterministic");
+        // ...and a's CCHECK finds the received hash.
+        let matches = a.check_collisions(&[hash_b], 600, 100_000);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn detector_roundtrip() {
+        let cfg = ScaloConfig::default();
+        let mut node = Node::new(0, &cfg);
+        // A detector that fires on high RMS (last feature).
+        let n_features = Node::detection_features(&test_window(0.0)).len();
+        let mut w = vec![0.0; n_features];
+        w[n_features - 1] = 1.0;
+        node.install_detector(LinearSvm::new(w, -0.5));
+        let quiet: Vec<f64> = vec![0.01; 120];
+        let loud: Vec<f64> = test_window(0.0).iter().map(|x| x * 3.0).collect();
+        assert!(!node.detect_seizure(&quiet));
+        assert!(node.detect_seizure(&loud));
+    }
+
+    #[test]
+    #[should_panic(expected = "detector not installed")]
+    fn missing_detector_panics() {
+        let cfg = ScaloConfig::default();
+        let node = Node::new(0, &cfg);
+        let _ = node.detect_seizure(&test_window(0.0));
+    }
+}

@@ -1,0 +1,164 @@
+//! The MC runtime (§3.7): compile a query, schedule it, configure the
+//! fabric.
+//!
+//! "We also develop a lightweight runtime on the MC that listens to the
+//! external radio for data and code, and reconfigures PEs and
+//! pipelines." This module is that path: a query-language source string
+//! goes through `scalo-query` (parse + lower), `scalo-sched`
+//! (ILP scheduling), and lands as a configured pipeline on the node's
+//! fabric.
+
+use scalo_hw::fabric::{NodeFabric, PipelineId};
+use scalo_hw::pipeline::{Pipeline, Stage};
+use scalo_query::{compile, Dag, QueryError};
+use scalo_sched::ilp_build::{schedule, Schedule, ScheduleError};
+use scalo_sched::map::pes_for_dag;
+use scalo_sched::Scenario;
+
+/// A deployed application: its DAG, schedule, and fabric handle.
+#[derive(Debug)]
+pub struct DeployedApp {
+    /// The compiled dataflow.
+    pub dag: Dag,
+    /// The ILP schedule.
+    pub schedule: Schedule,
+    /// Handle to the configured pipeline.
+    pub pipeline: PipelineId,
+}
+
+/// Errors from deployment.
+#[derive(Debug)]
+pub enum DeployError {
+    /// Query failed to compile.
+    Compile(QueryError),
+    /// Scheduling failed.
+    Schedule(ScheduleError),
+    /// The fabric rejected the pipeline.
+    Fabric(scalo_hw::fabric::AllocationError),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Compile(e) => write!(f, "compile: {e}"),
+            DeployError::Schedule(e) => write!(f, "schedule: {e}"),
+            DeployError::Fabric(e) => write!(f, "fabric: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// The per-node MC runtime.
+#[derive(Debug, Default)]
+pub struct McRuntime {
+    fabric: NodeFabric,
+}
+
+impl McRuntime {
+    /// A runtime over a fresh standard fabric.
+    pub fn new() -> Self {
+        Self {
+            fabric: NodeFabric::new(),
+        }
+    }
+
+    /// The fabric state.
+    pub fn fabric(&self) -> &NodeFabric {
+        &self.fabric
+    }
+
+    /// Compiles, schedules and deploys a query.
+    ///
+    /// `deadline_ms` is the response-time target;
+    /// `wire_bytes_per_electrode` the network cost per electrode (0 for
+    /// local pipelines).
+    ///
+    /// # Errors
+    ///
+    /// See [`DeployError`].
+    pub fn deploy(
+        &mut self,
+        source: &str,
+        scenario: &Scenario,
+        deadline_ms: f64,
+        wire_bytes_per_electrode: f64,
+    ) -> Result<DeployedApp, DeployError> {
+        let dag = compile(source).map_err(DeployError::Compile)?;
+        let sched = schedule(&dag, scenario, deadline_ms, wire_bytes_per_electrode)
+            .map_err(DeployError::Schedule)?;
+        let stages: Vec<Stage> = pes_for_dag(&dag)
+            .into_iter()
+            .map(|pe| Stage::new(pe, sched.electrodes as usize))
+            .collect();
+        let pipeline = self
+            .fabric
+            .configure(Pipeline::from_stages(stages))
+            .map_err(DeployError::Fabric)?;
+        Ok(DeployedApp {
+            dag,
+            schedule: sched,
+            pipeline,
+        })
+    }
+
+    /// Tears down every deployed pipeline (the reconfiguration path).
+    pub fn reset(&mut self) {
+        self.fabric.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploys_listing_one() {
+        let mut rt = McRuntime::new();
+        let app = rt
+            .deploy(
+                "var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()",
+                &Scenario::new(4, 15.0),
+                50.0,
+                4.0,
+            )
+            .unwrap();
+        assert!(app.schedule.electrodes > 0);
+        assert!(!rt.fabric().pipelines().is_empty());
+    }
+
+    #[test]
+    fn conflicting_pipelines_are_rejected_then_reset_clears() {
+        let mut rt = McRuntime::new();
+        let src = "var q = stream.window(wsize=4ms).dtw()";
+        rt.deploy(src, &Scenario::new(2, 15.0), 10.0, 0.0).unwrap();
+        // Second deployment wants the same DTW PE instance.
+        let err = rt.deploy(src, &Scenario::new(2, 15.0), 10.0, 0.0).unwrap_err();
+        assert!(matches!(err, DeployError::Fabric(_)), "{err}");
+        rt.reset();
+        rt.deploy(src, &Scenario::new(2, 15.0), 10.0, 0.0).unwrap();
+    }
+
+    #[test]
+    fn bad_source_is_a_compile_error() {
+        let mut rt = McRuntime::new();
+        let err = rt
+            .deploy("var q = nonsense.window()", &Scenario::new(2, 15.0), 10.0, 0.0)
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Compile(_)));
+    }
+
+    #[test]
+    fn impossible_deadline_is_a_schedule_error() {
+        let mut rt = McRuntime::new();
+        let err = rt
+            .deploy(
+                "var q = stream.window(wsize=4ms).select(w => w.seizure_detect())",
+                &Scenario::new(2, 15.0),
+                0.5,
+                0.0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Schedule(_)));
+    }
+}

@@ -1,0 +1,111 @@
+//! Daily clock synchronisation via SNTP (§3.6).
+//!
+//! One node is designated the server; every other node exchanges
+//! timestamps with it and corrects its local offset by the classic SNTP
+//! estimate `θ = ((t2 − t1) + (t3 − t4)) / 2`. The exchange repeats
+//! until all clients are within the target precision. While the rounds
+//! run, the intra-SCALO network is unavailable to applications — the
+//! busy time is reported so schedulers can account for it.
+
+use scalo_net::radio::Radio;
+
+/// Target synchronisation precision in µs (§3.6: "a few µs").
+pub const TARGET_PRECISION_US: i64 = 5;
+
+/// Maximum SNTP rounds before giving up.
+pub const MAX_ROUNDS: usize = 16;
+
+/// Result of one synchronisation session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncReport {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Residual offsets per client after sync, in µs.
+    pub residual_us: Vec<i64>,
+    /// Total time the network was occupied, in ms.
+    pub network_busy_ms: f64,
+    /// Whether every client reached the target precision.
+    pub converged: bool,
+}
+
+/// One SNTP exchange: returns the client's new offset given the true
+/// offset and the (asymmetric) request/response flight times.
+fn sntp_correction(offset_us: i64, up_us: i64, down_us: i64) -> i64 {
+    // Client stamps t1 (client clock), server stamps t2/t3 (server
+    // clock), client stamps t4. θ = ((t2−t1)+(t3−t4))/2.
+    let t1 = 0i64; // client clock reference
+    let t2 = up_us - offset_us; // arrival in server time
+    let t3 = t2; // immediate reply
+    let t4 = t1 + up_us + down_us; // client receive time
+    let theta = ((t2 - t1) + (t3 - t4)) / 2;
+    offset_us + theta
+}
+
+/// Synchronises `client_offsets_us` (offsets relative to the server
+/// clock) over `radio`. Returns the report; offsets are updated in
+/// place.
+pub fn synchronize(client_offsets_us: &mut [i64], radio: &Radio) -> SyncReport {
+    // One 48 B SNTP message each way plus framing, per client per round.
+    let msg_ms = scalo_net::tx_time_ms(48, radio.data_rate_mbps);
+    let flight_us = (msg_ms * 1_000.0) as i64;
+
+    let mut busy_ms = 0.0;
+    let mut rounds = 0;
+    for _ in 0..MAX_ROUNDS {
+        let worst = client_offsets_us.iter().map(|o| o.abs()).max().unwrap_or(0);
+        if worst <= TARGET_PRECISION_US {
+            break;
+        }
+        rounds += 1;
+        for offset in client_offsets_us.iter_mut() {
+            *offset = sntp_correction(*offset, flight_us, flight_us);
+            busy_ms += 2.0 * msg_ms;
+        }
+    }
+    let residual_us = client_offsets_us.to_vec();
+    let converged = residual_us.iter().all(|o| o.abs() <= TARGET_PRECISION_US);
+    SyncReport {
+        rounds,
+        residual_us,
+        network_busy_ms: busy_ms,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalo_net::radio::LOW_POWER;
+
+    #[test]
+    fn symmetric_paths_converge_in_one_round() {
+        let mut offsets = vec![10_000i64, -40_000, 377];
+        let report = synchronize(&mut offsets, &LOW_POWER);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.rounds, 1, "symmetric SNTP corrects exactly");
+        assert!(offsets.iter().all(|o| o.abs() <= TARGET_PRECISION_US));
+    }
+
+    #[test]
+    fn already_synced_needs_no_rounds() {
+        let mut offsets = vec![1i64, -2];
+        let report = synchronize(&mut offsets, &LOW_POWER);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.network_busy_ms, 0.0);
+    }
+
+    #[test]
+    fn network_busy_time_scales_with_clients() {
+        let mut two = vec![50_000i64; 2];
+        let mut ten = vec![50_000i64; 10];
+        let r2 = synchronize(&mut two, &LOW_POWER);
+        let r10 = synchronize(&mut ten, &LOW_POWER);
+        assert!(r10.network_busy_ms > 4.0 * r2.network_busy_ms);
+    }
+
+    #[test]
+    fn correction_formula_is_exact_for_symmetric_delay() {
+        assert_eq!(sntp_correction(12_345, 200, 200), 0);
+        assert_eq!(sntp_correction(-9_999, 50, 50), 0);
+    }
+}

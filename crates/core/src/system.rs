@@ -1,0 +1,248 @@
+//! The distributed system: nodes plus the TDMA wireless medium.
+
+use crate::config::ScaloConfig;
+use crate::node::Node;
+use scalo_net::ber::ErrorChannel;
+use scalo_net::packet::{receive, Packet, Received};
+use scalo_net::tdma::TdmaSchedule;
+
+/// Delivery outcome of a broadcast, per receiver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// Receiving node id.
+    pub to: usize,
+    /// What the receiver's UNPACK produced.
+    pub received: Received,
+}
+
+/// Statistics of the medium since construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MediumStats {
+    /// Packets transmitted (per receiver).
+    pub transmissions: usize,
+    /// Deliveries with any bit error.
+    pub corrupted: usize,
+    /// Deliveries dropped by the error policy.
+    pub dropped: usize,
+}
+
+/// The SCALO system of Figure 2a.
+#[derive(Debug)]
+pub struct Scalo {
+    config: ScaloConfig,
+    nodes: Vec<Node>,
+    channel: ErrorChannel,
+    tdma: TdmaSchedule,
+    time_us: u64,
+    stats: MediumStats,
+}
+
+impl Scalo {
+    /// Builds the system.
+    pub fn new(config: ScaloConfig) -> Self {
+        let nodes = (0..config.nodes).map(|i| Node::new(i, &config)).collect();
+        let channel = ErrorChannel::new(config.ber, config.seed);
+        let tdma = TdmaSchedule::round_robin(config.nodes);
+        Self {
+            config,
+            nodes,
+            channel,
+            tdma,
+            time_us: 0,
+            stats: MediumStats::default(),
+        }
+    }
+
+    /// Number of implants.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ScaloConfig {
+        &self.config
+    }
+
+    /// The TDMA schedule.
+    pub fn tdma(&self) -> &TdmaSchedule {
+        &self.tdma
+    }
+
+    /// Medium statistics so far.
+    pub fn stats(&self) -> MediumStats {
+        self.stats
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: usize) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Mutable borrow of a node.
+    pub fn node_mut(&mut self, id: usize) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Current simulation time in µs.
+    pub fn now_us(&self) -> u64 {
+        self.time_us
+    }
+
+    /// Advances simulation time.
+    pub fn advance_us(&mut self, delta: u64) {
+        self.time_us += delta;
+    }
+
+    /// Broadcasts a packet from `from` to every other node through the
+    /// bit-error channel, applying the receiver-side error policy.
+    pub fn broadcast(&mut self, from: usize, packet: &Packet) -> Vec<Delivery> {
+        assert!(from < self.nodes.len(), "unknown sender {from}");
+        let wire = packet.to_wire();
+        let mut out = Vec::new();
+        for to in 0..self.nodes.len() {
+            if to == from {
+                continue;
+            }
+            let (corrupted_wire, flips) = self.channel.transmit(&wire);
+            self.stats.transmissions += 1;
+            if flips > 0 {
+                self.stats.corrupted += 1;
+            }
+            let received = receive(&corrupted_wire);
+            if matches!(
+                received,
+                Received::DroppedHeaderError | Received::DroppedPayloadError(_)
+            ) {
+                self.stats.dropped += 1;
+            }
+            out.push(Delivery { to, received });
+        }
+        out
+    }
+
+    /// Time in ms for `from` to put `bytes` of payload on the air under
+    /// its TDMA share.
+    pub fn transfer_ms(&self, from: usize, bytes: usize) -> f64 {
+        self.tdma.transfer_ms(from, bytes, &self.config.radio)
+    }
+
+    /// Runs the daily SNTP round (§3.6): node 0 is the server, every
+    /// other node corrects its clock offset. The network-busy time is
+    /// charged to the simulation clock; applications that do not need
+    /// the network (e.g. local detection) are unaffected.
+    pub fn synchronize_clocks(&mut self) -> crate::sntp::SyncReport {
+        let mut offsets: Vec<i64> = self.nodes[1..]
+            .iter()
+            .map(|n| n.clock_offset_us)
+            .collect();
+        let report = crate::sntp::synchronize(&mut offsets, &self.config.radio);
+        for (node, &offset) in self.nodes[1..].iter_mut().zip(&offsets) {
+            node.clock_offset_us = offset;
+        }
+        self.time_us += (report.network_busy_ms * 1_000.0) as u64;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalo_net::packet::{Header, PayloadKind, BROADCAST};
+
+    fn packet(kind: PayloadKind) -> Packet {
+        Packet::new(
+            Header {
+                src: 0,
+                dst: BROADCAST,
+                flow: 1,
+                seq: 0,
+                len: 0,
+                kind,
+                timestamp_us: 0,
+            },
+            vec![0xAB; 64],
+        )
+    }
+
+    #[test]
+    fn clean_broadcast_reaches_everyone() {
+        let mut sys = Scalo::new(ScaloConfig::default().with_nodes(4).with_ber(0.0));
+        let deliveries = sys.broadcast(0, &packet(PayloadKind::Hashes));
+        assert_eq!(deliveries.len(), 3);
+        assert!(deliveries
+            .iter()
+            .all(|d| matches!(d.received, Received::Clean(_))));
+        assert_eq!(sys.stats().dropped, 0);
+    }
+
+    #[test]
+    fn noisy_channel_drops_hash_packets() {
+        let mut sys = Scalo::new(
+            ScaloConfig::default()
+                .with_nodes(8)
+                .with_ber(5e-3)
+                .with_seed(3),
+        );
+        let mut dropped = 0;
+        for _ in 0..50 {
+            let d = sys.broadcast(0, &packet(PayloadKind::Hashes));
+            dropped += d
+                .iter()
+                .filter(|d| {
+                    matches!(
+                        d.received,
+                        Received::DroppedPayloadError(_) | Received::DroppedHeaderError
+                    )
+                })
+                .count();
+        }
+        assert!(dropped > 0, "expected some drops at BER 5e-3");
+        assert_eq!(sys.stats().dropped, dropped);
+    }
+
+    #[test]
+    fn signal_packets_survive_corruption() {
+        let mut sys = Scalo::new(
+            ScaloConfig::default()
+                .with_nodes(2)
+                .with_ber(2e-3)
+                .with_seed(9),
+        );
+        let mut delivered_corrupt = 0;
+        for _ in 0..200 {
+            for d in sys.broadcast(0, &packet(PayloadKind::Signal)) {
+                if matches!(d.received, Received::CorruptDelivered(_)) {
+                    delivered_corrupt += 1;
+                }
+            }
+        }
+        assert!(delivered_corrupt > 0, "signals should pass through corrupted");
+    }
+
+    #[test]
+    fn time_advances() {
+        let mut sys = Scalo::new(ScaloConfig::default().with_nodes(2));
+        sys.advance_us(4_000);
+        assert_eq!(sys.now_us(), 4_000);
+    }
+
+    #[test]
+    fn clock_sync_corrects_drifted_nodes() {
+        let mut sys = Scalo::new(ScaloConfig::default().with_nodes(4));
+        sys.node_mut(1).clock_offset_us = 80_000;
+        sys.node_mut(3).clock_offset_us = -12_345;
+        let report = sys.synchronize_clocks();
+        assert!(report.converged, "{report:?}");
+        for id in 1..4 {
+            assert!(sys.node(id).clock_offset_us.abs() <= 5);
+        }
+        assert!(sys.now_us() > 0, "network-busy time charged");
+    }
+
+    #[test]
+    fn transfer_time_respects_tdma_share() {
+        let sys = Scalo::new(ScaloConfig::default().with_nodes(4).with_ber(0.0));
+        let t = sys.transfer_ms(0, 1_000);
+        assert!(t > 0.0);
+    }
+}

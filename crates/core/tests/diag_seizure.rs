@@ -1,0 +1,46 @@
+//! Diagnostics for tuning the seizure-propagation thresholds
+//! (run with --ignored --nocapture).
+
+use scalo_core::apps::seizure::{SeizureApp, WINDOW};
+use scalo_core::ScaloConfig;
+use scalo_data::ieeg::{generate, IeegConfig, SeizureEvent};
+use scalo_lsh::eval::MeasureHasher;
+use scalo_signal::dtw::{dtw_distance, DtwParams};
+use scalo_signal::stats::z_normalize;
+
+fn recording(seed: u64) -> scalo_data::ieeg::MultiSiteRecording {
+    generate(&IeegConfig {
+        nodes: 2,
+        electrodes_per_node: 4,
+        duration_s: 0.9,
+        seizures: vec![SeizureEvent::uniform(0.25, 0.6, 0, 2, 0.0)],
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+#[ignore = "diagnostic only"]
+fn diag_dtw_and_hash_between_sites() {
+    let rec = recording(42);
+    let cfg = ScaloConfig::default().with_nodes(2).with_electrodes(4);
+    let hasher = MeasureHasher::for_measure(cfg.measure, WINDOW);
+    for w in (0..180).step_by(10) {
+        let t0 = w * WINDOW;
+        let a = &rec.nodes[0].channels[0][t0..t0 + WINDOW];
+        let b = &rec.nodes[1].channels[0][t0..t0 + WINDOW];
+        let d = dtw_distance(&z_normalize(a), &z_normalize(b), DtwParams::default());
+        let collide = hasher.similar(a, b);
+        let ictal = rec.nodes[0].seizure[t0 + WINDOW / 2];
+        println!("w={w:4} ictal={ictal} dtw={d:7.3} hash_collide={collide}");
+    }
+}
+
+#[test]
+#[ignore = "diagnostic only"]
+fn diag_run_outcome() {
+    let mut app = SeizureApp::new(ScaloConfig::default().with_nodes(2).with_electrodes(4).with_ber(0.0).with_seed(42));
+    app.train_detectors(&recording(43));
+    let run = app.run(&recording(42));
+    println!("{run:?}");
+}

@@ -1,0 +1,25 @@
+//! Synthetic electrophysiology for the SCALO evaluation.
+//!
+//! The paper evaluates on gated clinical data (Mayo Clinic iEEG patient
+//! I001_P013) and on three spike datasets (SpikeForest, Kilosort,
+//! MEArec). None are redistributable here, so this crate generates
+//! synthetic equivalents that exercise the identical code paths:
+//!
+//! * [`ieeg`] — multi-site iEEG with 1/f background and 3 Hz spike-wave
+//!   seizures that *propagate* across implants with per-site onset lags
+//!   (the property seizure-propagation analysis depends on);
+//! * [`spikes`] — MEArec-style ground-truth spike recordings: per-neuron
+//!   templates, Poisson spike trains, amplitude jitter and noise;
+//! * [`split`] — the paper's trick of splitting one recording's channels
+//!   across emulated implants (§5).
+//!
+//! All generators are seeded and deterministic.
+
+pub mod ieeg;
+pub mod presets;
+pub mod spikes;
+pub mod split;
+
+/// Sample rate of all generated data, Hz (matching the upscaled 30 kHz
+/// the paper uses).
+pub const SAMPLE_RATE_HZ: f64 = 30_000.0;

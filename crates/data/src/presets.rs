@@ -1,0 +1,70 @@
+//! Dataset presets shaped like the paper's evaluation data (§5).
+
+use crate::ieeg::{IeegConfig, SeizureEvent};
+use crate::split::split_channels;
+
+/// A Mayo-Clinic-shaped seizure recording (§5: patient I001_P013 — 76
+/// electrodes in the parietal and occipital lobes, annotated seizures,
+/// upscaled to 30 kHz and split across implants).
+///
+/// `nodes` implants share the 76 electrodes as evenly as possible; each
+/// gets the per-node electrode count of the widest shard (the generator
+/// is per-node, so shards are padded up rather than ragged).
+///
+/// # Panics
+///
+/// Panics if `nodes` is 0 or exceeds 16 (the seizure lag-table bound).
+pub fn mayo_like(nodes: usize, duration_s: f64, seed: u64) -> IeegConfig {
+    assert!((1..=16).contains(&nodes), "1–16 implants");
+    let shards = split_channels(76, nodes);
+    let electrodes_per_node = shards.iter().map(|r| r.len()).max().expect("non-empty");
+    // One seizure per ~2 s, originating parietal (node 0), spreading with
+    // 20 ms per-hop lag.
+    let n_seizures = (duration_s / 2.0).max(1.0) as usize;
+    let seizures = (0..n_seizures)
+        .map(|i| {
+            SeizureEvent::uniform(
+                0.3 + i as f64 * 2.0,
+                0.8,
+                0,
+                nodes,
+                0.02,
+            )
+        })
+        .collect();
+    IeegConfig {
+        nodes,
+        electrodes_per_node,
+        duration_s,
+        seizures,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieeg::generate;
+
+    #[test]
+    fn mayo_preset_matches_patient_shape() {
+        let cfg = mayo_like(4, 1.0, 3);
+        assert_eq!(cfg.nodes, 4);
+        assert_eq!(cfg.electrodes_per_node, 19); // 76 / 4
+        let rec = generate(&cfg);
+        assert_eq!(rec.nodes.len(), 4);
+        assert!(rec.nodes[0].seizure.iter().any(|&s| s));
+    }
+
+    #[test]
+    fn longer_recordings_contain_more_seizures() {
+        assert!(mayo_like(2, 6.0, 1).seizures.len() > mayo_like(2, 2.0, 1).seizures.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "1–16 implants")]
+    fn too_many_nodes_panics() {
+        let _ = mayo_like(17, 1.0, 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Channel splitting across emulated implants (§5).
+//!
+//! "We upscaled the sampling frequency to 30 KHz, and split the dataset
+//! to emulate multiple implants." Given a recording with `channels`
+//! electrodes, this module assigns contiguous channel ranges to nodes as
+//! evenly as possible.
+
+use std::ops::Range;
+
+/// Contiguous channel ranges for `nodes` implants over `channels`
+/// electrodes (earlier nodes absorb the remainder).
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or exceeds `channels`.
+///
+/// # Example
+///
+/// ```
+/// let parts = scalo_data::split::split_channels(76, 4);
+/// assert_eq!(parts.len(), 4);
+/// assert_eq!(parts[0], 0..19);
+/// assert_eq!(parts[3], 57..76);
+/// ```
+pub fn split_channels(channels: usize, nodes: usize) -> Vec<Range<usize>> {
+    assert!(nodes >= 1, "need at least one node");
+    assert!(nodes <= channels, "more nodes ({nodes}) than channels ({channels})");
+    let base = channels / nodes;
+    let extra = channels % nodes;
+    let mut out = Vec::with_capacity(nodes);
+    let mut start = 0;
+    for i in 0..nodes {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Which node owns `channel` under the split.
+pub fn node_of_channel(channels: usize, nodes: usize, channel: usize) -> usize {
+    assert!(channel < channels, "channel out of range");
+    split_channels(channels, nodes)
+        .iter()
+        .position(|r| r.contains(&channel))
+        .expect("split covers all channels")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_without_overlap() {
+        for (c, n) in [(76, 4), (96, 1), (96, 11), (10, 10)] {
+            let parts = split_channels(c, n);
+            assert_eq!(parts.len(), n);
+            let mut covered = 0;
+            let mut expected_start = 0;
+            for r in &parts {
+                assert_eq!(r.start, expected_start, "gap or overlap");
+                covered += r.len();
+                expected_start = r.end;
+            }
+            assert_eq!(covered, c);
+        }
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        let parts = split_channels(76, 11);
+        let min = parts.iter().map(Range::len).min().unwrap();
+        let max = parts.iter().map(Range::len).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn node_lookup() {
+        assert_eq!(node_of_channel(76, 4, 0), 0);
+        assert_eq!(node_of_channel(76, 4, 75), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn too_many_nodes_panics() {
+        let _ = split_channels(3, 4);
+    }
+}

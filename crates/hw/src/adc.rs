@@ -1,0 +1,41 @@
+//! The analog front end: ADC and stimulation DAC power (§5).
+
+use crate::ELECTRODES_PER_NODE;
+
+/// ADC power for one sample across all 96 electrodes, in mW (§5).
+pub const ADC_FULL_ARRAY_MW: f64 = 2.88;
+
+/// Stimulation DAC power when active, in mW (§5, Medtronic-class).
+pub const DAC_STIM_MW: f64 = 0.6;
+
+/// ADC power in mW when digitising `electrodes` streams (linear in the
+/// active channel count, as a per-channel SAR design scales).
+pub fn adc_power_mw(electrodes: usize) -> f64 {
+    ADC_FULL_ARRAY_MW * electrodes as f64 / ELECTRODES_PER_NODE as f64
+}
+
+/// Front-end power in mW with optional stimulation.
+pub fn frontend_power_mw(electrodes: usize, stimulating: bool) -> f64 {
+    adc_power_mw(electrodes) + if stimulating { DAC_STIM_MW } else { 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_array_matches_paper() {
+        assert!((adc_power_mw(96) - 2.88).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_linearly() {
+        assert!((adc_power_mw(48) - 1.44).abs() < 1e-12);
+        assert_eq!(adc_power_mw(0), 0.0);
+    }
+
+    #[test]
+    fn stimulation_adds_dac_power() {
+        assert!((frontend_power_mw(96, true) - 3.48).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-implant power budgets and thermal spacing (§5).
+//!
+//! No implant may dissipate more than 15 mW at cortical depth; because
+//! node placement varies, the paper also evaluates 12, 9 and 6 mW caps
+//! (60%, 40% and 20% reductions). At the default 20 mm spacing thermal
+//! coupling between implants is negligible, and up to 60 implants fit on
+//! a hemispherical cortex at full power.
+
+use serde::{Deserialize, Serialize};
+
+/// The power limits evaluated in the paper, in mW.
+pub const POWER_LIMITS_MW: [f64; 4] = [15.0, 12.0, 9.0, 6.0];
+
+/// Default inter-implant spacing in millimetres.
+pub const DEFAULT_SPACING_MM: f64 = 20.0;
+
+/// Maximum simultaneously-powered implants at full budget (§5).
+pub const MAX_IMPLANTS: usize = 60;
+
+/// Relative temperature rise at `distance_mm` from an implant's edge,
+/// as a fraction of the peak rise (exponential decay fitted to the
+/// finite-element results the paper cites: ≈5% at 10 mm, ≈2% at 20 mm).
+pub fn thermal_coupling_fraction(distance_mm: f64) -> f64 {
+    assert!(distance_mm >= 0.0, "distance must be non-negative");
+    // f(d) = exp(-d / λ) with λ chosen so f(10) ≈ 0.05.
+    let lambda = 10.0 / (1.0f64 / 0.05).ln();
+    (-distance_mm / lambda).exp()
+}
+
+/// A running power budget for one implant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudget {
+    limit_mw: f64,
+    used_mw: f64,
+}
+
+impl PowerBudget {
+    /// A budget with the given limit in mW.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limit is not positive.
+    pub fn new(limit_mw: f64) -> Self {
+        assert!(limit_mw > 0.0, "power limit must be positive");
+        Self {
+            limit_mw,
+            used_mw: 0.0,
+        }
+    }
+
+    /// The standard 15 mW implant budget.
+    pub fn standard() -> Self {
+        Self::new(15.0)
+    }
+
+    /// The configured limit in mW.
+    pub fn limit_mw(&self) -> f64 {
+        self.limit_mw
+    }
+
+    /// Power currently allocated, in mW.
+    pub fn used_mw(&self) -> f64 {
+        self.used_mw
+    }
+
+    /// Remaining headroom in mW.
+    pub fn remaining_mw(&self) -> f64 {
+        (self.limit_mw - self.used_mw).max(0.0)
+    }
+
+    /// Tries to allocate `mw`; returns `false` (and changes nothing) if it
+    /// would exceed the limit.
+    pub fn try_allocate_mw(&mut self, mw: f64) -> bool {
+        assert!(mw >= 0.0, "allocation must be non-negative");
+        if self.used_mw + mw > self.limit_mw + 1e-12 {
+            return false;
+        }
+        self.used_mw += mw;
+        true
+    }
+
+    /// Releases `mw` back to the budget (saturating at zero).
+    pub fn release_mw(&mut self, mw: f64) {
+        self.used_mw = (self.used_mw - mw).max(0.0);
+    }
+}
+
+impl Default for PowerBudget {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_coupling_matches_cited_values() {
+        assert!((thermal_coupling_fraction(10.0) - 0.05).abs() < 0.005);
+        let at_20 = thermal_coupling_fraction(20.0);
+        assert!(at_20 < 0.01, "coupling at 20 mm should be negligible, got {at_20}");
+        assert_eq!(thermal_coupling_fraction(0.0), 1.0);
+    }
+
+    #[test]
+    fn budget_allocation_and_release() {
+        let mut b = PowerBudget::standard();
+        assert!(b.try_allocate_mw(10.0));
+        assert!(!b.try_allocate_mw(6.0), "would exceed 15 mW");
+        assert!(b.try_allocate_mw(5.0));
+        assert!(b.remaining_mw() < 1e-9);
+        b.release_mw(7.0);
+        assert!((b.remaining_mw() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_power_points() {
+        assert_eq!(POWER_LIMITS_MW, [15.0, 12.0, 9.0, 6.0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Per-PE frequency dividers (§3.2, "Optimal Power Tuning").
+//!
+//! Each PE supports its maximum frequency `f_max` divided by a
+//! user-programmable integer `k`, implemented with a pass-through counter
+//! that costs only microwatts. Multiple frequency rails keep PE latency
+//! constant even when fewer inputs are processed.
+
+use serde::{Deserialize, Serialize};
+
+/// Power cost of the divider's counter state machine, in µW (the paper
+/// cites a QDI constant-time counter consuming only µWs).
+pub const DIVIDER_COUNTER_UW: f64 = 1.0;
+
+/// A programmable clock divider attached to one PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockDivider {
+    k: u32,
+}
+
+impl ClockDivider {
+    /// A divider passing every `k`-th pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1, "divider must be at least 1");
+        Self { k }
+    }
+
+    /// The division factor.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Effective frequency for a PE with the given maximum.
+    pub fn effective_mhz(&self, max_freq_mhz: f64) -> f64 {
+        max_freq_mhz / f64::from(self.k)
+    }
+
+    /// Fraction of maximum throughput this divider sustains.
+    pub fn throughput_fraction(&self) -> f64 {
+        1.0 / f64::from(self.k)
+    }
+}
+
+impl Default for ClockDivider {
+    /// Full speed (`k = 1`).
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divider_math() {
+        let d = ClockDivider::new(4);
+        assert_eq!(d.effective_mhz(16.0), 4.0);
+        assert_eq!(d.throughput_fraction(), 0.25);
+    }
+
+    #[test]
+    fn default_is_full_speed() {
+        assert_eq!(ClockDivider::default().k(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_divider_panics() {
+        let _ = ClockDivider::new(0);
+    }
+}

@@ -1,0 +1,246 @@
+//! The node fabric: PE inventory and switch-based allocation.
+//!
+//! Each SCALO node carries one instance of most PEs plus a LIN ALG
+//! cluster with ten MAD (BMUL) units, four of which are tiled into a
+//! 4-way block for the Kalman filter's large matrices (§3.2). The fabric
+//! tracks which PE instances are claimed by configured pipelines and
+//! enforces that a PE instance serves at most one pipeline at a time
+//! (flows may share a PE only via the scheduler's interleaving, which is
+//! modelled as a single claim with summed electrode counts).
+
+use crate::pe::{catalog, spec, PeKind};
+use crate::pipeline::Pipeline;
+use std::collections::HashMap;
+
+/// Number of MAD (BMUL) units in the LIN ALG cluster (§3.2).
+pub const MAD_UNITS: usize = 10;
+
+/// MAD units tiled into the 4-way block for large matrices (§3.2).
+pub const MAD_TILED: usize = 4;
+
+/// GATE buffer instances: one per concurrently-configured pipeline (the
+/// GATE is the clock-domain-crossing buffer every pipeline needs at its
+/// window boundary).
+pub const GATE_UNITS: usize = 4;
+
+/// Error returned when a pipeline cannot be mapped onto the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationError {
+    /// The PE that was unavailable.
+    pub pe: PeKind,
+    /// Instances requested (cumulative).
+    pub requested: usize,
+    /// Instances the fabric has.
+    pub available: usize,
+}
+
+impl std::fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fabric has {} instance(s) of {}, {} requested",
+            self.available, self.pe, self.requested
+        )
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// A configured pipeline's handle within the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PipelineId(usize);
+
+/// The per-node fabric: inventory, claims, and configured pipelines.
+#[derive(Debug, Clone, Default)]
+pub struct NodeFabric {
+    inventory: HashMap<PeKind, usize>,
+    claimed: HashMap<PeKind, usize>,
+    pipelines: Vec<Pipeline>,
+}
+
+impl NodeFabric {
+    /// The standard SCALO node: one of each PE, ten MAD units.
+    pub fn new() -> Self {
+        let mut inventory = HashMap::new();
+        for kind in PeKind::ALL {
+            inventory.insert(kind, 1);
+        }
+        inventory.insert(PeKind::Bmul, MAD_UNITS);
+        inventory.insert(PeKind::Gate, GATE_UNITS);
+        Self {
+            inventory,
+            claimed: HashMap::new(),
+            pipelines: Vec::new(),
+        }
+    }
+
+    /// A fabric with a custom inventory (for alternative architectures).
+    pub fn with_inventory(inventory: HashMap<PeKind, usize>) -> Self {
+        Self {
+            inventory,
+            claimed: HashMap::new(),
+            pipelines: Vec::new(),
+        }
+    }
+
+    /// Instances of `kind` in the inventory.
+    pub fn instances(&self, kind: PeKind) -> usize {
+        self.inventory.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Instances of `kind` not yet claimed.
+    pub fn free_instances(&self, kind: PeKind) -> usize {
+        self.instances(kind)
+            .saturating_sub(self.claimed.get(&kind).copied().unwrap_or(0))
+    }
+
+    /// Configures `pipeline` through the switches, claiming its PEs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocationError`] (leaving the fabric unchanged) if any
+    /// stage needs a PE with no free instance.
+    pub fn configure(&mut self, pipeline: Pipeline) -> Result<PipelineId, AllocationError> {
+        // Count instance demand per PE kind within this pipeline.
+        let mut demand: HashMap<PeKind, usize> = HashMap::new();
+        for pe in pipeline.pes() {
+            *demand.entry(pe).or_insert(0) += 1;
+        }
+        for (&pe, &want) in &demand {
+            let free = self.free_instances(pe);
+            if want > free {
+                return Err(AllocationError {
+                    pe,
+                    requested: want,
+                    available: free,
+                });
+            }
+        }
+        for (pe, want) in demand {
+            *self.claimed.entry(pe).or_insert(0) += want;
+        }
+        self.pipelines.push(pipeline);
+        Ok(PipelineId(self.pipelines.len() - 1))
+    }
+
+    /// The configured pipelines.
+    pub fn pipelines(&self) -> &[Pipeline] {
+        &self.pipelines
+    }
+
+    /// A configured pipeline by id.
+    pub fn pipeline(&self, id: PipelineId) -> &Pipeline {
+        &self.pipelines[id.0]
+    }
+
+    /// Total power of all configured pipelines, in mW.
+    pub fn active_power_mw(&self) -> f64 {
+        self.pipelines.iter().map(Pipeline::power_mw).sum()
+    }
+
+    /// Total fabric area in KGE (inventory, whether claimed or not).
+    pub fn total_area_kge(&self) -> f64 {
+        self.inventory
+            .iter()
+            .map(|(&kind, &n)| spec(kind).area_kge * n as f64)
+            .sum()
+    }
+
+    /// Leakage floor of the whole inventory in µW (every PE leaks whether
+    /// or not it is clocked; power gating is not modelled, matching the
+    /// paper's conservative accounting).
+    pub fn leakage_floor_uw(&self) -> f64 {
+        self.inventory
+            .iter()
+            .map(|(&kind, &n)| {
+                let s = spec(kind);
+                (s.leakage_uw + s.sram_leakage_uw) * n as f64
+            })
+            .sum()
+    }
+
+    /// Clears all pipelines and claims (the MC's reconfiguration path).
+    pub fn reset(&mut self) {
+        self.claimed.clear();
+        self.pipelines.clear();
+    }
+}
+
+/// Sanity summary of the catalog inventory (used by `experiments table1`).
+pub fn inventory_summary() -> Vec<(PeKind, usize, f64)> {
+    let fabric = NodeFabric::new();
+    let _ = catalog();
+    PeKind::ALL
+        .iter()
+        .map(|&k| (k, fabric.instances(k), spec(k).area_kge))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Stage;
+
+    #[test]
+    fn standard_inventory_has_ten_mads() {
+        let f = NodeFabric::new();
+        assert_eq!(f.instances(PeKind::Bmul), 10);
+        assert_eq!(f.instances(PeKind::Dtw), 1);
+    }
+
+    #[test]
+    fn configure_claims_and_rejects_overcommit() {
+        let mut f = NodeFabric::new();
+        let p1 = Pipeline::from_stages(vec![Stage::new(PeKind::Dtw, 16)]);
+        f.configure(p1.clone()).unwrap();
+        assert_eq!(f.free_instances(PeKind::Dtw), 0);
+        let err = f.configure(p1).unwrap_err();
+        assert_eq!(err.pe, PeKind::Dtw);
+        assert_eq!(err.available, 0);
+    }
+
+    #[test]
+    fn mad_cluster_supports_replication() {
+        let mut f = NodeFabric::new();
+        // §3.2: <10 MAD operations are replicated across MAD PEs.
+        let p = Pipeline::from_stages(
+            (0..10).map(|_| Stage::new(PeKind::Bmul, 96)).collect(),
+        );
+        f.configure(p).unwrap();
+        assert_eq!(f.free_instances(PeKind::Bmul), 0);
+    }
+
+    #[test]
+    fn failed_configure_leaves_fabric_unchanged() {
+        let mut f = NodeFabric::new();
+        let too_many = Pipeline::from_stages(
+            (0..11).map(|_| Stage::new(PeKind::Bmul, 1)).collect(),
+        );
+        assert!(f.configure(too_many).is_err());
+        assert_eq!(f.free_instances(PeKind::Bmul), 10);
+        assert!(f.pipelines().is_empty());
+    }
+
+    #[test]
+    fn reset_frees_everything() {
+        let mut f = NodeFabric::new();
+        f.configure(Pipeline::from_stages(vec![Stage::new(PeKind::Fft, 96)]))
+            .unwrap();
+        f.reset();
+        assert_eq!(f.free_instances(PeKind::Fft), 1);
+    }
+
+    #[test]
+    fn leakage_floor_is_under_budget() {
+        let f = NodeFabric::new();
+        let floor_mw = f.leakage_floor_uw() / 1000.0;
+        assert!(floor_mw < 5.0, "leakage floor {floor_mw} mW");
+    }
+
+    #[test]
+    fn area_counts_inventory_multiplicity() {
+        let f = NodeFabric::new();
+        // 10 BMUL at 77 KGE each dominate.
+        assert!(f.total_area_kge() > 10.0 * 77.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! The per-implant hardware model: processing elements, clocks, fabric.
+//!
+//! SCALO's evaluation consumes each PE's synthesised characteristics —
+//! maximum frequency, leakage and per-electrode dynamic power, latency,
+//! and area (Table 1, 28 nm FD-SOI at the worst corner) — plus the GALS
+//! composition rules: every PE sits in its own clock domain with a
+//! programmable frequency divider, and programmable switches chain PEs
+//! into pipelines (Figure 2b). This crate encodes exactly that: the
+//! catalog ([`pe`]), the divider model ([`clock`]), pipeline composition
+//! ([`pipeline`]), the node fabric inventory ([`fabric`]), the ADC/DAC
+//! front end ([`adc`]), and per-implant power budgeting ([`budget`]).
+//!
+//! # Example
+//!
+//! ```
+//! use scalo_hw::pe::{spec, PeKind};
+//!
+//! let dtw = spec(PeKind::Dtw);
+//! assert_eq!(dtw.max_freq_mhz, 50.0);
+//! let p = dtw.power_uw(96); // all 96 electrodes
+//! assert!(p > 2000.0 && p < 3000.0);
+//! ```
+
+pub mod adc;
+pub mod budget;
+pub mod clock;
+pub mod fabric;
+pub mod pe;
+pub mod pipeline;
+pub mod placement;
+
+/// Electrodes per implant (96-electrode array, §5).
+pub const ELECTRODES_PER_NODE: usize = 96;
+
+/// ADC sample rate per electrode in Hz (§5).
+pub const SAMPLE_RATE_HZ: f64 = 30_000.0;
+
+/// Sample resolution in bits (§3).
+pub const SAMPLE_BITS: usize = 16;
+
+/// Neural-interfacing data rate of one electrode in Mbps.
+pub const MBPS_PER_ELECTRODE: f64 = SAMPLE_RATE_HZ * SAMPLE_BITS as f64 / 1e6;
+
+/// Data rate of a fully-populated node (96 electrodes ≈ 46 Mbps — the
+/// HALO headline rate the paper quotes).
+pub const MBPS_PER_NODE: f64 = MBPS_PER_ELECTRODE * ELECTRODES_PER_NODE as f64;

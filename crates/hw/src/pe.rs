@@ -1,0 +1,349 @@
+//! The PE catalog: Table 1 of the paper (latency and power of the PEs),
+//! with the functional names of Table 4.
+
+use crate::ELECTRODES_PER_NODE;
+use serde::{Deserialize, Serialize};
+
+/// Every processing element in a SCALO node (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeKind {
+    /// Matrix adder (LIN ALG).
+    Add,
+    /// AES encryption (external-radio path, from HALO).
+    Aes,
+    /// Butterworth band-pass filter.
+    Bbf,
+    /// Block matrix multiplier — the MAD unit of the LIN ALG cluster.
+    Bmul,
+    /// Hash collision check.
+    Ccheck,
+    /// Channel (signal) selection for broadcast.
+    Csel,
+    /// Packet decompression.
+    Dcomp,
+    /// Dynamic time warping.
+    Dtw,
+    /// Discrete wavelet transform.
+    Dwt,
+    /// Earth-Mover's-Distance hash.
+    Emdh,
+    /// Fast Fourier transform.
+    Fft,
+    /// Gate module buffering data between clock domains.
+    Gate,
+    /// Hash compression (dictionary + RLE + Elias-γ).
+    Hcomp,
+    /// Hash convolution (sliding dot products).
+    Hconv,
+    /// Hash frequency sorting.
+    Hfreq,
+    /// Matrix inverter (Gauss–Jordan).
+    Inv,
+    /// Linear integer coding (from HALO's compression suite).
+    Lic,
+    /// Lempel–Ziv compression (from HALO, for the external radio).
+    Lz,
+    /// Markov-chain predictor (from HALO).
+    Ma,
+    /// Non-linear energy operator.
+    Neo,
+    /// Hash n-gram generation + weighted min-hash.
+    Ngram,
+    /// Network packing (checksums + framing).
+    Npack,
+    /// Range coding (from HALO).
+    Rc,
+    /// Spike band power.
+    Sbp,
+    /// Storage controller.
+    Sc,
+    /// Matrix subtractor.
+    Sub,
+    /// Support vector machine.
+    Svm,
+    /// Threshold detector.
+    Thr,
+    /// Tokenizer.
+    Tok,
+    /// Network unpacking.
+    Unpack,
+    /// Pearson cross-correlation.
+    Xcor,
+}
+
+impl PeKind {
+    /// All PEs, in Table 1 order.
+    pub const ALL: [PeKind; 31] = [
+        PeKind::Add,
+        PeKind::Aes,
+        PeKind::Bbf,
+        PeKind::Bmul,
+        PeKind::Ccheck,
+        PeKind::Csel,
+        PeKind::Dcomp,
+        PeKind::Dtw,
+        PeKind::Dwt,
+        PeKind::Emdh,
+        PeKind::Fft,
+        PeKind::Gate,
+        PeKind::Hcomp,
+        PeKind::Hconv,
+        PeKind::Hfreq,
+        PeKind::Inv,
+        PeKind::Lic,
+        PeKind::Lz,
+        PeKind::Ma,
+        PeKind::Neo,
+        PeKind::Ngram,
+        PeKind::Npack,
+        PeKind::Rc,
+        PeKind::Sbp,
+        PeKind::Sc,
+        PeKind::Sub,
+        PeKind::Svm,
+        PeKind::Thr,
+        PeKind::Tok,
+        PeKind::Unpack,
+        PeKind::Xcor,
+    ];
+
+    /// The Table 1/Table 4 name.
+    pub fn name(self) -> &'static str {
+        spec(self).name
+    }
+
+    /// Whether this PE is one SCALO adds over HALO (LSH, collision check,
+    /// hash compression, linear algebra, channel select).
+    pub fn is_scalo_extension(self) -> bool {
+        matches!(
+            self,
+            PeKind::Add
+                | PeKind::Bmul
+                | PeKind::Ccheck
+                | PeKind::Csel
+                | PeKind::Dcomp
+                | PeKind::Emdh
+                | PeKind::Hcomp
+                | PeKind::Hconv
+                | PeKind::Hfreq
+                | PeKind::Inv
+                | PeKind::Ngram
+                | PeKind::Npack
+                | PeKind::Sub
+                | PeKind::Unpack
+        )
+    }
+}
+
+impl std::fmt::Display for PeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Latency behaviour of a PE (Table 1's latency column).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Latency {
+    /// Fixed window latency in milliseconds.
+    Fixed(f64),
+    /// Data-dependent (blank in Table 1) — the scheduler must use
+    /// worst-case bounds supplied per application.
+    DataDependent,
+    /// The SC PE: fast value when the NVM is available, slow when busy.
+    Storage {
+        /// Latency when the NVM is idle (ms).
+        available_ms: f64,
+        /// Latency when the NVM is busy (ms).
+        busy_ms: f64,
+    },
+}
+
+impl Latency {
+    /// The latency in milliseconds, taking the worst case for
+    /// data-dependent PEs (`worst_case_ms`) and the NVM-busy value for SC.
+    pub fn worst_ms(self, worst_case_ms: f64) -> f64 {
+        match self {
+            Latency::Fixed(ms) => ms,
+            Latency::DataDependent => worst_case_ms,
+            Latency::Storage { busy_ms, .. } => busy_ms,
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PeSpec {
+    /// Table name.
+    pub name: &'static str,
+    /// Maximum clock frequency in MHz.
+    pub max_freq_mhz: f64,
+    /// Logic leakage power in µW.
+    pub leakage_uw: f64,
+    /// SRAM leakage power in µW (the parenthesised column).
+    pub sram_leakage_uw: f64,
+    /// Dynamic power per electrode stream in µW ("Dyn/Elec").
+    pub dyn_per_electrode_uw: f64,
+    /// Processing latency for one window.
+    pub latency: Latency,
+    /// Area in thousands of gate equivalents.
+    pub area_kge: f64,
+}
+
+impl PeSpec {
+    /// Total power in µW when processing `electrodes` streams at the
+    /// standard data rate: leakage (logic + SRAM) is always paid while the
+    /// PE is on; dynamic power scales linearly with the number of streams
+    /// (equivalently, with the clock-divider setting that sustains them).
+    pub fn power_uw(&self, electrodes: usize) -> f64 {
+        self.leakage_uw + self.sram_leakage_uw + self.dyn_per_electrode_uw * electrodes as f64
+    }
+
+    /// Electrode streams this PE sustains at divider `k ≥ 1` (it is
+    /// designed to sustain the full array at its maximum frequency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn capacity_at_divider(&self, k: u32) -> usize {
+        assert!(k >= 1, "divider must be at least 1");
+        ELECTRODES_PER_NODE / k as usize
+    }
+
+    /// The smallest divider that still sustains `electrodes` streams, or
+    /// `None` if even `k = 1` cannot (more streams than the design point).
+    pub fn divider_for(&self, electrodes: usize) -> Option<u32> {
+        if electrodes == 0 {
+            return Some(u32::MAX.min(1_000_000)); // effectively gated off
+        }
+        if electrodes > ELECTRODES_PER_NODE {
+            return None;
+        }
+        Some((ELECTRODES_PER_NODE / electrodes) as u32)
+    }
+
+    /// Worst-corner energy per window in µJ for `electrodes` streams,
+    /// given the effective latency.
+    pub fn energy_per_window_uj(&self, electrodes: usize, worst_case_ms: f64) -> f64 {
+        self.power_uw(electrodes) * self.latency.worst_ms(worst_case_ms) / 1_000.0
+    }
+}
+
+/// Table 1, verbatim.
+const CATALOG: [PeSpec; 31] = [
+    PeSpec { name: "ADD", max_freq_mhz: 3.0, leakage_uw: 0.08, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.983, latency: Latency::Fixed(2.0), area_kge: 68.0 },
+    PeSpec { name: "AES", max_freq_mhz: 5.0, leakage_uw: 53.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.61, latency: Latency::DataDependent, area_kge: 55.0 },
+    PeSpec { name: "BBF", max_freq_mhz: 6.0, leakage_uw: 66.0, sram_leakage_uw: 19.88, dyn_per_electrode_uw: 0.35, latency: Latency::Fixed(4.0), area_kge: 23.0 },
+    PeSpec { name: "BMUL", max_freq_mhz: 3.0, leakage_uw: 145.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 1.544, latency: Latency::Fixed(2.0), area_kge: 77.0 },
+    PeSpec { name: "CCHECK", max_freq_mhz: 16.393, leakage_uw: 7.20, sram_leakage_uw: 0.88, dyn_per_electrode_uw: 0.14, latency: Latency::Fixed(0.50), area_kge: 3.0 },
+    PeSpec { name: "CSEL", max_freq_mhz: 0.1, leakage_uw: 4.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 6.0, latency: Latency::Fixed(0.04), area_kge: 2.0 },
+    PeSpec { name: "DCOMP", max_freq_mhz: 16.393, leakage_uw: 7.20, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.14, latency: Latency::Fixed(0.50), area_kge: 3.0 },
+    PeSpec { name: "DTW", max_freq_mhz: 50.0, leakage_uw: 167.93, sram_leakage_uw: 48.50, dyn_per_electrode_uw: 26.94, latency: Latency::Fixed(0.003), area_kge: 72.0 },
+    PeSpec { name: "DWT", max_freq_mhz: 3.0, leakage_uw: 4.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.02, latency: Latency::Fixed(4.0), area_kge: 2.0 },
+    PeSpec { name: "EMDH", max_freq_mhz: 0.03, leakage_uw: 10.47, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.0, latency: Latency::Fixed(0.04), area_kge: 9.0 },
+    PeSpec { name: "FFT", max_freq_mhz: 15.7, leakage_uw: 141.97, sram_leakage_uw: 85.58, dyn_per_electrode_uw: 9.02, latency: Latency::Fixed(4.0), area_kge: 22.0 },
+    PeSpec { name: "GATE", max_freq_mhz: 5.0, leakage_uw: 67.0, sram_leakage_uw: 34.37, dyn_per_electrode_uw: 0.63, latency: Latency::Fixed(0.0), area_kge: 17.0 },
+    PeSpec { name: "HCOMP", max_freq_mhz: 2.88, leakage_uw: 77.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.65, latency: Latency::Fixed(4.0), area_kge: 4.0 },
+    PeSpec { name: "HCONV", max_freq_mhz: 3.0, leakage_uw: 89.89, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.80, latency: Latency::Fixed(1.50), area_kge: 8.0 },
+    PeSpec { name: "HFREQ", max_freq_mhz: 2.88, leakage_uw: 61.98, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.52, latency: Latency::Fixed(4.0), area_kge: 6.0 },
+    PeSpec { name: "INV", max_freq_mhz: 41.0, leakage_uw: 0.267, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 11.875, latency: Latency::Fixed(30.0), area_kge: 167.0 },
+    PeSpec { name: "LIC", max_freq_mhz: 22.5, leakage_uw: 63.0, sram_leakage_uw: 6.0, dyn_per_electrode_uw: 3.26, latency: Latency::DataDependent, area_kge: 55.0 },
+    PeSpec { name: "LZ", max_freq_mhz: 129.0, leakage_uw: 150.0, sram_leakage_uw: 95.0, dyn_per_electrode_uw: 30.43, latency: Latency::DataDependent, area_kge: 55.0 },
+    PeSpec { name: "MA", max_freq_mhz: 92.0, leakage_uw: 194.0, sram_leakage_uw: 67.0, dyn_per_electrode_uw: 32.76, latency: Latency::DataDependent, area_kge: 55.0 },
+    PeSpec { name: "NEO", max_freq_mhz: 3.0, leakage_uw: 12.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.03, latency: Latency::Fixed(4.0), area_kge: 5.0 },
+    PeSpec { name: "NGRAM", max_freq_mhz: 0.2, leakage_uw: 15.69, sram_leakage_uw: 9.07, dyn_per_electrode_uw: 0.08, latency: Latency::Fixed(1.50), area_kge: 10.0 },
+    PeSpec { name: "NPACK", max_freq_mhz: 3.0, leakage_uw: 3.53, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 5.49, latency: Latency::Fixed(0.008), area_kge: 2.0 },
+    PeSpec { name: "RC", max_freq_mhz: 90.0, leakage_uw: 29.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 7.95, latency: Latency::DataDependent, area_kge: 55.0 },
+    PeSpec { name: "SBP", max_freq_mhz: 3.0, leakage_uw: 12.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.03, latency: Latency::Fixed(0.03), area_kge: 6.0 },
+    PeSpec { name: "SC", max_freq_mhz: 3.2, leakage_uw: 95.30, sram_leakage_uw: 64.49, dyn_per_electrode_uw: 1.64, latency: Latency::Storage { available_ms: 0.03, busy_ms: 4.0 }, area_kge: 12.0 },
+    PeSpec { name: "SUB", max_freq_mhz: 3.0, leakage_uw: 0.08, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.988, latency: Latency::Fixed(2.0), area_kge: 69.0 },
+    PeSpec { name: "SVM", max_freq_mhz: 3.0, leakage_uw: 99.0, sram_leakage_uw: 53.58, dyn_per_electrode_uw: 0.53, latency: Latency::Fixed(1.67), area_kge: 8.0 },
+    PeSpec { name: "THR", max_freq_mhz: 16.0, leakage_uw: 2.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.11, latency: Latency::Fixed(0.06), area_kge: 1.0 },
+    PeSpec { name: "TOK", max_freq_mhz: 6.0, leakage_uw: 5.57, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.14, latency: Latency::Fixed(0.001), area_kge: 3.0 },
+    PeSpec { name: "UNPACK", max_freq_mhz: 3.0, leakage_uw: 3.53, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 5.49, latency: Latency::Fixed(0.008), area_kge: 2.0 },
+    PeSpec { name: "XCOR", max_freq_mhz: 85.0, leakage_uw: 377.0, sram_leakage_uw: 306.88, dyn_per_electrode_uw: 44.11, latency: Latency::Fixed(4.0), area_kge: 81.0 },
+];
+
+/// The full PE catalog (Table 1 rows, in order).
+pub fn catalog() -> &'static [PeSpec; 31] {
+    &CATALOG
+}
+
+/// The Table 1 row for `kind`.
+pub fn spec(kind: PeKind) -> &'static PeSpec {
+    let idx = PeKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("PeKind::ALL covers every variant");
+    &CATALOG[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_and_kinds_align() {
+        for kind in PeKind::ALL {
+            assert_eq!(kind.name(), spec(kind).name);
+        }
+        assert_eq!(spec(PeKind::Dtw).name, "DTW");
+        assert_eq!(spec(PeKind::Xcor).area_kge, 81.0);
+    }
+
+    #[test]
+    fn table_values_spot_checks() {
+        assert_eq!(spec(PeKind::Fft).max_freq_mhz, 15.7);
+        assert_eq!(spec(PeKind::Svm).latency, Latency::Fixed(1.67));
+        assert_eq!(spec(PeKind::Inv).latency, Latency::Fixed(30.0));
+        assert_eq!(spec(PeKind::Emdh).dyn_per_electrode_uw, 0.0);
+        assert!(matches!(spec(PeKind::Lz).latency, Latency::DataDependent));
+        assert!(matches!(spec(PeKind::Sc).latency, Latency::Storage { .. }));
+    }
+
+    #[test]
+    fn power_is_linear_in_electrodes() {
+        let s = spec(PeKind::Dtw);
+        let p0 = s.power_uw(0);
+        let p96 = s.power_uw(96);
+        assert!((p0 - (167.93 + 48.50)).abs() < 1e-9);
+        assert!((p96 - p0 - 96.0 * 26.94).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divider_selection() {
+        let s = spec(PeKind::Fft);
+        assert_eq!(s.divider_for(96), Some(1));
+        assert_eq!(s.divider_for(48), Some(2));
+        assert_eq!(s.divider_for(1), Some(96));
+        assert_eq!(s.divider_for(97), None);
+        assert_eq!(s.capacity_at_divider(3), 32);
+    }
+
+    #[test]
+    fn worst_case_latency_resolution() {
+        assert_eq!(Latency::Fixed(2.0).worst_ms(99.0), 2.0);
+        assert_eq!(Latency::DataDependent.worst_ms(7.5), 7.5);
+        assert_eq!(
+            Latency::Storage { available_ms: 0.03, busy_ms: 4.0 }.worst_ms(0.0),
+            4.0
+        );
+    }
+
+    #[test]
+    fn all_pes_under_a_milliwatt_except_heavy_ones() {
+        // Sanity: the fabric's total leakage is small compared to 15 mW.
+        let total_leak: f64 = catalog()
+            .iter()
+            .map(|s| s.leakage_uw + s.sram_leakage_uw)
+            .sum();
+        assert!(total_leak < 3_500.0, "total leakage {total_leak} µW");
+    }
+
+    #[test]
+    fn scalo_extensions_are_flagged() {
+        assert!(PeKind::Ccheck.is_scalo_extension());
+        assert!(PeKind::Hconv.is_scalo_extension());
+        assert!(!PeKind::Fft.is_scalo_extension());
+        assert!(!PeKind::Xcor.is_scalo_extension());
+    }
+}

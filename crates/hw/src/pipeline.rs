@@ -1,0 +1,160 @@
+//! Pipeline composition over the PE catalog.
+//!
+//! A pipeline is an ordered chain of PE stages connected through the
+//! fabric's programmable switches. Latency adds along the chain; power
+//! adds across every active stage (plus one divider counter per PE).
+
+use crate::clock::DIVIDER_COUNTER_UW;
+use crate::pe::{spec, PeKind};
+use serde::{Deserialize, Serialize};
+
+/// One stage of a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Which PE runs this stage.
+    pub pe: PeKind,
+    /// Electrode streams processed by this stage.
+    pub electrodes: usize,
+    /// Worst-case latency in ms for data-dependent PEs (ignored for PEs
+    /// with fixed latency).
+    pub worst_case_ms: f64,
+}
+
+impl Stage {
+    /// A stage with no data-dependent latency bound.
+    pub fn new(pe: PeKind, electrodes: usize) -> Self {
+        Self {
+            pe,
+            electrodes,
+            worst_case_ms: 0.0,
+        }
+    }
+
+    /// A stage with a worst-case latency bound (for AES/LZ/LIC/MA/RC-style
+    /// PEs whose latency is data-dependent).
+    pub fn with_worst_case(pe: PeKind, electrodes: usize, worst_case_ms: f64) -> Self {
+        Self {
+            pe,
+            electrodes,
+            worst_case_ms,
+        }
+    }
+
+    /// Stage latency in ms.
+    pub fn latency_ms(&self) -> f64 {
+        spec(self.pe).latency.worst_ms(self.worst_case_ms)
+    }
+
+    /// Stage power in µW (PE + its divider counter).
+    pub fn power_uw(&self) -> f64 {
+        spec(self.pe).power_uw(self.electrodes) + DIVIDER_COUNTER_UW
+    }
+}
+
+/// An ordered chain of stages.
+///
+/// # Example
+///
+/// ```
+/// use scalo_hw::pe::PeKind;
+/// use scalo_hw::pipeline::{Pipeline, Stage};
+///
+/// // The seizure-detection front end: BBF → FFT → XCOR → SVM.
+/// let p = Pipeline::from_stages(vec![
+///     Stage::new(PeKind::Bbf, 96),
+///     Stage::new(PeKind::Fft, 96),
+///     Stage::new(PeKind::Xcor, 96),
+///     Stage::new(PeKind::Svm, 96),
+/// ]);
+/// assert!(p.latency_ms() < 15.0);
+/// assert!(p.power_mw() < 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pipeline {
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a pipeline from stages.
+    pub fn from_stages(stages: Vec<Stage>) -> Self {
+        Self { stages }
+    }
+
+    /// Appends a stage.
+    pub fn push(&mut self, stage: Stage) -> &mut Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// The stages in order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// End-to-end latency in ms (stages are chained, so latencies add).
+    pub fn latency_ms(&self) -> f64 {
+        self.stages.iter().map(Stage::latency_ms).sum()
+    }
+
+    /// Total pipeline power in µW.
+    pub fn power_uw(&self) -> f64 {
+        self.stages.iter().map(Stage::power_uw).sum()
+    }
+
+    /// Total pipeline power in mW.
+    pub fn power_mw(&self) -> f64 {
+        self.power_uw() / 1_000.0
+    }
+
+    /// PEs used by this pipeline (with multiplicity).
+    pub fn pes(&self) -> Vec<PeKind> {
+        self.stages.iter().map(|s| s.pe).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_power_add_across_stages() {
+        let mut p = Pipeline::new();
+        p.push(Stage::new(PeKind::Bbf, 96));
+        p.push(Stage::new(PeKind::Thr, 96));
+        assert!((p.latency_ms() - (4.0 + 0.06)).abs() < 1e-12);
+        let expected_uw =
+            spec(PeKind::Bbf).power_uw(96) + spec(PeKind::Thr).power_uw(96) + 2.0;
+        assert!((p.power_uw() - expected_uw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_applies_to_data_dependent_stages() {
+        let p = Pipeline::from_stages(vec![Stage::with_worst_case(PeKind::Lz, 96, 7.0)]);
+        assert_eq!(p.latency_ms(), 7.0);
+    }
+
+    #[test]
+    fn seizure_detection_pipeline_fits_budget() {
+        // Figure 5's local detection chain on all 96 electrodes.
+        let p = Pipeline::from_stages(vec![
+            Stage::new(PeKind::Bbf, 96),
+            Stage::new(PeKind::Fft, 96),
+            Stage::new(PeKind::Xcor, 96),
+            Stage::new(PeKind::Svm, 96),
+        ]);
+        assert!(p.power_mw() < 15.0, "power {}", p.power_mw());
+        assert!(p.latency_ms() < 16.0, "latency {}", p.latency_ms());
+    }
+
+    #[test]
+    fn empty_pipeline_is_free() {
+        let p = Pipeline::new();
+        assert_eq!(p.latency_ms(), 0.0);
+        assert_eq!(p.power_uw(), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Implant placement on the cortical surface (§5).
+//!
+//! "Assuming uniform and optimal distribution of implants on a
+//! hemispherical brain surface of 86 mm radius, up to 60 SCALO implants
+//! can be run at 15 mW each, with negligible thermal coupling" at the
+//! default 20 mm spacing. This module does that geometry: spherical-cap
+//! packing of implant sites and worst-case aggregate thermal coupling.
+
+use crate::budget::thermal_coupling_fraction;
+
+/// Hemisphere radius of the cortical surface, mm (§5).
+pub const BRAIN_RADIUS_MM: f64 = 86.0;
+
+/// Default inter-implant spacing, mm (§5).
+pub const DEFAULT_SPACING_MM: f64 = 20.0;
+
+/// Area of a hemisphere of radius `r`, mm².
+fn hemisphere_area_mm2(r: f64) -> f64 {
+    2.0 * std::f64::consts::PI * r * r
+}
+
+/// The maximum number of implants placeable on the hemispherical cortex
+/// with at least `spacing_mm` between neighbours.
+///
+/// Uses disc packing at the hexagonal-lattice density (the "optimal
+/// distribution" of §5): each implant exclusively claims a disc of
+/// radius `spacing/2`, and hexagonal packing covers `π/√12 ≈ 0.9069` of
+/// the surface.
+///
+/// # Panics
+///
+/// Panics if `spacing_mm` is not positive.
+pub fn max_implants(spacing_mm: f64) -> usize {
+    assert!(spacing_mm > 0.0, "spacing must be positive");
+    let disc_area = std::f64::consts::PI * (spacing_mm / 2.0) * (spacing_mm / 2.0);
+    let packing_density = std::f64::consts::PI / 12f64.sqrt();
+    (hemisphere_area_mm2(BRAIN_RADIUS_MM) * packing_density / disc_area).floor() as usize
+}
+
+/// Worst-case aggregate thermal coupling at one implant from `n − 1`
+/// neighbours arranged on a hexagonal lattice with the given spacing:
+/// the sum of coupling fractions over lattice shells (6 at d, 6 at √3·d,
+/// 6 at 2d, …), truncated to the available neighbour count.
+pub fn aggregate_coupling(n_implants: usize, spacing_mm: f64) -> f64 {
+    assert!(spacing_mm > 0.0, "spacing must be positive");
+    if n_implants <= 1 {
+        return 0.0;
+    }
+    let mut remaining = n_implants - 1;
+    let mut total = 0.0;
+    // Hexagonal lattice shells: ring k has 6k sites at distance ≥ k·d.
+    let mut k = 1usize;
+    while remaining > 0 && k < 64 {
+        let ring = (6 * k).min(remaining);
+        total += ring as f64 * thermal_coupling_fraction(k as f64 * spacing_mm);
+        remaining -= ring;
+        k += 1;
+    }
+    total
+}
+
+/// The effective per-implant power limit after derating for aggregate
+/// thermal coupling: `P · (1 − coupling)` clipped at zero. At the
+/// default spacing the derate is negligible — the §5 claim.
+pub fn derated_power_mw(base_mw: f64, n_implants: usize, spacing_mm: f64) -> f64 {
+    (base_mw * (1.0 - aggregate_coupling(n_implants, spacing_mm))).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_implants_fit_at_default_spacing() {
+        // §5: "up to 60 SCALO implants can be run at 15 mW each".
+        let n = max_implants(DEFAULT_SPACING_MM);
+        assert!((55..=145).contains(&n), "packing bound {n}");
+        assert!(n >= 60, "at least the paper's 60: {n}");
+    }
+
+    #[test]
+    fn tighter_spacing_fits_more() {
+        assert!(max_implants(10.0) > 3 * max_implants(20.0));
+    }
+
+    #[test]
+    fn coupling_is_negligible_at_default_spacing() {
+        // §5: negligible thermal coupling at 20 mm even with 60 implants.
+        let c = aggregate_coupling(60, DEFAULT_SPACING_MM);
+        assert!(c < 0.05, "aggregate coupling {c}");
+        let p = derated_power_mw(15.0, 60, DEFAULT_SPACING_MM);
+        assert!(p > 14.2, "derated power {p} mW");
+    }
+
+    #[test]
+    fn coupling_matters_when_packed_tightly() {
+        let close = aggregate_coupling(60, 5.0);
+        let far = aggregate_coupling(60, 20.0);
+        assert!(close > 10.0 * far, "{close} vs {far}");
+    }
+
+    #[test]
+    fn single_implant_has_no_coupling() {
+        assert_eq!(aggregate_coupling(1, 20.0), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Depth-first branch & bound over the LP relaxation.
+
+use crate::model::{Model, Sense, Solution};
+use crate::simplex::solve_lp;
+use crate::SolveError;
+
+const INT_TOL: f64 = 1e-6;
+const NODE_LIMIT: usize = 200_000;
+
+/// Solves `model` to MILP optimality: LP relaxation via simplex, branching
+/// on the most-fractional integer variable.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`] if no integral point exists,
+/// [`SolveError::Unbounded`] if the relaxation is unbounded, or
+/// [`SolveError::NodeLimit`] if the node budget is exhausted.
+pub fn solve_milp(model: &Model) -> Result<Solution, SolveError> {
+    let int_vars: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.integer)
+        .map(|(i, _)| i)
+        .collect();
+
+    let root = solve_lp(model, &[])?;
+    if int_vars.is_empty() || fractional_var(&root, &int_vars).is_none() {
+        return Ok(round_integrals(root, &int_vars));
+    }
+
+    let n = model.num_vars();
+    let mut best: Option<Solution> = None;
+    // Stack of cut-sets (DFS).
+    let mut stack: Vec<Vec<(Vec<f64>, Sense, f64)>> = vec![Vec::new()];
+    let mut nodes = 0usize;
+
+    while let Some(cuts) = stack.pop() {
+        nodes += 1;
+        if nodes > NODE_LIMIT {
+            return Err(SolveError::NodeLimit);
+        }
+        let sol = match solve_lp(model, &cuts) {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        if let Some(b) = &best {
+            if sol.objective <= b.objective + INT_TOL {
+                continue; // bound: relaxation can't beat the incumbent
+            }
+        }
+        match fractional_var(&sol, &int_vars) {
+            None => {
+                let sol = round_integrals(sol, &int_vars);
+                if best.as_ref().is_none_or(|b| sol.objective > b.objective) {
+                    best = Some(sol);
+                }
+            }
+            Some(var) => {
+                let v = sol.values()[var];
+                let mut unit = vec![0.0; n];
+                unit[var] = 1.0;
+                let mut down = cuts.clone();
+                down.push((unit.clone(), Sense::Le, v.floor()));
+                let mut up = cuts;
+                up.push((unit, Sense::Ge, v.ceil()));
+                // Explore the side nearer the fractional value first.
+                if v - v.floor() > 0.5 {
+                    stack.push(down);
+                    stack.push(up);
+                } else {
+                    stack.push(up);
+                    stack.push(down);
+                }
+            }
+        }
+    }
+
+    best.ok_or(SolveError::Infeasible)
+}
+
+/// Index of the most-fractional integer variable, or `None` if all are
+/// integral within tolerance.
+fn fractional_var(sol: &Solution, int_vars: &[usize]) -> Option<usize> {
+    int_vars
+        .iter()
+        .copied()
+        .filter_map(|i| {
+            let v = sol.values()[i];
+            let frac = (v - v.round()).abs();
+            (frac > INT_TOL).then_some((i, frac))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(i, _)| i)
+}
+
+/// Snaps near-integral values exactly onto integers.
+fn round_integrals(mut sol: Solution, int_vars: &[usize]) -> Solution {
+    for &i in int_vars {
+        sol.values[i] = sol.values[i].round();
+    }
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn knapsack_small() {
+        // max 8a + 11b + 6c + 4d, 5a + 7b + 4c + 3d <= 14, binary.
+        let mut m = Model::new();
+        let vals = [8.0, 11.0, 6.0, 4.0];
+        let wts = [5.0, 7.0, 4.0, 3.0];
+        let vars: Vec<_> = (0..4)
+            .map(|i| m.add_var(format!("x{i}"), 0.0, Some(1.0), true))
+            .collect();
+        let w: Vec<_> = vars.iter().zip(&wts).map(|(&v, &w)| (v, w)).collect();
+        m.add_constraint(m.expr(&w), Sense::Le, 14.0);
+        let o: Vec<_> = vars.iter().zip(&vals).map(|(&v, &c)| (v, c)).collect();
+        m.maximize(m.expr(&o));
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 21.0).abs() < 1e-6, "{sol:?}");
+        // Optimum picks b + c + d (weight 14, value 21).
+        assert!((sol.value(vars[1]) - 1.0).abs() < 1e-6);
+        assert!((sol.value(vars[2]) - 1.0).abs() < 1e-6);
+        assert!((sol.value(vars[3]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x, 2x <= 7, x integer  ->  3 (LP gives 3.5).
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, true);
+        m.add_constraint(m.expr(&[(x, 2.0)]), Sense::Le, 7.0);
+        m.maximize(m.expr(&[(x, 1.0)]));
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.value(x), 3.0);
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // max x + y, x + y <= 5.5, x integer, y continuous  ->  5.5.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, true);
+        let y = m.add_var("y", 0.0, None, false);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 1.0)]), Sense::Le, 5.5);
+        m.maximize(m.expr(&[(x, 1.0), (y, 1.0)]));
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 5.5).abs() < 1e-6);
+        assert!((sol.value(x) - sol.value(x).round()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 0.4 <= x <= 0.6, x integer: no integral point.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, true);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Sense::Ge, 0.4);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Sense::Le, 0.6);
+        m.maximize(m.expr(&[(x, 1.0)]));
+        assert_eq!(m.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn pure_lp_bypasses_branching() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, Some(2.5), false);
+        m.maximize(m.expr(&[(x, 4.0)]));
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 10.0).abs() < 1e-6);
+    }
+}

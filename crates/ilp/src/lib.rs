@@ -1,0 +1,62 @@
+//! An exact linear-programming / mixed-integer solver.
+//!
+//! SCALO schedules applications with an integer linear program (§3.5); the
+//! paper's artifact solves it with GLPK (`glpsol`). This crate provides the
+//! equivalent substrate in pure Rust: a dense two-phase primal simplex for
+//! LPs ([`simplex`]) and depth-first branch & bound for integrality
+//! ([`branch`]), behind a small model-builder API ([`model`]).
+//!
+//! The schedules SCALO solves are small (tens to a few hundreds of
+//! variables), so a dense tableau is the right tool: simple, exact, and
+//! fast enough to solve every experiment in this repository in milliseconds.
+//!
+//! # Example
+//!
+//! Maximise `3x + 2y` subject to `x + y ≤ 4`, `x + 3y ≤ 6`, `x, y ≥ 0`:
+//!
+//! ```
+//! use scalo_ilp::model::{Model, Sense};
+//!
+//! let mut m = Model::new();
+//! let x = m.add_var("x", 0.0, None, false);
+//! let y = m.add_var("y", 0.0, None, false);
+//! m.add_constraint(m.expr(&[(x, 1.0), (y, 1.0)]), Sense::Le, 4.0);
+//! m.add_constraint(m.expr(&[(x, 1.0), (y, 3.0)]), Sense::Le, 6.0);
+//! m.maximize(m.expr(&[(x, 3.0), (y, 2.0)]));
+//! let sol = m.solve().unwrap();
+//! assert!((sol.objective - 12.0).abs() < 1e-6);
+//! assert!((sol.value(x) - 4.0).abs() < 1e-6);
+//! ```
+
+pub mod branch;
+pub mod model;
+pub mod simplex;
+
+pub use model::{Model, Sense, Solution, VarId};
+
+/// Errors returned by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded above over the feasible region.
+    Unbounded,
+    /// The model has no objective set.
+    NoObjective,
+    /// Branch & bound exceeded its node budget (should not happen for
+    /// SCALO-sized models; indicates a degenerate formulation).
+    NodeLimit,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::NoObjective => write!(f, "no objective was set"),
+            SolveError::NodeLimit => write!(f, "branch-and-bound node limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

@@ -1,0 +1,207 @@
+//! Model-builder API: variables, linear expressions, constraints.
+
+use crate::{branch, SolveError};
+
+/// Handle to a decision variable in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Less-than-or-equal.
+    Le,
+    /// Equality.
+    Eq,
+    /// Greater-than-or-equal.
+    Ge,
+}
+
+/// A linear expression: a sum of `coefficient * variable` terms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    pub(crate) terms: Vec<(VarId, f64)>,
+}
+
+impl LinExpr {
+    /// The empty expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `coeff * var` to the expression (accumulating repeated vars).
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        self.terms.push((var, coeff));
+        self
+    }
+
+    /// The terms of the expression.
+    pub fn terms(&self) -> &[(VarId, f64)] {
+        &self.terms
+    }
+
+    /// Collapses duplicate variables into single coefficients, returning a
+    /// dense coefficient vector of length `n_vars`.
+    pub(crate) fn dense(&self, n_vars: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n_vars];
+        for &(VarId(i), c) in &self.terms {
+            out[i] += c;
+        }
+        out
+    }
+}
+
+impl FromIterator<(VarId, f64)> for LinExpr {
+    fn from_iter<I: IntoIterator<Item = (VarId, f64)>>(iter: I) -> Self {
+        Self {
+            terms: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Var {
+    pub(crate) name: String,
+    pub(crate) lower: f64,
+    pub(crate) upper: Option<f64>,
+    pub(crate) integer: bool,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) expr: LinExpr,
+    pub(crate) sense: Sense,
+    pub(crate) rhs: f64,
+}
+
+/// A linear (or mixed-integer linear) optimisation model.
+///
+/// All variables have a finite lower bound (commonly `0.0`) and an optional
+/// upper bound. The objective is always *maximised*; negate coefficients to
+/// minimise.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Var>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: Option<LinExpr>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` (`upper = None` for
+    /// unbounded above). `integer` requests integrality via branch & bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower` is not finite, or `upper < lower`.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: Option<f64>,
+        integer: bool,
+    ) -> VarId {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        if let Some(u) = upper {
+            assert!(u >= lower, "upper bound {u} below lower bound {lower}");
+        }
+        self.vars.push(Var {
+            name: name.into(),
+            lower,
+            upper,
+            integer,
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Number of variables in the model.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints in the model.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The name given to `var` at creation.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// Builds a [`LinExpr`] from `(var, coeff)` pairs.
+    pub fn expr(&self, terms: &[(VarId, f64)]) -> LinExpr {
+        terms.iter().copied().collect()
+    }
+
+    /// Adds the constraint `expr (sense) rhs`.
+    pub fn add_constraint(&mut self, expr: LinExpr, sense: Sense, rhs: f64) {
+        self.constraints.push(Constraint { expr, sense, rhs });
+    }
+
+    /// Sets the (maximisation) objective.
+    pub fn maximize(&mut self, expr: LinExpr) {
+        self.objective = Some(expr);
+    }
+
+    /// Solves the model: LP relaxation via two-phase simplex, then branch &
+    /// bound over any integer variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`],
+    /// [`SolveError::NoObjective`], or [`SolveError::NodeLimit`].
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        branch::solve_milp(self)
+    }
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal objective value.
+    pub objective: f64,
+    pub(crate) values: Vec<f64>,
+}
+
+impl Solution {
+    /// Value of `var` at the optimum.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// All variable values, indexed by creation order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_dense_accumulates_duplicates() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, false);
+        let e: LinExpr = [(x, 1.0), (x, 2.0)].into_iter().collect();
+        assert_eq!(e.dense(1), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below lower bound")]
+    fn inverted_bounds_panic() {
+        let mut m = Model::new();
+        m.add_var("x", 1.0, Some(0.0), false);
+    }
+
+    #[test]
+    fn no_objective_is_error() {
+        let m = Model::new();
+        assert_eq!(m.solve(), Err(SolveError::NoObjective));
+    }
+}

@@ -1,0 +1,363 @@
+//! Dense two-phase primal simplex.
+//!
+//! Works on a standard-form tableau derived from a [`Model`]:
+//! all variables are shifted to lower bound 0, upper bounds become rows, and
+//! phase 1 minimises artificial variables before phase 2 optimises the real
+//! objective. Dantzig pricing with a Bland's-rule fallback guards against
+//! cycling.
+
+use crate::model::{Model, Sense, Solution};
+use crate::SolveError;
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP relaxation of `model` (integrality flags ignored), with
+/// `extra` additional bound rows `(dense_coeffs_over_model_vars, sense, rhs)`
+/// — used by branch & bound to impose branching cuts.
+///
+/// # Errors
+///
+/// [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
+/// [`SolveError::NoObjective`].
+pub fn solve_lp(
+    model: &Model,
+    extra: &[(Vec<f64>, Sense, f64)],
+) -> Result<Solution, SolveError> {
+    let objective = model.objective.as_ref().ok_or(SolveError::NoObjective)?;
+    let n = model.vars.len();
+
+    // Shift variables to lower bound zero: x_i = y_i + l_i.
+    let lowers: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+
+    // Gather rows: user constraints, upper bounds, extra cuts.
+    let mut rows: Vec<(Vec<f64>, Sense, f64)> = Vec::new();
+    for c in &model.constraints {
+        let coeffs = c.expr.dense(n);
+        let shift: f64 = coeffs.iter().zip(&lowers).map(|(c, l)| c * l).sum();
+        rows.push((coeffs, c.sense, c.rhs - shift));
+    }
+    for (i, v) in model.vars.iter().enumerate() {
+        if let Some(u) = v.upper {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push((coeffs, Sense::Le, u - v.lower));
+        }
+    }
+    for (coeffs, sense, rhs) in extra {
+        let shift: f64 = coeffs.iter().zip(&lowers).map(|(c, l)| c * l).sum();
+        rows.push((coeffs.clone(), *sense, rhs - shift));
+    }
+
+    // Normalise to non-negative rhs.
+    for (coeffs, sense, rhs) in &mut rows {
+        if *rhs < 0.0 {
+            for c in coeffs.iter_mut() {
+                *c = -*c;
+            }
+            *rhs = -*rhs;
+            *sense = match *sense {
+                Sense::Le => Sense::Ge,
+                Sense::Ge => Sense::Le,
+                Sense::Eq => Sense::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural | slack/surplus | artificial | rhs].
+    let n_slack = rows
+        .iter()
+        .filter(|(_, s, _)| matches!(s, Sense::Le | Sense::Ge))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|(_, s, _)| matches!(s, Sense::Ge | Sense::Eq))
+        .count();
+    let total = n + n_slack + n_art;
+
+    let mut tab = vec![vec![0.0; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + n_slack;
+    let mut art_cols = Vec::with_capacity(n_art);
+
+    for (r, (coeffs, sense, rhs)) in rows.iter().enumerate() {
+        tab[r][..n].copy_from_slice(coeffs);
+        tab[r][total] = *rhs;
+        match sense {
+            Sense::Le => {
+                tab[r][slack_idx] = 1.0;
+                basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            Sense::Ge => {
+                tab[r][slack_idx] = -1.0;
+                slack_idx += 1;
+                tab[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_cols.push(art_idx);
+                art_idx += 1;
+            }
+            Sense::Eq => {
+                tab[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimise sum of artificials (as maximisation of -sum).
+    if !art_cols.is_empty() {
+        let mut cost = vec![0.0; total + 1];
+        for &c in &art_cols {
+            cost[c] = -1.0;
+        }
+        let mut z = build_reduced_costs(&tab, &basis, &cost, total);
+        run_simplex(&mut tab, &mut basis, &mut z, total)?;
+        // z[total] holds the *negated* phase-1 objective; a positive value
+        // means some artificial is still non-zero ⇒ infeasible.
+        if z[total] > 1e-6 {
+            return Err(SolveError::Infeasible);
+        }
+        // Pivot any artificial still in the basis out (degenerate rows).
+        for r in 0..m {
+            if art_cols.contains(&basis[r]) {
+                if let Some(col) = (0..n + n_slack).find(|&c| tab[r][c].abs() > EPS) {
+                    pivot(&mut tab, &mut basis, &mut z, r, col, total);
+                } // else: redundant row, harmless to leave.
+            }
+        }
+        // Forbid artificials from re-entering by zeroing their columns.
+        for row in tab.iter_mut() {
+            for &c in &art_cols {
+                row[c] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: maximise the real objective.
+    let obj_dense = objective.dense(n);
+    let mut cost = vec![0.0; total + 1];
+    cost[..n].copy_from_slice(&obj_dense);
+    let mut z = build_reduced_costs(&tab, &basis, &cost, total);
+    run_simplex(&mut tab, &mut basis, &mut z, total)?;
+
+    // Read out the solution, un-shifting lower bounds.
+    let mut values = lowers.clone();
+    for (r, &b) in basis.iter().enumerate() {
+        if b < n {
+            values[b] = lowers[b] + tab[r][total];
+        }
+    }
+    let objective_value: f64 = obj_dense
+        .iter()
+        .zip(&values)
+        .map(|(c, v)| c * v)
+        .sum();
+    Ok(Solution {
+        objective: objective_value,
+        values,
+    })
+}
+
+/// Builds the reduced-cost row `z_j - c_j` (negated so that a *positive*
+/// entry means "improves the maximisation"), with the current objective
+/// value in the rhs slot.
+fn build_reduced_costs(
+    tab: &[Vec<f64>],
+    basis: &[usize],
+    cost: &[f64],
+    total: usize,
+) -> Vec<f64> {
+    let mut z = vec![0.0; total + 1];
+    // z_j = c_j - sum_r c_basis[r] * tab[r][j]; store c_j - z-part so that
+    // z[j] > 0 indicates an improving column for maximisation.
+    for j in 0..=total {
+        let mut v = if j < cost.len() { cost[j] } else { 0.0 };
+        for (r, &b) in basis.iter().enumerate() {
+            let cb = if b < cost.len() { cost[b] } else { 0.0 };
+            v -= cb * tab[r][j];
+        }
+        z[j] = v;
+    }
+    // rhs slot: negative of current objective value.
+    z
+}
+
+fn pivot(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    z: &mut [f64],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
+    let piv = tab[row][col];
+    debug_assert!(piv.abs() > EPS, "pivot on ~zero element");
+    for j in 0..=total {
+        tab[row][j] /= piv;
+    }
+    for r in 0..tab.len() {
+        if r != row && tab[r][col].abs() > EPS {
+            let factor = tab[r][col];
+            for j in 0..=total {
+                tab[r][j] -= factor * tab[row][j];
+            }
+        }
+    }
+    if z[col].abs() > EPS {
+        let factor = z[col];
+        for j in 0..=total {
+            z[j] -= factor * tab[row][j];
+        }
+    }
+    basis[row] = col;
+}
+
+fn run_simplex(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    z: &mut [f64],
+    total: usize,
+) -> Result<(), SolveError> {
+    let m = tab.len();
+    let max_dantzig = 4 * (m + total) + 64;
+    let mut iters = 0usize;
+    loop {
+        // Entering column: Dantzig first, Bland after the budget.
+        let col = if iters < max_dantzig {
+            (0..total)
+                .filter(|&j| z[j] > 1e-7)
+                .max_by(|&a, &b| z[a].total_cmp(&z[b]))
+        } else {
+            (0..total).find(|&j| z[j] > 1e-7)
+        };
+        let Some(col) = col else {
+            return Ok(());
+        };
+        // Leaving row: min ratio, ties by smallest basis index (Bland).
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..m {
+            if tab[r][col] > EPS {
+                let ratio = tab[r][total] / tab[r][col];
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - EPS
+                            || (ratio < bratio + EPS && basis[r] < basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((row, _)) = best else {
+            return Err(SolveError::Unbounded);
+        };
+        pivot(tab, basis, z, row, col, total);
+        iters += 1;
+        if iters > 50_000 {
+            // Pathological cycling; treat as numeric failure ⇒ infeasible
+            // is wrong, so surface as unbounded-like error. For SCALO-sized
+            // models this is unreachable.
+            return Err(SolveError::NodeLimit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn basic_max_problem() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, false);
+        let y = m.add_var("y", 0.0, None, false);
+        m.add_constraint(m.expr(&[(x, 2.0), (y, 1.0)]), Sense::Le, 18.0);
+        m.add_constraint(m.expr(&[(x, 2.0), (y, 3.0)]), Sense::Le, 42.0);
+        m.add_constraint(m.expr(&[(x, 3.0), (y, 1.0)]), Sense::Le, 24.0);
+        m.maximize(m.expr(&[(x, 3.0), (y, 2.0)]));
+        let sol = solve_lp(&m, &[]).unwrap();
+        assert!((sol.objective - 33.0).abs() < 1e-6, "{sol:?}");
+        assert!((sol.value(x) - 3.0).abs() < 1e-6);
+        assert!((sol.value(y) - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // max x + y  s.t. x + y = 10, x >= 3, y >= 2  -> 10.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, false);
+        let y = m.add_var("y", 0.0, None, false);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 1.0)]), Sense::Eq, 10.0);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Sense::Ge, 3.0);
+        m.add_constraint(m.expr(&[(y, 1.0)]), Sense::Ge, 2.0);
+        m.maximize(m.expr(&[(x, 1.0), (y, 1.0)]));
+        let sol = solve_lp(&m, &[]).unwrap();
+        assert!((sol.objective - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, false);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Sense::Ge, 5.0);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Sense::Le, 2.0);
+        m.maximize(m.expr(&[(x, 1.0)]));
+        assert_eq!(solve_lp(&m, &[]), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, false);
+        m.maximize(m.expr(&[(x, 1.0)]));
+        assert_eq!(solve_lp(&m, &[]), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, Some(7.0), false);
+        m.maximize(m.expr(&[(x, 1.0)]));
+        let sol = solve_lp(&m, &[]).unwrap();
+        assert!((sol.objective - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_shifted() {
+        // max -x  s.t. x >= 4  ->  x = 4.
+        let mut m = Model::new();
+        let x = m.add_var("x", 4.0, Some(10.0), false);
+        m.maximize(m.expr(&[(x, -1.0)]));
+        let sol = solve_lp(&m, &[]).unwrap();
+        assert!((sol.value(x) - 4.0).abs() < 1e-6);
+        assert!((sol.objective + 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extra_rows_apply() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, Some(10.0), false);
+        m.maximize(m.expr(&[(x, 1.0)]));
+        let cut = (vec![1.0], Sense::Le, 3.5);
+        let sol = solve_lp(&m, &[cut]).unwrap();
+        assert!((sol.objective - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_redundant_rows() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, false);
+        let y = m.add_var("y", 0.0, None, false);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 1.0)]), Sense::Eq, 4.0);
+        m.add_constraint(m.expr(&[(x, 2.0), (y, 2.0)]), Sense::Eq, 8.0);
+        m.maximize(m.expr(&[(x, 1.0)]));
+        let sol = solve_lp(&m, &[]).unwrap();
+        assert!((sol.objective - 4.0).abs() < 1e-6);
+    }
+}

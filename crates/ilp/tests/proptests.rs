@@ -1,0 +1,100 @@
+//! Property-based solver validation: the MILP must match brute force on
+//! small knapsacks, and LP optima must be feasible and tight.
+
+use proptest::prelude::*;
+use scalo_ilp::{Model, Sense};
+
+/// Brute-force 0/1 knapsack optimum.
+fn brute_knapsack(values: &[f64], weights: &[f64], cap: f64) -> f64 {
+    let n = values.len();
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << n) {
+        let (mut v, mut w) = (0.0, 0.0);
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                v += values[i];
+                w += weights[i];
+            }
+        }
+        if w <= cap + 1e-9 {
+            best = best.max(v);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn milp_matches_brute_force_knapsack(
+        values in proptest::collection::vec(1.0f64..20.0, 2..8),
+        weights_raw in proptest::collection::vec(1.0f64..10.0, 8),
+        cap in 5.0f64..30.0,
+    ) {
+        let n = values.len();
+        let weights = &weights_raw[..n];
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), 0.0, Some(1.0), true))
+            .collect();
+        let w: Vec<_> = vars.iter().zip(weights).map(|(&v, &wt)| (v, wt)).collect();
+        m.add_constraint(m.expr(&w), Sense::Le, cap);
+        let o: Vec<_> = vars.iter().zip(&values).map(|(&v, &c)| (v, c)).collect();
+        m.maximize(m.expr(&o));
+        let sol = m.solve().expect("feasible knapsack");
+        let expected = brute_knapsack(&values, weights, cap);
+        prop_assert!((sol.objective - expected).abs() < 1e-6,
+            "solver {} vs brute force {expected}", sol.objective);
+        // The reported solution must itself be feasible and integral.
+        let mut used = 0.0;
+        for (i, &v) in vars.iter().enumerate() {
+            let x = sol.value(v);
+            prop_assert!((x - x.round()).abs() < 1e-6, "integral");
+            used += x * weights[i];
+        }
+        prop_assert!(used <= cap + 1e-6);
+    }
+
+    #[test]
+    fn lp_respects_bounds_and_constraints(
+        c in proptest::collection::vec(0.1f64..5.0, 3),
+        ub in proptest::collection::vec(1.0f64..20.0, 3),
+        cap in 5.0f64..40.0,
+    ) {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..3)
+            .map(|i| m.add_var(format!("x{i}"), 0.0, Some(ub[i]), false))
+            .collect();
+        let ones: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(m.expr(&ones), Sense::Le, cap);
+        let o: Vec<_> = vars.iter().zip(&c).map(|(&v, &cc)| (v, cc)).collect();
+        m.maximize(m.expr(&o));
+        let sol = m.solve().expect("bounded feasible");
+        let mut total = 0.0;
+        for (i, &v) in vars.iter().enumerate() {
+            let x = sol.value(v);
+            prop_assert!(x >= -1e-9 && x <= ub[i] + 1e-9);
+            total += x;
+        }
+        prop_assert!(total <= cap + 1e-6);
+        // Greedy-by-value structure: the optimum saturates either the cap
+        // or every upper bound.
+        let all_bounds: f64 = ub.iter().sum();
+        let expected_total = cap.min(all_bounds);
+        prop_assert!((total - expected_total).abs() < 1e-6,
+            "total {total} vs expected {expected_total}");
+    }
+
+    #[test]
+    fn equality_constraints_are_binding(target in 1.0f64..50.0) {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, false);
+        let y = m.add_var("y", 0.0, None, false);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 1.0)]), Sense::Eq, target);
+        m.maximize(m.expr(&[(x, 2.0), (y, 1.0)]));
+        let sol = m.solve().expect("feasible");
+        prop_assert!((sol.value(x) + sol.value(y) - target).abs() < 1e-6);
+        prop_assert!((sol.objective - 2.0 * target).abs() < 1e-6, "all mass on x");
+    }
+}

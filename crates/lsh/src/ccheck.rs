@@ -1,0 +1,187 @@
+//! Hash collision checking (the CCHECK PE).
+//!
+//! "When hashes are received by a node for matching, they are sent to the
+//! CCHECK PE that stores them in SRAM registers and sorts them in place.
+//! The PE reads local hashes up to a configurable past time (e.g., 100 ms)
+//! from the on-chip storage, and checks for matches with the received
+//! hashes using binary search" (§3.2).
+
+use crate::SignalHash;
+
+/// A local hash record: which electrode produced it and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRecord {
+    /// Producing electrode index on this node.
+    pub electrode: usize,
+    /// Timestamp in microseconds (node-local clock).
+    pub timestamp_us: u64,
+    /// The hash value.
+    pub hash: SignalHash,
+}
+
+/// A collision between a received hash and a local record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashMatch {
+    /// Index into the received batch.
+    pub received_index: usize,
+    /// The matching local record.
+    pub local: HashRecord,
+}
+
+/// The CCHECK PE: a bounded store of recent local hashes plus the sorted
+/// binary-search matcher for received batches.
+#[derive(Debug, Clone, Default)]
+pub struct CollisionChecker {
+    records: Vec<HashRecord>, // kept in insertion (time) order
+    capacity: usize,
+}
+
+impl CollisionChecker {
+    /// A checker whose SRAM holds at most `capacity` local records
+    /// (oldest evicted first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            records: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Number of records currently stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Stores a local hash, evicting the oldest record when full.
+    pub fn record(&mut self, electrode: usize, timestamp_us: u64, hash: SignalHash) {
+        if self.records.len() == self.capacity {
+            self.records.remove(0);
+        }
+        self.records.push(HashRecord {
+            electrode,
+            timestamp_us,
+            hash,
+        });
+    }
+
+    /// Matches a received hash batch against local records no older than
+    /// `horizon_us` before `now_us`. Returns every (received, local) pair
+    /// that collides.
+    ///
+    /// Mirrors the PE: the received batch is sorted in place (here, a
+    /// sorted copy) and each in-horizon local hash is located by binary
+    /// search — `O(R log R + L log R)`.
+    pub fn matches(
+        &self,
+        received: &[SignalHash],
+        now_us: u64,
+        horizon_us: u64,
+    ) -> Vec<HashMatch> {
+        let mut sorted: Vec<(usize, &SignalHash)> = received.iter().enumerate().collect();
+        sorted.sort_by(|a, b| a.1.cmp(b.1));
+        let cutoff = now_us.saturating_sub(horizon_us);
+        let mut out = Vec::new();
+        for rec in &self.records {
+            if rec.timestamp_us < cutoff || rec.timestamp_us > now_us {
+                continue;
+            }
+            // Binary search for the first equal hash, then scan duplicates.
+            let mut idx = sorted.partition_point(|(_, h)| **h < rec.hash);
+            while idx < sorted.len() && *sorted[idx].1 == rec.hash {
+                out.push(HashMatch {
+                    received_index: sorted[idx].0,
+                    local: rec.clone(),
+                });
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    /// Comparison count for a batch of `received` hashes against the
+    /// in-horizon records — the PE's latency proxy (`L·log₂R` searches).
+    pub fn comparison_cost(&self, received: usize, in_horizon: usize) -> usize {
+        if received == 0 {
+            return 0;
+        }
+        let log_r = usize::BITS as usize - received.leading_zeros() as usize;
+        in_horizon * log_r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(b: u8) -> SignalHash {
+        SignalHash(vec![b])
+    }
+
+    #[test]
+    fn finds_single_match_in_horizon() {
+        let mut cc = CollisionChecker::new(16);
+        cc.record(3, 1_000, h(0xAA));
+        cc.record(4, 2_000, h(0xBB));
+        let m = cc.matches(&[h(0xBB), h(0xCC)], 2_500, 100_000);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].received_index, 0);
+        assert_eq!(m[0].local.electrode, 4);
+    }
+
+    #[test]
+    fn old_records_are_outside_horizon() {
+        let mut cc = CollisionChecker::new(16);
+        cc.record(0, 1_000, h(0x11));
+        // Horizon 100 ms = 100_000 us; now = 200_000 → cutoff 100_000.
+        assert!(cc.matches(&[h(0x11)], 200_000, 100_000).is_empty());
+        // Generous horizon finds it.
+        assert_eq!(cc.matches(&[h(0x11)], 200_000, 300_000).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_received_hashes_all_match() {
+        let mut cc = CollisionChecker::new(16);
+        cc.record(1, 10, h(0x42));
+        let m = cc.matches(&[h(0x42), h(0x42)], 20, 1_000);
+        assert_eq!(m.len(), 2);
+        let mut idx: Vec<_> = m.iter().map(|x| x.received_index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut cc = CollisionChecker::new(2);
+        cc.record(0, 1, h(0x01));
+        cc.record(1, 2, h(0x02));
+        cc.record(2, 3, h(0x03));
+        assert_eq!(cc.len(), 2);
+        assert!(cc.matches(&[h(0x01)], 10, 100).is_empty(), "evicted");
+        assert_eq!(cc.matches(&[h(0x03)], 10, 100).len(), 1);
+    }
+
+    #[test]
+    fn multibyte_hashes_compare_fully() {
+        let mut cc = CollisionChecker::new(4);
+        cc.record(0, 1, SignalHash(vec![1, 2]));
+        assert!(cc.matches(&[SignalHash(vec![1, 3])], 5, 100).is_empty());
+        assert_eq!(cc.matches(&[SignalHash(vec![1, 2])], 5, 100).len(), 1);
+    }
+
+    #[test]
+    fn comparison_cost_scales_logarithmically() {
+        let cc = CollisionChecker::new(4);
+        assert_eq!(cc.comparison_cost(0, 100), 0);
+        assert!(cc.comparison_cost(1024, 100) <= 100 * 11);
+        assert!(cc.comparison_cost(1024, 100) > cc.comparison_cost(2, 100));
+    }
+}

@@ -1,0 +1,159 @@
+//! Hash configuration per similarity measure.
+
+use serde::{Deserialize, Serialize};
+
+/// The four signal-similarity measures SCALO hashes (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Measure {
+    /// Euclidean (L2) distance.
+    Euclidean,
+    /// Pearson cross-correlation.
+    Xcor,
+    /// Dynamic time warping distance.
+    Dtw,
+    /// Earth Mover's Distance.
+    Emd,
+}
+
+impl Measure {
+    /// All four measures, in the order the paper's figures list them.
+    pub const ALL: [Measure; 4] = [
+        Measure::Xcor,
+        Measure::Emd,
+        Measure::Dtw,
+        Measure::Euclidean,
+    ];
+}
+
+impl std::fmt::Display for Measure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Measure::Euclidean => "Euclidean",
+            Measure::Xcor => "XCOR",
+            Measure::Dtw => "DTW",
+            Measure::Emd => "EMD",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Configuration of the SSH-style hash pipeline.
+///
+/// The same PE family serves DTW, Euclidean and XCOR by varying these
+/// parameters (§3.2); EMD takes the separate [`crate::emd_hash`] path that
+/// shares only the HCONV dot product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HashConfig {
+    /// Sliding sketch-window length in samples (Figure 14 x-axis).
+    pub sketch_window: usize,
+    /// Stride of the sketch window.
+    pub sketch_stride: usize,
+    /// n-gram size over the bit sketch (Figure 14 y-axis).
+    pub ngram: usize,
+    /// Number of hash bytes in the output (8 projection bits per byte).
+    pub hash_bytes: usize,
+    /// Collision tolerance in sketch bits: two hashes "collide" when their
+    /// Hamming distance is at most this. A small tolerance biases the hash
+    /// toward false positives (resolved later by exact comparison, §6.5)
+    /// while keeping the CCHECK probe count fixed.
+    pub hamming_tolerance: u32,
+    /// Z-normalise the window before sketching (shift/scale invariance —
+    /// what makes the hash approximate *correlation* rather than distance).
+    pub normalize: bool,
+    /// Seed for the random projection vectors.
+    pub seed: u64,
+}
+
+impl HashConfig {
+    /// The per-measure configuration SCALO ships (the best points of the
+    /// Figure 14 design-space sweep for 120-sample windows).
+    pub fn for_measure(measure: Measure) -> Self {
+        match measure {
+            // DTW tolerates warping: short sketch windows + longer n-grams
+            // capture local shape while ignoring alignment.
+            Measure::Dtw => Self {
+                sketch_window: 16,
+                sketch_stride: 4,
+                ngram: 3,
+                hash_bytes: 1,
+                hamming_tolerance: 1,
+                normalize: false,
+                seed: 0x5ca1_0001,
+            },
+            // Euclidean is alignment-sensitive: non-overlapping windows,
+            // no pooling.
+            Measure::Euclidean => Self {
+                sketch_window: 12,
+                sketch_stride: 12,
+                ngram: 1,
+                hash_bytes: 1,
+                hamming_tolerance: 1,
+                normalize: false,
+                seed: 0x5ca1_0002,
+            },
+            // XCOR is Euclidean on z-normalised signals.
+            Measure::Xcor => Self {
+                sketch_window: 12,
+                sketch_stride: 12,
+                ngram: 1,
+                hash_bytes: 1,
+                hamming_tolerance: 1,
+                normalize: true,
+                seed: 0x5ca1_0003,
+            },
+            // EMD uses the EMDH path; this SSH config is the fallback when
+            // a caller insists on the SSH pipeline for EMD.
+            Measure::Emd => Self {
+                sketch_window: 24,
+                sketch_stride: 6,
+                ngram: 2,
+                hash_bytes: 1,
+                hamming_tolerance: 1,
+                normalize: false,
+                seed: 0x5ca1_0004,
+            },
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is degenerate (zero window/stride/ngram/bytes).
+    pub fn validate(&self) {
+        assert!(self.sketch_window > 0, "sketch window must be positive");
+        assert!(self.sketch_stride > 0, "sketch stride must be positive");
+        assert!(self.ngram > 0, "ngram must be positive");
+        assert!(self.hash_bytes > 0, "hash must have at least one byte");
+    }
+}
+
+impl Default for HashConfig {
+    fn default() -> Self {
+        Self::for_measure(Measure::Dtw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_measure_configs_are_valid() {
+        for m in Measure::ALL {
+            HashConfig::for_measure(m).validate();
+        }
+    }
+
+    #[test]
+    fn xcor_normalizes_dtw_does_not() {
+        assert!(HashConfig::for_measure(Measure::Xcor).normalize);
+        assert!(!HashConfig::for_measure(Measure::Dtw).normalize);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Measure::Dtw.to_string(), "DTW");
+        assert_eq!(Measure::Xcor.to_string(), "XCOR");
+    }
+}

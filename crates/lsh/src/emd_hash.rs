@@ -1,0 +1,211 @@
+//! The EMD hash (EMDH PE), after Gorisse et al.\[40\].
+//!
+//! The hash embeds a window into a short vector that is Lipschitz in the
+//! 1-D Earth Mover's Distance and buckets it. Because 1-D EMD equals the
+//! L1 distance between CDFs (equivalently, between quantile functions),
+//! we encode the *positions of a few CDF quantiles*, bucketed coarsely:
+//! windows at small EMD have near-identical quantile positions and land in
+//! the same or adjacent buckets; dissimilar windows scatter. The HCONV PE
+//! computes the cumulative mass, EMDH extracts and buckets the quantiles.
+//!
+//! Collision is field-wise with ±1 bucket tolerance — the same
+//! fixed-probe-count tolerant matching CCHECK uses for the SSH hash, and
+//! the same false-positive bias §6.5 describes.
+
+use crate::SignalHash;
+use scalo_signal::emd::signal_to_histogram;
+
+/// Number of quantile fields encoded in the hash.
+const QUANTILES: [f64; 3] = [0.25, 0.50, 0.75];
+
+/// Bits per packed quantile field.
+const FIELD_BITS: u32 = 5;
+
+/// A configured EMD hasher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmdHasher {
+    window: usize,
+    bucket_bins: f64,
+    tolerance: i32,
+}
+
+impl EmdHasher {
+    /// Creates an EMD hasher for windows of `window` samples.
+    ///
+    /// `bucket_bins` is the quantile-position bucket width in samples:
+    /// windows whose quantile positions differ by less than roughly one
+    /// bucket collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `bucket_bins` is not positive.
+    pub fn new(window: usize, bucket_bins: f64, _seed: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(bucket_bins > 0.0, "bucket width must be positive");
+        Self {
+            window,
+            bucket_bins,
+            tolerance: 1,
+        }
+    }
+
+    /// Window length this hasher expects.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Quantile-position buckets of a window (one per encoded quantile).
+    fn buckets(&self, signal: &[f64]) -> [u32; QUANTILES.len()] {
+        let hist = signal_to_histogram(signal);
+        let total: f64 = hist.iter().sum();
+        let mut out = [0u32; QUANTILES.len()];
+        let mut acc = 0.0;
+        let mut qi = 0;
+        for (i, &mass) in hist.iter().enumerate() {
+            acc += mass / total;
+            while qi < QUANTILES.len() && acc >= QUANTILES[qi] {
+                let bucket = (i as f64 / self.bucket_bins) as u32;
+                out[qi] = bucket.min((1 << FIELD_BITS) - 1);
+                qi += 1;
+            }
+        }
+        while qi < QUANTILES.len() {
+            out[qi] = (1 << FIELD_BITS) - 1;
+            qi += 1;
+        }
+        out
+    }
+
+    /// Hashes one signal window to a 2-byte packed quantile signature
+    /// (three 5-bit fields).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length differs from the configured one.
+    pub fn hash(&self, signal: &[f64]) -> SignalHash {
+        assert_eq!(
+            signal.len(),
+            self.window,
+            "EMD hash window length mismatch"
+        );
+        let b = self.buckets(signal);
+        let packed: u16 =
+            (b[0] as u16) | ((b[1] as u16) << FIELD_BITS) | ((b[2] as u16) << (2 * FIELD_BITS));
+        SignalHash(packed.to_le_bytes().to_vec())
+    }
+
+    /// Unpacks a hash produced by [`EmdHasher::hash`] into its quantile
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hash is not 2 bytes wide.
+    pub fn unpack(hash: &SignalHash) -> [u32; QUANTILES.len()] {
+        assert_eq!(hash.0.len(), 2, "EMD hash must be 2 bytes");
+        let packed = u16::from_le_bytes([hash.0[0], hash.0[1]]);
+        let mask = (1u16 << FIELD_BITS) - 1;
+        [
+            u32::from(packed & mask),
+            u32::from((packed >> FIELD_BITS) & mask),
+            u32::from((packed >> (2 * FIELD_BITS)) & mask),
+        ]
+    }
+
+    /// Whether two hashes collide: every quantile field within ±1 bucket.
+    pub fn hashes_collide(&self, a: &SignalHash, b: &SignalHash) -> bool {
+        let ba = Self::unpack(a);
+        let bb = Self::unpack(b);
+        ba.iter()
+            .zip(&bb)
+            .all(|(&x, &y)| (x as i32 - y as i32).abs() <= self.tolerance)
+    }
+
+    /// Whether two windows collide under this hash.
+    pub fn collide(&self, a: &[f64], b: &[f64]) -> bool {
+        self.hashes_collide(&self.hash(a), &self.hash(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use scalo_signal::emd::emd_signals;
+
+    fn random_signal(rng: &mut ChaCha8Rng, n: usize) -> Vec<f64> {
+        let f = 0.05 + rng.gen::<f64>() * 0.4;
+        let p = rng.gen::<f64>() * 6.28;
+        (0..n).map(|i| (i as f64 * f + p).sin()).collect()
+    }
+
+    #[test]
+    fn identical_signals_always_collide() {
+        let h = EmdHasher::new(120, 4.0, 3);
+        let sig: Vec<f64> = (0..120).map(|i| (i as f64 * 0.23).cos()).collect();
+        assert!(h.collide(&sig, &sig));
+    }
+
+    #[test]
+    fn collision_correlates_with_emd() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let h = EmdHasher::new(120, 4.0, 3);
+        let mut near_hits = 0;
+        let mut far_hits = 0;
+        let mut near_total = 0;
+        let mut far_total = 0;
+        for _ in 0..400 {
+            let a = random_signal(&mut rng, 120);
+            let b = random_signal(&mut rng, 120);
+            let d = emd_signals(&a, &b);
+            let collide = h.collide(&a, &b);
+            if d < 2.0 {
+                near_total += 1;
+                near_hits += usize::from(collide);
+            } else if d > 8.0 {
+                far_total += 1;
+                far_hits += usize::from(collide);
+            }
+        }
+        assert!(near_total > 5 && far_total > 5, "{near_total}/{far_total}");
+        let near_rate = near_hits as f64 / near_total as f64;
+        let far_rate = far_hits as f64 / far_total as f64;
+        assert!(
+            near_rate > far_rate + 0.2,
+            "near {near_rate:.2} vs far {far_rate:.2}"
+        );
+    }
+
+    #[test]
+    fn hash_is_two_bytes() {
+        let h = EmdHasher::new(120, 4.0, 9);
+        let sig: Vec<f64> = (0..120).map(|i| (i as f64 * 0.1).sin()).collect();
+        assert_eq!(h.hash(&sig).wire_bytes(), 2, "paper: hashes are 1–2 B");
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let h = EmdHasher::new(120, 4.0, 9);
+        let sig: Vec<f64> = (0..120).map(|i| (i as f64 * 0.31).sin()).collect();
+        let hash = h.hash(&sig);
+        let buckets = EmdHasher::unpack(&hash);
+        assert!(buckets.iter().all(|&b| b < 32));
+        // Quantiles are ordered, so buckets must be non-decreasing.
+        assert!(buckets[0] <= buckets[1] && buckets[1] <= buckets[2]);
+    }
+
+    #[test]
+    fn small_mass_shift_stays_within_tolerance() {
+        let h = EmdHasher::new(120, 4.0, 9);
+        let sig: Vec<f64> = (0..120).map(|i| (i as f64 * 0.2).sin()).collect();
+        let shifted: Vec<f64> = (0..120).map(|i| ((i as f64 + 1.0) * 0.2).sin()).collect();
+        assert!(h.collide(&sig, &shifted));
+    }
+
+    #[test]
+    #[should_panic(expected = "window length mismatch")]
+    fn wrong_window_panics() {
+        let h = EmdHasher::new(120, 4.0, 9);
+        let _ = h.hash(&[1.0; 60]);
+    }
+}

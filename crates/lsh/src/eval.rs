@@ -1,0 +1,312 @@
+//! Hash-vs-exact comparison accuracy (the Figure 11 experiment).
+//!
+//! For each measure we set a similarity threshold, decide each signal pair
+//! both exactly and by hash collision, and bin the disagreements by the
+//! pair's distance from the threshold. The paper reports <8.5% total error
+//! with errors concentrated near the threshold and biased toward false
+//! positives (which a later exact comparison resolves).
+
+use crate::config::{HashConfig, Measure};
+use crate::emd_hash::EmdHasher;
+use crate::ssh::SshHasher;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use scalo_signal::dtw::{dtw_distance, DtwParams};
+use scalo_signal::emd::emd_signals;
+use scalo_signal::stats::euclidean;
+use scalo_signal::xcor::pearson;
+
+/// A signal pair with its exact measure value.
+#[derive(Debug, Clone)]
+pub struct MeasuredPair {
+    /// First window.
+    pub a: Vec<f64>,
+    /// Second window.
+    pub b: Vec<f64>,
+    /// Exact measure value (distance, or correlation for XCOR).
+    pub exact: f64,
+}
+
+/// One bin of the Figure 11 histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBin {
+    /// Bin centre, in percent distance from the threshold (negative =
+    /// more similar than the threshold).
+    pub distance_pct: f64,
+    /// Fraction of pairs in this bin where hash and exact disagreed.
+    pub error_rate: f64,
+    /// Pairs in the bin.
+    pub count: usize,
+}
+
+/// Computes the exact measure value for a pair.
+pub fn exact_measure(measure: Measure, a: &[f64], b: &[f64]) -> f64 {
+    match measure {
+        Measure::Euclidean => euclidean(a, b),
+        Measure::Dtw => dtw_distance(a, b, DtwParams::default()),
+        Measure::Xcor => pearson(a, b),
+        Measure::Emd => emd_signals(a, b),
+    }
+}
+
+/// Whether the exact value means "similar" under `threshold` for this
+/// measure (correlation is a similarity, the others are distances).
+pub fn exact_similar(measure: Measure, exact: f64, threshold: f64) -> bool {
+    match measure {
+        Measure::Xcor => exact >= threshold,
+        _ => exact <= threshold,
+    }
+}
+
+/// Signed percent distance of `exact` from the threshold, oriented so that
+/// negative means "more similar than the threshold" for every measure.
+pub fn distance_from_threshold_pct(measure: Measure, exact: f64, threshold: f64) -> f64 {
+    let raw = (exact - threshold) / threshold.abs().max(1e-9) * 100.0;
+    match measure {
+        Measure::Xcor => -raw,
+        _ => raw,
+    }
+}
+
+/// A hash-based similarity decider for any measure.
+#[derive(Debug, Clone)]
+pub enum MeasureHasher {
+    /// SSH-pipeline hash (DTW / Euclidean / XCOR).
+    Ssh(SshHasher),
+    /// EMDH-pipeline hash.
+    Emd(EmdHasher),
+}
+
+impl MeasureHasher {
+    /// The hasher SCALO configures for `measure` over `window`-sample
+    /// signals.
+    pub fn for_measure(measure: Measure, window: usize) -> Self {
+        match measure {
+            Measure::Emd => MeasureHasher::Emd(EmdHasher::new(window, 4.0, 0x5ca1_0e0d)),
+            m => MeasureHasher::Ssh(SshHasher::new(HashConfig::for_measure(m))),
+        }
+    }
+
+    /// Hash-collision similarity decision.
+    pub fn similar(&self, a: &[f64], b: &[f64]) -> bool {
+        match self {
+            MeasureHasher::Ssh(h) => h.collide(a, b),
+            MeasureHasher::Emd(h) => h.collide(a, b),
+        }
+    }
+
+    /// Wire size of one hash under this hasher, in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            MeasureHasher::Ssh(h) => h.config().hash_bytes,
+            MeasureHasher::Emd(_) => 2,
+        }
+    }
+}
+
+/// Generates `n` signal pairs spanning the similarity spectrum for a
+/// 120-sample window: each pair is a smooth base signal plus a perturbed
+/// copy whose noise/warp amplitude sweeps from near-zero to dominant.
+pub fn generate_pairs(measure: Measure, n: usize, seed: u64) -> Vec<MeasuredPair> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let window = 120;
+    (0..n)
+        .map(|i| {
+            let f = 0.05 + rng.gen::<f64>() * 0.3;
+            let p = rng.gen::<f64>() * 6.28;
+            let base: Vec<f64> = (0..window + 8)
+                .map(|t| (t as f64 * f + p).sin() + 0.4 * (t as f64 * f * 2.3 + p).cos())
+                .collect();
+            // Perturbation strength sweeps across pairs.
+            let strength = (i as f64 + 0.5) / n as f64 * 2.0;
+            let shift = (rng.gen::<f64>() * 4.0 * strength) as usize;
+            let f2 = 0.05 + rng.gen::<f64>() * 0.3;
+            let p2 = rng.gen::<f64>() * 6.28;
+            let b: Vec<f64> = (0..window)
+                .map(|t| {
+                    let clean = base[t + shift];
+                    let other = (t as f64 * f2 + p2).sin();
+                    (1.0 - strength.min(1.0)) * clean
+                        + strength.min(1.0) * other
+                        + 0.05 * strength * (rng.gen::<f64>() - 0.5)
+                })
+                .collect();
+            let a = base[..window].to_vec();
+            let exact = exact_measure(measure, &a, &b);
+            MeasuredPair { a, b, exact }
+        })
+        .collect()
+}
+
+/// Runs the Figure 11 experiment: decides every pair by hash and exactly,
+/// and bins disagreements by percent distance from `threshold`.
+///
+/// `bin_width_pct` controls histogram resolution; bins span
+/// `[-limit_pct, +limit_pct]`.
+pub fn hash_error_histogram(
+    measure: Measure,
+    pairs: &[MeasuredPair],
+    threshold: f64,
+    bin_width_pct: f64,
+    limit_pct: f64,
+) -> Vec<ErrorBin> {
+    assert!(bin_width_pct > 0.0 && limit_pct > 0.0, "bad histogram params");
+    let hasher = MeasureHasher::for_measure(measure, 120);
+    let n_bins = (2.0 * limit_pct / bin_width_pct).round() as usize;
+    let mut errors = vec![0usize; n_bins];
+    let mut counts = vec![0usize; n_bins];
+    for pair in pairs {
+        let pct = distance_from_threshold_pct(measure, pair.exact, threshold);
+        if pct < -limit_pct || pct >= limit_pct {
+            continue;
+        }
+        let bin = ((pct + limit_pct) / bin_width_pct) as usize;
+        let bin = bin.min(n_bins - 1);
+        counts[bin] += 1;
+        let exact = exact_similar(measure, pair.exact, threshold);
+        let hashed = hasher.similar(&pair.a, &pair.b);
+        if exact != hashed {
+            errors[bin] += 1;
+        }
+    }
+    (0..n_bins)
+        .map(|i| ErrorBin {
+            distance_pct: -limit_pct + (i as f64 + 0.5) * bin_width_pct,
+            error_rate: if counts[i] == 0 {
+                0.0
+            } else {
+                errors[i] as f64 / counts[i] as f64
+            },
+            count: counts[i],
+        })
+        .collect()
+}
+
+/// Total error rate across all pairs (the paper's <8.5% headline).
+pub fn total_error_rate(measure: Measure, pairs: &[MeasuredPair], threshold: f64) -> f64 {
+    let hasher = MeasureHasher::for_measure(measure, 120);
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let errors = pairs
+        .iter()
+        .filter(|p| {
+            exact_similar(measure, p.exact, threshold) != hasher.similar(&p.a, &p.b)
+        })
+        .count();
+    errors as f64 / pairs.len() as f64
+}
+
+/// Picks the similarity threshold the hash is calibrated for: the exact
+/// value that minimises hash-vs-exact disagreement over a calibration
+/// set. The paper fixes a threshold and "configure\[s\] our hash
+/// generation functions for this threshold" (§6.5); calibrating the
+/// threshold to the hash's operating point is the same alignment run in
+/// the other direction.
+pub fn calibrated_threshold(measure: Measure, pairs: &[MeasuredPair]) -> f64 {
+    assert!(!pairs.is_empty(), "no pairs");
+    let hasher = MeasureHasher::for_measure(measure, 120);
+    let decisions: Vec<(f64, bool)> = pairs
+        .iter()
+        .map(|p| (p.exact, hasher.similar(&p.a, &p.b)))
+        .collect();
+    let mut candidates: Vec<f64> = decisions.iter().map(|d| d.0).collect();
+    candidates.sort_by(f64::total_cmp);
+    candidates
+        .iter()
+        .copied()
+        .min_by_key(|&t| {
+            decisions
+                .iter()
+                .filter(|&&(exact, collide)| exact_similar(measure, exact, t) != collide)
+                .count()
+        })
+        .expect("non-empty candidates")
+}
+
+/// Picks a threshold at the given quantile of the pairs' exact values —
+/// how the experiments calibrate thresholds per measure.
+pub fn threshold_at_quantile(pairs: &[MeasuredPair], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    assert!(!pairs.is_empty(), "no pairs");
+    let mut vals: Vec<f64> = pairs.iter().map(|p| p.exact).collect();
+    vals.sort_by(f64::total_cmp);
+    vals[((vals.len() - 1) as f64 * q) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_span_the_similarity_spectrum() {
+        let pairs = generate_pairs(Measure::Dtw, 200, 3);
+        let min = pairs.iter().map(|p| p.exact).fold(f64::INFINITY, f64::min);
+        let max = pairs.iter().map(|p| p.exact).fold(0.0, f64::max);
+        assert!(min < 1.0, "should contain very similar pairs, min={min}");
+        assert!(max > 5.0, "should contain dissimilar pairs, max={max}");
+    }
+
+    #[test]
+    fn errors_concentrate_near_threshold() {
+        let pairs = generate_pairs(Measure::Dtw, 600, 5);
+        let thr = threshold_at_quantile(&pairs, 0.5);
+        let bins = hash_error_histogram(Measure::Dtw, &pairs, thr, 20.0, 60.0);
+        let near: f64 = bins
+            .iter()
+            .filter(|b| b.distance_pct.abs() < 25.0)
+            .map(|b| b.error_rate)
+            .sum();
+        let far: f64 = bins
+            .iter()
+            .filter(|b| b.distance_pct.abs() > 45.0)
+            .map(|b| b.error_rate)
+            .sum();
+        assert!(near >= far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn total_error_is_bounded_for_all_measures() {
+        for measure in Measure::ALL {
+            let pairs = generate_pairs(measure, 400, 11);
+            let q = if measure == Measure::Xcor { 0.5 } else { 0.5 };
+            let thr = threshold_at_quantile(&pairs, q);
+            let err = total_error_rate(measure, &pairs, thr);
+            assert!(err < 0.35, "{measure}: total error {err}");
+        }
+    }
+
+    #[test]
+    fn xcor_orientation_is_flipped() {
+        // High correlation = similar; above-threshold exact ⇒ negative pct.
+        let pct = distance_from_threshold_pct(Measure::Xcor, 0.9, 0.5);
+        assert!(pct < 0.0);
+        let pct = distance_from_threshold_pct(Measure::Dtw, 0.9, 0.5);
+        assert!(pct > 0.0);
+    }
+
+    #[test]
+    fn calibrated_threshold_brings_errors_into_paper_band() {
+        // §6.5: total error < 8.5% once hash and threshold are aligned.
+        for measure in [Measure::Xcor, Measure::Euclidean] {
+            let pairs = generate_pairs(measure, 500, 77);
+            let thr = calibrated_threshold(measure, &pairs);
+            let err = total_error_rate(measure, &pairs, thr);
+            assert!(err < 0.12, "{measure}: total error {err}");
+        }
+        for measure in [Measure::Dtw, Measure::Emd] {
+            let pairs = generate_pairs(measure, 500, 78);
+            let thr = calibrated_threshold(measure, &pairs);
+            let err = total_error_rate(measure, &pairs, thr);
+            assert!(err < 0.25, "{measure}: total error {err}");
+        }
+    }
+
+    #[test]
+    fn quantile_threshold_is_monotone() {
+        let pairs = generate_pairs(Measure::Euclidean, 100, 9);
+        assert!(
+            threshold_at_quantile(&pairs, 0.2) <= threshold_at_quantile(&pairs, 0.8)
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Locality-sensitive hashing for fast neural-signal similarity.
+//!
+//! SCALO filters inter-implant communication with LSH (§2.4, §3.2): a
+//! seizure-positive node broadcasts 1–2 B *hashes* instead of 240 B signal
+//! windows; receivers check for collisions against locally stored hashes
+//! and only matching windows trigger the expensive exact comparison (DTW)
+//! and full-signal exchange.
+//!
+//! Three hardware PEs implement all supported hashes:
+//!
+//! * **HCONV** — sliding-window dot products with a random vector
+//!   ([`sketch`]), shared by the SSH-style hash and the EMD hash;
+//! * **NGRAM** — n-gram counting plus deterministic-latency weighted
+//!   min-hash ([`ngram`], [`minhash`]);
+//! * **EMDH** — square root + linear bucketing for the EMD hash
+//!   ([`emd_hash`]).
+//!
+//! The paper's discovery that one SSH-style PE family covers DTW,
+//! Euclidean, *and* cross-correlation by parameter choice alone is
+//! reproduced by [`config::HashConfig::for_measure`] and the parameter
+//! sweep in [`tuning`] (Figure 14).
+
+pub mod ccheck;
+pub mod config;
+pub mod emd_hash;
+pub mod eval;
+pub mod minhash;
+pub mod ngram;
+pub mod sketch;
+pub mod ssh;
+pub mod tuning;
+
+pub use config::{HashConfig, Measure};
+pub use ssh::SshHasher;
+
+/// A fixed-width hash of one signal window. SCALO uses "an 8-bit hash for
+/// a 4 ms signal" (§5); we keep the byte width configurable but default to
+/// one byte.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalHash(pub Vec<u8>);
+
+impl SignalHash {
+    /// Size of the hash on the wire, in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl SignalHash {
+    /// Hamming distance to another hash (bit-level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hashes differ in byte width.
+    pub fn hamming(&self, other: &SignalHash) -> u32 {
+        assert_eq!(self.0.len(), other.0.len(), "hash width mismatch");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// All hashes within Hamming distance `tolerance` of `self` (including
+    /// itself). This is the fixed probe set the CCHECK PE enumerates when
+    /// tolerant matching is configured — `1 + 8·bytes` probes for
+    /// `tolerance = 1`.
+    pub fn neighbors(&self, tolerance: u32) -> Vec<SignalHash> {
+        let mut out = vec![self.clone()];
+        if tolerance >= 1 {
+            for byte in 0..self.0.len() {
+                for bit in 0..8 {
+                    let mut v = self.0.clone();
+                    v[byte] ^= 1 << bit;
+                    out.push(SignalHash(v));
+                }
+            }
+        }
+        if tolerance >= 2 {
+            let singles: Vec<SignalHash> = out[1..].to_vec();
+            for s in singles {
+                for byte in 0..s.0.len() {
+                    for bit in 0..8 {
+                        let mut v = s.0.clone();
+                        v[byte] ^= 1 << bit;
+                        let cand = SignalHash(v);
+                        if !out.contains(&cand) {
+                            out.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl AsRef<[u8]> for SignalHash {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_counts_bits() {
+        let a = SignalHash(vec![0b1010_1010]);
+        let b = SignalHash(vec![0b1010_1000]);
+        assert_eq!(a.hamming(&b), 1);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn neighbor_count_for_tolerance_one() {
+        let a = SignalHash(vec![0x00]);
+        assert_eq!(a.neighbors(0).len(), 1);
+        assert_eq!(a.neighbors(1).len(), 9);
+    }
+
+    #[test]
+    fn neighbors_are_within_tolerance() {
+        let a = SignalHash(vec![0x5A, 0x3C]);
+        for n in a.neighbors(1) {
+            assert!(a.hamming(&n) <= 1);
+        }
+    }
+}

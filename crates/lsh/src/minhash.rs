@@ -1,0 +1,170 @@
+//! Weighted min-hash (the other half of the NGRAM PE).
+//!
+//! Prior SSH work selects the min-hash with a rejection-sampling step whose
+//! latency depends on the data; SCALO replaces it with a deterministic
+//! method based on consistent hashing (§3.2, citing Karger et al. \[54\]) so
+//! that PE latency and power stay fixed. Both are implemented here —
+//! [`rejection_minhash`] as the baseline and [`consistent_minhash`] as
+//! SCALO's PE — and a statistical test checks they estimate the same
+//! weighted-Jaccard collision probability.
+
+use std::collections::HashMap;
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer used as the PE's hash
+/// primitive.
+fn mix(seed: u64, value: u64) -> u64 {
+    let mut z = seed ^ value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash to a uniform float in the open interval (0, 1).
+fn uniform01(seed: u64, value: u64) -> f64 {
+    let bits = mix(seed, value) >> 11; // 53 bits
+    (bits as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// Classic weighted min-hash by sample expansion: token `t` with weight
+/// `w` contributes candidates `(t, 1), …, (t, w)`; the overall minimum
+/// hash picks the winner. Work is proportional to the *total weight* —
+/// the variable-latency behaviour SCALO designs away.
+///
+/// Returns the winning token, or `None` for an empty set.
+pub fn rejection_minhash(counts: &HashMap<u32, u32>, seed: u64) -> Option<u32> {
+    let mut best: Option<(u64, u32)> = None;
+    for (&token, &weight) in counts {
+        for rep in 0..weight {
+            let h = mix(seed, (u64::from(token) << 32) | u64::from(rep));
+            if best.is_none_or(|(bh, _)| h < bh) {
+                best = Some((h, token));
+            }
+        }
+    }
+    best.map(|(_, t)| t)
+}
+
+/// Deterministic-latency weighted min-hash via exponential clocks (the
+/// consistent-hashing construction): each *distinct* token gets score
+/// `-ln(u) / weight` and the minimum-score token wins. One hash per
+/// distinct token ⇒ latency is fixed by the sketch length, independent of
+/// the weights.
+///
+/// Returns the winning token, or `None` for an empty set.
+pub fn consistent_minhash(counts: &HashMap<u32, u32>, seed: u64) -> Option<u32> {
+    let mut best: Option<(f64, u32)> = None;
+    for (&token, &weight) in counts {
+        if weight == 0 {
+            continue;
+        }
+        let u = uniform01(seed, u64::from(token));
+        let score = -u.ln() / f64::from(weight);
+        if best.is_none_or(|(bs, bt)| score < bs || (score == bs && token < bt)) {
+            best = Some((score, token));
+        }
+    }
+    best.map(|(_, t)| t)
+}
+
+/// Number of hash evaluations each scheme performs — the latency proxy
+/// asserted by the determinism tests and the hardware model.
+pub fn hash_evaluations(counts: &HashMap<u32, u32>, deterministic: bool) -> usize {
+    if deterministic {
+        counts.len()
+    } else {
+        counts.values().map(|&w| w as usize).sum()
+    }
+}
+
+/// Derives `bytes` one-byte min-hash signatures from a weighted set by
+/// folding each winning token (under byte-specific seeds) to 8 bits.
+pub fn minhash_signature(counts: &HashMap<u32, u32>, seed: u64, bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| {
+            let s = mix(seed, i as u64);
+            match consistent_minhash(counts, s) {
+                Some(token) => (mix(s, u64::from(token)) & 0xff) as u8,
+                None => 0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngram::weighted_jaccard;
+
+    fn set_a() -> HashMap<u32, u32> {
+        HashMap::from([(1, 3), (2, 2), (3, 1)])
+    }
+
+    fn set_b() -> HashMap<u32, u32> {
+        HashMap::from([(1, 2), (2, 2), (4, 2)])
+    }
+
+    #[test]
+    fn consistent_minhash_collision_rate_matches_jaccard() {
+        let (a, b) = (set_a(), set_b());
+        let j = weighted_jaccard(&a, &b); // min(3,2)+min(2,2) / max… = 4/8
+        assert!((j - 0.5).abs() < 1e-12);
+        let trials = 4000;
+        let collisions = (0..trials)
+            .filter(|&s| consistent_minhash(&a, s) == consistent_minhash(&b, s))
+            .count();
+        let rate = collisions as f64 / trials as f64;
+        assert!((rate - j).abs() < 0.05, "rate {rate} vs jaccard {j}");
+    }
+
+    #[test]
+    fn rejection_minhash_collision_rate_matches_jaccard() {
+        let (a, b) = (set_a(), set_b());
+        let j = weighted_jaccard(&a, &b);
+        let trials = 4000;
+        let collisions = (0..trials)
+            .filter(|&s| rejection_minhash(&a, s) == rejection_minhash(&b, s))
+            .count();
+        let rate = collisions as f64 / trials as f64;
+        assert!((rate - j).abs() < 0.05, "rate {rate} vs jaccard {j}");
+    }
+
+    #[test]
+    fn deterministic_scheme_has_fixed_work() {
+        let a = HashMap::from([(1, 1000), (2, 2000)]);
+        assert_eq!(hash_evaluations(&a, true), 2);
+        assert_eq!(hash_evaluations(&a, false), 3000);
+    }
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let a = set_a();
+        for s in 0..100 {
+            assert_eq!(consistent_minhash(&a, s), consistent_minhash(&a.clone(), s));
+        }
+    }
+
+    #[test]
+    fn empty_set_yields_none() {
+        assert_eq!(consistent_minhash(&HashMap::new(), 1), None);
+        assert_eq!(rejection_minhash(&HashMap::new(), 1), None);
+    }
+
+    #[test]
+    fn signature_is_deterministic_and_sized() {
+        let a = set_a();
+        let s1 = minhash_signature(&a, 42, 2);
+        let s2 = minhash_signature(&a, 42, 2);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 2);
+    }
+
+    #[test]
+    fn weight_skew_biases_winner() {
+        // A token with overwhelming weight should win almost always.
+        let a = HashMap::from([(7, 10_000), (8, 1)]);
+        let wins = (0..500)
+            .filter(|&s| consistent_minhash(&a, s) == Some(7))
+            .count();
+        assert!(wins > 480, "{wins}/500");
+    }
+}

@@ -1,0 +1,103 @@
+//! n-gram extraction over bit sketches (half of the NGRAM PE).
+
+use std::collections::HashMap;
+
+/// Counts occurrences of every `n`-bit gram in `bits`, encoding each gram
+/// as the integer formed by its bits (MSB first).
+///
+/// Returns an empty map if the sketch is shorter than `n`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds 32 (grams are packed into `u32`).
+///
+/// # Example
+///
+/// ```
+/// use scalo_lsh::ngram::ngram_counts;
+///
+/// let bits = [true, false, true, false];
+/// let counts = ngram_counts(&bits, 2);
+/// assert_eq!(counts.get(&0b10), Some(&2)); // "10" appears twice
+/// assert_eq!(counts.get(&0b01), Some(&1));
+/// ```
+pub fn ngram_counts(bits: &[bool], n: usize) -> HashMap<u32, u32> {
+    assert!(n >= 1, "n-gram size must be positive");
+    assert!(n <= 32, "n-gram size must fit in u32");
+    let mut counts = HashMap::new();
+    if bits.len() < n {
+        return counts;
+    }
+    for win in bits.windows(n) {
+        let gram = win.iter().fold(0u32, |acc, &b| (acc << 1) | u32::from(b));
+        *counts.entry(gram).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Weighted-Jaccard similarity between two n-gram count maps:
+/// `Σ min(a, b) / Σ max(a, b)`. This is the quantity the weighted
+/// min-hash collision probability approximates.
+pub fn weighted_jaccard(a: &HashMap<u32, u32>, b: &HashMap<u32, u32>) -> f64 {
+    let mut min_sum = 0u64;
+    let mut max_sum = 0u64;
+    for (&g, &ca) in a {
+        let cb = b.get(&g).copied().unwrap_or(0);
+        min_sum += u64::from(ca.min(cb));
+        max_sum += u64::from(ca.max(cb));
+    }
+    for (&g, &cb) in b {
+        if !a.contains_key(&g) {
+            max_sum += u64::from(cb);
+        }
+    }
+    if max_sum == 0 {
+        return 0.0;
+    }
+    min_sum as f64 / max_sum as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_window_count() {
+        let bits = [true, true, false, true, false, false, true];
+        let counts = ngram_counts(&bits, 3);
+        let total: u32 = counts.values().sum();
+        assert_eq!(total as usize, bits.len() - 2);
+    }
+
+    #[test]
+    fn short_sketch_is_empty() {
+        assert!(ngram_counts(&[true], 2).is_empty());
+    }
+
+    #[test]
+    fn jaccard_of_identical_maps_is_one() {
+        let bits = [true, false, true, true, false];
+        let a = ngram_counts(&bits, 2);
+        assert!((weighted_jaccard(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_of_disjoint_maps_is_zero() {
+        let a = ngram_counts(&[true, true, true], 2); // only "11"
+        let b = ngram_counts(&[false, false, false], 2); // only "00"
+        assert_eq!(weighted_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric() {
+        let a = ngram_counts(&[true, false, true, false, true], 2);
+        let b = ngram_counts(&[true, true, false, false, true], 2);
+        assert!((weighted_jaccard(&a, &b) - weighted_jaccard(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_gram_panics() {
+        let _ = ngram_counts(&[true], 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Bit sketches via sliding-window random projection (the HCONV PE).
+//!
+//! Following SSH (Luo & Shrivastava \[71\]): slide a window of length `w`
+//! over the signal with stride `s`; each position's dot product with a
+//! fixed ±1 random vector yields one sketch bit (1 if positive).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The random ±1 projection vector plus sliding parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sketcher {
+    projection: Vec<f64>,
+    stride: usize,
+}
+
+impl Sketcher {
+    /// Creates a sketcher with a `window`-length ±1 projection drawn from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize, seed: u64) -> Self {
+        assert!(window > 0, "sketch window must be positive");
+        assert!(stride > 0, "sketch stride must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let projection = (0..window)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        Self { projection, stride }
+    }
+
+    /// Window length of the projection.
+    pub fn window(&self) -> usize {
+        self.projection.len()
+    }
+
+    /// Stride between sketch positions.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Computes the bit sketch of `signal`.
+    ///
+    /// Signals shorter than the window produce an empty sketch. The sketch
+    /// length is `floor((len - window) / stride) + 1`.
+    pub fn sketch(&self, signal: &[f64]) -> Vec<bool> {
+        let w = self.projection.len();
+        if signal.len() < w {
+            return Vec::new();
+        }
+        let mut bits = Vec::with_capacity((signal.len() - w) / self.stride + 1);
+        let mut pos = 0;
+        while pos + w <= signal.len() {
+            let dot: f64 = signal[pos..pos + w]
+                .iter()
+                .zip(&self.projection)
+                .map(|(&x, &r)| x * r)
+                .sum();
+            bits.push(dot > 0.0);
+            pos += self.stride;
+        }
+        bits
+    }
+
+    /// The raw dot-product sequence (shared with the EMD hash front end).
+    pub fn dot_products(&self, signal: &[f64]) -> Vec<f64> {
+        let w = self.projection.len();
+        if signal.len() < w {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos + w <= signal.len() {
+            out.push(
+                signal[pos..pos + w]
+                    .iter()
+                    .zip(&self.projection)
+                    .map(|(&x, &r)| x * r)
+                    .sum(),
+            );
+            pos += self.stride;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_length_formula() {
+        let s = Sketcher::new(16, 4, 1);
+        let sig = vec![0.5; 120];
+        assert_eq!(s.sketch(&sig).len(), (120 - 16) / 4 + 1);
+    }
+
+    #[test]
+    fn sketch_is_deterministic_per_seed() {
+        let sig: Vec<f64> = (0..120).map(|i| (i as f64 * 0.21).sin()).collect();
+        let a = Sketcher::new(16, 4, 7).sketch(&sig);
+        let b = Sketcher::new(16, 4, 7).sketch(&sig);
+        assert_eq!(a, b);
+        let c = Sketcher::new(16, 4, 8).sketch(&sig);
+        assert_ne!(a, c, "different seeds should give different sketches");
+    }
+
+    #[test]
+    fn short_signal_gives_empty_sketch() {
+        let s = Sketcher::new(16, 4, 1);
+        assert!(s.sketch(&[1.0, 2.0]).is_empty());
+    }
+
+    #[test]
+    fn negated_signal_flips_bits() {
+        let sig: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + 0.01).collect();
+        let neg: Vec<f64> = sig.iter().map(|&x| -x).collect();
+        let s = Sketcher::new(8, 2, 3);
+        let bits_pos = s.sketch(&sig);
+        let bits_neg = s.sketch(&neg);
+        assert_eq!(
+            bits_pos.iter().map(|b| !b).collect::<Vec<_>>(),
+            bits_neg,
+            "sketch of -x is the complement (no zero dot products here)"
+        );
+    }
+
+    #[test]
+    fn similar_signals_share_most_sketch_bits() {
+        let sig: Vec<f64> = (0..120).map(|i| (i as f64 * 0.2).sin()).collect();
+        let noisy: Vec<f64> = sig.iter().map(|&x| x + 0.02).collect();
+        let s = Sketcher::new(16, 4, 5);
+        let a = s.sketch(&sig);
+        let b = s.sketch(&noisy);
+        let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert!(agree as f64 / a.len() as f64 > 0.85, "{agree}/{}", a.len());
+    }
+}

@@ -1,0 +1,224 @@
+//! The end-to-end SSH-style signal hash (HCONV → NGRAM pipeline).
+
+use crate::config::HashConfig;
+use crate::minhash::minhash_signature;
+use crate::ngram::ngram_counts;
+use crate::sketch::Sketcher;
+use crate::SignalHash;
+use scalo_signal::stats::z_normalize;
+use std::collections::HashMap;
+
+/// A configured SSH-style hasher: random projection, n-gram counting, and
+/// deterministic weighted min-hash.
+///
+/// # Example
+///
+/// ```
+/// use scalo_lsh::{HashConfig, Measure, SshHasher};
+///
+/// let hasher = SshHasher::new(HashConfig::for_measure(Measure::Dtw));
+/// let signal: Vec<f64> = (0..120).map(|i| (i as f64 * 0.2).sin()).collect();
+/// let h1 = hasher.hash(&signal);
+/// let h2 = hasher.hash(&signal);
+/// assert_eq!(h1, h2, "hashing is deterministic");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SshHasher {
+    config: HashConfig,
+    sketcher: Sketcher,
+}
+
+impl SshHasher {
+    /// Builds a hasher for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (see
+    /// [`HashConfig::validate`]).
+    pub fn new(config: HashConfig) -> Self {
+        config.validate();
+        let sketcher = Sketcher::new(config.sketch_window, config.sketch_stride, config.seed);
+        Self { config, sketcher }
+    }
+
+    /// The configuration this hasher was built with.
+    pub fn config(&self) -> &HashConfig {
+        &self.config
+    }
+
+    /// The n-gram count map of a window (exposed for ablations/tests).
+    pub fn ngram_counts(&self, signal: &[f64]) -> HashMap<u32, u32> {
+        let owned;
+        let sig: &[f64] = if self.config.normalize {
+            owned = z_normalize(signal);
+            &owned
+        } else {
+            signal
+        };
+        let bits = self.sketcher.sketch(sig);
+        ngram_counts(&bits, self.config.ngram)
+    }
+
+    /// The pooled sketch bits of a window: each output bit is the majority
+    /// vote of `ngram` consecutive sketch bits. Pooling over overlapping
+    /// sketch windows is what buys warp tolerance — a small time shift
+    /// moves the bit sequence by a fraction of a pool, leaving majorities
+    /// unchanged.
+    pub fn pooled_bits(&self, signal: &[f64]) -> Vec<bool> {
+        let owned;
+        let sig: &[f64] = if self.config.normalize {
+            owned = z_normalize(signal);
+            &owned
+        } else {
+            signal
+        };
+        let bits = self.sketcher.sketch(sig);
+        let n = self.config.ngram;
+        if n <= 1 {
+            return bits;
+        }
+        bits.chunks(n)
+            .map(|chunk| chunk.iter().filter(|&&b| b).count() * 2 > chunk.len())
+            .collect()
+    }
+
+    /// Hashes one signal window.
+    ///
+    /// The hash packs `8 × hash_bytes` pooled sketch bits (evenly sampled
+    /// across the window, wrapping if the sketch is short). Similar windows
+    /// produce sketches that differ in at most a few bits, so their hashes
+    /// are within a small Hamming distance; [`SshHasher::collide`] compares
+    /// within the configured tolerance.
+    pub fn hash(&self, signal: &[f64]) -> SignalHash {
+        let pooled = self.pooled_bits(signal);
+        let n_bits = self.config.hash_bytes * 8;
+        let mut bytes = vec![0u8; self.config.hash_bytes];
+        if pooled.is_empty() {
+            return SignalHash(bytes);
+        }
+        for out_bit in 0..n_bits {
+            // Evenly spaced selection keeps the byte representative of the
+            // whole window regardless of sketch length.
+            let idx = if pooled.len() >= n_bits {
+                out_bit * pooled.len() / n_bits
+            } else {
+                out_bit % pooled.len()
+            };
+            if pooled[idx] {
+                bytes[out_bit / 8] |= 1 << (out_bit % 8);
+            }
+        }
+        SignalHash(bytes)
+    }
+
+    /// A min-hash signature of the window — the ablation path comparing
+    /// SCALO's deterministic weighted min-hash against the projection-bit
+    /// hash (both run on the NGRAM PE).
+    pub fn hash_minhash(&self, signal: &[f64]) -> SignalHash {
+        let counts = self.ngram_counts(signal);
+        SignalHash(minhash_signature(
+            &counts,
+            self.config.seed ^ 0xdead_beef,
+            self.config.hash_bytes,
+        ))
+    }
+
+    /// Whether two windows collide under this hash: Hamming distance at
+    /// most the configured tolerance. Tolerant matching keeps the hash
+    /// biased toward false positives (cheap to resolve by an exact
+    /// comparison) rather than false negatives (which delay detection).
+    pub fn collide(&self, a: &[f64], b: &[f64]) -> bool {
+        self.hash(a).hamming(&self.hash(b)) <= self.config.hamming_tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Measure;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn noisy_copy(sig: &[f64], noise: f64, rng: &mut ChaCha8Rng) -> Vec<f64> {
+        sig.iter().map(|&x| x + noise * (rng.gen::<f64>() - 0.5)).collect()
+    }
+
+    fn random_signal(rng: &mut ChaCha8Rng, n: usize) -> Vec<f64> {
+        // Smooth random signal: random phase/frequency sum of sines.
+        let f1 = 0.05 + rng.gen::<f64>() * 0.3;
+        let f2 = 0.05 + rng.gen::<f64>() * 0.3;
+        let p1 = rng.gen::<f64>() * 6.28;
+        let p2 = rng.gen::<f64>() * 6.28;
+        (0..n)
+            .map(|i| (i as f64 * f1 + p1).sin() + 0.5 * (i as f64 * f2 + p2).sin())
+            .collect()
+    }
+
+    #[test]
+    fn similar_signals_collide_more_than_dissimilar() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let hasher = SshHasher::new(HashConfig::for_measure(Measure::Dtw));
+        let trials = 200;
+        let mut similar_hits = 0;
+        let mut dissimilar_hits = 0;
+        for _ in 0..trials {
+            let a = random_signal(&mut rng, 120);
+            let near = noisy_copy(&a, 0.05, &mut rng);
+            let far = random_signal(&mut rng, 120);
+            if hasher.collide(&a, &near) {
+                similar_hits += 1;
+            }
+            if hasher.collide(&a, &far) {
+                dissimilar_hits += 1;
+            }
+        }
+        assert!(
+            similar_hits > 3 * dissimilar_hits.max(1),
+            "similar {similar_hits} vs dissimilar {dissimilar_hits}"
+        );
+        assert!(similar_hits as f64 / trials as f64 > 0.6, "{similar_hits}");
+    }
+
+    #[test]
+    fn xcor_hash_is_scale_and_offset_invariant() {
+        let hasher = SshHasher::new(HashConfig::for_measure(Measure::Xcor));
+        let sig: Vec<f64> = (0..120).map(|i| (i as f64 * 0.17).sin()).collect();
+        let scaled: Vec<f64> = sig.iter().map(|&x| 3.0 * x + 10.0).collect();
+        assert_eq!(hasher.hash(&sig), hasher.hash(&scaled));
+    }
+
+    #[test]
+    fn euclidean_hash_is_not_offset_invariant() {
+        let hasher = SshHasher::new(HashConfig::for_measure(Measure::Euclidean));
+        let sig: Vec<f64> = (0..120).map(|i| (i as f64 * 0.17).sin()).collect();
+        let shifted: Vec<f64> = sig.iter().map(|&x| x + 50.0).collect();
+        // A huge DC offset makes all dot products flip sign structure;
+        // the hash should (almost surely) change.
+        assert_ne!(hasher.hash(&sig), hasher.hash(&shifted));
+    }
+
+    #[test]
+    fn hash_fits_on_the_wire() {
+        let hasher = SshHasher::new(HashConfig::default());
+        let sig = vec![0.25; 120];
+        let h = hasher.hash(&sig);
+        assert_eq!(h.wire_bytes(), 1, "default hash is the paper's 1 B");
+    }
+
+    #[test]
+    fn dtw_hash_survives_small_time_shift() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let hasher = SshHasher::new(HashConfig::for_measure(Measure::Dtw));
+        let mut hits = 0;
+        let trials = 100;
+        for _ in 0..trials {
+            let base = random_signal(&mut rng, 128);
+            let a = &base[0..120];
+            let b = &base[2..122]; // 2-sample shift
+            if hasher.collide(a, b) {
+                hits += 1;
+            }
+        }
+        assert!(hits > trials / 2, "only {hits}/{trials} shifted collisions");
+    }
+}

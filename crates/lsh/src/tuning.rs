@@ -1,0 +1,173 @@
+//! LSH parameter design-space exploration (the Figure 14 experiment).
+//!
+//! Figure 14 sweeps sketch-window size × n-gram size and marks, per
+//! measure, the best configuration plus every configuration within 90% of
+//! the best true-positive rate — the flexibility that lets one PE family
+//! serve several measures.
+
+use crate::config::{HashConfig, Measure};
+use crate::eval::{exact_similar, generate_pairs, threshold_at_quantile, MeasuredPair};
+use crate::ssh::SshHasher;
+
+/// Quality of one (window, ngram) configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Sketch window size.
+    pub window: usize,
+    /// n-gram size.
+    pub ngram: usize,
+    /// True-positive rate: collision rate among exactly-similar pairs.
+    pub true_positive: f64,
+    /// False-positive rate: collision rate among exactly-dissimilar pairs.
+    pub false_positive: f64,
+}
+
+impl SweepPoint {
+    /// Youden-style score used to rank configurations.
+    pub fn score(&self) -> f64 {
+        self.true_positive - self.false_positive
+    }
+}
+
+/// Result of a full sweep for one measure.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The measure swept.
+    pub measure: Measure,
+    /// All evaluated points.
+    pub points: Vec<SweepPoint>,
+    /// Index (into `points`) of the best configuration.
+    pub best: usize,
+}
+
+impl SweepResult {
+    /// The best configuration found.
+    pub fn best_point(&self) -> SweepPoint {
+        self.points[self.best]
+    }
+
+    /// Every configuration whose score is within `fraction` (e.g. 0.9) of
+    /// the best point's — Figure 14's lighter-coloured cells.
+    pub fn within_of_best(&self, fraction: f64) -> Vec<SweepPoint> {
+        let best_score = self.points[self.best].score();
+        self.points
+            .iter()
+            .filter(|p| p.score() >= fraction * best_score)
+            .copied()
+            .collect()
+    }
+}
+
+/// Evaluates one (window, ngram) configuration against labelled pairs.
+pub fn evaluate_config(
+    measure: Measure,
+    window: usize,
+    ngram: usize,
+    pairs: &[MeasuredPair],
+    threshold: f64,
+) -> SweepPoint {
+    let base = HashConfig::for_measure(measure);
+    let config = HashConfig {
+        sketch_window: window,
+        sketch_stride: (window / 4).max(1),
+        ngram,
+        ..base
+    };
+    let hasher = SshHasher::new(config);
+    let mut tp = 0usize;
+    let mut pos = 0usize;
+    let mut fp = 0usize;
+    let mut neg = 0usize;
+    for p in pairs {
+        let similar = exact_similar(measure, p.exact, threshold);
+        let collide = hasher.collide(&p.a, &p.b);
+        if similar {
+            pos += 1;
+            tp += usize::from(collide);
+        } else {
+            neg += 1;
+            fp += usize::from(collide);
+        }
+    }
+    SweepPoint {
+        window,
+        ngram,
+        true_positive: if pos == 0 { 0.0 } else { tp as f64 / pos as f64 },
+        false_positive: if neg == 0 { 0.0 } else { fp as f64 / neg as f64 },
+    }
+}
+
+/// Default sweep grid: windows 8..=120 step 16, n-grams 1..=6 (the Figure
+/// 14 axes).
+pub fn default_grid() -> (Vec<usize>, Vec<usize>) {
+    ((8..=120).step_by(16).collect(), (1..=6).collect())
+}
+
+/// Runs the full sweep for `measure` with `n_pairs` synthetic pairs.
+pub fn sweep(measure: Measure, n_pairs: usize, seed: u64) -> SweepResult {
+    let pairs = generate_pairs(measure, n_pairs, seed);
+    let threshold = threshold_at_quantile(&pairs, 0.5);
+    let (windows, ngrams) = default_grid();
+    let mut points = Vec::new();
+    for &w in &windows {
+        for &n in &ngrams {
+            // n-grams longer than the sketch are vacuous; skip.
+            if n > 120 / (w / 4).max(1) {
+                continue;
+            }
+            points.push(evaluate_config(measure, w, n, &pairs, threshold));
+        }
+    }
+    let best = points
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.score().total_cmp(&b.1.score()))
+        .map(|(i, _)| i)
+        .expect("non-empty sweep");
+    SweepResult {
+        measure,
+        points,
+        best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_a_meaningful_best() {
+        let r = sweep(Measure::Dtw, 250, 21);
+        let best = r.best_point();
+        assert!(best.score() > 0.3, "best {best:?}");
+        assert!(best.true_positive > best.false_positive);
+    }
+
+    #[test]
+    fn multiple_configs_within_90_percent() {
+        // The Figure 14 observation: the hash is flexible — several
+        // (window, ngram) cells are near-optimal.
+        let r = sweep(Measure::Euclidean, 250, 22);
+        let good = r.within_of_best(0.9);
+        assert!(good.len() >= 2, "only {} near-optimal configs", good.len());
+    }
+
+    #[test]
+    fn different_measures_can_share_a_config() {
+        // Cross-measure flexibility: the DTW-best config must still score
+        // acceptably for Euclidean.
+        let dtw = sweep(Measure::Dtw, 250, 23);
+        let best = dtw.best_point();
+        let pairs = generate_pairs(Measure::Euclidean, 250, 24);
+        let thr = threshold_at_quantile(&pairs, 0.5);
+        let p = evaluate_config(Measure::Euclidean, best.window, best.ngram, &pairs, thr);
+        assert!(p.score() > 0.15, "cross-measure score {p:?}");
+    }
+
+    #[test]
+    fn grid_covers_paper_axes() {
+        let (ws, ns) = default_grid();
+        assert!(ws.contains(&8) && ws.contains(&120));
+        assert_eq!(ns, vec![1, 2, 3, 4, 5, 6]);
+    }
+}

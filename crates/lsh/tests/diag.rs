@@ -1,0 +1,73 @@
+//! Diagnostic harness for tuning hash parameters (run with --ignored).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use scalo_lsh::emd_hash::EmdHasher;
+use scalo_lsh::eval::{generate_pairs, threshold_at_quantile, total_error_rate};
+use scalo_lsh::{HashConfig, Measure, SshHasher};
+use scalo_signal::emd::emd_signals;
+
+fn random_signal(rng: &mut ChaCha8Rng, n: usize) -> Vec<f64> {
+    let f1 = 0.05 + rng.gen::<f64>() * 0.3;
+    let f2 = 0.05 + rng.gen::<f64>() * 0.3;
+    let p1 = rng.gen::<f64>() * 6.28;
+    let p2 = rng.gen::<f64>() * 6.28;
+    (0..n)
+        .map(|i| (i as f64 * f1 + p1).sin() + 0.5 * (i as f64 * f2 + p2).sin())
+        .collect()
+}
+
+#[test]
+#[ignore = "diagnostic only"]
+fn diag_ssh_rates() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for m in [Measure::Dtw, Measure::Euclidean, Measure::Xcor] {
+        let hasher = SshHasher::new(HashConfig::for_measure(m));
+        let mut sim = 0;
+        let mut dis = 0;
+        let trials = 300;
+        for _ in 0..trials {
+            let a = random_signal(&mut rng, 120);
+            let near: Vec<f64> = a.iter().map(|&x| x + 0.05 * (rng.gen::<f64>() - 0.5)).collect();
+            let far = random_signal(&mut rng, 120);
+            sim += usize::from(hasher.collide(&a, &near));
+            dis += usize::from(hasher.collide(&a, &far));
+        }
+        println!("{m}: similar {sim}/{trials}  dissimilar {dis}/{trials}");
+    }
+}
+
+#[test]
+#[ignore = "diagnostic only"]
+fn diag_emd_rates() {
+    for bucket in [0.5, 1.0, 2.0, 3.0, 5.0, 8.0] {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let h = EmdHasher::new(120, bucket, 3);
+        let (mut nh, mut fh, mut nt, mut ft) = (0, 0, 0, 0);
+        for _ in 0..600 {
+            let a = random_signal(&mut rng, 120);
+            let b = random_signal(&mut rng, 120);
+            let d = emd_signals(&a, &b);
+            let c = h.collide(&a, &b);
+            if d < 2.0 {
+                nt += 1;
+                nh += usize::from(c);
+            } else if d > 8.0 {
+                ft += 1;
+                fh += usize::from(c);
+            }
+        }
+        println!("bucket {bucket}: near {nh}/{nt}  far {fh}/{ft}");
+    }
+}
+
+#[test]
+#[ignore = "diagnostic only"]
+fn diag_total_error() {
+    for m in Measure::ALL {
+        let pairs = generate_pairs(m, 400, 11);
+        let thr = threshold_at_quantile(&pairs, 0.5);
+        let err = total_error_rate(m, &pairs, thr);
+        println!("{m}: threshold {thr:.3} total error {err:.3}");
+    }
+}

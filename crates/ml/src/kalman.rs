@@ -1,0 +1,296 @@
+//! Kalman-filter movement decoding (movement-intent pipeline B, Figure 6b).
+//!
+//! The formulation follows Wu et al. (NeurIPS 2002), the paper's citation
+//! \[162\]: kinematics `x` (e.g. position + velocity) evolve as
+//! `x_t = A·x_{t-1} + w`, and neural features `z` (spike-band power per
+//! electrode) observe them as `z_t = H·x_t + q`. The measurement update
+//! inverts `(H·P⁻·Hᵀ + Q)` — an *observation-dimension* matrix, which for
+//! hundreds of electrodes is why SCALO centralises the filter on one
+//! implant and streams the inversion through the NVM (§3.1, §4).
+
+use crate::matrix::{Matrix, SingularMatrixError};
+
+/// Model matrices for a neural-decoding Kalman filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KalmanModel {
+    /// State transition (state × state).
+    pub a: Matrix,
+    /// Process noise covariance (state × state).
+    pub w: Matrix,
+    /// Observation matrix (obs × state).
+    pub h: Matrix,
+    /// Observation noise covariance (obs × obs).
+    pub q: Matrix,
+}
+
+impl KalmanModel {
+    /// Validates dimensions and constructs the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent dimensions.
+    pub fn new(a: Matrix, w: Matrix, h: Matrix, q: Matrix) -> Self {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "A must be square");
+        assert_eq!((w.rows(), w.cols()), (n, n), "W must be state × state");
+        assert_eq!(h.cols(), n, "H must be obs × state");
+        let m = h.rows();
+        assert_eq!((q.rows(), q.cols()), (m, m), "Q must be obs × obs");
+        Self { a, w, h, q }
+    }
+
+    /// State dimension.
+    pub fn state_dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Observation dimension (number of electrode features).
+    pub fn obs_dim(&self) -> usize {
+        self.h.rows()
+    }
+}
+
+/// A running Kalman filter: model plus `(x, P)` state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KalmanFilter {
+    model: KalmanModel,
+    x: Matrix,
+    p: Matrix,
+}
+
+impl KalmanFilter {
+    /// Starts a filter at state zero with identity covariance.
+    pub fn new(model: KalmanModel) -> Self {
+        let n = model.state_dim();
+        Self {
+            model,
+            x: Matrix::zeros(n, 1),
+            p: Matrix::identity(n),
+        }
+    }
+
+    /// Current state estimate.
+    pub fn state(&self) -> Vec<f64> {
+        self.x.as_slice().to_vec()
+    }
+
+    /// Current estimate covariance.
+    pub fn covariance(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// The model this filter runs.
+    pub fn model(&self) -> &KalmanModel {
+        &self.model
+    }
+
+    /// Resets to state zero / identity covariance.
+    pub fn reset(&mut self) {
+        let n = self.model.state_dim();
+        self.x = Matrix::zeros(n, 1);
+        self.p = Matrix::identity(n);
+    }
+
+    /// One predict + update step on observation `z`, returning the new
+    /// state estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the innovation covariance is
+    /// singular (degenerate `Q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != obs_dim()`.
+    pub fn step(&mut self, z: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+        assert_eq!(z.len(), self.model.obs_dim(), "observation length");
+        let KalmanModel { a, w, h, q } = &self.model;
+
+        // Predict.
+        let x_pred = a.mul(&self.x);
+        let p_pred = a.mul(&self.p).mul(&a.transpose()).add(w);
+
+        // Innovation covariance S = H P⁻ Hᵀ + Q — the big inversion.
+        let s = h.mul(&p_pred).mul(&h.transpose()).add(q);
+        let s_inv = s.inverse()?;
+
+        // Gain, update.
+        let k = p_pred.mul(&h.transpose()).mul(&s_inv);
+        let innovation = Matrix::column(z).sub(&h.mul(&x_pred));
+        self.x = x_pred.add(&k.mul(&innovation));
+        let n = self.model.state_dim();
+        self.p = Matrix::identity(n).sub(&k.mul(h)).mul(&p_pred);
+        Ok(self.state())
+    }
+
+    /// Size in bytes of the matrix the update step must invert — the
+    /// operand the paper says "is too big to fit in the PE memory" for
+    /// realistic electrode counts (§4), charged against NVM bandwidth by
+    /// the scheduler.
+    pub fn inversion_bytes(&self) -> usize {
+        let m = self.model.obs_dim();
+        m * m * 2 // 16-bit fixed-point entries
+    }
+}
+
+/// Fits `A, W, H, Q` from paired kinematics/features trajectories by least
+/// squares (the standard Wu et al. training recipe). Adequate for tests and
+/// examples; clinical SCALO deployments train offline.
+///
+/// `states[t]` and `observations[t]` are aligned in time.
+///
+/// # Panics
+///
+/// Panics if fewer than 3 time steps, or lengths/dimensions disagree.
+pub fn fit_kalman(states: &[Vec<f64>], observations: &[Vec<f64>]) -> KalmanModel {
+    assert!(states.len() >= 3, "need at least 3 time steps");
+    assert_eq!(states.len(), observations.len(), "length mismatch");
+    let n = states[0].len();
+    let m = observations[0].len();
+    let t = states.len();
+
+    // Stack X1 = states[0..t-1], X2 = states[1..t] as n × (t-1).
+    let x1 = stack_cols(&states[..t - 1], n);
+    let x2 = stack_cols(&states[1..], n);
+    let x_all = stack_cols(states, n);
+    let z_all = stack_cols(observations, m);
+
+    // A = X2 X1ᵀ (X1 X1ᵀ)⁻¹ ; H = Z Xᵀ (X Xᵀ)⁻¹ (ridge-regularised).
+    let a = regress(&x2, &x1);
+    let h = regress(&z_all, &x_all);
+
+    // Residual covariances.
+    let resid_a = x2.sub(&a.mul(&x1));
+    let w = resid_a.mul(&resid_a.transpose()).scale(1.0 / (t - 1) as f64);
+    let resid_h = z_all.sub(&h.mul(&x_all));
+    let mut q = resid_h.mul(&resid_h.transpose()).scale(1.0 / t as f64);
+    // Regularise Q so the innovation covariance stays invertible.
+    for i in 0..m {
+        q.set(i, i, q.get(i, i) + 1e-6);
+    }
+    KalmanModel::new(a, w, h, q)
+}
+
+fn stack_cols(rows: &[Vec<f64>], dim: usize) -> Matrix {
+    let mut m = Matrix::zeros(dim, rows.len());
+    for (c, v) in rows.iter().enumerate() {
+        assert_eq!(v.len(), dim, "dimension mismatch at step {c}");
+        for (r, &val) in v.iter().enumerate() {
+            m.set(r, c, val);
+        }
+    }
+    m
+}
+
+/// Ridge regression `Y Xᵀ (X Xᵀ + εI)⁻¹`.
+fn regress(y: &Matrix, x: &Matrix) -> Matrix {
+    let xt = x.transpose();
+    let mut gram = x.mul(&xt);
+    for i in 0..gram.rows() {
+        gram.set(i, i, gram.get(i, i) + 1e-9);
+    }
+    let inv = gram.inverse().expect("regularised Gram matrix is invertible");
+    y.mul(&xt).mul(&inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny 1-D constant-velocity world observed through 3 noiseless
+    /// linear sensors.
+    fn toy_model() -> KalmanModel {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]); // pos += vel
+        let w = Matrix::identity(2).scale(1e-4);
+        let h = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let q = Matrix::identity(3).scale(1e-2);
+        KalmanModel::new(a, w, h, q)
+    }
+
+    #[test]
+    fn filter_tracks_constant_velocity() {
+        let mut kf = KalmanFilter::new(toy_model());
+        // True trajectory: pos = t, vel = 1.
+        for t in 1..=30 {
+            let pos = t as f64;
+            let z = [pos, 1.0, pos + 1.0];
+            kf.step(&z).unwrap();
+        }
+        let s = kf.state();
+        assert!((s[0] - 30.0).abs() < 0.5, "pos {s:?}");
+        assert!((s[1] - 1.0).abs() < 0.2, "vel {s:?}");
+    }
+
+    #[test]
+    fn covariance_shrinks_with_observations() {
+        let mut kf = KalmanFilter::new(toy_model());
+        let p0 = kf.covariance().get(0, 0);
+        for t in 1..=10 {
+            kf.step(&[t as f64, 1.0, t as f64 + 1.0]).unwrap();
+        }
+        assert!(kf.covariance().get(0, 0) < p0);
+    }
+
+    #[test]
+    fn inversion_operand_scales_with_electrodes() {
+        let m = 384; // 4 nodes × 96 electrodes
+        let model = KalmanModel::new(
+            Matrix::identity(4),
+            Matrix::identity(4),
+            Matrix::zeros(m, 4),
+            Matrix::identity(m),
+        );
+        let kf = KalmanFilter::new(model);
+        assert_eq!(kf.inversion_bytes(), 384 * 384 * 2);
+        // Too big for one PE's 16 KB registers — must stream from NVM.
+        assert!(!crate::ops::fits_in_pe_registers(m, m));
+    }
+
+    #[test]
+    fn fit_recovers_dynamics_from_clean_data() {
+        // Generate a clean constant-velocity trajectory with 4 sensors.
+        let h_true = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 2.0],
+            &[1.0, 1.0],
+            &[0.5, -1.0],
+        ]);
+        let mut states = Vec::new();
+        let mut obs = Vec::new();
+        let mut x = vec![0.0, 0.5];
+        for _ in 0..100 {
+            states.push(x.clone());
+            let xm = Matrix::column(&x);
+            obs.push(h_true.mul(&xm).as_slice().to_vec());
+            x[0] += x[1];
+            x[1] *= 0.99;
+        }
+        let model = fit_kalman(&states, &obs);
+        // The fitted filter should track the same trajectory.
+        let mut kf = KalmanFilter::new(model);
+        let mut last = Vec::new();
+        for z in &obs {
+            last = kf.step(z).unwrap();
+        }
+        let true_last = states.last().unwrap();
+        assert!(
+            (last[0] - true_last[0]).abs() < 1.0,
+            "tracked {last:?} vs true {true_last:?}"
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut kf = KalmanFilter::new(toy_model());
+        kf.step(&[5.0, 1.0, 6.0]).unwrap();
+        kf.reset();
+        assert_eq!(kf.state(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation length")]
+    fn wrong_observation_length_panics() {
+        let mut kf = KalmanFilter::new(toy_model());
+        let _ = kf.step(&[1.0]);
+    }
+}

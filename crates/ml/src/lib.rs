@@ -1,0 +1,25 @@
+//! Decoders and dense linear algebra for SCALO.
+//!
+//! The LIN ALG PE cluster (§3.2) provides matrix multiply-add (MAD, with
+//! optional ReLU and normalisation), addition/subtraction, and Gauss–Jordan
+//! inversion (INV). On top of those sit the three movement-intent decoders
+//! of Figure 1b / Figure 6:
+//!
+//! * pipeline A — a linear SVM over FFT/filter features ([`svm`]),
+//! * pipeline B — a Kalman filter over spike-band power ([`kalman`]),
+//! * pipeline C — a shallow feed-forward network ([`nn`]).
+//!
+//! The distributed decompositions of §3.1 are first-class:
+//! [`svm::DistributedSvm`] and [`nn::DistributedNn`] split work across
+//! implants and expose exactly the partial outputs that cross the wireless
+//! network, so the byte counts the scheduler charges (4 B/node for the SVM,
+//! 1 KiB/node for the NN, 4 B per electrode feature for the KF) can be
+//! asserted in tests.
+
+pub mod kalman;
+pub mod matrix;
+pub mod nn;
+pub mod ops;
+pub mod svm;
+
+pub use matrix::Matrix;

@@ -1,0 +1,345 @@
+//! Dense row-major matrices with Gauss–Jordan inversion (the INV PE).
+
+/// A dense, row-major `f64` matrix.
+///
+/// # Example
+///
+/// ```
+/// use scalo_ml::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let inv = a.inverse().unwrap();
+/// let id = a.mul(&inv);
+/// assert!((id.get(0, 0) - 1.0).abs() < 1e-12);
+/// assert!(id.get(0, 1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error returned by [`Matrix::inverse`] when the matrix is singular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl std::fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular (no inverse)")
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+impl Matrix {
+    /// An all-zero `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty() && !rows[0].is_empty(), "empty matrix");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data }
+    }
+
+    /// A column vector from a slice.
+    pub fn column(v: &[f64]) -> Self {
+        Self::from_vec(v.len(), 1, v.to_vec())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of the flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "inner dimensions {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.data[k * other.cols + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f64) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|a| a * k).collect())
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Inverse by Gauss–Jordan elimination with partial pivoting — the
+    /// algorithm the INV PE implements in hardware (§3.2, citing Quintana
+    /// et al.).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot underflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Result<Matrix, SingularMatrixError> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| a.get(r1, col).abs().total_cmp(&a.get(r2, col).abs()))
+                .expect("non-empty range");
+            let pivot = a.get(pivot_row, col);
+            if pivot.abs() < 1e-12 {
+                return Err(SingularMatrixError);
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let (x, y) = (a.get(col, j), a.get(pivot_row, j));
+                    a.set(col, j, y);
+                    a.set(pivot_row, j, x);
+                    let (x, y) = (inv.get(col, j), inv.get(pivot_row, j));
+                    inv.set(col, j, y);
+                    inv.set(pivot_row, j, x);
+                }
+            }
+            let inv_pivot = 1.0 / a.get(col, col);
+            for j in 0..n {
+                a.set(col, j, a.get(col, j) * inv_pivot);
+                inv.set(col, j, inv.get(col, j) * inv_pivot);
+            }
+            for r in 0..n {
+                if r != col {
+                    let factor = a.get(r, col);
+                    if factor != 0.0 {
+                        for j in 0..n {
+                            a.set(r, j, a.get(r, j) - factor * a.get(col, j));
+                            inv.set(r, j, inv.get(r, j) - factor * inv.get(col, j));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Maximum absolute element difference against `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.mul(&i), a);
+    }
+
+    #[test]
+    fn mul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn inverse_of_known_matrix() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = a.inverse().unwrap();
+        let expected = Matrix::from_rows(&[&[0.6, -0.7], &[-0.2, 0.4]]);
+        assert!(inv.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrips_random_like_matrix() {
+        // Deterministic well-conditioned matrix.
+        let n = 8;
+        let mut a = Matrix::identity(n).scale(5.0);
+        for r in 0..n {
+            for c in 0..n {
+                if r != c {
+                    a.set(r, c, ((r * 3 + c * 7) % 5) as f64 * 0.3);
+                }
+            }
+        }
+        let inv = a.inverse().unwrap();
+        let id = a.mul(&inv);
+        assert!(id.max_abs_diff(&Matrix::identity(n)) < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.inverse(), Err(SingularMatrixError));
+    }
+
+    #[test]
+    fn add_sub_inverse_each_other() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let b = Matrix::from_rows(&[&[4.0, 1.0], &[-1.0, 2.0]]);
+        assert!(a.add(&b).sub(&b).max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_mul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.mul(&b);
+    }
+}

@@ -1,0 +1,295 @@
+//! Shallow feed-forward networks, centralised and row-decomposed across
+//! implants (movement-intent pipeline C, Figure 6c).
+//!
+//! "NNs are similarly decomposed by distributing the rows of the weight
+//! matrices" (§3.1). Each implant owns the *columns* of the first-layer
+//! weight matrix corresponding to its local electrodes (equivalently, the
+//! rows of `W₁ᵀ`), computes a partial hidden pre-activation, and ships that
+//! vector (the ~1 KiB/node payload Figure 8c charges MI-NN) to an
+//! aggregator, which sums the partials, applies bias + ReLU, and evaluates
+//! the output layer.
+
+use crate::matrix::Matrix;
+use crate::ops::{mad, UnitConfig};
+
+/// A two-layer (input → hidden ReLU → output) feed-forward network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShallowNn {
+    w1: Matrix, // hidden × input
+    b1: Matrix, // hidden × 1
+    w2: Matrix, // output × hidden
+    b2: Matrix, // output × 1
+}
+
+impl ShallowNn {
+    /// Creates a network from trained parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent dimensions.
+    pub fn new(w1: Matrix, b1: Matrix, w2: Matrix, b2: Matrix) -> Self {
+        assert_eq!(b1.rows(), w1.rows(), "b1/w1 dimension mismatch");
+        assert_eq!(w2.cols(), w1.rows(), "w2/w1 dimension mismatch");
+        assert_eq!(b2.rows(), w2.rows(), "b2/w2 dimension mismatch");
+        assert_eq!(b1.cols(), 1, "b1 must be a column vector");
+        assert_eq!(b2.cols(), 1, "b2 must be a column vector");
+        Self { w1, b1, w2, b2 }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w1.cols()
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.w1.rows()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w2.rows()
+    }
+
+    /// Full forward pass (as a single implant would run it on the LIN ALG
+    /// cluster: MAD+ReLU, then MAD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "input length mismatch");
+        let x = Matrix::column(x);
+        let h = mad(&self.w1, &x, Some(&self.b1), UnitConfig::with_relu());
+        let y = mad(&self.w2, &h, Some(&self.b2), UnitConfig::passthrough());
+        y.as_slice().to_vec()
+    }
+
+    /// Index of the maximum output (class decision).
+    pub fn classify(&self, x: &[f64]) -> usize {
+        let y = self.forward(x);
+        y.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty output")
+    }
+}
+
+/// A partial hidden pre-activation computed by one implant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialHidden {
+    /// Node that produced the partial.
+    pub node: usize,
+    /// Partial pre-activation vector (`hidden_dim` entries).
+    pub values: Vec<f64>,
+}
+
+impl PartialHidden {
+    /// Wire bytes for this partial under the 16-bit fixed-point encoding.
+    pub fn wire_bytes(&self) -> usize {
+        self.values.len() * 2
+    }
+}
+
+/// A [`ShallowNn`] split column-wise over implants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedNn {
+    /// Per-node first-layer blocks (hidden × local_inputs).
+    blocks: Vec<Matrix>,
+    b1: Matrix,
+    w2: Matrix,
+    b2: Matrix,
+}
+
+impl DistributedNn {
+    /// Splits `nn`'s input features into `nodes` contiguous shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds the input dimension.
+    pub fn split(nn: &ShallowNn, nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(
+            nodes <= nn.input_dim(),
+            "more nodes ({nodes}) than inputs ({})",
+            nn.input_dim()
+        );
+        let dim = nn.input_dim();
+        let hidden = nn.hidden_dim();
+        let base = dim / nodes;
+        let extra = dim % nodes;
+        let mut blocks = Vec::with_capacity(nodes);
+        let mut offset = 0;
+        for i in 0..nodes {
+            let len = base + usize::from(i < extra);
+            let mut block = Matrix::zeros(hidden, len);
+            for r in 0..hidden {
+                for c in 0..len {
+                    block.set(r, c, nn.w1.get(r, offset + c));
+                }
+            }
+            blocks.push(block);
+            offset += len;
+        }
+        Self {
+            blocks,
+            b1: nn.b1.clone(),
+            w2: nn.w2.clone(),
+            b2: nn.b2.clone(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Input features owned by `node`.
+    pub fn shard_len(&self, node: usize) -> usize {
+        self.blocks[node].cols()
+    }
+
+    /// Hidden width of the network.
+    pub fn hidden_dim(&self) -> usize {
+        self.b1.rows()
+    }
+
+    /// Local computation at `node`: partial hidden pre-activation
+    /// `W₁[:, local] · x_local` (no bias, no ReLU — those happen once, at
+    /// the aggregator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the shard.
+    pub fn local_partial(&self, node: usize, x_local: &[f64]) -> PartialHidden {
+        let block = &self.blocks[node];
+        assert_eq!(x_local.len(), block.cols(), "shard length mismatch");
+        let v = block.mul(&Matrix::column(x_local));
+        PartialHidden {
+            node,
+            values: v.as_slice().to_vec(),
+        }
+    }
+
+    /// Aggregation at the designated node: sum partials, bias + ReLU,
+    /// output layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partials` is empty or lengths disagree.
+    pub fn aggregate(&self, partials: &[PartialHidden]) -> Vec<f64> {
+        assert!(!partials.is_empty(), "no partials to aggregate");
+        let hidden = self.hidden_dim();
+        let mut pre = vec![0.0; hidden];
+        for p in partials {
+            assert_eq!(p.values.len(), hidden, "partial length mismatch");
+            for (acc, v) in pre.iter_mut().zip(&p.values) {
+                *acc += v;
+            }
+        }
+        let pre = Matrix::column(&pre).add(&self.b1);
+        let h = UnitConfig::with_relu().apply(&pre);
+        let y = mad(&self.w2, &h, Some(&self.b2), UnitConfig::passthrough());
+        y.as_slice().to_vec()
+    }
+
+    /// Total bytes on the network for one distributed inference: one
+    /// hidden-width partial from every non-aggregator node.
+    pub fn network_bytes(&self) -> usize {
+        (self.num_nodes().saturating_sub(1)) * self.hidden_dim() * 2
+    }
+}
+
+/// Builds a deterministic demo network (useful for examples and tests):
+/// weights derived from a seed via xorshift, scaled small.
+pub fn demo_network(input: usize, hidden: usize, output: usize, seed: u64) -> ShallowNn {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state % 2000) as f64 / 1000.0) - 1.0
+    };
+    let w1 = Matrix::from_vec(hidden, input, (0..hidden * input).map(|_| next() * 0.3).collect());
+    let b1 = Matrix::from_vec(hidden, 1, (0..hidden).map(|_| next() * 0.1).collect());
+    let w2 = Matrix::from_vec(output, hidden, (0..output * hidden).map(|_| next() * 0.3).collect());
+    let b2 = Matrix::from_vec(output, 1, (0..output).map(|_| next() * 0.1).collect());
+    ShallowNn::new(w1, b1, w2, b2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_runs_and_classifies() {
+        let nn = demo_network(12, 8, 3, 7);
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y = nn.forward(&x);
+        assert_eq!(y.len(), 3);
+        assert!(nn.classify(&x) < 3);
+    }
+
+    #[test]
+    fn distributed_equals_centralised() {
+        let nn = demo_network(10, 16, 4, 99);
+        let x: Vec<f64> = (0..10).map(|i| (i as f64 * 0.7).cos()).collect();
+        let central = nn.forward(&x);
+        for nodes in [1, 2, 3, 5, 10] {
+            let dist = DistributedNn::split(&nn, nodes);
+            let mut offset = 0;
+            let partials: Vec<_> = (0..nodes)
+                .map(|n| {
+                    let len = dist.shard_len(n);
+                    let p = dist.local_partial(n, &x[offset..offset + len]);
+                    offset += len;
+                    p
+                })
+                .collect();
+            let agg = dist.aggregate(&partials);
+            for (c, d) in central.iter().zip(&agg) {
+                assert!((c - d).abs() < 1e-9, "nodes={nodes}");
+            }
+        }
+    }
+
+    #[test]
+    fn network_bytes_scale_with_hidden_width() {
+        // The paper charges MI-NN 1024 B per node: a 512-wide hidden layer
+        // at 2 B per entry.
+        let nn = demo_network(1024, 512, 8, 3);
+        let dist = DistributedNn::split(&nn, 4);
+        assert_eq!(dist.network_bytes(), 3 * 1024);
+        let p = dist.local_partial(0, &vec![0.0; dist.shard_len(0)]);
+        assert_eq!(p.wire_bytes(), 1024);
+    }
+
+    #[test]
+    fn relu_happens_only_at_aggregator() {
+        // A partial must be allowed to go negative; ReLU too early would
+        // break equality with the centralised network.
+        let w1 = Matrix::from_rows(&[&[-1.0, -1.0]]);
+        let b1 = Matrix::column(&[0.5]);
+        let w2 = Matrix::from_rows(&[&[1.0]]);
+        let b2 = Matrix::column(&[0.0]);
+        let nn = ShallowNn::new(w1, b1, w2, b2);
+        let dist = DistributedNn::split(&nn, 2);
+        let p0 = dist.local_partial(0, &[1.0]);
+        assert!(p0.values[0] < 0.0, "partial should be negative pre-ReLU");
+        let p1 = dist.local_partial(1, &[-2.0]);
+        let y = dist.aggregate(&[p0, p1]);
+        assert_eq!(y, nn.forward(&[1.0, -2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn inconsistent_layers_panic() {
+        let _ = ShallowNn::new(
+            Matrix::zeros(4, 3),
+            Matrix::zeros(4, 1),
+            Matrix::zeros(2, 5), // wrong hidden
+            Matrix::zeros(2, 1),
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! The configurable MAD / ADD unit semantics of the LIN ALG cluster.
+//!
+//! SCALO implements ReLU and normalisation "by adding configurable
+//! parameters to the MAD and ADD units. When the ReLU parameter is set, the
+//! units suppress negative outputs by replacing them with 0. When
+//! normalization is set, the units read the mean and standard deviation as
+//! parameters and normalize the output" (§3.2). This module reproduces
+//! those unit semantics so NN pipelines compose exactly as on hardware.
+
+use crate::matrix::Matrix;
+
+/// Post-processing configuration applied at the output of a MAD/ADD unit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UnitConfig {
+    /// Replace negative outputs with zero.
+    pub relu: bool,
+    /// Normalise outputs as `(y - mean) / std` with the given parameters.
+    pub normalize: Option<(f64, f64)>,
+}
+
+impl UnitConfig {
+    /// A pass-through unit (no ReLU, no normalisation).
+    pub fn passthrough() -> Self {
+        Self::default()
+    }
+
+    /// A unit with ReLU enabled.
+    pub fn with_relu() -> Self {
+        Self {
+            relu: true,
+            normalize: None,
+        }
+    }
+
+    /// A unit with output normalisation `(y - mean) / std`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is not strictly positive.
+    pub fn with_normalization(mean: f64, std: f64) -> Self {
+        assert!(std > 0.0, "normalisation std must be positive");
+        Self {
+            relu: false,
+            normalize: Some((mean, std)),
+        }
+    }
+
+    fn apply_scalar(&self, y: f64) -> f64 {
+        let y = match self.normalize {
+            Some((mean, std)) => (y - mean) / std,
+            None => y,
+        };
+        if self.relu {
+            y.max(0.0)
+        } else {
+            y
+        }
+    }
+
+    /// Applies the configured post-processing to every element of `m`.
+    pub fn apply(&self, m: &Matrix) -> Matrix {
+        Matrix::from_vec(
+            m.rows(),
+            m.cols(),
+            m.as_slice().iter().map(|&y| self.apply_scalar(y)).collect(),
+        )
+    }
+}
+
+/// Multiply-add with constant matrix: `out = a · x + b`, post-processed by
+/// `config` — the MAD unit. Pass `b = None` to configure it as MUL only.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn mad(a: &Matrix, x: &Matrix, b: Option<&Matrix>, config: UnitConfig) -> Matrix {
+    let y = a.mul(x);
+    let y = match b {
+        Some(b) => y.add(b),
+        None => y,
+    };
+    config.apply(&y)
+}
+
+/// Matrix addition with post-processing — the ADD unit.
+pub fn add(a: &Matrix, b: &Matrix, config: UnitConfig) -> Matrix {
+    config.apply(&a.add(b))
+}
+
+/// Matrix subtraction — the SUB unit (no post-processing parameters).
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    a.sub(b)
+}
+
+/// Register capacity of each LIN ALG PE (16 KB, §3.2), in `f64` elements
+/// under the 16-bit fixed-point hardware representation this corresponds to
+/// an 8192-entry matrix tile.
+pub const PE_REGISTER_BYTES: usize = 16 * 1024;
+
+/// Maximum matrix elements resident in one PE's registers (16-bit entries).
+pub const PE_REGISTER_ELEMENTS: usize = PE_REGISTER_BYTES / 2;
+
+/// Whether a `rows × cols` matrix fits in a single PE's registers; larger
+/// operands must stream from the NVM (as the Kalman INV step does, §4).
+pub fn fits_in_pe_registers(rows: usize, cols: usize) -> bool {
+    rows * cols <= PE_REGISTER_ELEMENTS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mad_computes_ax_plus_b() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let x = Matrix::column(&[3.0, 4.0]);
+        let b = Matrix::column(&[10.0]);
+        let y = mad(&a, &x, Some(&b), UnitConfig::passthrough());
+        assert_eq!(y.get(0, 0), 21.0);
+    }
+
+    #[test]
+    fn relu_suppresses_negatives() {
+        let a = Matrix::from_rows(&[&[1.0], &[-1.0]]);
+        let x = Matrix::column(&[2.0]);
+        let y = mad(&a, &x, None, UnitConfig::with_relu());
+        assert_eq!(y.get(0, 0), 2.0);
+        assert_eq!(y.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn normalization_applies_before_relu() {
+        let cfg = UnitConfig {
+            relu: true,
+            normalize: Some((4.0, 2.0)),
+        };
+        let m = Matrix::column(&[2.0, 8.0]);
+        let y = cfg.apply(&m);
+        assert_eq!(y.get(0, 0), 0.0); // (2-4)/2 = -1 → ReLU 0
+        assert_eq!(y.get(1, 0), 2.0); // (8-4)/2 = 2
+    }
+
+    #[test]
+    fn register_capacity_boundary() {
+        assert!(fits_in_pe_registers(64, 128)); // 8192 elements
+        assert!(!fits_in_pe_registers(64, 129));
+    }
+
+    #[test]
+    #[should_panic(expected = "std must be positive")]
+    fn zero_std_panics() {
+        let _ = UnitConfig::with_normalization(0.0, 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Linear support-vector machines, centralised and hierarchically
+//! decomposed across implants.
+//!
+//! "Decomposing linear SVMs is trivial and does not affect accuracy"
+//! (§3.1): each node computes the dot product of its own feature slice with
+//! its slice of the weight vector; one aggregator sums the partials, adds
+//! the bias, and thresholds. The partial is a single scalar — 4 bytes on
+//! the wire — which is the communication cost Figure 8c charges MI-SVM.
+
+/// A trained linear SVM: `decision(x) = w · x + b`, class = sign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// Creates an SVM from trained parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn new(weights: Vec<f64>, bias: f64) -> Self {
+        assert!(!weights.is_empty(), "SVM needs at least one weight");
+        Self { weights, bias }
+    }
+
+    /// Number of input features.
+    pub fn num_features(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Raw decision value `w · x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_features()`.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature length mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.bias
+    }
+
+    /// Binary prediction: `true` iff the decision value is positive.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    /// Trains a linear SVM with the Pegasos stochastic sub-gradient method.
+    /// Adequate for generating test/demo models; SCALO itself is trained
+    /// offline and only runs inference on-implant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty or ragged.
+    pub fn train_pegasos(
+        samples: &[(Vec<f64>, bool)],
+        lambda: f64,
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!samples.is_empty(), "empty training set");
+        let dim = samples[0].0.len();
+        assert!(samples.iter().all(|(x, _)| x.len() == dim), "ragged samples");
+        let mut w = vec![0.0; dim];
+        let mut b = 0.0;
+        let mut state = seed.max(1);
+        let mut t = 0usize;
+        for _ in 0..epochs {
+            for _ in 0..samples.len() {
+                t += 1;
+                // xorshift64 index selection — deterministic, dependency-free.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let (x, label) = &samples[(state as usize) % samples.len()];
+                let y = if *label { 1.0 } else { -1.0 };
+                let eta = 1.0 / (lambda * t as f64);
+                let margin = y * (w.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b);
+                for wi in w.iter_mut() {
+                    *wi *= 1.0 - eta * lambda;
+                }
+                if margin < 1.0 {
+                    for (wi, xi) in w.iter_mut().zip(x) {
+                        *wi += eta * y * xi;
+                    }
+                    b += eta * y;
+                }
+            }
+        }
+        Self::new(w, b)
+    }
+}
+
+/// A partial SVM output produced by one implant: the local dot-product sum.
+///
+/// This is the exact payload that crosses the network — 4 bytes in the
+/// 16.16 fixed-point wire encoding ([`PartialDecision::WIRE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialDecision {
+    /// Index of the node that produced this partial.
+    pub node: usize,
+    /// The local partial sum `w_local · x_local`.
+    pub value: f64,
+}
+
+impl PartialDecision {
+    /// Wire size of one partial classifier output (§6.2: "MI SVM transmits
+    /// only 4 B per node").
+    pub const WIRE_BYTES: usize = 4;
+}
+
+/// A linear SVM split across `n` implants by partitioning the feature
+/// vector (features are per-electrode, electrodes are per-implant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedSvm {
+    shards: Vec<Vec<f64>>, // weight slices per node
+    bias: f64,
+}
+
+impl DistributedSvm {
+    /// Splits `svm` into `nodes` contiguous feature shards (as even as
+    /// possible; earlier shards get the remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds the feature count.
+    pub fn split(svm: &LinearSvm, nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(
+            nodes <= svm.num_features(),
+            "more nodes ({nodes}) than features ({})",
+            svm.num_features()
+        );
+        let dim = svm.num_features();
+        let base = dim / nodes;
+        let extra = dim % nodes;
+        let mut shards = Vec::with_capacity(nodes);
+        let mut offset = 0;
+        for i in 0..nodes {
+            let len = base + usize::from(i < extra);
+            shards.push(svm.weights()[offset..offset + len].to_vec());
+            offset += len;
+        }
+        Self {
+            shards,
+            bias: svm.bias(),
+        }
+    }
+
+    /// Number of nodes the model is split across.
+    pub fn num_nodes(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Feature count owned by `node`.
+    pub fn shard_len(&self, node: usize) -> usize {
+        self.shards[node].len()
+    }
+
+    /// The local computation at `node`: the partial dot product over its
+    /// feature slice. This runs on the node's SVM PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the shard.
+    pub fn local_partial(&self, node: usize, x_local: &[f64]) -> PartialDecision {
+        let shard = &self.shards[node];
+        assert_eq!(x_local.len(), shard.len(), "shard length mismatch");
+        PartialDecision {
+            node,
+            value: shard.iter().zip(x_local).map(|(w, v)| w * v).sum(),
+        }
+    }
+
+    /// The aggregation step (runs on a single designated node): sums the
+    /// partials, adds the bias, thresholds.
+    pub fn aggregate(&self, partials: &[PartialDecision]) -> (f64, bool) {
+        let d: f64 = partials.iter().map(|p| p.value).sum::<f64>() + self.bias;
+        (d, d > 0.0)
+    }
+
+    /// Total bytes the distributed evaluation puts on the network
+    /// (one partial per non-aggregator node).
+    pub fn network_bytes(&self) -> usize {
+        (self.num_nodes().saturating_sub(1)) * PartialDecision::WIRE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_svm() -> LinearSvm {
+        LinearSvm::new(vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.25], -0.5)
+    }
+
+    #[test]
+    fn decision_matches_hand_computation() {
+        let svm = LinearSvm::new(vec![2.0, -1.0], 0.5);
+        assert_eq!(svm.decision(&[3.0, 4.0]), 2.5);
+        assert!(svm.predict(&[3.0, 4.0]));
+        assert!(!svm.predict(&[0.0, 4.0]));
+    }
+
+    #[test]
+    fn distributed_equals_centralised_exactly() {
+        let svm = toy_svm();
+        let x = [0.3, -1.2, 2.0, 0.7, -0.4, 1.5];
+        let central = svm.decision(&x);
+        for nodes in 1..=6 {
+            let dist = DistributedSvm::split(&svm, nodes);
+            let mut offset = 0;
+            let partials: Vec<_> = (0..nodes)
+                .map(|n| {
+                    let len = dist.shard_len(n);
+                    let p = dist.local_partial(n, &x[offset..offset + len]);
+                    offset += len;
+                    p
+                })
+                .collect();
+            let (d, _) = dist.aggregate(&partials);
+            assert!(
+                (d - central).abs() < 1e-12,
+                "nodes={nodes}: {d} vs {central}"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_cover_all_features() {
+        let svm = toy_svm();
+        let dist = DistributedSvm::split(&svm, 4);
+        let total: usize = (0..4).map(|n| dist.shard_len(n)).sum();
+        assert_eq!(total, svm.num_features());
+    }
+
+    #[test]
+    fn network_bytes_is_four_per_remote_node() {
+        let svm = toy_svm();
+        let dist = DistributedSvm::split(&svm, 3);
+        assert_eq!(dist.network_bytes(), 8);
+    }
+
+    #[test]
+    fn pegasos_separates_linearly_separable_data() {
+        // Class by sign of first coordinate.
+        let samples: Vec<(Vec<f64>, bool)> = (0..200)
+            .map(|i| {
+                let x0 = if i % 2 == 0 { 1.0 } else { -1.0 };
+                let x1 = ((i * 7) % 11) as f64 / 11.0;
+                (vec![x0 + 0.1 * x1, x1], i % 2 == 0)
+            })
+            .collect();
+        let svm = LinearSvm::train_pegasos(&samples, 0.01, 20, 42);
+        let correct = samples
+            .iter()
+            .filter(|(x, y)| svm.predict(x) == *y)
+            .count();
+        assert!(correct >= 190, "only {correct}/200 correct");
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn too_many_nodes_panics() {
+        let svm = LinearSvm::new(vec![1.0, 2.0], 0.0);
+        let _ = DistributedSvm::split(&svm, 3);
+    }
+}

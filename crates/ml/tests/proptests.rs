@@ -1,0 +1,111 @@
+//! Property-based tests: the distributed decompositions must equal their
+//! centralised counterparts on arbitrary inputs, and the matrix algebra
+//! must satisfy its identities.
+
+use proptest::prelude::*;
+use scalo_ml::matrix::Matrix;
+use scalo_ml::nn::{demo_network, DistributedNn};
+use scalo_ml::ops::{mad, UnitConfig};
+use scalo_ml::svm::{DistributedSvm, LinearSvm};
+
+fn vecf(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distributed_svm_equals_central(w in vecf(12), b in -5.0f64..5.0, x in vecf(12), nodes in 1usize..=12) {
+        let svm = LinearSvm::new(w, b);
+        let central = svm.decision(&x);
+        let dist = DistributedSvm::split(&svm, nodes);
+        let mut offset = 0;
+        let partials: Vec<_> = (0..nodes)
+            .map(|n| {
+                let len = dist.shard_len(n);
+                let p = dist.local_partial(n, &x[offset..offset + len]);
+                offset += len;
+                p
+            })
+            .collect();
+        let (d, _) = dist.aggregate(&partials);
+        prop_assert!((d - central).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distributed_nn_equals_central(seed in 1u64..5000, x in vecf(10), nodes in 1usize..=10) {
+        let nn = demo_network(10, 12, 3, seed);
+        let central = nn.forward(&x);
+        let dist = DistributedNn::split(&nn, nodes);
+        let mut offset = 0;
+        let partials: Vec<_> = (0..nodes)
+            .map(|n| {
+                let len = dist.shard_len(n);
+                let p = dist.local_partial(n, &x[offset..offset + len]);
+                offset += len;
+                p
+            })
+            .collect();
+        let agg = dist.aggregate(&partials);
+        for (c, d) in central.iter().zip(&agg) {
+            prop_assert!((c - d).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matrix_transpose_involution_and_mul_assoc(vals in vecf(12)) {
+        let a = Matrix::from_vec(3, 4, vals.clone());
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        // (A·Aᵀ)·A == A·(Aᵀ·A)
+        let at = a.transpose();
+        let left = a.mul(&at).mul(&a);
+        let right = a.mul(&at.mul(&a));
+        prop_assert!(left.max_abs_diff(&right) < 1e-6);
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_identity_map(diag in proptest::collection::vec(2.0f64..10.0, 5), off in vecf(20)) {
+        let n = 5;
+        let mut a = Matrix::zeros(n, n);
+        let mut k = 0;
+        for r in 0..n {
+            for c in 0..n {
+                if r == c {
+                    a.set(r, c, diag[r]);
+                } else {
+                    a.set(r, c, off[k % off.len()] * 0.05);
+                    k += 1;
+                }
+            }
+        }
+        let inv = a.inverse().expect("diagonally dominant");
+        let back = inv.inverse().expect("invertible inverse");
+        prop_assert!(back.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_monotone(vals in vecf(9)) {
+        let m = Matrix::from_vec(3, 3, vals);
+        let relu = UnitConfig::with_relu();
+        let once = relu.apply(&m);
+        let twice = relu.apply(&once);
+        prop_assert_eq!(once.clone(), twice);
+        for &v in once.as_slice() {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mad_matches_manual_computation(a_vals in vecf(6), x_vals in vecf(3), b_vals in vecf(2)) {
+        let a = Matrix::from_vec(2, 3, a_vals.clone());
+        let x = Matrix::column(&x_vals);
+        let b = Matrix::column(&b_vals);
+        let y = mad(&a, &x, Some(&b), UnitConfig::passthrough());
+        for r in 0..2 {
+            let expect: f64 =
+                (0..3).map(|c| a_vals[r * 3 + c] * x_vals[c]).sum::<f64>() + b_vals[r];
+            prop_assert!((y.get(r, 0) - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! AES-128 in CTR mode (the AES PE).
+//!
+//! HALO's fabric — inherited by SCALO — encrypts data leaving the body
+//! over the external radio with a dedicated AES PE (Table 4). This is a
+//! straightforward, constant-table AES-128 implementation with CTR-mode
+//! streaming; it is validated against the FIPS-197 and NIST SP 800-38A
+//! test vectors.
+//!
+//! Security note: this implementation uses table lookups and is intended
+//! for the simulator, where side channels are out of scope.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Round constants for key expansion.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+/// An expanded AES-128 key schedule.
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut rk = [[0u8; 16]; 11];
+        rk[0] = *key;
+        for round in 1..11 {
+            let prev = rk[round - 1];
+            let mut t = [prev[12], prev[13], prev[14], prev[15]];
+            // RotWord + SubWord + Rcon.
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = SBOX[*b as usize];
+            }
+            t[0] ^= RCON[round - 1];
+            for i in 0..4 {
+                rk[round][i] = prev[i] ^ t[i];
+            }
+            for i in 4..16 {
+                rk[round][i] = prev[i] ^ rk[round][i - 4];
+            }
+        }
+        Self { round_keys: rk }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for s in state.iter_mut() {
+            *s = SBOX[*s as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // Column-major state: byte (r, c) at index c*4 + r.
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = &mut state[c * 4..c * 4 + 4];
+            let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+            col[0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+            col[1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+            col[2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+            col[3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+        }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// CTR-mode keystream transform: encrypts or decrypts `data` in place
+    /// (CTR is symmetric) with the given 16-byte initial counter block.
+    pub fn ctr_transform(&self, counter: &[u8; 16], data: &mut [u8]) {
+        let mut ctr = *counter;
+        for chunk in data.chunks_mut(16) {
+            let mut keystream = ctr;
+            self.encrypt_block(&mut keystream);
+            for (d, k) in chunk.iter_mut().zip(&keystream) {
+                *d ^= k;
+            }
+            // Big-endian increment of the counter block.
+            for byte in ctr.iter_mut().rev() {
+                *byte = byte.wrapping_add(1);
+                if *byte != 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        Aes128::new(&key).encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+                0x6a, 0x0b, 0x32
+            ]
+        );
+    }
+
+    #[test]
+    fn nist_sp800_38a_ctr_vector() {
+        // F.5.1 CTR-AES128.Encrypt, first block.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let counter = [
+            0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb, 0xfc, 0xfd,
+            0xfe, 0xff,
+        ];
+        let mut data = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        Aes128::new(&key).ctr_transform(&counter, &mut data);
+        assert_eq!(
+            data,
+            [
+                0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26, 0x1b, 0xef, 0x68, 0x64, 0x99,
+                0x0d, 0xb6, 0xce
+            ]
+        );
+    }
+
+    #[test]
+    fn ctr_roundtrip_arbitrary_length() {
+        let key = [7u8; 16];
+        let counter = [3u8; 16];
+        let aes = Aes128::new(&key);
+        let original: Vec<u8> = (0..100).map(|i| (i * 7 % 256) as u8).collect();
+        let mut data = original.clone();
+        aes.ctr_transform(&counter, &mut data);
+        assert_ne!(data, original, "ciphertext differs");
+        aes.ctr_transform(&counter, &mut data);
+        assert_eq!(data, original, "CTR is its own inverse");
+    }
+
+    #[test]
+    fn counter_wraps_across_blocks() {
+        let aes = Aes128::new(&[0u8; 16]);
+        let counter = [0xFFu8; 16]; // will wrap to all-zero on increment
+        let mut data = vec![0u8; 48];
+        aes.ctr_transform(&counter, &mut data);
+        // Three distinct keystream blocks (no stuck counter).
+        assert_ne!(data[0..16], data[16..32]);
+        assert_ne!(data[16..32], data[32..48]);
+    }
+}

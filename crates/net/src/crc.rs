@@ -1,0 +1,74 @@
+//! CRC32 (IEEE 802.3 polynomial), as used on packet headers and payloads.
+
+const POLY: u32 = 0xEDB8_8320; // reflected 0x04C11DB7
+
+/// Table-driven CRC32 state.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `data` (IEEE, reflected, init/final `0xFFFF_FFFF`).
+///
+/// # Example
+///
+/// ```
+/// // The canonical check value for "123456789".
+/// assert_eq!(scalo_net::crc::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Verifies that `data` matches `expected`.
+pub fn verify(data: &[u8], expected: u32) -> bool {
+    crc32(data) == expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected() {
+        let data = b"scalo packet payload".to_vec();
+        let crc = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(!verify(&corrupted, crc), "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn verify_accepts_clean_data() {
+        let data = [1u8, 2, 3, 4];
+        assert!(verify(&data, crc32(&data)));
+    }
+}

@@ -1,0 +1,356 @@
+//! HALO's external-radio compression PEs: LIC, MA and RC (Table 4).
+//!
+//! Data streamed off-body over the 46 Mbps external radio goes through
+//! HALO's compression suite, which SCALO inherits:
+//!
+//! * **LIC** (linear integer coding): delta + zigzag + LEB128 varints —
+//!   cheap, effective on slowly-varying 16-bit neural samples;
+//! * **RC** (range coding): an adaptive binary range coder;
+//! * **MA** (Markov chain): an order-1 context model that feeds RC —
+//!   `ma_rc_compress` is the MA→RC pipeline.
+
+/// LIC: compresses 16-bit samples by delta + zigzag + LEB128.
+pub fn lic_compress(samples: &[i16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(samples.len());
+    let mut prev = 0i32;
+    for &s in samples {
+        let delta = i32::from(s) - prev;
+        prev = i32::from(s);
+        // Zigzag then varint.
+        let mut z = ((delta << 1) ^ (delta >> 31)) as u32;
+        loop {
+            let byte = (z & 0x7F) as u8;
+            z >>= 7;
+            if z == 0 {
+                out.push(byte);
+                break;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+    out
+}
+
+/// Inverse of [`lic_compress`].
+///
+/// Returns `None` on a malformed stream.
+pub fn lic_decompress(data: &[u8]) -> Option<Vec<i16>> {
+    let mut out = Vec::new();
+    let mut prev = 0i32;
+    let mut i = 0;
+    while i < data.len() {
+        let mut z = 0u32;
+        let mut shift = 0;
+        loop {
+            let byte = *data.get(i)?;
+            i += 1;
+            z |= u32::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 28 {
+                return None;
+            }
+        }
+        let delta = (z >> 1) as i32 ^ -((z & 1) as i32);
+        prev += delta;
+        out.push(i16::try_from(prev).ok()?);
+    }
+    Some(out)
+}
+
+/// An adaptive binary probability model (12-bit).
+#[derive(Debug, Clone, Copy)]
+struct BitModel {
+    p1: u16, // probability of a 1, out of 4096
+}
+
+impl BitModel {
+    fn new() -> Self {
+        Self { p1: 2048 }
+    }
+
+    fn update(&mut self, bit: bool) {
+        if bit {
+            self.p1 += (4096 - self.p1) >> 5;
+        } else {
+            self.p1 -= self.p1 >> 5;
+        }
+    }
+}
+
+/// A binary arithmetic encoder (CACM87 construction: 32-bit interval
+/// with pending-bit renormalisation), writing through the shared
+/// [`BitWriter`].
+struct RangeEncoder {
+    low: u32,
+    high: u32,
+    pending: u32,
+    out: crate::compress::BitWriter,
+}
+
+const HALF: u32 = 1 << 31;
+const QUARTER: u32 = 1 << 30;
+
+impl RangeEncoder {
+    fn new() -> Self {
+        Self {
+            low: 0,
+            high: u32::MAX,
+            pending: 0,
+            out: crate::compress::BitWriter::new(),
+        }
+    }
+
+    fn emit(&mut self, bit: bool) {
+        self.out.push_bit(bit);
+        for _ in 0..self.pending {
+            self.out.push_bit(!bit);
+        }
+        self.pending = 0;
+    }
+
+    fn encode(&mut self, model: &mut BitModel, bit: bool) {
+        let range = u64::from(self.high) - u64::from(self.low) + 1;
+        let split = self.low + ((range * u64::from(model.p1)) >> 12) as u32 - 1;
+        if bit {
+            self.high = split;
+        } else {
+            self.low = split + 1;
+        }
+        model.update(bit);
+        loop {
+            if self.high < HALF {
+                self.emit(false);
+            } else if self.low >= HALF {
+                self.emit(true);
+                self.low -= HALF;
+                self.high -= HALF;
+            } else if self.low >= QUARTER && self.high < HALF + QUARTER {
+                self.pending += 1;
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        // Flush enough bits to disambiguate the final interval.
+        self.pending += 1;
+        if self.low < QUARTER {
+            self.emit(false);
+        } else {
+            self.emit(true);
+        }
+        self.out.into_bytes()
+    }
+}
+
+/// The matching decoder.
+struct RangeDecoder<'a> {
+    low: u32,
+    high: u32,
+    code: u32,
+    input: crate::compress::BitReader<'a>,
+}
+
+impl<'a> RangeDecoder<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        let mut input = crate::compress::BitReader::new(data);
+        let mut code = 0u32;
+        for _ in 0..32 {
+            code = (code << 1) | u32::from(input.read_bit().unwrap_or(false));
+        }
+        Self {
+            low: 0,
+            high: u32::MAX,
+            code,
+            input,
+        }
+    }
+
+    fn decode(&mut self, model: &mut BitModel) -> bool {
+        let range = u64::from(self.high) - u64::from(self.low) + 1;
+        let split = self.low + ((range * u64::from(model.p1)) >> 12) as u32 - 1;
+        let bit = self.code <= split;
+        if bit {
+            self.high = split;
+        } else {
+            self.low = split + 1;
+        }
+        model.update(bit);
+        loop {
+            if self.high < HALF {
+                // nothing to subtract
+            } else if self.low >= HALF {
+                self.low -= HALF;
+                self.high -= HALF;
+                self.code -= HALF;
+            } else if self.low >= QUARTER && self.high < HALF + QUARTER {
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+                self.code -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+            self.code = (self.code << 1) | u32::from(self.input.read_bit().unwrap_or(false));
+        }
+        bit
+    }
+}
+
+/// RC: order-0 adaptive range coding of a byte stream.
+pub fn rc_compress(data: &[u8]) -> Vec<u8> {
+    compress_with_contexts(data, 1, |_| 0)
+}
+
+/// Inverse of [`rc_compress`].
+pub fn rc_decompress(compressed: &[u8], len: usize) -> Vec<u8> {
+    decompress_with_contexts(compressed, len, 1, |_| 0)
+}
+
+/// MA→RC: order-1 Markov context model (previous byte) feeding RC.
+pub fn ma_rc_compress(data: &[u8]) -> Vec<u8> {
+    compress_with_contexts(data, 256, |prev| prev as usize)
+}
+
+/// Inverse of [`ma_rc_compress`].
+pub fn ma_rc_decompress(compressed: &[u8], len: usize) -> Vec<u8> {
+    decompress_with_contexts(compressed, len, 256, |prev| prev as usize)
+}
+
+fn compress_with_contexts(
+    data: &[u8],
+    contexts: usize,
+    ctx_of: impl Fn(u8) -> usize,
+) -> Vec<u8> {
+    // Per context, a model tree over the 8 bits of the byte (255 nodes).
+    let mut models = vec![vec![BitModel::new(); 256]; contexts];
+    let mut enc = RangeEncoder::new();
+    let mut prev = 0u8;
+    for &byte in data {
+        let ctx = ctx_of(prev);
+        let mut node = 1usize;
+        for i in (0..8).rev() {
+            let bit = (byte >> i) & 1 == 1;
+            enc.encode(&mut models[ctx][node], bit);
+            node = (node << 1) | usize::from(bit);
+        }
+        prev = byte;
+    }
+    enc.finish()
+}
+
+fn decompress_with_contexts(
+    compressed: &[u8],
+    len: usize,
+    contexts: usize,
+    ctx_of: impl Fn(u8) -> usize,
+) -> Vec<u8> {
+    let mut models = vec![vec![BitModel::new(); 256]; contexts];
+    let mut dec = RangeDecoder::new(compressed);
+    let mut out = Vec::with_capacity(len);
+    let mut prev = 0u8;
+    for _ in 0..len {
+        let ctx = ctx_of(prev);
+        let mut node = 1usize;
+        for _ in 0..8 {
+            let bit = dec.decode(&mut models[ctx][node]);
+            node = (node << 1) | usize::from(bit);
+        }
+        let byte = (node & 0xFF) as u8;
+        out.push(byte);
+        prev = byte;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neural_like(n: usize) -> Vec<i16> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                ((800.0 * (t * 0.01).sin() + 120.0 * (t * 0.13).sin()) as i32) as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lic_roundtrip() {
+        for data in [neural_like(500), vec![], vec![i16::MAX, i16::MIN, 0, -1]] {
+            let c = lic_compress(&data);
+            assert_eq!(lic_decompress(&c).as_deref(), Some(&data[..]));
+        }
+    }
+
+    #[test]
+    fn lic_compresses_smooth_signals() {
+        let data = neural_like(2_000);
+        let c = lic_compress(&data);
+        assert!(
+            c.len() * 10 < data.len() * 2 * 9,
+            "LIC should beat raw 16-bit: {} vs {}",
+            c.len(),
+            data.len() * 2
+        );
+    }
+
+    #[test]
+    fn rc_roundtrip() {
+        for data in [
+            vec![],
+            vec![0u8; 100],
+            (0..=255u8).collect::<Vec<_>>(),
+            b"the quick brown fox jumps over the lazy dog".repeat(5),
+        ] {
+            let c = rc_compress(&data);
+            assert_eq!(rc_decompress(&c, data.len()), data);
+        }
+    }
+
+    #[test]
+    fn ma_rc_roundtrip() {
+        let data: Vec<u8> = (0..800).map(|i| [b'a', b'b', b'a', b'c'][(i / 3) % 4]).collect();
+        let c = ma_rc_compress(&data);
+        assert_eq!(ma_rc_decompress(&c, data.len()), data);
+    }
+
+    #[test]
+    fn rc_compresses_biased_streams() {
+        let data = vec![0u8; 4_096];
+        let c = rc_compress(&data);
+        assert!(c.len() < 200, "all-zero stream compresses hard: {}", c.len());
+    }
+
+    #[test]
+    fn markov_context_beats_order0_on_markov_data() {
+        // A first-order source: next byte depends strongly on the last.
+        let mut data = Vec::with_capacity(8_192);
+        let mut state = 0u8;
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        for _ in 0..8_192 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            state = if rng % 10 < 9 {
+                state.wrapping_add(1) % 4
+            } else {
+                (rng % 4) as u8 + 4
+            };
+            data.push(state);
+        }
+        let order0 = rc_compress(&data).len();
+        let order1 = ma_rc_compress(&data).len();
+        assert!(order1 < order0, "MA→RC {order1} vs RC {order0}");
+    }
+}

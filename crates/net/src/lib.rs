@@ -1,0 +1,68 @@
+//! The intra-SCALO wireless network and its PEs.
+//!
+//! SCALO adds a custom TDMA protocol over an implant-safe UWB radio for
+//! node-to-node traffic (§3.4): 84-bit packet headers, payloads up to
+//! 256 B, CRC32 checksums on header and data, hash compression tuned for
+//! tiny payloads (HFREQ + HCOMP, §3.2), and a policy split on errors —
+//! drop corrupted *hash* packets, deliver corrupted *signal* packets
+//! (similarity measures tolerate bit errors; hash comparison does not).
+//!
+//! Modules: [`crc`] (CRC32), [`packet`] (framing), [`ber`] (bit-error
+//! injection), [`compress`] (HFREQ/HCOMP/DCOMP plus an LZ-style baseline),
+//! [`halo_comp`] (HALO's external-radio LIC/MA/RC suite), [`aes`]
+//! (the AES PE for off-body encryption), [`radio`] (Table 3's designs and
+//! the external radio), and [`tdma`] (the fixed network schedule the ILP
+//! emits).
+
+pub mod aes;
+pub mod ber;
+pub mod compress;
+pub mod crc;
+pub mod halo_comp;
+pub mod packet;
+pub mod radio;
+pub mod tdma;
+
+/// Maximum packet payload in bytes (§3.4).
+pub const MAX_PAYLOAD_BYTES: usize = 256;
+
+/// Packet header size in bits (§3.4).
+pub const HEADER_BITS: usize = 84;
+
+/// CRC width in bits (one for the header, one for the payload).
+pub const CRC_BITS: usize = 32;
+
+/// Total framing overhead per packet in bits.
+pub const OVERHEAD_BITS: usize = HEADER_BITS + 2 * CRC_BITS;
+
+/// Bits on the wire for a packet with `payload_bytes` of data.
+pub fn wire_bits(payload_bytes: usize) -> usize {
+    OVERHEAD_BITS + payload_bytes * 8
+}
+
+/// Transmission time in milliseconds for `payload_bytes` at
+/// `rate_mbps` megabits per second.
+pub fn tx_time_ms(payload_bytes: usize, rate_mbps: f64) -> f64 {
+    assert!(rate_mbps > 0.0, "data rate must be positive");
+    wire_bits(payload_bytes) as f64 / (rate_mbps * 1e6) * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_matches_paper_framing() {
+        assert_eq!(OVERHEAD_BITS, 84 + 64);
+        assert_eq!(wire_bits(0), 148);
+        assert_eq!(wire_bits(256), 148 + 2048);
+    }
+
+    #[test]
+    fn tx_time_scales_with_size_and_rate() {
+        let t_small = tx_time_ms(16, 7.0);
+        let t_big = tx_time_ms(256, 7.0);
+        assert!(t_big > t_small);
+        assert!((tx_time_ms(256, 14.0) - t_big / 2.0).abs() < 1e-12);
+    }
+}

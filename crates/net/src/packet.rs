@@ -1,0 +1,283 @@
+//! Packet framing (NPACK / UNPACK PEs).
+//!
+//! Intra-SCALO packets carry an 84-bit header and up to 256 B of data,
+//! each protected by a CRC32 (§3.4). On a checksum failure the receiver
+//! drops hash packets but *uses* signal packets, because similarity
+//! measures like DTW tolerate a few flipped bits while hash comparison
+//! fails hard.
+
+use crate::crc::{crc32, verify};
+use crate::MAX_PAYLOAD_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// What a packet carries — determines the error policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PayloadKind {
+    /// Compressed hashes: dropped on checksum error.
+    Hashes,
+    /// Raw signal windows: delivered even with checksum errors.
+    Signal,
+    /// Extracted features (movement intent): uncompressed, dropped on
+    /// error like hashes (features are error-sensitive, §3.2).
+    Features,
+    /// Control/stimulation commands.
+    Control,
+}
+
+impl PayloadKind {
+    /// Whether a corrupted payload should still be delivered.
+    pub fn deliver_on_error(self) -> bool {
+        matches!(self, PayloadKind::Signal)
+    }
+}
+
+/// The 84-bit packet header (§3.4): source, destination, flow tag (used to
+/// route interleaved flows to the right PEs), sequence number, length, and
+/// a truncated timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Header {
+    /// Source node id.
+    pub src: u8,
+    /// Destination node id (`0xFF` = broadcast).
+    pub dst: u8,
+    /// Flow tag assigned by the scheduler.
+    pub flow: u8,
+    /// Sequence number within the flow.
+    pub seq: u16,
+    /// Payload length in bytes (≤ 256 needs 9 bits; we allot 12).
+    pub len: u16,
+    /// Payload kind (2 bits on the wire).
+    pub kind: PayloadKind,
+    /// Truncated local-clock timestamp in µs (32 bits).
+    pub timestamp_us: u32,
+}
+
+/// Broadcast destination id.
+pub const BROADCAST: u8 = 0xFF;
+
+impl Header {
+    /// Packs the header into 11 bytes (84 bits, padded to a byte
+    /// boundary with zero bits).
+    pub fn pack(&self) -> [u8; 11] {
+        let kind_bits: u8 = match self.kind {
+            PayloadKind::Hashes => 0,
+            PayloadKind::Signal => 1,
+            PayloadKind::Features => 2,
+            PayloadKind::Control => 3,
+        };
+        let mut out = [0u8; 11];
+        out[0] = self.src;
+        out[1] = self.dst;
+        out[2] = self.flow;
+        out[3..5].copy_from_slice(&self.seq.to_le_bytes());
+        out[5..7].copy_from_slice(&(self.len & 0x0FFF).to_le_bytes());
+        out[7..11].copy_from_slice(&self.timestamp_us.to_le_bytes());
+        // Kind occupies the top nibble of the length field's second byte.
+        out[6] |= kind_bits << 4;
+        out
+    }
+
+    /// Unpacks a header from 11 bytes.
+    pub fn unpack(bytes: &[u8; 11]) -> Self {
+        let kind = match (bytes[6] >> 4) & 0x03 {
+            0 => PayloadKind::Hashes,
+            1 => PayloadKind::Signal,
+            2 => PayloadKind::Features,
+            _ => PayloadKind::Control,
+        };
+        Self {
+            src: bytes[0],
+            dst: bytes[1],
+            flow: bytes[2],
+            seq: u16::from_le_bytes([bytes[3], bytes[4]]),
+            len: u16::from_le_bytes([bytes[5], bytes[6] & 0x0F]),
+            kind,
+            timestamp_us: u32::from_le_bytes([bytes[7], bytes[8], bytes[9], bytes[10]]),
+        }
+    }
+}
+
+/// A framed packet ready for the radio.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// The header.
+    pub header: Header,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Frames `payload` for transmission (the NPACK PE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD_BYTES`].
+    pub fn new(mut header: Header, payload: Vec<u8>) -> Self {
+        assert!(
+            payload.len() <= MAX_PAYLOAD_BYTES,
+            "payload {} exceeds {} bytes",
+            payload.len(),
+            MAX_PAYLOAD_BYTES
+        );
+        header.len = payload.len() as u16;
+        Self { header, payload }
+    }
+
+    /// Serialises to wire bytes: `header ‖ crc(header) ‖ payload ‖
+    /// crc(payload)`.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let h = self.header.pack();
+        let mut out = Vec::with_capacity(11 + 4 + self.payload.len() + 4);
+        out.extend_from_slice(&h);
+        out.extend_from_slice(&crc32(&h).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
+        out
+    }
+
+    /// Size on the wire in bytes.
+    pub fn wire_len(&self) -> usize {
+        11 + 4 + self.payload.len() + 4
+    }
+}
+
+/// Result of receiving (UNPACK-ing) wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Received {
+    /// Header and payload both verified.
+    Clean(Packet),
+    /// Payload checksum failed but the policy delivers it anyway
+    /// (signal packets).
+    CorruptDelivered(Packet),
+    /// Packet dropped: payload checksum failed on an error-sensitive kind.
+    DroppedPayloadError(Header),
+    /// Packet dropped: header checksum failed (unroutable).
+    DroppedHeaderError,
+    /// Wire data too short to contain a packet.
+    Truncated,
+}
+
+/// Parses wire bytes, applying the kind-specific error policy (the
+/// UNPACK PE).
+pub fn receive(wire: &[u8]) -> Received {
+    if wire.len() < 11 + 4 + 4 {
+        return Received::Truncated;
+    }
+    let mut h = [0u8; 11];
+    h.copy_from_slice(&wire[..11]);
+    let h_crc = u32::from_le_bytes([wire[11], wire[12], wire[13], wire[14]]);
+    if !verify(&h, h_crc) {
+        return Received::DroppedHeaderError;
+    }
+    let header = Header::unpack(&h);
+    let payload = &wire[15..wire.len() - 4];
+    if payload.len() != header.len as usize {
+        return Received::DroppedHeaderError;
+    }
+    let p_crc = u32::from_le_bytes([
+        wire[wire.len() - 4],
+        wire[wire.len() - 3],
+        wire[wire.len() - 2],
+        wire[wire.len() - 1],
+    ]);
+    let packet = Packet {
+        header,
+        payload: payload.to_vec(),
+    };
+    if verify(payload, p_crc) {
+        Received::Clean(packet)
+    } else if header.kind.deliver_on_error() {
+        Received::CorruptDelivered(packet)
+    } else {
+        Received::DroppedPayloadError(header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(kind: PayloadKind) -> Header {
+        Header {
+            src: 3,
+            dst: BROADCAST,
+            flow: 7,
+            seq: 1234,
+            len: 0,
+            kind,
+            timestamp_us: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn header_pack_unpack_roundtrip() {
+        for kind in [
+            PayloadKind::Hashes,
+            PayloadKind::Signal,
+            PayloadKind::Features,
+            PayloadKind::Control,
+        ] {
+            let mut h = header(kind);
+            h.len = 200;
+            let back = Header::unpack(&h.pack());
+            assert_eq!(h, back);
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let p = Packet::new(header(PayloadKind::Hashes), vec![1, 2, 3, 4]);
+        match receive(&p.to_wire()) {
+            Received::Clean(q) => assert_eq!(q, p),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_hash_packet_is_dropped() {
+        let p = Packet::new(header(PayloadKind::Hashes), vec![9; 32]);
+        let mut wire = p.to_wire();
+        wire[20] ^= 0x01; // payload bit flip
+        assert!(matches!(receive(&wire), Received::DroppedPayloadError(_)));
+    }
+
+    #[test]
+    fn corrupt_signal_packet_is_delivered() {
+        let p = Packet::new(header(PayloadKind::Signal), vec![9; 32]);
+        let mut wire = p.to_wire();
+        wire[20] ^= 0x01;
+        match receive(&wire) {
+            Received::CorruptDelivered(q) => {
+                assert_eq!(q.payload.len(), 32);
+                assert_ne!(q.payload, p.payload);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_header_is_always_dropped() {
+        let p = Packet::new(header(PayloadKind::Signal), vec![5; 8]);
+        let mut wire = p.to_wire();
+        wire[0] ^= 0x80; // header bit flip
+        assert_eq!(receive(&wire), Received::DroppedHeaderError);
+    }
+
+    #[test]
+    fn truncated_wire_detected() {
+        assert_eq!(receive(&[0u8; 10]), Received::Truncated);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_payload_panics() {
+        let _ = Packet::new(header(PayloadKind::Signal), vec![0; 257]);
+    }
+
+    #[test]
+    fn wire_len_matches_framing_overhead() {
+        let p = Packet::new(header(PayloadKind::Hashes), vec![0; 100]);
+        assert_eq!(p.wire_len(), 11 + 4 + 100 + 4);
+        assert_eq!(p.to_wire().len(), p.wire_len());
+    }
+}

@@ -1,0 +1,137 @@
+//! Radio models: the intra-SCALO UWB designs of Table 3, the external
+//! radio, and the path-loss scaling used to derive them (§5, §7).
+
+use serde::Serialize;
+
+/// One radio design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Radio {
+    /// Design name.
+    pub name: &'static str,
+    /// Bit-error ratio at the design range.
+    pub ber: f64,
+    /// Data rate in Mbps.
+    pub data_rate_mbps: f64,
+    /// Transceiver power in mW.
+    pub power_mw: f64,
+    /// Design range in metres.
+    pub range_m: f64,
+}
+
+/// The default intra-SCALO radio (Table 3 "Low Power"): 7 Mbps at
+/// 1.71 mW with BER 1e-5, 20 cm range.
+pub const LOW_POWER: Radio = Radio {
+    name: "Low Power",
+    ber: 1e-5,
+    data_rate_mbps: 7.0,
+    power_mw: 1.71,
+    range_m: 0.2,
+};
+
+/// Table 3 "High Perf": double rate, 4× power.
+pub const HIGH_PERF: Radio = Radio {
+    name: "High Perf",
+    ber: 1e-6,
+    data_rate_mbps: 14.0,
+    power_mw: 6.85,
+    range_m: 0.2,
+};
+
+/// Table 3 "Low BER": same rate as default at twice the power.
+pub const LOW_BER: Radio = Radio {
+    name: "Low BER",
+    ber: 1e-6,
+    data_rate_mbps: 7.0,
+    power_mw: 3.4,
+    range_m: 0.2,
+};
+
+/// Table 3 "Low Data Rate": half rate, half power.
+pub const LOW_DATA_RATE: Radio = Radio {
+    name: "Low Data Rate",
+    ber: 1e-5,
+    data_rate_mbps: 3.5,
+    power_mw: 0.855,
+    range_m: 0.2,
+};
+
+/// The external radio inherited from HALO (§5): 46 Mbps to 10 m at
+/// 9.2 mW.
+pub const EXTERNAL: Radio = Radio {
+    name: "External",
+    ber: 1e-6,
+    data_rate_mbps: 46.0,
+    power_mw: 9.2,
+    range_m: 10.0,
+};
+
+/// The four intra-SCALO candidates of Table 3 (default first).
+pub const TABLE3: [Radio; 4] = [LOW_POWER, HIGH_PERF, LOW_BER, LOW_DATA_RATE];
+
+/// Path-loss exponent for transmission through brain, skull and skin
+/// (§5, after the IEEE 802.15.4a body-area models).
+pub const PATH_LOSS_EXPONENT: f64 = 3.5;
+
+/// Scales a radio's transmit power for a different range under the
+/// log-distance path-loss model: `P₂ = P₁ · (d₂/d₁)^n`.
+///
+/// # Panics
+///
+/// Panics if either distance is not positive.
+pub fn scale_power_for_range(radio: &Radio, new_range_m: f64) -> f64 {
+    assert!(
+        radio.range_m > 0.0 && new_range_m > 0.0,
+        "ranges must be positive"
+    );
+    radio.power_mw * (new_range_m / radio.range_m).powf(PATH_LOSS_EXPONENT)
+}
+
+/// Time in milliseconds to move `bytes` over `radio` (payload bits only;
+/// packet framing is charged by [`crate::tx_time_ms`]).
+pub fn raw_tx_ms(radio: &Radio, bytes: usize) -> f64 {
+    bytes as f64 * 8.0 / (radio.data_rate_mbps * 1e6) * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        assert_eq!(LOW_POWER.data_rate_mbps, 7.0);
+        assert_eq!(LOW_POWER.power_mw, 1.71);
+        assert_eq!(HIGH_PERF.data_rate_mbps, 14.0);
+        assert_eq!(LOW_BER.power_mw, 3.4);
+        assert_eq!(LOW_DATA_RATE.data_rate_mbps, 3.5);
+        assert_eq!(TABLE3[0].name, "Low Power");
+    }
+
+    #[test]
+    fn external_radio_matches_halo() {
+        assert_eq!(EXTERNAL.data_rate_mbps, 46.0);
+        assert_eq!(EXTERNAL.power_mw, 9.2);
+    }
+
+    #[test]
+    fn path_loss_scaling() {
+        // Doubling range under n = 3.5 costs ~11.3×.
+        let p = scale_power_for_range(&LOW_POWER, 0.4);
+        assert!((p / LOW_POWER.power_mw - 2f64.powf(3.5)).abs() < 1e-9);
+        // Same range = same power.
+        assert_eq!(scale_power_for_range(&LOW_POWER, 0.2), LOW_POWER.power_mw);
+    }
+
+    #[test]
+    fn radio_rate_vs_adc_rate_gap() {
+        // The §6.2 bottleneck: intra-radio at 7 Mbps vs 46 Mbps of ADC
+        // data — the reason hashes matter.
+        assert!(EXTERNAL.data_rate_mbps / LOW_POWER.data_rate_mbps > 6.0);
+    }
+
+    #[test]
+    fn raw_tx_time() {
+        // 256 B at 7 Mbps ≈ 0.29 ms.
+        let t = raw_tx_ms(&LOW_POWER, 256);
+        assert!((t - 0.2926).abs() < 1e-3, "{t}");
+    }
+}

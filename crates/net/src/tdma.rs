@@ -1,0 +1,152 @@
+//! The TDMA schedule for the single-frequency intra-SCALO network.
+//!
+//! The radio saves power by using one frequency, so nodes take turns
+//! (§2.3, §3.4): the ILP emits a fixed slot schedule and every node
+//! transmits only in its slots. This module models slot accounting and
+//! the serialized-transfer times that drive the communication-bound
+//! results in Figures 8b/8c.
+
+use crate::radio::Radio;
+use crate::{tx_time_ms, MAX_PAYLOAD_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// A fixed TDMA schedule over `nodes` implants.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TdmaSchedule {
+    nodes: usize,
+    /// Slot order: node id per slot within one round.
+    slots: Vec<usize>,
+}
+
+impl TdmaSchedule {
+    /// A round-robin schedule (one slot per node per round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn round_robin(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        Self {
+            nodes,
+            slots: (0..nodes).collect(),
+        }
+    }
+
+    /// A custom slot order (e.g. weighted: hot senders get extra slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or references a node ≥ `nodes`.
+    pub fn custom(nodes: usize, slots: Vec<usize>) -> Self {
+        assert!(!slots.is_empty(), "schedule must have slots");
+        assert!(
+            slots.iter().all(|&s| s < nodes),
+            "slot references unknown node"
+        );
+        Self { nodes, slots }
+    }
+
+    /// Number of participating nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Slots per round.
+    pub fn slots_per_round(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots owned by `node` in one round.
+    pub fn slots_for(&self, node: usize) -> usize {
+        self.slots.iter().filter(|&&s| s == node).count()
+    }
+
+    /// Effective share of the channel owned by `node`.
+    pub fn share(&self, node: usize) -> f64 {
+        self.slots_for(node) as f64 / self.slots.len() as f64
+    }
+
+    /// Time for `node` to move `bytes` of payload over `radio`, given
+    /// that it only transmits in its slots (packetised at the maximum
+    /// payload size). This is the serialized-access cost of §6.2.
+    pub fn transfer_ms(&self, node: usize, bytes: usize, radio: &Radio) -> f64 {
+        let share = self.share(node);
+        assert!(share > 0.0, "node {node} owns no slots");
+        serial_transfer_ms(bytes, radio) / share
+    }
+
+    /// Time for *every* node to send `bytes_per_node` (an all-to-all or
+    /// all-to-one exchange): the slots serialise, so costs add.
+    pub fn all_nodes_transfer_ms(&self, bytes_per_node: usize, radio: &Radio) -> f64 {
+        (0..self.nodes)
+            .map(|_| serial_transfer_ms(bytes_per_node, radio))
+            .sum()
+    }
+}
+
+/// Time to push `bytes` of payload through `radio` with packet framing,
+/// ignoring slot contention.
+pub fn serial_transfer_ms(bytes: usize, radio: &Radio) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    let full = bytes / MAX_PAYLOAD_BYTES;
+    let tail = bytes % MAX_PAYLOAD_BYTES;
+    let mut t = full as f64 * tx_time_ms(MAX_PAYLOAD_BYTES, radio.data_rate_mbps);
+    if tail > 0 {
+        t += tx_time_ms(tail, radio.data_rate_mbps);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::LOW_POWER;
+
+    #[test]
+    fn round_robin_shares_evenly() {
+        let s = TdmaSchedule::round_robin(4);
+        for n in 0..4 {
+            assert_eq!(s.share(n), 0.25);
+        }
+    }
+
+    #[test]
+    fn weighted_schedule_biases_share() {
+        let s = TdmaSchedule::custom(3, vec![0, 0, 1, 2]);
+        assert_eq!(s.share(0), 0.5);
+        assert_eq!(s.slots_for(0), 2);
+    }
+
+    #[test]
+    fn transfer_time_scales_inverse_to_share() {
+        let even = TdmaSchedule::round_robin(4);
+        let t = even.transfer_ms(0, 1024, &LOW_POWER);
+        let solo = TdmaSchedule::round_robin(1);
+        let t_solo = solo.transfer_ms(0, 1024, &LOW_POWER);
+        assert!((t - 4.0 * t_solo).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_nodes_cost_is_serialized() {
+        let s = TdmaSchedule::round_robin(8);
+        let one = serial_transfer_ms(256, &LOW_POWER);
+        assert!((s.all_nodes_transfer_ms(256, &LOW_POWER) - 8.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packetisation_adds_per_packet_overhead() {
+        // 512 B = 2 packets; overhead counted twice.
+        let two = serial_transfer_ms(512, &LOW_POWER);
+        let one = serial_transfer_ms(256, &LOW_POWER);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+        assert_eq!(serial_transfer_ms(0, &LOW_POWER), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn bad_slot_panics() {
+        let _ = TdmaSchedule::custom(2, vec![0, 5]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the network layer: every codec must
+//! round-trip arbitrary inputs.
+
+use proptest::prelude::*;
+use scalo_net::aes::Aes128;
+use scalo_net::ber::ErrorChannel;
+use scalo_net::halo_comp::{
+    lic_compress, lic_decompress, ma_rc_compress, ma_rc_decompress, rc_compress, rc_decompress,
+};
+use scalo_net::compress::{lz_compress, lz_decompress};
+use scalo_net::packet::{Header, PayloadKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn aes_ctr_roundtrip(key in any::<[u8; 16]>(), ctr in any::<[u8; 16]>(), data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let aes = Aes128::new(&key);
+        let mut buf = data.clone();
+        aes.ctr_transform(&ctr, &mut buf);
+        aes.ctr_transform(&ctr, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn aes_block_is_a_permutation(key in any::<[u8; 16]>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&key);
+        let (mut ea, mut eb) = (a, b);
+        aes.encrypt_block(&mut ea);
+        aes.encrypt_block(&mut eb);
+        if a != b {
+            prop_assert_ne!(ea, eb, "injective");
+        } else {
+            prop_assert_eq!(ea, eb, "deterministic");
+        }
+    }
+
+    #[test]
+    fn lic_roundtrip(data in proptest::collection::vec(any::<i16>(), 0..300)) {
+        let c = lic_compress(&data);
+        let back = lic_decompress(&c);
+        prop_assert_eq!(back.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn rc_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let c = rc_compress(&data);
+        prop_assert_eq!(rc_decompress(&c, data.len()), data);
+    }
+
+    #[test]
+    fn ma_rc_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let c = ma_rc_compress(&data);
+        prop_assert_eq!(ma_rc_decompress(&c, data.len()), data);
+    }
+
+    #[test]
+    fn lz_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let c = lz_compress(&data);
+        let back = lz_decompress(&c);
+        prop_assert_eq!(back.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn header_roundtrip(src in any::<u8>(), dst in any::<u8>(), flow in any::<u8>(), seq in any::<u16>(), len in 0u16..=4095, ts in any::<u32>()) {
+        for kind in [PayloadKind::Hashes, PayloadKind::Signal, PayloadKind::Features, PayloadKind::Control] {
+            let h = Header { src, dst, flow, seq, len, kind, timestamp_us: ts };
+            prop_assert_eq!(Header::unpack(&h.pack()), h);
+        }
+    }
+
+    #[test]
+    fn error_channel_preserves_length(ber_exp in 2u32..6, data in proptest::collection::vec(any::<u8>(), 1..200), seed in any::<u64>()) {
+        let ber = 10f64.powi(-(ber_exp as i32));
+        let mut ch = ErrorChannel::new(ber, seed);
+        let (out, flips) = ch.transmit(&data);
+        prop_assert_eq!(out.len(), data.len());
+        // The number of differing bits equals the reported flip count.
+        let diff: u32 = out.iter().zip(&data).map(|(a, b)| (a ^ b).count_ones()).sum();
+        prop_assert_eq!(diff as usize, flips);
+    }
+}

@@ -1,0 +1,320 @@
+//! Lowering: fluent-chain AST → dataflow DAG.
+//!
+//! Programs are parsed into dataflow directed acyclic graphs whose nodes
+//! are the operators the scheduler maps onto PEs (§3.7). The chains the
+//! language produces are linear; `map`/grouping operators carry their
+//! sub-expressions as attributes rather than branches, matching how the
+//! paper's artifact feeds its ILP.
+
+use crate::parser::{Arg, OpCall, QueryAst};
+use crate::QueryError;
+use serde::{Deserialize, Serialize};
+
+/// A dataflow operator, with its static parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operator {
+    /// Collect samples into windows of `ms` milliseconds.
+    Window {
+        /// Window size in ms.
+        ms: f64,
+    },
+    /// Group the stream (e.g. by location); the projection is opaque.
+    Map {
+        /// Raw text of the projection lambda.
+        projection: String,
+        /// Grouping key path, if given.
+        key: Option<String>,
+    },
+    /// Filter / projection with an opaque predicate and optional slice.
+    Select {
+        /// Raw predicate text.
+        predicate: String,
+        /// Slice attached to the selection, in ms.
+        slice: Option<(f64, f64)>,
+        /// Whether the predicate invokes seizure detection.
+        seizure_detect: bool,
+    },
+    /// Spike-band power.
+    Sbp,
+    /// Fast Fourier transform features.
+    Fft,
+    /// Butterworth band-pass.
+    Bbf {
+        /// Low cut in Hz.
+        lo_hz: f64,
+        /// High cut in Hz.
+        hi_hz: f64,
+    },
+    /// Cross-correlation features.
+    Xcor,
+    /// Linear SVM classification.
+    Svm,
+    /// Shallow-NN inference.
+    Nn,
+    /// Kalman-filter decode (centralised).
+    Kf {
+        /// Name of the parameter set to load from the NVM.
+        params: String,
+    },
+    /// LSH hash generation.
+    Hash {
+        /// Measure name (dtw/euclidean/xcor/emd).
+        measure: String,
+    },
+    /// Hash collision check against stored hashes.
+    CollisionCheck,
+    /// Exact DTW comparison.
+    Dtw,
+    /// Spike detection (NEO + THR).
+    SpikeDetect,
+    /// Electrical stimulation command.
+    Stim,
+    /// Hand result to the MC runtime / external radio.
+    CallRuntime,
+}
+
+/// A lowered dataflow DAG (linear chain of operators).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dag {
+    /// The query's bound name.
+    pub name: String,
+    /// Operators in dataflow order.
+    pub operators: Vec<Operator>,
+}
+
+impl Dag {
+    /// Whether any operator touches the network (collision check, KF
+    /// centralisation, runtime hand-off).
+    pub fn uses_network(&self) -> bool {
+        self.operators.iter().any(|op| {
+            matches!(
+                op,
+                Operator::CollisionCheck | Operator::Kf { .. } | Operator::CallRuntime
+            )
+        })
+    }
+
+    /// The window size the chain operates on, if it set one.
+    pub fn window_ms(&self) -> Option<f64> {
+        self.operators.iter().find_map(|op| match op {
+            Operator::Window { ms } => Some(*ms),
+            _ => None,
+        })
+    }
+}
+
+/// Lowers a parsed statement into a DAG.
+///
+/// # Errors
+///
+/// [`QueryError::UnknownOperator`] or [`QueryError::BadArguments`].
+pub fn lower(ast: &QueryAst) -> Result<Dag, QueryError> {
+    let mut operators = Vec::with_capacity(ast.ops.len());
+    for op in &ast.ops {
+        operators.push(lower_op(op)?);
+    }
+    Ok(Dag {
+        name: ast.name.clone(),
+        operators,
+    })
+}
+
+fn lower_op(op: &OpCall) -> Result<Operator, QueryError> {
+    let bad = |message: &str| QueryError::BadArguments {
+        op: op.name.clone(),
+        message: message.into(),
+    };
+    match op.name.as_str() {
+        "window" => {
+            let ms = op
+                .named("wsize")
+                .and_then(Arg::as_duration_ms)
+                .or_else(|| op.args.first().and_then(Arg::as_duration_ms))
+                .ok_or_else(|| bad("needs wsize=<duration>"))?;
+            if ms <= 0.0 {
+                return Err(bad("window must be positive"));
+            }
+            Ok(Operator::Window { ms })
+        }
+        "map" => {
+            let projection = match op.args.first() {
+                Some(Arg::Lambda(text)) => text.clone(),
+                _ => return Err(bad("first argument must be a lambda")),
+            };
+            let key = op.args.get(1).and_then(|a| match a {
+                Arg::Ident(path) => Some(path.clone()),
+                _ => None,
+            });
+            Ok(Operator::Map { projection, key })
+        }
+        "select" => {
+            let predicate = match op.args.first() {
+                Some(Arg::Lambda(text)) => text.clone(),
+                Some(Arg::Ident(id)) => id.clone(),
+                _ => return Err(bad("first argument must be a predicate")),
+            };
+            let slice = op.args.iter().find_map(|a| match a {
+                Arg::Slice { from_ms, to_ms } => Some((*from_ms, *to_ms)),
+                _ => None,
+            });
+            let seizure_detect = predicate.contains("seizure_detect");
+            Ok(Operator::Select {
+                predicate,
+                slice,
+                seizure_detect,
+            })
+        }
+        "sbp" => Ok(Operator::Sbp),
+        "fft" => Ok(Operator::Fft),
+        "bbf" | "bandpass" => {
+            let nums: Vec<f64> = op
+                .args
+                .iter()
+                .filter_map(|a| match a {
+                    Arg::Number(v) => Some(*v),
+                    Arg::Duration(_) => None,
+                    Arg::Named(_, inner) => match inner.as_ref() {
+                        Arg::Number(v) => Some(*v),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .collect();
+            match nums.as_slice() {
+                [lo, hi] if lo < hi => Ok(Operator::Bbf {
+                    lo_hz: *lo,
+                    hi_hz: *hi,
+                }),
+                _ => Err(bad("needs (lo_hz, hi_hz) with lo < hi")),
+            }
+        }
+        "xcor" => Ok(Operator::Xcor),
+        "svm" => Ok(Operator::Svm),
+        "nn" => Ok(Operator::Nn),
+        "kf" => {
+            let params = match op.args.first() {
+                Some(Arg::Ident(p)) => p.clone(),
+                None => "default".into(),
+                _ => return Err(bad("expects a parameter-set name")),
+            };
+            Ok(Operator::Kf { params })
+        }
+        "hash" => {
+            let measure = match op.args.first() {
+                Some(Arg::Ident(m)) | Some(Arg::Str(m)) => m.to_lowercase(),
+                None => "dtw".into(),
+                _ => return Err(bad("expects a measure name")),
+            };
+            if !["dtw", "euclidean", "xcor", "emd"].contains(&measure.as_str()) {
+                return Err(bad("measure must be dtw/euclidean/xcor/emd"));
+            }
+            Ok(Operator::Hash { measure })
+        }
+        "ccheck" | "collision_check" => Ok(Operator::CollisionCheck),
+        "dtw" => Ok(Operator::Dtw),
+        "spike_detect" | "spikes" => Ok(Operator::SpikeDetect),
+        "stim" | "stimulate" => Ok(Operator::Stim),
+        "call_runtime" => Ok(Operator::CallRuntime),
+        "seizure_detect" => Ok(Operator::Select {
+            predicate: "seizure_detect()".into(),
+            slice: None,
+            seizure_detect: true,
+        }),
+        other => Err(QueryError::UnknownOperator(other.to_string())),
+    }
+}
+
+/// Convenience: parse + lower in one call.
+///
+/// # Errors
+///
+/// Any [`QueryError`].
+///
+/// # Example
+///
+/// ```
+/// let dag = scalo_query::compile(
+///     "var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()",
+/// ).unwrap();
+/// assert_eq!(dag.window_ms(), Some(50.0));
+/// assert!(dag.uses_network());
+/// ```
+pub fn compile(input: &str) -> Result<Dag, QueryError> {
+    lower(&crate::parser::parse(input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn listing_one_lowers_to_kf_chain() {
+        let ast = parse(
+            "var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()",
+        )
+        .unwrap();
+        let dag = lower(&ast).unwrap();
+        assert_eq!(dag.operators.len(), 4);
+        assert_eq!(dag.window_ms(), Some(50.0));
+        assert!(matches!(&dag.operators[2], Operator::Kf { params } if params == "kf_params"));
+        assert!(dag.uses_network());
+    }
+
+    #[test]
+    fn listing_two_lowers_with_seizure_detect() {
+        let ast = parse(
+            "var seizure_data = stream.Map( s => s.select(s => s.data), s.locID)\
+             .window(wsize=4ms).select(w => w.time >= -5000)\
+             .select(w => w.seizure_detect(), w[-100ms:100ms])",
+        )
+        .unwrap();
+        let dag = lower(&ast).unwrap();
+        assert_eq!(dag.window_ms(), Some(4.0));
+        match &dag.operators[3] {
+            Operator::Select {
+                slice,
+                seizure_detect,
+                ..
+            } => {
+                assert_eq!(*slice, Some((-100.0, 100.0)));
+                assert!(seizure_detect);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_operator_is_reported() {
+        let ast = parse("var q = stream.frobnicate()").unwrap();
+        assert_eq!(
+            lower(&ast),
+            Err(QueryError::UnknownOperator("frobnicate".into()))
+        );
+    }
+
+    #[test]
+    fn bbf_validates_band() {
+        let ast = parse("var q = stream.bbf(30, 8)").unwrap();
+        assert!(matches!(lower(&ast), Err(QueryError::BadArguments { .. })));
+        let ast = parse("var q = stream.bbf(8, 30)").unwrap();
+        assert!(matches!(
+            lower(&ast).unwrap().operators[0],
+            Operator::Bbf { lo_hz: 8.0, hi_hz: 30.0 }
+        ));
+    }
+
+    #[test]
+    fn hash_measure_validated() {
+        let ast = parse("var q = stream.hash(dtw)").unwrap();
+        assert!(lower(&ast).is_ok());
+        let ast = parse("var q = stream.hash(sha256)").unwrap();
+        assert!(lower(&ast).is_err());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let ast = parse("var q = stream.window(wsize=0ms)").unwrap();
+        assert!(lower(&ast).is_err());
+    }
+}

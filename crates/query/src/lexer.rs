@@ -1,0 +1,228 @@
+//! Tokeniser for the query language.
+
+use crate::QueryError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal with optional time unit, normalised to the raw
+    /// value and unit string (`50`, `"ms"`).
+    Number(f64, Option<String>),
+    /// String literal (single or double quoted).
+    Str(String),
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `=>`
+    FatArrow,
+    /// `:`
+    Colon,
+    /// `-`
+    Minus,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+}
+
+/// Tokenises `input`.
+///
+/// # Errors
+///
+/// Returns [`QueryError::Lex`] on an unexpected character.
+pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' | ';' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::FatArrow);
+                    i += 2;
+                } else {
+                    out.push(Token::Eq);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(QueryError::Parse {
+                        message: "unterminated string".into(),
+                    });
+                }
+                out.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    // A digit followed by `.` followed by a letter is a
+                    // method call boundary, not a decimal point.
+                    if bytes[i] == b'.'
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|&b| (b as char).is_ascii_alphabetic())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let value: f64 = input[start..i].parse().map_err(|_| QueryError::Parse {
+                    message: format!("bad number `{}`", &input[start..i]),
+                })?;
+                // Optional unit suffix (ms, us, s, mb, kb...).
+                let ustart = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphabetic() {
+                    i += 1;
+                }
+                let unit = (ustart != i).then(|| input[ustart..i].to_lowercase());
+                out.push(Token::Number(value, unit));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(QueryError::Lex { at: i, found: other });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_listing_one() {
+        let toks = lex("var movements = stream.window(wsize=50ms).sbp()").unwrap();
+        assert!(toks.contains(&Token::Ident("stream".into())));
+        assert!(toks.contains(&Token::Number(50.0, Some("ms".into()))));
+        assert!(toks.contains(&Token::FatArrow) == false);
+    }
+
+    #[test]
+    fn fat_arrow_and_comparisons() {
+        let toks = lex("s => s.time >= -5000").unwrap();
+        assert!(toks.contains(&Token::FatArrow));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Minus));
+    }
+
+    #[test]
+    fn number_then_method_call() {
+        // `5.sbp()` must not lex "5." as a decimal.
+        let toks = lex("5.sbp()").unwrap();
+        assert_eq!(toks[0], Token::Number(5.0, None));
+        assert_eq!(toks[1], Token::Dot);
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        let toks = lex("q('hello') // trailing comment").unwrap();
+        assert!(toks.contains(&Token::Str("hello".into())));
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(lex("a ~ b"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn slice_tokens() {
+        let toks = lex("w[-100ms:100ms]").unwrap();
+        assert!(toks.contains(&Token::LBracket));
+        assert!(toks.contains(&Token::Colon));
+        assert!(toks.contains(&Token::Number(100.0, Some("ms".into()))));
+    }
+}

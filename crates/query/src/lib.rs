@@ -1,0 +1,64 @@
+//! The SCALO programming interface: a TrillDSP-like query language.
+//!
+//! Clinicians and neuroscientists express pipelines and interactive
+//! queries in a fluent stream language (§3.7, Listings 1–2):
+//!
+//! ```text
+//! var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()
+//! ```
+//!
+//! SCALO supports a *subset* of the host languages chosen to keep
+//! scheduling static (fixed loop iterations, no data-dependent control
+//! flow). This crate implements that subset: a [`lexer`], a [`parser`]
+//! producing a fluent-chain AST, and a [`dag`] lowering that turns the
+//! chain into the dataflow DAG the ILP scheduler consumes.
+
+pub mod dag;
+pub mod lexer;
+pub mod parser;
+
+pub use dag::{compile, lower, Dag, Operator};
+pub use parser::{parse, Arg, OpCall, QueryAst};
+
+/// Errors produced while parsing or lowering a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Unexpected character in the input.
+    Lex {
+        /// Byte position.
+        at: usize,
+        /// Offending character.
+        found: char,
+    },
+    /// Unexpected token.
+    Parse {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Unknown operator name during lowering.
+    UnknownOperator(String),
+    /// Operator used with bad arguments.
+    BadArguments {
+        /// The operator.
+        op: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Lex { at, found } => {
+                write!(f, "unexpected character {found:?} at byte {at}")
+            }
+            QueryError::Parse { message } => write!(f, "parse error: {message}"),
+            QueryError::UnknownOperator(op) => write!(f, "unknown operator `{op}`"),
+            QueryError::BadArguments { op, message } => {
+                write!(f, "bad arguments for `{op}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,364 @@
+//! Parser: token stream → fluent-chain AST.
+
+use crate::lexer::{lex, Token};
+use crate::QueryError;
+
+/// An argument to an operator call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// A duration, normalised to milliseconds (`50ms`, `5s`, `200us`).
+    Duration(f64),
+    /// A bare number.
+    Number(f64),
+    /// A plain or dotted identifier (`kf_params`, `s.locID`).
+    Ident(String),
+    /// A string literal.
+    Str(String),
+    /// A named argument (`wsize=50ms`).
+    Named(String, Box<Arg>),
+    /// A lambda, captured as raw text (`s => s.time >= -5000`).
+    Lambda(String),
+    /// A time slice (`w[-100ms:100ms]`), in milliseconds.
+    Slice {
+        /// Start offset in ms (may be negative).
+        from_ms: f64,
+        /// End offset in ms.
+        to_ms: f64,
+    },
+}
+
+impl Arg {
+    /// The duration in ms if this argument is one (directly or named).
+    pub fn as_duration_ms(&self) -> Option<f64> {
+        match self {
+            Arg::Duration(ms) => Some(*ms),
+            Arg::Named(_, inner) => inner.as_duration_ms(),
+            _ => None,
+        }
+    }
+}
+
+/// One operator call in a chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCall {
+    /// Operator name, lower-cased.
+    pub name: String,
+    /// Arguments in order.
+    pub args: Vec<Arg>,
+}
+
+impl OpCall {
+    /// The value of named argument `key`, if present.
+    pub fn named(&self, key: &str) -> Option<&Arg> {
+        self.args.iter().find_map(|a| match a {
+            Arg::Named(k, v) if k == key => Some(v.as_ref()),
+            _ => None,
+        })
+    }
+}
+
+/// A parsed statement: `var <name> = stream.<op>()...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAst {
+    /// Bound variable name.
+    pub name: String,
+    /// The operator chain, in order.
+    pub ops: Vec<OpCall>,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_ident(&mut self) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), QueryError> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            other => Err(err(format!("expected {want:?}, found {other:?}"))),
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<QueryAst, QueryError> {
+        let kw = self.expect_ident()?;
+        if kw != "var" {
+            return Err(err(format!("expected `var`, found `{kw}`")));
+        }
+        let name = self.expect_ident()?;
+        self.expect(&Token::Eq)?;
+        let source = self.expect_ident()?;
+        if source != "stream" {
+            return Err(err(format!("chains must start at `stream`, found `{source}`")));
+        }
+        let mut ops = Vec::new();
+        while self.peek() == Some(&Token::Dot) {
+            self.next();
+            ops.push(self.parse_call()?);
+        }
+        Ok(QueryAst { name, ops })
+    }
+
+    fn parse_call(&mut self) -> Result<OpCall, QueryError> {
+        let name = self.expect_ident()?.to_lowercase();
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.parse_arg()?);
+                match self.peek() {
+                    Some(Token::Comma) => {
+                        self.next();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(OpCall { name, args })
+    }
+
+    fn parse_arg(&mut self) -> Result<Arg, QueryError> {
+        // Lambda: `ident => …` captured raw until `,` / `)` at depth 0.
+        if let (Some(Token::Ident(_)), Some(Token::FatArrow)) =
+            (self.peek(), self.tokens.get(self.pos + 1))
+        {
+            return Ok(Arg::Lambda(self.capture_raw()?));
+        }
+        match self.next() {
+            Some(Token::Minus) => match self.next() {
+                Some(Token::Number(v, unit)) => Ok(number_arg(-v, unit)),
+                other => Err(err(format!("expected number after `-`, found {other:?}"))),
+            },
+            Some(Token::Number(v, unit)) => Ok(number_arg(v, unit)),
+            Some(Token::Str(s)) => Ok(Arg::Str(s)),
+            Some(Token::Ident(name)) => {
+                // Named argument?
+                if self.peek() == Some(&Token::Eq) {
+                    self.next();
+                    let value = self.parse_arg()?;
+                    return Ok(Arg::Named(name, Box::new(value)));
+                }
+                // Slice? `w[-100ms:100ms]`
+                if self.peek() == Some(&Token::LBracket) {
+                    self.next();
+                    let from_ms = self.parse_signed_duration()?;
+                    self.expect(&Token::Colon)?;
+                    let to_ms = self.parse_signed_duration()?;
+                    self.expect(&Token::RBracket)?;
+                    return Ok(Arg::Slice { from_ms, to_ms });
+                }
+                // Dotted path? `s.locID` (not a call — no parens).
+                let mut path = name;
+                while self.peek() == Some(&Token::Dot) {
+                    if let Some(Token::Ident(_)) = self.tokens.get(self.pos + 1) {
+                        if self.tokens.get(self.pos + 2) == Some(&Token::LParen) {
+                            break; // a method call, not a path
+                        }
+                        self.next();
+                        path.push('.');
+                        path.push_str(&self.expect_ident()?);
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Arg::Ident(path))
+            }
+            other => Err(err(format!("unexpected argument token {other:?}"))),
+        }
+    }
+
+    fn parse_signed_duration(&mut self) -> Result<f64, QueryError> {
+        let sign = if self.peek() == Some(&Token::Minus) {
+            self.next();
+            -1.0
+        } else {
+            1.0
+        };
+        match self.next() {
+            Some(Token::Number(v, unit)) => match number_arg(sign * v, unit) {
+                Arg::Duration(ms) => Ok(ms),
+                Arg::Number(n) => Ok(n),
+                _ => unreachable!("number_arg returns Duration or Number"),
+            },
+            other => Err(err(format!("expected duration, found {other:?}"))),
+        }
+    }
+
+    /// Captures raw tokens (roughly re-stringified) until a `,` or `)` at
+    /// nesting depth 0.
+    fn capture_raw(&mut self) -> Result<String, QueryError> {
+        let mut depth = 0i32;
+        let mut parts: Vec<String> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(err("unterminated lambda".into())),
+                Some(Token::Comma) if depth == 0 => break,
+                Some(Token::RParen) if depth == 0 => break,
+                Some(t) => {
+                    match t {
+                        Token::LParen | Token::LBracket => depth += 1,
+                        Token::RParen | Token::RBracket => depth -= 1,
+                        _ => {}
+                    }
+                    parts.push(display_token(t));
+                    self.next();
+                }
+            }
+        }
+        Ok(parts.join(" "))
+    }
+}
+
+fn display_token(t: &Token) -> String {
+    match t {
+        Token::Ident(s) => s.clone(),
+        Token::Number(v, Some(u)) => format!("{v}{u}"),
+        Token::Number(v, None) => format!("{v}"),
+        Token::Str(s) => format!("{s:?}"),
+        Token::Dot => ".".into(),
+        Token::LParen => "(".into(),
+        Token::RParen => ")".into(),
+        Token::LBracket => "[".into(),
+        Token::RBracket => "]".into(),
+        Token::Comma => ",".into(),
+        Token::Eq => "=".into(),
+        Token::FatArrow => "=>".into(),
+        Token::Colon => ":".into(),
+        Token::Minus => "-".into(),
+        Token::Ge => ">=".into(),
+        Token::Le => "<=".into(),
+        Token::Gt => ">".into(),
+        Token::Lt => "<".into(),
+    }
+}
+
+fn number_arg(v: f64, unit: Option<String>) -> Arg {
+    match unit.as_deref() {
+        Some("ms") => Arg::Duration(v),
+        Some("s") => Arg::Duration(v * 1_000.0),
+        Some("us") => Arg::Duration(v / 1_000.0),
+        Some("mb") => Arg::Number(v * 1024.0 * 1024.0),
+        Some("kb") => Arg::Number(v * 1024.0),
+        _ => Arg::Number(v),
+    }
+}
+
+fn err(message: String) -> QueryError {
+    QueryError::Parse { message }
+}
+
+/// Parses one `var … = stream.…` statement.
+///
+/// # Errors
+///
+/// [`QueryError::Lex`] or [`QueryError::Parse`].
+pub fn parse(input: &str) -> Result<QueryAst, QueryError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let ast = p.parse_statement()?;
+    if p.pos != p.tokens.len() {
+        return Err(err(format!(
+            "trailing tokens after statement (at token {})",
+            p.pos
+        )));
+    }
+    Ok(ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Listing 1 of the paper.
+    const LISTING_1: &str =
+        "var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()";
+
+    /// Listing 2 of the paper.
+    const LISTING_2: &str = "var seizure_data = stream.Map( \
+         s => s.select(s => s.data), s.locID) \
+         .window(wsize=4ms).select(w => w.time >= -5000) \
+         .select(w => w.seizure_detect(), w[-100ms:100ms])";
+
+    #[test]
+    fn parses_listing_one() {
+        let ast = parse(LISTING_1).unwrap();
+        assert_eq!(ast.name, "movements");
+        let names: Vec<&str> = ast.ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, ["window", "sbp", "kf", "call_runtime"]);
+        assert_eq!(
+            ast.ops[0].named("wsize").and_then(Arg::as_duration_ms),
+            Some(50.0)
+        );
+        assert_eq!(ast.ops[2].args, vec![Arg::Ident("kf_params".into())]);
+    }
+
+    #[test]
+    fn parses_listing_two() {
+        let ast = parse(LISTING_2).unwrap();
+        assert_eq!(ast.name, "seizure_data");
+        let names: Vec<&str> = ast.ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, ["map", "window", "select", "select"]);
+        // Map's second argument is the dotted grouping key.
+        assert_eq!(ast.ops[0].args[1], Arg::Ident("s.locID".into()));
+        // Final select carries the slice.
+        assert_eq!(
+            ast.ops[3].args[1],
+            Arg::Slice {
+                from_ms: -100.0,
+                to_ms: 100.0
+            }
+        );
+        // 4 ms window.
+        assert_eq!(
+            ast.ops[1].named("wsize").and_then(Arg::as_duration_ms),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn lambda_is_captured_raw() {
+        let ast = parse("var q = stream.select(w => w.time >= -5000)").unwrap();
+        match &ast.ops[0].args[0] {
+            Arg::Lambda(text) => assert!(text.contains(">="), "{text}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn seconds_normalise_to_ms() {
+        let ast = parse("var q = stream.window(wsize=5s)").unwrap();
+        assert_eq!(
+            ast.ops[0].named("wsize").and_then(Arg::as_duration_ms),
+            Some(5_000.0)
+        );
+    }
+
+    #[test]
+    fn rejects_non_stream_source() {
+        assert!(parse("var q = foo.window()").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_var() {
+        assert!(parse("q = stream.window()").is_err());
+    }
+}

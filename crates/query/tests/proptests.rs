@@ -1,0 +1,61 @@
+//! Property-based tests for the query language: the front end must be
+//! total (no panics) on arbitrary input and exact on generated programs.
+
+use proptest::prelude::*;
+use scalo_query::lexer::lex;
+use scalo_query::{compile, parse};
+
+/// Strategy for syntactically valid operator chains.
+fn op_chain() -> impl Strategy<Value = String> {
+    let op = prop_oneof![
+        Just(".sbp()".to_string()),
+        Just(".fft()".to_string()),
+        Just(".xcor()".to_string()),
+        Just(".svm()".to_string()),
+        Just(".nn()".to_string()),
+        Just(".dtw()".to_string()),
+        Just(".ccheck()".to_string()),
+        Just(".hash(dtw)".to_string()),
+        Just(".kf(params)".to_string()),
+        Just(".call_runtime()".to_string()),
+        (1u32..2_000).prop_map(|ms| format!(".window(wsize={ms}ms)")),
+        (1u32..100).prop_map(|lo| format!(".bbf({lo}, {})", lo + 10)),
+    ];
+    proptest::collection::vec(op, 1..8).prop_map(|ops| {
+        format!("var q = stream{}", ops.join(""))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lexer_never_panics(input in "[ -~]{0,200}") {
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,200}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn generated_chains_compile(src in op_chain()) {
+        let ast = parse(&src).expect("generated chain parses");
+        let dag = compile(&src).expect("generated chain lowers");
+        prop_assert_eq!(dag.operators.len(), ast.ops.len());
+    }
+
+    #[test]
+    fn window_sizes_are_preserved(ms in 1u32..10_000) {
+        let dag = compile(&format!("var q = stream.window(wsize={ms}ms).sbp()")).unwrap();
+        prop_assert_eq!(dag.window_ms(), Some(f64::from(ms)));
+    }
+
+    #[test]
+    fn durations_normalise_consistently(secs in 1u32..60) {
+        let a = compile(&format!("var q = stream.window(wsize={secs}s)")).unwrap();
+        let b = compile(&format!("var q = stream.window(wsize={}ms)", secs * 1_000)).unwrap();
+        prop_assert_eq!(a.window_ms(), b.window_ms());
+    }
+}

@@ -1,0 +1,204 @@
+//! Generic DAG → ILP formulation (the §3.5 scheduler entry point).
+//!
+//! Given a compiled query DAG and a scenario, formulate: maximise the
+//! number of electrode signals processed per window (an integer), subject
+//! to the per-node power budget, the fabric's PE inventory, the pipeline
+//! response-time target, and (if the DAG communicates) the TDMA budget.
+//! The deterministic PE table makes the formulation exact.
+
+use crate::map::pes_for_dag;
+use crate::network::{GUARD_BYTES, PACKET_OVERHEAD_BYTES};
+use crate::power::{ADC_MW_PER_ELECTRODE, NVM_LEAKAGE_MW};
+use crate::scenario::Scenario;
+use scalo_hw::fabric::NodeFabric;
+use scalo_hw::pe::{spec, PeKind};
+use scalo_ilp::{Model, Sense, SolveError};
+use scalo_query::Dag;
+
+/// A solved schedule for one DAG on one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Electrode signals processed per window (integral).
+    pub electrodes: u32,
+    /// Power drawn at that operating point, in mW.
+    pub power_mw: f64,
+    /// End-to-end pipeline latency in ms.
+    pub latency_ms: f64,
+    /// The PEs claimed, in dataflow order.
+    pub pes: Vec<PeKind>,
+}
+
+/// Errors from scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The fabric lacks an instance of a required PE.
+    MissingPe(PeKind),
+    /// The pipeline cannot meet the response-time target even for one
+    /// electrode.
+    DeadlineImpossible {
+        /// Pipeline latency in ms.
+        latency_ms: f64,
+        /// The target in ms.
+        deadline_ms: f64,
+    },
+    /// The solver failed (e.g. fixed power exceeds the budget).
+    Solver(SolveError),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::MissingPe(pe) => write!(f, "fabric has no free {pe} instance"),
+            ScheduleError::DeadlineImpossible {
+                latency_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "pipeline latency {latency_ms} ms exceeds deadline {deadline_ms} ms"
+            ),
+            ScheduleError::Solver(e) => write!(f, "solver: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Schedules `dag` on a single node's fabric.
+///
+/// `deadline_ms` is the response-time target; `wire_bytes_per_electrode`
+/// the DAG's network cost (0 for local pipelines).
+///
+/// # Errors
+///
+/// See [`ScheduleError`].
+pub fn schedule(
+    dag: &Dag,
+    scenario: &Scenario,
+    deadline_ms: f64,
+    wire_bytes_per_electrode: f64,
+) -> Result<Schedule, ScheduleError> {
+    let pes = pes_for_dag(dag);
+
+    // Fabric feasibility: count demanded instances per kind.
+    let fabric = NodeFabric::new();
+    let mut demand: std::collections::HashMap<PeKind, usize> = Default::default();
+    for &pe in &pes {
+        *demand.entry(pe).or_insert(0) += 1;
+    }
+    for (&pe, &want) in &demand {
+        if want > fabric.instances(pe) {
+            return Err(ScheduleError::MissingPe(pe));
+        }
+    }
+
+    // Latency: PE latencies chain (worst case 4 ms for data-dependent).
+    let latency_ms: f64 = pes.iter().map(|&pe| spec(pe).latency.worst_ms(4.0)).sum();
+    if latency_ms > deadline_ms {
+        return Err(ScheduleError::DeadlineImpossible {
+            latency_ms,
+            deadline_ms,
+        });
+    }
+
+    // Power model: fixed leakage of claimed PEs (+ NVM + radio if the
+    // DAG communicates), linear dynamic per electrode.
+    let mut fixed_mw = NVM_LEAKAGE_MW;
+    let mut dyn_mw = ADC_MW_PER_ELECTRODE;
+    for &pe in &pes {
+        let s = spec(pe);
+        fixed_mw += (s.leakage_uw + s.sram_leakage_uw) / 1_000.0;
+        dyn_mw += s.dyn_per_electrode_uw / 1_000.0;
+    }
+    if dag.uses_network() {
+        fixed_mw += scenario.radio.power_mw;
+    }
+
+    // ILP: maximise integer electrodes under power + network budgets.
+    let mut m = Model::new();
+    let n = m.add_var("electrodes", 0.0, Some(4_096.0), true);
+    m.add_constraint(
+        m.expr(&[(n, dyn_mw)]),
+        Sense::Le,
+        scenario.power_limit_mw - fixed_mw,
+    );
+    if dag.uses_network() && wire_bytes_per_electrode > 0.0 {
+        let window_ms = dag.window_ms().unwrap_or(deadline_ms);
+        let budget = scenario.radio.data_rate_mbps * 1e6 * window_ms / 1_000.0 / 8.0
+            - GUARD_BYTES * scenario.nodes as f64
+            - PACKET_OVERHEAD_BYTES;
+        m.add_constraint(m.expr(&[(n, wire_bytes_per_electrode)]), Sense::Le, budget);
+    }
+    m.maximize(m.expr(&[(n, 1.0)]));
+    let sol = m.solve().map_err(ScheduleError::Solver)?;
+
+    let electrodes = sol.value(n).round() as u32;
+    Ok(Schedule {
+        electrodes,
+        power_mw: fixed_mw + dyn_mw * f64::from(electrodes),
+        latency_ms,
+        pes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalo_query::compile;
+
+    #[test]
+    fn movement_kf_schedules_within_50ms() {
+        let dag = compile(
+            "var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()",
+        )
+        .unwrap();
+        let sched = schedule(&dag, &Scenario::new(4, 15.0), 50.0, 4.0).unwrap();
+        assert!(sched.electrodes > 50, "{sched:?}");
+        assert!(sched.power_mw <= 15.0 + 1e-9);
+        assert!(sched.latency_ms <= 50.0);
+    }
+
+    #[test]
+    fn seizure_detection_schedules_locally() {
+        let dag = compile(
+            "var q = stream.window(wsize=4ms).select(w => w.seizure_detect())",
+        )
+        .unwrap();
+        let sched = schedule(&dag, &Scenario::new(1, 15.0), 16.0, 0.0).unwrap();
+        assert!(sched.electrodes > 90, "{sched:?}");
+        assert!(!dag.uses_network());
+    }
+
+    #[test]
+    fn tight_deadline_is_rejected() {
+        let dag = compile(
+            "var q = stream.window(wsize=4ms).select(w => w.seizure_detect())",
+        )
+        .unwrap();
+        let err = schedule(&dag, &Scenario::new(1, 15.0), 1.0, 0.0).unwrap_err();
+        assert!(matches!(err, ScheduleError::DeadlineImpossible { .. }));
+    }
+
+    #[test]
+    fn tiny_power_budget_limits_electrodes() {
+        let dag = compile("var q = stream.window(wsize=4ms).hash(dtw).ccheck()").unwrap();
+        let rich = schedule(&dag, &Scenario::new(2, 15.0), 10.0, 0.4).unwrap();
+        let poor = schedule(&dag, &Scenario::new(2, 4.0), 10.0, 0.4).unwrap();
+        assert!(poor.electrodes < rich.electrodes, "{poor:?} vs {rich:?}");
+    }
+
+    #[test]
+    fn network_budget_binds_signal_pipelines() {
+        let dag = compile("var q = stream.window(wsize=4ms).dtw()").unwrap();
+        // A DTW exchange at 240 B/electrode within a 4 ms window budget.
+        let dag = Dag {
+            operators: {
+                let mut ops = dag.operators;
+                ops.push(scalo_query::Operator::CallRuntime); // network use
+                ops
+            },
+            ..dag
+        };
+        let sched = schedule(&dag, &Scenario::new(2, 15.0), 10.0, 240.0).unwrap();
+        assert!(sched.electrodes < 20, "network-bound: {sched:?}");
+    }
+}

@@ -1,0 +1,59 @@
+//! The SCALO system scheduler (§3.5) and its throughput models.
+//!
+//! SCALO maps application dataflow graphs onto PEs, the TDMA network and
+//! the NVM with an ILP whose objective maximises the priority-weighted
+//! number of electrode signals processed per flow, under response-time
+//! and power constraints. Deterministic PE latency/power (Table 1) is
+//! what makes optimal software scheduling feasible.
+//!
+//! Two solver paths mirror the paper's artifact:
+//!
+//! * the **ILP path** ([`seizure`], [`ilp_build`]) formulates the flow
+//!   model with `scalo-ilp`'s exact simplex + branch & bound (the
+//!   artifact uses GLPK) — used where flows genuinely compete (e.g. the
+//!   priority-weighted seizure propagation of Figure 9a);
+//! * the **closed-form path** ([`throughput`], [`movement`], [`local`],
+//!   [`queries`]) — the artifact's `lineqn` mode: reduced linear
+//!   equations for large sweeps where the binding constraint is known.
+//!
+//! The component models (what binds when) live in [`power`] and
+//! [`network`]; task pipeline definitions in [`tasks`]; query-DAG →
+//! PE mapping in [`map`].
+
+pub mod ilp_build;
+pub mod local;
+pub mod map;
+pub mod movement;
+pub mod network;
+pub mod power;
+pub mod queries;
+pub mod scenario;
+pub mod seizure;
+pub mod tasks;
+pub mod throughput;
+
+pub use scenario::Scenario;
+pub use tasks::TaskKind;
+pub use throughput::max_aggregate_throughput_mbps;
+
+/// Megabits per second of neural data carried by one electrode stream
+/// (30 kHz × 16 bit).
+pub const MBPS_PER_ELECTRODE: f64 = 0.48;
+
+/// The 4 ms seizure-analysis window (120 samples).
+pub const SEIZURE_WINDOW_MS: f64 = 4.0;
+
+/// The 50 ms movement-decoding window.
+pub const MOVEMENT_WINDOW_MS: f64 = 50.0;
+
+/// Response-time target for seizure propagation (§2.2).
+pub const SEIZURE_DEADLINE_MS: f64 = 10.0;
+
+/// Response-time target for movement decoding (§2.2).
+pub const MOVEMENT_DEADLINE_MS: f64 = 50.0;
+
+/// Bytes of one raw 4 ms signal window on the wire (120 × 16-bit).
+pub const SIGNAL_WINDOW_BYTES: usize = 240;
+
+/// Bytes of one hash on the wire before compression (§3.1: 1 B).
+pub const HASH_BYTES: usize = 1;

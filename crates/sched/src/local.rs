@@ -1,0 +1,71 @@
+//! Local-task scaling (the §6.2 scalars): seizure detection and spike
+//! sorting versus the per-implant power limit.
+
+use crate::power::PowerModel;
+use crate::scenario::Scenario;
+use crate::tasks::TaskKind;
+use crate::MBPS_PER_ELECTRODE;
+
+/// One row of the local-scaling table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalPoint {
+    /// Power limit in mW.
+    pub power_mw: f64,
+    /// Per-node throughput in Mbps.
+    pub throughput_mbps: f64,
+}
+
+/// Per-node throughput of a local task across the power sweep.
+pub fn local_scaling(task: TaskKind) -> Vec<LocalPoint> {
+    assert!(
+        !task.uses_network(),
+        "{task} is distributed; use the throughput module"
+    );
+    Scenario::power_sweep()
+        .into_iter()
+        .map(|p| {
+            let scenario = Scenario::new(1, p);
+            let model = PowerModel::for_task(task, &scenario);
+            LocalPoint {
+                power_mw: p,
+                throughput_mbps: model.max_electrodes(p) * MBPS_PER_ELECTRODE,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seizure_detection_band_and_curvature() {
+        let pts = local_scaling(TaskKind::SeizureDetection);
+        let t15 = pts[0].throughput_mbps;
+        let t6 = pts[3].throughput_mbps;
+        // Paper: 79 → 46 Mbps (quadratic fall). Same band & curvature.
+        assert!(t15 > 45.0 && t15 < 110.0, "{t15}");
+        assert!(t6 > 20.0 && t6 < 60.0, "{t6}");
+        assert!(t6 / t15 > 0.35, "quadratic fall is gentler than linear");
+    }
+
+    #[test]
+    fn spike_sorting_band_and_linearity() {
+        let pts = local_scaling(TaskKind::SpikeSorting);
+        let t15 = pts[0].throughput_mbps;
+        let t6 = pts[3].throughput_mbps;
+        // Paper: 118 → 38.4 Mbps, linear in power.
+        assert!(t15 > 80.0, "{t15}");
+        assert!(t6 < t15 * 0.5, "{t6} vs {t15}");
+        // Linearity: equal power steps give equal throughput steps.
+        let d1 = pts[0].throughput_mbps - pts[1].throughput_mbps;
+        let d2 = pts[1].throughput_mbps - pts[2].throughput_mbps;
+        assert!((d1 - d2).abs() < 1e-6, "{d1} vs {d2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "distributed")]
+    fn distributed_task_rejected() {
+        let _ = local_scaling(TaskKind::HashAllAll);
+    }
+}

@@ -1,0 +1,87 @@
+//! Query-DAG operator → PE mapping (the §3.7 compilation step).
+
+use scalo_hw::pe::PeKind;
+use scalo_query::Operator;
+
+/// The PEs an operator occupies on the fabric. `Window`, `Map` and
+/// plain `Select` are routing/windowing constructs handled by the GATE
+/// and switch configuration rather than compute PEs.
+pub fn pes_for_operator(op: &Operator) -> Vec<PeKind> {
+    match op {
+        Operator::Window { .. } => vec![PeKind::Gate],
+        Operator::Map { .. } => vec![PeKind::Tok],
+        Operator::Select { seizure_detect, .. } => {
+            if *seizure_detect {
+                // Seizure detection = the Figure 5 feature + SVM chain.
+                vec![PeKind::Bbf, PeKind::Fft, PeKind::Xcor, PeKind::Svm]
+            } else {
+                vec![PeKind::Thr]
+            }
+        }
+        Operator::Sbp => vec![PeKind::Sbp],
+        Operator::Fft => vec![PeKind::Fft],
+        Operator::Bbf { .. } => vec![PeKind::Bbf],
+        Operator::Xcor => vec![PeKind::Xcor],
+        Operator::Svm => vec![PeKind::Svm],
+        Operator::Nn => vec![PeKind::Bmul, PeKind::Add],
+        Operator::Kf { .. } => vec![
+            PeKind::Bmul,
+            PeKind::Add,
+            PeKind::Sub,
+            PeKind::Inv,
+            PeKind::Sc,
+        ],
+        Operator::Hash { measure } => match measure.as_str() {
+            "emd" => vec![PeKind::Hconv, PeKind::Emdh],
+            _ => vec![PeKind::Hconv, PeKind::Ngram],
+        },
+        Operator::CollisionCheck => vec![PeKind::Ccheck],
+        Operator::Dtw => vec![PeKind::Dtw],
+        Operator::SpikeDetect => vec![PeKind::Neo, PeKind::Thr],
+        Operator::Stim => vec![],                 // DAC path, not a PE
+        Operator::CallRuntime => vec![PeKind::Npack],
+    }
+}
+
+/// All PEs a DAG occupies, in dataflow order (with multiplicity).
+pub fn pes_for_dag(dag: &scalo_query::Dag) -> Vec<PeKind> {
+    dag.operators.iter().flat_map(pes_for_operator).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalo_query::compile;
+
+    #[test]
+    fn listing_one_maps_to_kf_cluster() {
+        let dag = compile(
+            "var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()",
+        )
+        .unwrap();
+        let pes = pes_for_dag(&dag);
+        assert!(pes.contains(&PeKind::Sbp));
+        assert!(pes.contains(&PeKind::Inv));
+        assert!(pes.contains(&PeKind::Npack));
+    }
+
+    #[test]
+    fn seizure_detect_expands_to_figure5_chain() {
+        let dag = compile(
+            "var q = stream.window(wsize=4ms).select(w => w.seizure_detect())",
+        )
+        .unwrap();
+        let pes = pes_for_dag(&dag);
+        for pe in [PeKind::Bbf, PeKind::Fft, PeKind::Xcor, PeKind::Svm] {
+            assert!(pes.contains(&pe), "missing {pe}");
+        }
+    }
+
+    #[test]
+    fn emd_hash_uses_emdh_pe() {
+        let dag = compile("var q = stream.hash(emd)").unwrap();
+        assert!(pes_for_dag(&dag).contains(&PeKind::Emdh));
+        let dag = compile("var q = stream.hash(dtw)").unwrap();
+        assert!(pes_for_dag(&dag).contains(&PeKind::Ngram));
+    }
+}

@@ -1,0 +1,164 @@
+//! Network-bound electrode counts under the TDMA protocol.
+//!
+//! The intra-SCALO radio is single-frequency, so access serialises
+//! (§2.3). Communication patterns cost differently:
+//!
+//! * **one-to-all** — a single designated sender per round can broadcast:
+//!   one transmission reaches everyone. Cost `1×` the batch.
+//! * **all-to-all** — with every node both sending and receiving there is
+//!   no reliable broadcast round; each pair exchanges acknowledged
+//!   unicasts, costing `k·(k−1)` transfers. This is what makes DTW
+//!   All-All collapse and Hash All-All peak and then decline (§6.2).
+//! * **all-to-one** — `k−1` unicasts to the aggregator.
+//!
+//! Each transfer additionally pays per-packet framing (148 bits) and each
+//! node one guard slot per window.
+
+use crate::scenario::Scenario;
+use crate::tasks::TaskKind;
+use scalo_net::OVERHEAD_BITS;
+
+/// Per-packet framing overhead in bytes.
+pub const PACKET_OVERHEAD_BYTES: f64 = OVERHEAD_BITS as f64 / 8.0;
+
+/// Per-node guard-slot cost per window, in byte-times.
+pub const GUARD_BYTES: f64 = 18.5;
+
+/// Communication pattern of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// No intra-network use.
+    Local,
+    /// One designated broadcaster.
+    OneToAll,
+    /// Every node to every node (pairwise unicast).
+    AllToAll,
+    /// Every node to one aggregator.
+    AllToOne,
+}
+
+impl Pattern {
+    /// The pattern of a task.
+    pub fn of(task: TaskKind) -> Self {
+        match task {
+            TaskKind::SeizureDetection | TaskKind::SpikeSorting => Pattern::Local,
+            TaskKind::HashOneAll | TaskKind::DtwOneAll => Pattern::OneToAll,
+            TaskKind::HashAllAll | TaskKind::DtwAllAll => Pattern::AllToAll,
+            TaskKind::MiSvm | TaskKind::MiNn | TaskKind::MiKf => Pattern::AllToOne,
+        }
+    }
+
+    /// Number of point-to-point transfers of one batch per window for
+    /// `k` nodes.
+    pub fn transfers(self, k: usize) -> f64 {
+        match self {
+            Pattern::Local => 0.0,
+            Pattern::OneToAll => 1.0,
+            Pattern::AllToAll => (k * k.saturating_sub(1)) as f64,
+            Pattern::AllToOne => k.saturating_sub(1) as f64,
+        }
+    }
+}
+
+/// Byte-times available on the channel per processing window.
+pub fn window_budget_bytes(scenario: &Scenario, window_ms: f64) -> f64 {
+    scenario.radio.data_rate_mbps * 1e6 * window_ms / 1_000.0 / 8.0
+}
+
+/// The largest per-node electrode count the network sustains for `task`,
+/// or `f64::INFINITY` when the per-electrode traffic is zero.
+///
+/// Also returns a cadence multiplier in `(0, 1]`: when per-node constant
+/// traffic alone exceeds the budget (possible for MI-NN at very high
+/// node counts), throughput degrades by that factor instead of
+/// collapsing to zero.
+pub fn network_bound(task: TaskKind, scenario: &Scenario) -> (f64, f64) {
+    let pattern = Pattern::of(task);
+    if pattern == Pattern::Local {
+        return (f64::INFINITY, 1.0);
+    }
+    let k = scenario.nodes;
+    let transfers = pattern.transfers(k);
+    if transfers == 0.0 {
+        return (f64::INFINITY, 1.0);
+    }
+    let budget = window_budget_bytes(scenario, task.budget_window_ms());
+    let guard = GUARD_BYTES * k as f64;
+    let constants = transfers * (task.wire_bytes_per_node() + PACKET_OVERHEAD_BYTES) + guard;
+    let b = task.wire_bytes_per_electrode();
+    if b == 0.0 {
+        // Only constant traffic; degrade cadence if oversubscribed.
+        let factor = (budget / constants).min(1.0);
+        return (f64::INFINITY, factor);
+    }
+    if constants * 2.0 <= budget {
+        ((budget - constants) / (transfers * b), 1.0)
+    } else {
+        // Header/guard traffic alone dominates the window: the exchange
+        // cadence stretches (rounds run every c-th window, headers taking
+        // half the stretched budget) instead of collapsing to zero.
+        let cadence = budget / (2.0 * constants);
+        (constants / (transfers * b), cadence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_match_tasks() {
+        assert_eq!(Pattern::of(TaskKind::HashAllAll), Pattern::AllToAll);
+        assert_eq!(Pattern::of(TaskKind::DtwOneAll), Pattern::OneToAll);
+        assert_eq!(Pattern::of(TaskKind::MiKf), Pattern::AllToOne);
+        assert_eq!(Pattern::of(TaskKind::SpikeSorting), Pattern::Local);
+    }
+
+    #[test]
+    fn transfer_counts() {
+        assert_eq!(Pattern::AllToAll.transfers(4), 12.0);
+        assert_eq!(Pattern::OneToAll.transfers(4), 1.0);
+        assert_eq!(Pattern::AllToOne.transfers(4), 3.0);
+        assert_eq!(Pattern::AllToAll.transfers(1), 0.0);
+    }
+
+    #[test]
+    fn dtw_all_all_is_tightly_bound() {
+        // §6.2: "only 16 electrode signals can be transmitted in this
+        // mode" — at two nodes our unicast model allows ~14 per sender.
+        let s = Scenario::new(2, 15.0);
+        let (n, _) = network_bound(TaskKind::DtwAllAll, &s);
+        assert!(n > 5.0 && n < 20.0, "n = {n}");
+    }
+
+    #[test]
+    fn hash_bound_exceeds_dtw_bound_by_far() {
+        let s = Scenario::new(4, 15.0);
+        let (hash, _) = network_bound(TaskKind::HashAllAll, &s);
+        let (dtw, _) = network_bound(TaskKind::DtwAllAll, &s);
+        assert!(hash > 50.0 * dtw, "hash {hash} dtw {dtw}");
+    }
+
+    #[test]
+    fn all_all_bound_shrinks_with_nodes() {
+        let n4 = network_bound(TaskKind::HashAllAll, &Scenario::new(4, 15.0)).0;
+        let n16 = network_bound(TaskKind::HashAllAll, &Scenario::new(16, 15.0)).0;
+        assert!(n16 < n4 / 4.0, "{n4} vs {n16}");
+    }
+
+    #[test]
+    fn mi_svm_network_is_effectively_free() {
+        let s = Scenario::new(16, 15.0);
+        let (n, factor) = network_bound(TaskKind::MiSvm, &s);
+        assert!(n.is_infinite());
+        assert_eq!(factor, 1.0);
+    }
+
+    #[test]
+    fn mi_nn_degrades_only_at_extreme_scale() {
+        let (_, f8) = network_bound(TaskKind::MiNn, &Scenario::new(8, 15.0));
+        assert_eq!(f8, 1.0);
+        let (_, f64nodes) = network_bound(TaskKind::MiNn, &Scenario::new(64, 15.0));
+        assert!(f64nodes <= 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-task power models and the electrodes-under-budget solver.
+//!
+//! A task's per-node power is
+//!
+//! ```text
+//! P(n) = P_fixed  +  a·n  +  b·n²
+//! ```
+//!
+//! where `P_fixed` is the leakage of the task's active PEs plus the NVM
+//! and (when used) radio overheads, `a` collects per-electrode dynamic
+//! power (pipeline PEs + ADC), and `b` is non-zero only for tasks with
+//! cross-electrode features (XCOR pairs channels, so its work per
+//! electrode grows with the electrode count — §6.2's quadratic
+//! seizure-detection scaling).
+
+use crate::scenario::Scenario;
+use crate::tasks::TaskKind;
+use scalo_hw::adc::ADC_FULL_ARRAY_MW;
+use scalo_hw::pe::spec;
+use scalo_hw::ELECTRODES_PER_NODE;
+
+/// NVM leakage in mW (NVSim, §5).
+pub const NVM_LEAKAGE_MW: f64 = 0.26;
+
+/// ADC dynamic power per electrode in mW (2.88 mW / 96).
+pub const ADC_MW_PER_ELECTRODE: f64 = ADC_FULL_ARRAY_MW / ELECTRODES_PER_NODE as f64;
+
+/// The quadratic/linear/fixed coefficients of one task's power curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Fixed mW: active-PE leakage + NVM (+ radio).
+    pub fixed_mw: f64,
+    /// Linear mW per electrode.
+    pub linear_mw: f64,
+    /// Quadratic mW per electrode².
+    pub quadratic_mw: f64,
+}
+
+impl PowerModel {
+    /// Builds the model for `task` under `scenario` (the radio term is
+    /// included only when the task communicates).
+    pub fn for_task(task: TaskKind, scenario: &Scenario) -> Self {
+        let mut fixed_uw = 0.0;
+        let mut dyn_uw_per_elec = 0.0;
+        for &pe in task.pipeline_pes() {
+            let s = spec(pe);
+            fixed_uw += s.leakage_uw + s.sram_leakage_uw;
+            dyn_uw_per_elec += s.dyn_per_electrode_uw * task.pe_work_multiplier(pe);
+        }
+        let mut fixed_mw = fixed_uw / 1_000.0;
+        if task.uses_nvm() {
+            fixed_mw += NVM_LEAKAGE_MW;
+        }
+        if task.uses_network() {
+            fixed_mw += scenario.radio.power_mw;
+        }
+        let mut linear_mw = dyn_uw_per_elec / 1_000.0 + ADC_MW_PER_ELECTRODE;
+        let mut quadratic_mw = 0.0;
+        if task.cross_electrode() {
+            // The cross-electrode PE's dynamic cost scales with n/96:
+            // move it from the linear to the quadratic term.
+            let xcor_dyn = spec(scalo_hw::pe::PeKind::Xcor).dyn_per_electrode_uw / 1_000.0;
+            linear_mw -= xcor_dyn;
+            quadratic_mw = xcor_dyn / ELECTRODES_PER_NODE as f64;
+        }
+        Self {
+            fixed_mw,
+            linear_mw,
+            quadratic_mw,
+        }
+    }
+
+    /// Power in mW at `n` electrodes.
+    pub fn power_mw(&self, n: f64) -> f64 {
+        self.fixed_mw + self.linear_mw * n + self.quadratic_mw * n * n
+    }
+
+    /// The largest electrode count processable under `limit_mw`
+    /// (0 if even the fixed cost exceeds the limit).
+    pub fn max_electrodes(&self, limit_mw: f64) -> f64 {
+        let headroom = limit_mw - self.fixed_mw;
+        if headroom <= 0.0 {
+            return 0.0;
+        }
+        if self.quadratic_mw <= 0.0 {
+            return headroom / self.linear_mw;
+        }
+        // b·n² + a·n − headroom = 0.
+        let (a, b) = (self.linear_mw, self.quadratic_mw);
+        ((a * a + 4.0 * b * headroom).sqrt() - a) / (2.0 * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seizure_detection_matches_paper_band() {
+        // §6.2: 79 Mbps at 15 mW falling quadratically to 46 Mbps at
+        // 6 mW. The first-principles model lands in the same band with
+        // the same curvature.
+        let s = Scenario::new(1, 15.0);
+        let m = PowerModel::for_task(TaskKind::SeizureDetection, &s);
+        let n15 = m.max_electrodes(15.0);
+        let n6 = m.max_electrodes(6.0);
+        let thr15 = n15 * 0.48;
+        let thr6 = n6 * 0.48;
+        assert!(thr15 > 45.0 && thr15 < 110.0, "15 mW: {thr15} Mbps");
+        assert!(thr6 > 20.0 && thr6 < 60.0, "6 mW: {thr6} Mbps");
+        // Quadratic curvature: ratio > linear prediction.
+        let linear_ratio = (6.0 - m.fixed_mw) / (15.0 - m.fixed_mw);
+        assert!(n6 / n15 > linear_ratio, "should fall slower than linear");
+    }
+
+    #[test]
+    fn spike_sorting_is_linear_and_cheap() {
+        let s = Scenario::new(1, 15.0);
+        let m = PowerModel::for_task(TaskKind::SpikeSorting, &s);
+        assert_eq!(m.quadratic_mw, 0.0);
+        let n15 = m.max_electrodes(15.0);
+        let n6 = m.max_electrodes(6.0);
+        // Linear scaling in power.
+        let expected = (6.0 - m.fixed_mw) / (15.0 - m.fixed_mw);
+        assert!((n6 / n15 - expected).abs() < 1e-9);
+        assert!(n15 * 0.48 > 100.0, "spike sorting sustains >100 Mbps");
+    }
+
+    #[test]
+    fn network_tasks_pay_radio_power() {
+        let s = Scenario::new(4, 15.0);
+        let hash = PowerModel::for_task(TaskKind::HashAllAll, &s);
+        let local = PowerModel::for_task(TaskKind::SpikeSorting, &s);
+        assert!(hash.fixed_mw > local.fixed_mw + 1.0, "radio ≈ 1.71 mW");
+    }
+
+    #[test]
+    fn power_is_monotone_in_electrodes() {
+        let s = Scenario::headline();
+        for task in TaskKind::ALL {
+            let m = PowerModel::for_task(task, &s);
+            assert!(m.power_mw(10.0) < m.power_mw(100.0), "{task}");
+            let n = m.max_electrodes(15.0);
+            assert!((m.power_mw(n) - 15.0).abs() < 1e-6, "{task}: binding");
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_yields_zero() {
+        let s = Scenario::new(1, 15.0);
+        let m = PowerModel::for_task(TaskKind::SeizureDetection, &s);
+        assert_eq!(m.max_electrodes(0.5), 0.0);
+    }
+}

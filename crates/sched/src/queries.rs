@@ -1,0 +1,161 @@
+//! Interactive-query throughput (the Figure 10 experiment).
+//!
+//! Clinicians issue queries over the external radio; nodes read their
+//! shard of the time range from NVM in parallel, filter it (by stored
+//! detection labels, hash matching, or nothing), and stream matching
+//! data back over the shared 46 Mbps external radio — which §6.4 finds
+//! to be the bottleneck.
+
+use crate::scenario::Scenario;
+use scalo_net::radio::EXTERNAL;
+use scalo_storage::nvm::NvmParams;
+use serde::{Deserialize, Serialize};
+
+/// The three query shapes of §6.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Q1: all signals detected as a seizure (label scan).
+    Q1SeizureSignals,
+    /// Q2: all signals matching a template, by hash.
+    Q2TemplateHash,
+    /// Q2 run with exact DTW instead of hashes (the §6.4 comparison).
+    Q2TemplateDtw,
+    /// Q3: all data in the time range.
+    Q3AllData,
+}
+
+/// The data sizes swept in Figure 10: (MB over all nodes, time range ms).
+pub const DATA_POINTS: [(f64, f64); 4] =
+    [(7.0, 110.0), (24.0, 400.0), (42.0, 700.0), (60.0, 1_000.0)];
+
+/// Match fractions swept for Q1/Q2.
+pub const MATCH_FRACTIONS: [f64; 3] = [0.05, 0.5, 1.0];
+
+/// Fixed per-query overhead in ms: dispatch over the external radio,
+/// per-node scheduling, and response assembly on the MC.
+pub const QUERY_OVERHEAD_MS: f64 = 40.0;
+
+/// One evaluated query point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryPoint {
+    /// Queries per second.
+    pub qps: f64,
+    /// End-to-end latency in ms.
+    pub latency_ms: f64,
+    /// Peak per-node power during the query, in mW.
+    pub power_mw: f64,
+}
+
+/// Evaluates one query.
+///
+/// `data_mb` is the total data in the time range across all nodes;
+/// `match_fraction` the fraction satisfying the predicate (ignored for
+/// Q3, which returns everything).
+pub fn evaluate(
+    kind: QueryKind,
+    data_mb: f64,
+    match_fraction: f64,
+    scenario: &Scenario,
+) -> QueryPoint {
+    assert!(data_mb > 0.0, "need data");
+    assert!((0.0..=1.0).contains(&match_fraction), "fraction in [0,1]");
+    let nvm = NvmParams::default();
+    let per_node_mb = data_mb / scenario.nodes as f64;
+
+    // Parallel NVM scan of each node's shard (chunk-contiguous layout).
+    let read_ms = per_node_mb / nvm.read_bandwidth_mb_s() * 1_000.0;
+
+    // Filtering compute + the power it burns.
+    let (filter_ms, filter_power_mw) = match kind {
+        // Label scan: metadata only.
+        QueryKind::Q1SeizureSignals => (per_node_mb * 0.2, 0.5),
+        // CCHECK hash matching: ~0.5 ms per 4 KB batch of hashes; hash
+        // partition is ~1/240 of the signal data.
+        QueryKind::Q2TemplateHash => (per_node_mb * 0.5, 1.2),
+        // Exact DTW over every window: 0.003 ms per 240 B window, and
+        // the DTW PE at full tilt dominates the node's budget.
+        QueryKind::Q2TemplateDtw => {
+            let windows = per_node_mb * 1e6 / 240.0;
+            (windows * 0.003, 12.0)
+        }
+        QueryKind::Q3AllData => (0.0, 0.2),
+    };
+
+    // Matching data streams back over the shared external radio.
+    let fraction = match kind {
+        QueryKind::Q3AllData => 1.0,
+        _ => match_fraction,
+    };
+    let tx_ms = data_mb * fraction * 8.0 / EXTERNAL.data_rate_mbps * 1_000.0;
+
+    let latency_ms = QUERY_OVERHEAD_MS + read_ms + filter_ms + tx_ms;
+    QueryPoint {
+        qps: 1_000.0 / latency_ms,
+        latency_ms,
+        // Baseline query power: SC + external radio share + MC.
+        power_mw: 2.3 + filter_power_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn headline() -> Scenario {
+        Scenario::headline()
+    }
+
+    #[test]
+    fn q1_reaches_paper_band_at_7mb_5pct() {
+        // §6.4: up to 9 QPS for Q1/Q2 over 110 ms (7 MB) at 5% match.
+        let p = evaluate(QueryKind::Q1SeizureSignals, 7.0, 0.05, &headline());
+        assert!(p.qps > 5.0 && p.qps < 15.0, "{p:?}");
+    }
+
+    #[test]
+    fn q3_is_radio_bound_at_about_0_8_qps() {
+        // §6.4: Q3 takes 1.21 s over 7 MB (external radio at 46 Mbps).
+        let p = evaluate(QueryKind::Q3AllData, 7.0, 1.0, &headline());
+        assert!((p.latency_ms - 1_260.0).abs() < 150.0, "{p:?}");
+        assert!(p.qps > 0.6 && p.qps < 1.0, "{p:?}");
+    }
+
+    #[test]
+    fn one_second_range_still_usable_at_5pct() {
+        // §6.4: 1 QPS for Q1/Q2 over the past 1 s (60 MB) at 5%.
+        let p = evaluate(QueryKind::Q2TemplateHash, 60.0, 0.05, &headline());
+        assert!(p.qps > 0.7 && p.qps < 3.0, "{p:?}");
+    }
+
+    #[test]
+    fn dtw_variant_is_slightly_slower_but_much_hungrier() {
+        // §6.4: DTW-based Q2 is 8 vs 9 QPS but 15 mW vs 3.57 mW.
+        let hash = evaluate(QueryKind::Q2TemplateHash, 7.0, 0.05, &headline());
+        let dtw = evaluate(QueryKind::Q2TemplateDtw, 7.0, 0.05, &headline());
+        assert!(dtw.qps < hash.qps);
+        assert!(dtw.qps > hash.qps * 0.5, "only slightly slower: {dtw:?}");
+        assert!(dtw.power_mw > 3.0 * hash.power_mw, "{dtw:?} vs {hash:?}");
+    }
+
+    #[test]
+    fn latency_grows_linearly_with_data() {
+        // §6.4: "Query latency increases linearly with more search data
+        // because of radio latency."
+        let l: Vec<f64> = DATA_POINTS
+            .iter()
+            .map(|&(mb, _)| evaluate(QueryKind::Q1SeizureSignals, mb, 0.5, &headline()).latency_ms)
+            .collect();
+        let d1 = l[1] - l[0];
+        let d2 = l[3] - l[2];
+        let per_mb_1 = d1 / (DATA_POINTS[1].0 - DATA_POINTS[0].0);
+        let per_mb_2 = d2 / (DATA_POINTS[3].0 - DATA_POINTS[2].0);
+        assert!((per_mb_1 - per_mb_2).abs() / per_mb_1 < 0.05, "{l:?}");
+    }
+
+    #[test]
+    fn higher_match_fraction_lowers_qps() {
+        let p5 = evaluate(QueryKind::Q1SeizureSignals, 24.0, 0.05, &headline());
+        let p100 = evaluate(QueryKind::Q1SeizureSignals, 24.0, 1.0, &headline());
+        assert!(p100.qps < p5.qps / 2.0, "{p5:?} vs {p100:?}");
+    }
+}

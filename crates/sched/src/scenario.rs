@@ -1,0 +1,84 @@
+//! Deployment scenarios: node count, power limit, radio choice.
+
+use scalo_net::radio::{Radio, LOW_POWER};
+use serde::Serialize;
+
+/// A deployment point in the evaluation space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Scenario {
+    /// Number of implants.
+    pub nodes: usize,
+    /// Per-implant power limit in mW (§5: 15, 12, 9 or 6).
+    pub power_limit_mw: f64,
+    /// The intra-SCALO radio.
+    pub radio: Radio,
+}
+
+impl Scenario {
+    /// A scenario with the default Low Power radio.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero node count or non-positive power limit.
+    pub fn new(nodes: usize, power_limit_mw: f64) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(power_limit_mw > 0.0, "power limit must be positive");
+        Self {
+            nodes,
+            power_limit_mw,
+            radio: LOW_POWER,
+        }
+    }
+
+    /// The paper's headline configuration: 11 nodes at 15 mW.
+    pub fn headline() -> Self {
+        Self::new(11, 15.0)
+    }
+
+    /// Replaces the radio (for the Figure 13 sweep).
+    pub fn with_radio(mut self, radio: Radio) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// The node counts swept in Figures 8b/8c/9.
+    pub fn node_sweep() -> Vec<usize> {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    }
+
+    /// The power limits swept (§5).
+    pub fn power_sweep() -> Vec<f64> {
+        vec![15.0, 12.0, 9.0, 6.0]
+    }
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self::headline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_matches_paper() {
+        let s = Scenario::headline();
+        assert_eq!(s.nodes, 11);
+        assert_eq!(s.power_limit_mw, 15.0);
+        assert_eq!(s.radio.data_rate_mbps, 7.0);
+    }
+
+    #[test]
+    fn sweeps_cover_paper_axes() {
+        assert_eq!(Scenario::node_sweep().len(), 7);
+        assert_eq!(Scenario::power_sweep(), vec![15.0, 12.0, 9.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = Scenario::new(0, 15.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Task definitions: which PEs each evaluated task uses and how it
+//! communicates.
+
+use scalo_hw::pe::PeKind;
+use serde::{Deserialize, Serialize};
+
+/// The tasks evaluated in Figures 8–9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Local seizure detection (BBF/FFT/XCOR features → SVM).
+    SeizureDetection,
+    /// Distributed signal similarity by hash exchange, all-to-all.
+    HashAllAll,
+    /// Hash exchange, one node broadcasting to all.
+    HashOneAll,
+    /// Exact DTW comparison with full-signal exchange, all-to-all.
+    DtwAllAll,
+    /// DTW with one broadcaster.
+    DtwOneAll,
+    /// Movement intent, decomposed linear SVM.
+    MiSvm,
+    /// Movement intent, decomposed shallow NN.
+    MiNn,
+    /// Movement intent, centralised Kalman filter.
+    MiKf,
+    /// Local spike sorting with EMD hashes and stored templates.
+    SpikeSorting,
+}
+
+impl TaskKind {
+    /// All tasks, in Figure 8a order (with similarity split by method).
+    pub const ALL: [TaskKind; 9] = [
+        TaskKind::SeizureDetection,
+        TaskKind::HashAllAll,
+        TaskKind::HashOneAll,
+        TaskKind::DtwAllAll,
+        TaskKind::DtwOneAll,
+        TaskKind::MiSvm,
+        TaskKind::MiNn,
+        TaskKind::MiKf,
+        TaskKind::SpikeSorting,
+    ];
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::SeizureDetection => "Seizure Detection",
+            TaskKind::HashAllAll => "Hash All-All",
+            TaskKind::HashOneAll => "Hash One-All",
+            TaskKind::DtwAllAll => "DTW All-All",
+            TaskKind::DtwOneAll => "DTW One-All",
+            TaskKind::MiSvm => "MI SVM",
+            TaskKind::MiNn => "MI NN",
+            TaskKind::MiKf => "MI KF",
+            TaskKind::SpikeSorting => "Spike Sorting",
+        }
+    }
+
+    /// PEs on the task's per-electrode processing path (Figures 5–7).
+    pub fn pipeline_pes(self) -> &'static [PeKind] {
+        match self {
+            TaskKind::SeizureDetection => {
+                &[PeKind::Bbf, PeKind::Fft, PeKind::Xcor, PeKind::Svm]
+            }
+            TaskKind::HashAllAll | TaskKind::HashOneAll => &[
+                PeKind::Hconv,
+                PeKind::Ngram,
+                PeKind::Hfreq,
+                PeKind::Hcomp,
+                PeKind::Npack,
+                PeKind::Unpack,
+                PeKind::Dcomp,
+                PeKind::Ccheck,
+                PeKind::Sc,
+            ],
+            TaskKind::DtwAllAll | TaskKind::DtwOneAll => {
+                &[PeKind::Csel, PeKind::Npack, PeKind::Unpack, PeKind::Dtw, PeKind::Sc]
+            }
+            TaskKind::MiSvm => &[PeKind::Bbf, PeKind::Fft, PeKind::Svm, PeKind::Npack],
+            TaskKind::MiNn => &[
+                PeKind::Sbp,
+                PeKind::Bmul,
+                PeKind::Add,
+                PeKind::Npack,
+                PeKind::Unpack,
+            ],
+            TaskKind::MiKf => &[
+                PeKind::Sbp,
+                PeKind::Npack,
+                PeKind::Unpack,
+                PeKind::Bmul,
+                PeKind::Add,
+                PeKind::Sub,
+                PeKind::Inv,
+                PeKind::Sc,
+            ],
+            TaskKind::SpikeSorting => &[
+                PeKind::Neo,
+                PeKind::Thr,
+                PeKind::Emdh,
+                PeKind::Ccheck,
+                PeKind::Sc,
+            ],
+        }
+    }
+
+    /// Whether the per-electrode work grows with the number of processed
+    /// electrodes (cross-electrode features like XCOR correlate channel
+    /// pairs) — the source of §6.2's *quadratic* power scaling for
+    /// seizure detection.
+    pub fn cross_electrode(self) -> bool {
+        matches!(self, TaskKind::SeizureDetection)
+    }
+
+    /// Whether the task exchanges data over the intra-SCALO network.
+    pub fn uses_network(self) -> bool {
+        !matches!(self, TaskKind::SeizureDetection | TaskKind::SpikeSorting)
+    }
+
+    /// Whether the task reads/writes the NVM on its critical path.
+    pub fn uses_nvm(self) -> bool {
+        !matches!(self, TaskKind::MiSvm | TaskKind::MiNn)
+    }
+
+    /// Payload bytes each sender puts on the network per processed
+    /// electrode per window (before per-node constants).
+    pub fn wire_bytes_per_electrode(self) -> f64 {
+        match self {
+            TaskKind::SeizureDetection | TaskKind::SpikeSorting => 0.0,
+            // 1 B hash per electrode, ~2.5× compressed by HCOMP.
+            TaskKind::HashAllAll | TaskKind::HashOneAll => 1.0 / 2.5,
+            // A full 240 B signal window per electrode.
+            TaskKind::DtwAllAll | TaskKind::DtwOneAll => 240.0,
+            // Partial outputs are per-node constants, not per-electrode.
+            TaskKind::MiSvm | TaskKind::MiNn => 0.0,
+            // 4 B of features per electrode to the central KF node (§6.2).
+            TaskKind::MiKf => 4.0,
+        }
+    }
+
+    /// Constant payload bytes per sending node per window (partial
+    /// classifier outputs).
+    pub fn wire_bytes_per_node(self) -> f64 {
+        match self {
+            TaskKind::MiSvm => 4.0,    // one partial decision (§6.2)
+            TaskKind::MiNn => 1024.0,  // one partial hidden vector (§6.2)
+            _ => 0.0,
+        }
+    }
+
+    /// Work multiplier for a PE within this task's pipeline, relative to
+    /// one streaming pass per electrode. The NN's first layer computes a
+    /// full hidden-width partial per electrode, so its MAD unit streams
+    /// several window-equivalents of MACs per electrode (SRAM-blocked at
+    /// 8× the design rate).
+    pub fn pe_work_multiplier(self, pe: PeKind) -> f64 {
+        match (self, pe) {
+            (TaskKind::MiNn, PeKind::Bmul) => 8.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Processing window cadence in ms.
+    pub fn window_ms(self) -> f64 {
+        match self {
+            TaskKind::MiSvm | TaskKind::MiNn | TaskKind::MiKf => crate::MOVEMENT_WINDOW_MS,
+            _ => crate::SEIZURE_WINDOW_MS,
+        }
+    }
+
+    /// Channel-time budget window for the network bound, in ms. The
+    /// similarity exchange must complete within the 10 ms seizure
+    /// response deadline (§2.3), not within every 4 ms ingest window;
+    /// movement tasks get their 50 ms decode window.
+    pub fn budget_window_ms(self) -> f64 {
+        match self {
+            TaskKind::MiSvm | TaskKind::MiNn | TaskKind::MiKf => crate::MOVEMENT_WINDOW_MS,
+            _ => crate::SEIZURE_DEADLINE_MS,
+        }
+    }
+
+    /// How many nodes transmit per window: all of them (all-to-all and
+    /// all-to-one patterns) or one broadcaster.
+    pub fn senders(self, nodes: usize) -> usize {
+        match self {
+            TaskKind::HashOneAll | TaskKind::DtwOneAll => 1.min(nodes),
+            TaskKind::MiSvm | TaskKind::MiNn | TaskKind::MiKf => nodes.saturating_sub(1).max(
+                // A single node still "sends" locally: zero remote bytes.
+                usize::from(nodes == 1) * 0,
+            ),
+            _ => nodes,
+        }
+    }
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_tasks_have_no_network() {
+        assert!(!TaskKind::SeizureDetection.uses_network());
+        assert!(!TaskKind::SpikeSorting.uses_network());
+        assert!(TaskKind::HashAllAll.uses_network());
+    }
+
+    #[test]
+    fn only_seizure_detection_is_cross_electrode() {
+        let quadratic: Vec<_> = TaskKind::ALL
+            .iter()
+            .filter(|t| t.cross_electrode())
+            .collect();
+        assert_eq!(quadratic, vec![&TaskKind::SeizureDetection]);
+    }
+
+    #[test]
+    fn wire_cost_ordering_matches_paper() {
+        // Signals are ~100× hashes (§3.1); features 4 B; partials flat.
+        assert!(
+            TaskKind::DtwAllAll.wire_bytes_per_electrode()
+                > 100.0 * TaskKind::HashAllAll.wire_bytes_per_electrode()
+        );
+        assert_eq!(TaskKind::MiSvm.wire_bytes_per_node(), 4.0);
+        assert_eq!(TaskKind::MiNn.wire_bytes_per_node(), 1024.0);
+    }
+
+    #[test]
+    fn one_all_patterns_have_single_sender() {
+        assert_eq!(TaskKind::HashOneAll.senders(8), 1);
+        assert_eq!(TaskKind::DtwOneAll.senders(8), 1);
+        assert_eq!(TaskKind::HashAllAll.senders(8), 8);
+        assert_eq!(TaskKind::MiSvm.senders(8), 7, "aggregator does not send");
+    }
+
+    #[test]
+    fn pipelines_reference_catalog_pes() {
+        for t in TaskKind::ALL {
+            assert!(!t.pipeline_pes().is_empty(), "{t}");
+        }
+    }
+}

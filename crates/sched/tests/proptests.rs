@@ -1,0 +1,65 @@
+//! Property-based tests over the scheduler's models: the throughput
+//! surfaces must be monotone along the axes the paper argues about.
+
+use proptest::prelude::*;
+use scalo_sched::power::PowerModel;
+use scalo_sched::seizure::{solve, Priorities};
+use scalo_sched::throughput::max_aggregate_throughput_mbps;
+use scalo_sched::{Scenario, TaskKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn throughput_is_monotone_in_power(k in 1usize..32, lo in 4.0f64..10.0, delta in 0.5f64..8.0) {
+        for task in TaskKind::ALL {
+            let t_lo = max_aggregate_throughput_mbps(task, &Scenario::new(k, lo));
+            let t_hi = max_aggregate_throughput_mbps(task, &Scenario::new(k, lo + delta));
+            prop_assert!(t_hi + 1e-9 >= t_lo, "{task} at {k} nodes: {t_lo} → {t_hi}");
+        }
+    }
+
+    #[test]
+    fn local_and_one_all_tasks_scale_linearly_in_nodes(k in 1usize..32) {
+        for task in [TaskKind::SeizureDetection, TaskKind::SpikeSorting, TaskKind::HashOneAll] {
+            let t1 = max_aggregate_throughput_mbps(task, &Scenario::new(1, 15.0));
+            let tk = max_aggregate_throughput_mbps(task, &Scenario::new(k, 15.0));
+            prop_assert!((tk - k as f64 * t1).abs() < 1e-6 * tk.max(1.0), "{task}: {tk} vs {}·{t1}", k);
+        }
+    }
+
+    #[test]
+    fn power_model_max_electrodes_is_binding(k in 1usize..16, limit in 5.0f64..15.0) {
+        for task in TaskKind::ALL {
+            let m = PowerModel::for_task(task, &Scenario::new(k, limit));
+            let n = m.max_electrodes(limit);
+            if n > 0.0 {
+                prop_assert!(m.power_mw(n) <= limit + 1e-6);
+                prop_assert!(m.power_mw(n * 1.01) > limit, "{task}: not binding");
+            }
+        }
+    }
+
+    #[test]
+    fn seizure_lp_respects_priorities_ordering(k in 2usize..24) {
+        // Raising a flow's weight never lowers that flow's allocation.
+        let s = Scenario::new(k, 15.0);
+        let low = solve(&s, Priorities { detection: 1.0, hash: 1.0, dtw: 1.0 }).unwrap();
+        let high = solve(&s, Priorities { detection: 8.0, hash: 1.0, dtw: 1.0 }).unwrap();
+        prop_assert!(
+            high.detection_electrodes + 1e-6 >= low.detection_electrodes,
+            "{low:?} vs {high:?}"
+        );
+    }
+
+    #[test]
+    fn seizure_lp_solution_is_power_feasible(k in 1usize..24, limit in 8.0f64..15.0) {
+        let s = Scenario::new(k, limit);
+        if let Ok(sched) = solve(&s, Priorities::equal()) {
+            // All allocations non-negative and DTW ≤ hash candidates.
+            prop_assert!(sched.detection_electrodes >= -1e-9);
+            prop_assert!(sched.hash_electrodes >= -1e-9);
+            prop_assert!(sched.dtw_signals <= sched.hash_electrodes + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Dynamic time warping with a Sakoe–Chiba band (the DTW PE).
+//!
+//! SCALO's DTW PE implements the standard dynamic-programming recurrence
+//! with a configurable Sakoe–Chiba band for speed (§3.2). Setting the band
+//! parameter to 1 restricts the warping path to the diagonal, which makes
+//! the same PE compute the (squared-sum) Euclidean distance — a property
+//! this module reproduces and tests.
+
+/// Parameters for a DTW computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DtwParams {
+    /// Sakoe–Chiba band half-width. `1` ⇒ diagonal only (Euclidean mode).
+    pub band: usize,
+}
+
+impl DtwParams {
+    /// Parameters with the given Sakoe–Chiba band half-width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band` is zero.
+    pub fn with_band(band: usize) -> Self {
+        assert!(band >= 1, "Sakoe–Chiba band must be at least 1");
+        Self { band }
+    }
+
+    /// Euclidean mode (band = 1): the warping path is the main diagonal.
+    pub fn euclidean() -> Self {
+        Self { band: 1 }
+    }
+}
+
+impl Default for DtwParams {
+    /// A band of 10 samples — the typical setting for 120-sample windows.
+    fn default() -> Self {
+        Self { band: 10 }
+    }
+}
+
+/// DTW distance between `a` and `b` under `params`.
+///
+/// Cost is squared sample difference; the returned distance is the square
+/// root of the accumulated cost, so in Euclidean mode (band = 1, equal
+/// lengths) it equals the L2 distance exactly.
+///
+/// Cells outside the band are treated as unreachable. The band is widened
+/// internally to at least `|len(a) - len(b)| + 1` so a path always exists.
+///
+/// # Panics
+///
+/// Panics if either sequence is empty.
+///
+/// # Example
+///
+/// ```
+/// use scalo_signal::dtw::{dtw_distance, DtwParams};
+///
+/// let a = [1.0, 2.0, 3.0];
+/// let d = dtw_distance(&a, &a, DtwParams::default());
+/// assert_eq!(d, 0.0);
+/// ```
+pub fn dtw_distance(a: &[f64], b: &[f64], params: DtwParams) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "DTW of empty sequence");
+    let n = a.len();
+    let m = b.len();
+    // Sakoe–Chiba band: |i - j| < band, so the half-width is band - 1 and
+    // band = 1 restricts the path to the (scaled) diagonal.
+    let half = (params.band - 1).max(n.abs_diff(m));
+
+    const INF: f64 = f64::INFINITY;
+    // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
+    let mut prev = vec![INF; m + 1];
+    let mut curr = vec![INF; m + 1];
+    prev[0] = 0.0;
+
+    for i in 1..=n {
+        curr.fill(INF);
+        // Column window induced by the band around the scaled diagonal.
+        let center = i * m / n;
+        let lo = center.saturating_sub(half).max(1);
+        let hi = (center + half).min(m);
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            if best.is_finite() {
+                curr[j] = cost + best;
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].sqrt()
+}
+
+/// Number of DP cells evaluated by a banded DTW — the PE's work metric
+/// (latency on the hardware is proportional to this count).
+pub fn dtw_cell_count(len_a: usize, len_b: usize, params: DtwParams) -> usize {
+    let half = (params.band - 1).max(len_a.abs_diff(len_b));
+    let mut cells = 0;
+    for i in 1..=len_a {
+        let center = i * len_b / len_a.max(1);
+        let lo = center.saturating_sub(half).max(1);
+        let hi = (center + half).min(len_b);
+        cells += hi.saturating_sub(lo) + 1;
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::euclidean;
+
+    #[test]
+    fn identity_distance_is_zero() {
+        let a: Vec<f64> = (0..120).map(|i| (i as f64 * 0.1).sin()).collect();
+        assert_eq!(dtw_distance(&a, &a, DtwParams::default()), 0.0);
+    }
+
+    #[test]
+    fn band_one_equals_euclidean() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).cos()).collect();
+        let d = dtw_distance(&a, &b, DtwParams::euclidean());
+        let e = euclidean(&a, &b);
+        assert!((d - e).abs() < 1e-9, "dtw {d} vs euclid {e}");
+    }
+
+    #[test]
+    fn shifted_signal_is_closer_under_dtw_than_euclidean() {
+        let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..100).map(|i| ((i as f64 - 4.0) * 0.2).sin()).collect();
+        let dtw = dtw_distance(&a, &b, DtwParams::with_band(8));
+        let euc = euclidean(&a, &b);
+        assert!(dtw < 0.5 * euc, "dtw {dtw} euclid {euc}");
+    }
+
+    #[test]
+    fn wider_band_never_increases_distance() {
+        let a: Vec<f64> = (0..60).map(|i| (i * i % 17) as f64).collect();
+        let b: Vec<f64> = (0..60).map(|i| (i * 3 % 11) as f64).collect();
+        let mut last = f64::INFINITY;
+        for band in [1, 2, 4, 8, 16, 60] {
+            let d = dtw_distance(&a, &b, DtwParams::with_band(band));
+            assert!(d <= last + 1e-12, "band {band}: {d} > {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn unequal_lengths_are_handled() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, 1.0, 1.5, 2.0, 2.5, 3.0];
+        let d = dtw_distance(&a, &b, DtwParams::with_band(2));
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn cell_count_grows_with_band() {
+        let narrow = dtw_cell_count(120, 120, DtwParams::with_band(2));
+        let wide = dtw_cell_count(120, 120, DtwParams::with_band(20));
+        assert!(narrow < wide);
+        assert!(wide <= 120 * 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        let _ = dtw_distance(&[], &[1.0], DtwParams::default());
+    }
+}

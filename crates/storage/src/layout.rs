@@ -1,0 +1,187 @@
+//! Data-layout cost model: electrode-interleaved vs chunk-contiguous
+//! (§3.3).
+//!
+//! ADCs and LSH PEs emit values *sequentially by electrode*: sample 0 of
+//! electrodes 0..95, then sample 1 of electrodes 0..95, and so on. Stored
+//! as-is, one electrode's 4 ms window (120 samples × 2 B) is strided
+//! across ~23 KB — six pages of reads. SCALO's SC PE reorganises data
+//! into per-electrode contiguous chunks so the same window is one fast
+//! page read (0.035 ms), at the price of buffered, multi-page writes
+//! (1.75 ms) — worth it because "data is written once but read multiple
+//! times, and writes are not on the critical path" (§3.3).
+
+use crate::nvm::NvmParams;
+use crate::PAGE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// How neural samples are laid out on the NVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layout {
+    /// Raw arrival order: interleaved by electrode (sample-major).
+    Interleaved,
+    /// SC-reorganised: contiguous per-electrode chunks.
+    Chunked {
+        /// Chunk size in bytes (configurable, §3.3).
+        chunk_bytes: usize,
+    },
+}
+
+/// Geometry of a recording stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamGeometry {
+    /// Electrodes interleaved in the stream.
+    pub electrodes: usize,
+    /// Bytes per sample.
+    pub sample_bytes: usize,
+}
+
+impl Default for StreamGeometry {
+    /// 96 electrodes × 16-bit samples.
+    fn default() -> Self {
+        Self {
+            electrodes: 96,
+            sample_bytes: 2,
+        }
+    }
+}
+
+/// Pages touched when reading `window_samples` consecutive samples of
+/// *one* electrode under `layout`.
+pub fn pages_for_window_read(
+    layout: Layout,
+    geom: StreamGeometry,
+    window_samples: usize,
+) -> usize {
+    let window_bytes = window_samples * geom.sample_bytes;
+    match layout {
+        Layout::Interleaved => {
+            // The window's bytes are strided every `electrodes` samples.
+            let span_bytes = window_samples * geom.electrodes * geom.sample_bytes;
+            span_bytes.div_ceil(PAGE_BYTES)
+        }
+        Layout::Chunked { chunk_bytes } => {
+            // Contiguous: the window spans ceil(window / page) pages; an
+            // unaligned chunk can add one boundary page.
+            let misaligned = chunk_bytes % PAGE_BYTES != 0;
+            window_bytes.div_ceil(PAGE_BYTES) + usize::from(misaligned)
+        }
+    }
+}
+
+/// Read latency in ms for one electrode's window under `layout`.
+pub fn window_read_ms(
+    layout: Layout,
+    geom: StreamGeometry,
+    window_samples: usize,
+    params: &NvmParams,
+) -> f64 {
+    pages_for_window_read(layout, geom, window_samples) as f64 * params.read_page_us / 1_000.0
+}
+
+/// Write amplification of the chunk-reorganising path: staging pages in
+/// the 24 KB SC SRAM and re-programming them as chunks fill costs five
+/// page programs per page of incoming data (§3.3's measured 5×).
+pub const CHUNKED_WRITE_AMPLIFICATION: f64 = 5.0;
+
+/// Write latency in ms to persist one incoming 4 KB page of ADC data
+/// under `layout`.
+///
+/// Interleaved: data is appended as it arrives — one sequential program
+/// (0.35 ms). Chunked: the SC buffers and reorganises, re-writing pages
+/// as chunks fill — 5 programs (1.75 ms).
+pub fn page_write_ms(layout: Layout, params: &NvmParams) -> f64 {
+    match layout {
+        Layout::Interleaved => params.program_us / 1_000.0,
+        Layout::Chunked { .. } => {
+            CHUNKED_WRITE_AMPLIFICATION * params.program_us / 1_000.0
+        }
+    }
+}
+
+/// Write latency in ms to persist one full batch of `window_samples`
+/// across all electrodes under `layout`.
+pub fn batch_write_ms(
+    layout: Layout,
+    geom: StreamGeometry,
+    window_samples: usize,
+    params: &NvmParams,
+) -> f64 {
+    let batch_bytes = window_samples * geom.electrodes * geom.sample_bytes;
+    let pages = batch_bytes.div_ceil(PAGE_BYTES);
+    pages as f64 * page_write_ms(layout, params)
+}
+
+/// The §3.3 trade summary for the default geometry and a 4 ms window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayoutTrade {
+    /// Interleaved write ms / chunked write ms.
+    pub write_slowdown: f64,
+    /// Interleaved read ms / chunked read ms.
+    pub read_speedup: f64,
+    /// Chunked write latency in ms.
+    pub chunked_write_ms: f64,
+    /// Chunked read latency in ms.
+    pub chunked_read_ms: f64,
+}
+
+/// Computes the layout trade for the paper's default configuration
+/// (96 electrodes, 16-bit samples, 120-sample windows).
+pub fn paper_trade(params: &NvmParams) -> LayoutTrade {
+    let geom = StreamGeometry::default();
+    let chunked = Layout::Chunked { chunk_bytes: PAGE_BYTES };
+    let inter = Layout::Interleaved;
+    let w = 120;
+    let chunked_write_ms = page_write_ms(chunked, params);
+    let inter_write_ms = page_write_ms(inter, params);
+    let chunked_read_ms = window_read_ms(chunked, geom, w, params);
+    let inter_read_ms = window_read_ms(inter, geom, w, params);
+    LayoutTrade {
+        write_slowdown: chunked_write_ms / inter_write_ms,
+        read_speedup: inter_read_ms / chunked_read_ms,
+        chunked_write_ms,
+        chunked_read_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_window_read_is_one_page() {
+        let geom = StreamGeometry::default();
+        let pages = pages_for_window_read(
+            Layout::Chunked { chunk_bytes: PAGE_BYTES },
+            geom,
+            120,
+        );
+        assert_eq!(pages, 1);
+    }
+
+    #[test]
+    fn interleaved_window_read_spans_many_pages() {
+        let geom = StreamGeometry::default();
+        let pages = pages_for_window_read(Layout::Interleaved, geom, 120);
+        assert_eq!(pages, 6); // 120 × 96 × 2 B = 23 KB ⇒ 6 pages
+    }
+
+    #[test]
+    fn paper_numbers_reproduced() {
+        // §3.3: writes 1.75 ms (5× interleaved), reads 0.035 ms (10×
+        // faster than interleaved).
+        let t = paper_trade(&NvmParams::default());
+        assert!((t.chunked_write_ms - 1.75).abs() < 1e-9, "{t:?}");
+        assert!((t.chunked_read_ms - 0.035).abs() < 1e-9, "{t:?}");
+        assert!((t.write_slowdown - 5.0).abs() < 1e-9, "{t:?}");
+        assert!(t.read_speedup >= 5.0, "{t:?}");
+    }
+
+    #[test]
+    fn read_latency_scales_with_pages() {
+        let geom = StreamGeometry::default();
+        let p = NvmParams::default();
+        let fast = window_read_ms(Layout::Chunked { chunk_bytes: PAGE_BYTES }, geom, 120, &p);
+        let slow = window_read_ms(Layout::Interleaved, geom, 120, &p);
+        assert!(slow > 5.0 * fast);
+    }
+}

@@ -1,0 +1,272 @@
+//! The NVM device model: operations, timing, energy.
+
+use crate::{PAGES_PER_BLOCK, PAGE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Device timing/energy parameters (the paper's NVSim configuration for
+/// SLC NAND at 40 °C with low-power transistors).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvmParams {
+    /// Page program time in µs (§5: 350 µs).
+    pub program_us: f64,
+    /// Block erase time in µs (§5: 1.5 ms).
+    pub erase_us: f64,
+    /// Page read time in µs (§3.3's fast contiguous read: 35 µs/page).
+    pub read_page_us: f64,
+    /// Read energy per page in nJ (NVSim: 918.809).
+    pub read_page_nj: f64,
+    /// Write energy per page in nJ (NVSim: 1374).
+    pub write_page_nj: f64,
+    /// Leakage power in mW (NVSim: 0.26).
+    pub leakage_mw: f64,
+}
+
+impl Default for NvmParams {
+    fn default() -> Self {
+        Self {
+            program_us: 350.0,
+            erase_us: 1_500.0,
+            read_page_us: 35.0,
+            read_page_nj: 918.809,
+            write_page_nj: 1_374.0,
+            leakage_mw: 0.26,
+        }
+    }
+}
+
+impl NvmParams {
+    /// Sustained read bandwidth in MB/s.
+    pub fn read_bandwidth_mb_s(&self) -> f64 {
+        PAGE_BYTES as f64 / self.read_page_us
+    }
+
+    /// Sustained program bandwidth in MB/s.
+    pub fn write_bandwidth_mb_s(&self) -> f64 {
+        PAGE_BYTES as f64 / self.program_us
+    }
+}
+
+/// Accumulated cost of a sequence of NVM operations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NvmCost {
+    /// Total time in µs.
+    pub time_us: f64,
+    /// Total dynamic energy in nJ.
+    pub energy_nj: f64,
+    /// Pages read.
+    pub pages_read: usize,
+    /// Pages programmed.
+    pub pages_written: usize,
+    /// Blocks erased.
+    pub blocks_erased: usize,
+}
+
+impl NvmCost {
+    fn add(&mut self, other: NvmCost) {
+        self.time_us += other.time_us;
+        self.energy_nj += other.energy_nj;
+        self.pages_read += other.pages_read;
+        self.pages_written += other.pages_written;
+        self.blocks_erased += other.blocks_erased;
+    }
+}
+
+/// The NVM device: a page store plus cost accounting. The simulated
+/// capacity is bounded (`pages` pages) — SCALO's partitions wrap around
+/// long before the physical 128 GB is modelled byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct NvmDevice {
+    params: NvmParams,
+    pages: Vec<Option<Vec<u8>>>,
+    cost: NvmCost,
+    /// Device busy-until timestamp for contention modelling (µs).
+    busy_until_us: f64,
+}
+
+impl NvmDevice {
+    /// A device with `pages` simulated pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn new(pages: usize, params: NvmParams) -> Self {
+        assert!(pages > 0, "device needs at least one page");
+        Self {
+            params,
+            pages: vec![None; pages],
+            cost: NvmCost::default(),
+            busy_until_us: 0.0,
+        }
+    }
+
+    /// Number of simulated pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The device parameters.
+    pub fn params(&self) -> &NvmParams {
+        &self.params
+    }
+
+    /// Accumulated operation cost.
+    pub fn cost(&self) -> NvmCost {
+        self.cost
+    }
+
+    /// Whether the device is busy at `now_us` (drives the SC PE's
+    /// 0.03 ms vs 4 ms latency split).
+    pub fn busy_at(&self, now_us: f64) -> bool {
+        now_us < self.busy_until_us
+    }
+
+    /// Programs a page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range, the data exceeds a page, or
+    /// the page was not erased (NAND requires erase-before-program).
+    pub fn program_page(&mut self, index: usize, data: Vec<u8>) {
+        assert!(index < self.pages.len(), "page {index} out of range");
+        assert!(data.len() <= PAGE_BYTES, "data exceeds page size");
+        assert!(
+            self.pages[index].is_none(),
+            "page {index} must be erased before programming"
+        );
+        self.pages[index] = Some(data);
+        let op = NvmCost {
+            time_us: self.params.program_us,
+            energy_nj: self.params.write_page_nj,
+            pages_written: 1,
+            ..Default::default()
+        };
+        self.busy_until_us = self.busy_until_us.max(0.0) + op.time_us;
+        self.cost.add(op);
+    }
+
+    /// Reads a whole page (`None` if never programmed).
+    pub fn read_page(&mut self, index: usize) -> Option<Vec<u8>> {
+        assert!(index < self.pages.len(), "page {index} out of range");
+        let op = NvmCost {
+            time_us: self.params.read_page_us,
+            energy_nj: self.params.read_page_nj,
+            pages_read: 1,
+            ..Default::default()
+        };
+        self.cost.add(op);
+        self.pages[index].clone()
+    }
+
+    /// Reads 8 bytes at a byte offset within a page (the device's native
+    /// read unit). Charges a proportional slice of the page read cost.
+    pub fn read_unit(&mut self, page: usize, offset: usize) -> Option<[u8; 8]> {
+        assert!(offset + 8 <= PAGE_BYTES, "unit read crosses page boundary");
+        let op = NvmCost {
+            time_us: self.params.read_page_us * 8.0 / PAGE_BYTES as f64
+                + self.params.read_page_us * 0.5, // seek/setup dominates tiny reads
+            energy_nj: self.params.read_page_nj * 8.0 / PAGE_BYTES as f64,
+            pages_read: 0,
+            ..Default::default()
+        };
+        self.cost.add(op);
+        let data = self.pages[page].as_ref()?;
+        let mut out = [0u8; 8];
+        let end = (offset + 8).min(data.len());
+        if offset < end {
+            out[..end - offset].copy_from_slice(&data[offset..end]);
+        }
+        Some(out)
+    }
+
+    /// Erases the block containing `page_index` (all pages in it).
+    pub fn erase_block(&mut self, page_index: usize) {
+        assert!(page_index < self.pages.len(), "page out of range");
+        let block = page_index / PAGES_PER_BLOCK;
+        let start = block * PAGES_PER_BLOCK;
+        let end = (start + PAGES_PER_BLOCK).min(self.pages.len());
+        for p in &mut self.pages[start..end] {
+            *p = None;
+        }
+        let op = NvmCost {
+            time_us: self.params.erase_us,
+            blocks_erased: 1,
+            ..Default::default()
+        };
+        self.busy_until_us = self.busy_until_us.max(0.0) + op.time_us;
+        self.cost.add(op);
+    }
+
+    /// Whether a page currently holds data.
+    pub fn is_programmed(&self, index: usize) -> bool {
+        self.pages[index].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_read_roundtrip() {
+        let mut d = NvmDevice::new(16, NvmParams::default());
+        d.program_page(3, vec![0xAB; 100]);
+        assert_eq!(d.read_page(3), Some(vec![0xAB; 100]));
+        assert_eq!(d.read_page(4), None);
+    }
+
+    #[test]
+    fn erase_before_program_enforced() {
+        let mut d = NvmDevice::new(PAGES_PER_BLOCK * 2, NvmParams::default());
+        d.program_page(0, vec![1]);
+        d.erase_block(0);
+        assert!(!d.is_programmed(0));
+        d.program_page(0, vec![2]); // ok after erase
+        assert_eq!(d.read_page(0), Some(vec![2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "erased before programming")]
+    fn double_program_panics() {
+        let mut d = NvmDevice::new(4, NvmParams::default());
+        d.program_page(0, vec![1]);
+        d.program_page(0, vec![2]);
+    }
+
+    #[test]
+    fn cost_accounting_matches_nvsim_numbers() {
+        let mut d = NvmDevice::new(PAGES_PER_BLOCK, NvmParams::default());
+        d.program_page(0, vec![0; 4096]);
+        d.read_page(0);
+        d.erase_block(0);
+        let c = d.cost();
+        assert!((c.time_us - (350.0 + 35.0 + 1500.0)).abs() < 1e-9);
+        assert!((c.energy_nj - (1374.0 + 918.809)).abs() < 1e-9);
+        assert_eq!((c.pages_written, c.pages_read, c.blocks_erased), (1, 1, 1));
+    }
+
+    #[test]
+    fn busy_tracking() {
+        let mut d = NvmDevice::new(4, NvmParams::default());
+        assert!(!d.busy_at(0.0));
+        d.program_page(0, vec![1]);
+        assert!(d.busy_at(100.0));
+        assert!(!d.busy_at(351.0));
+    }
+
+    #[test]
+    fn unit_read_returns_slice() {
+        let mut d = NvmDevice::new(4, NvmParams::default());
+        let mut page = vec![0u8; 64];
+        page[8..16].copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        d.program_page(1, page);
+        assert_eq!(d.read_unit(1, 8), Some([1, 2, 3, 4, 5, 6, 7, 8]));
+    }
+
+    #[test]
+    fn bandwidth_sanity() {
+        let p = NvmParams::default();
+        assert!(p.read_bandwidth_mb_s() > 100.0);
+        assert!(p.write_bandwidth_mb_s() > 10.0);
+        assert!(p.read_bandwidth_mb_s() > p.write_bandwidth_mb_s());
+    }
+}

@@ -1,0 +1,240 @@
+//! NVM partitions with oldest-first overwrite (§3.3).
+//!
+//! Each node's NVM holds four partitions — signals, hashes, application
+//! data, and the microcontroller's — with configurable sizes. "When full,
+//! the oldest partition data is overwritten."
+
+use serde::{Deserialize, Serialize};
+
+/// The four partitions of a SCALO node's NVM (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionKind {
+    /// Raw signal windows.
+    Signals,
+    /// LSH hashes.
+    Hashes,
+    /// Application data: weight matrices, spike templates, KF state.
+    AppData,
+    /// Microcontroller code/data.
+    Mc,
+}
+
+impl PartitionKind {
+    /// All partitions.
+    pub const ALL: [PartitionKind; 4] = [
+        PartitionKind::Signals,
+        PartitionKind::Hashes,
+        PartitionKind::AppData,
+        PartitionKind::Mc,
+    ];
+}
+
+/// A logical record stored in a partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Producer timestamp in µs.
+    pub timestamp_us: u64,
+    /// Logical key (e.g. electrode id).
+    pub key: u32,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// A ring-buffer partition: bounded bytes, oldest records evicted first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    kind: PartitionKind,
+    capacity_bytes: usize,
+    used_bytes: usize,
+    records: std::collections::VecDeque<Record>,
+}
+
+impl Partition {
+    /// A partition holding at most `capacity_bytes` of record payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(kind: PartitionKind, capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "partition needs capacity");
+        Self {
+            kind,
+            capacity_bytes,
+            used_bytes: 0,
+            records: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Which partition this is.
+    pub fn kind(&self) -> PartitionKind {
+        self.kind
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes of payload currently stored.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record, evicting oldest records until it fits. Returns
+    /// the number of records evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single record exceeds the whole partition.
+    pub fn append(&mut self, record: Record) -> usize {
+        assert!(
+            record.data.len() <= self.capacity_bytes,
+            "record larger than partition"
+        );
+        let mut evicted = 0;
+        while self.used_bytes + record.data.len() > self.capacity_bytes {
+            let old = self.records.pop_front().expect("used > 0 implies records");
+            self.used_bytes -= old.data.len();
+            evicted += 1;
+        }
+        self.used_bytes += record.data.len();
+        self.records.push_back(record);
+        evicted
+    }
+
+    /// Records with `timestamp_us` in `[from_us, to_us]`, oldest first.
+    pub fn range(&self, from_us: u64, to_us: u64) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| r.timestamp_us >= from_us && r.timestamp_us <= to_us)
+            .collect()
+    }
+
+    /// Records for a specific key in a time range.
+    pub fn range_for_key(&self, key: u32, from_us: u64, to_us: u64) -> Vec<&Record> {
+        self.range(from_us, to_us)
+            .into_iter()
+            .filter(|r| r.key == key)
+            .collect()
+    }
+
+    /// The most recent record, if any.
+    pub fn latest(&self) -> Option<&Record> {
+        self.records.back()
+    }
+}
+
+/// The standard partition set with configurable byte sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSet {
+    partitions: Vec<Partition>,
+}
+
+impl PartitionSet {
+    /// Builds the four-partition layout with the given sizes.
+    pub fn new(signals: usize, hashes: usize, app_data: usize, mc: usize) -> Self {
+        Self {
+            partitions: vec![
+                Partition::new(PartitionKind::Signals, signals),
+                Partition::new(PartitionKind::Hashes, hashes),
+                Partition::new(PartitionKind::AppData, app_data),
+                Partition::new(PartitionKind::Mc, mc),
+            ],
+        }
+    }
+
+    /// A deployment-realistic default: most capacity to signals, ample
+    /// hash history, room for models and MC state.
+    pub fn standard() -> Self {
+        Self::new(
+            64 * 1024 * 1024, // 64 MB of recent signals in the simulated window
+            8 * 1024 * 1024,
+            16 * 1024 * 1024,
+            4 * 1024 * 1024,
+        )
+    }
+
+    /// Borrow a partition.
+    pub fn get(&self, kind: PartitionKind) -> &Partition {
+        self.partitions
+            .iter()
+            .find(|p| p.kind() == kind)
+            .expect("all kinds present")
+    }
+
+    /// Mutable borrow of a partition.
+    pub fn get_mut(&mut self, kind: PartitionKind) -> &mut Partition {
+        self.partitions
+            .iter_mut()
+            .find(|p| p.kind() == kind)
+            .expect("all kinds present")
+    }
+}
+
+impl Default for PartitionSet {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, key: u32, n: usize) -> Record {
+        Record {
+            timestamp_us: t,
+            key,
+            data: vec![0xEE; n],
+        }
+    }
+
+    #[test]
+    fn append_and_query_range() {
+        let mut p = Partition::new(PartitionKind::Signals, 1024);
+        p.append(rec(100, 1, 10));
+        p.append(rec(200, 2, 10));
+        p.append(rec(300, 1, 10));
+        assert_eq!(p.range(150, 300).len(), 2);
+        assert_eq!(p.range_for_key(1, 0, 1000).len(), 2);
+        assert_eq!(p.latest().unwrap().timestamp_us, 300);
+    }
+
+    #[test]
+    fn oldest_evicted_when_full() {
+        let mut p = Partition::new(PartitionKind::Hashes, 30);
+        assert_eq!(p.append(rec(1, 0, 10)), 0);
+        assert_eq!(p.append(rec(2, 0, 10)), 0);
+        assert_eq!(p.append(rec(3, 0, 10)), 0);
+        let evicted = p.append(rec(4, 0, 10));
+        assert_eq!(evicted, 1);
+        assert_eq!(p.len(), 3);
+        assert!(p.range(1, 1).is_empty(), "oldest gone");
+        assert_eq!(p.used_bytes(), 30);
+    }
+
+    #[test]
+    fn standard_set_has_all_kinds() {
+        let s = PartitionSet::standard();
+        for kind in PartitionKind::ALL {
+            assert!(s.get(kind).capacity_bytes() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than partition")]
+    fn oversized_record_panics() {
+        let mut p = Partition::new(PartitionKind::Mc, 8);
+        p.append(rec(1, 0, 9));
+    }
+}

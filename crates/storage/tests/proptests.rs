@@ -1,0 +1,88 @@
+//! Property-based tests for the storage layer.
+
+use proptest::prelude::*;
+use scalo_storage::controller::StorageController;
+use scalo_storage::layout::Layout;
+use scalo_storage::nvm::{NvmDevice, NvmParams};
+use scalo_storage::partition::{Partition, PartitionKind, Record};
+use scalo_storage::PAGE_BYTES;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn controller_persists_bytes_in_order(chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..2_000), 1..8)) {
+        let device = NvmDevice::new(64, NvmParams::default());
+        let mut sc = StorageController::new(device, Layout::Interleaved);
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            sc.write(chunk);
+            expected.extend_from_slice(chunk);
+        }
+        sc.flush();
+        // Read back every page and concatenate.
+        let mut got = Vec::new();
+        let mut page = 0;
+        while let Some(data) = sc.read_page(page) {
+            got.extend(data);
+            page += 1;
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn controller_sram_never_overflows(sizes in proptest::collection::vec(1usize..5_000, 1..20)) {
+        let device = NvmDevice::new(256, NvmParams::default());
+        let mut sc = StorageController::new(device, Layout::Interleaved);
+        for &sz in &sizes {
+            sc.write(&vec![0xCD; sz]);
+            prop_assert!(sc.buffered_bytes() < PAGE_BYTES);
+        }
+    }
+
+    #[test]
+    fn partition_eviction_is_fifo(payloads in proptest::collection::vec(1usize..40, 1..60)) {
+        let mut p = Partition::new(PartitionKind::Signals, 200);
+        for (t, &sz) in payloads.iter().enumerate() {
+            p.append(Record { timestamp_us: t as u64, key: 0, data: vec![0; sz] });
+        }
+        // Whatever remains is a contiguous suffix of the appended records.
+        let remaining = p.range(0, u64::MAX);
+        if let Some(first) = remaining.first() {
+            let start = first.timestamp_us;
+            for (i, r) in remaining.iter().enumerate() {
+                prop_assert_eq!(r.timestamp_us, start + i as u64, "contiguous suffix");
+            }
+            prop_assert_eq!(
+                remaining.last().unwrap().timestamp_us as usize,
+                payloads.len() - 1,
+                "newest record always survives"
+            );
+        }
+    }
+
+    #[test]
+    fn device_cost_is_monotone(ops in proptest::collection::vec(0usize..3, 1..30)) {
+        let mut d = NvmDevice::new(64, NvmParams::default());
+        let mut last_time = 0.0;
+        let mut next_page = 0;
+        for &op in &ops {
+            match op {
+                0 if next_page < 64 => {
+                    d.program_page(next_page, vec![1; 64]);
+                    next_page += 1;
+                }
+                1 if next_page > 0 => {
+                    let _ = d.read_page(next_page - 1);
+                }
+                _ => d.erase_block(0),
+            }
+            if op == 2 {
+                next_page = next_page.min(0); // block 0 erased; restart
+            }
+            let t = d.cost().time_us;
+            prop_assert!(t >= last_time);
+            last_time = t;
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Design-space exploration: radio choice (§7), power limits (§5),
+//! implant placement/thermal spacing (§5), and the charging duty cycle
+//! (§3.6).
+//!
+//! Run with: `cargo run --example design_space`
+
+use scalo::core::stim::ChargingSchedule;
+use scalo::hw::placement::{aggregate_coupling, derated_power_mw, max_implants};
+use scalo::net::radio::TABLE3;
+use scalo::sched::{max_aggregate_throughput_mbps, Scenario, TaskKind};
+
+fn main() {
+    // 1. Radio trade-offs at a communication-bound deployment.
+    println!("Radios at 16 nodes / 15 mW (Figure 13's sweep):");
+    println!("{:>14} {:>7} {:>14} {:>14}", "radio", "mW", "Hash All-All", "DTW One-All");
+    for radio in &TABLE3 {
+        let s = Scenario::new(16, 15.0).with_radio(*radio);
+        println!(
+            "{:>14} {:>7.2} {:>12.1} M {:>12.1} M",
+            radio.name,
+            radio.power_mw,
+            max_aggregate_throughput_mbps(TaskKind::HashAllAll, &s),
+            max_aggregate_throughput_mbps(TaskKind::DtwOneAll, &s),
+        );
+    }
+
+    // 2. How much compute each power point buys (per-node seizure det.).
+    println!("\nPer-node seizure detection vs power limit:");
+    for p in Scenario::power_sweep() {
+        let t = max_aggregate_throughput_mbps(TaskKind::SeizureDetection, &Scenario::new(1, p));
+        println!("  {p:>4} mW → {t:>6.1} Mbps");
+    }
+
+    // 3. Placement: spacing vs capacity vs thermal coupling.
+    println!("\nImplant placement on the 86 mm hemisphere:");
+    println!("{:>12} {:>10} {:>16} {:>16}", "spacing mm", "max nodes", "coupling @60", "derated mW");
+    for spacing in [10.0, 15.0, 20.0, 30.0] {
+        println!(
+            "{spacing:>12} {:>10} {:>15.3}% {:>16.2}",
+            max_implants(spacing),
+            aggregate_coupling(60, spacing) * 100.0,
+            derated_power_mw(15.0, 60, spacing),
+        );
+    }
+    println!("(§5: 60 implants at 20 mm spacing run at full 15 mW — negligible coupling.)");
+
+    // 4. The charging duty cycle.
+    let c = ChargingSchedule::paper_reference();
+    println!(
+        "\nCharging (§3.6): {}h on / {}h charge → {:.1}% availability; a 15 mW implant\nneeds {:.0} J per cycle ≈ {:.0} mW of wireless transfer while charging.",
+        c.operate_h,
+        c.charge_h,
+        c.availability() * 100.0,
+        c.energy_per_cycle_j(15.0),
+        c.charge_power_mw(15.0),
+    );
+}

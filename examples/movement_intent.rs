@@ -1,0 +1,49 @@
+//! Movement-intent decoding with the three pipelines of Figure 6:
+//! decomposed SVM (A), centralised Kalman filter (B), decomposed NN (C).
+//!
+//! Run with: `cargo run --example movement_intent`
+
+use scalo::core::apps::movement::{
+    generate_session, kalman_velocity_error, nn_decomposition_error, svm_accuracy,
+};
+use scalo::sched::movement::intents_per_second;
+use scalo::sched::{Scenario, TaskKind};
+
+fn main() {
+    let nodes = 4;
+    let session = generate_session(240, 32, 7);
+    println!(
+        "Synthetic centre-out session: {} windows of 50 ms, {} electrodes over {} implants\n",
+        session.features.len(),
+        session.electrodes,
+        nodes
+    );
+
+    // Pipeline A: hierarchically decomposed one-vs-rest SVMs.
+    let acc = svm_accuracy(&session, nodes);
+    println!("Pipeline A (decomposed SVM): direction accuracy {:.1}% (chance 25%)", acc * 100.0);
+
+    // Pipeline B: the centralised Kalman filter.
+    let err = kalman_velocity_error(&session);
+    println!("Pipeline B (centralised KF): mean |velocity error| {err:.3}");
+
+    // Pipeline C: the decomposed shallow NN is *exactly* the centralised
+    // network.
+    let diff = nn_decomposition_error(&session, nodes);
+    println!("Pipeline C (decomposed NN): max centralised-vs-distributed difference {diff:.2e}");
+
+    // What the scheduler says about intent rates (Figure 9b).
+    println!("\nMax intents per second at 15 mW:");
+    println!("{:>7} {:>10} {:>10} {:>10}", "nodes", "SVM", "NN", "KF");
+    for k in [1usize, 2, 4, 8, 16] {
+        let s = Scenario::new(k, 15.0);
+        println!(
+            "{k:>7} {:>10.1} {:>10.1} {:>10.1}",
+            intents_per_second(TaskKind::MiSvm, &s),
+            intents_per_second(TaskKind::MiNn, &s),
+            intents_per_second(TaskKind::MiKf, &s),
+        );
+    }
+    println!("\n(Conventional fixed-window decoders cap at 20 intents/s; the KF keeps that");
+    println!("cadence but scales to ~384 electrodes before its NVM-streamed inversion binds.)");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build a SCALO system, look at its hardware, schedule an
+//! application, and hash a signal.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use scalo::core::{Scalo, ScaloConfig};
+use scalo::hw::fabric::NodeFabric;
+use scalo::hw::pe::{catalog, spec, PeKind};
+use scalo::lsh::{HashConfig, Measure, SshHasher};
+use scalo::sched::{max_aggregate_throughput_mbps, Scenario, TaskKind};
+
+fn main() {
+    // 1. A SCALO deployment: the paper's headline 11 implants at 15 mW.
+    let system = Scalo::new(ScaloConfig::default());
+    println!(
+        "SCALO system: {} implants, {} electrodes each, {} mW per implant",
+        system.node_count(),
+        system.config().electrodes_per_node,
+        system.config().power_limit_mw
+    );
+
+    // 2. The per-implant hardware: 31 PEs in their own clock domains.
+    let fabric = NodeFabric::new();
+    println!(
+        "\nPer-implant fabric: {} PE kinds, {:.0} KGE, {:.2} mW leakage floor",
+        catalog().len(),
+        fabric.total_area_kge(),
+        fabric.leakage_floor_uw() / 1_000.0
+    );
+    for pe in [PeKind::Dtw, PeKind::Fft, PeKind::Hconv, PeKind::Ccheck] {
+        let s = spec(pe);
+        println!(
+            "  {:8} {:>7.3} MHz  {:>8.2} µW dynamic @96 elec",
+            s.name,
+            s.max_freq_mhz,
+            s.dyn_per_electrode_uw * 96.0
+        );
+    }
+
+    // 3. Hash a neural window the way the HCONV/NGRAM PEs do.
+    let hasher = SshHasher::new(HashConfig::for_measure(Measure::Dtw));
+    let window: Vec<f64> = (0..120).map(|i| (i as f64 * 0.21).sin()).collect();
+    let shifted: Vec<f64> = (0..120).map(|i| ((i + 2) as f64 * 0.21).sin()).collect();
+    let h = hasher.hash(&window);
+    println!(
+        "\nDTW hash of a 4 ms window: {:02x?} ({} byte on the wire)",
+        h.as_ref(),
+        h.wire_bytes()
+    );
+    println!(
+        "2-sample-shifted copy collides: {}",
+        hasher.collide(&window, &shifted)
+    );
+
+    // 4. What the scheduler says this deployment sustains.
+    println!("\nMax aggregate throughput at 11 nodes / 15 mW:");
+    for task in [
+        TaskKind::SeizureDetection,
+        TaskKind::HashAllAll,
+        TaskKind::DtwAllAll,
+        TaskKind::MiSvm,
+        TaskKind::MiKf,
+        TaskKind::SpikeSorting,
+    ] {
+        let thr = max_aggregate_throughput_mbps(task, &Scenario::headline());
+        println!("  {:18} {:>9.1} Mbps", task.name(), thr);
+    }
+}

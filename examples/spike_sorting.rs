@@ -1,0 +1,35 @@
+//! Online spike sorting with hash-filtered template matching on three
+//! synthetic datasets shaped like the paper's (SpikeForest / MEArec /
+//! Kilosort).
+//!
+//! Run with: `cargo run --example spike_sorting`
+
+use scalo::core::apps::spike_sort::{modeled_sort_rate_per_node, sort_dataset};
+use scalo::data::spikes::{generate, SpikeConfig};
+
+fn main() {
+    println!("{:<18} {:>7} {:>9} {:>12} {:>12} {:>10}",
+        "dataset", "neurons", "spikes", "hash acc", "exact acc", "cmp ↓");
+    for (name, cfg) in [
+        ("SpikeForest-like", SpikeConfig::spikeforest_like()),
+        ("MEArec-like", SpikeConfig::mearec_like()),
+        ("Kilosort-like", SpikeConfig::kilosort_like()),
+    ] {
+        let ds = generate(&cfg);
+        let r = sort_dataset(&ds);
+        println!(
+            "{name:<18} {:>7} {:>9} {:>11.1}% {:>11.1}% {:>9.1}×",
+            cfg.neurons,
+            r.labelled,
+            r.hash_accuracy() * 100.0,
+            r.exact_accuracy() * 100.0,
+            r.comparison_reduction(),
+        );
+    }
+    println!(
+        "\nModelled on-implant sorting rate: {:.0} spikes/s/node",
+        modeled_sort_rate_per_node()
+    );
+    println!("(The paper reports 12,250 spikes/s/node, within 5% of exact matching accuracy;");
+    println!(" leading off-device exact sorters reach ~15,000 spikes/s on CPUs/GPUs.)");
+}

@@ -1,0 +1,42 @@
+//! # SCALO — a distributed, accelerator-rich brain-computer interface
+//!
+//! This is the facade crate for an open-source reproduction of
+//! *"SCALO: An Accelerator-Rich Distributed System for Scalable
+//! Brain-Computer Interfacing"* (ISCA 2023). It re-exports every layer of the
+//! stack under one roof so that examples and downstream users can write
+//! `use scalo::core::Scalo` instead of juggling eleven crates.
+//!
+//! The layers, bottom-up:
+//!
+//! * [`signal`] — DSP kernels (FFT, Butterworth filters, DTW, EMD, XCOR, …).
+//! * [`lsh`] — locality-sensitive hashing for fast signal similarity.
+//! * [`ml`] — SVM / shallow NN / Kalman-filter decoders and dense linear algebra.
+//! * [`hw`] — the per-implant processing-element (PE) fabric model.
+//! * [`net`] — intra-BCI wireless network: packets, CRC, compression, TDMA, radios.
+//! * [`storage`] — per-implant NVM model and storage controller.
+//! * [`ilp`] — an exact LP/MILP solver (simplex + branch & bound).
+//! * [`data`] — synthetic electrophysiology (iEEG and spike-train) generators.
+//! * [`query`] — the Trill-like query language and dataflow-DAG lowering.
+//! * [`sched`] — the ILP-based system scheduler and throughput models.
+//! * [`core`] — the distributed system itself: nodes, applications, simulation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scalo::core::{Scalo, ScaloConfig};
+//!
+//! let system = Scalo::new(ScaloConfig::default().with_nodes(4));
+//! assert_eq!(system.node_count(), 4);
+//! ```
+
+pub use scalo_core as core;
+pub use scalo_data as data;
+pub use scalo_hw as hw;
+pub use scalo_ilp as ilp;
+pub use scalo_lsh as lsh;
+pub use scalo_ml as ml;
+pub use scalo_net as net;
+pub use scalo_query as query;
+pub use scalo_sched as sched;
+pub use scalo_signal as signal;
+pub use scalo_storage as storage;

@@ -1,0 +1,197 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates through the `scalo` facade.
+
+use proptest::prelude::*;
+use scalo::ilp::{Model, Sense};
+use scalo::lsh::SignalHash;
+use scalo::ml::Matrix;
+use scalo::net::compress::{dcomp_decompress, hcomp_compress, BitReader, BitWriter};
+use scalo::net::crc::{crc32, verify};
+use scalo::net::packet::{receive, Header, Packet, PayloadKind, Received};
+use scalo::signal::dtw::{dtw_distance, DtwParams};
+use scalo::signal::emd::emd_1d;
+use scalo::signal::stats::{euclidean, z_normalize};
+use scalo::storage::partition::{Partition, PartitionKind, Record};
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- DTW ----
+
+    #[test]
+    fn dtw_is_symmetric(a in signal(40), b in signal(40)) {
+        let d1 = dtw_distance(&a, &b, DtwParams::with_band(6));
+        let d2 = dtw_distance(&b, &a, DtwParams::with_band(6));
+        prop_assert!((d1 - d2).abs() < 1e-9, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn dtw_identity_is_zero(a in signal(50)) {
+        prop_assert_eq!(dtw_distance(&a, &a, DtwParams::default()), 0.0);
+    }
+
+    #[test]
+    fn dtw_band_is_monotone(a in signal(30), b in signal(30)) {
+        let mut last = f64::INFINITY;
+        for band in [1usize, 3, 9, 30] {
+            let d = dtw_distance(&a, &b, DtwParams::with_band(band));
+            prop_assert!(d <= last + 1e-9, "band {band}: {d} > {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn dtw_never_exceeds_euclidean(a in signal(32), b in signal(32)) {
+        let d = dtw_distance(&a, &b, DtwParams::with_band(8));
+        prop_assert!(d <= euclidean(&a, &b) + 1e-9);
+    }
+
+    // ---- EMD ----
+
+    #[test]
+    fn emd_metric_properties(
+        a in proptest::collection::vec(0.01f64..5.0, 16..=16),
+        b in proptest::collection::vec(0.01f64..5.0, 16..=16),
+        c in proptest::collection::vec(0.01f64..5.0, 16..=16),
+    ) {
+        let ab = emd_1d(&a, &b);
+        let ba = emd_1d(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
+        prop_assert!(emd_1d(&a, &a) < 1e-9, "identity");
+        prop_assert!(ab <= emd_1d(&a, &c) + emd_1d(&c, &b) + 1e-9, "triangle");
+    }
+
+    // ---- z-normalisation ----
+
+    #[test]
+    fn z_normalize_is_scale_invariant(a in signal(24), k in 0.1f64..50.0) {
+        let scaled: Vec<f64> = a.iter().map(|&x| k * x + 3.0).collect();
+        let za = z_normalize(&a);
+        let zs = z_normalize(&scaled);
+        for (x, y) in za.iter().zip(&zs) {
+            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    // ---- CRC / packets ----
+
+    #[test]
+    fn crc_detects_any_single_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..128), byte_idx in 0usize..128, bit in 0u8..8) {
+        let crc = crc32(&data);
+        let mut corrupted = data.clone();
+        let idx = byte_idx % corrupted.len();
+        corrupted[idx] ^= 1 << bit;
+        prop_assert!(!verify(&corrupted, crc));
+    }
+
+    #[test]
+    fn packet_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..256), src in any::<u8>(), seq in any::<u16>()) {
+        let p = Packet::new(
+            Header { src, dst: 0xFF, flow: 2, seq, len: 0, kind: PayloadKind::Signal, timestamp_us: 77 },
+            payload.clone(),
+        );
+        match receive(&p.to_wire()) {
+            Received::Clean(q) => {
+                prop_assert_eq!(q.payload, payload);
+                prop_assert_eq!(q.header.src, src);
+                prop_assert_eq!(q.header.seq, seq);
+            }
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+
+    // ---- Compression ----
+
+    #[test]
+    fn hcomp_preserves_multiset(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let c = hcomp_compress(&data);
+        let mut got = dcomp_decompress(&c).expect("well-formed stream");
+        let mut want = data.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn elias_gamma_roundtrip(values in proptest::collection::vec(1u32..1_000_000, 1..64)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.push_gamma(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.read_gamma(), Some(v));
+        }
+    }
+
+    // ---- Hashes ----
+
+    #[test]
+    fn hamming_is_a_metric(a in proptest::collection::vec(any::<u8>(), 2..4)) {
+        let ha = SignalHash(a.clone());
+        prop_assert_eq!(ha.hamming(&ha), 0);
+        for n in ha.neighbors(1) {
+            prop_assert!(ha.hamming(&n) <= 1);
+            prop_assert_eq!(n.hamming(&ha), ha.hamming(&n));
+        }
+    }
+
+    // ---- Matrix ----
+
+    #[test]
+    fn inverse_roundtrips_diag_dominant(vals in proptest::collection::vec(-1.0f64..1.0, 16..=16)) {
+        let n = 4;
+        let mut m = Matrix::identity(n).scale(5.0);
+        for r in 0..n {
+            for c in 0..n {
+                if r != c {
+                    m.set(r, c, vals[r * n + c]);
+                }
+            }
+        }
+        let inv = m.inverse().expect("diagonally dominant");
+        let id = m.mul(&inv);
+        prop_assert!(id.max_abs_diff(&Matrix::identity(n)) < 1e-8);
+    }
+
+    // ---- LP solver ----
+
+    #[test]
+    fn lp_solution_is_feasible_and_binding(c1 in 0.5f64..5.0, c2 in 0.5f64..5.0, b1 in 1.0f64..50.0, b2 in 1.0f64..50.0) {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, None, false);
+        let y = m.add_var("y", 0.0, None, false);
+        m.add_constraint(m.expr(&[(x, c1), (y, 1.0)]), Sense::Le, b1);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, c2)]), Sense::Le, b2);
+        m.maximize(m.expr(&[(x, 1.0), (y, 1.0)]));
+        let sol = m.solve().expect("bounded feasible LP");
+        let (xv, yv) = (sol.value(x), sol.value(y));
+        prop_assert!(xv >= -1e-9 && yv >= -1e-9);
+        prop_assert!(c1 * xv + yv <= b1 + 1e-6);
+        prop_assert!(xv + c2 * yv <= b2 + 1e-6);
+        // Optimality: at least one constraint binds.
+        let binds = (c1 * xv + yv > b1 - 1e-6) || (xv + c2 * yv > b2 - 1e-6);
+        prop_assert!(binds, "x={xv} y={yv}");
+    }
+
+    // ---- Storage partitions ----
+
+    #[test]
+    fn partition_never_exceeds_capacity(sizes in proptest::collection::vec(1usize..64, 1..40)) {
+        let mut p = Partition::new(PartitionKind::Signals, 256);
+        for (i, &sz) in sizes.iter().enumerate() {
+            p.append(Record { timestamp_us: i as u64, key: 0, data: vec![0; sz] });
+            prop_assert!(p.used_bytes() <= 256);
+        }
+        // Records remain time-ordered (oldest-first eviction).
+        let all = p.range(0, u64::MAX);
+        for pair in all.windows(2) {
+            prop_assert!(pair[0].timestamp_us <= pair[1].timestamp_us);
+        }
+    }
+}
