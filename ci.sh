@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: everything a merge must pass, in the order it usually fails.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "CI OK"

@@ -1,0 +1,94 @@
+//! `any::<T>()` — the default strategy per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{Rng, RngCore};
+use std::marker::PhantomData;
+
+/// Types with a default "arbitrary value" sampler.
+pub trait ArbSample: Sized {
+    /// Draws one arbitrary value.
+    fn arb(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arb_int {
+    ($($t:ty),*) => {$(
+        impl ArbSample for $t {
+            fn arb(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbSample for bool {
+    fn arb(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbSample for f64 {
+    /// Finite values across a wide dynamic range (sign × magnitude).
+    fn arb(rng: &mut TestRng) -> Self {
+        let mag = 10f64.powf(rng.gen_range(-3.0..6.0));
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * mag * rng.gen::<f64>()
+    }
+}
+
+impl ArbSample for f32 {
+    fn arb(rng: &mut TestRng) -> Self {
+        f64::arb(rng) as f32
+    }
+}
+
+impl<T: ArbSample, const N: usize> ArbSample for [T; N] {
+    fn arb(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arb(rng))
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: ArbSample> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arb(rng)
+    }
+}
+
+/// The default strategy for `T`.
+pub fn any<T: ArbSample>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn arrays_and_ints_sample() {
+        let mut rng = rng_for("any");
+        let a: [u8; 16] = any::<[u8; 16]>().sample(&mut rng);
+        let b: [u8; 16] = any::<[u8; 16]>().sample(&mut rng);
+        assert_ne!(a, b, "consecutive arrays should differ");
+        let _: u64 = any::<u64>().sample(&mut rng);
+    }
+
+    #[test]
+    fn floats_are_finite() {
+        let mut rng = rng_for("anyf");
+        for _ in 0..1000 {
+            assert!(any::<f64>().sample(&mut rng).is_finite());
+        }
+    }
+}

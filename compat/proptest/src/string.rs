@@ -1,0 +1,95 @@
+//! String strategies from pattern literals.
+//!
+//! The real proptest treats a `&str` strategy as a full regex. This
+//! stand-in supports the shape the workspace actually uses — a single
+//! character class with a counted repeat, `"[a-b…]{min,max}"` — plus
+//! literal strings as a fallback.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    if let Some((chars, min, max)) = parse_class_repeat(pattern) {
+        let n = rng.gen_range(min..=max);
+        (0..n)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    } else {
+        pattern.to_string()
+    }
+}
+
+/// Parses `[class]{min,max}` into (alphabet, min, max).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let class_end = rest.find(']')?;
+    let class = &rest[..class_end];
+    let rep = rest[class_end + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = rep.split_once(',')?;
+    let min: usize = lo.trim().parse().ok()?;
+    let max: usize = hi.trim().parse().ok()?;
+    if min > max {
+        return None;
+    }
+
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (a, b) = (cs[i], cs[i + 2]);
+            if a as u32 > b as u32 {
+                return None;
+            }
+            for c in a as u32..=b as u32 {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = rng_for("str");
+        let s = "[ -~]{0,200}";
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() <= 200);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn literal_fallback() {
+        let mut rng = rng_for("lit");
+        assert_eq!("hello".sample(&mut rng), "hello");
+    }
+
+    #[test]
+    fn mixed_class_members() {
+        let (chars, min, max) = parse_class_repeat("[a-cxz]{1,3}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c', 'x', 'z']);
+        assert_eq!((min, max), (1, 3));
+    }
+}

@@ -1,0 +1,67 @@
+//! Test-runner plumbing: configuration, case outcomes, deterministic
+//! per-test RNG seeding.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG driving strategy sampling.
+pub type TestRng = ChaCha8Rng;
+
+/// How a property test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// A deterministic RNG for the named test (FNV-1a over the name), so
+/// every run of the suite generates identical cases.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        assert_eq!(rng_for("a::b").next_u64(), rng_for("a::b").next_u64());
+        assert_ne!(rng_for("a::b").next_u64(), rng_for("a::c").next_u64());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repo annotates wire/config types with `Serialize`/`Deserialize`
+//! to document that they are serialisation-friendly, but no code path
+//! serialises through serde. This crate provides just enough surface for
+//! those annotations to compile without network access: marker traits
+//! and no-op derive macros re-exported from the sibling `serde_derive`
+//! stand-in.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never implemented — the
+/// no-op derive expands to nothing and nothing bounds on it).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never implemented).
+pub trait Deserialize<'de>: Sized {}

@@ -18,7 +18,9 @@ use scalo_signal::spike::detect_spikes;
 use scalo_signal::xcor::pearson;
 
 fn window(n: usize, f: f64) -> Vec<f64> {
-    (0..n).map(|i| (i as f64 * f).sin() + 0.3 * (i as f64 * f * 2.7).cos()).collect()
+    (0..n)
+        .map(|i| (i as f64 * f).sin() + 0.3 * (i as f64 * f * 2.7).cos())
+        .collect()
 }
 
 fn bench_dsp(c: &mut Criterion) {
@@ -31,7 +33,9 @@ fn bench_dsp(c: &mut Criterion) {
             bch.iter(|| dtw_distance(black_box(&a), black_box(&b), DtwParams::with_band(band)))
         });
     }
-    g.bench_function("fft_120", |bch| bch.iter(|| magnitude_spectrum(black_box(&a))));
+    g.bench_function("fft_120", |bch| {
+        bch.iter(|| magnitude_spectrum(black_box(&a)))
+    });
     g.bench_function("xcor_120", |bch| {
         bch.iter(|| pearson(black_box(&a), black_box(&b)))
     });
@@ -76,9 +80,13 @@ fn bench_external_codecs(c: &mut Criterion) {
         .collect();
     let bytes: Vec<u8> = samples.iter().flat_map(|s| s.to_le_bytes()).collect();
     let mut g = c.benchmark_group("external_codecs");
-    g.bench_function("lic_4k_samples", |bch| bch.iter(|| lic_compress(black_box(&samples))));
+    g.bench_function("lic_4k_samples", |bch| {
+        bch.iter(|| lic_compress(black_box(&samples)))
+    });
     g.bench_function("rc_8kB", |bch| bch.iter(|| rc_compress(black_box(&bytes))));
-    g.bench_function("ma_rc_8kB", |bch| bch.iter(|| ma_rc_compress(black_box(&bytes))));
+    g.bench_function("ma_rc_8kB", |bch| {
+        bch.iter(|| ma_rc_compress(black_box(&bytes)))
+    });
     g.bench_function("aes_ctr_8kB", |bch| {
         let aes = Aes128::new(&[7u8; 16]);
         bch.iter(|| {
@@ -92,10 +100,14 @@ fn bench_external_codecs(c: &mut Criterion) {
 
 fn bench_compression(c: &mut Criterion) {
     // A realistic 960 B hash batch (10 windows × 96 electrodes).
-    let batch: Vec<u8> = (0..960).map(|i| [0x42u8, 0x42, 0x17, (i % 7) as u8][(i / 13) % 4]).collect();
+    let batch: Vec<u8> = (0..960)
+        .map(|i| [0x42u8, 0x42, 0x17, (i % 7) as u8][(i / 13) % 4])
+        .collect();
     let compressed = hcomp_compress(&batch);
     let mut g = c.benchmark_group("compression");
-    g.bench_function("hcomp_960B", |bch| bch.iter(|| hcomp_compress(black_box(&batch))));
+    g.bench_function("hcomp_960B", |bch| {
+        bch.iter(|| hcomp_compress(black_box(&batch)))
+    });
     g.bench_function("dcomp_960B", |bch| {
         bch.iter(|| dcomp_decompress(black_box(&compressed)))
     });
@@ -147,7 +159,11 @@ fn bench_solver(c: &mut Criterion) {
             let nd = m.add_var("nd", 0.0, None, false);
             let nh = m.add_var("nh", 0.0, None, false);
             let ns = m.add_var("ns", 0.0, None, false);
-            m.add_constraint(m.expr(&[(nd, 0.084), (nh, 0.045), (ns, 0.074)]), Sense::Le, 11.0);
+            m.add_constraint(
+                m.expr(&[(nd, 0.084), (nh, 0.045), (ns, 0.074)]),
+                Sense::Le,
+                11.0,
+            );
             m.add_constraint(m.expr(&[(nh, 44.0), (ns, 240.0)]), Sense::Le, 8_000.0);
             m.add_constraint(m.expr(&[(ns, 1.0), (nh, -1.0)]), Sense::Le, 0.0);
             m.maximize(m.expr(&[(nd, 1.0), (nh, 1.0), (ns, 1.0)]));
@@ -160,9 +176,17 @@ fn bench_solver(c: &mut Criterion) {
             let vars: Vec<_> = (0..8)
                 .map(|i| m.add_var(format!("x{i}"), 0.0, Some(1.0), true))
                 .collect();
-            let w: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 2.0 + i as f64)).collect();
+            let w: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 2.0 + i as f64))
+                .collect();
             m.add_constraint(m.expr(&w), Sense::Le, 20.0);
-            let o: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 3.0 + (i * 7 % 5) as f64)).collect();
+            let o: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 3.0 + (i * 7 % 5) as f64))
+                .collect();
             m.maximize(m.expr(&o));
             m.solve().unwrap()
         })

@@ -43,14 +43,23 @@ fn bench_storage_layout_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("storage_layout");
     for (name, layout) in [
         ("interleaved", Layout::Interleaved),
-        ("chunked", Layout::Chunked { chunk_bytes: PAGE_BYTES }),
+        (
+            "chunked",
+            Layout::Chunked {
+                chunk_bytes: PAGE_BYTES,
+            },
+        ),
     ] {
-        g.bench_with_input(BenchmarkId::new("window_read_model", name), &layout, |bch, &l| {
-            bch.iter(|| window_read_ms(black_box(l), geom, 120, &params))
-        });
-        g.bench_with_input(BenchmarkId::new("page_write_model", name), &layout, |bch, &l| {
-            bch.iter(|| page_write_ms(black_box(l), &params))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("window_read_model", name),
+            &layout,
+            |bch, &l| bch.iter(|| window_read_ms(black_box(l), geom, 120, &params)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("page_write_model", name),
+            &layout,
+            |bch, &l| bch.iter(|| page_write_ms(black_box(l), &params)),
+        );
     }
     g.finish();
 }
@@ -60,7 +69,9 @@ fn bench_minhash_ablation(c: &mut Criterion) {
     // variable-latency rejection construction, at realistic and skewed
     // weight distributions.
     let uniform: HashMap<u32, u32> = (0..32u32).map(|t| (t, 3)).collect();
-    let skewed: HashMap<u32, u32> = (0..32u32).map(|t| (t, if t == 0 { 500 } else { 2 })).collect();
+    let skewed: HashMap<u32, u32> = (0..32u32)
+        .map(|t| (t, if t == 0 { 500 } else { 2 }))
+        .collect();
     let mut g = c.benchmark_group("minhash");
     for (name, set) in [("uniform", &uniform), ("skewed", &skewed)] {
         g.bench_with_input(BenchmarkId::new("consistent", name), set, |bch, s| {

@@ -35,6 +35,7 @@ fn main() {
         "fig14" => x::fig14(250),
         "fig15a" => x::fig15a(reps),
         "fig15b" => x::fig15b(reps),
+        "fault-tolerance" => x::fault_tolerance(reps),
         "local-scaling" => x::local_scaling_exp(),
         "spike-sorting" => x::spike_sorting_exp(),
         "storage-layout" => x::storage_layout_exp(),
@@ -71,6 +72,7 @@ fn main() {
             x::fig14(250);
             x::fig15a(reps);
             x::fig15b(reps);
+            x::fault_tolerance(reps);
             x::local_scaling_exp();
             x::spike_sorting_exp();
             x::storage_layout_exp();
@@ -82,7 +84,8 @@ fn main() {
                 "usage: experiments <cmd> [--reps N]\n\
                  cmds: all | quick | table1 | table2 | table3 | fig8a | fig8b | fig8c |\n\
                  \x20     fig9a | fig9b | fig10 | fig11 | fig12 | fig13 | fig14 | fig15a |\n\
-                 \x20     fig15b | local-scaling | spike-sorting | storage-layout | compression |\n\x20     external-compression"
+                 \x20     fig15b | fault-tolerance | local-scaling | spike-sorting |\n\
+                 \x20     storage-layout | compression | external-compression"
             );
             std::process::exit(2);
         }

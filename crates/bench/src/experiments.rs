@@ -6,6 +6,8 @@ use crate::fmt::{f, header, table};
 use scalo_core::apps::seizure::SeizureApp;
 use scalo_core::apps::spike_sort::{modeled_sort_rate_per_node, sort_dataset};
 use scalo_core::arch::{architecture_throughput, Architecture, Fig8Task};
+use scalo_core::fault::{Fault, FaultPlan};
+use scalo_core::membership::MembershipEvent;
 use scalo_core::ScaloConfig;
 use scalo_data::ieeg::{generate as gen_ieeg, IeegConfig, SeizureEvent};
 use scalo_data::spikes::{generate as gen_spikes, SpikeConfig};
@@ -18,6 +20,7 @@ use scalo_net::ber::ErrorChannel;
 use scalo_net::compress::{hcomp_compress, lz_compress, ratio};
 use scalo_net::packet::{Header, Packet, PayloadKind, Received, BROADCAST};
 use scalo_net::radio::{Radio, EXTERNAL, TABLE3};
+use scalo_net::reliable::{ReliableLink, ReliablePolicy};
 use scalo_net::wire_bits;
 use scalo_sched::local::local_scaling;
 use scalo_sched::movement::intents_per_second;
@@ -39,7 +42,10 @@ pub fn table1() {
             let lat = match s.latency {
                 scalo_hw::pe::Latency::Fixed(ms) => f(ms, 3),
                 scalo_hw::pe::Latency::DataDependent => "-".into(),
-                scalo_hw::pe::Latency::Storage { available_ms, busy_ms } => {
+                scalo_hw::pe::Latency::Storage {
+                    available_ms,
+                    busy_ms,
+                } => {
                     format!("{available_ms}-{busy_ms}")
                 }
             };
@@ -56,7 +62,9 @@ pub fn table1() {
         })
         .collect();
     table(
-        &["PE", "MHz", "leak µW", "SRAM µW", "dyn/elec", "lat ms", "KGE", "mW@96"],
+        &[
+            "PE", "MHz", "leak µW", "SRAM µW", "dyn/elec", "lat ms", "KGE", "mW@96",
+        ],
         &rows,
     );
 }
@@ -69,13 +77,31 @@ pub fn table2() {
         .map(|&a| {
             vec![
                 a.name().to_string(),
-                if a.is_distributed() { "Distributed" } else { "Centralized" }.into(),
-                if a.has_hash_pes() { "Hash, Signal" } else { "Signal" }.into(),
-                if a.is_distributed() { "Wireless" } else { "Wired" }.into(),
+                if a.is_distributed() {
+                    "Distributed"
+                } else {
+                    "Centralized"
+                }
+                .into(),
+                if a.has_hash_pes() {
+                    "Hash, Signal"
+                } else {
+                    "Signal"
+                }
+                .into(),
+                if a.is_distributed() {
+                    "Wireless"
+                } else {
+                    "Wired"
+                }
+                .into(),
             ]
         })
         .collect();
-    table(&["Design", "Architecture", "Comparison", "Communication"], &rows);
+    table(
+        &["Design", "Architecture", "Comparison", "Communication"],
+        &rows,
+    );
 }
 
 /// Table 3: the radio design points.
@@ -131,7 +157,16 @@ pub fn fig8b() {
                 f(max_aggregate_throughput_mbps(TaskKind::HashOneAll, &s), 1),
             ]);
         }
-        table(&["nodes", "DTW All-All", "DTW One-All", "Hash All-All", "Hash One-All"], &rows);
+        table(
+            &[
+                "nodes",
+                "DTW All-All",
+                "DTW One-All",
+                "Hash All-All",
+                "Hash One-All",
+            ],
+            &rows,
+        );
     }
 }
 
@@ -238,7 +273,11 @@ pub fn fig11(pairs_per_measure: usize) {
             .iter()
             .map(|b| format!("{:+.0}%:{:.1}%", b.distance_pct, b.error_rate * 100.0))
             .collect();
-        println!("{measure:>10}  total {:.1}%  [{}]", total * 100.0, cells.join("  "));
+        println!(
+            "{measure:>10}  total {:.1}%  [{}]",
+            total * 100.0,
+            cells.join("  ")
+        );
     }
     println!("\n(Paper: total errors < 8.5%, concentrated near the threshold.)");
 }
@@ -323,7 +362,10 @@ pub fn fig12(packets: usize) {
             format!("{:.2}%", dtw_flips as f64 / sig_total as f64 * 100.0),
         ]);
     }
-    table(&["BER", "hash pkt err", "signal pkt err", "DTW failures"], &rows);
+    table(
+        &["BER", "hash pkt err", "signal pkt err", "DTW failures"],
+        &rows,
+    );
     println!(
         "\n(Frame sizes: hash {hash_bits} bits, signal {signal_bits} bits. Radio BER is 1e-5;\n paper: <1% hash packets err there, zero DTW failures.)"
     );
@@ -341,14 +383,8 @@ pub fn fig13() {
     for radio in &TABLE3 {
         let mut row = vec![radio.name.to_string(), f(radio.power_mw, 2)];
         for task in tasks {
-            let t = max_aggregate_throughput_mbps(
-                task,
-                &Scenario::new(k, 15.0).with_radio(*radio),
-            );
-            let t0 = max_aggregate_throughput_mbps(
-                task,
-                &Scenario::new(k, 15.0).with_radio(*base),
-            );
+            let t = max_aggregate_throughput_mbps(task, &Scenario::new(k, 15.0).with_radio(*radio));
+            let t0 = max_aggregate_throughput_mbps(task, &Scenario::new(k, 15.0).with_radio(*base));
             row.push(f(t / t0, 2));
         }
         rows.push(row);
@@ -389,8 +425,7 @@ pub fn fig15a(repetitions: usize) {
         let (mut worst, mut sum, mut confirmed) = (0.0f64, 0.0, 0usize);
         for rep in 0..repetitions {
             let seed = 0x15a + rep as u64;
-            let (Some(d), Some(base)) = (run_propagation(seed, err, 0.0), baselines[rep])
-            else {
+            let (Some(d), Some(base)) = (run_propagation(seed, err, 0.0), baselines[rep]) else {
                 continue;
             };
             let added = (d - base).max(0.0);
@@ -405,7 +440,15 @@ pub fn fig15a(repetitions: usize) {
             format!("{confirmed}/{repetitions}"),
         ]);
     }
-    table(&["hash err rate", "max added ms", "mean added ms", "confirmed"], &rows);
+    table(
+        &[
+            "hash err rate",
+            "max added ms",
+            "mean added ms",
+            "confirmed",
+        ],
+        &rows,
+    );
     println!("\n(Paper: no noticeable impact until ~50% error rate — many electrodes carry\n the seizure and the exchange retries every window.)");
 }
 
@@ -420,8 +463,7 @@ pub fn fig15b(repetitions: usize) {
         let (mut worst, mut confirmed) = (0.0f64, 0usize);
         for rep in 0..repetitions {
             let seed = 0x15b + rep as u64;
-            let (Some(d), Some(base)) = (run_propagation(seed, 0.0, ber), baselines[rep])
-            else {
+            let (Some(d), Some(base)) = (run_propagation(seed, 0.0, ber), baselines[rep]) else {
                 continue;
             };
             worst = worst.max((d - base).max(0.0));
@@ -461,7 +503,11 @@ pub fn local_scaling_exp() {
         .iter()
         .zip(&sort)
         .map(|(d, s)| {
-            vec![f(d.power_mw, 0), f(d.throughput_mbps, 1), f(s.throughput_mbps, 1)]
+            vec![
+                f(d.power_mw, 0),
+                f(d.throughput_mbps, 1),
+                f(s.throughput_mbps, 1),
+            ]
         })
         .collect();
     table(&["mW", "seizure detection", "spike sorting"], &rows);
@@ -487,7 +533,17 @@ pub fn spike_sorting_exp() {
             format!("{:.1}x", r.comparison_reduction()),
         ]);
     }
-    table(&["dataset", "neurons", "spikes", "hash acc", "exact acc", "cmp ↓"], &rows);
+    table(
+        &[
+            "dataset",
+            "neurons",
+            "spikes",
+            "hash acc",
+            "exact acc",
+            "cmp ↓",
+        ],
+        &rows,
+    );
     println!(
         "\nModelled sorting rate: {:.0} spikes/s/node (paper: 12,250; exact off-device: ~15,000)",
         modeled_sort_rate_per_node()
@@ -498,8 +554,14 @@ pub fn spike_sorting_exp() {
 pub fn storage_layout_exp() {
     header("§3.3: NVM layout reorganisation trade");
     let t = paper_trade(&NvmParams::default());
-    println!("chunked write: {:.2} ms ({}x interleaved)", t.chunked_write_ms, t.write_slowdown);
-    println!("chunked read:  {:.3} ms ({}x faster than interleaved)", t.chunked_read_ms, t.read_speedup);
+    println!(
+        "chunked write: {:.2} ms ({}x interleaved)",
+        t.chunked_write_ms, t.write_slowdown
+    );
+    println!(
+        "chunked read:  {:.3} ms ({}x faster than interleaved)",
+        t.chunked_read_ms, t.read_speedup
+    );
     println!("(Paper: writes 1.75 ms — 5× slower; reads 0.035 ms — 10× faster.)");
 }
 
@@ -555,8 +617,16 @@ pub fn external_compression_exp() {
     let lic = lic_compress(&samples);
     let lic_rc = rc_compress(&lic);
     let rows = vec![
-        vec!["raw 16-bit".into(), raw_bytes.len().to_string(), "1.00".into()],
-        vec!["LIC".into(), lic.len().to_string(), f(ratio(raw_bytes.len(), lic.len()), 2)],
+        vec![
+            "raw 16-bit".into(),
+            raw_bytes.len().to_string(),
+            "1.00".into(),
+        ],
+        vec![
+            "LIC".into(),
+            lic.len().to_string(),
+            f(ratio(raw_bytes.len(), lic.len()), 2),
+        ],
         vec![
             "RC (order-0)".into(),
             rc_compress(&raw_bytes).len().to_string(),
@@ -580,6 +650,199 @@ pub fn external_compression_exp() {
     ];
     table(&["codec", "bytes", "ratio"], &rows);
     println!("\n(HALO streams off-body data through this suite; chained LIC→RC is the\n high-ratio point, matching HALO's observation that model-based coding\n beats LZ on neural waveforms.)");
+}
+
+/// One reliable-vs-naive delivery comparison over the same kind of
+/// channel (hash-sized packets, LOW POWER rate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportTrial {
+    /// Packets offered each way.
+    pub packets: usize,
+    /// Fire-and-forget packets received clean.
+    pub naive_delivered: usize,
+    /// Packets the reliable transport delivered.
+    pub reliable_delivered: usize,
+    /// Retransmissions the reliable transport spent.
+    pub retransmissions: usize,
+    /// Receiver-side duplicates it suppressed.
+    pub duplicates: usize,
+    /// Packets it gave up on after exhausting attempts.
+    pub gave_up: usize,
+}
+
+/// Sends `packets` 16-byte hash packets at `ber`, once fire-and-forget
+/// and once over the reliable transport, deterministically per `seed`.
+pub fn transport_trial(ber: f64, packets: usize, seed: u64) -> TransportTrial {
+    let payload = vec![0x5c; 16];
+    let head = |seq: u16| Header {
+        src: 0,
+        dst: 1,
+        flow: 1,
+        seq,
+        len: 0,
+        kind: PayloadKind::Hashes,
+        timestamp_us: 0,
+    };
+    let mut naive_ch = ErrorChannel::new(ber, seed);
+    let mut naive_delivered = 0;
+    for i in 0..packets {
+        let p = Packet::new(head(i as u16), payload.clone());
+        let (wire, _) = naive_ch.transmit(&p.to_wire());
+        if matches!(scalo_net::packet::receive(&wire), Received::Clean(_)) {
+            naive_delivered += 1;
+        }
+    }
+    let mut rel_ch = ErrorChannel::new(ber, seed ^ 0x5eed);
+    let mut link = ReliableLink::new(1, ReliablePolicy::default());
+    for _ in 0..packets {
+        let _ = link.send(&mut rel_ch, 7.0, head(0), payload.clone());
+    }
+    let s = link.stats();
+    TransportTrial {
+        packets,
+        naive_delivered,
+        reliable_delivered: s.delivered,
+        retransmissions: s.retransmissions,
+        duplicates: s.duplicates,
+        gave_up: s.gave_up,
+    }
+}
+
+/// One seizure-propagation run on an 8-node deployment with the
+/// highest-id `crashes` nodes crashing before the seizure onset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashTrial {
+    /// Nodes crashed.
+    pub crashed: usize,
+    /// Nodes still up at the end.
+    pub live_nodes: usize,
+    /// Window of first seizure detection, if any.
+    pub detect_window: Option<usize>,
+    /// Surviving nodes that confirmed propagation.
+    pub confirmations: usize,
+    /// Mean crash→eviction detection latency across crashed nodes, ms
+    /// (0 when nothing crashed).
+    pub mean_eviction_latency_ms: f64,
+    /// The re-solved ILP's weighted throughput for the surviving
+    /// membership, if a re-solve ran.
+    pub resolved_weighted_mbps: Option<f64>,
+}
+
+/// Runs the seizure app (reliable hash transport on) on 8 nodes with
+/// `crashes` nodes failing at ~150 ms, deterministically per `seed`.
+pub fn crash_trial(crashes: usize, seed: u64) -> CrashTrial {
+    let nodes = 8;
+    assert!(crashes < nodes, "must leave at least one survivor");
+    let rec = gen_ieeg(&IeegConfig {
+        nodes,
+        electrodes_per_node: 4,
+        duration_s: 0.9,
+        seizures: vec![SeizureEvent::uniform(0.25, 0.6, 0, nodes, 0.0)],
+        seed,
+        ..Default::default()
+    });
+    let mut app = SeizureApp::new(
+        ScaloConfig::default()
+            .with_nodes(nodes)
+            .with_electrodes(4)
+            .with_seed(seed),
+    );
+    app.train_detectors(&rec);
+    app.use_reliable_transport = true;
+    let mut plan = FaultPlan::new();
+    for i in 0..crashes {
+        plan.schedule(
+            150_000 + 8_000 * i as u64,
+            Fault::Crash {
+                node: nodes - 1 - i,
+            },
+        );
+    }
+    app.system_mut().set_fault_plan(plan);
+    let run = app.run(&rec);
+    let sys = app.system();
+    let mut latencies = Vec::new();
+    for fr in sys.fault_log() {
+        if let Fault::Crash { node } = fr.fault {
+            let evicted = sys
+                .membership_log()
+                .iter()
+                .find(|m| m.event == MembershipEvent::Evicted { peer: node });
+            if let Some(m) = evicted {
+                latencies.push((m.at_us - fr.at_us) as f64 / 1_000.0);
+            }
+        }
+    }
+    CrashTrial {
+        crashed: crashes,
+        live_nodes: sys.live_nodes().len(),
+        detect_window: run.origin_detect_window,
+        confirmations: run.confirmations.len(),
+        mean_eviction_latency_ms: latencies.iter().sum::<f64>() / latencies.len().max(1) as f64,
+        resolved_weighted_mbps: sys
+            .schedule_decisions()
+            .last()
+            .and_then(|d| d.weighted_mbps),
+    }
+}
+
+/// Robustness study: reliable transport vs fire-and-forget across BERs,
+/// and graceful degradation of seizure propagation under node crashes.
+pub fn fault_tolerance(reps: usize) {
+    header("Fault tolerance: reliable transport and graceful degradation");
+    let reps = reps.max(1);
+    let packets = 400;
+    println!("\n-- hash-packet delivery, {packets} packets x {reps} seeds per BER --");
+    let mut rows = Vec::new();
+    for &ber in &[1e-5, 1e-4, 1e-3] {
+        let (mut naive, mut rel, mut total, mut retrans) = (0usize, 0usize, 0usize, 0usize);
+        for rep in 0..reps {
+            let t = transport_trial(ber, packets, 0xfa17 + rep as u64);
+            naive += t.naive_delivered;
+            rel += t.reliable_delivered;
+            total += t.packets;
+            retrans += t.retransmissions;
+        }
+        rows.push(vec![
+            format!("{ber:.0e}"),
+            format!("{:.2}%", naive as f64 / total as f64 * 100.0),
+            format!("{:.3}%", rel as f64 / total as f64 * 100.0),
+            f(retrans as f64 / total as f64, 3),
+        ]);
+    }
+    table(&["BER", "naive", "reliable", "retrans/pkt"], &rows);
+
+    println!("\n-- seizure propagation, 8 nodes, highest-id nodes crash at ~150 ms --");
+    let mut rows = Vec::new();
+    for crashes in 0..=3 {
+        let t = crash_trial(crashes, 0xc7a5);
+        rows.push(vec![
+            crashes.to_string(),
+            t.live_nodes.to_string(),
+            t.detect_window.map_or("-".into(), |w| w.to_string()),
+            t.confirmations.to_string(),
+            if t.crashed == 0 {
+                "-".into()
+            } else {
+                f(t.mean_eviction_latency_ms, 1)
+            },
+            t.resolved_weighted_mbps.map_or("-".into(), |m| f(m, 1)),
+        ]);
+    }
+    table(
+        &[
+            "crashed",
+            "live",
+            "detect win",
+            "confirms",
+            "evict ms",
+            "resolved Mbps",
+        ],
+        &rows,
+    );
+    println!(
+        "\n(Same seed, same report: fault injection and the channel are seeded.\n Heartbeat eviction re-solves the TDMA schedule and the seizure ILP over\n the surviving quorum, so detection and confirmation continue.)"
+    );
 }
 
 /// A small two-site recording with a simultaneous seizure, used by the
@@ -619,5 +882,35 @@ mod tests {
         fig9a();
         fig10();
         fig12(50);
+    }
+
+    #[test]
+    fn reliable_transport_meets_delivery_target() {
+        // Acceptance: at BER 1e-4 the reliable transport recovers ≥99%
+        // of hash packets while fire-and-forget does not.
+        let t = transport_trial(1e-4, 2_000, 42);
+        let naive = t.naive_delivered as f64 / t.packets as f64;
+        let reliable = t.reliable_delivered as f64 / t.packets as f64;
+        assert!(reliable >= 0.99, "{t:?}");
+        assert!(naive < 0.99, "{t:?}");
+        assert!(t.retransmissions > 0, "{t:?}");
+    }
+
+    #[test]
+    fn fault_tolerance_is_deterministic() {
+        assert_eq!(transport_trial(1e-3, 300, 7), transport_trial(1e-3, 300, 7));
+        assert_eq!(crash_trial(2, 9), crash_trial(2, 9));
+    }
+
+    #[test]
+    fn crashed_quorum_still_detects() {
+        // Acceptance: 3 of 8 nodes crash mid-run; the surviving quorum
+        // still detects and confirms, and the schedule was re-solved.
+        let t = crash_trial(3, 0xc7a5);
+        assert_eq!(t.live_nodes, 5);
+        assert!(t.detect_window.is_some(), "{t:?}");
+        assert!(t.confirmations >= 1, "{t:?}");
+        assert!(t.mean_eviction_latency_ms > 0.0, "{t:?}");
+        assert!(t.resolved_weighted_mbps.is_some(), "{t:?}");
     }
 }

@@ -27,7 +27,10 @@ pub fn table(columns: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(columns.iter().map(|s| s.to_string()).collect())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }

@@ -139,7 +139,11 @@ mod tests {
     #[test]
     fn decoding_tracks_the_reach() {
         let run = run_default_loop(4, 7);
-        assert!(run.velocity_error < 0.3, "velocity error {}", run.velocity_error);
+        assert!(
+            run.velocity_error < 0.3,
+            "velocity error {}",
+            run.velocity_error
+        );
     }
 
     #[test]
@@ -158,7 +162,11 @@ mod tests {
     fn feedback_adds_latency_only_on_contact_steps() {
         let run = run_default_loop(2, 13);
         let with: Vec<_> = run.steps.iter().filter(|s| s.feedback_stimulated).collect();
-        let without: Vec<_> = run.steps.iter().filter(|s| !s.feedback_stimulated).collect();
+        let without: Vec<_> = run
+            .steps
+            .iter()
+            .filter(|s| !s.feedback_stimulated)
+            .collect();
         if let (Some(w), Some(wo)) = (with.first(), without.first()) {
             assert!(w.latency_ms > wo.latency_ms);
         }

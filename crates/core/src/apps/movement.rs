@@ -68,7 +68,10 @@ pub fn generate_session(steps: usize, electrodes: usize, seed: u64) -> Session {
             tuning
                 .iter()
                 .map(|t| {
-                    t[0] * x[0] + t[1] * x[1] + t[2] * x[2] + t[3] * x[3]
+                    t[0] * x[0]
+                        + t[1] * x[1]
+                        + t[2] * x[2]
+                        + t[3] * x[3]
                         + 0.05 * (rng.gen::<f64>() - 0.5)
                 })
                 .collect(),
@@ -98,7 +101,10 @@ pub fn svm_accuracy(session: &Session, nodes: usize) -> f64 {
             LinearSvm::train_pegasos(&train, 0.01, 15, 7 + dir as u64)
         })
         .collect();
-    let dist: Vec<DistributedSvm> = svms.iter().map(|s| DistributedSvm::split(s, nodes)).collect();
+    let dist: Vec<DistributedSvm> = svms
+        .iter()
+        .map(|s| DistributedSvm::split(s, nodes))
+        .collect();
     let ranges = split_channels(session.electrodes, nodes);
 
     let mut correct = 0;
@@ -138,10 +144,7 @@ pub fn kalman_velocity_error(session: &Session) -> f64 {
     let mut kf = KalmanFilter::new(model);
     let mut err = 0.0;
     let mut count = 0;
-    for (z, truth) in session.features[half..]
-        .iter()
-        .zip(&session.states[half..])
-    {
+    for (z, truth) in session.features[half..].iter().zip(&session.states[half..]) {
         let est = kf.step(z).expect("regularised model");
         err += (est[2] - truth[2]).abs() + (est[3] - truth[3]).abs();
         count += 1;

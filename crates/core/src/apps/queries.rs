@@ -38,14 +38,19 @@ pub fn q1_seizure_signals(system: &Scalo, from_us: u64, to_us: u64) -> QueryAnsw
     let mut total_bytes = 0;
     for node_id in 0..system.node_count() {
         let node = system.node(node_id);
-        for rec in node.storage().get(PartitionKind::Signals).range(from_us, to_us) {
+        for rec in node
+            .storage()
+            .get(PartitionKind::Signals)
+            .range(from_us, to_us)
+        {
             total_bytes += rec.data.len();
             let window: Vec<f64> = rec
                 .data
                 .chunks_exact(2)
                 .map(|b| i16::from_le_bytes([b[0], b[1]]) as f64 / 8_192.0)
                 .collect();
-            if node.detect_seizure(&window) {
+            // A node without a detector simply contributes no labels.
+            if node.detect_seizure(&window).unwrap_or(false) {
                 matches.push((node_id, rec.key, rec.timestamp_us));
                 bytes += rec.data.len();
             }
@@ -60,7 +65,12 @@ pub fn q1_seizure_signals(system: &Scalo, from_us: u64, to_us: u64) -> QueryAnsw
     QueryAnswer {
         matches,
         bytes,
-        cost: evaluate(QueryKind::Q1SeizureSignals, data_mb, fraction, &scenario_of(system)),
+        cost: evaluate(
+            QueryKind::Q1SeizureSignals,
+            data_mb,
+            fraction,
+            &scenario_of(system),
+        ),
     }
 }
 
@@ -77,11 +87,14 @@ pub fn q2_template_match(
     let mut total_bytes = 0;
     for node_id in 0..system.node_count() {
         let node = system.node(node_id);
-        for rec in node.storage().get(PartitionKind::Hashes).range(from_us, to_us) {
+        for rec in node
+            .storage()
+            .get(PartitionKind::Hashes)
+            .range(from_us, to_us)
+        {
             total_bytes += 240; // the signal window the hash stands for
             let stored = SignalHash(rec.data.clone());
-            let hit = stored.0.len() == template_hash.0.len()
-                && stored.hamming(template_hash) <= 1;
+            let hit = stored.0.len() == template_hash.0.len() && stored.hamming(template_hash) <= 1;
             if hit {
                 matches.push((node_id, rec.key, rec.timestamp_us));
                 bytes += 240;
@@ -97,7 +110,12 @@ pub fn q2_template_match(
     QueryAnswer {
         matches,
         bytes,
-        cost: evaluate(QueryKind::Q2TemplateHash, data_mb, fraction, &scenario_of(system)),
+        cost: evaluate(
+            QueryKind::Q2TemplateHash,
+            data_mb,
+            fraction,
+            &scenario_of(system),
+        ),
     }
 }
 
@@ -107,7 +125,11 @@ pub fn q3_all_data(system: &Scalo, from_us: u64, to_us: u64) -> QueryAnswer {
     let mut bytes = 0;
     for node_id in 0..system.node_count() {
         let node = system.node(node_id);
-        for rec in node.storage().get(PartitionKind::Signals).range(from_us, to_us) {
+        for rec in node
+            .storage()
+            .get(PartitionKind::Signals)
+            .range(from_us, to_us)
+        {
             matches.push((node_id, rec.key, rec.timestamp_us));
             bytes += rec.data.len();
         }
@@ -136,13 +158,23 @@ pub fn run_compiled_query(
     // Apply any slice from the DAG's selections.
     let (mut from, mut to) = (from_us, to_us);
     for op in &dag.operators {
-        if let Operator::Select { slice: Some((a_ms, b_ms)), .. } = op {
+        if let Operator::Select {
+            slice: Some((a_ms, b_ms)),
+            ..
+        } = op
+        {
             from = from.saturating_sub((-a_ms.min(0.0) * 1_000.0) as u64);
             to += (b_ms.max(0.0) * 1_000.0) as u64;
         }
     }
     let wants_detection = dag.operators.iter().any(|op| {
-        matches!(op, Operator::Select { seizure_detect: true, .. })
+        matches!(
+            op,
+            Operator::Select {
+                seizure_detect: true,
+                ..
+            }
+        )
     });
     let wants_hash = dag
         .operators
@@ -237,8 +269,8 @@ mod tests {
     #[test]
     fn compiled_hash_query_runs_as_q2() {
         let sys = loaded_system();
-        let dag = scalo_query::compile("var q = stream.window(wsize=4ms).hash(dtw).ccheck()")
-            .unwrap();
+        let dag =
+            scalo_query::compile("var q = stream.window(wsize=4ms).hash(dtw).ccheck()").unwrap();
         let w: Vec<f64> = (0..120).map(|i| 2.0 * (i as f64 * 0.2).sin()).collect();
         let template_hash = match sys.node(0).hasher() {
             MeasureHasher::Ssh(h) => h.hash(&w),

@@ -219,8 +219,16 @@ mod tests {
             let r = sort_dataset(&ds);
             assert!(r.labelled > 30, "{r:?}");
             let (h, e) = (r.hash_accuracy(), r.exact_accuracy());
-            assert!(e > 0.55, "exact accuracy {e} too low ({} neurons)", cfg.neurons);
-            assert!(h >= e - 0.05, "hash {h} vs exact {e} ({} neurons)", cfg.neurons);
+            assert!(
+                e > 0.55,
+                "exact accuracy {e} too low ({} neurons)",
+                cfg.neurons
+            );
+            assert!(
+                h >= e - 0.05,
+                "hash {h} vs exact {e} ({} neurons)",
+                cfg.neurons
+            );
         }
     }
 
@@ -229,7 +237,11 @@ mod tests {
         let ds = generate(&SpikeConfig::kilosort_like());
         let r = sort_dataset(&ds);
         // 30 templates exhaustively vs a 3-template shortlist: 10×.
-        assert!(r.comparison_reduction() > 5.0, "{}", r.comparison_reduction());
+        assert!(
+            r.comparison_reduction() > 5.0,
+            "{}",
+            r.comparison_reduction()
+        );
     }
 
     #[test]

@@ -155,8 +155,7 @@ pub fn architecture_throughput(
         // ---- Seizure detection: local everywhere; every design has the
         // HALO feature PEs.
         (a, Fig8Task::SeizureDetection) => {
-            let per_node =
-                max_aggregate_throughput_mbps(TaskKind::SeizureDetection, &central);
+            let per_node = max_aggregate_throughput_mbps(TaskKind::SeizureDetection, &central);
             if a.is_distributed() {
                 per_node * nodes as f64
             } else {
@@ -175,8 +174,7 @@ pub fn architecture_throughput(
             max_aggregate_throughput_mbps(TaskKind::HashAllAll, &central)
         }
         (Architecture::CentralNoHash, Fig8Task::SignalSimilarity) => {
-            max_aggregate_throughput_mbps(TaskKind::HashAllAll, &central)
-                / CANDIDATE_FILTER_FACTOR
+            max_aggregate_throughput_mbps(TaskKind::HashAllAll, &central) / CANDIDATE_FILTER_FACTOR
         }
         (Architecture::HaloNvm, Fig8Task::SignalSimilarity) => {
             max_aggregate_throughput_mbps(TaskKind::HashAllAll, &central) / MC_HASH_SLOWDOWN
@@ -184,7 +182,11 @@ pub fn architecture_throughput(
 
         // ---- MI SVM: every design has SVM + feature PEs.
         (a, Fig8Task::MiSvm) => {
-            let scenario = if a.is_distributed() { &distributed } else { &central };
+            let scenario = if a.is_distributed() {
+                &distributed
+            } else {
+                &central
+            };
             max_aggregate_throughput_mbps(TaskKind::MiSvm, scenario)
         }
 
@@ -283,8 +285,8 @@ mod tests {
         let sim = thr(Architecture::Scalo, Fig8Task::SignalSimilarity)
             / thr(Architecture::Central, Fig8Task::SignalSimilarity);
         assert!(sim > 3.0, "similarity ratio {sim}");
-        let kf_ratio = thr(Architecture::Scalo, Fig8Task::MiKf)
-            / thr(Architecture::Central, Fig8Task::MiKf);
+        let kf_ratio =
+            thr(Architecture::Scalo, Fig8Task::MiKf) / thr(Architecture::Central, Fig8Task::MiKf);
         assert!(kf_ratio < 1.5, "KF parity: ratio {kf_ratio}");
     }
 

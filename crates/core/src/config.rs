@@ -71,7 +71,7 @@ impl Default for ScaloConfig {
             ber: LOW_POWER.ber,
             measure: Measure::Dtw,
             ccheck_horizon_us: 100_000,
-            seed: 0x5ca1_0,
+            seed: 0x5ca10,
         }
     }
 }

@@ -1,0 +1,318 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultPlan`] is a time-ordered queue of faults — node crashes and
+//! recoveries, per-link BER escalation, clock-drift spikes, and NVM
+//! block failures — that [`crate::Scalo::advance_us`] drains as
+//! simulated time passes. Plans can be scripted event by event or
+//! generated from a seeded RNG via [`FaultPlan::random`], so robustness
+//! experiments are exactly reproducible: same seed, same faults, same
+//! report.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use scalo_storage::partition::PartitionKind;
+use std::collections::VecDeque;
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// The node stops transmitting, receiving, and processing.
+    Crash { node: usize },
+    /// A previously crashed node comes back (fresh membership view).
+    Recover { node: usize },
+    /// The shared channel's BER jumps to `ber` for `duration_us`, then
+    /// reverts to the configured baseline.
+    BerSpike { ber: f64, duration_us: u64 },
+    /// The node's local clock jumps by `offset_us` (corrected only by
+    /// the next SNTP round).
+    ClockDrift { node: usize, offset_us: i64 },
+    /// `bytes` of the node's NVM partition `kind` fail; the partition
+    /// set remaps its logical window around the dead blocks.
+    NvmBlockFail {
+        node: usize,
+        kind: PartitionKind,
+        bytes: usize,
+    },
+}
+
+/// A fault scheduled at a simulated timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault strikes, in µs of simulated time.
+    pub at_us: u64,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// A time-ordered fault schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Events sorted by `at_us`; equal timestamps keep insertion order.
+    events: VecDeque<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `fault` at `at_us`, keeping the queue sorted. Events
+    /// at the same timestamp fire in insertion order.
+    pub fn schedule(&mut self, at_us: u64, fault: Fault) -> &mut Self {
+        let idx = self.events.partition_point(|e| e.at_us <= at_us);
+        self.events.insert(idx, FaultEvent { at_us, fault });
+        self
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Timestamp of the next pending event.
+    pub fn peek_at_us(&self) -> Option<u64> {
+        self.events.front().map(|e| e.at_us)
+    }
+
+    /// Pops the next event if it is due at or before `now_us`.
+    pub fn pop_due(&mut self, now_us: u64) -> Option<FaultEvent> {
+        if self.peek_at_us()? <= now_us {
+            self.events.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// The pending events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter()
+    }
+
+    /// Generates a random plan from `spec`, deterministically per
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec asks for more crashes than there are nodes,
+    /// or has a zero horizon with events to place.
+    pub fn random(spec: &RandomFaultSpec, seed: u64) -> Self {
+        assert!(
+            spec.crashes <= spec.nodes,
+            "cannot crash {} of {} nodes",
+            spec.crashes,
+            spec.nodes
+        );
+        let total = spec.crashes + spec.ber_spikes + spec.clock_drifts + spec.nvm_failures;
+        assert!(total == 0 || spec.horizon_us > 0, "zero horizon");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = Self::new();
+
+        // Crash victims: sampled without replacement so no node is
+        // crashed twice.
+        let mut victims: Vec<usize> = (0..spec.nodes).collect();
+        for i in 0..spec.crashes {
+            let j = rng.gen_range(i..victims.len());
+            victims.swap(i, j);
+        }
+        for &node in victims.iter().take(spec.crashes) {
+            let at = rng.gen_range(0..spec.horizon_us);
+            plan.schedule(at, Fault::Crash { node });
+            if let Some(after) = spec.recover_after_us {
+                plan.schedule(at.saturating_add(after), Fault::Recover { node });
+            }
+        }
+        for _ in 0..spec.ber_spikes {
+            let at = rng.gen_range(0..spec.horizon_us);
+            plan.schedule(
+                at,
+                Fault::BerSpike {
+                    ber: spec.spike_ber,
+                    duration_us: spec.spike_duration_us,
+                },
+            );
+        }
+        for _ in 0..spec.clock_drifts {
+            let at = rng.gen_range(0..spec.horizon_us);
+            let node = rng.gen_range(0..spec.nodes);
+            let magnitude = rng.gen_range(1..=spec.max_drift_us.max(1));
+            let offset_us = if rng.gen_bool(0.5) {
+                magnitude
+            } else {
+                -magnitude
+            };
+            plan.schedule(at, Fault::ClockDrift { node, offset_us });
+        }
+        for _ in 0..spec.nvm_failures {
+            let at = rng.gen_range(0..spec.horizon_us);
+            let node = rng.gen_range(0..spec.nodes);
+            plan.schedule(
+                at,
+                Fault::NvmBlockFail {
+                    node,
+                    kind: PartitionKind::Signals,
+                    bytes: spec.nvm_fail_bytes,
+                },
+            );
+        }
+        plan
+    }
+}
+
+/// Parameters for [`FaultPlan::random`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomFaultSpec {
+    /// Nodes in the system.
+    pub nodes: usize,
+    /// Events are placed uniformly in `[0, horizon_us)`.
+    pub horizon_us: u64,
+    /// Distinct nodes to crash.
+    pub crashes: usize,
+    /// If set, each crashed node recovers this long after its crash.
+    pub recover_after_us: Option<u64>,
+    /// Number of channel-wide BER spikes.
+    pub ber_spikes: usize,
+    /// BER during a spike.
+    pub spike_ber: f64,
+    /// Spike length in µs.
+    pub spike_duration_us: u64,
+    /// Number of clock-drift jumps.
+    pub clock_drifts: usize,
+    /// Maximum drift magnitude in µs.
+    pub max_drift_us: i64,
+    /// Number of NVM block failures (signals partition).
+    pub nvm_failures: usize,
+    /// Bytes lost per NVM failure.
+    pub nvm_fail_bytes: usize,
+}
+
+impl Default for RandomFaultSpec {
+    fn default() -> Self {
+        Self {
+            nodes: 8,
+            horizon_us: 1_000_000,
+            crashes: 1,
+            recover_after_us: None,
+            ber_spikes: 1,
+            spike_ber: 1e-3,
+            spike_duration_us: 100_000,
+            clock_drifts: 1,
+            max_drift_us: 50_000,
+            nvm_failures: 1,
+            nvm_fail_bytes: 1024 * 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_keeps_time_order() {
+        let mut plan = FaultPlan::new();
+        plan.schedule(300, Fault::Crash { node: 2 });
+        plan.schedule(100, Fault::Crash { node: 0 });
+        plan.schedule(200, Fault::Crash { node: 1 });
+        let order: Vec<u64> = plan.events().map(|e| e.at_us).collect();
+        assert_eq!(order, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn equal_timestamps_fire_in_insertion_order() {
+        let mut plan = FaultPlan::new();
+        plan.schedule(100, Fault::Crash { node: 0 });
+        plan.schedule(100, Fault::Recover { node: 0 });
+        let a = plan.pop_due(100).unwrap();
+        let b = plan.pop_due(100).unwrap();
+        assert_eq!(a.fault, Fault::Crash { node: 0 });
+        assert_eq!(b.fault, Fault::Recover { node: 0 });
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut plan = FaultPlan::new();
+        plan.schedule(500, Fault::Crash { node: 0 });
+        assert!(plan.pop_due(499).is_none());
+        assert!(plan.pop_due(500).is_some());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_per_seed() {
+        let spec = RandomFaultSpec {
+            crashes: 3,
+            recover_after_us: Some(10_000),
+            ..Default::default()
+        };
+        let a = FaultPlan::random(&spec, 42);
+        let b = FaultPlan::random(&spec, 42);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(&spec, 43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_plan_crashes_distinct_nodes() {
+        let spec = RandomFaultSpec {
+            nodes: 4,
+            crashes: 4,
+            ber_spikes: 0,
+            clock_drifts: 0,
+            nvm_failures: 0,
+            recover_after_us: None,
+            ..Default::default()
+        };
+        let plan = FaultPlan::random(&spec, 7);
+        let mut crashed: Vec<usize> = plan
+            .events()
+            .filter_map(|e| match e.fault {
+                Fault::Crash { node } => Some(node),
+                _ => None,
+            })
+            .collect();
+        crashed.sort_unstable();
+        assert_eq!(crashed, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recovery_follows_crash() {
+        let spec = RandomFaultSpec {
+            crashes: 2,
+            recover_after_us: Some(5_000),
+            ber_spikes: 0,
+            clock_drifts: 0,
+            nvm_failures: 0,
+            ..Default::default()
+        };
+        let plan = FaultPlan::random(&spec, 9);
+        for e in plan.events() {
+            if let Fault::Recover { node } = e.fault {
+                let crash_at = plan
+                    .events()
+                    .find_map(|c| match c.fault {
+                        Fault::Crash { node: n } if n == node => Some(c.at_us),
+                        _ => None,
+                    })
+                    .expect("recover without crash");
+                assert_eq!(e.at_us, crash_at + 5_000);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot crash")]
+    fn too_many_crashes_panics() {
+        let spec = RandomFaultSpec {
+            nodes: 2,
+            crashes: 3,
+            ..Default::default()
+        };
+        let _ = FaultPlan::random(&spec, 1);
+    }
+}

@@ -11,6 +11,10 @@
 //!   and interactive queries;
 //! * [`arch`] — the alternative architectures of Table 2 for the
 //!   Figure 8a comparison;
+//! * [`fault`] — deterministic seeded fault injection (crashes, BER
+//!   spikes, clock drift, NVM block failures);
+//! * [`membership`] — heartbeat failure detection and the
+//!   suspicion/eviction state machine driving graceful degradation;
 //! * [`sntp`] — daily clock synchronisation (§3.6);
 //! * [`runtime`] — the MC runtime that compiles queries (via
 //!   `scalo-query` + `scalo-sched`) and reconfigures node pipelines.
@@ -27,6 +31,8 @@
 pub mod apps;
 pub mod arch;
 pub mod config;
+pub mod fault;
+pub mod membership;
 pub mod node;
 pub mod runtime;
 pub mod sntp;

@@ -7,7 +7,29 @@ use scalo_lsh::SignalHash;
 use scalo_ml::svm::LinearSvm;
 use scalo_signal::fft::band_power_features;
 use scalo_signal::stats::rms;
-use scalo_storage::partition::{PartitionKind, PartitionSet, Record};
+use scalo_storage::partition::{FailoverReport, PartitionKind, PartitionSet, Record};
+
+/// Errors a node can report instead of panicking mid-protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeError {
+    /// Seizure detection was requested before a detector was installed.
+    DetectorMissing {
+        /// The node asked to detect.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::DetectorMissing { node } => {
+                write!(f, "node {node}: no seizure detector installed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
 
 /// One implant: processing fabric state, local storage, hashers, and the
 /// locally-trained seizure detector.
@@ -52,6 +74,18 @@ impl Node {
         &self.storage
     }
 
+    /// Mutable access to the local storage partitions.
+    pub fn storage_mut(&mut self) -> &mut PartitionSet {
+        &mut self.storage
+    }
+
+    /// Fails `bytes` of this node's NVM partition `kind` and remaps the
+    /// partition's append window around the dead blocks (capacity is
+    /// borrowed from lower-priority partitions).
+    pub fn fail_nvm_block(&mut self, kind: PartitionKind, bytes: usize) -> FailoverReport {
+        self.storage.fail_block(kind, bytes)
+    }
+
     /// Installs a trained seizure detector.
     pub fn install_detector(&mut self, svm: LinearSvm) {
         self.detector = Some(svm);
@@ -66,16 +100,16 @@ impl Node {
         f
     }
 
-    /// Runs local seizure detection on a window.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no detector is installed.
-    pub fn detect_seizure(&self, window: &[f64]) -> bool {
-        self.detector
+    /// Runs local seizure detection on a window. Returns
+    /// [`NodeError::DetectorMissing`] if no detector is installed —
+    /// callers decide whether that is fatal (a query) or just a
+    /// non-vote (the propagation protocol).
+    pub fn detect_seizure(&self, window: &[f64]) -> Result<bool, NodeError> {
+        let detector = self
+            .detector
             .as_ref()
-            .expect("detector not installed")
-            .predict(&Self::detection_features(window))
+            .ok_or(NodeError::DetectorMissing { node: self.id })?;
+        Ok(detector.predict(&Self::detection_features(window)))
     }
 
     /// Ingests one electrode window: stores the signal, hashes it, and
@@ -139,15 +173,21 @@ impl Node {
         if received.is_empty() {
             return Vec::new();
         }
-        let probes: Vec<SignalHash> = received
-            .iter()
-            .flat_map(|h| h.neighbors(1))
-            .collect();
-        let probes_per_hash = probes.len() / received.len();
+        // Each received hash expands to `1 + 8·bytes` probes, so hashes
+        // of different byte lengths expand to different probe counts —
+        // the mapping back must use cumulative per-hash offsets, not a
+        // uniform divisor.
+        let mut probes = Vec::new();
+        let mut probe_owner = Vec::new();
+        for (i, h) in received.iter().enumerate() {
+            let neighbors = h.neighbors(1);
+            probe_owner.resize(probe_owner.len() + neighbors.len(), i);
+            probes.extend(neighbors);
+        }
         let mut matches = self.ccheck.matches(&probes, now_us, horizon_us);
         // Map probe indices back to the original received batch.
         for m in &mut matches {
-            m.received_index /= probes_per_hash;
+            m.received_index = probe_owner[m.received_index];
         }
         matches
     }
@@ -210,15 +250,47 @@ mod tests {
         node.install_detector(LinearSvm::new(w, -0.5));
         let quiet: Vec<f64> = vec![0.01; 120];
         let loud: Vec<f64> = test_window(0.0).iter().map(|x| x * 3.0).collect();
-        assert!(!node.detect_seizure(&quiet));
-        assert!(node.detect_seizure(&loud));
+        assert!(!node.detect_seizure(&quiet).unwrap());
+        assert!(node.detect_seizure(&loud).unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "detector not installed")]
-    fn missing_detector_panics() {
+    fn missing_detector_is_an_error_not_a_panic() {
         let cfg = ScaloConfig::default();
-        let node = Node::new(0, &cfg);
-        let _ = node.detect_seizure(&test_window(0.0));
+        let node = Node::new(7, &cfg);
+        let err = node.detect_seizure(&test_window(0.0)).unwrap_err();
+        assert_eq!(err, NodeError::DetectorMissing { node: 7 });
+        assert!(err.to_string().contains("node 7"));
+    }
+
+    #[test]
+    fn mixed_width_hashes_map_to_correct_received_index() {
+        // Regression: with received hashes of differing byte lengths the
+        // old uniform-divisor mapping pointed matches at the wrong hash.
+        let cfg = ScaloConfig::default().with_nodes(1);
+        let mut node = Node::new(0, &cfg);
+        let wide = SignalHash(vec![0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77]);
+        node.ccheck.record(5, 1_000, wide.clone());
+        // A 1-byte hash first (9 probes), then the wide one (57 probes):
+        // the wide hash's exact probe sits at probe index 9, which the
+        // old `/ 33` mapping collapsed to received index 0.
+        let narrow = SignalHash(vec![0xAB]);
+        let matches = node.check_collisions(&[narrow, wide], 1_500, 100_000);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].received_index, 1, "must map to the wide hash");
+        assert_eq!(matches[0].local.electrode, 5);
+    }
+
+    #[test]
+    fn nvm_block_failure_remaps_and_keeps_ingesting() {
+        let cfg = ScaloConfig::default().with_nodes(1);
+        let mut node = Node::new(0, &cfg);
+        node.ingest_window(0, 1_000, &test_window(0.0));
+        let report = node.fail_nvm_block(PartitionKind::Signals, 8 * 1024 * 1024);
+        assert_eq!(report.failed_bytes, 8 * 1024 * 1024);
+        assert_eq!(report.recovered_bytes(), 8 * 1024 * 1024);
+        // Ingest keeps working against the remapped partition.
+        node.ingest_window(0, 2_000, &test_window(0.1));
+        assert!(node.stored_window(0, 2_000).is_some());
     }
 }

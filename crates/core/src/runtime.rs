@@ -133,7 +133,9 @@ mod tests {
         let src = "var q = stream.window(wsize=4ms).dtw()";
         rt.deploy(src, &Scenario::new(2, 15.0), 10.0, 0.0).unwrap();
         // Second deployment wants the same DTW PE instance.
-        let err = rt.deploy(src, &Scenario::new(2, 15.0), 10.0, 0.0).unwrap_err();
+        let err = rt
+            .deploy(src, &Scenario::new(2, 15.0), 10.0, 0.0)
+            .unwrap_err();
         assert!(matches!(err, DeployError::Fabric(_)), "{err}");
         rt.reset();
         rt.deploy(src, &Scenario::new(2, 15.0), 10.0, 0.0).unwrap();
@@ -143,7 +145,12 @@ mod tests {
     fn bad_source_is_a_compile_error() {
         let mut rt = McRuntime::new();
         let err = rt
-            .deploy("var q = nonsense.window()", &Scenario::new(2, 15.0), 10.0, 0.0)
+            .deploy(
+                "var q = nonsense.window()",
+                &Scenario::new(2, 15.0),
+                10.0,
+                0.0,
+            )
             .unwrap_err();
         assert!(matches!(err, DeployError::Compile(_)));
     }

@@ -42,13 +42,22 @@ impl StimCommand {
     /// Returns a description of the violated bound.
     pub fn validate(&self) -> Result<(), String> {
         if !(1.0..=1_000.0).contains(&self.amplitude_ua) {
-            return Err(format!("amplitude {} µA outside 1–1000 µA", self.amplitude_ua));
+            return Err(format!(
+                "amplitude {} µA outside 1–1000 µA",
+                self.amplitude_ua
+            ));
         }
         if !(1.0..=5_000.0).contains(&self.duration_ms) {
-            return Err(format!("duration {} ms outside 1–5000 ms", self.duration_ms));
+            return Err(format!(
+                "duration {} ms outside 1–5000 ms",
+                self.duration_ms
+            ));
         }
         if !(1.0..=500.0).contains(&self.frequency_hz) {
-            return Err(format!("frequency {} Hz outside 1–500 Hz", self.frequency_hz));
+            return Err(format!(
+                "frequency {} Hz outside 1–500 Hz",
+                self.frequency_hz
+            ));
         }
         Ok(())
     }
@@ -154,8 +163,12 @@ mod tests {
     #[test]
     fn engine_accumulates_energy() {
         let mut engine = StimEngine::new();
-        engine.stimulate(1_000, StimCommand::standard_burst(0)).unwrap();
-        engine.stimulate(5_000, StimCommand::standard_burst(1)).unwrap();
+        engine
+            .stimulate(1_000, StimCommand::standard_burst(0))
+            .unwrap();
+        engine
+            .stimulate(5_000, StimCommand::standard_burst(1))
+            .unwrap();
         assert_eq!(engine.log().len(), 2);
         assert!((engine.total_energy_uj() - 120.0).abs() < 1e-9);
     }

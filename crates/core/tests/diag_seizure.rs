@@ -39,7 +39,13 @@ fn diag_dtw_and_hash_between_sites() {
 #[test]
 #[ignore = "diagnostic only"]
 fn diag_run_outcome() {
-    let mut app = SeizureApp::new(ScaloConfig::default().with_nodes(2).with_electrodes(4).with_ber(0.0).with_seed(42));
+    let mut app = SeizureApp::new(
+        ScaloConfig::default()
+            .with_nodes(2)
+            .with_electrodes(4)
+            .with_ber(0.0)
+            .with_seed(42),
+    );
     app.train_detectors(&recording(43));
     let run = app.run(&recording(42));
     println!("{run:?}");

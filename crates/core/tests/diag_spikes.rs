@@ -7,29 +7,63 @@ use scalo_signal::spike::detect_spikes;
 #[ignore = "diagnostic only"]
 fn diag_bucket_sweep() {
     for bucket in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
-        for cfg in [SpikeConfig::spikeforest_like(), SpikeConfig::kilosort_like()] {
+        for cfg in [
+            SpikeConfig::spikeforest_like(),
+            SpikeConfig::kilosort_like(),
+        ] {
             let ds = generate(&cfg);
             let hasher = EmdHasher::new(TEMPLATE_SAMPLES, bucket, 0x0e0d);
             // align templates the same way as the app
             let align = |w: &[f64]| -> Vec<f64> {
-                let peak = w.iter().enumerate().max_by(|a, b| a.1.abs().total_cmp(&b.1.abs())).map(|(i, _)| i).unwrap_or(0);
-                (0..TEMPLATE_SAMPLES).map(|k| (peak + k).checked_sub(8).and_then(|i| w.get(i)).copied().unwrap_or(0.0)).collect()
+                let peak = w
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                (0..TEMPLATE_SAMPLES)
+                    .map(|k| {
+                        (peak + k)
+                            .checked_sub(8)
+                            .and_then(|i| w.get(i))
+                            .copied()
+                            .unwrap_or(0.0)
+                    })
+                    .collect()
             };
-            let th: Vec<(usize, scalo_lsh::SignalHash)> = ds.templates.iter().map(|t| (t.neuron, hasher.hash(&align(&t.waveform)))).collect();
+            let th: Vec<(usize, scalo_lsh::SignalHash)> = ds
+                .templates
+                .iter()
+                .map(|t| (t.neuron, hasher.hash(&align(&t.waveform))))
+                .collect();
             let spikes = detect_spikes(&ds.recording, 5.0, 8, 24);
-            let mut correct = 0; let mut total = 0;
+            let mut correct = 0;
+            let mut total = 0;
             for s in &spikes {
-                let Some(truth) = ds.truth_at(s.peak_index, TEMPLATE_SAMPLES) else { continue };
+                let Some(truth) = ds.truth_at(s.peak_index, TEMPLATE_SAMPLES) else {
+                    continue;
+                };
                 total += 1;
                 let h = hasher.hash(&s.waveform);
                 let hb = EmdHasher::unpack(&h);
-                let pred = th.iter().min_by_key(|(_, t)| {
-                    let tb = EmdHasher::unpack(t);
-                    hb.iter().zip(&tb).map(|(&a, &b)| (a as i32 - b as i32).unsigned_abs()).sum::<u32>()
-                }).map(|&(n, _)| n).unwrap();
+                let pred = th
+                    .iter()
+                    .min_by_key(|(_, t)| {
+                        let tb = EmdHasher::unpack(t);
+                        hb.iter()
+                            .zip(&tb)
+                            .map(|(&a, &b)| (a as i32 - b as i32).unsigned_abs())
+                            .sum::<u32>()
+                    })
+                    .map(|&(n, _)| n)
+                    .unwrap();
                 correct += usize::from(pred == truth);
             }
-            println!("bucket {bucket} neurons {}: hash acc {:.3} ({correct}/{total})", cfg.neurons, correct as f64 / total.max(1) as f64);
+            println!(
+                "bucket {bucket} neurons {}: hash acc {:.3} ({correct}/{total})",
+                cfg.neurons,
+                correct as f64 / total.max(1) as f64
+            );
         }
     }
 }

@@ -4,16 +4,33 @@ use scalo_signal::emd::emd_signals;
 use scalo_signal::spike::detect_spikes;
 
 fn align(w: &[f64]) -> Vec<f64> {
-    let peak = w.iter().enumerate().max_by(|a, b| a.1.abs().total_cmp(&b.1.abs())).map(|(i, _)| i).unwrap_or(0);
-    (0..TEMPLATE_SAMPLES).map(|k| (peak + k).checked_sub(8).and_then(|i| w.get(i)).copied().unwrap_or(0.0)).collect()
+    let peak = w
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (0..TEMPLATE_SAMPLES)
+        .map(|k| {
+            (peak + k)
+                .checked_sub(8)
+                .and_then(|i| w.get(i))
+                .copied()
+                .unwrap_or(0.0)
+        })
+        .collect()
 }
 
-fn energy(w: &[f64]) -> Vec<f64> { w.iter().map(|x| x * x).collect() }
+fn energy(w: &[f64]) -> Vec<f64> {
+    w.iter().map(|x| x * x).collect()
+}
 
 fn quantile_sig(w: &[f64], q: usize, bucket: f64) -> Vec<i32> {
     let e = energy(w);
     let total: f64 = e.iter().sum();
-    let mut acc = 0.0; let mut qi = 1; let mut out = Vec::new();
+    let mut acc = 0.0;
+    let mut qi = 1;
+    let mut out = Vec::new();
     for (i, &m) in e.iter().enumerate() {
         acc += m / total;
         while qi <= q && acc >= qi as f64 / (q + 1) as f64 {
@@ -21,36 +38,64 @@ fn quantile_sig(w: &[f64], q: usize, bucket: f64) -> Vec<i32> {
             qi += 1;
         }
     }
-    while out.len() < q { out.push((TEMPLATE_SAMPLES as f64 / bucket) as i32); }
+    while out.len() < q {
+        out.push((TEMPLATE_SAMPLES as f64 / bucket) as i32);
+    }
     out
 }
 
 #[test]
 #[ignore = "diagnostic only"]
 fn diag_energy_emd() {
-    for cfg in [SpikeConfig::spikeforest_like(), SpikeConfig::mearec_like(), SpikeConfig::kilosort_like()] {
+    for cfg in [
+        SpikeConfig::spikeforest_like(),
+        SpikeConfig::mearec_like(),
+        SpikeConfig::kilosort_like(),
+    ] {
         let ds = generate(&cfg);
-        let templates: Vec<(usize, Vec<f64>)> = ds.templates.iter().map(|t| (t.neuron, align(&t.waveform))).collect();
+        let templates: Vec<(usize, Vec<f64>)> = ds
+            .templates
+            .iter()
+            .map(|t| (t.neuron, align(&t.waveform)))
+            .collect();
         let spikes = detect_spikes(&ds.recording, 5.0, 8, 24);
         let (mut exact_c, mut total) = (0, 0);
         let mut hash_c = [0usize; 3]; // q=4,8,12
         for s in &spikes {
-            let Some(truth) = ds.truth_at(s.peak_index, TEMPLATE_SAMPLES) else { continue };
+            let Some(truth) = ds.truth_at(s.peak_index, TEMPLATE_SAMPLES) else {
+                continue;
+            };
             total += 1;
             // exact EMD on energy
-            let pred = templates.iter().min_by(|a, b| emd_signals(&energy(&s.waveform), &energy(&a.1)).total_cmp(&emd_signals(&energy(&s.waveform), &energy(&b.1)))).map(|&(n, _)| n).unwrap();
+            let pred = templates
+                .iter()
+                .min_by(|a, b| {
+                    emd_signals(&energy(&s.waveform), &energy(&a.1))
+                        .total_cmp(&emd_signals(&energy(&s.waveform), &energy(&b.1)))
+                })
+                .map(|&(n, _)| n)
+                .unwrap();
             exact_c += usize::from(pred == truth);
             for (qi, &q) in [4usize, 8, 12].iter().enumerate() {
                 let sig = quantile_sig(&s.waveform, q, 1.0);
-                let pred = templates.iter().min_by_key(|(_, t)| {
-                    let ts = quantile_sig(t, q, 1.0);
-                    sig.iter().zip(&ts).map(|(a, b)| (a - b).abs()).sum::<i32>()
-                }).map(|&(n, _)| n).unwrap();
+                let pred = templates
+                    .iter()
+                    .min_by_key(|(_, t)| {
+                        let ts = quantile_sig(t, q, 1.0);
+                        sig.iter().zip(&ts).map(|(a, b)| (a - b).abs()).sum::<i32>()
+                    })
+                    .map(|&(n, _)| n)
+                    .unwrap();
                 hash_c[qi] += usize::from(pred == truth);
             }
         }
-        println!("neurons {}: exactEMD(energy) {:.3} | q4 {:.3} q8 {:.3} q12 {:.3}  ({total} spikes)",
-            cfg.neurons, exact_c as f64 / total as f64,
-            hash_c[0] as f64 / total as f64, hash_c[1] as f64 / total as f64, hash_c[2] as f64 / total as f64);
+        println!(
+            "neurons {}: exactEMD(energy) {:.3} | q4 {:.3} q8 {:.3} q12 {:.3}  ({total} spikes)",
+            cfg.neurons,
+            exact_c as f64 / total as f64,
+            hash_c[0] as f64 / total as f64,
+            hash_c[1] as f64 / total as f64,
+            hash_c[2] as f64 / total as f64
+        );
     }
 }

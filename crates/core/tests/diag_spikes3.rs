@@ -4,31 +4,73 @@ use scalo_lsh::{HashConfig, SshHasher};
 use scalo_signal::spike::detect_spikes;
 
 fn align(w: &[f64]) -> Vec<f64> {
-    let peak = w.iter().enumerate().max_by(|a, b| a.1.abs().total_cmp(&b.1.abs())).map(|(i, _)| i).unwrap_or(0);
-    (0..TEMPLATE_SAMPLES).map(|k| (peak + k).checked_sub(8).and_then(|i| w.get(i)).copied().unwrap_or(0.0)).collect()
+    let peak = w
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (0..TEMPLATE_SAMPLES)
+        .map(|k| {
+            (peak + k)
+                .checked_sub(8)
+                .and_then(|i| w.get(i))
+                .copied()
+                .unwrap_or(0.0)
+        })
+        .collect()
 }
 
 #[test]
 #[ignore = "diagnostic only"]
 fn diag_ssh_template_match() {
-    for (win, stride, ngram, bytes) in [(8usize, 2usize, 1usize, 1usize), (8, 2, 2, 1), (6, 2, 1, 2), (12, 4, 1, 1), (8, 1, 3, 2)] {
-        for cfg in [SpikeConfig::spikeforest_like(), SpikeConfig::mearec_like(), SpikeConfig::kilosort_like()] {
+    for (win, stride, ngram, bytes) in [
+        (8usize, 2usize, 1usize, 1usize),
+        (8, 2, 2, 1),
+        (6, 2, 1, 2),
+        (12, 4, 1, 1),
+        (8, 1, 3, 2),
+    ] {
+        for cfg in [
+            SpikeConfig::spikeforest_like(),
+            SpikeConfig::mearec_like(),
+            SpikeConfig::kilosort_like(),
+        ] {
             let ds = generate(&cfg);
             let hasher = SshHasher::new(HashConfig {
-                sketch_window: win, sketch_stride: stride, ngram, hash_bytes: bytes,
-                hamming_tolerance: 1, normalize: true, seed: 0x51a3,
+                sketch_window: win,
+                sketch_stride: stride,
+                ngram,
+                hash_bytes: bytes,
+                hamming_tolerance: 1,
+                normalize: true,
+                seed: 0x51a3,
             });
-            let th: Vec<(usize, scalo_lsh::SignalHash)> = ds.templates.iter().map(|t| (t.neuron, hasher.hash(&align(&t.waveform)))).collect();
+            let th: Vec<(usize, scalo_lsh::SignalHash)> = ds
+                .templates
+                .iter()
+                .map(|t| (t.neuron, hasher.hash(&align(&t.waveform))))
+                .collect();
             let spikes = detect_spikes(&ds.recording, 5.0, 8, 24);
             let (mut c, mut total) = (0, 0);
             for s in &spikes {
-                let Some(truth) = ds.truth_at(s.peak_index, TEMPLATE_SAMPLES) else { continue };
+                let Some(truth) = ds.truth_at(s.peak_index, TEMPLATE_SAMPLES) else {
+                    continue;
+                };
                 total += 1;
                 let h = hasher.hash(&s.waveform);
-                let pred = th.iter().min_by_key(|(_, t)| h.hamming(t)).map(|&(n, _)| n).unwrap();
+                let pred = th
+                    .iter()
+                    .min_by_key(|(_, t)| h.hamming(t))
+                    .map(|&(n, _)| n)
+                    .unwrap();
                 c += usize::from(pred == truth);
             }
-            println!("w{win} s{stride} n{ngram} b{bytes} neurons {}: acc {:.3} ({c}/{total})", cfg.neurons, c as f64 / total as f64);
+            println!(
+                "w{win} s{stride} n{ngram} b{bytes} neurons {}: acc {:.3} ({c}/{total})",
+                cfg.neurons,
+                c as f64 / total as f64
+            );
         }
     }
 }

@@ -6,41 +6,82 @@ use scalo_signal::spike::detect_spikes;
 use scalo_signal::stats::z_normalize;
 
 fn align(w: &[f64]) -> Vec<f64> {
-    let peak = w.iter().enumerate().max_by(|a, b| a.1.abs().total_cmp(&b.1.abs())).map(|(i, _)| i).unwrap_or(0);
-    (0..TEMPLATE_SAMPLES).map(|k| (peak + k).checked_sub(8).and_then(|i| w.get(i)).copied().unwrap_or(0.0)).collect()
+    let peak = w
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (0..TEMPLATE_SAMPLES)
+        .map(|k| {
+            (peak + k)
+                .checked_sub(8)
+                .and_then(|i| w.get(i))
+                .copied()
+                .unwrap_or(0.0)
+        })
+        .collect()
 }
 
 #[test]
 #[ignore = "diagnostic only"]
 fn diag_wide_hash_and_shortlist() {
     for bytes in [4usize, 8] {
-        for cfg in [SpikeConfig::spikeforest_like(), SpikeConfig::mearec_like(), SpikeConfig::kilosort_like()] {
+        for cfg in [
+            SpikeConfig::spikeforest_like(),
+            SpikeConfig::mearec_like(),
+            SpikeConfig::kilosort_like(),
+        ] {
             let ds = generate(&cfg);
             let hasher = SshHasher::new(HashConfig {
-                sketch_window: 8, sketch_stride: 1, ngram: 1, hash_bytes: bytes,
-                hamming_tolerance: 1, normalize: true, seed: 0x51a3,
+                sketch_window: 8,
+                sketch_stride: 1,
+                ngram: 1,
+                hash_bytes: bytes,
+                hamming_tolerance: 1,
+                normalize: true,
+                seed: 0x51a3,
             });
-            let th: Vec<(usize, scalo_lsh::SignalHash, Vec<f64>)> = ds.templates.iter()
-                .map(|t| { let a = align(&t.waveform); (t.neuron, hasher.hash(&a), a) }).collect();
+            let th: Vec<(usize, scalo_lsh::SignalHash, Vec<f64>)> = ds
+                .templates
+                .iter()
+                .map(|t| {
+                    let a = align(&t.waveform);
+                    (t.neuron, hasher.hash(&a), a)
+                })
+                .collect();
             let spikes = detect_spikes(&ds.recording, 5.0, 8, 24);
             let (mut rank1, mut shortlist3, mut total) = (0, 0, 0);
             for s in &spikes {
-                let Some(truth) = ds.truth_at(s.peak_index, TEMPLATE_SAMPLES) else { continue };
+                let Some(truth) = ds.truth_at(s.peak_index, TEMPLATE_SAMPLES) else {
+                    continue;
+                };
                 total += 1;
                 let h = hasher.hash(&s.waveform);
-                let mut by_dist: Vec<_> = th.iter().map(|(n, t, a)| (h.hamming(t), *n, a)).collect();
+                let mut by_dist: Vec<_> =
+                    th.iter().map(|(n, t, a)| (h.hamming(t), *n, a)).collect();
                 by_dist.sort_by_key(|x| x.0);
                 rank1 += usize::from(by_dist[0].1 == truth);
                 // shortlist of 3 -> exact DTW
                 let z = z_normalize(&s.waveform);
-                let pred = by_dist.iter().take(3).min_by(|a, b| {
-                    dtw_distance(&z, &z_normalize(a.2), DtwParams::with_band(4))
-                        .total_cmp(&dtw_distance(&z, &z_normalize(b.2), DtwParams::with_band(4)))
-                }).map(|x| x.1).unwrap();
+                let pred = by_dist
+                    .iter()
+                    .take(3)
+                    .min_by(|a, b| {
+                        dtw_distance(&z, &z_normalize(a.2), DtwParams::with_band(4)).total_cmp(
+                            &dtw_distance(&z, &z_normalize(b.2), DtwParams::with_band(4)),
+                        )
+                    })
+                    .map(|x| x.1)
+                    .unwrap();
                 shortlist3 += usize::from(pred == truth);
             }
-            println!("b{bytes} neurons {}: rank1 {:.3} shortlist3+dtw {:.3} ({total})",
-                cfg.neurons, rank1 as f64 / total as f64, shortlist3 as f64 / total as f64);
+            println!(
+                "b{bytes} neurons {}: rank1 {:.3} shortlist3+dtw {:.3} ({total})",
+                cfg.neurons,
+                rank1 as f64 / total as f64,
+                shortlist3 as f64 / total as f64
+            );
         }
     }
 }

@@ -4,39 +4,85 @@ use scalo_lsh::{HashConfig, SshHasher};
 use scalo_signal::spike::detect_spikes;
 
 fn align(w: &[f64]) -> Vec<f64> {
-    let peak = w.iter().enumerate().max_by(|a, b| a.1.abs().total_cmp(&b.1.abs())).map(|(i, _)| i).unwrap_or(0);
-    (0..TEMPLATE_SAMPLES).map(|k| (peak + k).checked_sub(8).and_then(|i| w.get(i)).copied().unwrap_or(0.0)).collect()
+    let peak = w
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (0..TEMPLATE_SAMPLES)
+        .map(|k| {
+            (peak + k)
+                .checked_sub(8)
+                .and_then(|i| w.get(i))
+                .copied()
+                .unwrap_or(0.0)
+        })
+        .collect()
 }
 
 fn reanchor(recording: &[f64], peak: usize) -> Vec<f64> {
     let lo = peak.saturating_sub(12);
     let hi = (peak + 20).min(recording.len());
-    let absmax = (lo..hi).max_by(|&a, &b| recording[a].abs().total_cmp(&recording[b].abs())).unwrap();
-    (0..TEMPLATE_SAMPLES).map(|k| (absmax + k).checked_sub(8).and_then(|i| recording.get(i)).copied().unwrap_or(0.0)).collect()
+    let absmax = (lo..hi)
+        .max_by(|&a, &b| recording[a].abs().total_cmp(&recording[b].abs()))
+        .unwrap();
+    (0..TEMPLATE_SAMPLES)
+        .map(|k| {
+            (absmax + k)
+                .checked_sub(8)
+                .and_then(|i| recording.get(i))
+                .copied()
+                .unwrap_or(0.0)
+        })
+        .collect()
 }
 
 #[test]
 #[ignore = "diagnostic only"]
 fn diag_reanchored() {
     for bytes in [2usize, 4] {
-        for cfg in [SpikeConfig::spikeforest_like(), SpikeConfig::mearec_like(), SpikeConfig::kilosort_like()] {
+        for cfg in [
+            SpikeConfig::spikeforest_like(),
+            SpikeConfig::mearec_like(),
+            SpikeConfig::kilosort_like(),
+        ] {
             let ds = generate(&cfg);
             let hasher = SshHasher::new(HashConfig {
-                sketch_window: 8, sketch_stride: 1, ngram: 1, hash_bytes: bytes,
-                hamming_tolerance: 1, normalize: true, seed: 0x51a3,
+                sketch_window: 8,
+                sketch_stride: 1,
+                ngram: 1,
+                hash_bytes: bytes,
+                hamming_tolerance: 1,
+                normalize: true,
+                seed: 0x51a3,
             });
-            let th: Vec<(usize, scalo_lsh::SignalHash)> = ds.templates.iter().map(|t| (t.neuron, hasher.hash(&align(&t.waveform)))).collect();
+            let th: Vec<(usize, scalo_lsh::SignalHash)> = ds
+                .templates
+                .iter()
+                .map(|t| (t.neuron, hasher.hash(&align(&t.waveform))))
+                .collect();
             let spikes = detect_spikes(&ds.recording, 5.0, 8, 24);
             let (mut rank1, mut total) = (0, 0);
             for s in &spikes {
-                let Some(truth) = ds.truth_at(s.peak_index, TEMPLATE_SAMPLES) else { continue };
+                let Some(truth) = ds.truth_at(s.peak_index, TEMPLATE_SAMPLES) else {
+                    continue;
+                };
                 total += 1;
                 let wav = reanchor(&ds.recording, s.peak_index);
                 let h = hasher.hash(&wav);
-                let pred = th.iter().min_by_key(|(_, t)| h.hamming(t)).map(|&(n, _)| n).unwrap();
+                let pred = th
+                    .iter()
+                    .min_by_key(|(_, t)| h.hamming(t))
+                    .map(|&(n, _)| n)
+                    .unwrap();
                 rank1 += usize::from(pred == truth);
             }
-            println!("b{bytes} neurons {}: rank1 {:.3} ({total})", cfg.neurons, rank1 as f64 / total as f64);
+            println!(
+                "b{bytes} neurons {}: rank1 {:.3} ({total})",
+                cfg.neurons,
+                rank1 as f64 / total as f64
+            );
         }
     }
 }

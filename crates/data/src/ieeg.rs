@@ -41,7 +41,7 @@ impl SeizureEvent {
     ///
     /// Panics if `nodes` exceeds [`MAX_NODES`] or is zero.
     pub fn uniform(onset_s: f64, duration_s: f64, origin: usize, nodes: usize, lag_s: f64) -> Self {
-        assert!(nodes >= 1 && nodes <= MAX_NODES, "bad node count {nodes}");
+        assert!((1..=MAX_NODES).contains(&nodes), "bad node count {nodes}");
         assert!(origin < nodes, "origin out of range");
         let mut lags_s = [f64::INFINITY; MAX_NODES];
         for (i, lag) in lags_s.iter_mut().enumerate().take(nodes) {
@@ -59,7 +59,7 @@ impl SeizureEvent {
     /// Onset time at `node`, or `None` if it never arrives.
     pub fn onset_at(&self, node: usize) -> Option<f64> {
         let lag = self.lags_s[node];
-        lag.is_finite().then(|| self.onset_s + lag)
+        lag.is_finite().then_some(self.onset_s + lag)
     }
 }
 

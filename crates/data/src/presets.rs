@@ -22,15 +22,7 @@ pub fn mayo_like(nodes: usize, duration_s: f64, seed: u64) -> IeegConfig {
     // 20 ms per-hop lag.
     let n_seizures = (duration_s / 2.0).max(1.0) as usize;
     let seizures = (0..n_seizures)
-        .map(|i| {
-            SeizureEvent::uniform(
-                0.3 + i as f64 * 2.0,
-                0.8,
-                0,
-                nodes,
-                0.02,
-            )
-        })
+        .map(|i| SeizureEvent::uniform(0.3 + i as f64 * 2.0, 0.8, 0, nodes, 0.02))
         .collect();
     IeegConfig {
         nodes,

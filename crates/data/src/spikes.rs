@@ -35,7 +35,7 @@ pub fn make_template(neuron: usize, rng: &mut ChaCha8Rng) -> Template {
     // structurally distinct even for unlucky random draws.
     let main_pos = 6.0 + (neuron * 5 % 7) as f64 + rng.gen::<f64>();
     let main_width = 1.2 + (neuron % 4) as f64 * 0.6 + rng.gen::<f64>() * 0.3;
-    let main_amp = (2.0 + rng.gen::<f64>()) * if neuron % 2 == 0 { 1.0 } else { -1.0 };
+    let main_amp = (2.0 + rng.gen::<f64>()) * if neuron.is_multiple_of(2) { 1.0 } else { -1.0 };
     let after_pos = main_pos + 5.0 + (neuron * 3 % 11) as f64 + rng.gen::<f64>();
     let after_width = 2.5 + ((neuron / 4) % 3) as f64 * 1.2 + rng.gen::<f64>() * 0.4;
     let after_amp = -main_amp * (0.25 + 0.12 * ((neuron / 2) % 3) as f64);
@@ -146,7 +146,10 @@ pub struct SpikeDataset {
 /// Panics on degenerate configs.
 pub fn generate(config: &SpikeConfig) -> SpikeDataset {
     assert!(config.neurons >= 1, "need neurons");
-    assert!(config.duration_s > 0.0 && config.rate_hz > 0.0, "bad config");
+    assert!(
+        config.duration_s > 0.0 && config.rate_hz > 0.0,
+        "bad config"
+    );
     let samples = (config.duration_s * SAMPLE_RATE_HZ) as usize;
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
@@ -267,7 +270,11 @@ mod tests {
         let mut per_neuron: std::collections::HashMap<usize, usize> = Default::default();
         for s in &d.ground_truth {
             if let Some(&prev) = per_neuron.get(&s.neuron) {
-                assert!(s.start - prev >= refractory, "neuron {} refires too fast", s.neuron);
+                assert!(
+                    s.start - prev >= refractory,
+                    "neuron {} refires too fast",
+                    s.neuron
+                );
             }
             per_neuron.insert(s.neuron, s.start);
         }

@@ -24,7 +24,10 @@ use std::ops::Range;
 /// ```
 pub fn split_channels(channels: usize, nodes: usize) -> Vec<Range<usize>> {
     assert!(nodes >= 1, "need at least one node");
-    assert!(nodes <= channels, "more nodes ({nodes}) than channels ({channels})");
+    assert!(
+        nodes <= channels,
+        "more nodes ({nodes}) than channels ({channels})"
+    );
     let base = channels / nodes;
     let extra = channels % nodes;
     let mut out = Vec::with_capacity(nodes);

@@ -99,7 +99,10 @@ mod tests {
     fn thermal_coupling_matches_cited_values() {
         assert!((thermal_coupling_fraction(10.0) - 0.05).abs() < 0.005);
         let at_20 = thermal_coupling_fraction(20.0);
-        assert!(at_20 < 0.01, "coupling at 20 mm should be negligible, got {at_20}");
+        assert!(
+            at_20 < 0.01,
+            "coupling at 20 mm should be negligible, got {at_20}"
+        );
         assert_eq!(thermal_coupling_fraction(0.0), 1.0);
     }
 

@@ -203,9 +203,7 @@ mod tests {
     fn mad_cluster_supports_replication() {
         let mut f = NodeFabric::new();
         // §3.2: <10 MAD operations are replicated across MAD PEs.
-        let p = Pipeline::from_stages(
-            (0..10).map(|_| Stage::new(PeKind::Bmul, 96)).collect(),
-        );
+        let p = Pipeline::from_stages((0..10).map(|_| Stage::new(PeKind::Bmul, 96)).collect());
         f.configure(p).unwrap();
         assert_eq!(f.free_instances(PeKind::Bmul), 0);
     }
@@ -213,9 +211,8 @@ mod tests {
     #[test]
     fn failed_configure_leaves_fabric_unchanged() {
         let mut f = NodeFabric::new();
-        let too_many = Pipeline::from_stages(
-            (0..11).map(|_| Stage::new(PeKind::Bmul, 1)).collect(),
-        );
+        let too_many =
+            Pipeline::from_stages((0..11).map(|_| Stage::new(PeKind::Bmul, 1)).collect());
         assert!(f.configure(too_many).is_err());
         assert_eq!(f.free_instances(PeKind::Bmul), 10);
         assert!(f.pipelines().is_empty());

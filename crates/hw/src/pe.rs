@@ -213,7 +213,7 @@ impl PeSpec {
     /// `None` if even `k = 1` cannot (more streams than the design point).
     pub fn divider_for(&self, electrodes: usize) -> Option<u32> {
         if electrodes == 0 {
-            return Some(u32::MAX.min(1_000_000)); // effectively gated off
+            return Some(1_000_000); // effectively gated off
         }
         if electrodes > ELECTRODES_PER_NODE {
             return None;
@@ -230,37 +230,288 @@ impl PeSpec {
 
 /// Table 1, verbatim.
 const CATALOG: [PeSpec; 31] = [
-    PeSpec { name: "ADD", max_freq_mhz: 3.0, leakage_uw: 0.08, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.983, latency: Latency::Fixed(2.0), area_kge: 68.0 },
-    PeSpec { name: "AES", max_freq_mhz: 5.0, leakage_uw: 53.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.61, latency: Latency::DataDependent, area_kge: 55.0 },
-    PeSpec { name: "BBF", max_freq_mhz: 6.0, leakage_uw: 66.0, sram_leakage_uw: 19.88, dyn_per_electrode_uw: 0.35, latency: Latency::Fixed(4.0), area_kge: 23.0 },
-    PeSpec { name: "BMUL", max_freq_mhz: 3.0, leakage_uw: 145.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 1.544, latency: Latency::Fixed(2.0), area_kge: 77.0 },
-    PeSpec { name: "CCHECK", max_freq_mhz: 16.393, leakage_uw: 7.20, sram_leakage_uw: 0.88, dyn_per_electrode_uw: 0.14, latency: Latency::Fixed(0.50), area_kge: 3.0 },
-    PeSpec { name: "CSEL", max_freq_mhz: 0.1, leakage_uw: 4.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 6.0, latency: Latency::Fixed(0.04), area_kge: 2.0 },
-    PeSpec { name: "DCOMP", max_freq_mhz: 16.393, leakage_uw: 7.20, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.14, latency: Latency::Fixed(0.50), area_kge: 3.0 },
-    PeSpec { name: "DTW", max_freq_mhz: 50.0, leakage_uw: 167.93, sram_leakage_uw: 48.50, dyn_per_electrode_uw: 26.94, latency: Latency::Fixed(0.003), area_kge: 72.0 },
-    PeSpec { name: "DWT", max_freq_mhz: 3.0, leakage_uw: 4.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.02, latency: Latency::Fixed(4.0), area_kge: 2.0 },
-    PeSpec { name: "EMDH", max_freq_mhz: 0.03, leakage_uw: 10.47, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.0, latency: Latency::Fixed(0.04), area_kge: 9.0 },
-    PeSpec { name: "FFT", max_freq_mhz: 15.7, leakage_uw: 141.97, sram_leakage_uw: 85.58, dyn_per_electrode_uw: 9.02, latency: Latency::Fixed(4.0), area_kge: 22.0 },
-    PeSpec { name: "GATE", max_freq_mhz: 5.0, leakage_uw: 67.0, sram_leakage_uw: 34.37, dyn_per_electrode_uw: 0.63, latency: Latency::Fixed(0.0), area_kge: 17.0 },
-    PeSpec { name: "HCOMP", max_freq_mhz: 2.88, leakage_uw: 77.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.65, latency: Latency::Fixed(4.0), area_kge: 4.0 },
-    PeSpec { name: "HCONV", max_freq_mhz: 3.0, leakage_uw: 89.89, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.80, latency: Latency::Fixed(1.50), area_kge: 8.0 },
-    PeSpec { name: "HFREQ", max_freq_mhz: 2.88, leakage_uw: 61.98, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.52, latency: Latency::Fixed(4.0), area_kge: 6.0 },
-    PeSpec { name: "INV", max_freq_mhz: 41.0, leakage_uw: 0.267, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 11.875, latency: Latency::Fixed(30.0), area_kge: 167.0 },
-    PeSpec { name: "LIC", max_freq_mhz: 22.5, leakage_uw: 63.0, sram_leakage_uw: 6.0, dyn_per_electrode_uw: 3.26, latency: Latency::DataDependent, area_kge: 55.0 },
-    PeSpec { name: "LZ", max_freq_mhz: 129.0, leakage_uw: 150.0, sram_leakage_uw: 95.0, dyn_per_electrode_uw: 30.43, latency: Latency::DataDependent, area_kge: 55.0 },
-    PeSpec { name: "MA", max_freq_mhz: 92.0, leakage_uw: 194.0, sram_leakage_uw: 67.0, dyn_per_electrode_uw: 32.76, latency: Latency::DataDependent, area_kge: 55.0 },
-    PeSpec { name: "NEO", max_freq_mhz: 3.0, leakage_uw: 12.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.03, latency: Latency::Fixed(4.0), area_kge: 5.0 },
-    PeSpec { name: "NGRAM", max_freq_mhz: 0.2, leakage_uw: 15.69, sram_leakage_uw: 9.07, dyn_per_electrode_uw: 0.08, latency: Latency::Fixed(1.50), area_kge: 10.0 },
-    PeSpec { name: "NPACK", max_freq_mhz: 3.0, leakage_uw: 3.53, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 5.49, latency: Latency::Fixed(0.008), area_kge: 2.0 },
-    PeSpec { name: "RC", max_freq_mhz: 90.0, leakage_uw: 29.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 7.95, latency: Latency::DataDependent, area_kge: 55.0 },
-    PeSpec { name: "SBP", max_freq_mhz: 3.0, leakage_uw: 12.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.03, latency: Latency::Fixed(0.03), area_kge: 6.0 },
-    PeSpec { name: "SC", max_freq_mhz: 3.2, leakage_uw: 95.30, sram_leakage_uw: 64.49, dyn_per_electrode_uw: 1.64, latency: Latency::Storage { available_ms: 0.03, busy_ms: 4.0 }, area_kge: 12.0 },
-    PeSpec { name: "SUB", max_freq_mhz: 3.0, leakage_uw: 0.08, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.988, latency: Latency::Fixed(2.0), area_kge: 69.0 },
-    PeSpec { name: "SVM", max_freq_mhz: 3.0, leakage_uw: 99.0, sram_leakage_uw: 53.58, dyn_per_electrode_uw: 0.53, latency: Latency::Fixed(1.67), area_kge: 8.0 },
-    PeSpec { name: "THR", max_freq_mhz: 16.0, leakage_uw: 2.0, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.11, latency: Latency::Fixed(0.06), area_kge: 1.0 },
-    PeSpec { name: "TOK", max_freq_mhz: 6.0, leakage_uw: 5.57, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 0.14, latency: Latency::Fixed(0.001), area_kge: 3.0 },
-    PeSpec { name: "UNPACK", max_freq_mhz: 3.0, leakage_uw: 3.53, sram_leakage_uw: 0.0, dyn_per_electrode_uw: 5.49, latency: Latency::Fixed(0.008), area_kge: 2.0 },
-    PeSpec { name: "XCOR", max_freq_mhz: 85.0, leakage_uw: 377.0, sram_leakage_uw: 306.88, dyn_per_electrode_uw: 44.11, latency: Latency::Fixed(4.0), area_kge: 81.0 },
+    PeSpec {
+        name: "ADD",
+        max_freq_mhz: 3.0,
+        leakage_uw: 0.08,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.983,
+        latency: Latency::Fixed(2.0),
+        area_kge: 68.0,
+    },
+    PeSpec {
+        name: "AES",
+        max_freq_mhz: 5.0,
+        leakage_uw: 53.0,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.61,
+        latency: Latency::DataDependent,
+        area_kge: 55.0,
+    },
+    PeSpec {
+        name: "BBF",
+        max_freq_mhz: 6.0,
+        leakage_uw: 66.0,
+        sram_leakage_uw: 19.88,
+        dyn_per_electrode_uw: 0.35,
+        latency: Latency::Fixed(4.0),
+        area_kge: 23.0,
+    },
+    PeSpec {
+        name: "BMUL",
+        max_freq_mhz: 3.0,
+        leakage_uw: 145.0,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 1.544,
+        latency: Latency::Fixed(2.0),
+        area_kge: 77.0,
+    },
+    PeSpec {
+        name: "CCHECK",
+        max_freq_mhz: 16.393,
+        leakage_uw: 7.20,
+        sram_leakage_uw: 0.88,
+        dyn_per_electrode_uw: 0.14,
+        latency: Latency::Fixed(0.50),
+        area_kge: 3.0,
+    },
+    PeSpec {
+        name: "CSEL",
+        max_freq_mhz: 0.1,
+        leakage_uw: 4.0,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 6.0,
+        latency: Latency::Fixed(0.04),
+        area_kge: 2.0,
+    },
+    PeSpec {
+        name: "DCOMP",
+        max_freq_mhz: 16.393,
+        leakage_uw: 7.20,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.14,
+        latency: Latency::Fixed(0.50),
+        area_kge: 3.0,
+    },
+    PeSpec {
+        name: "DTW",
+        max_freq_mhz: 50.0,
+        leakage_uw: 167.93,
+        sram_leakage_uw: 48.50,
+        dyn_per_electrode_uw: 26.94,
+        latency: Latency::Fixed(0.003),
+        area_kge: 72.0,
+    },
+    PeSpec {
+        name: "DWT",
+        max_freq_mhz: 3.0,
+        leakage_uw: 4.0,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.02,
+        latency: Latency::Fixed(4.0),
+        area_kge: 2.0,
+    },
+    PeSpec {
+        name: "EMDH",
+        max_freq_mhz: 0.03,
+        leakage_uw: 10.47,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.0,
+        latency: Latency::Fixed(0.04),
+        area_kge: 9.0,
+    },
+    PeSpec {
+        name: "FFT",
+        max_freq_mhz: 15.7,
+        leakage_uw: 141.97,
+        sram_leakage_uw: 85.58,
+        dyn_per_electrode_uw: 9.02,
+        latency: Latency::Fixed(4.0),
+        area_kge: 22.0,
+    },
+    PeSpec {
+        name: "GATE",
+        max_freq_mhz: 5.0,
+        leakage_uw: 67.0,
+        sram_leakage_uw: 34.37,
+        dyn_per_electrode_uw: 0.63,
+        latency: Latency::Fixed(0.0),
+        area_kge: 17.0,
+    },
+    PeSpec {
+        name: "HCOMP",
+        max_freq_mhz: 2.88,
+        leakage_uw: 77.0,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.65,
+        latency: Latency::Fixed(4.0),
+        area_kge: 4.0,
+    },
+    PeSpec {
+        name: "HCONV",
+        max_freq_mhz: 3.0,
+        leakage_uw: 89.89,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.80,
+        latency: Latency::Fixed(1.50),
+        area_kge: 8.0,
+    },
+    PeSpec {
+        name: "HFREQ",
+        max_freq_mhz: 2.88,
+        leakage_uw: 61.98,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.52,
+        latency: Latency::Fixed(4.0),
+        area_kge: 6.0,
+    },
+    PeSpec {
+        name: "INV",
+        max_freq_mhz: 41.0,
+        leakage_uw: 0.267,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 11.875,
+        latency: Latency::Fixed(30.0),
+        area_kge: 167.0,
+    },
+    PeSpec {
+        name: "LIC",
+        max_freq_mhz: 22.5,
+        leakage_uw: 63.0,
+        sram_leakage_uw: 6.0,
+        dyn_per_electrode_uw: 3.26,
+        latency: Latency::DataDependent,
+        area_kge: 55.0,
+    },
+    PeSpec {
+        name: "LZ",
+        max_freq_mhz: 129.0,
+        leakage_uw: 150.0,
+        sram_leakage_uw: 95.0,
+        dyn_per_electrode_uw: 30.43,
+        latency: Latency::DataDependent,
+        area_kge: 55.0,
+    },
+    PeSpec {
+        name: "MA",
+        max_freq_mhz: 92.0,
+        leakage_uw: 194.0,
+        sram_leakage_uw: 67.0,
+        dyn_per_electrode_uw: 32.76,
+        latency: Latency::DataDependent,
+        area_kge: 55.0,
+    },
+    PeSpec {
+        name: "NEO",
+        max_freq_mhz: 3.0,
+        leakage_uw: 12.0,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.03,
+        latency: Latency::Fixed(4.0),
+        area_kge: 5.0,
+    },
+    PeSpec {
+        name: "NGRAM",
+        max_freq_mhz: 0.2,
+        leakage_uw: 15.69,
+        sram_leakage_uw: 9.07,
+        dyn_per_electrode_uw: 0.08,
+        latency: Latency::Fixed(1.50),
+        area_kge: 10.0,
+    },
+    PeSpec {
+        name: "NPACK",
+        max_freq_mhz: 3.0,
+        leakage_uw: 3.53,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 5.49,
+        latency: Latency::Fixed(0.008),
+        area_kge: 2.0,
+    },
+    PeSpec {
+        name: "RC",
+        max_freq_mhz: 90.0,
+        leakage_uw: 29.0,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 7.95,
+        latency: Latency::DataDependent,
+        area_kge: 55.0,
+    },
+    PeSpec {
+        name: "SBP",
+        max_freq_mhz: 3.0,
+        leakage_uw: 12.0,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.03,
+        latency: Latency::Fixed(0.03),
+        area_kge: 6.0,
+    },
+    PeSpec {
+        name: "SC",
+        max_freq_mhz: 3.2,
+        leakage_uw: 95.30,
+        sram_leakage_uw: 64.49,
+        dyn_per_electrode_uw: 1.64,
+        latency: Latency::Storage {
+            available_ms: 0.03,
+            busy_ms: 4.0,
+        },
+        area_kge: 12.0,
+    },
+    PeSpec {
+        name: "SUB",
+        max_freq_mhz: 3.0,
+        leakage_uw: 0.08,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.988,
+        latency: Latency::Fixed(2.0),
+        area_kge: 69.0,
+    },
+    PeSpec {
+        name: "SVM",
+        max_freq_mhz: 3.0,
+        leakage_uw: 99.0,
+        sram_leakage_uw: 53.58,
+        dyn_per_electrode_uw: 0.53,
+        latency: Latency::Fixed(1.67),
+        area_kge: 8.0,
+    },
+    PeSpec {
+        name: "THR",
+        max_freq_mhz: 16.0,
+        leakage_uw: 2.0,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.11,
+        latency: Latency::Fixed(0.06),
+        area_kge: 1.0,
+    },
+    PeSpec {
+        name: "TOK",
+        max_freq_mhz: 6.0,
+        leakage_uw: 5.57,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 0.14,
+        latency: Latency::Fixed(0.001),
+        area_kge: 3.0,
+    },
+    PeSpec {
+        name: "UNPACK",
+        max_freq_mhz: 3.0,
+        leakage_uw: 3.53,
+        sram_leakage_uw: 0.0,
+        dyn_per_electrode_uw: 5.49,
+        latency: Latency::Fixed(0.008),
+        area_kge: 2.0,
+    },
+    PeSpec {
+        name: "XCOR",
+        max_freq_mhz: 85.0,
+        leakage_uw: 377.0,
+        sram_leakage_uw: 306.88,
+        dyn_per_electrode_uw: 44.11,
+        latency: Latency::Fixed(4.0),
+        area_kge: 81.0,
+    },
 ];
 
 /// The full PE catalog (Table 1 rows, in order).
@@ -324,7 +575,11 @@ mod tests {
         assert_eq!(Latency::Fixed(2.0).worst_ms(99.0), 2.0);
         assert_eq!(Latency::DataDependent.worst_ms(7.5), 7.5);
         assert_eq!(
-            Latency::Storage { available_ms: 0.03, busy_ms: 4.0 }.worst_ms(0.0),
+            Latency::Storage {
+                available_ms: 0.03,
+                busy_ms: 4.0
+            }
+            .worst_ms(0.0),
             4.0
         );
     }

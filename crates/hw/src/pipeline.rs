@@ -127,8 +127,7 @@ mod tests {
         p.push(Stage::new(PeKind::Bbf, 96));
         p.push(Stage::new(PeKind::Thr, 96));
         assert!((p.latency_ms() - (4.0 + 0.06)).abs() < 1e-12);
-        let expected_uw =
-            spec(PeKind::Bbf).power_uw(96) + spec(PeKind::Thr).power_uw(96) + 2.0;
+        let expected_uw = spec(PeKind::Bbf).power_uw(96) + spec(PeKind::Thr).power_uw(96) + 2.0;
         assert!((p.power_uw() - expected_uw).abs() < 1e-9);
     }
 

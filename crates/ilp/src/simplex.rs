@@ -19,10 +19,7 @@ const EPS: f64 = 1e-9;
 ///
 /// [`SolveError::Infeasible`], [`SolveError::Unbounded`], or
 /// [`SolveError::NoObjective`].
-pub fn solve_lp(
-    model: &Model,
-    extra: &[(Vec<f64>, Sense, f64)],
-) -> Result<Solution, SolveError> {
+pub fn solve_lp(model: &Model, extra: &[(Vec<f64>, Sense, f64)]) -> Result<Solution, SolveError> {
     let objective = model.objective.as_ref().ok_or(SolveError::NoObjective)?;
     let n = model.vars.len();
 
@@ -150,11 +147,7 @@ pub fn solve_lp(
             values[b] = lowers[b] + tab[r][total];
         }
     }
-    let objective_value: f64 = obj_dense
-        .iter()
-        .zip(&values)
-        .map(|(c, v)| c * v)
-        .sum();
+    let objective_value: f64 = obj_dense.iter().zip(&values).map(|(c, v)| c * v).sum();
     Ok(Solution {
         objective: objective_value,
         values,
@@ -164,12 +157,7 @@ pub fn solve_lp(
 /// Builds the reduced-cost row `z_j - c_j` (negated so that a *positive*
 /// entry means "improves the maximisation"), with the current objective
 /// value in the rhs slot.
-fn build_reduced_costs(
-    tab: &[Vec<f64>],
-    basis: &[usize],
-    cost: &[f64],
-    total: usize,
-) -> Vec<f64> {
+fn build_reduced_costs(tab: &[Vec<f64>], basis: &[usize], cost: &[f64], total: usize) -> Vec<f64> {
     let mut z = vec![0.0; total + 1];
     // z_j = c_j - sum_r c_basis[r] * tab[r][j]; store c_j - z-part so that
     // z[j] > 0 indicates an improving column for maximisation.
@@ -195,21 +183,22 @@ fn pivot(
 ) {
     let piv = tab[row][col];
     debug_assert!(piv.abs() > EPS, "pivot on ~zero element");
-    for j in 0..=total {
-        tab[row][j] /= piv;
+    for v in tab[row].iter_mut().take(total + 1) {
+        *v /= piv;
     }
-    for r in 0..tab.len() {
-        if r != row && tab[r][col].abs() > EPS {
-            let factor = tab[r][col];
-            for j in 0..=total {
-                tab[r][j] -= factor * tab[row][j];
+    let pivot_row: Vec<f64> = tab[row][..=total].to_vec();
+    for (r, other) in tab.iter_mut().enumerate() {
+        if r != row && other[col].abs() > EPS {
+            let factor = other[col];
+            for (v, &p) in other.iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
             }
         }
     }
     if z[col].abs() > EPS {
         let factor = z[col];
-        for j in 0..=total {
-            z[j] -= factor * tab[row][j];
+        for (v, &p) in z.iter_mut().zip(&pivot_row) {
+            *v -= factor * p;
         }
     }
     basis[row] = col;
@@ -244,9 +233,7 @@ fn run_simplex(
                 match best {
                     None => best = Some((r, ratio)),
                     Some((br, bratio)) => {
-                        if ratio < bratio - EPS
-                            || (ratio < bratio + EPS && basis[r] < basis[br])
-                        {
+                        if ratio < bratio - EPS || (ratio < bratio + EPS && basis[r] < basis[br]) {
                             best = Some((r, ratio));
                         }
                     }

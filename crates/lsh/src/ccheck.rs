@@ -80,12 +80,7 @@ impl CollisionChecker {
     /// Mirrors the PE: the received batch is sorted in place (here, a
     /// sorted copy) and each in-horizon local hash is located by binary
     /// search — `O(R log R + L log R)`.
-    pub fn matches(
-        &self,
-        received: &[SignalHash],
-        now_us: u64,
-        horizon_us: u64,
-    ) -> Vec<HashMatch> {
+    pub fn matches(&self, received: &[SignalHash], now_us: u64, horizon_us: u64) -> Vec<HashMatch> {
         let mut sorted: Vec<(usize, &SignalHash)> = received.iter().enumerate().collect();
         sorted.sort_by(|a, b| a.1.cmp(b.1));
         let cutoff = now_us.saturating_sub(horizon_us);

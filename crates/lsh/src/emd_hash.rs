@@ -83,11 +83,7 @@ impl EmdHasher {
     ///
     /// Panics if the window length differs from the configured one.
     pub fn hash(&self, signal: &[f64]) -> SignalHash {
-        assert_eq!(
-            signal.len(),
-            self.window,
-            "EMD hash window length mismatch"
-        );
+        assert_eq!(signal.len(), self.window, "EMD hash window length mismatch");
         let b = self.buckets(signal);
         let packed: u16 =
             (b[0] as u16) | ((b[1] as u16) << FIELD_BITS) | ((b[2] as u16) << (2 * FIELD_BITS));

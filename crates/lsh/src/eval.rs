@@ -113,7 +113,7 @@ pub fn generate_pairs(measure: Measure, n: usize, seed: u64) -> Vec<MeasuredPair
     (0..n)
         .map(|i| {
             let f = 0.05 + rng.gen::<f64>() * 0.3;
-            let p = rng.gen::<f64>() * 6.28;
+            let p = rng.gen::<f64>() * std::f64::consts::TAU;
             let base: Vec<f64> = (0..window + 8)
                 .map(|t| (t as f64 * f + p).sin() + 0.4 * (t as f64 * f * 2.3 + p).cos())
                 .collect();
@@ -121,7 +121,7 @@ pub fn generate_pairs(measure: Measure, n: usize, seed: u64) -> Vec<MeasuredPair
             let strength = (i as f64 + 0.5) / n as f64 * 2.0;
             let shift = (rng.gen::<f64>() * 4.0 * strength) as usize;
             let f2 = 0.05 + rng.gen::<f64>() * 0.3;
-            let p2 = rng.gen::<f64>() * 6.28;
+            let p2 = rng.gen::<f64>() * std::f64::consts::TAU;
             let b: Vec<f64> = (0..window)
                 .map(|t| {
                     let clean = base[t + shift];
@@ -150,7 +150,10 @@ pub fn hash_error_histogram(
     bin_width_pct: f64,
     limit_pct: f64,
 ) -> Vec<ErrorBin> {
-    assert!(bin_width_pct > 0.0 && limit_pct > 0.0, "bad histogram params");
+    assert!(
+        bin_width_pct > 0.0 && limit_pct > 0.0,
+        "bad histogram params"
+    );
     let hasher = MeasureHasher::for_measure(measure, 120);
     let n_bins = (2.0 * limit_pct / bin_width_pct).round() as usize;
     let mut errors = vec![0usize; n_bins];
@@ -190,9 +193,7 @@ pub fn total_error_rate(measure: Measure, pairs: &[MeasuredPair], threshold: f64
     }
     let errors = pairs
         .iter()
-        .filter(|p| {
-            exact_similar(measure, p.exact, threshold) != hasher.similar(&p.a, &p.b)
-        })
+        .filter(|p| exact_similar(measure, p.exact, threshold) != hasher.similar(&p.a, &p.b))
         .count();
     errors as f64 / pairs.len() as f64
 }
@@ -305,8 +306,6 @@ mod tests {
     #[test]
     fn quantile_threshold_is_monotone() {
         let pairs = generate_pairs(Measure::Euclidean, 100, 9);
-        assert!(
-            threshold_at_quantile(&pairs, 0.2) <= threshold_at_quantile(&pairs, 0.8)
-        );
+        assert!(threshold_at_quantile(&pairs, 0.2) <= threshold_at_quantile(&pairs, 0.8));
     }
 }

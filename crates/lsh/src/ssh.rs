@@ -140,7 +140,9 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn noisy_copy(sig: &[f64], noise: f64, rng: &mut ChaCha8Rng) -> Vec<f64> {
-        sig.iter().map(|&x| x + noise * (rng.gen::<f64>() - 0.5)).collect()
+        sig.iter()
+            .map(|&x| x + noise * (rng.gen::<f64>() - 0.5))
+            .collect()
     }
 
     fn random_signal(rng: &mut ChaCha8Rng, n: usize) -> Vec<f64> {

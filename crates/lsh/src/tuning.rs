@@ -92,8 +92,16 @@ pub fn evaluate_config(
     SweepPoint {
         window,
         ngram,
-        true_positive: if pos == 0 { 0.0 } else { tp as f64 / pos as f64 },
-        false_positive: if neg == 0 { 0.0 } else { fp as f64 / neg as f64 },
+        true_positive: if pos == 0 {
+            0.0
+        } else {
+            tp as f64 / pos as f64
+        },
+        false_positive: if neg == 0 {
+            0.0
+        } else {
+            fp as f64 / neg as f64
+        },
     }
 }
 

@@ -28,7 +28,10 @@ fn diag_ssh_rates() {
         let trials = 300;
         for _ in 0..trials {
             let a = random_signal(&mut rng, 120);
-            let near: Vec<f64> = a.iter().map(|&x| x + 0.05 * (rng.gen::<f64>() - 0.5)).collect();
+            let near: Vec<f64> = a
+                .iter()
+                .map(|&x| x + 0.05 * (rng.gen::<f64>() - 0.5))
+                .collect();
             let far = random_signal(&mut rng, 120);
             sim += usize::from(hasher.collide(&a, &near));
             dis += usize::from(hasher.collide(&a, &far));

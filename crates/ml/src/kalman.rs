@@ -161,7 +161,9 @@ pub fn fit_kalman(states: &[Vec<f64>], observations: &[Vec<f64>]) -> KalmanModel
 
     // Residual covariances.
     let resid_a = x2.sub(&a.mul(&x1));
-    let w = resid_a.mul(&resid_a.transpose()).scale(1.0 / (t - 1) as f64);
+    let w = resid_a
+        .mul(&resid_a.transpose())
+        .scale(1.0 / (t - 1) as f64);
     let resid_h = z_all.sub(&h.mul(&x_all));
     let mut q = resid_h.mul(&resid_h.transpose()).scale(1.0 / t as f64);
     // Regularise Q so the innovation covariance stays invertible.
@@ -189,7 +191,9 @@ fn regress(y: &Matrix, x: &Matrix) -> Matrix {
     for i in 0..gram.rows() {
         gram.set(i, i, gram.get(i, i) + 1e-9);
     }
-    let inv = gram.inverse().expect("regularised Gram matrix is invertible");
+    let inv = gram
+        .inverse()
+        .expect("regularised Gram matrix is invertible");
     y.mul(&xt).mul(&inv)
 }
 
@@ -249,12 +253,7 @@ mod tests {
     #[test]
     fn fit_recovers_dynamics_from_clean_data() {
         // Generate a clean constant-velocity trajectory with 4 sensors.
-        let h_true = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 2.0],
-            &[1.0, 1.0],
-            &[0.5, -1.0],
-        ]);
+        let h_true = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0], &[0.5, -1.0]]);
         let mut states = Vec::new();
         let mut obs = Vec::new();
         let mut x = vec![0.0, 0.5];

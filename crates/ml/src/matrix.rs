@@ -108,7 +108,10 @@ impl Matrix {
     ///
     /// Panics if out of range.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -118,7 +121,10 @@ impl Matrix {
     ///
     /// Panics if out of range.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -187,7 +193,11 @@ impl Matrix {
 
     /// Scalar multiple.
     pub fn scale(&self, k: f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|a| a * k).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|a| a * k).collect(),
+        )
     }
 
     /// Transpose.

@@ -211,9 +211,17 @@ pub fn demo_network(input: usize, hidden: usize, output: usize, seed: u64) -> Sh
         state ^= state << 17;
         ((state % 2000) as f64 / 1000.0) - 1.0
     };
-    let w1 = Matrix::from_vec(hidden, input, (0..hidden * input).map(|_| next() * 0.3).collect());
+    let w1 = Matrix::from_vec(
+        hidden,
+        input,
+        (0..hidden * input).map(|_| next() * 0.3).collect(),
+    );
     let b1 = Matrix::from_vec(hidden, 1, (0..hidden).map(|_| next() * 0.1).collect());
-    let w2 = Matrix::from_vec(output, hidden, (0..output * hidden).map(|_| next() * 0.3).collect());
+    let w2 = Matrix::from_vec(
+        output,
+        hidden,
+        (0..output * hidden).map(|_| next() * 0.3).collect(),
+    );
     let b2 = Matrix::from_vec(output, 1, (0..output).map(|_| next() * 0.1).collect());
     ShallowNn::new(w1, b1, w2, b2)
 }

@@ -70,7 +70,10 @@ impl LinearSvm {
     ) -> Self {
         assert!(!samples.is_empty(), "empty training set");
         let dim = samples[0].0.len();
-        assert!(samples.iter().all(|(x, _)| x.len() == dim), "ragged samples");
+        assert!(
+            samples.iter().all(|(x, _)| x.len() == dim),
+            "ragged samples"
+        );
         let mut w = vec![0.0; dim];
         let mut b = 0.0;
         let mut state = seed.max(1);
@@ -262,10 +265,7 @@ mod tests {
             })
             .collect();
         let svm = LinearSvm::train_pegasos(&samples, 0.01, 20, 42);
-        let correct = samples
-            .iter()
-            .filter(|(x, y)| svm.predict(x) == *y)
-            .count();
+        let correct = samples.iter().filter(|(x, y)| svm.predict(x) == *y).count();
         assert!(correct >= 190, "only {correct}/200 correct");
     }
 

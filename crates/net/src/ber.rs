@@ -37,6 +37,18 @@ impl ErrorChannel {
         self.ber
     }
 
+    /// Changes the bit-error ratio in place (interference spikes, fault
+    /// injection). The RNG stream continues uninterrupted so runs remain
+    /// deterministic across mid-run escalations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ ber < 1`.
+    pub fn set_ber(&mut self, ber: f64) {
+        assert!((0.0..1.0).contains(&ber), "BER {ber} out of [0, 1)");
+        self.ber = ber;
+    }
+
     /// Transmits `data` through the channel, returning the (possibly
     /// corrupted) bytes and the number of flipped bits.
     pub fn transmit(&mut self, data: &[u8]) -> (Vec<u8>, usize) {
@@ -111,6 +123,26 @@ mod tests {
         let a = ErrorChannel::new(1e-3, 5).transmit(&data);
         let b = ErrorChannel::new(1e-3, 5).transmit(&data);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_ber_escalates_mid_stream() {
+        let mut ch = ErrorChannel::new(0.0, 3);
+        let data = vec![0u8; 4096];
+        let (_, flips) = ch.transmit(&data);
+        assert_eq!(flips, 0);
+        ch.set_ber(1e-2);
+        let (_, flips) = ch.transmit(&data);
+        assert!(flips > 0, "escalated BER must start flipping bits");
+        ch.set_ber(0.0);
+        let (_, flips) = ch.transmit(&data);
+        assert_eq!(flips, 0, "restored BER must be transparent again");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1)")]
+    fn set_ber_rejects_invalid() {
+        ErrorChannel::new(0.0, 1).set_ber(1.0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ impl BitWriter {
 
     /// Appends one bit.
     pub fn push_bit(&mut self, bit: bool) {
-        if self.bit_len % 8 == 0 {
+        if self.bit_len.is_multiple_of(8) {
             self.bytes.push(0);
         }
         if bit {
@@ -89,11 +89,8 @@ impl<'a> BitReader<'a> {
     /// Reads one Elias-γ value, or `None` on a malformed/ended stream.
     pub fn read_gamma(&mut self) -> Option<u32> {
         let mut zeros = 0u32;
-        loop {
-            match self.read_bit()? {
-                false => zeros += 1,
-                true => break,
-            }
+        while !self.read_bit()? {
+            zeros += 1;
             if zeros > 32 {
                 return None;
             }
@@ -200,7 +197,7 @@ pub fn dcomp_decompress(compressed: &[u8]) -> Option<Vec<u8>> {
         }
         let value = *dict.get(idx.checked_sub(1)?)?;
         let run = reader.read_gamma()? as usize;
-        out.extend(std::iter::repeat(value).take(run));
+        out.extend(std::iter::repeat_n(value, run));
         if out.len() > 1 << 24 {
             return None; // malformed stream guard
         }
@@ -257,10 +254,8 @@ pub fn lz_decompress(compressed: &[u8]) -> Option<Vec<u8>> {
                 i += 2;
             }
             1 => {
-                let off = u16::from_le_bytes([
-                    *compressed.get(i + 1)?,
-                    *compressed.get(i + 2)?,
-                ]) as usize;
+                let off =
+                    u16::from_le_bytes([*compressed.get(i + 1)?, *compressed.get(i + 2)?]) as usize;
                 if off == 0 {
                     return None;
                 }
@@ -335,7 +330,12 @@ mod tests {
 
     #[test]
     fn hcomp_ordered_roundtrip_is_exact() {
-        for data in [hash_stream(500), vec![], vec![7u8], (0..=255u8).collect::<Vec<_>>()] {
+        for data in [
+            hash_stream(500),
+            vec![],
+            vec![7u8],
+            (0..=255u8).collect::<Vec<_>>(),
+        ] {
             let c = hcomp_compress_ordered(&data);
             assert_eq!(dcomp_decompress(&c).as_deref(), Some(&data[..]));
         }

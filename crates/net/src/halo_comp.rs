@@ -226,11 +226,7 @@ pub fn ma_rc_decompress(compressed: &[u8], len: usize) -> Vec<u8> {
     decompress_with_contexts(compressed, len, 256, |prev| prev as usize)
 }
 
-fn compress_with_contexts(
-    data: &[u8],
-    contexts: usize,
-    ctx_of: impl Fn(u8) -> usize,
-) -> Vec<u8> {
+fn compress_with_contexts(data: &[u8], contexts: usize, ctx_of: impl Fn(u8) -> usize) -> Vec<u8> {
     // Per context, a model tree over the 8 bits of the byte (255 nodes).
     let mut models = vec![vec![BitModel::new(); 256]; contexts];
     let mut enc = RangeEncoder::new();
@@ -320,7 +316,9 @@ mod tests {
 
     #[test]
     fn ma_rc_roundtrip() {
-        let data: Vec<u8> = (0..800).map(|i| [b'a', b'b', b'a', b'c'][(i / 3) % 4]).collect();
+        let data: Vec<u8> = (0..800)
+            .map(|i| [b'a', b'b', b'a', b'c'][(i / 3) % 4])
+            .collect();
         let c = ma_rc_compress(&data);
         assert_eq!(ma_rc_decompress(&c, data.len()), data);
     }
@@ -329,7 +327,11 @@ mod tests {
     fn rc_compresses_biased_streams() {
         let data = vec![0u8; 4_096];
         let c = rc_compress(&data);
-        assert!(c.len() < 200, "all-zero stream compresses hard: {}", c.len());
+        assert!(
+            c.len() < 200,
+            "all-zero stream compresses hard: {}",
+            c.len()
+        );
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! injection), [`compress`] (HFREQ/HCOMP/DCOMP plus an LZ-style baseline),
 //! [`halo_comp`] (HALO's external-radio LIC/MA/RC suite), [`aes`]
 //! (the AES PE for off-body encryption), [`radio`] (Table 3's designs and
-//! the external radio), and [`tdma`] (the fixed network schedule the ILP
-//! emits).
+//! the external radio), [`tdma`] (the fixed network schedule the ILP
+//! emits), and [`reliable`] (sequence/ACK/retransmission transport for
+//! link-degradation studies).
 
 pub mod aes;
 pub mod ber;
@@ -21,6 +22,7 @@ pub mod crc;
 pub mod halo_comp;
 pub mod packet;
 pub mod radio;
+pub mod reliable;
 pub mod tdma;
 
 /// Maximum packet payload in bytes (§3.4).

@@ -1,0 +1,108 @@
+//! Property tests for the receive path: no byte mutation of a framed
+//! packet may panic the parser, and single-byte corruption must never be
+//! mistaken for a clean packet (CRC32 detects all bursts shorter than
+//! its width).
+
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use scalo_net::packet::{receive, Header, Packet, PayloadKind, Received, BROADCAST};
+
+fn kind_strategy() -> BoxedStrategy<PayloadKind> {
+    prop_oneof![
+        Just(PayloadKind::Hashes),
+        Just(PayloadKind::Signal),
+        Just(PayloadKind::Features),
+        Just(PayloadKind::Control),
+    ]
+    .boxed()
+}
+
+fn packet(kind: PayloadKind, src: u8, seq: u16, payload: Vec<u8>) -> Packet {
+    Packet::new(
+        Header {
+            src,
+            dst: BROADCAST,
+            flow: 1,
+            seq,
+            len: 0,
+            kind,
+            timestamp_us: 0x1234_5678,
+        },
+        payload,
+    )
+}
+
+proptest! {
+    #[test]
+    fn encode_corrupt_receive_never_panics(
+        kind in kind_strategy(),
+        src in proptest::arbitrary::any::<u8>(),
+        seq in proptest::arbitrary::any::<u16>(),
+        payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..256),
+        pos in proptest::arbitrary::any::<u16>(),
+        mask in proptest::arbitrary::any::<u8>(),
+    ) {
+        let p = packet(kind, src, seq, payload);
+        let mut wire = p.to_wire();
+        let idx = pos as usize % wire.len();
+        wire[idx] ^= mask;
+        // Must classify, never panic.
+        let got = receive(&wire);
+        if mask == 0 {
+            prop_assert_eq!(got, Received::Clean(p));
+        } else {
+            // CRC32 detects every error burst shorter than 32 bits, so a
+            // single corrupted byte can never pass as clean.
+            prop_assert!(!matches!(got, Received::Clean(_)), "corruption undetected");
+        }
+    }
+
+    #[test]
+    fn corrupt_signal_payload_still_delivered(
+        payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 1..256),
+        pos in proptest::arbitrary::any::<u16>(),
+        mask in 1u8..=255,
+    ) {
+        let p = packet(PayloadKind::Signal, 3, 7, payload);
+        let mut wire = p.to_wire();
+        // Corrupt strictly inside the payload region (after the 15
+        // header+CRC bytes, before the trailing payload CRC).
+        let idx = 15 + pos as usize % p.payload.len();
+        wire[idx] ^= mask;
+        match receive(&wire) {
+            Received::CorruptDelivered(q) => {
+                prop_assert_eq!(q.header, p.header);
+                prop_assert_eq!(q.payload.len(), p.payload.len());
+            }
+            other => prop_assert!(false, "expected delivery, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn corrupt_hash_payload_always_dropped(
+        payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 1..256),
+        pos in proptest::arbitrary::any::<u16>(),
+        mask in 1u8..=255,
+    ) {
+        let p = packet(PayloadKind::Hashes, 3, 7, payload);
+        let mut wire = p.to_wire();
+        let idx = 15 + pos as usize % p.payload.len();
+        wire[idx] ^= mask;
+        prop_assert!(matches!(receive(&wire), Received::DroppedPayloadError(_)));
+    }
+
+    #[test]
+    fn truncation_never_panics(
+        payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..256),
+        keep in proptest::arbitrary::any::<u16>(),
+    ) {
+        let p = packet(PayloadKind::Control, 1, 1, payload);
+        let wire = p.to_wire();
+        let keep = keep as usize % (wire.len() + 1);
+        let got = receive(&wire[..keep]);
+        if keep < wire.len() {
+            // A shortened frame must never be accepted as this packet.
+            prop_assert!(got != Received::Clean(p.clone()), "truncated frame accepted");
+        }
+    }
+}

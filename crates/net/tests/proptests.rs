@@ -4,10 +4,10 @@
 use proptest::prelude::*;
 use scalo_net::aes::Aes128;
 use scalo_net::ber::ErrorChannel;
+use scalo_net::compress::{lz_compress, lz_decompress};
 use scalo_net::halo_comp::{
     lic_compress, lic_decompress, ma_rc_compress, ma_rc_decompress, rc_compress, rc_decompress,
 };
-use scalo_net::compress::{lz_compress, lz_decompress};
 use scalo_net::packet::{Header, PayloadKind};
 
 proptest! {

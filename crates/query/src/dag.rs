@@ -250,10 +250,9 @@ mod tests {
 
     #[test]
     fn listing_one_lowers_to_kf_chain() {
-        let ast = parse(
-            "var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()",
-        )
-        .unwrap();
+        let ast =
+            parse("var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()")
+                .unwrap();
         let dag = lower(&ast).unwrap();
         assert_eq!(dag.operators.len(), 4);
         assert_eq!(dag.window_ms(), Some(50.0));
@@ -300,7 +299,10 @@ mod tests {
         let ast = parse("var q = stream.bbf(8, 30)").unwrap();
         assert!(matches!(
             lower(&ast).unwrap().operators[0],
-            Operator::Bbf { lo_hz: 8.0, hi_hz: 30.0 }
+            Operator::Bbf {
+                lo_hz: 8.0,
+                hi_hz: 30.0
+            }
         ));
     }
 

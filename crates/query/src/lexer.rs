@@ -136,9 +136,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     // A digit followed by `.` followed by a letter is a
                     // method call boundary, not a decimal point.
                     if bytes[i] == b'.'
@@ -171,7 +169,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
                 out.push(Token::Ident(input[start..i].to_string()));
             }
             other => {
-                return Err(QueryError::Lex { at: i, found: other });
+                return Err(QueryError::Lex {
+                    at: i,
+                    found: other,
+                });
             }
         }
     }

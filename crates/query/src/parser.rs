@@ -107,7 +107,9 @@ impl Parser {
         self.expect(&Token::Eq)?;
         let source = self.expect_ident()?;
         if source != "stream" {
-            return Err(err(format!("chains must start at `stream`, found `{source}`")));
+            return Err(err(format!(
+                "chains must start at `stream`, found `{source}`"
+            )));
         }
         let mut ops = Vec::new();
         while self.peek() == Some(&Token::Dot) {

@@ -21,9 +21,7 @@ fn op_chain() -> impl Strategy<Value = String> {
         (1u32..2_000).prop_map(|ms| format!(".window(wsize={ms}ms)")),
         (1u32..100).prop_map(|lo| format!(".bbf({lo}, {})", lo + 10)),
     ];
-    proptest::collection::vec(op, 1..8).prop_map(|ops| {
-        format!("var q = stream{}", ops.join(""))
-    })
+    proptest::collection::vec(op, 1..8).prop_map(|ops| format!("var q = stream{}", ops.join("")))
 }
 
 proptest! {

@@ -147,10 +147,9 @@ mod tests {
 
     #[test]
     fn movement_kf_schedules_within_50ms() {
-        let dag = compile(
-            "var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()",
-        )
-        .unwrap();
+        let dag =
+            compile("var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()")
+                .unwrap();
         let sched = schedule(&dag, &Scenario::new(4, 15.0), 50.0, 4.0).unwrap();
         assert!(sched.electrodes > 50, "{sched:?}");
         assert!(sched.power_mw <= 15.0 + 1e-9);
@@ -159,10 +158,8 @@ mod tests {
 
     #[test]
     fn seizure_detection_schedules_locally() {
-        let dag = compile(
-            "var q = stream.window(wsize=4ms).select(w => w.seizure_detect())",
-        )
-        .unwrap();
+        let dag =
+            compile("var q = stream.window(wsize=4ms).select(w => w.seizure_detect())").unwrap();
         let sched = schedule(&dag, &Scenario::new(1, 15.0), 16.0, 0.0).unwrap();
         assert!(sched.electrodes > 90, "{sched:?}");
         assert!(!dag.uses_network());
@@ -170,10 +167,8 @@ mod tests {
 
     #[test]
     fn tight_deadline_is_rejected() {
-        let dag = compile(
-            "var q = stream.window(wsize=4ms).select(w => w.seizure_detect())",
-        )
-        .unwrap();
+        let dag =
+            compile("var q = stream.window(wsize=4ms).select(w => w.seizure_detect())").unwrap();
         let err = schedule(&dag, &Scenario::new(1, 15.0), 1.0, 0.0).unwrap_err();
         assert!(matches!(err, ScheduleError::DeadlineImpossible { .. }));
     }

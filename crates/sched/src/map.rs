@@ -38,7 +38,7 @@ pub fn pes_for_operator(op: &Operator) -> Vec<PeKind> {
         Operator::CollisionCheck => vec![PeKind::Ccheck],
         Operator::Dtw => vec![PeKind::Dtw],
         Operator::SpikeDetect => vec![PeKind::Neo, PeKind::Thr],
-        Operator::Stim => vec![],                 // DAC path, not a PE
+        Operator::Stim => vec![], // DAC path, not a PE
         Operator::CallRuntime => vec![PeKind::Npack],
     }
 }
@@ -55,10 +55,9 @@ mod tests {
 
     #[test]
     fn listing_one_maps_to_kf_cluster() {
-        let dag = compile(
-            "var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()",
-        )
-        .unwrap();
+        let dag =
+            compile("var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()")
+                .unwrap();
         let pes = pes_for_dag(&dag);
         assert!(pes.contains(&PeKind::Sbp));
         assert!(pes.contains(&PeKind::Inv));
@@ -67,10 +66,8 @@ mod tests {
 
     #[test]
     fn seizure_detect_expands_to_figure5_chain() {
-        let dag = compile(
-            "var q = stream.window(wsize=4ms).select(w => w.seizure_detect())",
-        )
-        .unwrap();
+        let dag =
+            compile("var q = stream.window(wsize=4ms).select(w => w.seizure_detect())").unwrap();
         let pes = pes_for_dag(&dag);
         for pe in [PeKind::Bbf, PeKind::Fft, PeKind::Xcor, PeKind::Svm] {
             assert!(pes.contains(&pe), "missing {pe}");

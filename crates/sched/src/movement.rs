@@ -38,9 +38,8 @@ pub fn intent_latency_ms(task: TaskKind, scenario: &Scenario) -> f64 {
         TaskKind::MiKf => {
             // Local: SBP features; net: 4 B/electrode from every node;
             // central: MAD chain + INV (30 ms) + corrections.
-            let electrodes = 96.0_f64.min(
-                crate::throughput::kf_nvm_bound_total_electrodes() / k as f64,
-            );
+            let electrodes =
+                96.0_f64.min(crate::throughput::kf_nvm_bound_total_electrodes() / k as f64);
             let net = Pattern::AllToOne.transfers(k)
                 * (electrodes * task.wire_bytes_per_electrode() + PACKET_OVERHEAD_BYTES)
                 / rate_bytes_per_ms;
@@ -126,9 +125,7 @@ mod tests {
     #[test]
     fn nn_slower_than_svm_due_to_partial_size() {
         let s = Scenario::new(16, 15.0);
-        assert!(
-            intents_per_second(TaskKind::MiSvm, &s) > intents_per_second(TaskKind::MiNn, &s)
-        );
+        assert!(intents_per_second(TaskKind::MiSvm, &s) > intents_per_second(TaskKind::MiNn, &s));
     }
 
     #[test]
@@ -144,7 +141,10 @@ mod tests {
         // goals. Therefore, we directly send the electrode features."
         let radio = scalo_net::radio::LOW_POWER;
         let (central, distributed) = kf_wire_bytes(4, 384);
-        assert!(kf_exchange_fits(central, &radio), "features fit: {central} B");
+        assert!(
+            kf_exchange_fits(central, &radio),
+            "features fit: {central} B"
+        );
         assert!(
             !kf_exchange_fits(distributed, &radio),
             "matrices do not: {distributed} B"

@@ -30,15 +30,31 @@ impl Priorities {
     /// The three weightings evaluated in Figure 9a.
     pub fn paper_set() -> [Priorities; 3] {
         [
-            Priorities { detection: 11.0, hash: 1.0, dtw: 1.0 },
-            Priorities { detection: 3.0, hash: 1.0, dtw: 1.0 },
-            Priorities { detection: 1.0, hash: 3.0, dtw: 1.0 },
+            Priorities {
+                detection: 11.0,
+                hash: 1.0,
+                dtw: 1.0,
+            },
+            Priorities {
+                detection: 3.0,
+                hash: 1.0,
+                dtw: 1.0,
+            },
+            Priorities {
+                detection: 1.0,
+                hash: 3.0,
+                dtw: 1.0,
+            },
         ]
     }
 
     /// Equal priorities (the headline 506 Mbps configuration).
     pub fn equal() -> Self {
-        Priorities { detection: 1.0, hash: 1.0, dtw: 1.0 }
+        Priorities {
+            detection: 1.0,
+            hash: 1.0,
+            dtw: 1.0,
+        }
     }
 
     /// Weights normalised to sum to 3 (so different ratios are
@@ -121,8 +137,7 @@ pub fn solve(scenario: &Scenario, priorities: Priorities) -> Result<SeizureSched
     // fixed traffic alone approaches the deadline budget, the exchange
     // cadence stretches (comparisons run every c-th window) instead of
     // the application failing — throughput scales by 1/c.
-    let raw_budget =
-        scenario.radio.data_rate_mbps * 1e6 * SEIZURE_DEADLINE_MS / 1_000.0 / 8.0;
+    let raw_budget = scenario.radio.data_rate_mbps * 1e6 * SEIZURE_DEADLINE_MS / 1_000.0 / 8.0;
     let fixed_traffic = GUARD_BYTES * k as f64
         + Pattern::AllToAll.transfers(k) * PACKET_OVERHEAD_BYTES
         + PACKET_OVERHEAD_BYTES;
@@ -133,8 +148,8 @@ pub fn solve(scenario: &Scenario, priorities: Priorities) -> Result<SeizureSched
         // gets the other half.
         (fixed_traffic, 2.0 * fixed_traffic / raw_budget)
     };
-    let hash_traffic = Pattern::AllToAll.transfers(k)
-        * TaskKind::HashAllAll.wire_bytes_per_electrode();
+    let hash_traffic =
+        Pattern::AllToAll.transfers(k) * TaskKind::HashAllAll.wire_bytes_per_electrode();
     let dtw_traffic = SIGNAL_WINDOW_BYTES as f64; // one-to-all broadcast
     m.add_constraint(
         m.expr(&[(nh, hash_traffic.max(0.0)), (ns, dtw_traffic)]),
@@ -153,8 +168,8 @@ pub fn solve(scenario: &Scenario, priorities: Priorities) -> Result<SeizureSched
     // Distributed flows run at the stretched cadence; local detection is
     // unaffected ("local per-node seizure detection continues unabated
     // during this correlation step", §3.1).
-    let weighted_per_node = wd * sol.value(nd)
-        + (wh * sol.value(nh) + ws * sol.value(ns)) / cadence_stretch;
+    let weighted_per_node =
+        wd * sol.value(nd) + (wh * sol.value(nh) + ws * sol.value(ns)) / cadence_stretch;
     Ok(SeizureSchedule {
         detection_electrodes: sol.value(nd),
         hash_electrodes: sol.value(nh) / cadence_stretch,
@@ -178,10 +193,7 @@ pub fn optimal_node_count(priorities: Priorities, power_mw: f64) -> usize {
             (k, thr)
         })
         .collect();
-    let best = per_node
-        .iter()
-        .map(|&(_, t)| t)
-        .fold(0.0f64, f64::max);
+    let best = per_node.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
     per_node
         .iter()
         .rev()
@@ -203,7 +215,10 @@ mod tests {
         let at_opt = solve(&Scenario::new(k, 15.0), Priorities::equal())
             .unwrap()
             .weighted_mbps;
-        assert!(at_opt > 200.0 && at_opt < 1_500.0, "{at_opt} Mbps at {k} nodes");
+        assert!(
+            at_opt > 200.0 && at_opt < 1_500.0,
+            "{at_opt} Mbps at {k} nodes"
+        );
     }
 
     #[test]
@@ -220,8 +235,24 @@ mod tests {
     #[test]
     fn detection_heavy_weights_shift_allocation() {
         let s = Scenario::new(8, 15.0);
-        let det_heavy = solve(&s, Priorities { detection: 11.0, hash: 1.0, dtw: 1.0 }).unwrap();
-        let hash_heavy = solve(&s, Priorities { detection: 1.0, hash: 3.0, dtw: 1.0 }).unwrap();
+        let det_heavy = solve(
+            &s,
+            Priorities {
+                detection: 11.0,
+                hash: 1.0,
+                dtw: 1.0,
+            },
+        )
+        .unwrap();
+        let hash_heavy = solve(
+            &s,
+            Priorities {
+                detection: 1.0,
+                hash: 3.0,
+                dtw: 1.0,
+            },
+        )
+        .unwrap();
         assert!(
             det_heavy.detection_electrodes > hash_heavy.detection_electrodes,
             "{det_heavy:?} vs {hash_heavy:?}"
@@ -233,7 +264,15 @@ mod tests {
     fn dtw_never_exceeds_hash_candidates() {
         for k in [2usize, 8, 32] {
             let s = Scenario::new(k, 15.0);
-            let sched = solve(&s, Priorities { detection: 1.0, hash: 1.0, dtw: 5.0 }).unwrap();
+            let sched = solve(
+                &s,
+                Priorities {
+                    detection: 1.0,
+                    hash: 1.0,
+                    dtw: 5.0,
+                },
+            )
+            .unwrap();
             assert!(sched.dtw_signals <= sched.hash_electrodes + 1e-6);
         }
     }

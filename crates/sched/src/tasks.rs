@@ -59,9 +59,7 @@ impl TaskKind {
     /// PEs on the task's per-electrode processing path (Figures 5–7).
     pub fn pipeline_pes(self) -> &'static [PeKind] {
         match self {
-            TaskKind::SeizureDetection => {
-                &[PeKind::Bbf, PeKind::Fft, PeKind::Xcor, PeKind::Svm]
-            }
+            TaskKind::SeizureDetection => &[PeKind::Bbf, PeKind::Fft, PeKind::Xcor, PeKind::Svm],
             TaskKind::HashAllAll | TaskKind::HashOneAll => &[
                 PeKind::Hconv,
                 PeKind::Ngram,
@@ -73,9 +71,13 @@ impl TaskKind {
                 PeKind::Ccheck,
                 PeKind::Sc,
             ],
-            TaskKind::DtwAllAll | TaskKind::DtwOneAll => {
-                &[PeKind::Csel, PeKind::Npack, PeKind::Unpack, PeKind::Dtw, PeKind::Sc]
-            }
+            TaskKind::DtwAllAll | TaskKind::DtwOneAll => &[
+                PeKind::Csel,
+                PeKind::Npack,
+                PeKind::Unpack,
+                PeKind::Dtw,
+                PeKind::Sc,
+            ],
             TaskKind::MiSvm => &[PeKind::Bbf, PeKind::Fft, PeKind::Svm, PeKind::Npack],
             TaskKind::MiNn => &[
                 PeKind::Sbp,
@@ -142,8 +144,8 @@ impl TaskKind {
     /// classifier outputs).
     pub fn wire_bytes_per_node(self) -> f64 {
         match self {
-            TaskKind::MiSvm => 4.0,    // one partial decision (§6.2)
-            TaskKind::MiNn => 1024.0,  // one partial hidden vector (§6.2)
+            TaskKind::MiSvm => 4.0,   // one partial decision (§6.2)
+            TaskKind::MiNn => 1024.0, // one partial hidden vector (§6.2)
             _ => 0.0,
         }
     }
@@ -184,10 +186,8 @@ impl TaskKind {
     pub fn senders(self, nodes: usize) -> usize {
         match self {
             TaskKind::HashOneAll | TaskKind::DtwOneAll => 1.min(nodes),
-            TaskKind::MiSvm | TaskKind::MiNn | TaskKind::MiKf => nodes.saturating_sub(1).max(
-                // A single node still "sends" locally: zero remote bytes.
-                usize::from(nodes == 1) * 0,
-            ),
+            // A single node still "sends" locally: zero remote bytes.
+            TaskKind::MiSvm | TaskKind::MiNn | TaskKind::MiKf => nodes.saturating_sub(1),
             _ => nodes,
         }
     }

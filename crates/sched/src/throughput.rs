@@ -110,9 +110,7 @@ mod tests {
         // decline as the all-to-all exchange saturates the TDMA rounds.
         let sweep: Vec<f64> = [1usize, 2, 4, 6, 8, 16, 32, 64]
             .iter()
-            .map(|&k| {
-                max_aggregate_throughput_mbps(TaskKind::HashAllAll, &Scenario::new(k, 15.0))
-            })
+            .map(|&k| max_aggregate_throughput_mbps(TaskKind::HashAllAll, &Scenario::new(k, 15.0)))
             .collect();
         let peak_idx = sweep
             .iter()
@@ -120,7 +118,10 @@ mod tests {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
-        assert!(peak_idx >= 2 && peak_idx <= 5, "peak at index {peak_idx}: {sweep:?}");
+        assert!(
+            peak_idx >= 2 && peak_idx <= 5,
+            "peak at index {peak_idx}: {sweep:?}"
+        );
         assert!(sweep[7] < sweep[peak_idx] * 0.8, "declines after peak");
         // Peak magnitude in the paper's band (547 Mbps reported).
         assert!(
@@ -133,13 +134,13 @@ mod tests {
     #[test]
     fn hash_one_all_scales_linearly_and_beats_all_all() {
         let t8 = max_aggregate_throughput_mbps(TaskKind::HashOneAll, &Scenario::new(8, 15.0));
-        let t16 =
-            max_aggregate_throughput_mbps(TaskKind::HashOneAll, &Scenario::new(16, 15.0));
-        assert!((t16 / t8 - 2.0).abs() < 0.05, "linear scaling: {t8} → {t16}");
-        let one16 =
-            max_aggregate_throughput_mbps(TaskKind::HashOneAll, &Scenario::new(16, 15.0));
-        let all16 =
-            max_aggregate_throughput_mbps(TaskKind::HashAllAll, &Scenario::new(16, 15.0));
+        let t16 = max_aggregate_throughput_mbps(TaskKind::HashOneAll, &Scenario::new(16, 15.0));
+        assert!(
+            (t16 / t8 - 2.0).abs() < 0.05,
+            "linear scaling: {t8} → {t16}"
+        );
+        let one16 = max_aggregate_throughput_mbps(TaskKind::HashOneAll, &Scenario::new(16, 15.0));
+        let all16 = max_aggregate_throughput_mbps(TaskKind::HashAllAll, &Scenario::new(16, 15.0));
         assert!(
             one16 > 2.0 * all16,
             "one-all beats all-all once the pairwise exchange binds: {one16} vs {all16}"

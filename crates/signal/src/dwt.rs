@@ -14,7 +14,7 @@ const SQRT2_INV: f64 = std::f64::consts::FRAC_1_SQRT_2;
 /// Panics if the input length is odd or zero.
 pub fn haar_level(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
     assert!(
-        !x.is_empty() && x.len() % 2 == 0,
+        !x.is_empty() && x.len().is_multiple_of(2),
         "Haar level needs a non-empty even-length input, got {}",
         x.len()
     );
@@ -52,7 +52,7 @@ pub fn haar_level_inverse(approx: &[f64], detail: &[f64]) -> Vec<f64> {
 pub fn haar_decompose(x: &[f64], levels: usize) -> Vec<f64> {
     assert!(levels >= 1, "need at least one level");
     assert!(
-        x.len() % (1 << levels) == 0 && !x.is_empty(),
+        x.len().is_multiple_of(1 << levels) && !x.is_empty(),
         "length {} not divisible by 2^{levels}",
         x.len()
     );

@@ -39,7 +39,11 @@ impl Biquad {
     ///
     /// Panics unless `0 < fc < fs / 2`.
     pub fn lowpass(fc: f64, q: f64, fs: f64) -> Self {
-        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff {fc} out of (0, {})", fs / 2.0);
+        assert!(
+            fc > 0.0 && fc < fs / 2.0,
+            "cutoff {fc} out of (0, {})",
+            fs / 2.0
+        );
         let w0 = 2.0 * std::f64::consts::PI * fc / fs;
         let alpha = w0.sin() / (2.0 * q);
         let cosw = w0.cos();
@@ -59,7 +63,11 @@ impl Biquad {
     ///
     /// Panics unless `0 < fc < fs / 2`.
     pub fn highpass(fc: f64, q: f64, fs: f64) -> Self {
-        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff {fc} out of (0, {})", fs / 2.0);
+        assert!(
+            fc > 0.0 && fc < fs / 2.0,
+            "cutoff {fc} out of (0, {})",
+            fs / 2.0
+        );
         let w0 = 2.0 * std::f64::consts::PI * fc / fs;
         let alpha = w0.sin() / (2.0 * q);
         let cosw = w0.cos();

@@ -47,7 +47,10 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if either signal is empty.
 pub fn max_lagged_pearson(a: &[f64], b: &[f64], max_lag: usize) -> (isize, f64) {
-    assert!(!a.is_empty() && !b.is_empty(), "correlation of empty signals");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "correlation of empty signals"
+    );
     let mut best = (0isize, f64::NEG_INFINITY);
     for lag in -(max_lag as isize)..=(max_lag as isize) {
         let (xa, xb) = if lag >= 0 {

@@ -156,7 +156,9 @@ mod tests {
     #[test]
     fn chunked_layout_charges_write_amplification() {
         let mut a = controller(Layout::Interleaved);
-        let mut b = controller(Layout::Chunked { chunk_bytes: PAGE_BYTES });
+        let mut b = controller(Layout::Chunked {
+            chunk_bytes: PAGE_BYTES,
+        });
         a.write(&vec![0u8; PAGE_BYTES]);
         b.write(&vec![0u8; PAGE_BYTES]);
         assert!((a.write_time_ms() - 0.35).abs() < 1e-9);

@@ -47,11 +47,7 @@ impl Default for StreamGeometry {
 
 /// Pages touched when reading `window_samples` consecutive samples of
 /// *one* electrode under `layout`.
-pub fn pages_for_window_read(
-    layout: Layout,
-    geom: StreamGeometry,
-    window_samples: usize,
-) -> usize {
+pub fn pages_for_window_read(layout: Layout, geom: StreamGeometry, window_samples: usize) -> usize {
     let window_bytes = window_samples * geom.sample_bytes;
     match layout {
         Layout::Interleaved => {
@@ -92,9 +88,7 @@ pub const CHUNKED_WRITE_AMPLIFICATION: f64 = 5.0;
 pub fn page_write_ms(layout: Layout, params: &NvmParams) -> f64 {
     match layout {
         Layout::Interleaved => params.program_us / 1_000.0,
-        Layout::Chunked { .. } => {
-            CHUNKED_WRITE_AMPLIFICATION * params.program_us / 1_000.0
-        }
+        Layout::Chunked { .. } => CHUNKED_WRITE_AMPLIFICATION * params.program_us / 1_000.0,
     }
 }
 
@@ -128,7 +122,9 @@ pub struct LayoutTrade {
 /// (96 electrodes, 16-bit samples, 120-sample windows).
 pub fn paper_trade(params: &NvmParams) -> LayoutTrade {
     let geom = StreamGeometry::default();
-    let chunked = Layout::Chunked { chunk_bytes: PAGE_BYTES };
+    let chunked = Layout::Chunked {
+        chunk_bytes: PAGE_BYTES,
+    };
     let inter = Layout::Interleaved;
     let w = 120;
     let chunked_write_ms = page_write_ms(chunked, params);
@@ -151,7 +147,9 @@ mod tests {
     fn chunked_window_read_is_one_page() {
         let geom = StreamGeometry::default();
         let pages = pages_for_window_read(
-            Layout::Chunked { chunk_bytes: PAGE_BYTES },
+            Layout::Chunked {
+                chunk_bytes: PAGE_BYTES,
+            },
             geom,
             120,
         );
@@ -180,7 +178,14 @@ mod tests {
     fn read_latency_scales_with_pages() {
         let geom = StreamGeometry::default();
         let p = NvmParams::default();
-        let fast = window_read_ms(Layout::Chunked { chunk_bytes: PAGE_BYTES }, geom, 120, &p);
+        let fast = window_read_ms(
+            Layout::Chunked {
+                chunk_bytes: PAGE_BYTES,
+            },
+            geom,
+            120,
+            &p,
+        );
         let slow = window_read_ms(Layout::Interleaved, geom, 120, &p);
         assert!(slow > 5.0 * fast);
     }

@@ -45,6 +45,8 @@ pub struct Record {
 pub struct Partition {
     kind: PartitionKind,
     capacity_bytes: usize,
+    /// Bytes lost to failed NVM blocks (never written again).
+    failed_bytes: usize,
     used_bytes: usize,
     records: std::collections::VecDeque<Record>,
 }
@@ -60,6 +62,7 @@ impl Partition {
         Self {
             kind,
             capacity_bytes,
+            failed_bytes: 0,
             used_bytes: 0,
             records: std::collections::VecDeque::new(),
         }
@@ -70,9 +73,19 @@ impl Partition {
         self.kind
     }
 
-    /// Configured capacity in bytes.
+    /// Configured capacity in bytes (failed blocks included).
     pub fn capacity_bytes(&self) -> usize {
         self.capacity_bytes
+    }
+
+    /// Bytes lost to failed NVM blocks.
+    pub fn failed_bytes(&self) -> usize {
+        self.failed_bytes
+    }
+
+    /// Writable capacity: configured bytes minus failed blocks.
+    pub fn effective_capacity_bytes(&self) -> usize {
+        self.capacity_bytes - self.failed_bytes
     }
 
     /// Bytes of payload currently stored.
@@ -98,18 +111,53 @@ impl Partition {
     /// Panics if a single record exceeds the whole partition.
     pub fn append(&mut self, record: Record) -> usize {
         assert!(
-            record.data.len() <= self.capacity_bytes,
+            record.data.len() <= self.effective_capacity_bytes(),
             "record larger than partition"
         );
+        let evicted = self.evict_to_fit(self.effective_capacity_bytes() - record.data.len());
+        self.used_bytes += record.data.len();
+        self.records.push_back(record);
+        evicted
+    }
+
+    /// Evicts oldest records until at most `limit` bytes are used.
+    fn evict_to_fit(&mut self, limit: usize) -> usize {
         let mut evicted = 0;
-        while self.used_bytes + record.data.len() > self.capacity_bytes {
+        while self.used_bytes > limit {
             let old = self.records.pop_front().expect("used > 0 implies records");
             self.used_bytes -= old.data.len();
             evicted += 1;
         }
-        self.used_bytes += record.data.len();
-        self.records.push_back(record);
         evicted
+    }
+
+    /// Marks up to `bytes` of this partition's NVM as failed, evicting
+    /// whatever no longer fits. At least one writable byte is always
+    /// kept (a fully dead partition would make `append` meaningless).
+    /// Returns `(bytes actually failed, records evicted)`.
+    pub fn mark_failed(&mut self, bytes: usize) -> (usize, usize) {
+        let failable = self.effective_capacity_bytes().saturating_sub(1);
+        let newly = bytes.min(failable);
+        self.failed_bytes += newly;
+        let evicted = self.evict_to_fit(self.effective_capacity_bytes());
+        (newly, evicted)
+    }
+
+    /// Donates up to `want` bytes of capacity to another partition,
+    /// keeping at least half of its own writable space. Returns
+    /// `(bytes donated, records evicted)`.
+    fn donate(&mut self, want: usize) -> (usize, usize) {
+        let spare = self.effective_capacity_bytes() / 2;
+        let given = want.min(spare);
+        self.capacity_bytes -= given;
+        let evicted = self.evict_to_fit(self.effective_capacity_bytes());
+        (given, evicted)
+    }
+
+    /// Grows the configured capacity by `bytes` (failover remapping
+    /// spare blocks into this partition).
+    fn grow(&mut self, bytes: usize) {
+        self.capacity_bytes += bytes;
     }
 
     /// Records with `timestamp_us` in `[from_us, to_us]`, oldest first.
@@ -131,6 +179,26 @@ impl Partition {
     /// The most recent record, if any.
     pub fn latest(&self) -> Option<&Record> {
         self.records.back()
+    }
+}
+
+/// What a block failure did to the partition set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailoverReport {
+    /// The partition that lost blocks.
+    pub kind: PartitionKind,
+    /// Bytes actually marked failed (clamped to the writable space).
+    pub failed_bytes: usize,
+    /// Capacity borrowed from donors, per donor.
+    pub donated: Vec<(PartitionKind, usize)>,
+    /// Records evicted across the whole set during remapping.
+    pub evicted_records: usize,
+}
+
+impl FailoverReport {
+    /// Total capacity recovered from donors.
+    pub fn recovered_bytes(&self) -> usize {
+        self.donated.iter().map(|&(_, b)| b).sum()
     }
 }
 
@@ -178,6 +246,51 @@ impl PartitionSet {
             .iter_mut()
             .find(|p| p.kind() == kind)
             .expect("all kinds present")
+    }
+
+    /// Handles the failure of `bytes` of NVM under partition `kind`:
+    /// the partition's logical window remaps its appends around the
+    /// dead blocks, and lost capacity is replaced by borrowing spare
+    /// blocks from the other partitions in priority order (application
+    /// data first, raw signals last — signals are re-recorded
+    /// continuously, models are not). Donors never give up more than
+    /// half of their own writable space.
+    pub fn fail_block(&mut self, kind: PartitionKind, bytes: usize) -> FailoverReport {
+        let (failed, mut evicted) = self.get_mut(kind).mark_failed(bytes);
+        let mut deficit = failed;
+        let mut donated = Vec::new();
+        const DONOR_ORDER: [PartitionKind; 4] = [
+            PartitionKind::AppData,
+            PartitionKind::Mc,
+            PartitionKind::Hashes,
+            PartitionKind::Signals,
+        ];
+        for donor in DONOR_ORDER {
+            if donor == kind || deficit == 0 {
+                continue;
+            }
+            let (given, ev) = self.get_mut(donor).donate(deficit);
+            evicted += ev;
+            if given > 0 {
+                self.get_mut(kind).grow(given);
+                donated.push((donor, given));
+                deficit -= given;
+            }
+        }
+        FailoverReport {
+            kind,
+            failed_bytes: failed,
+            donated,
+            evicted_records: evicted,
+        }
+    }
+
+    /// Writable capacity summed over all partitions.
+    pub fn total_effective_bytes(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(Partition::effective_capacity_bytes)
+            .sum()
     }
 }
 
@@ -236,5 +349,90 @@ mod tests {
     fn oversized_record_panics() {
         let mut p = Partition::new(PartitionKind::Mc, 8);
         p.append(rec(1, 0, 9));
+    }
+
+    #[test]
+    fn failed_blocks_shrink_writable_space_and_evict() {
+        let mut p = Partition::new(PartitionKind::Signals, 100);
+        for t in 0..10 {
+            p.append(rec(t, 0, 10));
+        }
+        let (failed, evicted) = p.mark_failed(35);
+        assert_eq!(failed, 35);
+        assert_eq!(p.effective_capacity_bytes(), 65);
+        assert_eq!(evicted, 4, "40 bytes of oldest records evicted");
+        assert_eq!(p.used_bytes(), 60);
+        // Appends keep working within the shrunken window.
+        assert_eq!(p.append(rec(100, 0, 5)), 0);
+        assert_eq!(p.used_bytes(), 65);
+    }
+
+    #[test]
+    fn mark_failed_keeps_one_writable_byte() {
+        let mut p = Partition::new(PartitionKind::Hashes, 50);
+        let (failed, _) = p.mark_failed(1_000);
+        assert_eq!(failed, 49);
+        assert_eq!(p.effective_capacity_bytes(), 1);
+        let (failed, _) = p.mark_failed(10);
+        assert_eq!(failed, 0, "nothing left to fail");
+    }
+
+    #[test]
+    fn failover_borrows_capacity_from_donors() {
+        let mut s = PartitionSet::new(1_000, 400, 600, 200);
+        let before = s.total_effective_bytes();
+        let report = s.fail_block(PartitionKind::Signals, 500);
+        assert_eq!(report.failed_bytes, 500);
+        // AppData can spare 300, Mc 100, Hashes covers the last 100.
+        assert_eq!(
+            report.donated,
+            vec![
+                (PartitionKind::AppData, 300),
+                (PartitionKind::Mc, 100),
+                (PartitionKind::Hashes, 100),
+            ]
+        );
+        assert_eq!(report.recovered_bytes(), 500);
+        // The victim's writable window is fully restored...
+        assert_eq!(
+            s.get(PartitionKind::Signals).effective_capacity_bytes(),
+            1_000
+        );
+        // ...and the set as a whole lost exactly the failed bytes.
+        assert_eq!(s.total_effective_bytes(), before - 500);
+    }
+
+    #[test]
+    fn failover_appends_remap_around_failed_blocks() {
+        let mut s = PartitionSet::new(100, 100, 100, 100);
+        for t in 0..10 {
+            s.get_mut(PartitionKind::Signals).append(rec(t, 0, 10));
+        }
+        let report = s.fail_block(PartitionKind::Signals, 60);
+        assert_eq!(report.failed_bytes, 60);
+        assert_eq!(report.recovered_bytes(), 60);
+        // The partition still accepts a full-window ring of appends.
+        for t in 10..30 {
+            s.get_mut(PartitionKind::Signals).append(rec(t, 0, 10));
+        }
+        let p = s.get(PartitionKind::Signals);
+        assert_eq!(p.used_bytes(), p.effective_capacity_bytes());
+        assert_eq!(p.latest().unwrap().timestamp_us, 29);
+    }
+
+    #[test]
+    fn donors_keep_half_their_space() {
+        let mut s = PartitionSet::new(1_000, 10, 10, 10);
+        // A catastrophic failure bigger than all spare capacity.
+        let report = s.fail_block(PartitionKind::Signals, 999);
+        assert_eq!(report.failed_bytes, 999);
+        assert!(report.recovered_bytes() < 999, "donors are bounded");
+        for kind in [
+            PartitionKind::Hashes,
+            PartitionKind::AppData,
+            PartitionKind::Mc,
+        ] {
+            assert!(s.get(kind).effective_capacity_bytes() >= 5, "{kind:?}");
+        }
     }
 }

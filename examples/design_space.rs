@@ -12,7 +12,10 @@ use scalo::sched::{max_aggregate_throughput_mbps, Scenario, TaskKind};
 fn main() {
     // 1. Radio trade-offs at a communication-bound deployment.
     println!("Radios at 16 nodes / 15 mW (Figure 13's sweep):");
-    println!("{:>14} {:>7} {:>14} {:>14}", "radio", "mW", "Hash All-All", "DTW One-All");
+    println!(
+        "{:>14} {:>7} {:>14} {:>14}",
+        "radio", "mW", "Hash All-All", "DTW One-All"
+    );
     for radio in &TABLE3 {
         let s = Scenario::new(16, 15.0).with_radio(*radio);
         println!(
@@ -33,7 +36,10 @@ fn main() {
 
     // 3. Placement: spacing vs capacity vs thermal coupling.
     println!("\nImplant placement on the 86 mm hemisphere:");
-    println!("{:>12} {:>10} {:>16} {:>16}", "spacing mm", "max nodes", "coupling @60", "derated mW");
+    println!(
+        "{:>12} {:>10} {:>16} {:>16}",
+        "spacing mm", "max nodes", "coupling @60", "derated mW"
+    );
     for spacing in [10.0, 15.0, 20.0, 30.0] {
         println!(
             "{spacing:>12} {:>10} {:>15.3}% {:>16.2}",

@@ -20,8 +20,13 @@ fn main() {
     let app = runtime
         .deploy(source, &Scenario::new(4, 15.0), 300.0, 0.0)
         .expect("query compiles and schedules");
-    println!("Compiled Listing 2 → {} operators, scheduled {} electrodes at {:.2} mW, latency {:.2} ms",
-        app.dag.operators.len(), app.schedule.electrodes, app.schedule.power_mw, app.schedule.latency_ms);
+    println!(
+        "Compiled Listing 2 → {} operators, scheduled {} electrodes at {:.2} mW, latency {:.2} ms",
+        app.dag.operators.len(),
+        app.schedule.electrodes,
+        app.schedule.power_mw,
+        app.schedule.latency_ms
+    );
 
     // 2. Load a small system with quiet and ictal windows.
     let mut sys = Scalo::new(ScaloConfig::default().with_nodes(4).with_electrodes(4));
@@ -35,8 +40,9 @@ fn main() {
         for node in 0..4 {
             for e in 0..4 {
                 let amp = if (10..18).contains(&t) { 2.0 } else { 0.05 };
-                let w: Vec<f64> =
-                    (0..120).map(|i| amp * (i as f64 * 0.2 + e as f64).sin()).collect();
+                let w: Vec<f64> = (0..120)
+                    .map(|i| amp * (i as f64 * 0.2 + e as f64).sin())
+                    .collect();
                 sys.node_mut(node).ingest_window(e, t * 4_000, &w);
             }
         }
@@ -46,7 +52,10 @@ fn main() {
     let q1 = q1_seizure_signals(&sys, 0, 100_000);
     println!(
         "\nQ1 (seizure windows):   {:>4} matches, {:>7} B, {:>6.2} QPS, {:>5.2} mW",
-        q1.matches.len(), q1.bytes, q1.cost.qps, q1.cost.power_mw
+        q1.matches.len(),
+        q1.bytes,
+        q1.cost.qps,
+        q1.cost.power_mw
     );
 
     let template: Vec<f64> = (0..120).map(|i| 2.0 * (i as f64 * 0.2).sin()).collect();
@@ -57,13 +66,19 @@ fn main() {
     let q2 = q2_template_match(&sys, &template_hash, 0, 100_000);
     println!(
         "Q2 (template by hash):  {:>4} matches, {:>7} B, {:>6.2} QPS, {:>5.2} mW",
-        q2.matches.len(), q2.bytes, q2.cost.qps, q2.cost.power_mw
+        q2.matches.len(),
+        q2.bytes,
+        q2.cost.qps,
+        q2.cost.power_mw
     );
 
     let q3 = q3_all_data(&sys, 0, 100_000);
     println!(
         "Q3 (everything):        {:>4} matches, {:>7} B, {:>6.2} QPS, {:>5.2} mW",
-        q3.matches.len(), q3.bytes, q3.cost.qps, q3.cost.power_mw
+        q3.matches.len(),
+        q3.bytes,
+        q3.cost.qps,
+        q3.cost.power_mw
     );
 
     println!("\n(§6.4: 9 QPS over 7 MB at 5% match; Q3 is external-radio-bound at ~0.8 QPS.)");

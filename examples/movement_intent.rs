@@ -21,7 +21,10 @@ fn main() {
 
     // Pipeline A: hierarchically decomposed one-vs-rest SVMs.
     let acc = svm_accuracy(&session, nodes);
-    println!("Pipeline A (decomposed SVM): direction accuracy {:.1}% (chance 25%)", acc * 100.0);
+    println!(
+        "Pipeline A (decomposed SVM): direction accuracy {:.1}% (chance 25%)",
+        acc * 100.0
+    );
 
     // Pipeline B: the centralised Kalman filter.
     let err = kalman_velocity_error(&session);

@@ -37,7 +37,10 @@ fn main() {
     let run = app.run(&recording(2));
 
     match run.origin_detect_window {
-        Some(w) => println!("Origin detected the seizure at window {w} (t = {} ms)", w * 4),
+        Some(w) => println!(
+            "Origin detected the seizure at window {w} (t = {} ms)",
+            w * 4
+        ),
         None => {
             println!("No seizure detected — nothing to propagate.");
             return;

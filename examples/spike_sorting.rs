@@ -8,8 +8,10 @@ use scalo::core::apps::spike_sort::{modeled_sort_rate_per_node, sort_dataset};
 use scalo::data::spikes::{generate, SpikeConfig};
 
 fn main() {
-    println!("{:<18} {:>7} {:>9} {:>12} {:>12} {:>10}",
-        "dataset", "neurons", "spikes", "hash acc", "exact acc", "cmp ↓");
+    println!(
+        "{:<18} {:>7} {:>9} {:>12} {:>12} {:>10}",
+        "dataset", "neurons", "spikes", "hash acc", "exact acc", "cmp ↓"
+    );
     for (name, cfg) in [
         ("SpikeForest-like", SpikeConfig::spikeforest_like()),
         ("MEArec-like", SpikeConfig::mearec_like()),

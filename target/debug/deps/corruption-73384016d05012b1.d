@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corruption-73384016d05012b1.d: crates/net/tests/corruption.rs
+
+/root/repo/target/debug/deps/corruption-73384016d05012b1: crates/net/tests/corruption.rs
+
+crates/net/tests/corruption.rs:

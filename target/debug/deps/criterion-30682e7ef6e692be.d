@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-30682e7ef6e692be.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-30682e7ef6e692be.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-30682e7ef6e692be.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

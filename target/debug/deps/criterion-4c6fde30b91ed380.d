@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-4c6fde30b91ed380.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-4c6fde30b91ed380: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

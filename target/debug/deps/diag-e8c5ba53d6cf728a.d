@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-e8c5ba53d6cf728a.d: crates/lsh/tests/diag.rs
+
+/root/repo/target/debug/deps/diag-e8c5ba53d6cf728a: crates/lsh/tests/diag.rs
+
+crates/lsh/tests/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag_seizure-d5d117d44dd21d46.d: crates/core/tests/diag_seizure.rs
+
+/root/repo/target/debug/deps/diag_seizure-d5d117d44dd21d46: crates/core/tests/diag_seizure.rs
+
+crates/core/tests/diag_seizure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag_spikes-0ed367ff6b2e5838.d: crates/core/tests/diag_spikes.rs
+
+/root/repo/target/debug/deps/diag_spikes-0ed367ff6b2e5838: crates/core/tests/diag_spikes.rs
+
+crates/core/tests/diag_spikes.rs:

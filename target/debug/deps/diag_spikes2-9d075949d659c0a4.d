@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag_spikes2-9d075949d659c0a4.d: crates/core/tests/diag_spikes2.rs
+
+/root/repo/target/debug/deps/diag_spikes2-9d075949d659c0a4: crates/core/tests/diag_spikes2.rs
+
+crates/core/tests/diag_spikes2.rs:

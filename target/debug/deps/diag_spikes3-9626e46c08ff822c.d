@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag_spikes3-9626e46c08ff822c.d: crates/core/tests/diag_spikes3.rs
+
+/root/repo/target/debug/deps/diag_spikes3-9626e46c08ff822c: crates/core/tests/diag_spikes3.rs
+
+crates/core/tests/diag_spikes3.rs:

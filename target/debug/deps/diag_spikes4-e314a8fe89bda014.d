@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag_spikes4-e314a8fe89bda014.d: crates/core/tests/diag_spikes4.rs
+
+/root/repo/target/debug/deps/diag_spikes4-e314a8fe89bda014: crates/core/tests/diag_spikes4.rs
+
+crates/core/tests/diag_spikes4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag_spikes5-b9645de82ed96e7e.d: crates/core/tests/diag_spikes5.rs
+
+/root/repo/target/debug/deps/diag_spikes5-b9645de82ed96e7e: crates/core/tests/diag_spikes5.rs
+
+crates/core/tests/diag_spikes5.rs:

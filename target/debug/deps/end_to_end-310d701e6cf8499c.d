@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-310d701e6cf8499c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-310d701e6cf8499c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

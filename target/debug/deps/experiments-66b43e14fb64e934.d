@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-66b43e14fb64e934.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-66b43e14fb64e934: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-24053b7a74cbebe6.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-24053b7a74cbebe6: tests/properties.rs
+
+tests/properties.rs:

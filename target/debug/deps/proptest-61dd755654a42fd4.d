@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-61dd755654a42fd4.d: compat/proptest/src/lib.rs compat/proptest/src/arbitrary.rs compat/proptest/src/collection.rs compat/proptest/src/strategy.rs compat/proptest/src/string.rs compat/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-61dd755654a42fd4: compat/proptest/src/lib.rs compat/proptest/src/arbitrary.rs compat/proptest/src/collection.rs compat/proptest/src/strategy.rs compat/proptest/src/string.rs compat/proptest/src/test_runner.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/arbitrary.rs:
+compat/proptest/src/collection.rs:
+compat/proptest/src/strategy.rs:
+compat/proptest/src/string.rs:
+compat/proptest/src/test_runner.rs:

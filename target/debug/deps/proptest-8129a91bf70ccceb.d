@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/proptest-8129a91bf70ccceb.d: compat/proptest/src/lib.rs compat/proptest/src/arbitrary.rs compat/proptest/src/collection.rs compat/proptest/src/strategy.rs compat/proptest/src/string.rs compat/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-8129a91bf70ccceb.rlib: compat/proptest/src/lib.rs compat/proptest/src/arbitrary.rs compat/proptest/src/collection.rs compat/proptest/src/strategy.rs compat/proptest/src/string.rs compat/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-8129a91bf70ccceb.rmeta: compat/proptest/src/lib.rs compat/proptest/src/arbitrary.rs compat/proptest/src/collection.rs compat/proptest/src/strategy.rs compat/proptest/src/string.rs compat/proptest/src/test_runner.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/arbitrary.rs:
+compat/proptest/src/collection.rs:
+compat/proptest/src/strategy.rs:
+compat/proptest/src/string.rs:
+compat/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0ae51336f3278d9d.d: crates/lsh/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0ae51336f3278d9d: crates/lsh/tests/proptests.rs
+
+crates/lsh/tests/proptests.rs:

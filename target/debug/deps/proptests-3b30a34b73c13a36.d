@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3b30a34b73c13a36.d: crates/storage/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3b30a34b73c13a36: crates/storage/tests/proptests.rs
+
+crates/storage/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ae7df2d7befac16f.d: crates/ml/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ae7df2d7befac16f: crates/ml/tests/proptests.rs
+
+crates/ml/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b9468c6ae15fa1bc.d: crates/sched/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b9468c6ae15fa1bc: crates/sched/tests/proptests.rs
+
+crates/sched/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d1d3415dbd8e4214.d: crates/signal/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d1d3415dbd8e4214: crates/signal/tests/proptests.rs
+
+crates/signal/tests/proptests.rs:

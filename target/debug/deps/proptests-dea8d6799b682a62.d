@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-dea8d6799b682a62.d: crates/ilp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-dea8d6799b682a62: crates/ilp/tests/proptests.rs
+
+crates/ilp/tests/proptests.rs:

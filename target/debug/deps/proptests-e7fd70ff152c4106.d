@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e7fd70ff152c4106.d: crates/query/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e7fd70ff152c4106: crates/query/tests/proptests.rs
+
+crates/query/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f9433544fc17e330.d: crates/net/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f9433544fc17e330: crates/net/tests/proptests.rs
+
+crates/net/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-203e5b2bbe3d1976.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-203e5b2bbe3d1976.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-203e5b2bbe3d1976.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

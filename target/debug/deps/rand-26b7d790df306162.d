@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-26b7d790df306162.d: compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-26b7d790df306162.rmeta: compat/rand/src/lib.rs Cargo.toml
+
+compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-453bd64bbcd45dcf.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-453bd64bbcd45dcf: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

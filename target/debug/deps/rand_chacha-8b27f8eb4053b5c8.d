@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-8b27f8eb4053b5c8.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-8b27f8eb4053b5c8.rlib: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-8b27f8eb4053b5c8.rmeta: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

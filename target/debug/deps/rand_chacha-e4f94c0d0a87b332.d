@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-e4f94c0d0a87b332.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-e4f94c0d0a87b332: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalo-2101fa1ffd3019f5.d: src/lib.rs
+
+/root/repo/target/debug/deps/scalo-2101fa1ffd3019f5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scalo-7e3aedb829e07900.d: src/lib.rs
+
+/root/repo/target/debug/deps/libscalo-7e3aedb829e07900.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libscalo-7e3aedb829e07900.rmeta: src/lib.rs
+
+src/lib.rs:

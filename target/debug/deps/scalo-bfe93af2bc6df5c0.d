@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalo-bfe93af2bc6df5c0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo-bfe93af2bc6df5c0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scalo_bench-01a6217d9495c736.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/debug/deps/scalo_bench-01a6217d9495c736: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:

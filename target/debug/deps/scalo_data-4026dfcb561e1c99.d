@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/scalo_data-4026dfcb561e1c99.d: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+/root/repo/target/debug/deps/libscalo_data-4026dfcb561e1c99.rlib: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+/root/repo/target/debug/deps/libscalo_data-4026dfcb561e1c99.rmeta: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+crates/data/src/lib.rs:
+crates/data/src/ieeg.rs:
+crates/data/src/presets.rs:
+crates/data/src/spikes.rs:
+crates/data/src/split.rs:

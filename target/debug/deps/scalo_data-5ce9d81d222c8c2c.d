@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalo_data-5ce9d81d222c8c2c.d: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+/root/repo/target/debug/deps/scalo_data-5ce9d81d222c8c2c: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+crates/data/src/lib.rs:
+crates/data/src/ieeg.rs:
+crates/data/src/presets.rs:
+crates/data/src/spikes.rs:
+crates/data/src/split.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/scalo_hw-d0cb7f598168ab70.d: crates/hw/src/lib.rs crates/hw/src/adc.rs crates/hw/src/budget.rs crates/hw/src/clock.rs crates/hw/src/fabric.rs crates/hw/src/pe.rs crates/hw/src/pipeline.rs crates/hw/src/placement.rs
+
+/root/repo/target/debug/deps/scalo_hw-d0cb7f598168ab70: crates/hw/src/lib.rs crates/hw/src/adc.rs crates/hw/src/budget.rs crates/hw/src/clock.rs crates/hw/src/fabric.rs crates/hw/src/pe.rs crates/hw/src/pipeline.rs crates/hw/src/placement.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/adc.rs:
+crates/hw/src/budget.rs:
+crates/hw/src/clock.rs:
+crates/hw/src/fabric.rs:
+crates/hw/src/pe.rs:
+crates/hw/src/pipeline.rs:
+crates/hw/src/placement.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scalo_ilp-bdab3eb9a87a5f42.d: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libscalo_ilp-bdab3eb9a87a5f42.rlib: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libscalo_ilp-bdab3eb9a87a5f42.rmeta: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/simplex.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/scalo_ilp-e880398f8120a2b9.d: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/scalo_ilp-e880398f8120a2b9: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/simplex.rs:

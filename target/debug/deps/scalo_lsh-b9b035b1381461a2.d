@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/scalo_lsh-b9b035b1381461a2.d: crates/lsh/src/lib.rs crates/lsh/src/ccheck.rs crates/lsh/src/config.rs crates/lsh/src/emd_hash.rs crates/lsh/src/eval.rs crates/lsh/src/minhash.rs crates/lsh/src/ngram.rs crates/lsh/src/sketch.rs crates/lsh/src/ssh.rs crates/lsh/src/tuning.rs
+
+/root/repo/target/debug/deps/scalo_lsh-b9b035b1381461a2: crates/lsh/src/lib.rs crates/lsh/src/ccheck.rs crates/lsh/src/config.rs crates/lsh/src/emd_hash.rs crates/lsh/src/eval.rs crates/lsh/src/minhash.rs crates/lsh/src/ngram.rs crates/lsh/src/sketch.rs crates/lsh/src/ssh.rs crates/lsh/src/tuning.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/ccheck.rs:
+crates/lsh/src/config.rs:
+crates/lsh/src/emd_hash.rs:
+crates/lsh/src/eval.rs:
+crates/lsh/src/minhash.rs:
+crates/lsh/src/ngram.rs:
+crates/lsh/src/sketch.rs:
+crates/lsh/src/ssh.rs:
+crates/lsh/src/tuning.rs:

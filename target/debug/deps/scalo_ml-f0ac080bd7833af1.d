@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scalo_ml-f0ac080bd7833af1.d: crates/ml/src/lib.rs crates/ml/src/kalman.rs crates/ml/src/matrix.rs crates/ml/src/nn.rs crates/ml/src/ops.rs crates/ml/src/svm.rs
+
+/root/repo/target/debug/deps/scalo_ml-f0ac080bd7833af1: crates/ml/src/lib.rs crates/ml/src/kalman.rs crates/ml/src/matrix.rs crates/ml/src/nn.rs crates/ml/src/ops.rs crates/ml/src/svm.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/kalman.rs:
+crates/ml/src/matrix.rs:
+crates/ml/src/nn.rs:
+crates/ml/src/ops.rs:
+crates/ml/src/svm.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/scalo_query-8d215aa00f614220.d: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+/root/repo/target/debug/deps/scalo_query-8d215aa00f614220: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+crates/query/src/lib.rs:
+crates/query/src/dag.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scalo_query-95412aacd7f3907b.d: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+/root/repo/target/debug/deps/libscalo_query-95412aacd7f3907b.rlib: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+/root/repo/target/debug/deps/libscalo_query-95412aacd7f3907b.rmeta: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+crates/query/src/lib.rs:
+crates/query/src/dag.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/scalo_sched-0b485950de89f758.d: crates/sched/src/lib.rs crates/sched/src/ilp_build.rs crates/sched/src/local.rs crates/sched/src/map.rs crates/sched/src/movement.rs crates/sched/src/network.rs crates/sched/src/power.rs crates/sched/src/queries.rs crates/sched/src/scenario.rs crates/sched/src/seizure.rs crates/sched/src/tasks.rs crates/sched/src/throughput.rs
+
+/root/repo/target/debug/deps/scalo_sched-0b485950de89f758: crates/sched/src/lib.rs crates/sched/src/ilp_build.rs crates/sched/src/local.rs crates/sched/src/map.rs crates/sched/src/movement.rs crates/sched/src/network.rs crates/sched/src/power.rs crates/sched/src/queries.rs crates/sched/src/scenario.rs crates/sched/src/seizure.rs crates/sched/src/tasks.rs crates/sched/src/throughput.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/ilp_build.rs:
+crates/sched/src/local.rs:
+crates/sched/src/map.rs:
+crates/sched/src/movement.rs:
+crates/sched/src/network.rs:
+crates/sched/src/power.rs:
+crates/sched/src/queries.rs:
+crates/sched/src/scenario.rs:
+crates/sched/src/seizure.rs:
+crates/sched/src/tasks.rs:
+crates/sched/src/throughput.rs:

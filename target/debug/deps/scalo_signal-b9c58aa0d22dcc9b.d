@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/scalo_signal-b9c58aa0d22dcc9b.d: crates/signal/src/lib.rs crates/signal/src/dtw.rs crates/signal/src/dwt.rs crates/signal/src/emd.rs crates/signal/src/fft.rs crates/signal/src/filter.rs crates/signal/src/resample.rs crates/signal/src/spike.rs crates/signal/src/stats.rs crates/signal/src/window.rs crates/signal/src/xcor.rs
+
+/root/repo/target/debug/deps/scalo_signal-b9c58aa0d22dcc9b: crates/signal/src/lib.rs crates/signal/src/dtw.rs crates/signal/src/dwt.rs crates/signal/src/emd.rs crates/signal/src/fft.rs crates/signal/src/filter.rs crates/signal/src/resample.rs crates/signal/src/spike.rs crates/signal/src/stats.rs crates/signal/src/window.rs crates/signal/src/xcor.rs
+
+crates/signal/src/lib.rs:
+crates/signal/src/dtw.rs:
+crates/signal/src/dwt.rs:
+crates/signal/src/emd.rs:
+crates/signal/src/fft.rs:
+crates/signal/src/filter.rs:
+crates/signal/src/resample.rs:
+crates/signal/src/spike.rs:
+crates/signal/src/stats.rs:
+crates/signal/src/window.rs:
+crates/signal/src/xcor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalo_storage-b50daecaaf3a65fa.d: crates/storage/src/lib.rs crates/storage/src/controller.rs crates/storage/src/layout.rs crates/storage/src/nvm.rs crates/storage/src/partition.rs
+
+/root/repo/target/debug/deps/scalo_storage-b50daecaaf3a65fa: crates/storage/src/lib.rs crates/storage/src/controller.rs crates/storage/src/layout.rs crates/storage/src/nvm.rs crates/storage/src/partition.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/controller.rs:
+crates/storage/src/layout.rs:
+crates/storage/src/nvm.rs:
+crates/storage/src/partition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-5de43ca688d76fcb.d: compat/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-5de43ca688d76fcb.rmeta: compat/serde/src/lib.rs Cargo.toml
+
+compat/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-62718db53d4480dc.d: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-62718db53d4480dc: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-776e4709d11ac1ae.d: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-776e4709d11ac1ae.rlib: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-776e4709d11ac1ae.rmeta: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-72cfcfadec9a7435.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-72cfcfadec9a7435: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

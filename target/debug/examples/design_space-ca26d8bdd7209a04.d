@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-ca26d8bdd7209a04.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-ca26d8bdd7209a04: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interactive_query-b2b7a03e54a796b1.d: examples/interactive_query.rs
+
+/root/repo/target/debug/examples/interactive_query-b2b7a03e54a796b1: examples/interactive_query.rs
+
+examples/interactive_query.rs:

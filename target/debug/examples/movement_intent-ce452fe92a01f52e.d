@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/movement_intent-ce452fe92a01f52e.d: examples/movement_intent.rs
+
+/root/repo/target/debug/examples/movement_intent-ce452fe92a01f52e: examples/movement_intent.rs
+
+examples/movement_intent.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8366a2f33e98d6aa.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8366a2f33e98d6aa: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seizure_propagation-14245df81ffe3081.d: examples/seizure_propagation.rs
+
+/root/repo/target/debug/examples/seizure_propagation-14245df81ffe3081: examples/seizure_propagation.rs
+
+examples/seizure_propagation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/seizure_propagation-d94de4858738cf0a.d: examples/seizure_propagation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libseizure_propagation-d94de4858738cf0a.rmeta: examples/seizure_propagation.rs Cargo.toml
+
+examples/seizure_propagation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

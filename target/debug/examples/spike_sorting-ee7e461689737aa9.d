@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spike_sorting-ee7e461689737aa9.d: examples/spike_sorting.rs
+
+/root/repo/target/debug/examples/spike_sorting-ee7e461689737aa9: examples/spike_sorting.rs
+
+examples/spike_sorting.rs:

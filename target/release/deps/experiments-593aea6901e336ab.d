@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-593aea6901e336ab.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-593aea6901e336ab: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

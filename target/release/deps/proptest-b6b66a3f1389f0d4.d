@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/proptest-b6b66a3f1389f0d4.d: compat/proptest/src/lib.rs compat/proptest/src/arbitrary.rs compat/proptest/src/collection.rs compat/proptest/src/strategy.rs compat/proptest/src/string.rs compat/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-b6b66a3f1389f0d4.rlib: compat/proptest/src/lib.rs compat/proptest/src/arbitrary.rs compat/proptest/src/collection.rs compat/proptest/src/strategy.rs compat/proptest/src/string.rs compat/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-b6b66a3f1389f0d4.rmeta: compat/proptest/src/lib.rs compat/proptest/src/arbitrary.rs compat/proptest/src/collection.rs compat/proptest/src/strategy.rs compat/proptest/src/string.rs compat/proptest/src/test_runner.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/arbitrary.rs:
+compat/proptest/src/collection.rs:
+compat/proptest/src/strategy.rs:
+compat/proptest/src/string.rs:
+compat/proptest/src/test_runner.rs:

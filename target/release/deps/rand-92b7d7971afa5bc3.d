@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-92b7d7971afa5bc3.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-92b7d7971afa5bc3.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-92b7d7971afa5bc3.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-e6430c48555e5c3e.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-e6430c48555e5c3e.rlib: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-e6430c48555e5c3e.rmeta: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

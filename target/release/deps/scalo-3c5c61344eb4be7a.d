@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scalo-3c5c61344eb4be7a.d: src/lib.rs
+
+/root/repo/target/release/deps/libscalo-3c5c61344eb4be7a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libscalo-3c5c61344eb4be7a.rmeta: src/lib.rs
+
+src/lib.rs:

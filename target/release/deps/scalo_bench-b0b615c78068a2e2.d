@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scalo_bench-b0b615c78068a2e2.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/release/deps/libscalo_bench-b0b615c78068a2e2.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/release/deps/libscalo_bench-b0b615c78068a2e2.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scalo_data-7f715644e6892f37.d: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+/root/repo/target/release/deps/libscalo_data-7f715644e6892f37.rlib: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+/root/repo/target/release/deps/libscalo_data-7f715644e6892f37.rmeta: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+crates/data/src/lib.rs:
+crates/data/src/ieeg.rs:
+crates/data/src/presets.rs:
+crates/data/src/spikes.rs:
+crates/data/src/split.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/scalo_hw-bd900ec88f75ac6f.d: crates/hw/src/lib.rs crates/hw/src/adc.rs crates/hw/src/budget.rs crates/hw/src/clock.rs crates/hw/src/fabric.rs crates/hw/src/pe.rs crates/hw/src/pipeline.rs crates/hw/src/placement.rs
+
+/root/repo/target/release/deps/libscalo_hw-bd900ec88f75ac6f.rlib: crates/hw/src/lib.rs crates/hw/src/adc.rs crates/hw/src/budget.rs crates/hw/src/clock.rs crates/hw/src/fabric.rs crates/hw/src/pe.rs crates/hw/src/pipeline.rs crates/hw/src/placement.rs
+
+/root/repo/target/release/deps/libscalo_hw-bd900ec88f75ac6f.rmeta: crates/hw/src/lib.rs crates/hw/src/adc.rs crates/hw/src/budget.rs crates/hw/src/clock.rs crates/hw/src/fabric.rs crates/hw/src/pe.rs crates/hw/src/pipeline.rs crates/hw/src/placement.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/adc.rs:
+crates/hw/src/budget.rs:
+crates/hw/src/clock.rs:
+crates/hw/src/fabric.rs:
+crates/hw/src/pe.rs:
+crates/hw/src/pipeline.rs:
+crates/hw/src/placement.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/scalo_ml-599c530e132dc3be.d: crates/ml/src/lib.rs crates/ml/src/kalman.rs crates/ml/src/matrix.rs crates/ml/src/nn.rs crates/ml/src/ops.rs crates/ml/src/svm.rs
+
+/root/repo/target/release/deps/libscalo_ml-599c530e132dc3be.rlib: crates/ml/src/lib.rs crates/ml/src/kalman.rs crates/ml/src/matrix.rs crates/ml/src/nn.rs crates/ml/src/ops.rs crates/ml/src/svm.rs
+
+/root/repo/target/release/deps/libscalo_ml-599c530e132dc3be.rmeta: crates/ml/src/lib.rs crates/ml/src/kalman.rs crates/ml/src/matrix.rs crates/ml/src/nn.rs crates/ml/src/ops.rs crates/ml/src/svm.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/kalman.rs:
+crates/ml/src/matrix.rs:
+crates/ml/src/nn.rs:
+crates/ml/src/ops.rs:
+crates/ml/src/svm.rs:

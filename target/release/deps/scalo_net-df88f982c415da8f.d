@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/scalo_net-df88f982c415da8f.d: crates/net/src/lib.rs crates/net/src/aes.rs crates/net/src/ber.rs crates/net/src/compress.rs crates/net/src/crc.rs crates/net/src/halo_comp.rs crates/net/src/packet.rs crates/net/src/radio.rs crates/net/src/reliable.rs crates/net/src/tdma.rs
+
+/root/repo/target/release/deps/libscalo_net-df88f982c415da8f.rlib: crates/net/src/lib.rs crates/net/src/aes.rs crates/net/src/ber.rs crates/net/src/compress.rs crates/net/src/crc.rs crates/net/src/halo_comp.rs crates/net/src/packet.rs crates/net/src/radio.rs crates/net/src/reliable.rs crates/net/src/tdma.rs
+
+/root/repo/target/release/deps/libscalo_net-df88f982c415da8f.rmeta: crates/net/src/lib.rs crates/net/src/aes.rs crates/net/src/ber.rs crates/net/src/compress.rs crates/net/src/crc.rs crates/net/src/halo_comp.rs crates/net/src/packet.rs crates/net/src/radio.rs crates/net/src/reliable.rs crates/net/src/tdma.rs
+
+crates/net/src/lib.rs:
+crates/net/src/aes.rs:
+crates/net/src/ber.rs:
+crates/net/src/compress.rs:
+crates/net/src/crc.rs:
+crates/net/src/halo_comp.rs:
+crates/net/src/packet.rs:
+crates/net/src/radio.rs:
+crates/net/src/reliable.rs:
+crates/net/src/tdma.rs:

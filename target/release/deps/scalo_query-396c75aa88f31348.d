@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/scalo_query-396c75aa88f31348.d: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+/root/repo/target/release/deps/libscalo_query-396c75aa88f31348.rlib: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+/root/repo/target/release/deps/libscalo_query-396c75aa88f31348.rmeta: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+crates/query/src/lib.rs:
+crates/query/src/dag.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/scalo_signal-1f0b569b2f6bb6a2.d: crates/signal/src/lib.rs crates/signal/src/dtw.rs crates/signal/src/dwt.rs crates/signal/src/emd.rs crates/signal/src/fft.rs crates/signal/src/filter.rs crates/signal/src/resample.rs crates/signal/src/spike.rs crates/signal/src/stats.rs crates/signal/src/window.rs crates/signal/src/xcor.rs
+
+/root/repo/target/release/deps/libscalo_signal-1f0b569b2f6bb6a2.rlib: crates/signal/src/lib.rs crates/signal/src/dtw.rs crates/signal/src/dwt.rs crates/signal/src/emd.rs crates/signal/src/fft.rs crates/signal/src/filter.rs crates/signal/src/resample.rs crates/signal/src/spike.rs crates/signal/src/stats.rs crates/signal/src/window.rs crates/signal/src/xcor.rs
+
+/root/repo/target/release/deps/libscalo_signal-1f0b569b2f6bb6a2.rmeta: crates/signal/src/lib.rs crates/signal/src/dtw.rs crates/signal/src/dwt.rs crates/signal/src/emd.rs crates/signal/src/fft.rs crates/signal/src/filter.rs crates/signal/src/resample.rs crates/signal/src/spike.rs crates/signal/src/stats.rs crates/signal/src/window.rs crates/signal/src/xcor.rs
+
+crates/signal/src/lib.rs:
+crates/signal/src/dtw.rs:
+crates/signal/src/dwt.rs:
+crates/signal/src/emd.rs:
+crates/signal/src/fft.rs:
+crates/signal/src/filter.rs:
+crates/signal/src/resample.rs:
+crates/signal/src/spike.rs:
+crates/signal/src/stats.rs:
+crates/signal/src/window.rs:
+crates/signal/src/xcor.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scalo_storage-0ca18be8c64b3f13.d: crates/storage/src/lib.rs crates/storage/src/controller.rs crates/storage/src/layout.rs crates/storage/src/nvm.rs crates/storage/src/partition.rs
+
+/root/repo/target/release/deps/libscalo_storage-0ca18be8c64b3f13.rlib: crates/storage/src/lib.rs crates/storage/src/controller.rs crates/storage/src/layout.rs crates/storage/src/nvm.rs crates/storage/src/partition.rs
+
+/root/repo/target/release/deps/libscalo_storage-0ca18be8c64b3f13.rmeta: crates/storage/src/lib.rs crates/storage/src/controller.rs crates/storage/src/layout.rs crates/storage/src/nvm.rs crates/storage/src/partition.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/controller.rs:
+crates/storage/src/layout.rs:
+crates/storage/src/nvm.rs:
+crates/storage/src/partition.rs:

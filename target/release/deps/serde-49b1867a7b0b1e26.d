@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-49b1867a7b0b1e26.d: compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-49b1867a7b0b1e26.rlib: compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-49b1867a7b0b1e26.rmeta: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4836e61f0c2ea750.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4836e61f0c2ea750.so: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seizure_propagation-7d07628e3b2d33e4.d: examples/seizure_propagation.rs
+
+/root/repo/target/release/examples/seizure_propagation-7d07628e3b2d33e4: examples/seizure_propagation.rs
+
+examples/seizure_propagation.rs:

@@ -31,7 +31,7 @@ fn three_node_seizure_propagation_end_to_end() {
     let run = app.run(&recording(2));
     assert!(run.origin_detect_window.is_some());
     assert!(
-        run.confirmations.len() >= 1,
+        !run.confirmations.is_empty(),
         "at least one remote site confirms: {run:?}"
     );
     for c in &run.confirmations {
