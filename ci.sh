@@ -7,12 +7,15 @@ echo "== build (release) =="
 cargo build --release
 
 echo "== tests =="
-cargo test -q
+cargo test --workspace -q
 
 echo "== clippy =="
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== fmt =="
-cargo fmt --check
+cargo fmt --all --check
+
+echo "== fleet smoke (pool + admission + metrics JSON) =="
+cargo run --release -p scalo-bench --bin experiments -- fleet --sessions 6
 
 echo "CI OK"

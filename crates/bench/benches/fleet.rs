@@ -1,0 +1,33 @@
+//! Fleet serving benchmarks: the same patient population served at
+//! several fleet sizes and worker counts. After the timed sweep, the
+//! 16-session reports (throughput, per-session rows, step-latency
+//! histograms) are written to `BENCH_fleet.json` at the repo root.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalo_bench::experiments::{fleet_trial, write_bench_fleet_json};
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet");
+    for sessions in [4usize, 16] {
+        for workers in [1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("serve_{sessions}x"), workers),
+                &workers,
+                |b, &w| b.iter(|| black_box(fleet_trial(sessions, w, 8).windows)),
+            );
+        }
+    }
+    g.finish();
+
+    let reports: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| fleet_trial(16, w, 8))
+        .collect();
+    match write_bench_fleet_json(&reports) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
+    }
+}
+
+criterion_group!(fleet, bench_fleet);
+criterion_main!(fleet);

@@ -5,19 +5,32 @@
 //! experiments quick          # cheap analytic experiments only
 //! experiments fig8a          # one specific figure
 //! experiments fig15a --reps 50
+//! experiments fleet --sessions 16
 //! ```
 
 use scalo_bench::experiments as x;
 
+const USAGE: &str = "usage: experiments <cmd> [--reps N] [--sessions N]\n\
+   cmds: all | quick | table1 | table2 | table3 | fig8a | fig8b | fig8c |\n\
+   \x20     fig9a | fig9b | fig10 | fig11 | fig12 | fig13 | fig14 | fig15a |\n\
+   \x20     fig15b | fault-tolerance | fleet | local-scaling | spike-sorting |\n\
+   \x20     storage-layout | compression | external-compression\n\
+   flags: --reps N      repetitions for fig15a/fig15b/fault-tolerance (default 10)\n\
+   \x20      --sessions N  fleet size for the fleet experiment (default 16)";
+
+fn flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("help");
-    let reps = args
-        .iter()
-        .position(|a| a == "--reps")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(10);
+    let reps = flag(&args, "--reps", 10);
+    let sessions = flag(&args, "--sessions", 16);
 
     match which {
         "table1" => x::table1(),
@@ -36,6 +49,7 @@ fn main() {
         "fig15a" => x::fig15a(reps),
         "fig15b" => x::fig15b(reps),
         "fault-tolerance" => x::fault_tolerance(reps),
+        "fleet" => x::fleet(sessions),
         "local-scaling" => x::local_scaling_exp(),
         "spike-sorting" => x::spike_sorting_exp(),
         "storage-layout" => x::storage_layout_exp(),
@@ -73,20 +87,16 @@ fn main() {
             x::fig15a(reps);
             x::fig15b(reps);
             x::fault_tolerance(reps);
+            x::fleet(sessions);
             x::local_scaling_exp();
             x::spike_sorting_exp();
             x::storage_layout_exp();
             x::compression_exp();
             x::external_compression_exp();
         }
-        _ => {
-            eprintln!(
-                "usage: experiments <cmd> [--reps N]\n\
-                 cmds: all | quick | table1 | table2 | table3 | fig8a | fig8b | fig8c |\n\
-                 \x20     fig9a | fig9b | fig10 | fig11 | fig12 | fig13 | fig14 | fig15a |\n\
-                 \x20     fig15b | fault-tolerance | local-scaling | spike-sorting |\n\
-                 \x20     storage-layout | compression | external-compression"
-            );
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => {
+            eprintln!("unknown subcommand: {other}\n{USAGE}");
             std::process::exit(2);
         }
     }

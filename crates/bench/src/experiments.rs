@@ -8,9 +8,11 @@ use scalo_core::apps::spike_sort::{modeled_sort_rate_per_node, sort_dataset};
 use scalo_core::arch::{architecture_throughput, Architecture, Fig8Task};
 use scalo_core::fault::{Fault, FaultPlan};
 use scalo_core::membership::MembershipEvent;
+use scalo_core::session::SessionSpec;
 use scalo_core::ScaloConfig;
 use scalo_data::ieeg::{generate as gen_ieeg, IeegConfig, SeizureEvent};
 use scalo_data::spikes::{generate as gen_spikes, SpikeConfig};
+use scalo_fleet::{AdmissionEvent, Fleet, FleetConfig, FleetReport};
 use scalo_lsh::eval::{
     calibrated_threshold, generate_pairs, hash_error_histogram, total_error_rate,
 };
@@ -423,9 +425,9 @@ pub fn fig15a(repetitions: usize) {
     let mut rows = Vec::new();
     for &err in &[0.0, 0.2, 0.4, 0.6, 0.8] {
         let (mut worst, mut sum, mut confirmed) = (0.0f64, 0.0, 0usize);
-        for rep in 0..repetitions {
+        for (rep, &baseline) in baselines.iter().enumerate() {
             let seed = 0x15a + rep as u64;
-            let (Some(d), Some(base)) = (run_propagation(seed, err, 0.0), baselines[rep]) else {
+            let (Some(d), Some(base)) = (run_propagation(seed, err, 0.0), baseline) else {
                 continue;
             };
             let added = (d - base).max(0.0);
@@ -461,9 +463,9 @@ pub fn fig15b(repetitions: usize) {
     let mut rows = Vec::new();
     for &ber in &[1e-6, 1e-5, 1e-4, 1e-3] {
         let (mut worst, mut confirmed) = (0.0f64, 0usize);
-        for rep in 0..repetitions {
+        for (rep, &baseline) in baselines.iter().enumerate() {
             let seed = 0x15b + rep as u64;
-            let (Some(d), Some(base)) = (run_propagation(seed, 0.0, ber), baselines[rep]) else {
+            let (Some(d), Some(base)) = (run_propagation(seed, 0.0, ber), baseline) else {
                 continue;
             };
             worst = worst.max((d - base).max(0.0));
@@ -845,6 +847,164 @@ pub fn fault_tolerance(reps: usize) {
     );
 }
 
+/// A mixed patient population for fleet experiments: varying seeds,
+/// priorities, movement mixes, and transports, 0.6 s of signal each.
+/// Every session models a 400 µs per-window device wait (the time a
+/// real serving step blocks on the implant radio), which is what the
+/// worker pool overlaps across patients — the speedup measured by
+/// [`fleet`] is wait-overlap plus whatever CPU parallelism the host
+/// offers, exactly as in a real serving tier.
+fn fleet_population(sessions: usize) -> Vec<SessionSpec> {
+    (0..sessions as u64)
+        .map(|id| {
+            let mut spec = SessionSpec::new(id, 0xf1ee7 + 31 * id)
+                .with_duration_s(0.6)
+                .with_priority(1 + (id % 3) as u8)
+                .with_io_stall_us(400)
+                .with_movement_every(if id % 4 == 0 { 25 } else { 0 });
+            if id % 2 == 1 {
+                spec = spec.with_ber(1e-4);
+                spec.use_reliable_transport = true;
+            }
+            spec
+        })
+        .collect()
+}
+
+/// Serves the standard fleet population on `workers` threads. The
+/// budget is sized so the whole population is admitted; decisions are a
+/// function of each session's seed, never of `workers` or `quantum`.
+pub fn fleet_trial(sessions: usize, workers: usize, quantum: usize) -> FleetReport {
+    let mut fl = Fleet::new(
+        FleetConfig::new(workers)
+            .with_quantum_steps(quantum)
+            .with_budget(16.0 * sessions as f64),
+    );
+    for spec in fleet_population(sessions) {
+        let admitted = fl.submit(spec);
+        assert!(admitted, "population is sized to fit the budget");
+    }
+    fl.run()
+}
+
+/// Writes the swept fleet reports (throughput, per-session rows, and
+/// step-latency histograms) to `BENCH_fleet.json` at the repo root.
+/// Returns the path written.
+pub fn write_bench_fleet_json(reports: &[FleetReport]) -> std::io::Result<&'static str> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    let body = format!(
+        "{{\"bench\":\"fleet\",\"sweep\":[{}]}}\n",
+        reports
+            .iter()
+            .map(FleetReport::to_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    std::fs::write(path, body)?;
+    Ok(path)
+}
+
+/// Fleet serving: one patient population swept across worker counts,
+/// plus an admission-control showcase. Also writes `BENCH_fleet.json`.
+pub fn fleet(sessions: usize) {
+    let sessions = sessions.max(1);
+    header(&format!(
+        "Fleet serving: {sessions} patient sessions, 0.6 s of signal each"
+    ));
+    let reports: Vec<FleetReport> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| fleet_trial(sessions, w, 8))
+        .collect();
+    let base = &reports[0];
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            let mean_step_us =
+                r.sessions.iter().map(|s| s.wall_us).sum::<u64>() as f64 / r.windows.max(1) as f64;
+            vec![
+                r.workers.to_string(),
+                f(r.wall_ms, 1),
+                f(r.windows_per_sec(), 0),
+                f(base.wall_ms / r.wall_ms.max(1e-9), 2),
+                f(mean_step_us, 1),
+                r.pool.steals.to_string(),
+                r.deadline_misses.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "workers", "wall ms", "win/s", "speedup", "step us", "steals", "misses",
+        ],
+        &rows,
+    );
+    let identical = reports.iter().all(|r| {
+        r.sessions.len() == base.sessions.len()
+            && r.sessions
+                .iter()
+                .zip(&base.sessions)
+                .all(|(a, b)| a.id == b.id && a.digest == b.digest)
+    });
+    println!(
+        "decisions identical across worker counts: {}",
+        if identical { "yes" } else { "NO (bug)" }
+    );
+
+    println!("\n-- admission: budget 40 (five default sessions), mixed priorities --");
+    let mut fl = Fleet::new(FleetConfig::new(2).with_budget(40.0));
+    for (id, &priority) in [1u8, 2, 1, 2, 3].iter().enumerate() {
+        let spec = SessionSpec::new(id as u64, 0xad0 + id as u64)
+            .with_duration_s(0.3)
+            .with_priority(priority);
+        assert!(fl.submit(spec));
+    }
+    // Equal-priority arrival with no headroom: rejected, nothing shed.
+    let rejected = !fl.submit(
+        SessionSpec::new(5, 0xad5)
+            .with_duration_s(0.3)
+            .with_priority(1),
+    );
+    // Emergency arrival: sheds the newest lowest-priority session.
+    let admitted = fl.submit(
+        SessionSpec::new(6, 0xad6)
+            .with_duration_s(0.3)
+            .with_priority(9),
+    );
+    let rows: Vec<Vec<String>> = fl
+        .admission()
+        .log()
+        .iter()
+        .map(|ev| match ev {
+            AdmissionEvent::Admitted { id, cost } => {
+                vec![
+                    "admit".into(),
+                    id.to_string(),
+                    format!("cost {}", f(*cost, 1)),
+                ]
+            }
+            AdmissionEvent::Rejected { id, cost, headroom } => vec![
+                "reject".into(),
+                id.to_string(),
+                format!("cost {} > headroom {}", f(*cost, 1), f(*headroom, 1)),
+            ],
+            AdmissionEvent::Shed { id, for_id } => {
+                vec![
+                    "shed".into(),
+                    id.to_string(),
+                    format!("for session {for_id}"),
+                ]
+            }
+        })
+        .collect();
+    table(&["event", "id", "detail"], &rows);
+    assert!(rejected && admitted, "admission showcase regressed");
+
+    match write_bench_fleet_json(&reports) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write BENCH_fleet.json: {e}"),
+    }
+}
+
 /// A small two-site recording with a simultaneous seizure, used by the
 /// Figure 15 experiments.
 fn two_site_recording(seed: u64) -> scalo_data::ieeg::MultiSiteRecording {
@@ -894,6 +1054,20 @@ mod tests {
         assert!(reliable >= 0.99, "{t:?}");
         assert!(naive < 0.99, "{t:?}");
         assert!(t.retransmissions > 0, "{t:?}");
+    }
+
+    #[test]
+    fn fleet_trial_is_deterministic_across_workers() {
+        let a = fleet_trial(2, 1, 8);
+        let b = fleet_trial(2, 2, 3);
+        assert_eq!(a.windows, 2 * 150, "0.6 s at 250 windows/s per session");
+        let digests = |r: &FleetReport| {
+            r.sessions
+                .iter()
+                .map(|s| (s.id, s.digest.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digests(&a), digests(&b));
     }
 
     #[test]

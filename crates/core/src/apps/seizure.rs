@@ -68,6 +68,46 @@ impl PropagationRun {
     }
 }
 
+/// Mutable mid-run protocol state, extracted from the run loop so a run
+/// can advance one window at a time — the resumable unit of work the
+/// fleet serving layer schedules ([`crate::session::Session`]).
+#[derive(Debug, Clone)]
+pub struct RunState {
+    /// The currently detecting origin, as `(window, node)`.
+    origin_detect: Option<(usize, usize)>,
+    /// Window of the very first origin detection.
+    first_detect_window: Option<usize>,
+    /// Origin crash → survivor takeover count.
+    failovers: usize,
+    /// Per-node confirmation delay in ms, once confirmed.
+    confirmed: Vec<Option<f64>>,
+    /// Hash packets lost to the channel.
+    hash_drops: usize,
+    /// Next window index to process.
+    window: usize,
+    /// Total whole windows in the recording.
+    windows_total: usize,
+    /// Electrodes per node in the recording.
+    electrodes: usize,
+}
+
+impl RunState {
+    /// Next window index to process (also the number processed so far).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Total whole windows in the recording.
+    pub fn windows_total(&self) -> usize {
+        self.windows_total
+    }
+
+    /// Whether every window has been processed.
+    pub fn is_done(&self) -> bool {
+        self.window >= self.windows_total
+    }
+}
+
 /// The application harness.
 #[derive(Debug)]
 pub struct SeizureApp {
@@ -141,27 +181,41 @@ impl SeizureApp {
         }
     }
 
-    /// Runs the propagation protocol over `recording`, starting at
-    /// sample 0. Returns the run outcome.
+    /// Starts a resumable run over `recording`: returns the state that
+    /// [`Self::step_window`] advances one 4 ms window at a time.
     ///
     /// # Panics
     ///
     /// Panics if the recording has fewer nodes than the system.
-    pub fn run(&mut self, recording: &MultiSiteRecording) -> PropagationRun {
+    pub fn begin(&self, recording: &MultiSiteRecording) -> RunState {
         let k = self.system.node_count();
         assert!(recording.nodes.len() >= k, "recording too small");
-        let samples = recording.nodes[0].num_samples();
-        let electrodes = recording.nodes[0].num_channels();
+        RunState {
+            origin_detect: None,
+            first_detect_window: None,
+            failovers: 0,
+            confirmed: vec![None; k],
+            hash_drops: 0,
+            window: 0,
+            windows_total: recording.nodes[0].num_samples() / WINDOW,
+            electrodes: recording.nodes[0].num_channels(),
+        }
+    }
+
+    /// Advances the protocol by exactly one window: ingest, local
+    /// detection, and (once an origin has detected) the hash/signal
+    /// confirmation exchange. Returns `false` once the recording is
+    /// exhausted; the call is non-blocking in the sense that it does a
+    /// bounded slice of work and returns.
+    pub fn step_window(&mut self, recording: &MultiSiteRecording, st: &mut RunState) -> bool {
+        if st.is_done() {
+            return false;
+        }
+        let k = self.system.node_count();
+        let electrodes = st.electrodes;
         let horizon = self.system.config().ccheck_horizon_us;
-
-        let mut origin_detect: Option<(usize, usize)> = None; // (window, node)
-        let mut first_detect_window: Option<usize> = None;
-        let mut failovers = 0usize;
-        let mut confirmed: Vec<Option<f64>> = vec![None; k];
-        let mut hash_drops = 0;
-
-        let mut w = 0usize;
-        while (w + 1) * WINDOW <= samples {
+        {
+            let w = st.window;
             let t0 = w * WINDOW;
             let now = self.system.now_us();
 
@@ -180,10 +234,10 @@ impl SeizureApp {
             // If the detecting origin crashed, a surviving detector takes
             // over below — the protocol degrades to the live quorum
             // rather than waiting on a dead node.
-            if let Some((_, origin)) = origin_detect {
+            if let Some((_, origin)) = st.origin_detect {
                 if !self.system.is_alive(origin) {
-                    origin_detect = None;
-                    failovers += 1;
+                    st.origin_detect = None;
+                    st.failovers += 1;
                 }
             }
 
@@ -202,14 +256,14 @@ impl SeizureApp {
                             .unwrap_or(false)
                     })
                     .count();
-                if votes * 2 > electrodes && origin_detect.is_none() {
-                    origin_detect = Some((w, node_id));
-                    first_detect_window.get_or_insert(w);
+                if votes * 2 > electrodes && st.origin_detect.is_none() {
+                    st.origin_detect = Some((w, node_id));
+                    st.first_detect_window.get_or_insert(w);
                 }
             }
 
             // 3. If an origin has detected, run the exchange this window.
-            if let Some((detect_w, origin)) = origin_detect {
+            if let Some((detect_w, origin)) = st.origin_detect {
                 let mut hashes: Vec<SignalHash> = Vec::with_capacity(electrodes);
                 for e in 0..electrodes {
                     let win = &recording.nodes[origin].channels[e][t0..t0 + WINDOW];
@@ -264,7 +318,7 @@ impl SeizureApp {
                 let mut responders: Vec<(usize, usize, usize, u64)> = Vec::new();
                 for (to, arrival) in &arrivals {
                     let Some(p) = arrival else {
-                        hash_drops += 1;
+                        st.hash_drops += 1;
                         continue;
                     };
                     let bytes = dcomp_decompress(&p.payload).unwrap_or_default();
@@ -278,7 +332,7 @@ impl SeizureApp {
                         .node(*to)
                         .check_collisions(&received, now, horizon);
                     if let Some(m) = matches.last() {
-                        if confirmed[*to].is_none() {
+                        if st.confirmed[*to].is_none() {
                             responders.push((
                                 *to,
                                 m.received_index, // origin electrode
@@ -338,8 +392,8 @@ impl SeizureApp {
                             &z_normalize(&local),
                             DtwParams::default(),
                         );
-                        if dist < self.dtw_threshold && confirmed[d.to].is_none() {
-                            confirmed[d.to] =
+                        if dist < self.dtw_threshold && st.confirmed[d.to].is_none() {
+                            st.confirmed[d.to] =
                                 Some((w - detect_w) as f64 * WINDOW_US as f64 / 1_000.0);
                             // Figure 3a's final stage: stimulate the site
                             // anticipating seizure spread.
@@ -352,19 +406,36 @@ impl SeizureApp {
             }
 
             self.system.advance_us(WINDOW_US);
-            w += 1;
         }
+        st.window += 1;
+        !st.is_done()
+    }
 
+    /// The run outcome so far (final once [`RunState::is_done`]).
+    pub fn snapshot(st: &RunState) -> PropagationRun {
         PropagationRun {
-            origin_detect_window: first_detect_window,
-            confirmations: confirmed
+            origin_detect_window: st.first_detect_window,
+            confirmations: st
+                .confirmed
                 .iter()
                 .enumerate()
                 .filter_map(|(node, d)| d.map(|delay_ms| Confirmation { node, delay_ms }))
                 .collect(),
-            hash_packets_dropped: hash_drops,
-            origin_failovers: failovers,
+            hash_packets_dropped: st.hash_drops,
+            origin_failovers: st.failovers,
         }
+    }
+
+    /// Runs the propagation protocol over `recording`, starting at
+    /// sample 0. Returns the run outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recording has fewer nodes than the system.
+    pub fn run(&mut self, recording: &MultiSiteRecording) -> PropagationRun {
+        let mut st = self.begin(recording);
+        while self.step_window(recording, &mut st) {}
+        Self::snapshot(&st)
     }
 }
 

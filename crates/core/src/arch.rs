@@ -333,7 +333,7 @@ mod tests {
             Fig8Task::MiNn,
         ] {
             let ratio = thr(Architecture::Scalo, task) / thr(Architecture::HaloNvm, task);
-            assert!(ratio >= 10.0 && ratio < 2_000.0, "{task}: {ratio}");
+            assert!((10.0..2_000.0).contains(&ratio), "{task}: {ratio}");
         }
     }
 }

@@ -15,6 +15,8 @@
 //!   spikes, clock drift, NVM block failures);
 //! * [`membership`] — heartbeat failure detection and the
 //!   suspicion/eviction state machine driving graceful degradation;
+//! * [`session`] — resumable per-patient serving sessions (the unit of
+//!   work the `scalo-fleet` serving layer schedules);
 //! * [`sntp`] — daily clock synchronisation (§3.6);
 //! * [`runtime`] — the MC runtime that compiles queries (via
 //!   `scalo-query` + `scalo-sched`) and reconfigures node pipelines.
@@ -35,9 +37,11 @@ pub mod fault;
 pub mod membership;
 pub mod node;
 pub mod runtime;
+pub mod session;
 pub mod sntp;
 pub mod stim;
 pub mod system;
 
 pub use config::ScaloConfig;
+pub use session::{Session, SessionSpec};
 pub use system::Scalo;

@@ -1,0 +1,427 @@
+//! One patient's serving session: a resumable unit of work.
+//!
+//! The fleet serving layer (`scalo-fleet`) multiplexes many patients
+//! over a shared worker pool, so a patient's implant network must be
+//! steppable rather than run-to-completion: [`Session`] wraps a
+//! [`SeizureApp`] plus an optional movement-intent decode mix into a
+//! non-blocking [`Session::step`] that advances exactly one 4 ms window
+//! and returns. Every step is wall-clock timed against the session's
+//! response-time deadline (the paper's 10 ms seizure target scaled to
+//! the 4 ms window cadence), so the serving layer can account deadline
+//! misses without ever letting timing feed back into decisions: all
+//! protocol outcomes are functions of the seed alone, which is what
+//! makes fleet execution reproducible on any worker count.
+
+use crate::apps::movement;
+use crate::apps::seizure::{PropagationRun, RunState, SeizureApp, WINDOW_US};
+use crate::config::ScaloConfig;
+use scalo_data::ieeg::{generate, IeegConfig, MultiSiteRecording, SeizureEvent};
+use std::time::Instant;
+
+/// Everything that defines one patient's session: identity, seed,
+/// deployment preset, and application mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Fleet-unique session id.
+    pub id: u64,
+    /// Seed for the recording, detectors, and channel; decisions are a
+    /// function of this alone.
+    pub seed: u64,
+    /// Admission priority: higher survives longer under budget pressure.
+    pub priority: u8,
+    /// Implants in this patient's deployment.
+    pub nodes: usize,
+    /// Electrodes per implant.
+    pub electrodes: usize,
+    /// Recording length in seconds (250 windows per second).
+    pub duration_s: f64,
+    /// Channel bit-error ratio.
+    pub ber: f64,
+    /// Whether hash broadcasts use the reliable transport.
+    pub use_reliable_transport: bool,
+    /// Run a movement-intent decode round every this many windows
+    /// (0 = seizure-propagation only).
+    pub movement_every: usize,
+    /// Per-step wall-clock deadline in µs.
+    pub step_deadline_us: u64,
+    /// Modeled per-window device wait in µs (0 = none): the time a real
+    /// serving step spends blocked on the implant radio before the
+    /// window's samples are available. Realised as an actual sleep so
+    /// serving-layer concurrency is measurable; it feeds wall-clock
+    /// accounting only and never touches decision state.
+    pub io_stall_us: u64,
+}
+
+impl SessionSpec {
+    /// A small focal-epilepsy preset: 2 implants × 4 electrodes over a
+    /// 0.9 s recording with one propagating seizure.
+    pub fn new(id: u64, seed: u64) -> Self {
+        Self {
+            id,
+            seed,
+            priority: 1,
+            nodes: 2,
+            electrodes: 4,
+            duration_s: 0.9,
+            ber: 0.0,
+            use_reliable_transport: false,
+            movement_every: 0,
+            step_deadline_us: WINDOW_US,
+            io_stall_us: 0,
+        }
+    }
+
+    /// Sets the admission priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the deployment size.
+    pub fn with_deployment(mut self, nodes: usize, electrodes: usize) -> Self {
+        assert!(nodes >= 1 && electrodes >= 1, "degenerate deployment");
+        self.nodes = nodes;
+        self.electrodes = electrodes;
+        self
+    }
+
+    /// Sets the recording length in seconds.
+    pub fn with_duration_s(mut self, duration_s: f64) -> Self {
+        assert!(duration_s > 0.0, "empty recording");
+        self.duration_s = duration_s;
+        self
+    }
+
+    /// Sets the channel bit-error ratio.
+    pub fn with_ber(mut self, ber: f64) -> Self {
+        self.ber = ber;
+        self
+    }
+
+    /// Adds a movement-intent decode round every `every` windows.
+    pub fn with_movement_every(mut self, every: usize) -> Self {
+        self.movement_every = every;
+        self
+    }
+
+    /// Sets the per-step wall-clock deadline.
+    pub fn with_step_deadline_us(mut self, us: u64) -> Self {
+        self.step_deadline_us = us;
+        self
+    }
+
+    /// Sets the modeled per-window device wait.
+    pub fn with_io_stall_us(mut self, us: u64) -> Self {
+        self.io_stall_us = us;
+        self
+    }
+
+    /// The session's compute cost in electrode-windows per step — the
+    /// admission controller's budget unit (a proxy for sim-time per
+    /// wall-time: per-step work scales with `nodes × electrodes`, plus
+    /// the movement mix's share).
+    pub fn cost_estimate(&self) -> f64 {
+        let base = (self.nodes * self.electrodes) as f64;
+        let mix = if self.movement_every > 0 {
+            base / self.movement_every as f64
+        } else {
+            0.0
+        };
+        base + mix
+    }
+}
+
+/// What one [`Session::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The window index that was processed.
+    pub window: usize,
+    /// Wall-clock time the step took, in µs.
+    pub wall_us: u64,
+    /// Whether the step overran [`SessionSpec::step_deadline_us`].
+    pub deadline_missed: bool,
+    /// Whether the session has now processed every window.
+    pub done: bool,
+}
+
+/// Aggregate accounting for a finished (or in-flight) session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The session id.
+    pub id: u64,
+    /// Steps executed so far.
+    pub steps: u64,
+    /// Steps that overran the deadline.
+    pub deadline_misses: u64,
+    /// Total wall-clock time spent stepping, in µs.
+    pub wall_us: u64,
+    /// Simulated time covered, in µs.
+    pub sim_us: u64,
+    /// The propagation outcome so far.
+    pub run: PropagationRun,
+}
+
+impl SessionReport {
+    /// Simulated µs served per wall-clock µs spent — the admission
+    /// controller's measured-load signal.
+    pub fn sim_per_wall(&self) -> f64 {
+        self.sim_us as f64 / self.wall_us.max(1) as f64
+    }
+}
+
+/// A resumable patient session: seeded recording, trained detectors,
+/// and mid-run protocol state, advanced one window per [`Session::step`].
+#[derive(Debug)]
+pub struct Session {
+    spec: SessionSpec,
+    app: SeizureApp,
+    recording: MultiSiteRecording,
+    state: RunState,
+    movement: Option<movement::Session>,
+    /// Decode-round results, in order: part of the decision digest.
+    movement_results: Vec<(usize, f64)>,
+    steps: u64,
+    deadline_misses: u64,
+    wall_us: u64,
+}
+
+impl Session {
+    /// Builds the session: generates the recording, trains per-node
+    /// detectors, and prepares the resumable run. This is the expensive
+    /// part; admission control runs *before* it.
+    pub fn new(spec: SessionSpec) -> Self {
+        let recording = patient_recording(&spec, spec.seed);
+        let mut app = SeizureApp::new(
+            ScaloConfig::default()
+                .with_nodes(spec.nodes)
+                .with_electrodes(spec.electrodes)
+                .with_ber(spec.ber)
+                .with_seed(spec.seed),
+        );
+        app.train_detectors(&patient_recording(&spec, spec.seed ^ 1));
+        app.use_reliable_transport = spec.use_reliable_transport;
+        let state = app.begin(&recording);
+        let movement =
+            (spec.movement_every > 0).then(|| movement::generate_session(24, 8, spec.seed ^ 0x33));
+        Self {
+            spec,
+            app,
+            recording,
+            state,
+            movement,
+            movement_results: Vec::new(),
+            steps: 0,
+            deadline_misses: 0,
+            wall_us: 0,
+        }
+    }
+
+    /// The session's spec.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// Fleet-unique id.
+    pub fn id(&self) -> u64 {
+        self.spec.id
+    }
+
+    /// Admission priority.
+    pub fn priority(&self) -> u8 {
+        self.spec.priority
+    }
+
+    /// Whether every window has been processed.
+    pub fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    /// Total windows in this session's recording.
+    pub fn windows_total(&self) -> usize {
+        self.state.windows_total()
+    }
+
+    /// Advances the session by exactly one window (plus the movement
+    /// mix when due) and accounts the step against the deadline. The
+    /// call does a bounded slice of work and returns; wall-clock timing
+    /// feeds metrics only, never decisions.
+    pub fn step(&mut self) -> StepOutcome {
+        let window = self.state.window();
+        if self.state.is_done() {
+            return StepOutcome {
+                window,
+                wall_us: 0,
+                deadline_missed: false,
+                done: true,
+            };
+        }
+        let t0 = Instant::now();
+        if self.spec.io_stall_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.spec.io_stall_us));
+        }
+        let more = self.app.step_window(&self.recording, &mut self.state);
+        if let Some(ms) = &self.movement {
+            let every = self.spec.movement_every;
+            if every > 0 && self.state.window().is_multiple_of(every) {
+                // Rotate through the three decode pipelines of §2.2 so
+                // the mix exercises SVM, KF, and NN compute shapes.
+                let round = self.movement_results.len();
+                let value = match round % 3 {
+                    0 => movement::svm_accuracy(ms, 2),
+                    1 => movement::kalman_velocity_error(ms),
+                    _ => movement::nn_decomposition_error(ms, 2),
+                };
+                self.movement_results.push((round, value));
+            }
+        }
+        let wall_us = t0.elapsed().as_micros() as u64;
+        let deadline_missed = wall_us > self.spec.step_deadline_us;
+        self.steps += 1;
+        self.wall_us += wall_us;
+        self.deadline_misses += u64::from(deadline_missed);
+        StepOutcome {
+            window,
+            wall_us,
+            deadline_missed,
+            done: !more,
+        }
+    }
+
+    /// Aggregate accounting so far.
+    pub fn report(&self) -> SessionReport {
+        SessionReport {
+            id: self.spec.id,
+            steps: self.steps,
+            deadline_misses: self.deadline_misses,
+            wall_us: self.wall_us,
+            sim_us: self.app.system().now_us(),
+            run: SeizureApp::snapshot(&self.state),
+        }
+    }
+
+    /// A deterministic byte-for-byte digest of every decision the
+    /// session made: propagation outcome, medium statistics, membership
+    /// and scheduling history, and movement decode results. Two runs of
+    /// the same spec must produce identical digests regardless of which
+    /// worker (or how many workers) stepped them — wall-clock values are
+    /// deliberately excluded.
+    pub fn decision_digest(&self) -> String {
+        let sys = self.app.system();
+        format!(
+            "run={:?} stats={:?} members={:?} sched={:?} movement={:?} sim_us={}",
+            SeizureApp::snapshot(&self.state),
+            sys.stats(),
+            sys.membership_log(),
+            sys.schedule_decisions(),
+            self.movement_results,
+            sys.now_us(),
+        )
+    }
+}
+
+/// The session's synthetic recording: one seizure propagating across
+/// every implant, seeded per patient.
+fn patient_recording(spec: &SessionSpec, seed: u64) -> MultiSiteRecording {
+    generate(&IeegConfig {
+        nodes: spec.nodes,
+        electrodes_per_node: spec.electrodes,
+        duration_s: spec.duration_s,
+        seizures: vec![SeizureEvent::uniform(0.25, 0.6, 0, spec.nodes, 0.0)],
+        seed,
+        ..Default::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The fleet moves sessions between worker threads, so the whole
+    /// stack must be (and stay) `Send`.
+    #[test]
+    fn scalo_and_session_are_send() {
+        fn is_send<T: Send>() {}
+        is_send::<crate::Scalo>();
+        is_send::<SeizureApp>();
+        is_send::<Session>();
+    }
+
+    #[test]
+    fn stepped_session_matches_monolithic_run() {
+        let spec = SessionSpec::new(1, 42);
+        let mut session = Session::new(spec.clone());
+        while !session.step().done {}
+        let stepped = session.report().run;
+
+        let recording = patient_recording(&spec, spec.seed);
+        let mut app = SeizureApp::new(
+            ScaloConfig::default()
+                .with_nodes(spec.nodes)
+                .with_electrodes(spec.electrodes)
+                .with_ber(spec.ber)
+                .with_seed(spec.seed),
+        );
+        app.train_detectors(&patient_recording(&spec, spec.seed ^ 1));
+        let monolithic = app.run(&recording);
+        assert_eq!(stepped, monolithic);
+        assert!(stepped.origin_detect_window.is_some(), "{stepped:?}");
+    }
+
+    #[test]
+    fn step_accounting_adds_up() {
+        let mut session = Session::new(SessionSpec::new(2, 7).with_duration_s(0.5));
+        let total = session.windows_total();
+        assert!(total > 0);
+        let mut steps = 0;
+        while !session.is_done() {
+            let out = session.step();
+            assert_eq!(out.window, steps);
+            steps += 1;
+        }
+        assert_eq!(steps, total);
+        let report = session.report();
+        assert_eq!(report.steps, total as u64);
+        assert!(report.sim_us > 0);
+        assert!(report.sim_per_wall() > 0.0);
+        // Stepping a finished session is a no-op.
+        let again = session.step();
+        assert!(again.done);
+        assert_eq!(session.report().run, report.run);
+    }
+
+    #[test]
+    fn movement_mix_rotates_decoders() {
+        let mut session = Session::new(
+            SessionSpec::new(3, 9)
+                .with_duration_s(0.5)
+                .with_movement_every(25),
+        );
+        while !session.step().done {}
+        let digest = session.decision_digest();
+        assert!(digest.contains("movement=[(0,"), "{digest}");
+        // 125 windows at one round per 25 ⇒ all three pipelines ran.
+        assert!(digest.contains("(2,"), "{digest}");
+    }
+
+    #[test]
+    fn digests_are_seed_deterministic() {
+        let run = |seed| {
+            let mut s = Session::new(SessionSpec::new(9, seed).with_movement_every(50));
+            while !s.step().done {}
+            s.decision_digest()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds must differ");
+    }
+
+    #[test]
+    fn cost_estimate_scales_with_deployment_and_mix() {
+        let small = SessionSpec::new(0, 0).cost_estimate();
+        let big = SessionSpec::new(0, 0).with_deployment(4, 8).cost_estimate();
+        assert!(big > small);
+        let mixed = SessionSpec::new(0, 0)
+            .with_movement_every(10)
+            .cost_estimate();
+        assert!(mixed > small);
+    }
+}

@@ -1,0 +1,246 @@
+//! Admission control: an aggregate compute budget over the admitted
+//! session set, with graceful degradation by priority.
+//!
+//! The fleet serves real-time sessions, so oversubscription is worse
+//! than refusal: an over-budget fleet misses every patient's deadlines
+//! instead of one patient's admission. The controller therefore tracks
+//! each admitted session's compute cost (electrode-windows per step,
+//! see `SessionSpec::cost_estimate`; refreshed from measured
+//! sim-time-per-wall-time as sessions run) against a fixed budget.
+//! A submission that does not fit may *shed* strictly lower-priority
+//! admitted sessions — lowest priority first, newest first within a
+//! priority — mirroring the membership layer's eviction idiom one level
+//! up: a deterministic, logged state machine that degrades the fleet to
+//! the highest-priority load it can serve.
+
+use std::collections::BTreeMap;
+
+/// Admission-controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Aggregate compute budget, in session cost units.
+    pub budget: f64,
+}
+
+impl Default for AdmissionConfig {
+    /// Room for sixteen of the default small sessions (cost 8 each).
+    fn default() -> Self {
+        Self { budget: 128.0 }
+    }
+}
+
+/// One admission-control transition, for post-run analysis (the fleet
+/// analogue of the membership log).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionEvent {
+    /// The session fit (possibly after shedding) and was admitted.
+    Admitted {
+        /// Admitted session.
+        id: u64,
+        /// Its cost at admission.
+        cost: f64,
+    },
+    /// The session did not fit even after shedding every strictly
+    /// lower-priority session.
+    Rejected {
+        /// Refused session.
+        id: u64,
+        /// Its cost.
+        cost: f64,
+        /// Budget headroom at the time, after hypothetical shedding.
+        headroom: f64,
+    },
+    /// An admitted session was evicted to make room for `for_id`.
+    Shed {
+        /// Evicted session.
+        id: u64,
+        /// The higher-priority session it made room for.
+        for_id: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    priority: u8,
+    cost: f64,
+}
+
+/// The outcome of one [`AdmissionController::offer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionDecision {
+    /// Whether the offered session was admitted.
+    pub admitted: bool,
+    /// Sessions shed to make room, in eviction order.
+    pub shed: Vec<u64>,
+}
+
+/// Budget-tracking admission controller for one fleet.
+#[derive(Debug, Default)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    admitted: BTreeMap<u64, Entry>,
+    log: Vec<AdmissionEvent>,
+}
+
+impl AdmissionController {
+    /// A controller over the given budget.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Self {
+            cfg,
+            admitted: BTreeMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Aggregate cost of the admitted set.
+    pub fn used(&self) -> f64 {
+        self.admitted.values().map(|e| e.cost).sum()
+    }
+
+    /// Remaining budget.
+    pub fn headroom(&self) -> f64 {
+        self.cfg.budget - self.used()
+    }
+
+    /// Ids of the admitted sessions, ascending.
+    pub fn admitted_ids(&self) -> Vec<u64> {
+        self.admitted.keys().copied().collect()
+    }
+
+    /// Whether `id` is currently admitted.
+    pub fn is_admitted(&self, id: u64) -> bool {
+        self.admitted.contains_key(&id)
+    }
+
+    /// Every admission transition so far.
+    pub fn log(&self) -> &[AdmissionEvent] {
+        &self.log
+    }
+
+    /// Offers a session. Admits it if it fits the remaining budget,
+    /// shedding strictly lower-priority sessions (lowest priority
+    /// first; newest — highest id — first within a priority) when
+    /// necessary; rejects it, shedding nothing, if even that cannot
+    /// make room.
+    pub fn offer(&mut self, id: u64, priority: u8, cost: f64) -> AdmissionDecision {
+        assert!(
+            !self.admitted.contains_key(&id),
+            "session id {id} already admitted"
+        );
+        // Plan the eviction sequence without touching state: strictly
+        // lower priority only (equal priority never displaces — first
+        // come, first served), worst candidates first.
+        let mut candidates: Vec<(u64, Entry)> = self
+            .admitted
+            .iter()
+            .filter(|(_, e)| e.priority < priority)
+            .map(|(&i, &e)| (i, e))
+            .collect();
+        candidates.sort_by(|a, b| (a.1.priority, b.0).cmp(&(b.1.priority, a.0)));
+
+        let mut headroom = self.headroom();
+        let mut to_shed = Vec::new();
+        for (victim, entry) in candidates {
+            if headroom >= cost {
+                break;
+            }
+            headroom += entry.cost;
+            to_shed.push(victim);
+        }
+        if headroom < cost {
+            self.log
+                .push(AdmissionEvent::Rejected { id, cost, headroom });
+            return AdmissionDecision {
+                admitted: false,
+                shed: Vec::new(),
+            };
+        }
+        for &victim in &to_shed {
+            self.admitted.remove(&victim);
+            self.log.push(AdmissionEvent::Shed {
+                id: victim,
+                for_id: id,
+            });
+        }
+        self.admitted.insert(id, Entry { priority, cost });
+        self.log.push(AdmissionEvent::Admitted { id, cost });
+        AdmissionDecision {
+            admitted: true,
+            shed: to_shed,
+        }
+    }
+
+    /// Releases a finished (or externally cancelled) session's budget.
+    pub fn release(&mut self, id: u64) {
+        self.admitted.remove(&id);
+    }
+
+    /// Refreshes an admitted session's cost from a measured load (e.g.
+    /// windows of sim-time per wall-second); future offers see the
+    /// measured value instead of the estimate.
+    pub fn update_cost(&mut self, id: u64, measured_cost: f64) {
+        if let Some(e) = self.admitted.get_mut(&id) {
+            e.cost = measured_cost;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(budget: f64) -> AdmissionController {
+        AdmissionController::new(AdmissionConfig { budget })
+    }
+
+    #[test]
+    fn admits_until_budget_then_rejects_equal_priority() {
+        let mut ac = controller(10.0);
+        assert!(ac.offer(1, 1, 4.0).admitted);
+        assert!(ac.offer(2, 1, 4.0).admitted);
+        let d = ac.offer(3, 1, 4.0);
+        assert!(!d.admitted);
+        assert!(d.shed.is_empty(), "equal priority never sheds");
+        assert_eq!(ac.admitted_ids(), vec![1, 2]);
+        assert!(matches!(
+            ac.log().last(),
+            Some(AdmissionEvent::Rejected { id: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn sheds_lowest_priority_newest_first() {
+        let mut ac = controller(12.0);
+        assert!(ac.offer(1, 1, 4.0).admitted);
+        assert!(ac.offer(2, 2, 4.0).admitted);
+        assert!(ac.offer(3, 1, 4.0).admitted);
+        // Needs 8: must shed both priority-1 sessions, newest (3) first.
+        let d = ac.offer(4, 5, 8.0);
+        assert!(d.admitted);
+        assert_eq!(d.shed, vec![3, 1]);
+        assert_eq!(ac.admitted_ids(), vec![2, 4]);
+    }
+
+    #[test]
+    fn rejection_sheds_nothing() {
+        let mut ac = controller(8.0);
+        assert!(ac.offer(1, 1, 4.0).admitted);
+        assert!(ac.offer(2, 2, 4.0).admitted);
+        // Even shedding session 1 leaves only 4 headroom < 20.
+        let d = ac.offer(3, 9, 20.0);
+        assert!(!d.admitted);
+        assert!(d.shed.is_empty());
+        assert_eq!(ac.admitted_ids(), vec![1, 2], "no collateral eviction");
+    }
+
+    #[test]
+    fn release_and_remeasure_free_budget() {
+        let mut ac = controller(8.0);
+        assert!(ac.offer(1, 1, 8.0).admitted);
+        assert!(!ac.offer(2, 1, 8.0).admitted);
+        ac.release(1);
+        assert!(ac.offer(2, 1, 8.0).admitted);
+        ac.update_cost(2, 2.0);
+        assert!(ac.offer(3, 1, 6.0).admitted, "re-measured cost freed room");
+    }
+}

@@ -1,0 +1,409 @@
+//! The fleet itself: admission at the front door, a worker pool in the
+//! middle, metrics and per-session decision digests on the way out.
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionEvent};
+use crate::metrics::{Counter, Histogram, MetricsRegistry};
+use crate::pool::{self, PoolReport, Quantum, WorkUnit};
+use scalo_core::session::{Session, SessionSpec};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fleet configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Windows a session advances per scheduling quantum before it
+    /// yields its worker.
+    pub quantum_steps: usize,
+    /// Admission-control budget.
+    pub admission: AdmissionConfig,
+}
+
+impl FleetConfig {
+    /// A fleet with `workers` threads, an 8-window quantum, and the
+    /// default admission budget.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            quantum_steps: 8,
+            admission: AdmissionConfig::default(),
+        }
+    }
+
+    /// Sets the scheduling quantum, in windows.
+    pub fn with_quantum_steps(mut self, steps: usize) -> Self {
+        assert!(steps >= 1, "quantum must make progress");
+        self.quantum_steps = steps;
+        self
+    }
+
+    /// Sets the admission budget.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.admission = AdmissionConfig { budget };
+        self
+    }
+}
+
+/// Where a submitted session ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitState {
+    /// Admitted and (still) scheduled to run.
+    Admitted,
+    /// Refused at the front door.
+    Rejected,
+    /// Admitted, then evicted by a later higher-priority submission.
+    Shed,
+}
+
+/// One served session's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionServing {
+    /// Session id.
+    pub id: u64,
+    /// Admission priority.
+    pub priority: u8,
+    /// Windows stepped.
+    pub steps: u64,
+    /// Steps that overran the session's deadline.
+    pub deadline_misses: u64,
+    /// Wall-clock µs spent stepping this session.
+    pub wall_us: u64,
+    /// Simulated µs served.
+    pub sim_us: u64,
+    /// The deterministic decision digest
+    /// ([`Session::decision_digest`]).
+    pub digest: String,
+}
+
+/// The full outcome of one [`Fleet::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end wall-clock time of the run, ms.
+    pub wall_ms: f64,
+    /// Windows stepped across all sessions.
+    pub windows: u64,
+    /// Deadline misses across all sessions.
+    pub deadline_misses: u64,
+    /// Served sessions, by id.
+    pub sessions: Vec<SessionServing>,
+    /// Ids refused at submission.
+    pub rejected: Vec<u64>,
+    /// Ids admitted then shed.
+    pub shed: Vec<u64>,
+    /// The admission transition log.
+    pub admission_log: Vec<AdmissionEvent>,
+    /// Worker-pool accounting.
+    pub pool: PoolReport,
+    /// The metrics registry's JSON export (counters + histograms).
+    pub metrics_json: String,
+}
+
+impl FleetReport {
+    /// Fleet throughput: windows served per wall-clock second.
+    pub fn windows_per_sec(&self) -> f64 {
+        self.windows as f64 / (self.wall_ms / 1_000.0).max(1e-9)
+    }
+
+    /// Serialises the report as one JSON object (summary, per-session
+    /// rows with FNV-1a decision fingerprints, admission log, and the
+    /// full metrics export).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"workers\":{},\"wall_ms\":{:.3},\"windows\":{},\"windows_per_sec\":{:.1},\"deadline_misses\":{},\"pool\":{{\"quanta\":{},\"steals\":{}}}",
+            self.workers,
+            self.wall_ms,
+            self.windows,
+            self.windows_per_sec(),
+            self.deadline_misses,
+            self.pool.quanta,
+            self.pool.steals,
+        );
+        out.push_str(",\"sessions\":[");
+        for (i, s) in self.sessions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"priority\":{},\"steps\":{},\"deadline_misses\":{},\"wall_us\":{},\"sim_us\":{},\"decisions_fnv\":\"{:016x}\"}}",
+                s.id,
+                s.priority,
+                s.steps,
+                s.deadline_misses,
+                s.wall_us,
+                s.sim_us,
+                fnv1a(s.digest.as_bytes()),
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"rejected\":{:?},\"shed\":{:?},\"admission_events\":{},\"metrics\":{}}}",
+            self.rejected,
+            self.shed,
+            admission_log_json(&self.admission_log),
+            self.metrics_json,
+        );
+        out
+    }
+}
+
+fn admission_log_json(log: &[AdmissionEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, ev) in log.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match ev {
+            AdmissionEvent::Admitted { id, cost } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"admitted\",\"id\":{id},\"cost\":{cost}}}"
+                );
+            }
+            AdmissionEvent::Rejected { id, cost, headroom } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"rejected\",\"id\":{id},\"cost\":{cost},\"headroom\":{headroom}}}"
+                );
+            }
+            AdmissionEvent::Shed { id, for_id } => {
+                let _ = write!(out, "{{\"event\":\"shed\",\"id\":{id},\"for\":{for_id}}}");
+            }
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// 64-bit FNV-1a, for compact decision fingerprints in JSON output.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One pooled session plus its metric handles (resolved once here so
+/// the step loop never takes the registry lock).
+struct FleetJob {
+    session: Session,
+    quantum_steps: usize,
+    fleet_latency: Arc<Histogram>,
+    session_latency: Arc<Histogram>,
+    steps: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl WorkUnit for FleetJob {
+    fn run_quantum(&mut self) -> Quantum {
+        for _ in 0..self.quantum_steps {
+            let out = self.session.step();
+            self.fleet_latency.observe(out.wall_us);
+            self.session_latency.observe(out.wall_us);
+            self.steps.incr();
+            if out.deadline_missed {
+                self.misses.incr();
+            }
+            if out.done {
+                return Quantum::Done;
+            }
+        }
+        Quantum::Yield
+    }
+}
+
+/// A multi-patient serving fleet: submit sessions, then run the
+/// admitted set to completion on the worker pool.
+#[derive(Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    admission: AdmissionController,
+    metrics: Arc<MetricsRegistry>,
+    active: Vec<Session>,
+    states: BTreeMap<u64, (u8, SubmitState)>,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new(cfg: FleetConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        Self {
+            cfg,
+            admission: AdmissionController::new(cfg.admission),
+            metrics: Arc::new(MetricsRegistry::new()),
+            active: Vec::new(),
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// The fleet's metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The admission controller (budget usage, transition log).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Where each submitted session currently stands.
+    pub fn submit_state(&self, id: u64) -> Option<SubmitState> {
+        self.states.get(&id).map(|&(_, s)| s)
+    }
+
+    /// Offers a session to the fleet. On admission the session is built
+    /// (recording generated, detectors trained) and queued; sessions
+    /// the admission controller shed to make room are dropped from the
+    /// queue. Returns whether the session was admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.id` was already submitted.
+    pub fn submit(&mut self, spec: SessionSpec) -> bool {
+        assert!(
+            !self.states.contains_key(&spec.id),
+            "session id {} already submitted",
+            spec.id
+        );
+        let decision = self
+            .admission
+            .offer(spec.id, spec.priority, spec.cost_estimate());
+        if !decision.admitted {
+            self.states
+                .insert(spec.id, (spec.priority, SubmitState::Rejected));
+            self.metrics.counter("fleet.rejected").incr();
+            return false;
+        }
+        for victim in decision.shed {
+            self.active.retain(|s| s.id() != victim);
+            if let Some(st) = self.states.get_mut(&victim) {
+                st.1 = SubmitState::Shed;
+            }
+            self.metrics.counter("fleet.shed").incr();
+        }
+        self.states
+            .insert(spec.id, (spec.priority, SubmitState::Admitted));
+        self.metrics.counter("fleet.admitted").incr();
+        self.active.push(Session::new(spec));
+        true
+    }
+
+    /// Runs every admitted session to completion and reports.
+    pub fn run(mut self) -> FleetReport {
+        let jobs: Vec<FleetJob> = self
+            .active
+            .drain(..)
+            .map(|session| {
+                let id = session.id();
+                FleetJob {
+                    fleet_latency: self.metrics.histogram("fleet.step_latency_us"),
+                    session_latency: self
+                        .metrics
+                        .histogram(&format!("session.{id}.step_latency_us")),
+                    steps: self.metrics.counter("fleet.steps"),
+                    misses: self.metrics.counter("fleet.deadline_misses"),
+                    quantum_steps: self.cfg.quantum_steps,
+                    session,
+                }
+            })
+            .collect();
+        let t0 = Instant::now();
+        let (done, pool_report) = pool::run_to_completion(jobs, self.cfg.workers);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+
+        let mut sessions: Vec<SessionServing> = done
+            .into_iter()
+            .map(|job| {
+                let report = job.session.report();
+                self.admission.release(report.id);
+                SessionServing {
+                    id: report.id,
+                    priority: job.session.priority(),
+                    steps: report.steps,
+                    deadline_misses: report.deadline_misses,
+                    wall_us: report.wall_us,
+                    sim_us: report.sim_us,
+                    digest: job.session.decision_digest(),
+                }
+            })
+            .collect();
+        sessions.sort_by_key(|s| s.id);
+
+        let by_state = |want: SubmitState| {
+            self.states
+                .iter()
+                .filter(|(_, &(_, s))| s == want)
+                .map(|(&id, _)| id)
+                .collect::<Vec<u64>>()
+        };
+        FleetReport {
+            workers: self.cfg.workers,
+            wall_ms,
+            windows: sessions.iter().map(|s| s.steps).sum(),
+            deadline_misses: sessions.iter().map(|s| s.deadline_misses).sum(),
+            sessions,
+            rejected: by_state(SubmitState::Rejected),
+            shed: by_state(SubmitState::Shed),
+            admission_log: self.admission.log().to_vec(),
+            pool: pool_report,
+            metrics_json: self.metrics.to_json(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(id: u64) -> SessionSpec {
+        SessionSpec::new(id, 0x100 + id).with_duration_s(0.3)
+    }
+
+    #[test]
+    fn serves_a_small_fleet() {
+        let mut fleet = Fleet::new(FleetConfig::new(2).with_quantum_steps(4));
+        for id in 0..3 {
+            assert!(fleet.submit(small_spec(id)));
+        }
+        let report = fleet.run();
+        assert_eq!(report.sessions.len(), 3);
+        assert_eq!(report.windows, 3 * 75);
+        assert!(report.windows_per_sec() > 0.0);
+        assert!(report.rejected.is_empty());
+        assert!(report.metrics_json.contains("fleet.step_latency_us"));
+        assert!(report.to_json().contains("\"decisions_fnv\""));
+    }
+
+    #[test]
+    fn over_budget_submission_is_rejected_not_run() {
+        let mut fleet = Fleet::new(FleetConfig::new(1).with_budget(8.0));
+        assert!(fleet.submit(small_spec(1)));
+        assert!(!fleet.submit(small_spec(2)), "budget 8 fits one cost-8");
+        assert_eq!(fleet.submit_state(2), Some(SubmitState::Rejected));
+        let report = fleet.run();
+        assert_eq!(report.sessions.len(), 1);
+        assert_eq!(report.rejected, vec![2]);
+    }
+
+    #[test]
+    fn higher_priority_sheds_queued_lower_priority() {
+        let mut fleet = Fleet::new(FleetConfig::new(1).with_budget(16.0));
+        assert!(fleet.submit(small_spec(1).with_priority(1)));
+        assert!(fleet.submit(small_spec(2).with_priority(1)));
+        assert!(fleet.submit(small_spec(3).with_priority(7)));
+        assert_eq!(fleet.submit_state(2), Some(SubmitState::Shed));
+        let report = fleet.run();
+        let ids: Vec<u64> = report.sessions.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![1, 3], "newest low-priority session shed first");
+        assert_eq!(report.shed, vec![2]);
+    }
+}

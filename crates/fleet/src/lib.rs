@@ -1,0 +1,47 @@
+//! `scalo-fleet`: a concurrent multi-patient serving layer.
+//!
+//! The core crates simulate *one* patient's implant network. This crate
+//! serves *many*: each patient is a [`scalo_core::session::Session`]
+//! (own seed, deployment preset, and application mix — a resumable unit
+//! of work), and the fleet multiplexes them over a std-only worker
+//! pool:
+//!
+//! * [`pool`] — sharded run-queues (`std::thread` + `Mutex`/`Condvar`)
+//!   with work stealing, so one patient's slow seizure-confirmation
+//!   step never stalls the rest of the fleet;
+//! * [`admission`] — an aggregate compute budget at the front door,
+//!   degrading gracefully by shedding lowest-priority sessions first
+//!   (the membership layer's eviction idiom, one level up);
+//! * [`metrics`] — atomic counters and fixed-bucket latency histograms
+//!   for per-session and fleet-wide step latency, deadline misses, and
+//!   throughput, exported as JSON;
+//! * [`fleet`] — the serving loop tying the three together.
+//!
+//! Determinism is the load-bearing property: a session owns all of its
+//! state and wall-clock timing feeds metrics only, so the same set of
+//! seeded sessions produces byte-identical per-session decisions on one
+//! worker or many — threading changes the interleaving, never a result.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scalo_core::session::SessionSpec;
+//! use scalo_fleet::{Fleet, FleetConfig};
+//!
+//! let mut fleet = Fleet::new(FleetConfig::new(2));
+//! for id in 0..4 {
+//!     fleet.submit(SessionSpec::new(id, 0xbc1 + id).with_duration_s(0.3));
+//! }
+//! let report = fleet.run();
+//! assert_eq!(report.sessions.len(), 4);
+//! ```
+
+pub mod admission;
+pub mod fleet;
+pub mod metrics;
+pub mod pool;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionEvent};
+pub use fleet::{Fleet, FleetConfig, FleetReport, SessionServing, SubmitState};
+pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use pool::{PoolReport, Quantum, WorkUnit};

@@ -1,0 +1,248 @@
+//! A std-only worker pool over sharded run-queues with work stealing.
+//!
+//! Each worker owns one shard (a `Mutex<VecDeque>` + `Condvar`) and
+//! services it front-to-back; a worker whose shard runs dry steals from
+//! the *back* of its neighbours' shards, so a patient whose
+//! seizure-confirmation step runs long ties up one worker while every
+//! other session drains through the remaining shards. Jobs are
+//! cooperative: [`WorkUnit::run_quantum`] does a bounded slice of work
+//! and yields, and a yielded job goes to the back of its worker's shard
+//! — round-robin service within a shard, stealing across them.
+//!
+//! The pool is deliberately oblivious to what a job computes, which is
+//! what makes fleet execution reproducible: a job owns all of its
+//! state, so which worker (or how many workers) steps it can change
+//! only the interleaving, never a result.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// What one scheduling quantum accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantum {
+    /// More work remains: requeue the job.
+    Yield,
+    /// The job is finished: retire it.
+    Done,
+}
+
+/// A resumable, relocatable unit of work.
+pub trait WorkUnit: Send {
+    /// Performs a bounded slice of work.
+    fn run_quantum(&mut self) -> Quantum;
+}
+
+/// Aggregate pool accounting for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolReport {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Quanta executed across all workers.
+    pub quanta: u64,
+    /// Quanta whose job was stolen from another worker's shard.
+    pub steals: u64,
+}
+
+struct Shard<J> {
+    queue: Mutex<VecDeque<(usize, J)>>,
+    cv: Condvar,
+}
+
+struct Pool<J> {
+    shards: Vec<Shard<J>>,
+    /// Jobs not yet retired; 0 means every worker should exit.
+    pending: AtomicUsize,
+    finished: Mutex<Vec<Option<J>>>,
+    quanta: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// Runs every job to completion on `workers` threads and returns the
+/// jobs in submission order, plus the pool accounting.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or a worker thread panics.
+pub fn run_to_completion<J: WorkUnit>(jobs: Vec<J>, workers: usize) -> (Vec<J>, PoolReport) {
+    assert!(workers >= 1, "need at least one worker");
+    let n = jobs.len();
+    let pool = Pool {
+        shards: (0..workers)
+            .map(|_| Shard {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            })
+            .collect(),
+        pending: AtomicUsize::new(n),
+        finished: Mutex::new((0..n).map(|_| None).collect()),
+        quanta: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+    };
+    // Round-robin initial placement across the shards.
+    for (idx, job) in jobs.into_iter().enumerate() {
+        pool.shards[idx % workers]
+            .queue
+            .lock()
+            .expect("shard lock")
+            .push_back((idx, job));
+    }
+    std::thread::scope(|s| {
+        for me in 0..workers {
+            let pool = &pool;
+            s.spawn(move || worker_loop(pool, me));
+        }
+    });
+    let report = PoolReport {
+        workers,
+        quanta: pool.quanta.load(Ordering::Relaxed),
+        steals: pool.steals.load(Ordering::Relaxed),
+    };
+    let finished = pool
+        .finished
+        .into_inner()
+        .expect("finished lock")
+        .into_iter()
+        .map(|j| j.expect("every job retired"))
+        .collect();
+    (finished, report)
+}
+
+fn worker_loop<J: WorkUnit>(pool: &Pool<J>, me: usize) {
+    while pool.pending.load(Ordering::Acquire) > 0 {
+        let Some((idx, mut job, stolen)) = take_job(pool, me) else {
+            // Nothing runnable anywhere: park briefly on our own shard.
+            // The timeout (rather than pure signalling) keeps the exit
+            // path simple — a worker re-checks `pending` at worst 1 ms
+            // after the last job retires.
+            let guard = pool.shards[me].queue.lock().expect("shard lock");
+            if pool.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let _ = pool.shards[me]
+                .cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("shard lock");
+            continue;
+        };
+        pool.quanta.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            pool.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        match job.run_quantum() {
+            Quantum::Done => {
+                pool.finished.lock().expect("finished lock")[idx] = Some(job);
+                if pool.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    for shard in &pool.shards {
+                        shard.cv.notify_all();
+                    }
+                }
+            }
+            Quantum::Yield => {
+                pool.shards[me]
+                    .queue
+                    .lock()
+                    .expect("shard lock")
+                    .push_back((idx, job));
+                pool.shards[me].cv.notify_one();
+            }
+        }
+    }
+}
+
+/// Pops from the front of our own shard, or steals from the back of the
+/// first non-empty neighbour.
+fn take_job<J>(pool: &Pool<J>, me: usize) -> Option<(usize, J, bool)> {
+    if let Some((idx, job)) = pool.shards[me]
+        .queue
+        .lock()
+        .expect("shard lock")
+        .pop_front()
+    {
+        return Some((idx, job, false));
+    }
+    let k = pool.shards.len();
+    for off in 1..k {
+        let victim = (me + off) % k;
+        if let Some((idx, job)) = pool.shards[victim]
+            .queue
+            .lock()
+            .expect("shard lock")
+            .pop_back()
+        {
+            return Some((idx, job, true));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts down `remaining` one tick per quantum.
+    struct Ticker {
+        remaining: u32,
+        ticks: u32,
+    }
+
+    impl WorkUnit for Ticker {
+        fn run_quantum(&mut self) -> Quantum {
+            self.ticks += 1;
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                Quantum::Done
+            } else {
+                Quantum::Yield
+            }
+        }
+    }
+
+    #[test]
+    fn runs_everything_in_submission_order() {
+        for workers in [1, 2, 4] {
+            let jobs: Vec<Ticker> = (0..10)
+                .map(|i| Ticker {
+                    remaining: 1 + i % 4,
+                    ticks: 0,
+                })
+                .collect();
+            let (done, report) = run_to_completion(jobs, workers);
+            assert_eq!(done.len(), 10);
+            for (i, t) in done.iter().enumerate() {
+                assert_eq!(t.ticks, 1 + (i as u32) % 4, "job {i} on {workers} workers");
+                assert_eq!(t.remaining, 0);
+            }
+            assert_eq!(report.workers, workers);
+            let expected: u32 = (0..10u32).map(|i| 1 + i % 4).sum();
+            assert_eq!(report.quanta, u64::from(expected));
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let (done, report) = run_to_completion(Vec::<Ticker>::new(), 4);
+        assert!(done.is_empty());
+        assert_eq!(report.quanta, 0);
+    }
+
+    #[test]
+    fn one_long_job_does_not_stall_the_rest() {
+        // One 512-quantum job plus many one-quantum jobs on 2 workers:
+        // everything retires (and almost certainly some were stolen, but
+        // scheduling noise makes that assertion too brittle to keep).
+        let mut jobs = vec![Ticker {
+            remaining: 512,
+            ticks: 0,
+        }];
+        jobs.extend((0..32).map(|_| Ticker {
+            remaining: 1,
+            ticks: 0,
+        }));
+        let (done, report) = run_to_completion(jobs, 2);
+        assert_eq!(done.len(), 33);
+        assert!(done.iter().all(|t| t.remaining == 0));
+        assert_eq!(report.quanta, 512 + 32);
+    }
+}

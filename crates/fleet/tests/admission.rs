@@ -1,0 +1,83 @@
+//! Admission control at fleet scope: budget enforcement and strict
+//! lowest-priority-first shedding.
+
+use scalo_core::session::SessionSpec;
+use scalo_fleet::{AdmissionEvent, Fleet, FleetConfig, SubmitState};
+
+fn spec(id: u64, priority: u8) -> SessionSpec {
+    SessionSpec::new(id, 0xace + id)
+        .with_duration_s(0.3)
+        .with_priority(priority)
+}
+
+#[test]
+fn over_budget_submission_is_rejected() {
+    // Default small sessions cost 8 each; budget 20 fits two.
+    let mut fleet = Fleet::new(FleetConfig::new(2).with_budget(20.0));
+    assert!(fleet.submit(spec(1, 3)));
+    assert!(fleet.submit(spec(2, 3)));
+    assert!(
+        !fleet.submit(spec(3, 3)),
+        "third equal-priority session overflows"
+    );
+    assert_eq!(fleet.submit_state(3), Some(SubmitState::Rejected));
+
+    let report = fleet.run();
+    assert_eq!(report.rejected, vec![3]);
+    assert_eq!(report.sessions.len(), 2, "rejected session never ran");
+    assert!(report.sessions.iter().all(|s| s.id != 3));
+    assert!(
+        report
+            .admission_log
+            .iter()
+            .any(|e| matches!(e, AdmissionEvent::Rejected { id: 3, .. })),
+        "{:?}",
+        report.admission_log
+    );
+}
+
+#[test]
+fn shedding_evicts_strictly_lowest_priority_first() {
+    // Budget 32 holds four cost-8 sessions; admit priorities 1, 2, 1, 4
+    // then force an 8-unit high-priority arrival: the two priority-1
+    // sessions must go (newest first), never the priority-2 or -4 ones.
+    let mut fleet = Fleet::new(FleetConfig::new(2).with_budget(32.0));
+    assert!(fleet.submit(spec(10, 1)));
+    assert!(fleet.submit(spec(11, 2)));
+    assert!(fleet.submit(spec(12, 1)));
+    assert!(fleet.submit(spec(13, 4)));
+
+    // Needs room for 16: shed both priority-1 sessions, id 12 before 10.
+    let big = SessionSpec::new(14, 0xace + 14)
+        .with_duration_s(0.3)
+        .with_priority(9)
+        .with_deployment(4, 4); // cost 16
+    assert!(fleet.submit(big));
+
+    let shed_order: Vec<u64> = fleet
+        .admission()
+        .log()
+        .iter()
+        .filter_map(|e| match e {
+            AdmissionEvent::Shed { id, for_id: 14 } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(shed_order, vec![12, 10], "lowest priority, newest first");
+    assert_eq!(fleet.submit_state(10), Some(SubmitState::Shed));
+    assert_eq!(fleet.submit_state(12), Some(SubmitState::Shed));
+    assert_eq!(fleet.submit_state(11), Some(SubmitState::Admitted));
+
+    let report = fleet.run();
+    let served: Vec<u64> = report.sessions.iter().map(|s| s.id).collect();
+    assert_eq!(served, vec![11, 13, 14]);
+    assert_eq!(report.shed, vec![10, 12]);
+}
+
+#[test]
+fn equal_priority_never_displaces() {
+    let mut fleet = Fleet::new(FleetConfig::new(1).with_budget(8.0));
+    assert!(fleet.submit(spec(1, 5)));
+    assert!(!fleet.submit(spec(2, 5)), "first come, first served");
+    assert_eq!(fleet.submit_state(1), Some(SubmitState::Admitted));
+}

@@ -131,7 +131,7 @@ mod tests {
 
     fn random_signal(rng: &mut ChaCha8Rng, n: usize) -> Vec<f64> {
         let f = 0.05 + rng.gen::<f64>() * 0.4;
-        let p = rng.gen::<f64>() * 6.28;
+        let p = rng.gen::<f64>() * std::f64::consts::TAU;
         (0..n).map(|i| (i as f64 * f + p).sin()).collect()
     }
 

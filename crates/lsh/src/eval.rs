@@ -270,7 +270,7 @@ mod tests {
     fn total_error_is_bounded_for_all_measures() {
         for measure in Measure::ALL {
             let pairs = generate_pairs(measure, 400, 11);
-            let q = if measure == Measure::Xcor { 0.5 } else { 0.5 };
+            let q = 0.5;
             let thr = threshold_at_quantile(&pairs, q);
             let err = total_error_rate(measure, &pairs, thr);
             assert!(err < 0.35, "{measure}: total error {err}");

@@ -149,8 +149,8 @@ mod tests {
         // Smooth random signal: random phase/frequency sum of sines.
         let f1 = 0.05 + rng.gen::<f64>() * 0.3;
         let f2 = 0.05 + rng.gen::<f64>() * 0.3;
-        let p1 = rng.gen::<f64>() * 6.28;
-        let p2 = rng.gen::<f64>() * 6.28;
+        let p1 = rng.gen::<f64>() * std::f64::consts::TAU;
+        let p2 = rng.gen::<f64>() * std::f64::consts::TAU;
         (0..n)
             .map(|i| (i as f64 * f1 + p1).sin() + 0.5 * (i as f64 * f2 + p2).sin())
             .collect()

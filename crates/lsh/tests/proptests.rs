@@ -64,7 +64,7 @@ proptest! {
             cc.record(e, t, value.clone());
         }
         let now = 10_000u64;
-        let found = cc.matches(&[value.clone()], now, horizon);
+        let found = cc.matches(std::slice::from_ref(&value), now, horizon);
         let expected = times
             .iter()
             .filter(|&&t| t >= now - horizon && t <= now)

@@ -69,10 +69,10 @@ proptest! {
         let n = 5;
         let mut a = Matrix::zeros(n, n);
         let mut k = 0;
-        for r in 0..n {
+        for (r, &d) in diag.iter().enumerate().take(n) {
             for c in 0..n {
                 if r == c {
-                    a.set(r, c, diag[r]);
+                    a.set(r, c, d);
                 } else {
                     a.set(r, c, off[k % off.len()] * 0.05);
                     k += 1;

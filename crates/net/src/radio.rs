@@ -125,7 +125,8 @@ mod tests {
     fn radio_rate_vs_adc_rate_gap() {
         // The §6.2 bottleneck: intra-radio at 7 Mbps vs 46 Mbps of ADC
         // data — the reason hashes matter.
-        assert!(EXTERNAL.data_rate_mbps / LOW_POWER.data_rate_mbps > 6.0);
+        let ratio = EXTERNAL.data_rate_mbps / LOW_POWER.data_rate_mbps;
+        assert!(ratio > 6.0, "{ratio}");
     }
 
     #[test]

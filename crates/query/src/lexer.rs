@@ -188,7 +188,7 @@ mod tests {
         let toks = lex("var movements = stream.window(wsize=50ms).sbp()").unwrap();
         assert!(toks.contains(&Token::Ident("stream".into())));
         assert!(toks.contains(&Token::Number(50.0, Some("ms".into()))));
-        assert!(toks.contains(&Token::FatArrow) == false);
+        assert!(!toks.contains(&Token::FatArrow));
     }
 
     #[test]

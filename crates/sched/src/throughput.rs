@@ -119,7 +119,7 @@ mod tests {
             .unwrap()
             .0;
         assert!(
-            peak_idx >= 2 && peak_idx <= 5,
+            (2..=5).contains(&peak_idx),
             "peak at index {peak_idx}: {sweep:?}"
         );
         assert!(sweep[7] < sweep[peak_idx] * 0.8, "declines after peak");

@@ -78,7 +78,7 @@ proptest! {
                 _ => d.erase_block(0),
             }
             if op == 2 {
-                next_page = next_page.min(0); // block 0 erased; restart
+                next_page = 0; // block 0 erased; restart
             }
             let t = d.cost().time_us;
             prop_assert!(t >= last_time);

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/admission-68ccbe0b425540b2.d: crates/fleet/tests/admission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadmission-68ccbe0b425540b2.rmeta: crates/fleet/tests/admission.rs Cargo.toml
+
+crates/fleet/tests/admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/admission-cd670daabf59d4b7.d: crates/fleet/tests/admission.rs
+
+/root/repo/target/debug/deps/admission-cd670daabf59d4b7: crates/fleet/tests/admission.rs
+
+crates/fleet/tests/admission.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corruption-a32306f7f33758b1.d: crates/net/tests/corruption.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorruption-a32306f7f33758b1.rmeta: crates/net/tests/corruption.rs Cargo.toml
+
+crates/net/tests/corruption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

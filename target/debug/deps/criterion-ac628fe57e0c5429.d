@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-ac628fe57e0c5429.d: compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-ac628fe57e0c5429.rmeta: compat/criterion/src/lib.rs Cargo.toml
+
+compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

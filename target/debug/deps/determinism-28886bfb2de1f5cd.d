@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-28886bfb2de1f5cd.d: crates/fleet/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-28886bfb2de1f5cd: crates/fleet/tests/determinism.rs
+
+crates/fleet/tests/determinism.rs:

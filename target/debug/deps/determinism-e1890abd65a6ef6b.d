@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-e1890abd65a6ef6b.d: crates/fleet/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-e1890abd65a6ef6b.rmeta: crates/fleet/tests/determinism.rs Cargo.toml
+
+crates/fleet/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag-e0cda575e0e02bd7.d: crates/lsh/tests/diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag-e0cda575e0e02bd7.rmeta: crates/lsh/tests/diag.rs Cargo.toml
+
+crates/lsh/tests/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

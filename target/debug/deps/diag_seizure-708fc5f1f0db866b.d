@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag_seizure-708fc5f1f0db866b.d: crates/core/tests/diag_seizure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag_seizure-708fc5f1f0db866b.rmeta: crates/core/tests/diag_seizure.rs Cargo.toml
+
+crates/core/tests/diag_seizure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag_spikes-ced3784d03524be0.d: crates/core/tests/diag_spikes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag_spikes-ced3784d03524be0.rmeta: crates/core/tests/diag_spikes.rs Cargo.toml
+
+crates/core/tests/diag_spikes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag_spikes2-6cd7034b043d99e4.d: crates/core/tests/diag_spikes2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag_spikes2-6cd7034b043d99e4.rmeta: crates/core/tests/diag_spikes2.rs Cargo.toml
+
+crates/core/tests/diag_spikes2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

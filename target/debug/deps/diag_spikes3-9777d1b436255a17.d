@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag_spikes3-9777d1b436255a17.d: crates/core/tests/diag_spikes3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag_spikes3-9777d1b436255a17.rmeta: crates/core/tests/diag_spikes3.rs Cargo.toml
+
+crates/core/tests/diag_spikes3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag_spikes4-0cbc61631e6e8975.d: crates/core/tests/diag_spikes4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag_spikes4-0cbc61631e6e8975.rmeta: crates/core/tests/diag_spikes4.rs Cargo.toml
+
+crates/core/tests/diag_spikes4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag_spikes5-e3d2891f6c070765.d: crates/core/tests/diag_spikes5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag_spikes5-e3d2891f6c070765.rmeta: crates/core/tests/diag_spikes5.rs Cargo.toml
+
+crates/core/tests/diag_spikes5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-602e010b4e533261.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-602e010b4e533261: tests/end_to_end.rs
+
+tests/end_to_end.rs:

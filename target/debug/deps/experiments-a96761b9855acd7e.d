@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a96761b9855acd7e.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-a96761b9855acd7e: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet-a68a46af5ea427ce.d: crates/bench/benches/fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet-a68a46af5ea427ce.rmeta: crates/bench/benches/fleet.rs Cargo.toml
+
+crates/bench/benches/fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

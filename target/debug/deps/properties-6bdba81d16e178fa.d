@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6bdba81d16e178fa.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6bdba81d16e178fa.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f155f88ef5d8449a.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f155f88ef5d8449a: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/proptest-e0fb9d01971b1552.d: compat/proptest/src/lib.rs compat/proptest/src/arbitrary.rs compat/proptest/src/collection.rs compat/proptest/src/strategy.rs compat/proptest/src/string.rs compat/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-e0fb9d01971b1552.rmeta: compat/proptest/src/lib.rs compat/proptest/src/arbitrary.rs compat/proptest/src/collection.rs compat/proptest/src/strategy.rs compat/proptest/src/string.rs compat/proptest/src/test_runner.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/arbitrary.rs:
+compat/proptest/src/collection.rs:
+compat/proptest/src/strategy.rs:
+compat/proptest/src/string.rs:
+compat/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

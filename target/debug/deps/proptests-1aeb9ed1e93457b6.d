@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1aeb9ed1e93457b6.d: crates/sched/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1aeb9ed1e93457b6.rmeta: crates/sched/tests/proptests.rs Cargo.toml
+
+crates/sched/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

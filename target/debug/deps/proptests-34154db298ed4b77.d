@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-34154db298ed4b77.d: crates/lsh/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-34154db298ed4b77.rmeta: crates/lsh/tests/proptests.rs Cargo.toml
+
+crates/lsh/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8be89ff0d4077eac.d: crates/signal/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8be89ff0d4077eac.rmeta: crates/signal/tests/proptests.rs Cargo.toml
+
+crates/signal/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a3cef52740c94e49.d: crates/query/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a3cef52740c94e49.rmeta: crates/query/tests/proptests.rs Cargo.toml
+
+crates/query/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-cd5620bf6f2dd4d5.d: crates/ml/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-cd5620bf6f2dd4d5.rmeta: crates/ml/tests/proptests.rs Cargo.toml
+
+crates/ml/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d88ddc1aed40b101.d: crates/ilp/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d88ddc1aed40b101.rmeta: crates/ilp/tests/proptests.rs Cargo.toml
+
+crates/ilp/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

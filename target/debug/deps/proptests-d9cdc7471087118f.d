@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d9cdc7471087118f.d: crates/net/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d9cdc7471087118f.rmeta: crates/net/tests/proptests.rs Cargo.toml
+
+crates/net/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

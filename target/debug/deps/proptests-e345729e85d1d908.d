@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e345729e85d1d908.d: crates/storage/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e345729e85d1d908.rmeta: crates/storage/tests/proptests.rs Cargo.toml
+
+crates/storage/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

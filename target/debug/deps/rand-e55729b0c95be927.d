@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e55729b0c95be927.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e55729b0c95be927.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e55729b0c95be927.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

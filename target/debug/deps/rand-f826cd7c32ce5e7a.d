@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-f826cd7c32ce5e7a.d: compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-f826cd7c32ce5e7a.rmeta: compat/rand/src/lib.rs Cargo.toml
+
+compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-dbbec4ae529ec912.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-dbbec4ae529ec912.rlib: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-dbbec4ae529ec912.rmeta: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scalo-44307375a7c64b2d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libscalo-44307375a7c64b2d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libscalo-44307375a7c64b2d.rmeta: src/lib.rs
+
+src/lib.rs:

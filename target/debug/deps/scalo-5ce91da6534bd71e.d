@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalo-5ce91da6534bd71e.d: src/lib.rs
+
+/root/repo/target/debug/deps/scalo-5ce91da6534bd71e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalo-81e5a2b8bd4e6d35.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo-81e5a2b8bd4e6d35.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/scalo_bench-1a2e57cfc21cc7b2.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_bench-1a2e57cfc21cc7b2.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

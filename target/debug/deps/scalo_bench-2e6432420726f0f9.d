@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalo_bench-2e6432420726f0f9.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/debug/deps/scalo_bench-2e6432420726f0f9: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

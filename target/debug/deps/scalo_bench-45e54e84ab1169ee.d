@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/scalo_bench-45e54e84ab1169ee.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/debug/deps/libscalo_bench-45e54e84ab1169ee.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/debug/deps/libscalo_bench-45e54e84ab1169ee.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/scalo_core-0e48402d7695c2a2.d: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libscalo_core-0e48402d7695c2a2.rlib: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libscalo_core-0e48402d7695c2a2.rmeta: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/apps/mod.rs:
+crates/core/src/apps/external_loop.rs:
+crates/core/src/apps/movement.rs:
+crates/core/src/apps/queries.rs:
+crates/core/src/apps/seizure.rs:
+crates/core/src/apps/spike_sort.rs:
+crates/core/src/arch.rs:
+crates/core/src/config.rs:
+crates/core/src/fault.rs:
+crates/core/src/membership.rs:
+crates/core/src/node.rs:
+crates/core/src/runtime.rs:
+crates/core/src/sntp.rs:
+crates/core/src/stim.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/scalo_core-e740600675c70073.d: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/session.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_core-e740600675c70073.rmeta: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/session.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/apps/mod.rs:
+crates/core/src/apps/external_loop.rs:
+crates/core/src/apps/movement.rs:
+crates/core/src/apps/queries.rs:
+crates/core/src/apps/seizure.rs:
+crates/core/src/apps/spike_sort.rs:
+crates/core/src/arch.rs:
+crates/core/src/config.rs:
+crates/core/src/fault.rs:
+crates/core/src/membership.rs:
+crates/core/src/node.rs:
+crates/core/src/runtime.rs:
+crates/core/src/session.rs:
+crates/core/src/sntp.rs:
+crates/core/src/stim.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

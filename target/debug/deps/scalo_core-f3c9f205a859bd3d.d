@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/scalo_core-f3c9f205a859bd3d.d: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs Cargo.toml
+/root/repo/target/debug/deps/scalo_core-f3c9f205a859bd3d.d: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/session.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs Cargo.toml
 
-/root/repo/target/debug/deps/libscalo_core-f3c9f205a859bd3d.rmeta: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs Cargo.toml
+/root/repo/target/debug/deps/libscalo_core-f3c9f205a859bd3d.rmeta: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/session.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/apps/mod.rs:
@@ -15,6 +15,7 @@ crates/core/src/fault.rs:
 crates/core/src/membership.rs:
 crates/core/src/node.rs:
 crates/core/src/runtime.rs:
+crates/core/src/session.rs:
 crates/core/src/sntp.rs:
 crates/core/src/stim.rs:
 crates/core/src/system.rs:

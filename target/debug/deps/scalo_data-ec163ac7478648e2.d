@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/scalo_data-ec163ac7478648e2.d: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+/root/repo/target/debug/deps/libscalo_data-ec163ac7478648e2.rlib: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+/root/repo/target/debug/deps/libscalo_data-ec163ac7478648e2.rmeta: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs
+
+crates/data/src/lib.rs:
+crates/data/src/ieeg.rs:
+crates/data/src/presets.rs:
+crates/data/src/spikes.rs:
+crates/data/src/split.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/scalo_data-f9fe92df4e2c8516.d: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_data-f9fe92df4e2c8516.rmeta: crates/data/src/lib.rs crates/data/src/ieeg.rs crates/data/src/presets.rs crates/data/src/spikes.rs crates/data/src/split.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/ieeg.rs:
+crates/data/src/presets.rs:
+crates/data/src/spikes.rs:
+crates/data/src/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/scalo_fleet-0a72a0c6f77e60d0.d: crates/fleet/src/lib.rs crates/fleet/src/admission.rs crates/fleet/src/fleet.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_fleet-0a72a0c6f77e60d0.rmeta: crates/fleet/src/lib.rs crates/fleet/src/admission.rs crates/fleet/src/fleet.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs Cargo.toml
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/admission.rs:
+crates/fleet/src/fleet.rs:
+crates/fleet/src/metrics.rs:
+crates/fleet/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

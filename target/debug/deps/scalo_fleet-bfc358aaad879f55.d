@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalo_fleet-bfc358aaad879f55.d: crates/fleet/src/lib.rs crates/fleet/src/admission.rs crates/fleet/src/fleet.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs
+
+/root/repo/target/debug/deps/scalo_fleet-bfc358aaad879f55: crates/fleet/src/lib.rs crates/fleet/src/admission.rs crates/fleet/src/fleet.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/admission.rs:
+crates/fleet/src/fleet.rs:
+crates/fleet/src/metrics.rs:
+crates/fleet/src/pool.rs:

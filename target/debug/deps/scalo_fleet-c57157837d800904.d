@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/scalo_fleet-c57157837d800904.d: crates/fleet/src/lib.rs crates/fleet/src/admission.rs crates/fleet/src/fleet.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs
+
+/root/repo/target/debug/deps/libscalo_fleet-c57157837d800904.rlib: crates/fleet/src/lib.rs crates/fleet/src/admission.rs crates/fleet/src/fleet.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs
+
+/root/repo/target/debug/deps/libscalo_fleet-c57157837d800904.rmeta: crates/fleet/src/lib.rs crates/fleet/src/admission.rs crates/fleet/src/fleet.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/admission.rs:
+crates/fleet/src/fleet.rs:
+crates/fleet/src/metrics.rs:
+crates/fleet/src/pool.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/scalo_hw-667d3cc1b392ea6b.d: crates/hw/src/lib.rs crates/hw/src/adc.rs crates/hw/src/budget.rs crates/hw/src/clock.rs crates/hw/src/fabric.rs crates/hw/src/pe.rs crates/hw/src/pipeline.rs crates/hw/src/placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_hw-667d3cc1b392ea6b.rmeta: crates/hw/src/lib.rs crates/hw/src/adc.rs crates/hw/src/budget.rs crates/hw/src/clock.rs crates/hw/src/fabric.rs crates/hw/src/pe.rs crates/hw/src/pipeline.rs crates/hw/src/placement.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/adc.rs:
+crates/hw/src/budget.rs:
+crates/hw/src/clock.rs:
+crates/hw/src/fabric.rs:
+crates/hw/src/pe.rs:
+crates/hw/src/pipeline.rs:
+crates/hw/src/placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/scalo_hw-df8e487a4dc8d584.d: crates/hw/src/lib.rs crates/hw/src/adc.rs crates/hw/src/budget.rs crates/hw/src/clock.rs crates/hw/src/fabric.rs crates/hw/src/pe.rs crates/hw/src/pipeline.rs crates/hw/src/placement.rs
+
+/root/repo/target/debug/deps/libscalo_hw-df8e487a4dc8d584.rlib: crates/hw/src/lib.rs crates/hw/src/adc.rs crates/hw/src/budget.rs crates/hw/src/clock.rs crates/hw/src/fabric.rs crates/hw/src/pe.rs crates/hw/src/pipeline.rs crates/hw/src/placement.rs
+
+/root/repo/target/debug/deps/libscalo_hw-df8e487a4dc8d584.rmeta: crates/hw/src/lib.rs crates/hw/src/adc.rs crates/hw/src/budget.rs crates/hw/src/clock.rs crates/hw/src/fabric.rs crates/hw/src/pe.rs crates/hw/src/pipeline.rs crates/hw/src/placement.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/adc.rs:
+crates/hw/src/budget.rs:
+crates/hw/src/clock.rs:
+crates/hw/src/fabric.rs:
+crates/hw/src/pe.rs:
+crates/hw/src/pipeline.rs:
+crates/hw/src/placement.rs:

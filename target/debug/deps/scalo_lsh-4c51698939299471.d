@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/scalo_lsh-4c51698939299471.d: crates/lsh/src/lib.rs crates/lsh/src/ccheck.rs crates/lsh/src/config.rs crates/lsh/src/emd_hash.rs crates/lsh/src/eval.rs crates/lsh/src/minhash.rs crates/lsh/src/ngram.rs crates/lsh/src/sketch.rs crates/lsh/src/ssh.rs crates/lsh/src/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_lsh-4c51698939299471.rmeta: crates/lsh/src/lib.rs crates/lsh/src/ccheck.rs crates/lsh/src/config.rs crates/lsh/src/emd_hash.rs crates/lsh/src/eval.rs crates/lsh/src/minhash.rs crates/lsh/src/ngram.rs crates/lsh/src/sketch.rs crates/lsh/src/ssh.rs crates/lsh/src/tuning.rs Cargo.toml
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/ccheck.rs:
+crates/lsh/src/config.rs:
+crates/lsh/src/emd_hash.rs:
+crates/lsh/src/eval.rs:
+crates/lsh/src/minhash.rs:
+crates/lsh/src/ngram.rs:
+crates/lsh/src/sketch.rs:
+crates/lsh/src/ssh.rs:
+crates/lsh/src/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/scalo_lsh-c658c5d4dab3b5c9.d: crates/lsh/src/lib.rs crates/lsh/src/ccheck.rs crates/lsh/src/config.rs crates/lsh/src/emd_hash.rs crates/lsh/src/eval.rs crates/lsh/src/minhash.rs crates/lsh/src/ngram.rs crates/lsh/src/sketch.rs crates/lsh/src/ssh.rs crates/lsh/src/tuning.rs
+
+/root/repo/target/debug/deps/libscalo_lsh-c658c5d4dab3b5c9.rlib: crates/lsh/src/lib.rs crates/lsh/src/ccheck.rs crates/lsh/src/config.rs crates/lsh/src/emd_hash.rs crates/lsh/src/eval.rs crates/lsh/src/minhash.rs crates/lsh/src/ngram.rs crates/lsh/src/sketch.rs crates/lsh/src/ssh.rs crates/lsh/src/tuning.rs
+
+/root/repo/target/debug/deps/libscalo_lsh-c658c5d4dab3b5c9.rmeta: crates/lsh/src/lib.rs crates/lsh/src/ccheck.rs crates/lsh/src/config.rs crates/lsh/src/emd_hash.rs crates/lsh/src/eval.rs crates/lsh/src/minhash.rs crates/lsh/src/ngram.rs crates/lsh/src/sketch.rs crates/lsh/src/ssh.rs crates/lsh/src/tuning.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/ccheck.rs:
+crates/lsh/src/config.rs:
+crates/lsh/src/emd_hash.rs:
+crates/lsh/src/eval.rs:
+crates/lsh/src/minhash.rs:
+crates/lsh/src/ngram.rs:
+crates/lsh/src/sketch.rs:
+crates/lsh/src/ssh.rs:
+crates/lsh/src/tuning.rs:

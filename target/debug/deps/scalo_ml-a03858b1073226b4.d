@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/scalo_ml-a03858b1073226b4.d: crates/ml/src/lib.rs crates/ml/src/kalman.rs crates/ml/src/matrix.rs crates/ml/src/nn.rs crates/ml/src/ops.rs crates/ml/src/svm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_ml-a03858b1073226b4.rmeta: crates/ml/src/lib.rs crates/ml/src/kalman.rs crates/ml/src/matrix.rs crates/ml/src/nn.rs crates/ml/src/ops.rs crates/ml/src/svm.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/kalman.rs:
+crates/ml/src/matrix.rs:
+crates/ml/src/nn.rs:
+crates/ml/src/ops.rs:
+crates/ml/src/svm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

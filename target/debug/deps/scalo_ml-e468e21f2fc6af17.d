@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/scalo_ml-e468e21f2fc6af17.d: crates/ml/src/lib.rs crates/ml/src/kalman.rs crates/ml/src/matrix.rs crates/ml/src/nn.rs crates/ml/src/ops.rs crates/ml/src/svm.rs
+
+/root/repo/target/debug/deps/libscalo_ml-e468e21f2fc6af17.rlib: crates/ml/src/lib.rs crates/ml/src/kalman.rs crates/ml/src/matrix.rs crates/ml/src/nn.rs crates/ml/src/ops.rs crates/ml/src/svm.rs
+
+/root/repo/target/debug/deps/libscalo_ml-e468e21f2fc6af17.rmeta: crates/ml/src/lib.rs crates/ml/src/kalman.rs crates/ml/src/matrix.rs crates/ml/src/nn.rs crates/ml/src/ops.rs crates/ml/src/svm.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/kalman.rs:
+crates/ml/src/matrix.rs:
+crates/ml/src/nn.rs:
+crates/ml/src/ops.rs:
+crates/ml/src/svm.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/scalo_net-09c31a7b65e163a3.d: crates/net/src/lib.rs crates/net/src/aes.rs crates/net/src/ber.rs crates/net/src/compress.rs crates/net/src/crc.rs crates/net/src/halo_comp.rs crates/net/src/packet.rs crates/net/src/radio.rs crates/net/src/reliable.rs crates/net/src/tdma.rs
+
+/root/repo/target/debug/deps/libscalo_net-09c31a7b65e163a3.rlib: crates/net/src/lib.rs crates/net/src/aes.rs crates/net/src/ber.rs crates/net/src/compress.rs crates/net/src/crc.rs crates/net/src/halo_comp.rs crates/net/src/packet.rs crates/net/src/radio.rs crates/net/src/reliable.rs crates/net/src/tdma.rs
+
+/root/repo/target/debug/deps/libscalo_net-09c31a7b65e163a3.rmeta: crates/net/src/lib.rs crates/net/src/aes.rs crates/net/src/ber.rs crates/net/src/compress.rs crates/net/src/crc.rs crates/net/src/halo_comp.rs crates/net/src/packet.rs crates/net/src/radio.rs crates/net/src/reliable.rs crates/net/src/tdma.rs
+
+crates/net/src/lib.rs:
+crates/net/src/aes.rs:
+crates/net/src/ber.rs:
+crates/net/src/compress.rs:
+crates/net/src/crc.rs:
+crates/net/src/halo_comp.rs:
+crates/net/src/packet.rs:
+crates/net/src/radio.rs:
+crates/net/src/reliable.rs:
+crates/net/src/tdma.rs:

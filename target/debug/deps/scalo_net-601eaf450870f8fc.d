@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/scalo_net-601eaf450870f8fc.d: crates/net/src/lib.rs crates/net/src/aes.rs crates/net/src/ber.rs crates/net/src/compress.rs crates/net/src/crc.rs crates/net/src/halo_comp.rs crates/net/src/packet.rs crates/net/src/radio.rs crates/net/src/reliable.rs crates/net/src/tdma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_net-601eaf450870f8fc.rmeta: crates/net/src/lib.rs crates/net/src/aes.rs crates/net/src/ber.rs crates/net/src/compress.rs crates/net/src/crc.rs crates/net/src/halo_comp.rs crates/net/src/packet.rs crates/net/src/radio.rs crates/net/src/reliable.rs crates/net/src/tdma.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/aes.rs:
+crates/net/src/ber.rs:
+crates/net/src/compress.rs:
+crates/net/src/crc.rs:
+crates/net/src/halo_comp.rs:
+crates/net/src/packet.rs:
+crates/net/src/radio.rs:
+crates/net/src/reliable.rs:
+crates/net/src/tdma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/scalo_query-96d263b354cb382b.d: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_query-96d263b354cb382b.rmeta: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/dag.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

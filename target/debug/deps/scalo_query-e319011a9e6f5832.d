@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scalo_query-e319011a9e6f5832.d: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+/root/repo/target/debug/deps/libscalo_query-e319011a9e6f5832.rlib: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+/root/repo/target/debug/deps/libscalo_query-e319011a9e6f5832.rmeta: crates/query/src/lib.rs crates/query/src/dag.rs crates/query/src/lexer.rs crates/query/src/parser.rs
+
+crates/query/src/lib.rs:
+crates/query/src/dag.rs:
+crates/query/src/lexer.rs:
+crates/query/src/parser.rs:

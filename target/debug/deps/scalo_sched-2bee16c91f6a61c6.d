@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/scalo_sched-2bee16c91f6a61c6.d: crates/sched/src/lib.rs crates/sched/src/ilp_build.rs crates/sched/src/local.rs crates/sched/src/map.rs crates/sched/src/movement.rs crates/sched/src/network.rs crates/sched/src/power.rs crates/sched/src/queries.rs crates/sched/src/scenario.rs crates/sched/src/seizure.rs crates/sched/src/tasks.rs crates/sched/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_sched-2bee16c91f6a61c6.rmeta: crates/sched/src/lib.rs crates/sched/src/ilp_build.rs crates/sched/src/local.rs crates/sched/src/map.rs crates/sched/src/movement.rs crates/sched/src/network.rs crates/sched/src/power.rs crates/sched/src/queries.rs crates/sched/src/scenario.rs crates/sched/src/seizure.rs crates/sched/src/tasks.rs crates/sched/src/throughput.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/ilp_build.rs:
+crates/sched/src/local.rs:
+crates/sched/src/map.rs:
+crates/sched/src/movement.rs:
+crates/sched/src/network.rs:
+crates/sched/src/power.rs:
+crates/sched/src/queries.rs:
+crates/sched/src/scenario.rs:
+crates/sched/src/seizure.rs:
+crates/sched/src/tasks.rs:
+crates/sched/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/scalo_sched-bc727f5d7a837413.d: crates/sched/src/lib.rs crates/sched/src/ilp_build.rs crates/sched/src/local.rs crates/sched/src/map.rs crates/sched/src/movement.rs crates/sched/src/network.rs crates/sched/src/power.rs crates/sched/src/queries.rs crates/sched/src/scenario.rs crates/sched/src/seizure.rs crates/sched/src/tasks.rs crates/sched/src/throughput.rs
+
+/root/repo/target/debug/deps/libscalo_sched-bc727f5d7a837413.rlib: crates/sched/src/lib.rs crates/sched/src/ilp_build.rs crates/sched/src/local.rs crates/sched/src/map.rs crates/sched/src/movement.rs crates/sched/src/network.rs crates/sched/src/power.rs crates/sched/src/queries.rs crates/sched/src/scenario.rs crates/sched/src/seizure.rs crates/sched/src/tasks.rs crates/sched/src/throughput.rs
+
+/root/repo/target/debug/deps/libscalo_sched-bc727f5d7a837413.rmeta: crates/sched/src/lib.rs crates/sched/src/ilp_build.rs crates/sched/src/local.rs crates/sched/src/map.rs crates/sched/src/movement.rs crates/sched/src/network.rs crates/sched/src/power.rs crates/sched/src/queries.rs crates/sched/src/scenario.rs crates/sched/src/seizure.rs crates/sched/src/tasks.rs crates/sched/src/throughput.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/ilp_build.rs:
+crates/sched/src/local.rs:
+crates/sched/src/map.rs:
+crates/sched/src/movement.rs:
+crates/sched/src/network.rs:
+crates/sched/src/power.rs:
+crates/sched/src/queries.rs:
+crates/sched/src/scenario.rs:
+crates/sched/src/seizure.rs:
+crates/sched/src/tasks.rs:
+crates/sched/src/throughput.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/scalo_signal-9cbd5b0db2b138e6.d: crates/signal/src/lib.rs crates/signal/src/dtw.rs crates/signal/src/dwt.rs crates/signal/src/emd.rs crates/signal/src/fft.rs crates/signal/src/filter.rs crates/signal/src/resample.rs crates/signal/src/spike.rs crates/signal/src/stats.rs crates/signal/src/window.rs crates/signal/src/xcor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_signal-9cbd5b0db2b138e6.rmeta: crates/signal/src/lib.rs crates/signal/src/dtw.rs crates/signal/src/dwt.rs crates/signal/src/emd.rs crates/signal/src/fft.rs crates/signal/src/filter.rs crates/signal/src/resample.rs crates/signal/src/spike.rs crates/signal/src/stats.rs crates/signal/src/window.rs crates/signal/src/xcor.rs Cargo.toml
+
+crates/signal/src/lib.rs:
+crates/signal/src/dtw.rs:
+crates/signal/src/dwt.rs:
+crates/signal/src/emd.rs:
+crates/signal/src/fft.rs:
+crates/signal/src/filter.rs:
+crates/signal/src/resample.rs:
+crates/signal/src/spike.rs:
+crates/signal/src/stats.rs:
+crates/signal/src/window.rs:
+crates/signal/src/xcor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

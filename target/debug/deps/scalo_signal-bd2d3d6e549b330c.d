@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/scalo_signal-bd2d3d6e549b330c.d: crates/signal/src/lib.rs crates/signal/src/dtw.rs crates/signal/src/dwt.rs crates/signal/src/emd.rs crates/signal/src/fft.rs crates/signal/src/filter.rs crates/signal/src/resample.rs crates/signal/src/spike.rs crates/signal/src/stats.rs crates/signal/src/window.rs crates/signal/src/xcor.rs
+
+/root/repo/target/debug/deps/libscalo_signal-bd2d3d6e549b330c.rlib: crates/signal/src/lib.rs crates/signal/src/dtw.rs crates/signal/src/dwt.rs crates/signal/src/emd.rs crates/signal/src/fft.rs crates/signal/src/filter.rs crates/signal/src/resample.rs crates/signal/src/spike.rs crates/signal/src/stats.rs crates/signal/src/window.rs crates/signal/src/xcor.rs
+
+/root/repo/target/debug/deps/libscalo_signal-bd2d3d6e549b330c.rmeta: crates/signal/src/lib.rs crates/signal/src/dtw.rs crates/signal/src/dwt.rs crates/signal/src/emd.rs crates/signal/src/fft.rs crates/signal/src/filter.rs crates/signal/src/resample.rs crates/signal/src/spike.rs crates/signal/src/stats.rs crates/signal/src/window.rs crates/signal/src/xcor.rs
+
+crates/signal/src/lib.rs:
+crates/signal/src/dtw.rs:
+crates/signal/src/dwt.rs:
+crates/signal/src/emd.rs:
+crates/signal/src/fft.rs:
+crates/signal/src/filter.rs:
+crates/signal/src/resample.rs:
+crates/signal/src/spike.rs:
+crates/signal/src/stats.rs:
+crates/signal/src/window.rs:
+crates/signal/src/xcor.rs:

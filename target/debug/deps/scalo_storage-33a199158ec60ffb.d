@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/scalo_storage-33a199158ec60ffb.d: crates/storage/src/lib.rs crates/storage/src/controller.rs crates/storage/src/layout.rs crates/storage/src/nvm.rs crates/storage/src/partition.rs
+
+/root/repo/target/debug/deps/libscalo_storage-33a199158ec60ffb.rlib: crates/storage/src/lib.rs crates/storage/src/controller.rs crates/storage/src/layout.rs crates/storage/src/nvm.rs crates/storage/src/partition.rs
+
+/root/repo/target/debug/deps/libscalo_storage-33a199158ec60ffb.rmeta: crates/storage/src/lib.rs crates/storage/src/controller.rs crates/storage/src/layout.rs crates/storage/src/nvm.rs crates/storage/src/partition.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/controller.rs:
+crates/storage/src/layout.rs:
+crates/storage/src/nvm.rs:
+crates/storage/src/partition.rs:

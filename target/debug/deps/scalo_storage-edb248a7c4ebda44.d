@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/scalo_storage-edb248a7c4ebda44.d: crates/storage/src/lib.rs crates/storage/src/controller.rs crates/storage/src/layout.rs crates/storage/src/nvm.rs crates/storage/src/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalo_storage-edb248a7c4ebda44.rmeta: crates/storage/src/lib.rs crates/storage/src/controller.rs crates/storage/src/layout.rs crates/storage/src/nvm.rs crates/storage/src/partition.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/controller.rs:
+crates/storage/src/layout.rs:
+crates/storage/src/nvm.rs:
+crates/storage/src/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-2662dbe31667580b.d: compat/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-2662dbe31667580b.rmeta: compat/serde/src/lib.rs Cargo.toml
+
+compat/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

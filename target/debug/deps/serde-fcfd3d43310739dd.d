@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-fcfd3d43310739dd.d: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fcfd3d43310739dd.rlib: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fcfd3d43310739dd.rmeta: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

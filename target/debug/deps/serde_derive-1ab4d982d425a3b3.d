@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-1ab4d982d425a3b3.d: compat/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-1ab4d982d425a3b3.rmeta: compat/serde_derive/src/lib.rs Cargo.toml
+
+compat/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-f2ec2b51ecba0e6a.d: compat/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-f2ec2b51ecba0e6a.rmeta: compat/serde_derive/src/lib.rs Cargo.toml
+
+compat/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

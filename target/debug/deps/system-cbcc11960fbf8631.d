@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system-cbcc11960fbf8631.d: crates/bench/benches/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem-cbcc11960fbf8631.rmeta: crates/bench/benches/system.rs Cargo.toml
+
+crates/bench/benches/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

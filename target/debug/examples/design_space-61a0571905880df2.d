@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-61a0571905880df2.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-61a0571905880df2: examples/design_space.rs
+
+examples/design_space.rs:

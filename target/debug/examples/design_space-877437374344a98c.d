@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_space-877437374344a98c.d: examples/design_space.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_space-877437374344a98c.rmeta: examples/design_space.rs Cargo.toml
+
+examples/design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interactive_query-4fbd5437ff7af79b.d: examples/interactive_query.rs
+
+/root/repo/target/debug/examples/interactive_query-4fbd5437ff7af79b: examples/interactive_query.rs
+
+examples/interactive_query.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interactive_query-9cd51be7cf44ffa5.d: examples/interactive_query.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinteractive_query-9cd51be7cf44ffa5.rmeta: examples/interactive_query.rs Cargo.toml
+
+examples/interactive_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

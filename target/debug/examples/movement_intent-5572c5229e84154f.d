@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/movement_intent-5572c5229e84154f.d: examples/movement_intent.rs
+
+/root/repo/target/debug/examples/movement_intent-5572c5229e84154f: examples/movement_intent.rs
+
+examples/movement_intent.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/movement_intent-fea7833904f9f9c1.d: examples/movement_intent.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmovement_intent-fea7833904f9f9c1.rmeta: examples/movement_intent.rs Cargo.toml
+
+examples/movement_intent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

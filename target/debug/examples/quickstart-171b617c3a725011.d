@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-171b617c3a725011.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-171b617c3a725011: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/seizure_propagation-a8ffb60c0cfae2a0.d: examples/seizure_propagation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libseizure_propagation-a8ffb60c0cfae2a0.rmeta: examples/seizure_propagation.rs Cargo.toml
+
+examples/seizure_propagation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

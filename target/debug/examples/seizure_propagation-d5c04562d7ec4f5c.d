@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seizure_propagation-d5c04562d7ec4f5c.d: examples/seizure_propagation.rs
+
+/root/repo/target/debug/examples/seizure_propagation-d5c04562d7ec4f5c: examples/seizure_propagation.rs
+
+examples/seizure_propagation.rs:

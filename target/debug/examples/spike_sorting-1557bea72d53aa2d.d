@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spike_sorting-1557bea72d53aa2d.d: examples/spike_sorting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspike_sorting-1557bea72d53aa2d.rmeta: examples/spike_sorting.rs Cargo.toml
+
+examples/spike_sorting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

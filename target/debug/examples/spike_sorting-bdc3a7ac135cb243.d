@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spike_sorting-bdc3a7ac135cb243.d: examples/spike_sorting.rs
+
+/root/repo/target/debug/examples/spike_sorting-bdc3a7ac135cb243: examples/spike_sorting.rs
+
+examples/spike_sorting.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-6f21fcbe0bb0bc86.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6f21fcbe0bb0bc86.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6f21fcbe0bb0bc86.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-ec02cea892a70b86.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-ec02cea892a70b86: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

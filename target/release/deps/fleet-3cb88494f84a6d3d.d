@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet-3cb88494f84a6d3d.d: crates/bench/benches/fleet.rs
+
+/root/repo/target/release/deps/fleet-3cb88494f84a6d3d: crates/bench/benches/fleet.rs
+
+crates/bench/benches/fleet.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scalo-3f62bcb8cc3710de.d: src/lib.rs
+
+/root/repo/target/release/deps/libscalo-3f62bcb8cc3710de.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libscalo-3f62bcb8cc3710de.rmeta: src/lib.rs
+
+src/lib.rs:

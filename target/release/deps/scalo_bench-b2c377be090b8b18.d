@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scalo_bench-b2c377be090b8b18.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/release/deps/libscalo_bench-b2c377be090b8b18.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+/root/repo/target/release/deps/libscalo_bench-b2c377be090b8b18.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fmt.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fmt.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/scalo_core-9b608724d1246efd.d: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs
+/root/repo/target/release/deps/scalo_core-9b608724d1246efd.d: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/session.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs
 
-/root/repo/target/release/deps/libscalo_core-9b608724d1246efd.rlib: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs
+/root/repo/target/release/deps/libscalo_core-9b608724d1246efd.rlib: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/session.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs
 
-/root/repo/target/release/deps/libscalo_core-9b608724d1246efd.rmeta: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs
+/root/repo/target/release/deps/libscalo_core-9b608724d1246efd.rmeta: crates/core/src/lib.rs crates/core/src/apps/mod.rs crates/core/src/apps/external_loop.rs crates/core/src/apps/movement.rs crates/core/src/apps/queries.rs crates/core/src/apps/seizure.rs crates/core/src/apps/spike_sort.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/fault.rs crates/core/src/membership.rs crates/core/src/node.rs crates/core/src/runtime.rs crates/core/src/session.rs crates/core/src/sntp.rs crates/core/src/stim.rs crates/core/src/system.rs
 
 crates/core/src/lib.rs:
 crates/core/src/apps/mod.rs:
@@ -17,6 +17,7 @@ crates/core/src/fault.rs:
 crates/core/src/membership.rs:
 crates/core/src/node.rs:
 crates/core/src/runtime.rs:
+crates/core/src/session.rs:
 crates/core/src/sntp.rs:
 crates/core/src/stim.rs:
 crates/core/src/system.rs:

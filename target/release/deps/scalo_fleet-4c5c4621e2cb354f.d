@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scalo_fleet-4c5c4621e2cb354f.d: crates/fleet/src/lib.rs crates/fleet/src/admission.rs crates/fleet/src/fleet.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs
+
+/root/repo/target/release/deps/libscalo_fleet-4c5c4621e2cb354f.rlib: crates/fleet/src/lib.rs crates/fleet/src/admission.rs crates/fleet/src/fleet.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs
+
+/root/repo/target/release/deps/libscalo_fleet-4c5c4621e2cb354f.rmeta: crates/fleet/src/lib.rs crates/fleet/src/admission.rs crates/fleet/src/fleet.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/admission.rs:
+crates/fleet/src/fleet.rs:
+crates/fleet/src/metrics.rs:
+crates/fleet/src/pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seizure_propagation-0ebea4e3ba909a61.d: examples/seizure_propagation.rs
+
+/root/repo/target/release/examples/seizure_propagation-0ebea4e3ba909a61: examples/seizure_propagation.rs
+
+examples/seizure_propagation.rs:
