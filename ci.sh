@@ -15,6 +15,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== fmt =="
 cargo fmt --all --check
 
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
+echo "== zero-allocation steady state (counting allocator) =="
+cargo test -q -p scalo-core --test hot_path
+
 echo "== fleet smoke (pool + admission + metrics JSON) =="
 cargo run --release -p scalo-bench --bin experiments -- fleet --sessions 6
 

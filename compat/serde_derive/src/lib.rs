@@ -8,14 +8,16 @@
 
 use proc_macro::TokenStream;
 
-/// No-op `Serialize` derive.
-#[proc_macro_derive(Serialize)]
+/// No-op `Serialize` derive. Registers the `serde` helper attribute so
+/// field annotations like `#[serde(default)]` parse (and are ignored).
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op `Deserialize` derive.
-#[proc_macro_derive(Deserialize)]
+/// No-op `Deserialize` derive. Registers the `serde` helper attribute so
+/// field annotations like `#[serde(default)]` parse (and are ignored).
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

@@ -6,6 +6,11 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use scalo_bench::experiments::{fleet_trial, write_bench_fleet_json};
 
+/// Count heap traffic so the sweep can report serving-loop allocations
+/// per window alongside throughput.
+#[global_allocator]
+static ALLOC: scalo_alloc::CountingAllocator = scalo_alloc::CountingAllocator;
+
 fn bench_fleet(c: &mut Criterion) {
     let mut g = c.benchmark_group("fleet");
     for sessions in [4usize, 16] {
@@ -13,7 +18,7 @@ fn bench_fleet(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(format!("serve_{sessions}x"), workers),
                 &workers,
-                |b, &w| b.iter(|| black_box(fleet_trial(sessions, w, 8).windows)),
+                |b, &w| b.iter(|| black_box(fleet_trial(sessions, w, 8).0.windows)),
             );
         }
     }
@@ -23,6 +28,13 @@ fn bench_fleet(c: &mut Criterion) {
         .iter()
         .map(|&w| fleet_trial(16, w, 8))
         .collect();
+    for (r, allocs_per_window) in &reports {
+        println!(
+            "workers {}: {:.1} windows/s, {allocs_per_window:.2} allocs/window",
+            r.workers,
+            r.windows_per_sec()
+        );
+    }
     match write_bench_fleet_json(&reports) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),

@@ -10,6 +10,11 @@
 
 use scalo_bench::experiments as x;
 
+/// Count heap traffic so the `fleet` experiment can report serving-loop
+/// allocations per window (the zero-allocation steady-state metric).
+#[global_allocator]
+static ALLOC: scalo_alloc::CountingAllocator = scalo_alloc::CountingAllocator;
+
 const USAGE: &str = "usage: experiments <cmd> [--reps N] [--sessions N]\n\
    cmds: all | quick | table1 | table2 | table3 | fig8a | fig8b | fig8c |\n\
    \x20     fig9a | fig9b | fig10 | fig11 | fig12 | fig13 | fig14 | fig15a |\n\

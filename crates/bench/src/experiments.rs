@@ -874,7 +874,15 @@ fn fleet_population(sessions: usize) -> Vec<SessionSpec> {
 /// Serves the standard fleet population on `workers` threads. The
 /// budget is sized so the whole population is admitted; decisions are a
 /// function of each session's seed, never of `workers` or `quantum`.
-pub fn fleet_trial(sessions: usize, workers: usize, quantum: usize) -> FleetReport {
+///
+/// Besides the report, returns the heap allocations per served window
+/// incurred by the serving loop itself (session construction in
+/// `submit` is excluded; per-session window-0 warmup is included). The
+/// number is only meaningful when the calling binary installs
+/// [`scalo_alloc::CountingAllocator`] as its global allocator — the
+/// `experiments` bin and `benches/fleet.rs` both do — and reads 0.0
+/// otherwise.
+pub fn fleet_trial(sessions: usize, workers: usize, quantum: usize) -> (FleetReport, f64) {
     let mut fl = Fleet::new(
         FleetConfig::new(workers)
             .with_quantum_steps(quantum)
@@ -884,19 +892,32 @@ pub fn fleet_trial(sessions: usize, workers: usize, quantum: usize) -> FleetRepo
         let admitted = fl.submit(spec);
         assert!(admitted, "population is sized to fit the budget");
     }
-    fl.run()
+    let (report, served) = scalo_alloc::measure(|| fl.run());
+    let allocs_per_window = served.heap_ops() as f64 / report.windows.max(1) as f64;
+    (report, allocs_per_window)
 }
 
-/// Writes the swept fleet reports (throughput, per-session rows, and
-/// step-latency histograms) to `BENCH_fleet.json` at the repo root.
+/// Writes the swept fleet reports (throughput, per-session rows with
+/// decision fingerprints, step-latency histograms, and serving-loop
+/// allocations per window) to `BENCH_fleet.json` at the repo root.
 /// Returns the path written.
-pub fn write_bench_fleet_json(reports: &[FleetReport]) -> std::io::Result<&'static str> {
+pub fn write_bench_fleet_json(reports: &[(FleetReport, f64)]) -> std::io::Result<&'static str> {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    let allocs = reports
+        .iter()
+        .map(|(r, apw)| {
+            format!(
+                "{{\"workers\":{},\"allocs_per_window\":{apw:.2}}}",
+                r.workers
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     let body = format!(
-        "{{\"bench\":\"fleet\",\"sweep\":[{}]}}\n",
+        "{{\"bench\":\"fleet\",\"allocs_per_window\":[{allocs}],\"sweep\":[{}]}}\n",
         reports
             .iter()
-            .map(FleetReport::to_json)
+            .map(|(r, _)| r.to_json())
             .collect::<Vec<_>>()
             .join(",")
     );
@@ -911,14 +932,14 @@ pub fn fleet(sessions: usize) {
     header(&format!(
         "Fleet serving: {sessions} patient sessions, 0.6 s of signal each"
     ));
-    let reports: Vec<FleetReport> = [1usize, 2, 4]
+    let reports: Vec<(FleetReport, f64)> = [1usize, 2, 4]
         .iter()
         .map(|&w| fleet_trial(sessions, w, 8))
         .collect();
-    let base = &reports[0];
+    let base = &reports[0].0;
     let rows: Vec<Vec<String>> = reports
         .iter()
-        .map(|r| {
+        .map(|(r, allocs_per_window)| {
             let mean_step_us =
                 r.sessions.iter().map(|s| s.wall_us).sum::<u64>() as f64 / r.windows.max(1) as f64;
             vec![
@@ -927,6 +948,7 @@ pub fn fleet(sessions: usize) {
                 f(r.windows_per_sec(), 0),
                 f(base.wall_ms / r.wall_ms.max(1e-9), 2),
                 f(mean_step_us, 1),
+                f(*allocs_per_window, 2),
                 r.pool.steals.to_string(),
                 r.deadline_misses.to_string(),
             ]
@@ -934,11 +956,18 @@ pub fn fleet(sessions: usize) {
         .collect();
     table(
         &[
-            "workers", "wall ms", "win/s", "speedup", "step us", "steals", "misses",
+            "workers",
+            "wall ms",
+            "win/s",
+            "speedup",
+            "step us",
+            "allocs/win",
+            "steals",
+            "misses",
         ],
         &rows,
     );
-    let identical = reports.iter().all(|r| {
+    let identical = reports.iter().all(|(r, _)| {
         r.sessions.len() == base.sessions.len()
             && r.sessions
                 .iter()
@@ -1058,8 +1087,8 @@ mod tests {
 
     #[test]
     fn fleet_trial_is_deterministic_across_workers() {
-        let a = fleet_trial(2, 1, 8);
-        let b = fleet_trial(2, 2, 3);
+        let (a, _) = fleet_trial(2, 1, 8);
+        let (b, _) = fleet_trial(2, 2, 3);
         assert_eq!(a.windows, 2 * 150, "0.6 s at 250 windows/s per session");
         let digests = |r: &FleetReport| {
             r.sessions

@@ -62,7 +62,8 @@ impl LoopRun {
 pub fn run_external_loop(session: &Session, nodes: usize) -> LoopRun {
     assert!(nodes >= 1, "need at least one implant");
     let half = session.states.len() / 2;
-    let model = fit_kalman(&session.states[..half], &session.features[..half]);
+    let model = fit_kalman(&session.states[..half], &session.features[..half])
+        .expect("synthetic session features are finite");
     let mut kf = KalmanFilter::new(model);
     let mut stim = StimEngine::new();
 

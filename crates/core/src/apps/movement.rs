@@ -10,7 +10,7 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use scalo_data::split::split_channels;
-use scalo_ml::kalman::{fit_kalman, KalmanFilter};
+use scalo_ml::kalman::{fit_kalman, KalmanFilter, KalmanScratch};
 use scalo_ml::nn::{demo_network, DistributedNn};
 use scalo_ml::svm::{DistributedSvm, LinearSvm};
 
@@ -140,12 +140,16 @@ pub fn svm_accuracy(session: &Session, nodes: usize) -> f64 {
 /// velocity error on the second half (trained on the first half).
 pub fn kalman_velocity_error(session: &Session) -> f64 {
     let half = session.states.len() / 2;
-    let model = fit_kalman(&session.states[..half], &session.features[..half]);
+    let model = fit_kalman(&session.states[..half], &session.features[..half])
+        .expect("synthetic session features are finite");
     let mut kf = KalmanFilter::new(model);
+    // One scratch for the whole decode loop: steady-state filter steps
+    // reuse its buffers instead of allocating per observation.
+    let mut scratch = KalmanScratch::new();
     let mut err = 0.0;
     let mut count = 0;
     for (z, truth) in session.features[half..].iter().zip(&session.states[half..]) {
-        let est = kf.step(z).expect("regularised model");
+        let est = kf.step_with(z, &mut scratch).expect("regularised model");
         err += (est[2] - truth[2]).abs() + (est[3] - truth[3]).abs();
         count += 1;
     }

@@ -18,6 +18,7 @@ use crate::config::ScaloConfig;
 use crate::node::Node;
 use crate::stim::{StimCommand, StimEngine};
 use crate::system::Scalo;
+use crate::workspace::Workspace;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use scalo_data::ieeg::MultiSiteRecording;
@@ -25,8 +26,8 @@ use scalo_lsh::SignalHash;
 use scalo_ml::svm::LinearSvm;
 use scalo_net::compress::{dcomp_decompress, hcomp_compress};
 use scalo_net::packet::{Header, Packet, PayloadKind, Received, BROADCAST};
-use scalo_signal::dtw::{dtw_distance, DtwParams};
-use scalo_signal::stats::z_normalize;
+use scalo_signal::dtw::{dtw_distance_with, DtwParams};
+use scalo_signal::stats::z_normalize_into;
 
 /// Samples per analysis window.
 pub const WINDOW: usize = 120;
@@ -207,13 +208,35 @@ impl SeizureApp {
     /// confirmation exchange. Returns `false` once the recording is
     /// exhausted; the call is non-blocking in the sense that it does a
     /// bounded slice of work and returns.
-    pub fn step_window(&mut self, recording: &MultiSiteRecording, st: &mut RunState) -> bool {
+    ///
+    /// `ws` is the session's reusable scratch: quiet windows (no active
+    /// exchange) perform zero heap allocations once nodes and workspace
+    /// are warm. Decisions are bit-identical whichever workspace (fresh or
+    /// reused) is passed.
+    pub fn step_window(
+        &mut self,
+        recording: &MultiSiteRecording,
+        st: &mut RunState,
+        ws: &mut Workspace,
+    ) -> bool {
         if st.is_done() {
             return false;
         }
         let k = self.system.node_count();
         let electrodes = st.electrodes;
         let horizon = self.system.config().ccheck_horizon_us;
+        if st.window == 0 {
+            // Size every node's CCHECK SRAM and NVM rings to the working
+            // set: double the collision horizon (plus slack) so ring
+            // evictions stay strictly older than any window still
+            // reachable by matching or `stored_window`.
+            let windows_back = 2 * ((horizon / WINDOW_US) as usize + 2);
+            for node_id in 0..k {
+                self.system
+                    .node_mut(node_id)
+                    .prepare_steady_state(electrodes, windows_back);
+            }
+        }
         {
             let w = st.window;
             let t0 = w * WINDOW;
@@ -227,7 +250,9 @@ impl SeizureApp {
                 }
                 for e in 0..electrodes {
                     let win = &recording.nodes[node_id].channels[e][t0..t0 + WINDOW];
-                    self.system.node_mut(node_id).ingest_window(e, now, win);
+                    self.system
+                        .node_mut(node_id)
+                        .ingest_window_ws(e, now, win, ws);
                 }
             }
 
@@ -247,15 +272,18 @@ impl SeizureApp {
                 if !self.system.is_alive(node_id) {
                     continue;
                 }
-                let votes = (0..electrodes)
-                    .filter(|&e| {
-                        let win = &recording.nodes[node_id].channels[e][t0..t0 + WINDOW];
-                        self.system
-                            .node(node_id)
-                            .detect_seizure(win)
-                            .unwrap_or(false)
-                    })
-                    .count();
+                let mut votes = 0;
+                for e in 0..electrodes {
+                    let win = &recording.nodes[node_id].channels[e][t0..t0 + WINDOW];
+                    if self
+                        .system
+                        .node(node_id)
+                        .detect_seizure_ws(win, &mut ws.fft, &mut ws.features)
+                        .unwrap_or(false)
+                    {
+                        votes += 1;
+                    }
+                }
                 if votes * 2 > electrodes && st.origin_detect.is_none() {
                     st.origin_detect = Some((w, node_id));
                     st.first_detect_window.get_or_insert(w);
@@ -279,8 +307,13 @@ impl SeizureApp {
                     }
                     hashes.push(h);
                 }
-                let payload: Vec<u8> =
-                    hcomp_compress(&hashes.iter().flat_map(|h| h.0.clone()).collect::<Vec<u8>>());
+                // Stage the concatenated hash bytes in the workspace
+                // instead of cloning every hash into a temporary.
+                ws.hash_bytes.clear();
+                for h in &hashes {
+                    ws.hash_bytes.extend_from_slice(&h.0);
+                }
+                let payload: Vec<u8> = hcomp_compress(&ws.hash_bytes);
                 let hash_packet = Packet::new(
                     Header {
                         src: origin as u8,
@@ -387,9 +420,12 @@ impl SeizureApp {
                         let Some(local) = self.system.node(d.to).stored_window(local_e, ts) else {
                             continue;
                         };
-                        let dist = dtw_distance(
-                            &z_normalize(&remote),
-                            &z_normalize(&local),
+                        z_normalize_into(&remote, &mut ws.znorm_a);
+                        z_normalize_into(&local, &mut ws.znorm_b);
+                        let dist = dtw_distance_with(
+                            &mut ws.dtw,
+                            &ws.znorm_a,
+                            &ws.znorm_b,
                             DtwParams::default(),
                         );
                         if dist < self.dtw_threshold && st.confirmed[d.to].is_none() {
@@ -434,7 +470,8 @@ impl SeizureApp {
     /// Panics if the recording has fewer nodes than the system.
     pub fn run(&mut self, recording: &MultiSiteRecording) -> PropagationRun {
         let mut st = self.begin(recording);
-        while self.step_window(recording, &mut st) {}
+        let mut ws = Workspace::new();
+        while self.step_window(recording, &mut st, &mut ws) {}
         Self::snapshot(&st)
     }
 }

@@ -17,6 +17,8 @@
 //!   suspicion/eviction state machine driving graceful degradation;
 //! * [`session`] — resumable per-patient serving sessions (the unit of
 //!   work the `scalo-fleet` serving layer schedules);
+//! * [`workspace`] — reusable per-session scratch buffers backing the
+//!   zero-allocation steady-state window pipeline;
 //! * [`sntp`] — daily clock synchronisation (§3.6);
 //! * [`runtime`] — the MC runtime that compiles queries (via
 //!   `scalo-query` + `scalo-sched`) and reconfigures node pipelines.
@@ -41,7 +43,9 @@ pub mod session;
 pub mod sntp;
 pub mod stim;
 pub mod system;
+pub mod workspace;
 
 pub use config::ScaloConfig;
 pub use session::{Session, SessionSpec};
 pub use system::Scalo;
+pub use workspace::Workspace;

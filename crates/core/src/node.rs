@@ -1,13 +1,14 @@
 //! One SCALO implant.
 
 use crate::config::ScaloConfig;
+use crate::workspace::Workspace;
 use scalo_lsh::ccheck::{CollisionChecker, HashMatch};
 use scalo_lsh::eval::MeasureHasher;
 use scalo_lsh::SignalHash;
 use scalo_ml::svm::LinearSvm;
-use scalo_signal::fft::band_power_features;
+use scalo_signal::fft::{band_power_features_into, FftScratch};
 use scalo_signal::stats::rms;
-use scalo_storage::partition::{FailoverReport, PartitionKind, PartitionSet, Record};
+use scalo_storage::partition::{FailoverReport, PartitionKind, PartitionSet};
 
 /// Errors a node can report instead of panicking mid-protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,9 @@ pub struct Node {
     /// Local clock offset from true time, in µs (corrected by SNTP).
     pub clock_offset_us: i64,
     window_samples: usize,
+    /// Whether [`Node::prepare_steady_state`] has already pre-sized the
+    /// hash SRAM and NVM rings.
+    prepared: bool,
 }
 
 impl Node {
@@ -56,7 +60,36 @@ impl Node {
             detector: None,
             clock_offset_us: 0,
             window_samples: 120,
+            prepared: false,
         }
+    }
+
+    /// Sizes the CCHECK SRAM and the signal/hash NVM partitions to the
+    /// session's working set — `electrodes × windows_back` records — and
+    /// prefills them with recyclable placeholder buffers, so steady-state
+    /// ingest never allocates. `windows_back` must generously exceed the
+    /// collision horizon in windows (evictions must stay strictly older
+    /// than anything CCHECK or `stored_window` can still reference).
+    /// Idempotent; call before the first ingest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after windows have already been ingested.
+    pub fn prepare_steady_state(&mut self, electrodes: usize, windows_back: usize) {
+        if self.prepared {
+            return;
+        }
+        self.prepared = true;
+        let ring = (electrodes * windows_back).max(1);
+        let hash_bytes = self.hasher.wire_bytes();
+        self.ccheck.set_capacity(ring);
+        self.ccheck.prefill(hash_bytes);
+        self.storage
+            .get_mut(PartitionKind::Signals)
+            .prefill_ring(ring, self.window_samples * 2);
+        self.storage
+            .get_mut(PartitionKind::Hashes)
+            .prefill_ring(ring, hash_bytes);
     }
 
     /// This node's id.
@@ -95,9 +128,17 @@ impl Node {
     /// BBF/FFT feature path of Figure 5: band powers + an amplitude
     /// feature).
     pub fn detection_features(window: &[f64]) -> Vec<f64> {
-        let mut f = band_power_features(window);
-        f.push(rms(window));
+        let mut f = Vec::new();
+        Self::detection_features_into(window, &mut FftScratch::new(), &mut f);
         f
+    }
+
+    /// [`Node::detection_features`] using caller-provided scratch, writing
+    /// the feature vector into `out` (cleared first). Bit-identical to the
+    /// allocating form; allocation-free once the buffers are warm.
+    pub fn detection_features_into(window: &[f64], fft: &mut FftScratch, out: &mut Vec<f64>) {
+        band_power_features_into(window, fft, out);
+        out.push(rms(window));
     }
 
     /// Runs local seizure detection on a window. Returns
@@ -105,11 +146,23 @@ impl Node {
     /// callers decide whether that is fatal (a query) or just a
     /// non-vote (the propagation protocol).
     pub fn detect_seizure(&self, window: &[f64]) -> Result<bool, NodeError> {
+        self.detect_seizure_ws(window, &mut FftScratch::new(), &mut Vec::new())
+    }
+
+    /// [`Node::detect_seizure`] using caller-provided scratch. Same
+    /// decision bit-for-bit; allocation-free once the buffers are warm.
+    pub fn detect_seizure_ws(
+        &self,
+        window: &[f64],
+        fft: &mut FftScratch,
+        features: &mut Vec<f64>,
+    ) -> Result<bool, NodeError> {
         let detector = self
             .detector
             .as_ref()
             .ok_or(NodeError::DetectorMissing { node: self.id })?;
-        Ok(detector.predict(&Self::detection_features(window)))
+        Self::detection_features_into(window, fft, features);
+        Ok(detector.predict(features))
     }
 
     /// Ingests one electrode window: stores the signal, hashes it, and
@@ -121,27 +174,48 @@ impl Node {
         timestamp_us: u64,
         window: &[f64],
     ) -> SignalHash {
+        let mut ws = Workspace::new();
+        self.ingest_window_ws(electrode, timestamp_us, window, &mut ws);
+        ws.hash
+    }
+
+    /// [`Node::ingest_window`] through a [`Workspace`]: quantised bytes,
+    /// hash intermediates, and the hash itself land in reused buffers, and
+    /// the NVM/SRAM stores recycle their evicted records' allocations.
+    /// Stored records and the resulting hash (left in `ws.hash`) are
+    /// byte-identical to the allocating form's; zero heap allocations once
+    /// the node is prepared ([`Node::prepare_steady_state`]) and the
+    /// workspace is warm.
+    pub fn ingest_window_ws(
+        &mut self,
+        electrode: usize,
+        timestamp_us: u64,
+        window: &[f64],
+        ws: &mut Workspace,
+    ) {
         assert_eq!(window.len(), self.window_samples, "window length");
-        let bytes: Vec<u8> = window
-            .iter()
-            .flat_map(|&x| ((x * 8_192.0) as i16).to_le_bytes())
-            .collect();
-        self.storage.get_mut(PartitionKind::Signals).append(Record {
+        ws.quantized.clear();
+        for &x in window {
+            ws.quantized
+                .extend_from_slice(&((x * 8_192.0) as i16).to_le_bytes());
+        }
+        self.storage.get_mut(PartitionKind::Signals).append_bytes(
             timestamp_us,
-            key: electrode as u32,
-            data: bytes,
-        });
-        let hash = match &self.hasher {
-            MeasureHasher::Ssh(h) => h.hash(window),
-            MeasureHasher::Emd(h) => h.hash(window),
-        };
-        self.storage.get_mut(PartitionKind::Hashes).append(Record {
+            electrode as u32,
+            &ws.quantized,
+        );
+        match &self.hasher {
+            MeasureHasher::Ssh(h) => h.hash_into(window, &mut ws.hash_scratch, &mut ws.hash),
+            // The EMDH pipeline has no scratch entry point; the default
+            // deployments hash via SSH, so this branch stays allocating.
+            MeasureHasher::Emd(h) => ws.hash = h.hash(window),
+        }
+        self.storage.get_mut(PartitionKind::Hashes).append_bytes(
             timestamp_us,
-            key: electrode as u32,
-            data: hash.0.clone(),
-        });
-        self.ccheck.record(electrode, timestamp_us, hash.clone());
-        hash
+            electrode as u32,
+            &ws.hash.0,
+        );
+        self.ccheck.record_copy(electrode, timestamp_us, &ws.hash);
     }
 
     /// Retrieves a stored signal window (dequantised).

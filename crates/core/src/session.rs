@@ -15,6 +15,7 @@
 use crate::apps::movement;
 use crate::apps::seizure::{PropagationRun, RunState, SeizureApp, WINDOW_US};
 use crate::config::ScaloConfig;
+use crate::workspace::Workspace;
 use scalo_data::ieeg::{generate, IeegConfig, MultiSiteRecording, SeizureEvent};
 use std::time::Instant;
 
@@ -180,6 +181,11 @@ pub struct Session {
     movement: Option<movement::Session>,
     /// Decode-round results, in order: part of the decision digest.
     movement_results: Vec<(usize, f64)>,
+    /// The session-lifetime scratch buffers: created at admission, warmed
+    /// by the first window, then reused by every subsequent step — the
+    /// steady-state window path allocates nothing. Workers carry the
+    /// session (workspace included) across quantum switches.
+    workspace: Workspace,
     steps: u64,
     deadline_misses: u64,
     wall_us: u64,
@@ -210,6 +216,7 @@ impl Session {
             state,
             movement,
             movement_results: Vec::new(),
+            workspace: Workspace::new(),
             steps: 0,
             deadline_misses: 0,
             wall_us: 0,
@@ -259,7 +266,9 @@ impl Session {
         if self.spec.io_stall_us > 0 {
             std::thread::sleep(std::time::Duration::from_micros(self.spec.io_stall_us));
         }
-        let more = self.app.step_window(&self.recording, &mut self.state);
+        let more = self
+            .app
+            .step_window(&self.recording, &mut self.state, &mut self.workspace);
         if let Some(ms) = &self.movement {
             let every = self.spec.movement_every;
             if every > 0 && self.state.window().is_multiple_of(every) {

@@ -21,7 +21,9 @@ use crate::fault::{Fault, FaultEvent, FaultPlan};
 use crate::membership::{MembershipConfig, MembershipEvent, MembershipView};
 use crate::node::Node;
 use scalo_net::ber::ErrorChannel;
-use scalo_net::packet::{receive, Header, Packet, PayloadKind, Received};
+use scalo_net::packet::{
+    frame_into, receive, receive_ref, Header, Packet, PayloadKind, Received, ReceivedRef,
+};
 use scalo_net::reliable::{FlowStats, ReliableLink, ReliablePolicy, SendOutcome};
 use scalo_net::tdma::TdmaSchedule;
 use scalo_sched::seizure::{solve as solve_seizure, Priorities};
@@ -123,6 +125,11 @@ pub struct Scalo {
     fault_log: Vec<FaultRecord>,
     membership_log: Vec<MembershipRecord>,
     schedule_decisions: Vec<ScheduleDecision>,
+    /// Heartbeat wire/receive scratch: heartbeat rounds fire every window
+    /// (the interval matches the 4 ms analysis cadence), so they sit on
+    /// the zero-allocation hot path.
+    hb_wire: Vec<u8>,
+    hb_rx: Vec<u8>,
 }
 
 impl Scalo {
@@ -147,6 +154,8 @@ impl Scalo {
             fault_log: Vec::new(),
             membership_log: Vec::new(),
             schedule_decisions: Vec::new(),
+            hb_wire: Vec::new(),
+            hb_rx: Vec::new(),
             config,
             nodes,
             channel,
@@ -349,7 +358,7 @@ impl Scalo {
             if !self.alive[from] {
                 continue;
             }
-            let hb = Packet::new(
+            frame_into(
                 Header {
                     src: from as u8,
                     dst: scalo_net::packet::BROADCAST,
@@ -359,16 +368,16 @@ impl Scalo {
                     kind: PayloadKind::Control,
                     timestamp_us: now as u32,
                 },
-                vec![HEARTBEAT_MAGIC, from as u8],
+                &[HEARTBEAT_MAGIC, from as u8],
+                &mut self.hb_wire,
             );
-            let wire = hb.to_wire();
             for to in 0..n {
                 if to == from || !self.alive[to] {
                     continue;
                 }
                 self.stats.heartbeats += 1;
-                let (rx, _) = self.channel.transmit(&wire);
-                if matches!(receive(&rx), Received::Clean(_)) {
+                let _ = self.channel.transmit_into(&self.hb_wire, &mut self.hb_rx);
+                if matches!(receive_ref(&self.hb_rx), ReceivedRef::Clean(..)) {
                     if let Some(event) = self.views[to].observe(from, now) {
                         self.membership_log.push(MembershipRecord {
                             at_us: now,

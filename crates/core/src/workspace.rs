@@ -1,0 +1,52 @@
+//! Per-session scratch buffers for the per-window hot path.
+//!
+//! SCALO's compute fabric works out of fixed SRAM register files — PEs
+//! never allocate mid-window (§3.2). This module is the software analogue:
+//! a [`Workspace`] owns every intermediate buffer the steady-state window
+//! pipeline (ingest → hash → detect → heartbeat) needs, so after a warm-up
+//! window the hot path performs zero heap allocations. A
+//! [`crate::session::Session`] owns one workspace for its lifetime; fleet
+//! workers keep it attached to the session across quantum switches.
+//!
+//! The `*_into` APIs the workspace feeds are bit-identical to their
+//! allocating counterparts, so decision digests are unchanged whichever
+//! entry point runs.
+
+use scalo_lsh::ssh::HashScratch;
+use scalo_lsh::SignalHash;
+use scalo_signal::dtw::DtwScratch;
+use scalo_signal::fft::FftScratch;
+
+/// Reusable buffers for one session's window pipeline. All fields are
+/// scratch: contents are unspecified between calls, and no state leaks
+/// from one window (or one session) to the next because every consumer
+/// clears or re-shapes before writing.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Quantised (i16 LE) window bytes staged for the NVM signal ring.
+    pub quantized: Vec<u8>,
+    /// SSH pipeline intermediates (z-normalised window, sketch bits, pools).
+    pub hash_scratch: HashScratch,
+    /// The current window's hash.
+    pub hash: SignalHash,
+    /// FFT intermediates for the detection feature path.
+    pub fft: FftScratch,
+    /// Detection feature vector (band powers + RMS).
+    pub features: Vec<f64>,
+    /// DTW band intermediates for exact confirmation.
+    pub dtw: DtwScratch,
+    /// Z-normalised copy of the remote window (DTW confirm).
+    pub znorm_a: Vec<f64>,
+    /// Z-normalised copy of the local window (DTW confirm).
+    pub znorm_b: Vec<f64>,
+    /// Concatenated hash bytes staged for HCOMP compression.
+    pub hash_bytes: Vec<u8>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow to their working sizes during the
+    /// first window and are reused thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -384,6 +384,30 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_across_quantum_switches_keeps_digests() {
+        // Each session's Workspace is warmed by its first window and
+        // then carried across every quantum switch. Quantum 1 forces a
+        // worker to hop sessions after every single window — maximal
+        // interleaving of warm workspaces — and must still produce the
+        // same decision digests as run-to-completion (quantum larger
+        // than any session).
+        let run = |quantum: usize| {
+            let mut fleet = Fleet::new(FleetConfig::new(1).with_quantum_steps(quantum));
+            for id in 0..3 {
+                assert!(fleet.submit(small_spec(id)));
+            }
+            fleet.run()
+        };
+        let interleaved = run(1);
+        let monolithic = run(100_000);
+        assert_eq!(interleaved.sessions.len(), monolithic.sessions.len());
+        for (a, b) in interleaved.sessions.iter().zip(&monolithic.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.digest, b.digest, "session {} digest drifted", a.id);
+        }
+    }
+
+    #[test]
     fn over_budget_submission_is_rejected_not_run() {
         let mut fleet = Fleet::new(FleetConfig::new(1).with_budget(8.0));
         assert!(fleet.submit(small_spec(1)));

@@ -36,7 +36,7 @@ pub use ssh::SshHasher;
 /// A fixed-width hash of one signal window. SCALO uses "an 8-bit hash for
 /// a 4 ms signal" (§5); we keep the byte width configurable but default to
 /// one byte.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SignalHash(pub Vec<u8>);
 
 impl SignalHash {
@@ -66,6 +66,60 @@ impl SignalHash {
     /// tolerant matching is configured — `1 + 8·bytes` probes for
     /// `tolerance = 1`.
     pub fn neighbors(&self, tolerance: u32) -> Vec<SignalHash> {
+        let mut out = Vec::new();
+        self.neighbors_into(tolerance, &mut out);
+        out
+    }
+
+    /// [`SignalHash::neighbors`] written into a caller-provided vector.
+    /// Existing elements are truncated away but keep their byte buffers, so
+    /// a warm `out` makes probe expansion allocation-free.
+    pub fn neighbors_into(&self, tolerance: u32, out: &mut Vec<SignalHash>) {
+        // Recycle the inner byte buffers of whatever `out` already holds:
+        // shrink/grow each reused slot in place instead of reallocating.
+        let mut used = 0;
+        let push = |out: &mut Vec<SignalHash>, used: &mut usize, bytes: &[u8]| {
+            if *used < out.len() {
+                let slot = &mut out[*used].0;
+                slot.clear();
+                slot.extend_from_slice(bytes);
+            } else {
+                out.push(SignalHash(bytes.to_vec()));
+            }
+            *used += 1;
+        };
+        push(out, &mut used, &self.0);
+        if tolerance >= 1 {
+            for byte in 0..self.0.len() {
+                for bit in 0..8 {
+                    push(out, &mut used, &self.0);
+                    let idx = used - 1;
+                    out[idx].0[byte] ^= 1 << bit;
+                }
+            }
+        }
+        out.truncate(used);
+        if tolerance >= 2 {
+            let singles: Vec<SignalHash> = out[1..].to_vec();
+            for s in singles {
+                for byte in 0..s.0.len() {
+                    for bit in 0..8 {
+                        let mut v = s.0.clone();
+                        v[byte] ^= 1 << bit;
+                        let cand = SignalHash(v);
+                        if !out.contains(&cand) {
+                            out.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The legacy allocating neighbor expansion, kept verbatim for the
+    /// equivalence tests.
+    #[doc(hidden)]
+    pub fn neighbors_legacy(&self, tolerance: u32) -> Vec<SignalHash> {
         let mut out = vec![self.clone()];
         if tolerance >= 1 {
             for byte in 0..self.0.len() {
@@ -125,6 +179,19 @@ mod tests {
         let a = SignalHash(vec![0x5A, 0x3C]);
         for n in a.neighbors(1) {
             assert!(a.hamming(&n) <= 1);
+        }
+    }
+
+    #[test]
+    fn neighbors_into_matches_legacy_and_recycles_buffers() {
+        let mut out = Vec::new();
+        for tolerance in 0..=2 {
+            for bytes in [vec![0x00], vec![0x5A, 0x3C], vec![0xFF, 0x01, 0x80]] {
+                let h = SignalHash(bytes);
+                h.neighbors_into(tolerance, &mut out);
+                assert_eq!(out, h.neighbors_legacy(tolerance), "tol {tolerance}");
+                assert_eq!(out, h.neighbors(tolerance));
+            }
         }
     }
 }

@@ -46,11 +46,20 @@ impl Sketcher {
     /// Signals shorter than the window produce an empty sketch. The sketch
     /// length is `floor((len - window) / stride) + 1`.
     pub fn sketch(&self, signal: &[f64]) -> Vec<bool> {
+        let mut bits = Vec::new();
+        self.sketch_into(signal, &mut bits);
+        bits
+    }
+
+    /// [`Sketcher::sketch`] written into a caller-provided vector (cleared
+    /// first). Bit-identical to the allocating form; allocation-free once
+    /// `bits` has capacity for the sketch length.
+    pub fn sketch_into(&self, signal: &[f64], bits: &mut Vec<bool>) {
         let w = self.projection.len();
+        bits.clear();
         if signal.len() < w {
-            return Vec::new();
+            return;
         }
-        let mut bits = Vec::with_capacity((signal.len() - w) / self.stride + 1);
         let mut pos = 0;
         while pos + w <= signal.len() {
             let dot: f64 = signal[pos..pos + w]
@@ -61,7 +70,6 @@ impl Sketcher {
             bits.push(dot > 0.0);
             pos += self.stride;
         }
-        bits
     }
 
     /// The raw dot-product sequence (shared with the EMD hash front end).

@@ -5,8 +5,25 @@ use crate::minhash::minhash_signature;
 use crate::ngram::ngram_counts;
 use crate::sketch::Sketcher;
 use crate::SignalHash;
-use scalo_signal::stats::z_normalize;
+use scalo_signal::stats::{z_normalize, z_normalize_into};
 use std::collections::HashMap;
+
+/// Reusable buffers for [`SshHasher::hash_into`]: the z-normalised window,
+/// the raw sketch bits, and the pooled bits. One scratch serves any number
+/// of hashers and window sizes; buffers grow to the largest window seen.
+#[derive(Debug, Clone, Default)]
+pub struct HashScratch {
+    normalized: Vec<f64>,
+    bits: Vec<bool>,
+    pooled: Vec<bool>,
+}
+
+impl HashScratch {
+    /// An empty scratch; the first hash sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A configured SSH-style hasher: random projection, n-gram counting, and
 /// deterministic weighted min-hash.
@@ -90,11 +107,46 @@ impl SshHasher {
     /// are within a small Hamming distance; [`SshHasher::collide`] compares
     /// within the configured tolerance.
     pub fn hash(&self, signal: &[f64]) -> SignalHash {
-        let pooled = self.pooled_bits(signal);
+        let mut out = SignalHash(Vec::new());
+        self.hash_into(signal, &mut HashScratch::new(), &mut out);
+        out
+    }
+
+    /// The pooled bits written into `scratch`, shared by [`SshHasher::hash`]
+    /// and [`SshHasher::hash_into`].
+    fn pooled_bits_with<'a>(&self, signal: &[f64], scratch: &'a mut HashScratch) -> &'a [bool] {
+        let sig: &[f64] = if self.config.normalize {
+            z_normalize_into(signal, &mut scratch.normalized);
+            &scratch.normalized
+        } else {
+            signal
+        };
+        self.sketcher.sketch_into(sig, &mut scratch.bits);
+        let n = self.config.ngram;
+        if n <= 1 {
+            return &scratch.bits;
+        }
+        scratch.pooled.clear();
+        scratch.pooled.extend(
+            scratch
+                .bits
+                .chunks(n)
+                .map(|chunk| chunk.iter().filter(|&&b| b).count() * 2 > chunk.len()),
+        );
+        &scratch.pooled
+    }
+
+    /// [`SshHasher::hash`] written into a caller-provided hash through a
+    /// reusable scratch. Bit-identical to the allocating form and
+    /// allocation-free once `scratch` and `out` are warm.
+    pub fn hash_into(&self, signal: &[f64], scratch: &mut HashScratch, out: &mut SignalHash) {
         let n_bits = self.config.hash_bytes * 8;
-        let mut bytes = vec![0u8; self.config.hash_bytes];
+        let pooled = self.pooled_bits_with(signal, scratch);
+        let bytes = &mut out.0;
+        bytes.clear();
+        bytes.resize(self.config.hash_bytes, 0);
         if pooled.is_empty() {
-            return SignalHash(bytes);
+            return;
         }
         for out_bit in 0..n_bits {
             // Evenly spaced selection keeps the byte representative of the
@@ -108,7 +160,6 @@ impl SshHasher {
                 bytes[out_bit / 8] |= 1 << (out_bit % 8);
             }
         }
-        SignalHash(bytes)
     }
 
     /// A min-hash signature of the window — the ablation path comparing
@@ -197,6 +248,21 @@ mod tests {
         // A huge DC offset makes all dot products flip sign structure;
         // the hash should (almost surely) change.
         assert_ne!(hasher.hash(&sig), hasher.hash(&shifted));
+    }
+
+    #[test]
+    fn warm_scratch_hashes_are_bit_identical_to_fresh() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for measure in [Measure::Dtw, Measure::Euclidean, Measure::Xcor] {
+            let hasher = SshHasher::new(HashConfig::for_measure(measure));
+            let mut scratch = HashScratch::new();
+            let mut out = SignalHash(Vec::new());
+            for n in [120usize, 64, 200, 8] {
+                let sig = random_signal(&mut rng, n);
+                hasher.hash_into(&sig, &mut scratch, &mut out);
+                assert_eq!(out, hasher.hash(&sig), "{measure:?} len {n}");
+            }
+        }
     }
 
     #[test]

@@ -72,3 +72,54 @@ proptest! {
         prop_assert_eq!(found.len(), expected);
     }
 }
+
+// --- `*_into` scratch-buffer equivalence --------------------------------
+//
+// The hot ingest path hashes every window through `hash_into` with a
+// scratch and output left dirty by the previous window; all three
+// reusing forms must reproduce their allocating counterparts exactly,
+// independent of prior buffer contents.
+
+use scalo_lsh::sketch::Sketcher;
+use scalo_lsh::ssh::HashScratch;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sketch_into_equals_legacy(x in sig(120), window in 1usize..16, stride in 1usize..8, seed in any::<u64>()) {
+        let sk = Sketcher::new(window, stride, seed);
+        let legacy = sk.sketch(&x);
+        let mut bits = vec![true; 5];
+        for _ in 0..2 {
+            sk.sketch_into(&x, &mut bits);
+            prop_assert_eq!(&bits, &legacy);
+        }
+    }
+
+    #[test]
+    fn hash_into_equals_legacy(x in sig(120), seed in any::<u64>()) {
+        for m in [Measure::Dtw, Measure::Euclidean, Measure::Xcor] {
+            let mut cfg = HashConfig::for_measure(m);
+            cfg.seed = seed;
+            let h = SshHasher::new(cfg);
+            let legacy = h.hash(&x);
+            let mut scratch = HashScratch::new();
+            let mut out = SignalHash(vec![0xab; 3]);
+            // Second pass reuses the warm scratch and the filled output.
+            for _ in 0..2 {
+                h.hash_into(&x, &mut scratch, &mut out);
+                prop_assert_eq!(&out, &legacy);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_into_equals_legacy(bytes in proptest::collection::vec(any::<u8>(), 1..4), tolerance in 0u32..3) {
+        let h = SignalHash(bytes);
+        let legacy = h.neighbors(tolerance);
+        let mut out = vec![SignalHash(vec![9; 9]); 2];
+        h.neighbors_into(tolerance, &mut out);
+        prop_assert_eq!(out, legacy);
+    }
+}

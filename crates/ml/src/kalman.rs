@@ -50,6 +50,69 @@ impl KalmanModel {
     }
 }
 
+/// Reusable intermediates for [`KalmanFilter::step_with`]: one matrix per
+/// temporary the textbook update produces, so a warm filter steps without
+/// touching the heap. Shapes adapt on first use; one scratch may be shared
+/// across filters of different dimensions (each step re-shapes in place).
+#[derive(Debug, Clone)]
+pub struct KalmanScratch {
+    x_pred: Matrix,
+    at: Matrix,
+    ap: Matrix,
+    apat: Matrix,
+    p_pred: Matrix,
+    ht: Matrix,
+    hp: Matrix,
+    hpht: Matrix,
+    s: Matrix,
+    s_work: Matrix,
+    s_inv: Matrix,
+    pht: Matrix,
+    k: Matrix,
+    z: Matrix,
+    hx: Matrix,
+    innovation: Matrix,
+    k_innov: Matrix,
+    kh: Matrix,
+    eye: Matrix,
+    i_kh: Matrix,
+}
+
+impl KalmanScratch {
+    /// An empty scratch; buffers grow to the model's shapes on first step.
+    pub fn new() -> Self {
+        let z = || Matrix::zeros(1, 1);
+        Self {
+            x_pred: z(),
+            at: z(),
+            ap: z(),
+            apat: z(),
+            p_pred: z(),
+            ht: z(),
+            hp: z(),
+            hpht: z(),
+            s: z(),
+            s_work: z(),
+            s_inv: z(),
+            pht: z(),
+            k: z(),
+            z: z(),
+            hx: z(),
+            innovation: z(),
+            k_innov: z(),
+            kh: z(),
+            eye: z(),
+            i_kh: z(),
+        }
+    }
+}
+
+impl Default for KalmanScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A running Kalman filter: model plus `(x, P)` state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KalmanFilter {
@@ -103,24 +166,61 @@ impl KalmanFilter {
     ///
     /// Panics if `z.len() != obs_dim()`.
     pub fn step(&mut self, z: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+        let mut scratch = KalmanScratch::new();
+        self.step_with(z, &mut scratch)?;
+        Ok(self.state())
+    }
+
+    /// [`KalmanFilter::step`] using caller-provided scratch, returning a
+    /// borrow of the new state estimate. Performs the same floating-point
+    /// operations in the same order as the allocating form, so trajectories
+    /// are bit-identical; allocation-free once the scratch is warm. Hot
+    /// loops hoist one [`KalmanScratch`] and call this per observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the innovation covariance is
+    /// singular (degenerate `Q`). The filter state is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != obs_dim()`.
+    pub fn step_with<'a>(
+        &'a mut self,
+        z: &[f64],
+        s: &mut KalmanScratch,
+    ) -> Result<&'a [f64], SingularMatrixError> {
         assert_eq!(z.len(), self.model.obs_dim(), "observation length");
         let KalmanModel { a, w, h, q } = &self.model;
 
-        // Predict.
-        let x_pred = a.mul(&self.x);
-        let p_pred = a.mul(&self.p).mul(&a.transpose()).add(w);
+        // Predict: x⁻ = A·x, P⁻ = A·P·Aᵀ + W.
+        a.mul_into(&self.x, &mut s.x_pred);
+        a.mul_into(&self.p, &mut s.ap);
+        a.transpose_into(&mut s.at);
+        s.ap.mul_into(&s.at, &mut s.apat);
+        s.apat.add_into(w, &mut s.p_pred);
 
         // Innovation covariance S = H P⁻ Hᵀ + Q — the big inversion.
-        let s = h.mul(&p_pred).mul(&h.transpose()).add(q);
-        let s_inv = s.inverse()?;
+        h.mul_into(&s.p_pred, &mut s.hp);
+        h.transpose_into(&mut s.ht);
+        s.hp.mul_into(&s.ht, &mut s.hpht);
+        s.hpht.add_into(q, &mut s.s);
+        s.s.inverse_into(&mut s.s_work, &mut s.s_inv)?;
 
         // Gain, update.
-        let k = p_pred.mul(&h.transpose()).mul(&s_inv);
-        let innovation = Matrix::column(z).sub(&h.mul(&x_pred));
-        self.x = x_pred.add(&k.mul(&innovation));
+        s.p_pred.mul_into(&s.ht, &mut s.pht);
+        s.pht.mul_into(&s.s_inv, &mut s.k);
+        s.z.set_column(z);
+        h.mul_into(&s.x_pred, &mut s.hx);
+        s.z.sub_into(&s.hx, &mut s.innovation);
+        s.k.mul_into(&s.innovation, &mut s.k_innov);
+        s.x_pred.add_into(&s.k_innov, &mut self.x);
         let n = self.model.state_dim();
-        self.p = Matrix::identity(n).sub(&k.mul(h)).mul(&p_pred);
-        Ok(self.state())
+        s.k.mul_into(h, &mut s.kh);
+        s.eye.set_identity(n);
+        s.eye.sub_into(&s.kh, &mut s.i_kh);
+        s.i_kh.mul_into(&s.p_pred, &mut self.p);
+        Ok(self.x.as_slice())
     }
 
     /// Size in bytes of the matrix the update step must invert — the
@@ -139,10 +239,18 @@ impl KalmanFilter {
 ///
 /// `states[t]` and `observations[t]` are aligned in time.
 ///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if a regression Gram matrix is singular
+/// even after ridge regularisation (degenerate or non-finite trajectories).
+///
 /// # Panics
 ///
 /// Panics if fewer than 3 time steps, or lengths/dimensions disagree.
-pub fn fit_kalman(states: &[Vec<f64>], observations: &[Vec<f64>]) -> KalmanModel {
+pub fn fit_kalman(
+    states: &[Vec<f64>],
+    observations: &[Vec<f64>],
+) -> Result<KalmanModel, SingularMatrixError> {
     assert!(states.len() >= 3, "need at least 3 time steps");
     assert_eq!(states.len(), observations.len(), "length mismatch");
     let n = states[0].len();
@@ -156,8 +264,8 @@ pub fn fit_kalman(states: &[Vec<f64>], observations: &[Vec<f64>]) -> KalmanModel
     let z_all = stack_cols(observations, m);
 
     // A = X2 X1ᵀ (X1 X1ᵀ)⁻¹ ; H = Z Xᵀ (X Xᵀ)⁻¹ (ridge-regularised).
-    let a = regress(&x2, &x1);
-    let h = regress(&z_all, &x_all);
+    let a = regress(&x2, &x1)?;
+    let h = regress(&z_all, &x_all)?;
 
     // Residual covariances.
     let resid_a = x2.sub(&a.mul(&x1));
@@ -170,7 +278,7 @@ pub fn fit_kalman(states: &[Vec<f64>], observations: &[Vec<f64>]) -> KalmanModel
     for i in 0..m {
         q.set(i, i, q.get(i, i) + 1e-6);
     }
-    KalmanModel::new(a, w, h, q)
+    Ok(KalmanModel::new(a, w, h, q))
 }
 
 fn stack_cols(rows: &[Vec<f64>], dim: usize) -> Matrix {
@@ -185,16 +293,20 @@ fn stack_cols(rows: &[Vec<f64>], dim: usize) -> Matrix {
 }
 
 /// Ridge regression `Y Xᵀ (X Xᵀ + εI)⁻¹`.
-fn regress(y: &Matrix, x: &Matrix) -> Matrix {
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if the regularised Gram matrix is still
+/// singular — possible only for non-finite inputs, since the ridge term
+/// bounds pivots away from zero for finite data.
+fn regress(y: &Matrix, x: &Matrix) -> Result<Matrix, SingularMatrixError> {
     let xt = x.transpose();
     let mut gram = x.mul(&xt);
     for i in 0..gram.rows() {
         gram.set(i, i, gram.get(i, i) + 1e-9);
     }
-    let inv = gram
-        .inverse()
-        .expect("regularised Gram matrix is invertible");
-    y.mul(&xt).mul(&inv)
+    let inv = gram.inverse()?;
+    Ok(y.mul(&xt).mul(&inv))
 }
 
 #[cfg(test)]
@@ -264,7 +376,7 @@ mod tests {
             x[0] += x[1];
             x[1] *= 0.99;
         }
-        let model = fit_kalman(&states, &obs);
+        let model = fit_kalman(&states, &obs).unwrap();
         // The fitted filter should track the same trajectory.
         let mut kf = KalmanFilter::new(model);
         let mut last = Vec::new();
@@ -276,6 +388,30 @@ mod tests {
             (last[0] - true_last[0]).abs() < 1.0,
             "tracked {last:?} vs true {true_last:?}"
         );
+    }
+
+    #[test]
+    fn step_with_matches_step_bitwise() {
+        let mut legacy = KalmanFilter::new(toy_model());
+        let mut scratched = KalmanFilter::new(toy_model());
+        let mut scratch = KalmanScratch::new();
+        for t in 1..=25 {
+            let pos = t as f64;
+            let z = [pos, 1.0, pos + 1.0];
+            let a = legacy.step(&z).unwrap();
+            let b = scratched.step_with(&z, &mut scratch).unwrap().to_vec();
+            assert_eq!(a, b, "divergence at step {t}");
+        }
+        assert_eq!(legacy.covariance(), scratched.covariance());
+    }
+
+    #[test]
+    fn fit_kalman_rejects_degenerate_trajectories() {
+        // A constant trajectory at a magnitude where the 1e-9 ridge term is
+        // absorbed by rounding leaves the Gram matrix exactly rank-1.
+        let states = vec![vec![1e30, 1e30]; 8];
+        let obs = vec![vec![0.0; 3]; 8];
+        assert!(fit_kalman(&states, &obs).is_err());
     }
 
     #[test]

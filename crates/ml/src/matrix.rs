@@ -133,18 +133,73 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable borrow of the flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Re-shapes `self` to `rows × cols`, zero-filled, reusing the
+    /// existing allocation where possible.
+    fn reshape(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` a copy of `src` (shape and data), reusing the
+    /// existing allocation where possible.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Makes `self` the `n × n` identity, reusing the allocation.
+    pub fn set_identity(&mut self, n: usize) {
+        self.reshape(n, n);
+        for i in 0..n {
+            self.data[i * n + i] = 1.0;
+        }
+    }
+
+    /// Makes `self` a column vector holding `v`, reusing the allocation.
+    pub fn set_column(&mut self, v: &[f64]) {
+        assert!(!v.is_empty(), "matrix dimensions must be positive");
+        self.rows = v.len();
+        self.cols = 1;
+        self.data.clear();
+        self.data.extend_from_slice(v);
+    }
+
     /// Matrix product `self · other`.
     ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree.
     pub fn mul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols.max(1));
+        self.mul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::mul`] written into a caller-provided matrix (re-shaped
+    /// first). Bit-identical to the allocating form; allocation-free once
+    /// `out` has capacity. The borrow checker guarantees `out` aliases
+    /// neither operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn mul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "inner dimensions {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reshape(self.rows, other.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -156,7 +211,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Element-wise sum.
@@ -165,14 +219,36 @@ impl Matrix {
     ///
     /// Panics if shapes differ.
     pub fn add(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.add_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::add`] written into a caller-provided matrix (re-shaped
+    /// first). Bit-identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + b)
-            .collect();
-        Matrix::from_vec(self.rows, self.cols, data)
+        out.reshape(self.rows, self.cols);
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a + b;
+        }
+    }
+
+    /// Element-wise in-place sum `self += other`. Bit-identical to
+    /// replacing `self` with [`Matrix::add`]'s result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
     }
 
     /// Element-wise difference.
@@ -181,34 +257,57 @@ impl Matrix {
     ///
     /// Panics if shapes differ.
     pub fn sub(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.sub_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::sub`] written into a caller-provided matrix (re-shaped
+    /// first). Bit-identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a - b)
-            .collect();
-        Matrix::from_vec(self.rows, self.cols, data)
+        out.reshape(self.rows, self.cols);
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a - b;
+        }
     }
 
     /// Scalar multiple.
     pub fn scale(&self, k: f64) -> Matrix {
-        Matrix::from_vec(
-            self.rows,
-            self.cols,
-            self.data.iter().map(|a| a * k).collect(),
-        )
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.scale_into(k, &mut out);
+        out
+    }
+
+    /// [`Matrix::scale`] written into a caller-provided matrix (re-shaped
+    /// first). Bit-identical to the allocating form.
+    pub fn scale_into(&self, k: f64, out: &mut Matrix) {
+        out.reshape(self.rows, self.cols);
+        for (o, a) in out.data.iter_mut().zip(&self.data) {
+            *o = a * k;
+        }
     }
 
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::transpose`] written into a caller-provided matrix
+    /// (re-shaped first). Bit-identical to the allocating form.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reshape(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Inverse by Gauss–Jordan elimination with partial pivoting — the
@@ -223,10 +322,34 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square.
     pub fn inverse(&self) -> Result<Matrix, SingularMatrixError> {
+        let mut work = Matrix::zeros(1, 1);
+        let mut out = Matrix::zeros(1, 1);
+        self.inverse_into(&mut work, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::inverse`] using caller-provided scratch: `work` holds the
+    /// elimination copy of `self`, `out` receives the inverse. Bit-identical
+    /// to the allocating form; allocation-free once both have capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when a pivot magnitude falls below
+    /// `1e-12` (`out` is left in an unspecified shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse_into(
+        &self,
+        work: &mut Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), SingularMatrixError> {
         assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
         let n = self.rows;
-        let mut a = self.clone();
-        let mut inv = Matrix::identity(n);
+        work.copy_from(self);
+        out.set_identity(n);
+        let (a, inv) = (work, out);
 
         for col in 0..n {
             // Partial pivot: largest magnitude in this column.
@@ -264,7 +387,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(inv)
+        Ok(())
     }
 
     /// Maximum absolute element difference against `other`.

@@ -10,7 +10,34 @@
 //! the output layer.
 
 use crate::matrix::Matrix;
-use crate::ops::{mad, UnitConfig};
+use crate::ops::{mad, mad_into, UnitConfig};
+
+/// Reusable intermediates for [`ShallowNn::forward_into`]: the input
+/// column, hidden activation, and output column. Shapes adapt on first
+/// use, so one scratch serves networks of different dimensions.
+#[derive(Debug, Clone)]
+pub struct NnScratch {
+    x: Matrix,
+    h: Matrix,
+    y: Matrix,
+}
+
+impl NnScratch {
+    /// An empty scratch; buffers grow to the network's shapes on first use.
+    pub fn new() -> Self {
+        Self {
+            x: Matrix::zeros(1, 1),
+            h: Matrix::zeros(1, 1),
+            y: Matrix::zeros(1, 1),
+        }
+    }
+}
+
+impl Default for NnScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// A two-layer (input → hidden ReLU → output) feed-forward network.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,21 +85,49 @@ impl ShallowNn {
     ///
     /// Panics if `x.len() != input_dim()`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.input_dim(), "input length mismatch");
-        let x = Matrix::column(x);
-        let h = mad(&self.w1, &x, Some(&self.b1), UnitConfig::with_relu());
-        let y = mad(&self.w2, &h, Some(&self.b2), UnitConfig::passthrough());
-        y.as_slice().to_vec()
+        let mut scratch = NnScratch::new();
+        let mut out = Vec::new();
+        self.forward_into(x, &mut scratch, &mut out);
+        out
     }
 
-    /// Index of the maximum output (class decision).
+    /// [`ShallowNn::forward`] using caller-provided scratch, writing the
+    /// output vector into `out` (cleared first). Bit-identical to the
+    /// allocating form; allocation-free once the scratch is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    pub fn forward_into(&self, x: &[f64], scratch: &mut NnScratch, out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.input_dim(), "input length mismatch");
+        scratch.x.set_column(x);
+        mad_into(
+            &self.w1,
+            &scratch.x,
+            Some(&self.b1),
+            UnitConfig::with_relu(),
+            &mut scratch.h,
+        );
+        mad_into(
+            &self.w2,
+            &scratch.h,
+            Some(&self.b2),
+            UnitConfig::passthrough(),
+            &mut scratch.y,
+        );
+        out.clear();
+        out.extend_from_slice(scratch.y.as_slice());
+    }
+
+    /// Index of the maximum output (class decision). Infallible: matrix
+    /// dimensions are strictly positive, so the output is never empty.
     pub fn classify(&self, x: &[f64]) -> usize {
         let y = self.forward(x);
         y.iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("non-empty output")
+            .expect("output_dim() >= 1 by Matrix invariant")
     }
 }
 

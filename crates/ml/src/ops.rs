@@ -59,11 +59,18 @@ impl UnitConfig {
 
     /// Applies the configured post-processing to every element of `m`.
     pub fn apply(&self, m: &Matrix) -> Matrix {
-        Matrix::from_vec(
-            m.rows(),
-            m.cols(),
-            m.as_slice().iter().map(|&y| self.apply_scalar(y)).collect(),
-        )
+        let mut out = m.clone();
+        self.apply_in_place(&mut out);
+        out
+    }
+
+    /// Applies the configured post-processing to every element of `m` in
+    /// place — what the hardware unit does to its output register file.
+    /// Bit-identical to [`UnitConfig::apply`].
+    pub fn apply_in_place(&self, m: &mut Matrix) {
+        for y in m.as_mut_slice() {
+            *y = self.apply_scalar(*y);
+        }
     }
 }
 
@@ -74,12 +81,27 @@ impl UnitConfig {
 ///
 /// Panics on dimension mismatch.
 pub fn mad(a: &Matrix, x: &Matrix, b: Option<&Matrix>, config: UnitConfig) -> Matrix {
-    let y = a.mul(x);
-    let y = match b {
-        Some(b) => y.add(b),
-        None => y,
-    };
-    config.apply(&y)
+    let mut out = a.mul(x);
+    if let Some(b) = b {
+        out.add_assign(b);
+    }
+    config.apply_in_place(&mut out);
+    out
+}
+
+/// [`mad`] written into a caller-provided matrix (re-shaped first).
+/// Bit-identical to the allocating form; allocation-free once `out` has
+/// capacity.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn mad_into(a: &Matrix, x: &Matrix, b: Option<&Matrix>, config: UnitConfig, out: &mut Matrix) {
+    a.mul_into(x, out);
+    if let Some(b) = b {
+        out.add_assign(b);
+    }
+    config.apply_in_place(out);
 }
 
 /// Matrix addition with post-processing — the ADD unit.
@@ -138,6 +160,26 @@ mod tests {
         let y = cfg.apply(&m);
         assert_eq!(y.get(0, 0), 0.0); // (2-4)/2 = -1 → ReLU 0
         assert_eq!(y.get(1, 0), 2.0); // (8-4)/2 = 2
+    }
+
+    #[test]
+    fn mad_into_matches_mad_bitwise() {
+        let a = Matrix::from_rows(&[&[1.5, -2.0, 0.25], &[0.0, 3.0, -1.0]]);
+        let x = Matrix::column(&[0.3, -0.7, 2.0]);
+        let b = Matrix::column(&[0.1, -0.2]);
+        let mut out = Matrix::zeros(1, 1);
+        for cfg in [
+            UnitConfig::passthrough(),
+            UnitConfig::with_relu(),
+            UnitConfig::with_normalization(0.5, 2.0),
+        ] {
+            let legacy = mad(&a, &x, Some(&b), cfg);
+            mad_into(&a, &x, Some(&b), cfg, &mut out);
+            assert_eq!(legacy, out);
+            let legacy = mad(&a, &x, None, cfg);
+            mad_into(&a, &x, None, cfg, &mut out);
+            assert_eq!(legacy, out);
+        }
     }
 
     #[test]

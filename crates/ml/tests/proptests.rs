@@ -109,3 +109,97 @@ proptest! {
         }
     }
 }
+
+// --- `*_into` scratch-buffer equivalence --------------------------------
+//
+// The movement-intent hot path drives these forms with dirty scratch
+// matrices carried over from the previous decode round; they must equal
+// the allocating originals bit-for-bit (exact `==` on every element),
+// regardless of the output's prior shape or contents.
+
+use scalo_ml::kalman::{KalmanFilter, KalmanModel, KalmanScratch};
+use scalo_ml::nn::NnScratch;
+use scalo_ml::ops::mad_into;
+
+/// An output matrix with a deliberately wrong shape and junk contents.
+fn junk() -> Matrix {
+    Matrix::from_vec(2, 3, vec![f64::MAX, -1.5, 0.0, 3.25, -7.0, 42.0])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mul_into_equals_mul(a in vecf(12), b in vecf(20)) {
+        let a = Matrix::from_vec(3, 4, a);
+        let b = Matrix::from_vec(4, 5, b);
+        let legacy = a.mul(&b);
+        let mut out = junk();
+        a.mul_into(&b, &mut out);
+        prop_assert_eq!(out, legacy);
+    }
+
+    #[test]
+    fn mad_into_equals_mad(a in vecf(12), x in vecf(4), b in vecf(3), with_bias in any::<bool>()) {
+        let a = Matrix::from_vec(3, 4, a);
+        let x = Matrix::from_vec(4, 1, x);
+        let b = Matrix::from_vec(3, 1, b);
+        let bias = if with_bias { Some(&b) } else { None };
+        for cfg in [
+            UnitConfig::passthrough(),
+            UnitConfig::with_relu(),
+            UnitConfig::with_normalization(0.5, 2.0),
+        ] {
+            let legacy = mad(&a, &x, bias, cfg);
+            let mut out = junk();
+            mad_into(&a, &x, bias, cfg, &mut out);
+            prop_assert_eq!(&out, &legacy);
+        }
+    }
+
+    #[test]
+    fn inverse_into_equals_inverse(d in vecf(9)) {
+        let mut m = Matrix::from_vec(3, 3, d);
+        // Diagonal dominance keeps the matrix invertible.
+        for i in 0..3 {
+            let v = m.get(i, i) + 50.0;
+            m.set(i, i, v);
+        }
+        let legacy = m.inverse().expect("diagonally dominant");
+        let mut work = junk();
+        let mut out = junk();
+        m.inverse_into(&mut work, &mut out).expect("same matrix");
+        prop_assert_eq!(out, legacy);
+    }
+
+    #[test]
+    fn kalman_step_with_equals_step(zs in proptest::collection::vec(vecf(2), 1..12)) {
+        let model = KalmanModel::new(
+            Matrix::from_vec(2, 2, vec![1.0, 0.04, 0.0, 0.95]),
+            Matrix::identity(2).scale(0.01),
+            Matrix::identity(2),
+            Matrix::identity(2).scale(0.1),
+        );
+        let mut legacy = KalmanFilter::new(model.clone());
+        let mut reusing = KalmanFilter::new(model);
+        let mut scratch = KalmanScratch::new();
+        for z in &zs {
+            let want = legacy.step(z).expect("regularised model");
+            let got = reusing.step_with(z, &mut scratch).expect("same model");
+            prop_assert_eq!(got, want.as_slice());
+        }
+        prop_assert_eq!(legacy.covariance(), reusing.covariance());
+    }
+
+    #[test]
+    fn nn_forward_into_equals_forward(seed in 1u64..5000, x in vecf(10)) {
+        let nn = demo_network(10, 12, 3, seed);
+        let legacy = nn.forward(&x);
+        let mut scratch = NnScratch::new();
+        let mut out = vec![-9.0; 7];
+        for _ in 0..2 {
+            nn.forward_into(&x, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &legacy);
+        }
+    }
+}

@@ -52,9 +52,21 @@ impl ErrorChannel {
     /// Transmits `data` through the channel, returning the (possibly
     /// corrupted) bytes and the number of flipped bits.
     pub fn transmit(&mut self, data: &[u8]) -> (Vec<u8>, usize) {
-        let mut out = data.to_vec();
+        let mut out = Vec::with_capacity(data.len());
+        let flips = self.transmit_into(data, &mut out);
+        (out, flips)
+    }
+
+    /// [`ErrorChannel::transmit`] written into a caller-provided buffer
+    /// (cleared first), returning the number of flipped bits. Consumes the
+    /// RNG stream identically to the allocating form, so runs stay
+    /// deterministic whichever entry point is used; allocation-free once
+    /// `out` has capacity for `data.len()` bytes.
+    pub fn transmit_into(&mut self, data: &[u8], out: &mut Vec<u8>) -> usize {
+        out.clear();
+        out.extend_from_slice(data);
         if self.ber == 0.0 || data.is_empty() {
-            return (out, 0);
+            return 0;
         }
         let total_bits = data.len() * 8;
         let mut flips = 0;
@@ -75,7 +87,7 @@ impl ErrorChannel {
             flips += 1;
             pos += 1;
         }
-        (out, flips)
+        flips
     }
 
     /// Probability that a frame of `bits` bits arrives with at least one

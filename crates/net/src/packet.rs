@@ -126,19 +126,52 @@ impl Packet {
     /// Serialises to wire bytes: `header ‖ crc(header) ‖ payload ‖
     /// crc(payload)`.
     pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.to_wire_into(&mut out);
+        out
+    }
+
+    /// [`Packet::to_wire`] written into a caller-provided buffer (cleared
+    /// first). Bit-identical to the allocating form; allocation-free once
+    /// `out` has capacity for [`Packet::wire_len`] bytes.
+    pub fn to_wire_into(&self, out: &mut Vec<u8>) {
         let h = self.header.pack();
-        let mut out = Vec::with_capacity(11 + 4 + self.payload.len() + 4);
+        out.clear();
         out.extend_from_slice(&h);
         out.extend_from_slice(&crc32(&h).to_le_bytes());
         out.extend_from_slice(&self.payload);
         out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
-        out
     }
 
     /// Size on the wire in bytes.
     pub fn wire_len(&self) -> usize {
         11 + 4 + self.payload.len() + 4
     }
+}
+
+/// Frames a header and payload slice straight to wire bytes (cleared
+/// first) — byte-identical to `Packet::new(header, payload.to_vec())
+/// .to_wire()` without building the intermediate `Packet`. Like
+/// [`Packet::new`], the header's `len` field is overwritten with the
+/// payload length.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_PAYLOAD_BYTES`].
+pub fn frame_into(mut header: Header, payload: &[u8], out: &mut Vec<u8>) {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES,
+        "payload {} exceeds {} bytes",
+        payload.len(),
+        MAX_PAYLOAD_BYTES
+    );
+    header.len = payload.len() as u16;
+    let h = header.pack();
+    out.clear();
+    out.extend_from_slice(&h);
+    out.extend_from_slice(&crc32(&h).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
 }
 
 /// Result of receiving (UNPACK-ing) wire bytes.
@@ -157,22 +190,58 @@ pub enum Received {
     Truncated,
 }
 
+/// Borrowing result of receiving wire bytes: the same classification as
+/// [`Received`] but with the payload as a slice into the wire buffer, so
+/// classification allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceivedRef<'a> {
+    /// Header and payload both verified.
+    Clean(Header, &'a [u8]),
+    /// Payload checksum failed but the policy delivers it anyway
+    /// (signal packets).
+    CorruptDelivered(Header, &'a [u8]),
+    /// Packet dropped: payload checksum failed on an error-sensitive kind.
+    DroppedPayloadError(Header),
+    /// Packet dropped: header checksum failed (unroutable).
+    DroppedHeaderError,
+    /// Wire data too short to contain a packet.
+    Truncated,
+}
+
 /// Parses wire bytes, applying the kind-specific error policy (the
 /// UNPACK PE).
 pub fn receive(wire: &[u8]) -> Received {
+    match receive_ref(wire) {
+        ReceivedRef::Clean(header, payload) => Received::Clean(Packet {
+            header,
+            payload: payload.to_vec(),
+        }),
+        ReceivedRef::CorruptDelivered(header, payload) => Received::CorruptDelivered(Packet {
+            header,
+            payload: payload.to_vec(),
+        }),
+        ReceivedRef::DroppedPayloadError(header) => Received::DroppedPayloadError(header),
+        ReceivedRef::DroppedHeaderError => Received::DroppedHeaderError,
+        ReceivedRef::Truncated => Received::Truncated,
+    }
+}
+
+/// Allocation-free form of [`receive`]: identical classification, payload
+/// borrowed from `wire` instead of copied.
+pub fn receive_ref(wire: &[u8]) -> ReceivedRef<'_> {
     if wire.len() < 11 + 4 + 4 {
-        return Received::Truncated;
+        return ReceivedRef::Truncated;
     }
     let mut h = [0u8; 11];
     h.copy_from_slice(&wire[..11]);
     let h_crc = u32::from_le_bytes([wire[11], wire[12], wire[13], wire[14]]);
     if !verify(&h, h_crc) {
-        return Received::DroppedHeaderError;
+        return ReceivedRef::DroppedHeaderError;
     }
     let header = Header::unpack(&h);
     let payload = &wire[15..wire.len() - 4];
     if payload.len() != header.len as usize {
-        return Received::DroppedHeaderError;
+        return ReceivedRef::DroppedHeaderError;
     }
     let p_crc = u32::from_le_bytes([
         wire[wire.len() - 4],
@@ -180,16 +249,12 @@ pub fn receive(wire: &[u8]) -> Received {
         wire[wire.len() - 2],
         wire[wire.len() - 1],
     ]);
-    let packet = Packet {
-        header,
-        payload: payload.to_vec(),
-    };
     if verify(payload, p_crc) {
-        Received::Clean(packet)
+        ReceivedRef::Clean(header, payload)
     } else if header.kind.deliver_on_error() {
-        Received::CorruptDelivered(packet)
+        ReceivedRef::CorruptDelivered(header, payload)
     } else {
-        Received::DroppedPayloadError(header)
+        ReceivedRef::DroppedPayloadError(header)
     }
 }
 

@@ -60,6 +60,32 @@ impl Default for DtwParams {
 /// assert_eq!(d, 0.0);
 /// ```
 pub fn dtw_distance(a: &[f64], b: &[f64], params: DtwParams) -> f64 {
+    dtw_distance_with(&mut DtwScratch::new(), a, b, params)
+}
+
+/// Reusable rolling-row buffers for [`dtw_distance_with`]. One scratch
+/// serves any sequence length; rows grow to the longest `b` seen.
+#[derive(Debug, Clone, Default)]
+pub struct DtwScratch {
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+}
+
+impl DtwScratch {
+    /// An empty scratch; the first distance call sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`dtw_distance`] using caller-provided rolling rows. Bit-identical to the
+/// allocating form; allocation-free once `scratch` has warmed to the longest
+/// `b` seen.
+///
+/// # Panics
+///
+/// Panics if either sequence is empty.
+pub fn dtw_distance_with(scratch: &mut DtwScratch, a: &[f64], b: &[f64], params: DtwParams) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "DTW of empty sequence");
     let n = a.len();
     let m = b.len();
@@ -69,8 +95,12 @@ pub fn dtw_distance(a: &[f64], b: &[f64], params: DtwParams) -> f64 {
 
     const INF: f64 = f64::INFINITY;
     // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
-    let mut prev = vec![INF; m + 1];
-    let mut curr = vec![INF; m + 1];
+    let prev = &mut scratch.prev;
+    let curr = &mut scratch.curr;
+    prev.clear();
+    prev.resize(m + 1, INF);
+    curr.clear();
+    curr.resize(m + 1, INF);
     prev[0] = 0.0;
 
     for i in 1..=n {
@@ -86,7 +116,7 @@ pub fn dtw_distance(a: &[f64], b: &[f64], params: DtwParams) -> f64 {
                 curr[j] = cost + best;
             }
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
     prev[m].sqrt()
 }
@@ -166,5 +196,17 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_input_panics() {
         let _ = dtw_distance(&[], &[1.0], DtwParams::default());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_lengths() {
+        let mut scratch = DtwScratch::new();
+        for (na, nb) in [(120, 120), (50, 60), (8, 8), (120, 100)] {
+            let a: Vec<f64> = (0..na).map(|i| (i as f64 * 0.13).sin()).collect();
+            let b: Vec<f64> = (0..nb).map(|i| (i as f64 * 0.11).cos()).collect();
+            let legacy = dtw_distance(&a, &b, DtwParams::default());
+            let reused = dtw_distance_with(&mut scratch, &a, &b, DtwParams::default());
+            assert_eq!(legacy.to_bits(), reused.to_bits());
+        }
     }
 }

@@ -95,6 +95,39 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
     buf
 }
 
+/// Reusable complex buffer for [`fft_real_into`]. Allocates once at the
+/// padded transform size and is free to reuse across windows.
+#[derive(Debug, Clone, Default)]
+pub struct FftScratch {
+    buf: Vec<Complex>,
+}
+
+impl FftScratch {
+    /// An empty scratch; the first transform sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The spectrum left behind by the last [`fft_real_into`] call.
+    pub fn spectrum(&self) -> &[Complex] {
+        &self.buf
+    }
+}
+
+/// FFT of a real signal into a reusable scratch buffer, zero-padded to the
+/// next power of two. Bit-identical to [`fft_real`] but allocation-free once
+/// `scratch` has warmed to the padded size.
+pub fn fft_real_into<'a>(signal: &[f64], scratch: &'a mut FftScratch) -> &'a [Complex] {
+    let n = signal.len().max(1).next_power_of_two();
+    scratch.buf.clear();
+    scratch
+        .buf
+        .extend(signal.iter().map(|&x| Complex::new(x, 0.0)));
+    scratch.buf.resize(n, Complex::default());
+    fft_in_place(&mut scratch.buf);
+    &scratch.buf
+}
+
 /// Magnitude spectrum of a real signal (first half of the padded FFT).
 ///
 /// # Example
@@ -128,11 +161,25 @@ pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the band is empty or negative.
 pub fn band_power(signal: &[f64], lo_hz: f64, hi_hz: f64, sample_rate_hz: f64) -> f64 {
+    band_power_from_spectrum(&fft_real(signal), lo_hz, hi_hz, sample_rate_hz)
+}
+
+/// Power in `[lo_hz, hi_hz)` read off an already-computed full spectrum,
+/// letting one FFT serve every feature band.
+///
+/// # Panics
+///
+/// Panics if the band is empty or negative.
+pub fn band_power_from_spectrum(
+    spec: &[Complex],
+    lo_hz: f64,
+    hi_hz: f64,
+    sample_rate_hz: f64,
+) -> f64 {
     assert!(
         lo_hz >= 0.0 && hi_hz > lo_hz,
         "invalid band [{lo_hz}, {hi_hz})"
     );
-    let spec = fft_real(signal);
     let n = spec.len();
     if n == 0 {
         return 0.0;
@@ -168,6 +215,18 @@ pub fn band_power_features(window: &[f64]) -> Vec<f64> {
         .iter()
         .map(|&(lo, hi)| band_power(window, lo, hi, SAMPLE_RATE_HZ))
         .collect()
+}
+
+/// [`band_power_features`] written into a caller-provided vector, running a
+/// single FFT shared by all six bands. Bit-identical to the allocating form
+/// (the per-band bin sums read the same spectrum in the same order) and
+/// allocation-free once `scratch` and `out` are warm.
+pub fn band_power_features_into(window: &[f64], scratch: &mut FftScratch, out: &mut Vec<f64>) {
+    let spec = fft_real_into(window, scratch);
+    out.clear();
+    for &(lo, hi) in FEATURE_BANDS.iter() {
+        out.push(band_power_from_spectrum(spec, lo, hi, SAMPLE_RATE_HZ));
+    }
 }
 
 /// Inverse FFT (in place). Used in tests to verify round-tripping.
@@ -249,5 +308,18 @@ mod tests {
     fn feature_vector_has_six_bands() {
         let signal = vec![0.5; 120];
         assert_eq!(band_power_features(&signal).len(), 6);
+    }
+
+    #[test]
+    fn scratch_features_are_bit_identical() {
+        let signal: Vec<f64> = (0..120).map(|i| (i as f64 * 0.21).sin() * 40.0).collect();
+        let legacy = band_power_features(&signal);
+        let mut scratch = FftScratch::new();
+        let mut out = Vec::new();
+        band_power_features_into(&signal, &mut scratch, &mut out);
+        assert_eq!(legacy, out, "single-FFT path must match 6-FFT path bitwise");
+        // Reuse must not perturb the result.
+        band_power_features_into(&signal, &mut scratch, &mut out);
+        assert_eq!(legacy, out);
     }
 }

@@ -169,7 +169,17 @@ impl ButterworthBandpass {
 
     /// Filters a whole buffer, returning the output.
     pub fn filter(&mut self, xs: &[f64]) -> Vec<f64> {
-        xs.iter().map(|&x| self.process(x)).collect()
+        let mut out = Vec::with_capacity(xs.len());
+        self.filter_into(xs, &mut out);
+        out
+    }
+
+    /// [`ButterworthBandpass::filter`] written into a caller-provided vector
+    /// (cleared first). Bit-identical to the allocating form; allocation-free
+    /// once `out` has capacity for `xs.len()` samples.
+    pub fn filter_into(&mut self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.process(x)));
     }
 
     /// Clears the filter state (e.g. between electrodes).

@@ -34,7 +34,7 @@ pub fn upsample(x: &[f64], factor: usize) -> Vec<f64> {
             out.push(pair[0] * (1.0 - t) + pair[1] * t);
         }
     }
-    out.push(*x.last().expect("non-empty"));
+    out.push(x[x.len() - 1]);
     out
 }
 

@@ -21,23 +21,39 @@ use crate::stats::mean_abs;
 /// assert!(e[2] > e[1] && e[2] > e[3]);
 /// ```
 pub fn neo(x: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(x.len());
+    neo_into(x, &mut out);
+    out
+}
+
+/// [`neo`] written into a caller-provided vector (cleared first).
+/// Bit-identical to the allocating form; allocation-free once `out` has
+/// capacity for `x.len()` samples.
+pub fn neo_into(x: &[f64], out: &mut Vec<f64>) {
     let n = x.len();
-    let mut out = vec![0.0; n];
+    out.clear();
+    out.resize(n, 0.0);
     for i in 1..n.saturating_sub(1) {
         out[i] = x[i] * x[i] - x[i - 1] * x[i + 1];
     }
-    out
 }
 
 /// Adaptive threshold used by the THR PE: `k` times the robust noise
 /// estimate `median(|x|) / 0.6745` (Quiroga's rule).
 pub fn spike_threshold(x: &[f64], k: f64) -> f64 {
+    spike_threshold_with(&mut Vec::new(), x, k)
+}
+
+/// [`spike_threshold`] using a caller-provided magnitude buffer, so repeated
+/// thresholding reuses one sort scratch instead of allocating per call.
+pub fn spike_threshold_with(scratch: &mut Vec<f64>, x: &[f64], k: f64) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    let mut mags: Vec<f64> = x.iter().map(|&v| v.abs()).collect();
-    mags.sort_by(f64::total_cmp);
-    let median = mags[mags.len() / 2];
+    scratch.clear();
+    scratch.extend(x.iter().map(|&v| v.abs()));
+    scratch.sort_by(f64::total_cmp);
+    let median = scratch[scratch.len() / 2];
     k * median / 0.6745
 }
 

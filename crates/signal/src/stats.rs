@@ -49,12 +49,23 @@ pub fn mean_abs(xs: &[f64]) -> f64 {
 /// If the standard deviation is (numerically) zero the original offsets are
 /// returned unscaled, avoiding division blow-up on constant windows.
 pub fn z_normalize(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(xs.len());
+    z_normalize_into(xs, &mut out);
+    out
+}
+
+/// [`z_normalize`] written into a caller-provided vector (cleared first).
+/// Bit-identical to the allocating form; allocation-free once `out` has
+/// capacity for `xs.len()` elements.
+pub fn z_normalize_into(xs: &[f64], out: &mut Vec<f64>) {
     let m = mean(xs);
     let s = std_dev(xs);
+    out.clear();
     if s < 1e-12 {
-        return xs.iter().map(|&x| x - m).collect();
+        out.extend(xs.iter().map(|&x| x - m));
+    } else {
+        out.extend(xs.iter().map(|&x| (x - m) / s));
     }
-    xs.iter().map(|&x| (x - m) / s).collect()
 }
 
 /// Dot product of two equal-length slices.

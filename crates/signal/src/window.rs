@@ -180,7 +180,17 @@ impl Adc {
 
     /// Quantises a whole window, returning the digital codes.
     pub fn quantize_window(&self, w: &[f64]) -> Vec<i16> {
-        w.iter().map(|&x| self.quantize(x)).collect()
+        let mut out = Vec::with_capacity(w.len());
+        self.quantize_window_into(w, &mut out);
+        out
+    }
+
+    /// [`Adc::quantize_window`] written into a caller-provided vector
+    /// (cleared first). Bit-identical to the allocating form; allocation-free
+    /// once `out` has capacity for `w.len()` codes.
+    pub fn quantize_window_into(&self, w: &[f64], out: &mut Vec<i16>) {
+        out.clear();
+        out.extend(w.iter().map(|&x| self.quantize(x)));
     }
 
     /// Round-trips a window through the converter, producing the amplitudes

@@ -82,18 +82,26 @@ pub fn max_lagged_pearson(a: &[f64], b: &[f64], max_lag: usize) -> (isize, f64) 
 /// Full normalised cross-correlation sequence for lags `0..=max_lag`
 /// (correlating `a[lag..]` with `b`), used as an XCOR feature vector.
 pub fn xcor_features(a: &[f64], b: &[f64], max_lag: usize) -> Vec<f64> {
-    (0..=max_lag)
-        .map(|lag| {
-            if lag >= a.len() {
-                return 0.0;
-            }
-            let n = (a.len() - lag).min(b.len());
-            if n < 2 {
-                return 0.0;
-            }
-            pearson(&a[lag..lag + n], &b[..n])
-        })
-        .collect()
+    let mut out = Vec::with_capacity(max_lag + 1);
+    xcor_features_into(a, b, max_lag, &mut out);
+    out
+}
+
+/// [`xcor_features`] written into a caller-provided vector (cleared first).
+/// Bit-identical to the allocating form; allocation-free once `out` has
+/// capacity for `max_lag + 1` lags.
+pub fn xcor_features_into(a: &[f64], b: &[f64], max_lag: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend((0..=max_lag).map(|lag| {
+        if lag >= a.len() {
+            return 0.0;
+        }
+        let n = (a.len() - lag).min(b.len());
+        if n < 2 {
+            return 0.0;
+        }
+        pearson(&a[lag..lag + n], &b[..n])
+    }));
 }
 
 #[cfg(test)]

@@ -103,3 +103,106 @@ proptest! {
         }
     }
 }
+
+// --- `*_into` / `*_with` scratch-buffer equivalence ---------------------
+//
+// The zero-allocation hot path calls the scratch-reusing forms below
+// with whatever junk the previous window left behind, so equivalence
+// must hold bitwise (`==` on f64, not approximately) and regardless of
+// the prior contents or capacity of the output buffers.
+
+use scalo_signal::dtw::{dtw_distance, dtw_distance_with, DtwParams, DtwScratch};
+use scalo_signal::fft::{band_power_features, band_power_features_into, FftScratch};
+use scalo_signal::filter::ButterworthBandpass as Bandpass;
+use scalo_signal::spike::{neo_into, spike_threshold, spike_threshold_with};
+use scalo_signal::stats::{z_normalize, z_normalize_into};
+use scalo_signal::xcor::{xcor_features, xcor_features_into};
+use scalo_signal::WINDOW_SAMPLES;
+
+/// Junk a previous caller plausibly left in a reused output buffer.
+fn dirty(len: usize) -> Vec<f64> {
+    (0..len).map(|i| i as f64 * -3.25).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn band_power_features_into_equals_legacy(x in sig(WINDOW_SAMPLES)) {
+        let legacy = band_power_features(&x);
+        let mut scratch = FftScratch::default();
+        let mut out = dirty(3);
+        // Two passes through the same scratch: the second sees it warm.
+        for _ in 0..2 {
+            band_power_features_into(&x, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &legacy);
+        }
+    }
+
+    #[test]
+    fn z_normalize_into_equals_legacy(x in sig(120)) {
+        let legacy = z_normalize(&x);
+        let mut out = dirty(7);
+        z_normalize_into(&x, &mut out);
+        prop_assert_eq!(out, legacy);
+    }
+
+    #[test]
+    fn dtw_distance_with_equals_legacy(a in sig(60), b in sig(60)) {
+        let params = DtwParams::default();
+        let legacy = dtw_distance(&a, &b, params);
+        let mut scratch = DtwScratch::default();
+        for _ in 0..2 {
+            let got = dtw_distance_with(&mut scratch, &a, &b, params);
+            prop_assert_eq!(got.to_bits(), legacy.to_bits());
+        }
+    }
+
+    #[test]
+    fn filter_into_equals_legacy(x in sig(256)) {
+        // The filter carries state, so equivalence needs twin instances.
+        let mut f_legacy = Bandpass::new(2, 10.0, 200.0, 1_000.0);
+        let mut f_into = Bandpass::new(2, 10.0, 200.0, 1_000.0);
+        let mut out = dirty(5);
+        for chunk in x.chunks(64) {
+            let legacy = f_legacy.filter(chunk);
+            f_into.filter_into(chunk, &mut out);
+            prop_assert_eq!(&out, &legacy);
+        }
+    }
+
+    #[test]
+    fn neo_into_equals_legacy(x in sig(50)) {
+        let legacy = neo(&x);
+        let mut out = dirty(9);
+        neo_into(&x, &mut out);
+        prop_assert_eq!(out, legacy);
+    }
+
+    #[test]
+    fn spike_threshold_with_equals_legacy(x in sig(80), k in 0.5f64..8.0) {
+        let legacy = spike_threshold(&x, k);
+        let mut scratch = dirty(13);
+        for _ in 0..2 {
+            let got = spike_threshold_with(&mut scratch, &x, k);
+            prop_assert_eq!(got.to_bits(), legacy.to_bits());
+        }
+    }
+
+    #[test]
+    fn xcor_features_into_equals_legacy(a in sig(120), b in sig(120), max_lag in 0usize..8) {
+        let legacy = xcor_features(&a, &b, max_lag);
+        let mut out = dirty(2);
+        xcor_features_into(&a, &b, max_lag, &mut out);
+        prop_assert_eq!(out, legacy);
+    }
+
+    #[test]
+    fn quantize_window_into_equals_legacy(x in sig(WINDOW_SAMPLES)) {
+        let adc = Adc::new(1.0);
+        let legacy = adc.quantize_window(&x);
+        let mut out: Vec<i16> = vec![i16::MIN; 3];
+        adc.quantize_window_into(&x, &mut out);
+        prop_assert_eq!(out, legacy);
+    }
+}

@@ -49,6 +49,18 @@ pub struct Partition {
     failed_bytes: usize,
     used_bytes: usize,
     records: std::collections::VecDeque<Record>,
+    /// Optional record-count ring limit set by [`Partition::prefill_ring`]:
+    /// once reached, appends recycle the oldest record's buffer instead of
+    /// allocating — the literal "oldest partition data is overwritten"
+    /// behaviour of §3.3, with the write landing in the reclaimed blocks.
+    #[serde(default)]
+    record_limit: Option<usize>,
+    /// Leading placeholder records installed by
+    /// [`Partition::prefill_ring`], not yet recycled into real records.
+    /// Always the oldest entries, so they are recycled first and the count
+    /// only ever decreases.
+    #[serde(default)]
+    placeholders: usize,
 }
 
 impl Partition {
@@ -65,6 +77,8 @@ impl Partition {
             failed_bytes: 0,
             used_bytes: 0,
             records: std::collections::VecDeque::new(),
+            record_limit: None,
+            placeholders: 0,
         }
     }
 
@@ -93,18 +107,25 @@ impl Partition {
         self.used_bytes
     }
 
-    /// Number of records stored.
+    /// Number of real records stored (placeholders from
+    /// [`Partition::prefill_ring`] excluded).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.records.len() - self.placeholders
     }
 
-    /// Whether the partition is empty.
+    /// Whether no real records are stored.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
-    /// Appends a record, evicting oldest records until it fits. Returns
-    /// the number of records evicted.
+    /// The ring record limit, if [`Partition::prefill_ring`] set one.
+    pub fn record_limit(&self) -> Option<usize> {
+        self.record_limit
+    }
+
+    /// Appends a record, evicting oldest records until it fits (both the
+    /// byte capacity and, when set, the ring record limit). Returns the
+    /// number of records evicted.
     ///
     /// # Panics
     ///
@@ -114,21 +135,105 @@ impl Partition {
             record.data.len() <= self.effective_capacity_bytes(),
             "record larger than partition"
         );
-        let evicted = self.evict_to_fit(self.effective_capacity_bytes() - record.data.len());
+        let mut evicted = self.evict_to_fit(self.effective_capacity_bytes() - record.data.len());
+        if let Some(limit) = self.record_limit {
+            while self.records.len() >= limit {
+                self.pop_oldest();
+                evicted += 1;
+            }
+        }
         self.used_bytes += record.data.len();
         self.records.push_back(record);
         evicted
+    }
+
+    /// [`Partition::append`] from a payload slice. Once the ring limit from
+    /// [`Partition::prefill_ring`] is reached, the evicted record's byte
+    /// buffer is recycled for the new payload, so steady-state appends are
+    /// allocation-free. Stored records are byte-for-byte identical to the
+    /// allocating form's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single record exceeds the whole partition.
+    pub fn append_bytes(&mut self, timestamp_us: u64, key: u32, payload: &[u8]) -> usize {
+        assert!(
+            payload.len() <= self.effective_capacity_bytes(),
+            "record larger than partition"
+        );
+        let mut evicted = self.evict_to_fit(self.effective_capacity_bytes() - payload.len());
+        if let Some(limit) = self.record_limit {
+            if self.records.len() >= limit {
+                let mut rec = self.pop_oldest();
+                evicted += 1;
+                rec.timestamp_us = timestamp_us;
+                rec.key = key;
+                rec.data.clear();
+                rec.data.extend_from_slice(payload);
+                self.used_bytes += rec.data.len();
+                self.records.push_back(rec);
+                return evicted;
+            }
+        }
+        self.used_bytes += payload.len();
+        self.records.push_back(Record {
+            timestamp_us,
+            key,
+            data: payload.to_vec(),
+        });
+        evicted
+    }
+
+    /// Fills a fresh partition with `records` empty placeholder records
+    /// whose buffers reserve `bytes_per_record` of capacity, and sets the
+    /// ring record limit to `records`. Placeholders hold no payload bytes,
+    /// are invisible to [`Partition::len`] / [`Partition::range`] /
+    /// [`Partition::latest`], and are recycled first — so query behaviour
+    /// is unchanged, but every subsequent [`Partition::append_bytes`]
+    /// reuses a pre-sized buffer instead of allocating. Call once at
+    /// session start for a zero-alloc hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero or real records are already stored.
+    pub fn prefill_ring(&mut self, records: usize, bytes_per_record: usize) {
+        assert!(records > 0, "ring needs at least one record");
+        assert!(
+            self.records.len() == self.placeholders,
+            "prefill_ring requires a fresh partition"
+        );
+        self.record_limit = Some(records);
+        while self.records.len() > records {
+            self.pop_oldest();
+        }
+        self.records.reserve(records - self.records.len());
+        while self.records.len() < records {
+            self.records.push_back(Record {
+                timestamp_us: 0,
+                key: u32::MAX,
+                data: Vec::with_capacity(bytes_per_record),
+            });
+            self.placeholders += 1;
+        }
     }
 
     /// Evicts oldest records until at most `limit` bytes are used.
     fn evict_to_fit(&mut self, limit: usize) -> usize {
         let mut evicted = 0;
         while self.used_bytes > limit {
-            let old = self.records.pop_front().expect("used > 0 implies records");
-            self.used_bytes -= old.data.len();
+            self.pop_oldest();
             evicted += 1;
         }
         evicted
+    }
+
+    fn pop_oldest(&mut self) -> Record {
+        let old = self.records.pop_front().expect("records present");
+        self.used_bytes -= old.data.len();
+        // Placeholders are older than every real record, so while any
+        // remain they are what eviction removes.
+        self.placeholders = self.placeholders.saturating_sub(1);
+        old
     }
 
     /// Marks up to `bytes` of this partition's NVM as failed, evicting
@@ -161,9 +266,12 @@ impl Partition {
     }
 
     /// Records with `timestamp_us` in `[from_us, to_us]`, oldest first.
+    /// Placeholders from [`Partition::prefill_ring`] (always the oldest
+    /// entries) are excluded.
     pub fn range(&self, from_us: u64, to_us: u64) -> Vec<&Record> {
         self.records
             .iter()
+            .skip(self.placeholders)
             .filter(|r| r.timestamp_us >= from_us && r.timestamp_us <= to_us)
             .collect()
     }
@@ -176,9 +284,13 @@ impl Partition {
             .collect()
     }
 
-    /// The most recent record, if any.
+    /// The most recent real record, if any.
     pub fn latest(&self) -> Option<&Record> {
-        self.records.back()
+        if self.is_empty() {
+            None
+        } else {
+            self.records.back()
+        }
     }
 }
 
@@ -334,6 +446,54 @@ mod tests {
         assert_eq!(p.len(), 3);
         assert!(p.range(1, 1).is_empty(), "oldest gone");
         assert_eq!(p.used_bytes(), 30);
+    }
+
+    #[test]
+    fn prefilled_ring_is_invisible_and_recycles_buffers() {
+        let mut p = Partition::new(PartitionKind::Signals, 1024);
+        p.prefill_ring(3, 10);
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.used_bytes(), 0);
+        assert!(p.latest().is_none());
+        assert!(p.range(0, u64::MAX).is_empty());
+
+        assert_eq!(p.append_bytes(100, 1, &[0xAA; 10]), 1, "recycles a slot");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.used_bytes(), 10);
+        assert_eq!(p.latest().unwrap().timestamp_us, 100);
+        p.append_bytes(200, 2, &[0xBB; 10]);
+        p.append_bytes(300, 1, &[0xCC; 10]);
+        assert_eq!(p.len(), 3, "all placeholders recycled");
+        assert_eq!(p.range_for_key(1, 0, 1000).len(), 2);
+
+        // Ring full of real records: the oldest is now overwritten even
+        // though the byte capacity has plenty of room.
+        assert_eq!(p.append_bytes(400, 3, &[0xDD; 10]), 1);
+        assert_eq!(p.len(), 3);
+        assert!(p.range(100, 100).is_empty(), "oldest overwritten");
+        assert_eq!(p.latest().unwrap().key, 3);
+        assert_eq!(p.used_bytes(), 30);
+    }
+
+    #[test]
+    fn append_honors_ring_limit_like_append_bytes() {
+        let mut a = Partition::new(PartitionKind::Hashes, 1024);
+        let mut b = Partition::new(PartitionKind::Hashes, 1024);
+        a.prefill_ring(2, 4);
+        b.prefill_ring(2, 4);
+        for t in 0..5u64 {
+            a.append(rec(t, t as u32, 4));
+            b.append_bytes(t, t as u32, &[0xEE; 4]);
+        }
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.used_bytes(), b.used_bytes());
+        assert_eq!(
+            a.range(0, 100).len(),
+            b.range(0, 100).len(),
+            "both paths keep the same ring window"
+        );
+        assert_eq!(a.latest().unwrap().timestamp_us, 4);
     }
 
     #[test]
