@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== fmt =="
 cargo fmt --all --check
 
+echo "== rustdoc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== benches compile =="
 cargo bench --workspace --no-run
 
@@ -23,5 +26,11 @@ cargo test -q -p scalo-core --test hot_path
 
 echo "== fleet smoke (pool + admission + metrics JSON) =="
 cargo run --release -p scalo-bench --bin experiments -- fleet --sessions 6
+
+echo "== trace smoke (span attribution + chrome://tracing export) =="
+# The binary itself asserts attribution invariants and JSON validity;
+# here we only check the artifact landed and is non-empty.
+cargo run --release -p scalo-bench --bin experiments -- trace --sessions 2
+test -s trace.json || { echo "trace.json missing or empty" >&2; exit 1; }
 
 echo "CI OK"

@@ -33,6 +33,8 @@ use scalo_sched::{Scenario, TaskKind};
 use scalo_signal::dtw::{dtw_distance, DtwParams};
 use scalo_storage::layout::paper_trade;
 use scalo_storage::nvm::NvmParams;
+use scalo_trace::chrome::{chrome_trace_json, is_valid_json};
+use scalo_trace::{attribute, deadline_miss_report, DeadlineMissReport, SpanEvent, Stage};
 
 /// Table 1: the PE catalog with derived power at 96 electrodes.
 pub fn table1() {
@@ -900,8 +902,13 @@ pub fn fleet_trial(sessions: usize, workers: usize, quantum: usize) -> (FleetRep
 /// Writes the swept fleet reports (throughput, per-session rows with
 /// decision fingerprints, step-latency histograms, and serving-loop
 /// allocations per window) to `BENCH_fleet.json` at the repo root.
-/// Returns the path written.
-pub fn write_bench_fleet_json(reports: &[(FleetReport, f64)]) -> std::io::Result<&'static str> {
+/// When `traced` is given, its report — whose metrics registry carries
+/// the per-stage `trace.stage.*.span_us` latency histograms — is
+/// embedded as a `"traced"` object. Returns the path written.
+pub fn write_bench_fleet_json(
+    reports: &[(FleetReport, f64)],
+    traced: Option<&FleetReport>,
+) -> std::io::Result<&'static str> {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
     let allocs = reports
         .iter()
@@ -913,8 +920,11 @@ pub fn write_bench_fleet_json(reports: &[(FleetReport, f64)]) -> std::io::Result
         })
         .collect::<Vec<_>>()
         .join(",");
+    let traced_field = traced
+        .map(|r| format!(",\"traced\":{}", r.to_json()))
+        .unwrap_or_default();
     let body = format!(
-        "{{\"bench\":\"fleet\",\"allocs_per_window\":[{allocs}],\"sweep\":[{}]}}\n",
+        "{{\"bench\":\"fleet\",\"allocs_per_window\":[{allocs}],\"sweep\":[{}]{traced_field}}}\n",
         reports
             .iter()
             .map(|(r, _)| r.to_json())
@@ -1028,9 +1038,160 @@ pub fn fleet(sessions: usize) {
     table(&["event", "id", "detail"], &rows);
     assert!(rejected && admitted, "admission showcase regressed");
 
-    match write_bench_fleet_json(&reports) {
-        Ok(path) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write BENCH_fleet.json: {e}"),
+    // One traced serving pass so BENCH_fleet.json also carries the
+    // per-stage `trace.stage.*.span_us` latency histograms.
+    let traced = traced_fleet_trial(sessions.min(8), 2);
+    let spans: usize = traced.sessions.iter().map(|s| s.trace.len()).sum();
+    println!("\ntraced serving pass: {spans} spans merged into the metrics registry");
+    match write_bench_fleet_json(&reports, Some(&traced)) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
+    }
+}
+
+/// Response-time budget for the `trace` experiment, in µs per window.
+/// Deliberately tight (the paper's 4 ms cadence leaves ~150 µs of host
+/// CPU per window at the modeled serving density) so the experiment
+/// reliably produces deadline misses to attribute.
+const TRACE_DEADLINE_US: u64 = 150;
+
+/// The traced population: every session records spans into a
+/// pre-allocated ring. Even ids model a 300 µs radio wait — double the
+/// budget, so their misses are radio-dominated; odd ids have no stall,
+/// so any misses they take are compute-dominated.
+fn traced_population(sessions: usize) -> Vec<SessionSpec> {
+    (0..sessions as u64)
+        .map(|id| {
+            SessionSpec::new(id, 0x7ace + 31 * id)
+                .with_duration_s(0.3)
+                .with_step_deadline_us(TRACE_DEADLINE_US)
+                .with_io_stall_us(if id % 2 == 0 {
+                    2 * TRACE_DEADLINE_US
+                } else {
+                    0
+                })
+                .with_movement_every(if id % 2 == 1 { 25 } else { 0 })
+                .with_trace_capacity(16_384)
+        })
+        .collect()
+}
+
+/// Serves the traced population and returns the report (every session's
+/// spans attached, per-stage histograms merged into the metrics
+/// registry by the fleet).
+pub fn traced_fleet_trial(sessions: usize, workers: usize) -> FleetReport {
+    let mut fl = Fleet::new(
+        FleetConfig::new(workers)
+            .with_quantum_steps(4)
+            .with_budget(16.0 * sessions.max(1) as f64),
+    );
+    for spec in traced_population(sessions.max(1)) {
+        assert!(fl.submit(spec), "population is sized to fit the budget");
+    }
+    fl.run()
+}
+
+/// Per-window span tracing with deadline-miss attribution: serves a
+/// traced fleet under deliberate deadline pressure, writes the combined
+/// `trace.json` (chrome://tracing format) at the repo root, and prints
+/// the deadline-miss report — dominant stage per miss plus the
+/// predicted-vs-observed skew against the Table 1 ILP latency model.
+pub fn trace(sessions: usize) {
+    let sessions = sessions.max(2);
+    header(&format!(
+        "Per-window tracing: {sessions} sessions, {TRACE_DEADLINE_US} µs budget"
+    ));
+    let report = traced_fleet_trial(sessions, 2);
+    let deadline_ns = TRACE_DEADLINE_US * 1_000;
+
+    // Attribute every session and fold the misses into a fleet view.
+    let mut per_session: Vec<(u64, DeadlineMissReport)> = Vec::new();
+    let mut dominant_tally: Vec<(Stage, usize)> = Vec::new();
+    for s in &report.sessions {
+        let breakdowns = attribute(&s.trace);
+        assert!(
+            !breakdowns.is_empty(),
+            "traced session {} produced no attributable windows",
+            s.id
+        );
+        for b in &breakdowns {
+            // The attribution invariant the export relies on: stage
+            // spans sum to the window wall time, residual included.
+            assert_eq!(
+                b.total_ns(),
+                b.wall_ns,
+                "session {} window {} attribution drifted",
+                s.id,
+                b.window
+            );
+        }
+        let miss_report = deadline_miss_report(&breakdowns, deadline_ns);
+        for m in &miss_report.misses {
+            match dominant_tally.iter_mut().find(|(st, _)| *st == m.dominant) {
+                Some((_, n)) => *n += 1,
+                None => dominant_tally.push((m.dominant, 1)),
+            }
+        }
+        per_session.push((s.id, miss_report));
+    }
+
+    let windows: usize = per_session.iter().map(|(_, r)| r.windows).sum();
+    let misses: usize = per_session.iter().map(|(_, r)| r.misses.len()).sum();
+    println!(
+        "{windows} windows attributed, {misses} deadline misses ({:.1}%)",
+        100.0 * misses as f64 / windows.max(1) as f64
+    );
+    dominant_tally.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let rows: Vec<Vec<String>> = dominant_tally
+        .iter()
+        .map(|&(stage, n)| {
+            vec![
+                stage.name().to_string(),
+                n.to_string(),
+                stage.predicted_ms().map_or("-".into(), |p| f(p, 3)),
+            ]
+        })
+        .collect();
+    table(&["dominant stage", "misses", "Table 1 budget ms"], &rows);
+
+    // A worked example: the first session with misses, truncated to its
+    // first few lines (the full report is in the span data itself).
+    if let Some((id, r)) = per_session.iter().find(|(_, r)| !r.misses.is_empty()) {
+        const SHOW: usize = 5;
+        println!("\n-- session {id} deadline-miss report (first {SHOW} misses) --");
+        // `to_text` lays out one header line, one line per miss, then
+        // the per-stage skew table; elide the middle beyond SHOW.
+        let text = r.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        let n_miss = r.misses.len();
+        for line in &lines[..1 + n_miss.min(SHOW)] {
+            println!("{line}");
+        }
+        if n_miss > SHOW {
+            println!("  … {} further misses elided", n_miss - SHOW);
+        }
+        for line in &lines[1 + n_miss..] {
+            println!("{line}");
+        }
+    } else {
+        println!("\nno session missed its deadline — raise --sessions or tighten the budget");
+    }
+
+    // chrome://tracing export: one process per session.
+    let streams: Vec<(String, Vec<SpanEvent>)> = report
+        .sessions
+        .iter()
+        .map(|s| (format!("session-{}", s.id), s.trace.clone()))
+        .collect();
+    let json = chrome_trace_json(&streams);
+    assert!(is_valid_json(&json), "emitted trace must be valid JSON");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../trace.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!(
+            "\nwrote {path} ({} events) — load it in chrome://tracing or ui.perfetto.dev",
+            streams.iter().map(|(_, e)| e.len()).sum::<usize>()
+        ),
+        Err(e) => eprintln!("\ncould not write trace.json: {e}"),
     }
 }
 

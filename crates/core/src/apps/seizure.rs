@@ -28,6 +28,7 @@ use scalo_net::compress::{dcomp_decompress, hcomp_compress};
 use scalo_net::packet::{Header, Packet, PayloadKind, Received, BROADCAST};
 use scalo_signal::dtw::{dtw_distance_with, DtwParams};
 use scalo_signal::stats::z_normalize_into;
+use scalo_trace::Stage;
 
 /// Samples per analysis window.
 pub const WINDOW: usize = 120;
@@ -278,7 +279,7 @@ impl SeizureApp {
                     if self
                         .system
                         .node(node_id)
-                        .detect_seizure_ws(win, &mut ws.fft, &mut ws.features)
+                        .detect_seizure_traced(win, ws)
                         .unwrap_or(false)
                     {
                         votes += 1;
@@ -292,6 +293,7 @@ impl SeizureApp {
 
             // 3. If an origin has detected, run the exchange this window.
             if let Some((detect_w, origin)) = st.origin_detect {
+                ws.trace.begin(Stage::Sketch);
                 let mut hashes: Vec<SignalHash> = Vec::with_capacity(electrodes);
                 for e in 0..electrodes {
                     let win = &recording.nodes[origin].channels[e][t0..t0 + WINDOW];
@@ -307,8 +309,10 @@ impl SeizureApp {
                     }
                     hashes.push(h);
                 }
+                ws.trace.end(Stage::Sketch);
                 // Stage the concatenated hash bytes in the workspace
                 // instead of cloning every hash into a temporary.
+                ws.trace.begin(Stage::Radio);
                 ws.hash_bytes.clear();
                 for h in &hashes {
                     ws.hash_bytes.extend_from_slice(&h.0);
@@ -344,11 +348,13 @@ impl SeizureApp {
                         })
                         .collect()
                 };
+                ws.trace.end(Stage::Radio);
 
                 // Receivers that got the hashes check for collisions and
                 // remember which (origin electrode → local window) pair
                 // matched — that pair is what exact comparison verifies.
                 let mut responders: Vec<(usize, usize, usize, u64)> = Vec::new();
+                ws.trace.begin(Stage::Probe);
                 for (to, arrival) in &arrivals {
                     let Some(p) = arrival else {
                         st.hash_drops += 1;
@@ -375,6 +381,7 @@ impl SeizureApp {
                         }
                     }
                 }
+                ws.trace.end(Stage::Probe);
 
                 // The origin broadcasts the matched electrodes' full
                 // signal windows (CSEL picks the candidates, §3.2);
@@ -383,6 +390,7 @@ impl SeizureApp {
                 wanted.sort_unstable();
                 wanted.dedup();
                 for origin_e in wanted {
+                    ws.trace.begin(Stage::Radio);
                     let sig = &recording.nodes[origin].channels[origin_e][t0..t0 + WINDOW];
                     let bytes: Vec<u8> = sig
                         .iter()
@@ -401,6 +409,7 @@ impl SeizureApp {
                         bytes,
                     );
                     let sig_deliveries = self.system.broadcast(origin, &sig_packet);
+                    ws.trace.end(Stage::Radio);
                     for d in sig_deliveries {
                         let Some(&(_, _, local_e, ts)) = responders
                             .iter()
@@ -417,9 +426,13 @@ impl SeizureApp {
                             .map(|b| i16::from_le_bytes([b[0], b[1]]) as f64 / 8_192.0)
                             .collect();
                         // Compare against the hash-matched stored window.
-                        let Some(local) = self.system.node(d.to).stored_window(local_e, ts) else {
+                        ws.trace.begin(Stage::StorageRead);
+                        let local = self.system.node(d.to).stored_window(local_e, ts);
+                        ws.trace.end(Stage::StorageRead);
+                        let Some(local) = local else {
                             continue;
                         };
+                        ws.trace.begin(Stage::Dtw);
                         z_normalize_into(&remote, &mut ws.znorm_a);
                         z_normalize_into(&local, &mut ws.znorm_b);
                         let dist = dtw_distance_with(
@@ -428,6 +441,7 @@ impl SeizureApp {
                             &ws.znorm_b,
                             DtwParams::default(),
                         );
+                        ws.trace.end(Stage::Dtw);
                         if dist < self.dtw_threshold && st.confirmed[d.to].is_none() {
                             st.confirmed[d.to] =
                                 Some((w - detect_w) as f64 * WINDOW_US as f64 / 1_000.0);

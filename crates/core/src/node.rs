@@ -9,6 +9,7 @@ use scalo_ml::svm::LinearSvm;
 use scalo_signal::fft::{band_power_features_into, FftScratch};
 use scalo_signal::stats::rms;
 use scalo_storage::partition::{FailoverReport, PartitionKind, PartitionSet};
+use scalo_trace::Stage;
 
 /// Errors a node can report instead of panicking mid-protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +166,27 @@ impl Node {
         Ok(detector.predict(features))
     }
 
+    /// [`Node::detect_seizure_ws`] with the feature extraction and the
+    /// SVM vote recorded as separate [`Stage::Filter`] / [`Stage::Detect`]
+    /// spans on the workspace recorder. Same decision bit-for-bit.
+    pub fn detect_seizure_traced(
+        &self,
+        window: &[f64],
+        ws: &mut Workspace,
+    ) -> Result<bool, NodeError> {
+        let detector = self
+            .detector
+            .as_ref()
+            .ok_or(NodeError::DetectorMissing { node: self.id })?;
+        ws.trace.begin(Stage::Filter);
+        Self::detection_features_into(window, &mut ws.fft, &mut ws.features);
+        ws.trace.end(Stage::Filter);
+        ws.trace.begin(Stage::Detect);
+        let vote = detector.predict(&ws.features);
+        ws.trace.end(Stage::Detect);
+        Ok(vote)
+    }
+
     /// Ingests one electrode window: stores the signal, hashes it, and
     /// records the hash both in the NVM hash partition and the CCHECK
     /// SRAM.
@@ -194,6 +216,7 @@ impl Node {
         ws: &mut Workspace,
     ) {
         assert_eq!(window.len(), self.window_samples, "window length");
+        ws.trace.begin(Stage::StorageWrite);
         ws.quantized.clear();
         for &x in window {
             ws.quantized
@@ -204,18 +227,23 @@ impl Node {
             electrode as u32,
             &ws.quantized,
         );
+        ws.trace.end(Stage::StorageWrite);
+        ws.trace.begin(Stage::Sketch);
         match &self.hasher {
             MeasureHasher::Ssh(h) => h.hash_into(window, &mut ws.hash_scratch, &mut ws.hash),
             // The EMDH pipeline has no scratch entry point; the default
             // deployments hash via SSH, so this branch stays allocating.
             MeasureHasher::Emd(h) => ws.hash = h.hash(window),
         }
+        ws.trace.end(Stage::Sketch);
+        ws.trace.begin(Stage::StorageWrite);
         self.storage.get_mut(PartitionKind::Hashes).append_bytes(
             timestamp_us,
             electrode as u32,
             &ws.hash.0,
         );
         self.ccheck.record_copy(electrode, timestamp_us, &ws.hash);
+        ws.trace.end(Stage::StorageWrite);
     }
 
     /// Retrieves a stored signal window (dequantised).

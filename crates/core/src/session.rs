@@ -17,6 +17,7 @@ use crate::apps::seizure::{PropagationRun, RunState, SeizureApp, WINDOW_US};
 use crate::config::ScaloConfig;
 use crate::workspace::Workspace;
 use scalo_data::ieeg::{generate, IeegConfig, MultiSiteRecording, SeizureEvent};
+use scalo_trace::{Recorder, SpanEvent, Stage};
 use std::time::Instant;
 
 /// Everything that defines one patient's session: identity, seed,
@@ -51,6 +52,11 @@ pub struct SessionSpec {
     /// serving-layer concurrency is measurable; it feeds wall-clock
     /// accounting only and never touches decision state.
     pub io_stall_us: u64,
+    /// Span-recorder ring capacity in events (0 = tracing disabled, the
+    /// default). When nonzero the session's `Workspace` carries an
+    /// enabled `scalo-trace` recorder, pre-allocated at admission so
+    /// steady-state recording stays allocation-free.
+    pub trace_capacity: usize,
 }
 
 impl SessionSpec {
@@ -69,6 +75,7 @@ impl SessionSpec {
             movement_every: 0,
             step_deadline_us: WINDOW_US,
             io_stall_us: 0,
+            trace_capacity: 0,
         }
     }
 
@@ -114,6 +121,13 @@ impl SessionSpec {
     /// Sets the modeled per-window device wait.
     pub fn with_io_stall_us(mut self, us: u64) -> Self {
         self.io_stall_us = us;
+        self
+    }
+
+    /// Enables per-window span tracing with a ring of `capacity` events
+    /// (0 disables it again).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 
@@ -209,6 +223,12 @@ impl Session {
         let state = app.begin(&recording);
         let movement =
             (spec.movement_every > 0).then(|| movement::generate_session(24, 8, spec.seed ^ 0x33));
+        let mut workspace = Workspace::new();
+        if spec.trace_capacity > 0 {
+            // The ring is allocated here, at admission, so enabling the
+            // recorder adds nothing to the steady-state window path.
+            workspace.trace = Recorder::with_capacity(spec.trace_capacity, spec.electrodes);
+        }
         Self {
             spec,
             app,
@@ -216,7 +236,7 @@ impl Session {
             state,
             movement,
             movement_results: Vec::new(),
-            workspace: Workspace::new(),
+            workspace,
             steps: 0,
             deadline_misses: 0,
             wall_us: 0,
@@ -263,8 +283,12 @@ impl Session {
             };
         }
         let t0 = Instant::now();
+        self.workspace.trace.set_window(window as u32);
+        self.workspace.trace.begin(Stage::Window);
         if self.spec.io_stall_us > 0 {
+            self.workspace.trace.begin(Stage::RadioWait);
             std::thread::sleep(std::time::Duration::from_micros(self.spec.io_stall_us));
+            self.workspace.trace.end(Stage::RadioWait);
         }
         let more = self
             .app
@@ -275,14 +299,31 @@ impl Session {
                 // Rotate through the three decode pipelines of §2.2 so
                 // the mix exercises SVM, KF, and NN compute shapes.
                 let round = self.movement_results.len();
+                let tr = &mut self.workspace.trace;
                 let value = match round % 3 {
-                    0 => movement::svm_accuracy(ms, 2),
-                    1 => movement::kalman_velocity_error(ms),
-                    _ => movement::nn_decomposition_error(ms, 2),
+                    0 => {
+                        tr.begin(Stage::Svm);
+                        let v = movement::svm_accuracy(ms, 2);
+                        tr.end(Stage::Svm);
+                        v
+                    }
+                    1 => {
+                        tr.begin(Stage::Kalman);
+                        let v = movement::kalman_velocity_error(ms);
+                        tr.end(Stage::Kalman);
+                        v
+                    }
+                    _ => {
+                        tr.begin(Stage::Nn);
+                        let v = movement::nn_decomposition_error(ms, 2);
+                        tr.end(Stage::Nn);
+                        v
+                    }
                 };
                 self.movement_results.push((round, value));
             }
         }
+        self.workspace.trace.end(Stage::Window);
         let wall_us = t0.elapsed().as_micros() as u64;
         let deadline_missed = wall_us > self.spec.step_deadline_us;
         self.steps += 1;
@@ -294,6 +335,37 @@ impl Session {
             deadline_missed,
             done: !more,
         }
+    }
+
+    /// The session's span recorder (disabled unless the spec set a
+    /// [`SessionSpec::trace_capacity`]).
+    pub fn trace(&self) -> &Recorder {
+        &self.workspace.trace
+    }
+
+    /// Marks the session as picked up by a fleet worker: closes any
+    /// pending run-queue gap as a [`Stage::Queue`] span stamped with the
+    /// next window to be stepped. Called by the serving layer at the
+    /// start of a scheduling quantum.
+    pub fn note_scheduled(&mut self) {
+        let next = self.state.window() as u32;
+        self.workspace.trace.set_window(next);
+        self.workspace.trace.mark_scheduled();
+    }
+
+    /// Marks the session as parked back on the fleet run queue. Called
+    /// by the serving layer when a quantum yields with work remaining.
+    pub fn note_yielded(&mut self) {
+        self.workspace.trace.mark_queued();
+    }
+
+    /// Drains the recorded spans (oldest first), leaving the recorder
+    /// enabled with an empty ring. Used by the serving layer to export
+    /// traces after a session finishes.
+    pub fn take_trace_events(&mut self) -> Vec<SpanEvent> {
+        let events = self.workspace.trace.events();
+        self.workspace.trace.clear();
+        events
     }
 
     /// Aggregate accounting so far.

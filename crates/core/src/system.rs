@@ -3,7 +3,7 @@
 //! Beyond the happy-path broadcast medium, the system carries the
 //! fault-tolerance machinery of the robustness studies:
 //!
-//! * a [`FaultPlan`](crate::fault::FaultPlan) drained as simulated time
+//! * a [`FaultPlan`] drained as simulated time
 //!   advances — crashes, recoveries, BER spikes, clock drift, NVM block
 //!   failures — all deterministic per seed;
 //! * heartbeat-driven failure detection

@@ -16,6 +16,7 @@ use scalo_lsh::ssh::HashScratch;
 use scalo_lsh::SignalHash;
 use scalo_signal::dtw::DtwScratch;
 use scalo_signal::fft::FftScratch;
+use scalo_trace::Recorder;
 
 /// Reusable buffers for one session's window pipeline. All fields are
 /// scratch: contents are unspecified between calls, and no state leaks
@@ -41,6 +42,14 @@ pub struct Workspace {
     pub znorm_b: Vec<f64>,
     /// Concatenated hash bytes staged for HCOMP compression.
     pub hash_bytes: Vec<u8>,
+    /// The session's span recorder (`scalo-trace`). Disabled — a
+    /// branch-and-return no-op — by default; when enabled its ring is
+    /// pre-allocated, so recording spans obeys the same zero-allocation
+    /// discipline as the rest of the workspace. It lives here so every
+    /// layer the window pipeline passes through (`ingest_window_ws`,
+    /// `detect_seizure_traced`, the exchange) can emit spans without a
+    /// new parameter on every hot-path signature.
+    pub trace: Recorder,
 }
 
 impl Workspace {

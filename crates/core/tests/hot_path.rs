@@ -81,6 +81,41 @@ fn steady_state_windows_perform_zero_allocations() {
     assert!(run.origin_detect_window.is_none(), "{run:?}");
 }
 
+/// The scalo-trace guard: an *enabled* recorder must ride the hot path
+/// without weakening the zero-allocation guarantee. Its ring is
+/// pre-allocated, so recording spans — including recycling slots once
+/// the ring wraps — performs no heap operations in the steady state.
+#[test]
+fn traced_steady_state_windows_perform_zero_allocations() {
+    let quiet = recording(13, 0.4, vec![]);
+    let mut app = trained_app(13);
+    let mut st = app.begin(&quiet);
+    let mut ws = Workspace::new();
+    // Small enough that the ring wraps mid-run: overflow recycling is
+    // part of the claim.
+    ws.trace = scalo_trace::Recorder::with_capacity(1024, 4);
+    let windows_total = st.windows_total();
+
+    let (_, warmup) = scalo_alloc::measure(|| app.step_window(&quiet, &mut st, &mut ws));
+    assert!(warmup.heap_ops() > 0, "window 0 still warms: {warmup:?}");
+
+    let mut dirty = Vec::new();
+    for w in 1..windows_total {
+        let (_, c) = scalo_alloc::measure(|| app.step_window(&quiet, &mut st, &mut ws));
+        if c.heap_ops() != 0 {
+            dirty.push((w, c));
+        }
+    }
+    assert!(
+        dirty.is_empty(),
+        "traced steady-state windows must not allocate; violations: {dirty:?}"
+    );
+    assert!(ws.trace.dropped() > 0, "the ring wrapped as intended");
+    assert_eq!(ws.trace.unbalanced(), 0, "instrumentation is balanced");
+    assert_eq!(ws.trace.open_depth(), 0, "every begin was ended");
+    assert_eq!(ws.trace.len(), 1024, "the ring is full");
+}
+
 /// A workspace that already served one session must produce
 /// bit-identical decisions when reused for another: scratch contents
 /// never feed forward, only capacity does.

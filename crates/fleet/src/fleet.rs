@@ -5,6 +5,7 @@ use crate::admission::{AdmissionConfig, AdmissionController, AdmissionEvent};
 use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::pool::{self, PoolReport, Quantum, WorkUnit};
 use scalo_core::session::{Session, SessionSpec};
+use scalo_trace::SpanEvent;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -76,6 +77,9 @@ pub struct SessionServing {
     /// The deterministic decision digest
     /// ([`Session::decision_digest`]).
     pub digest: String,
+    /// The session's recorded spans, oldest first (empty unless the
+    /// spec enabled tracing via `SessionSpec::trace_capacity`).
+    pub trace: Vec<SpanEvent>,
 }
 
 /// The full outcome of one [`Fleet::run`].
@@ -205,6 +209,9 @@ struct FleetJob {
 
 impl WorkUnit for FleetJob {
     fn run_quantum(&mut self) -> Quantum {
+        // Close any pending run-queue gap as a `queue` span (no-op when
+        // the session's recorder is disabled).
+        self.session.note_scheduled();
         for _ in 0..self.quantum_steps {
             let out = self.session.step();
             self.fleet_latency.observe(out.wall_us);
@@ -217,6 +224,7 @@ impl WorkUnit for FleetJob {
                 return Quantum::Done;
             }
         }
+        self.session.note_yielded();
         Quantum::Yield
     }
 }
@@ -322,9 +330,24 @@ impl Fleet {
 
         let mut sessions: Vec<SessionServing> = done
             .into_iter()
-            .map(|job| {
+            .map(|mut job| {
                 let report = job.session.report();
                 self.admission.release(report.id);
+                let trace = job.session.take_trace_events();
+                // Merge the session's spans into the registry as
+                // per-stage latency histograms, alongside the counters
+                // the step loop already feeds.
+                for ev in &trace {
+                    self.metrics
+                        .histogram(&format!("trace.stage.{}.span_us", ev.stage.name()))
+                        .observe(ev.dur_ns() / 1_000);
+                }
+                let rec = job.session.trace();
+                self.metrics.counter("trace.spans").add(trace.len() as u64);
+                self.metrics.counter("trace.dropped").add(rec.dropped());
+                self.metrics
+                    .counter("trace.unbalanced")
+                    .add(rec.unbalanced());
                 SessionServing {
                     id: report.id,
                     priority: job.session.priority(),
@@ -333,6 +356,7 @@ impl Fleet {
                     wall_us: report.wall_us,
                     sim_us: report.sim_us,
                     digest: job.session.decision_digest(),
+                    trace,
                 }
             })
             .collect();
@@ -405,6 +429,37 @@ mod tests {
             assert_eq!(a.id, b.id);
             assert_eq!(a.digest, b.digest, "session {} digest drifted", a.id);
         }
+    }
+
+    #[test]
+    fn traced_serving_keeps_digests_and_merges_histograms() {
+        let run = |cap: usize| {
+            let mut fleet = Fleet::new(FleetConfig::new(2).with_quantum_steps(3));
+            for id in 0..3 {
+                assert!(fleet.submit(small_spec(id).with_trace_capacity(cap)));
+            }
+            fleet.run()
+        };
+        let untraced = run(0);
+        let traced = run(16 * 1024);
+        // Tracing observes, never steers: per-session decisions are
+        // byte-identical with the recorder on or off.
+        assert_eq!(untraced.sessions.len(), traced.sessions.len());
+        for (a, b) in untraced.sessions.iter().zip(&traced.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.digest, b.digest, "session {} digest drifted", a.id);
+        }
+        assert!(untraced.sessions.iter().all(|s| s.trace.is_empty()));
+        assert!(traced.sessions.iter().all(|s| !s.trace.is_empty()));
+        // Quantum switches were recorded as run-queue waits.
+        assert!(traced
+            .sessions
+            .iter()
+            .any(|s| s.trace.iter().any(|e| e.stage == scalo_trace::Stage::Queue)));
+        // The registry export carries the per-stage latency histograms.
+        assert!(traced.metrics_json.contains("trace.stage.window.span_us"));
+        assert!(traced.metrics_json.contains("trace.stage.filter.span_us"));
+        assert!(!untraced.metrics_json.contains("trace.stage."));
     }
 
     #[test]

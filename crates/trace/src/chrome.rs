@@ -1,0 +1,335 @@
+//! chrome://tracing / Perfetto export.
+//!
+//! [`chrome_trace_json`] renders one or more sessions' span streams as
+//! the Trace Event Format's JSON array form: each closed span becomes a
+//! complete (`"ph": "X"`) event with microsecond `ts`/`dur`, each
+//! session becomes one process (`pid`) named via a `process_name`
+//! metadata event, and the window index plus modeled power ride along
+//! in `args`. Load the resulting `trace.json` in `chrome://tracing` or
+//! <https://ui.perfetto.dev> and the nested complete events render as a
+//! per-session flame chart.
+//!
+//! The crate hand-rolls its JSON (the workspace carries no serde_json),
+//! so [`is_valid_json`] — a dependency-free recursive-descent validator
+//! — backs the tests and the CI smoke that every emitted trace is
+//! well-formed.
+
+use crate::span::SpanEvent;
+
+/// Formats `ns` nanoseconds as a microsecond JSON number with three
+/// decimal places (chrome://tracing `ts`/`dur` are µs doubles).
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders sessions' span streams as a chrome://tracing JSON array.
+///
+/// Each `(name, events)` pair becomes one process: a `process_name`
+/// metadata event with `pid` = the pair's index, followed by one
+/// `"ph": "X"` complete event per span (all on `tid` 0, so nested
+/// spans stack into a flame chart).
+pub fn chrome_trace_json(sessions: &[(String, Vec<SpanEvent>)]) -> String {
+    let total: usize = sessions.iter().map(|(_, e)| e.len() + 1).sum();
+    let mut parts: Vec<String> = Vec::with_capacity(total);
+    for (pid, (name, events)) in sessions.iter().enumerate() {
+        parts.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+        for ev in events {
+            parts.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"window\":{},\"power_uw\":{:.3}}}}}",
+                ev.stage.name(),
+                us(ev.begin_ns),
+                us(ev.dur_ns()),
+                ev.window,
+                ev.power_uw,
+            ));
+        }
+    }
+    format!("[\n{}\n]\n", parts.join(",\n"))
+}
+
+/// Returns whether `s` is a single well-formed JSON value (RFC 8259
+/// grammar: objects, arrays, strings with escapes, numbers, literals).
+///
+/// This is a validator, not a parser — it builds nothing and exists so
+/// tests and the CI smoke can check emitted traces without pulling in a
+/// JSON dependency.
+pub fn is_valid_json(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut pos = 0;
+    skip_ws(b, &mut pos);
+    if !value(b, &mut pos) {
+        return false;
+    }
+    skip_ws(b, &mut pos);
+    pos == b.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> bool {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(b, pos),
+        _ => false,
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        if !value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) != Some(&b'"') {
+        return false;
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !matches!(b.get(*pos), Some(c) if c.is_ascii_hexdigit()) {
+                                return false;
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1f => return false, // raw control char
+            _ => *pos += 1,
+        }
+    }
+    false // unterminated
+}
+
+fn number(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+                *pos += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return false;
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return false;
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Stage;
+
+    fn ev(stage: Stage, window: u32, begin_ns: u64, end_ns: u64) -> SpanEvent {
+        SpanEvent {
+            stage,
+            window,
+            begin_ns,
+            end_ns,
+            power_uw: 12.5,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_fields() {
+        let sessions = vec![(
+            "patient-0".to_string(),
+            vec![
+                ev(Stage::Filter, 0, 1000, 4000),
+                ev(Stage::Window, 0, 0, 5000),
+            ],
+        )];
+        let json = chrome_trace_json(&sessions);
+        assert!(is_valid_json(&json), "emitted trace must parse:\n{json}");
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"patient-0\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"filter\""));
+        assert!(json.contains("\"ts\":1.000")); // 1000 ns = 1 µs
+        assert!(json.contains("\"dur\":3.000"));
+        assert!(json.contains("\"window\":0"));
+        assert!(json.contains("\"power_uw\":12.500"));
+    }
+
+    #[test]
+    fn empty_sessions_still_export_valid_json() {
+        let json = chrome_trace_json(&[("idle".to_string(), Vec::new())]);
+        assert!(is_valid_json(&json));
+        assert!(
+            chrome_trace_json(&[]).trim() == "[\n\n]" || is_valid_json(&chrome_trace_json(&[]))
+        );
+    }
+
+    #[test]
+    fn process_names_are_escaped() {
+        let json = chrome_trace_json(&[("we\"ird\\name".to_string(), Vec::new())]);
+        assert!(is_valid_json(&json), "{json}");
+    }
+
+    #[test]
+    fn validator_accepts_rfc8259_values() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            " [1, -2.5, 3e10, 0.125E-2] ",
+            "{\"a\": {\"b\": [\"c\", \"d\\n\", \"\\u00e9\"]}}",
+            "\"plain\"",
+            "-0",
+        ] {
+            assert!(is_valid_json(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"\\u12g4\"",
+            "[] []",
+            "tru e",
+        ] {
+            assert!(!is_valid_json(bad), "{bad}");
+        }
+    }
+}

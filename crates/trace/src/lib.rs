@@ -1,0 +1,63 @@
+//! `scalo-trace`: per-window span tracing with deadline-miss attribution.
+//!
+//! SCALO's contract is a hard per-window response-time budget (10 ms
+//! seizure / 50 ms movement) split across compute PEs, radio TDMA
+//! slots, and NVM access. A missed deadline reported as one opaque
+//! number cannot be acted on; this crate makes it legible, in the
+//! spirit of Dapper-style span trees and the chrome://tracing event
+//! format:
+//!
+//! * [`stage`] — the stage taxonomy: every leaf of the window pipeline
+//!   (filter/FFT, detection, LSH sketch, CCHECK probe, DTW confirm,
+//!   movement decoders, radio, storage, fleet queueing), each mapped to
+//!   the Table 1 PEs that implement it in hardware, with the modeled
+//!   power draw and the ILP scheduler's predicted per-PE latency;
+//! * [`span`] — the recorder: a fixed-capacity per-session ring of
+//!   [`span::SpanEvent`]s fed by balanced `begin`/`end` calls. The ring
+//!   is pre-allocated at session admission, so recording a span in the
+//!   steady state performs **zero heap allocations** — instrumentation
+//!   rides the zero-alloc hot path without weakening its guarantee —
+//!   and a disabled recorder is a branch-and-return no-op;
+//! * [`report`] — per-window attribution: stage spans nested in each
+//!   window's envelope are summed per stage, the remainder lands in
+//!   [`stage::Stage::Other`], so the per-window totals equal the window
+//!   wall time *by construction*; deadline misses name their dominant
+//!   stage and its predicted-vs-observed latency skew against Table 1;
+//! * [`chrome`] — export as chrome://tracing / Perfetto JSON
+//!   (`trace.json`), one process per session, plus a dependency-free
+//!   JSON validity checker used by tests and CI.
+//!
+//! Tracing never feeds back into decisions: span timestamps are
+//! wall-clock observations, and every protocol outcome remains a
+//! function of the session seed alone, so decision digests are
+//! byte-identical whether the recorder is enabled, disabled, or
+//! overflowing. See `OBSERVABILITY.md` at the repo root for the span
+//! model and a worked deadline-miss attribution example.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scalo_trace::{Recorder, Stage};
+//!
+//! let mut rec = Recorder::with_capacity(1024, 4);
+//! rec.set_window(0);
+//! rec.begin(Stage::Window);
+//! rec.begin(Stage::Filter);
+//! // ... band-pass + FFT feature extraction ...
+//! rec.end(Stage::Filter);
+//! rec.end(Stage::Window);
+//! let breakdowns = scalo_trace::report::attribute(&rec.events());
+//! assert_eq!(breakdowns.len(), 1);
+//! assert_eq!(breakdowns[0].total_ns(), breakdowns[0].wall_ns);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod report;
+pub mod span;
+pub mod stage;
+
+pub use report::{attribute, deadline_miss_report, DeadlineMissReport, WindowBreakdown};
+pub use span::{Recorder, SpanEvent};
+pub use stage::Stage;

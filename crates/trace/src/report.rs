@@ -1,0 +1,427 @@
+//! Per-window attribution and the deadline-miss report.
+//!
+//! [`attribute`] folds a session's raw [`SpanEvent`] stream into one
+//! [`WindowBreakdown`] per window: leaf spans nested inside the
+//! window's [`Stage::Window`] envelope are summed per stage (clipped to
+//! the envelope), and whatever envelope time no leaf claimed lands in
+//! [`Stage::Other`] — so the per-window stage totals equal the window
+//! wall time **by construction**. Fleet queueing time
+//! ([`Stage::Queue`]) happens *before* the envelope opens and is
+//! tracked separately; the window's response time is the envelope wall
+//! time plus its queue wait.
+//!
+//! [`deadline_miss_report`] then walks the breakdowns against a
+//! response-time budget and, for every missed window, names the
+//! **dominant stage** and its **predicted-vs-observed skew**: observed
+//! stage latency divided by the latency the ILP scheduler budgets for
+//! the stage's Table 1 PEs ([`Stage::predicted_ms`]). Skew ≫ 1 is the
+//! headline diagnostic — the software stage is running far behind the
+//! hardware model the scheduler planned with.
+
+use crate::span::SpanEvent;
+use crate::stage::Stage;
+
+/// One window's wall time split across the leaf stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowBreakdown {
+    /// The window index.
+    pub window: u32,
+    /// Envelope begin tick (ns since the recorder epoch).
+    pub begin_ns: u64,
+    /// Envelope end tick (ns since the recorder epoch).
+    pub end_ns: u64,
+    /// Envelope wall time in ns (`end_ns - begin_ns`).
+    pub wall_ns: u64,
+    /// Fleet run-queue wait before the envelope opened, in ns. Not part
+    /// of [`WindowBreakdown::wall_ns`]; see
+    /// [`WindowBreakdown::response_ns`].
+    pub queue_ns: u64,
+    /// Per-stage time in ns, indexed by [`Stage::leaf_index`]. The
+    /// [`Stage::Queue`] slot is always 0 (queueing is tracked in
+    /// [`WindowBreakdown::queue_ns`]); [`Stage::Other`] holds the
+    /// unclaimed envelope residual.
+    pub stage_ns: [u64; Stage::LEAVES.len()],
+}
+
+impl WindowBreakdown {
+    /// Sum of the per-stage times. Equals
+    /// [`WindowBreakdown::wall_ns`] by construction (residual goes to
+    /// [`Stage::Other`]), provided leaf spans do not overlap each
+    /// other — the instrumented pipeline never nests leaves.
+    pub fn total_ns(&self) -> u64 {
+        self.stage_ns.iter().sum()
+    }
+
+    /// Time attributed to `stage` in ns ([`Stage::Window`] reports the
+    /// wall time, [`Stage::Queue`] the queue wait).
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        match stage {
+            Stage::Window => self.wall_ns,
+            Stage::Queue => self.queue_ns,
+            s => self.stage_ns[s.leaf_index().expect("leaf")],
+        }
+    }
+
+    /// End-to-end response time in ns: queue wait plus envelope wall
+    /// time. This is what the deadline budget is charged against.
+    pub fn response_ns(&self) -> u64 {
+        self.queue_ns + self.wall_ns
+    }
+
+    /// The stage that ate the most of this window's response time
+    /// (queue wait included), with its observed ns.
+    pub fn dominant(&self) -> (Stage, u64) {
+        let mut best = (Stage::Queue, self.queue_ns);
+        for s in Stage::LEAVES {
+            if s == Stage::Queue {
+                continue;
+            }
+            let ns = self.stage_ns(s);
+            if ns > best.1 {
+                best = (s, ns);
+            }
+        }
+        best
+    }
+}
+
+/// Folds a raw event stream (as produced by
+/// [`Recorder::events`](crate::span::Recorder::events)) into one
+/// [`WindowBreakdown`] per window, ordered by window index.
+///
+/// Windows without a [`Stage::Window`] envelope span are skipped — an
+/// envelope evicted by ring overflow means the window can no longer be
+/// attributed honestly.
+pub fn attribute(events: &[SpanEvent]) -> Vec<WindowBreakdown> {
+    let mut out: Vec<WindowBreakdown> = Vec::new();
+    // Pass 1: one breakdown per window that still has its envelope.
+    for ev in events {
+        if ev.stage != Stage::Window {
+            continue;
+        }
+        out.push(WindowBreakdown {
+            window: ev.window,
+            begin_ns: ev.begin_ns,
+            end_ns: ev.end_ns,
+            wall_ns: ev.dur_ns(),
+            queue_ns: 0,
+            stage_ns: [0; Stage::LEAVES.len()],
+        });
+    }
+    out.sort_by_key(|b| b.window);
+    out.dedup_by_key(|b| b.window);
+    // Pass 2: charge leaf spans to their window's buckets.
+    for ev in events {
+        if ev.stage == Stage::Window {
+            continue;
+        }
+        let Ok(idx) = out.binary_search_by_key(&ev.window, |b| b.window) else {
+            continue;
+        };
+        let b = &mut out[idx];
+        if ev.stage == Stage::Queue {
+            b.queue_ns += ev.dur_ns();
+            continue;
+        }
+        // Clip to the envelope so a stray out-of-envelope tail cannot
+        // push the stage total past the wall time.
+        let begin = ev.begin_ns.max(b.begin_ns);
+        let end = ev.end_ns.min(b.end_ns);
+        if end > begin {
+            b.stage_ns[ev.stage.leaf_index().expect("leaf")] += end - begin;
+        }
+    }
+    // Pass 3: the unclaimed residual is `Stage::Other`.
+    let other = Stage::Other.leaf_index().expect("leaf");
+    for b in &mut out {
+        let claimed: u64 = b.stage_ns.iter().sum();
+        b.stage_ns[other] = b.wall_ns.saturating_sub(claimed);
+    }
+    out
+}
+
+/// One missed window: who ate the budget, and how far off the Table 1
+/// model the culprit ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineMiss {
+    /// The window index.
+    pub window: u32,
+    /// Observed response time in ns (queue wait + envelope wall time).
+    pub response_ns: u64,
+    /// The stage that consumed the most of the response time.
+    pub dominant: Stage,
+    /// Time the dominant stage consumed, in ns.
+    pub dominant_ns: u64,
+    /// The ILP scheduler's Table 1 latency budget for the dominant
+    /// stage, in ms. `None` for stages the PE model does not cover
+    /// (radio wait, queueing, the residual).
+    pub predicted_ms: Option<f64>,
+    /// Observed / predicted latency for the dominant stage — the
+    /// headline diagnostic. `None` when there is no prediction.
+    pub skew: Option<f64>,
+}
+
+/// Aggregate observed-vs-predicted latency for one stage across every
+/// attributed window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSkew {
+    /// The stage.
+    pub stage: Stage,
+    /// Mean observed latency per window, in ms.
+    pub observed_ms: f64,
+    /// The ILP scheduler's Table 1 budget, in ms (`None` if unmodeled).
+    pub predicted_ms: Option<f64>,
+    /// Mean observed / predicted (`None` if unmodeled).
+    pub skew: Option<f64>,
+}
+
+/// The deadline-miss attribution report for one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineMissReport {
+    /// The response-time budget the windows were held to, in ns.
+    pub deadline_ns: u64,
+    /// How many windows were attributed.
+    pub windows: usize,
+    /// Every window whose response time exceeded the budget.
+    pub misses: Vec<DeadlineMiss>,
+    /// Per-stage mean observed latency vs the Table 1 budget, over all
+    /// attributed windows, stages with nonzero observed time only.
+    pub stage_skews: Vec<StageSkew>,
+}
+
+impl DeadlineMissReport {
+    /// Fraction of attributed windows that missed the budget.
+    pub fn miss_rate(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.misses.len() as f64 / self.windows as f64
+        }
+    }
+
+    /// Renders the report as human-readable text (one miss per line,
+    /// then the per-stage skew table).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "deadline {:.3} ms: {}/{} windows missed ({:.1}%)\n",
+            self.deadline_ns as f64 / 1e6,
+            self.misses.len(),
+            self.windows,
+            self.miss_rate() * 100.0
+        ));
+        for m in &self.misses {
+            s.push_str(&format!(
+                "  window {:>5}: response {:>8.3} ms, dominant {:<13} {:>8.3} ms",
+                m.window,
+                m.response_ns as f64 / 1e6,
+                m.dominant.name(),
+                m.dominant_ns as f64 / 1e6,
+            ));
+            match (m.predicted_ms, m.skew) {
+                (Some(p), Some(k)) => {
+                    s.push_str(&format!(" (predicted {p:.3} ms, skew {k:.2}x)\n"));
+                }
+                _ => s.push_str(" (no PE model: unbudgeted stage)\n"),
+            }
+        }
+        s.push_str("  per-stage mean observed vs Table 1 budget:\n");
+        for sk in &self.stage_skews {
+            match (sk.predicted_ms, sk.skew) {
+                (Some(p), Some(k)) => s.push_str(&format!(
+                    "    {:<13} {:>8.3} ms observed, {:>8.3} ms predicted, skew {:.2}x\n",
+                    sk.stage.name(),
+                    sk.observed_ms,
+                    p,
+                    k
+                )),
+                _ => s.push_str(&format!(
+                    "    {:<13} {:>8.3} ms observed (unbudgeted)\n",
+                    sk.stage.name(),
+                    sk.observed_ms
+                )),
+            }
+        }
+        s
+    }
+}
+
+/// Builds the deadline-miss report: every breakdown whose
+/// [`WindowBreakdown::response_ns`] exceeds `deadline_ns` becomes a
+/// [`DeadlineMiss`] naming its dominant stage and predicted-vs-observed
+/// skew.
+pub fn deadline_miss_report(
+    breakdowns: &[WindowBreakdown],
+    deadline_ns: u64,
+) -> DeadlineMissReport {
+    let mut misses = Vec::new();
+    for b in breakdowns {
+        if b.response_ns() <= deadline_ns {
+            continue;
+        }
+        let (dominant, dominant_ns) = b.dominant();
+        let predicted_ms = dominant.predicted_ms();
+        let observed_ms = dominant_ns as f64 / 1e6;
+        misses.push(DeadlineMiss {
+            window: b.window,
+            response_ns: b.response_ns(),
+            dominant,
+            dominant_ns,
+            predicted_ms,
+            skew: predicted_ms.map(|p| observed_ms / p),
+        });
+    }
+    let mut stage_skews = Vec::new();
+    if !breakdowns.is_empty() {
+        for s in Stage::LEAVES {
+            let total: u64 = breakdowns.iter().map(|b| b.stage_ns(s)).sum();
+            if total == 0 {
+                continue;
+            }
+            let observed_ms = total as f64 / 1e6 / breakdowns.len() as f64;
+            let predicted_ms = s.predicted_ms();
+            stage_skews.push(StageSkew {
+                stage: s,
+                observed_ms,
+                predicted_ms,
+                skew: predicted_ms.map(|p| observed_ms / p),
+            });
+        }
+    }
+    DeadlineMissReport {
+        deadline_ns,
+        windows: breakdowns.len(),
+        misses,
+        stage_skews,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(stage: Stage, window: u32, begin_ns: u64, end_ns: u64) -> SpanEvent {
+        SpanEvent {
+            stage,
+            window,
+            begin_ns,
+            end_ns,
+            power_uw: 0.0,
+        }
+    }
+
+    #[test]
+    fn attribution_totals_equal_wall_time() {
+        let events = vec![
+            ev(Stage::Filter, 0, 100, 400),
+            ev(Stage::Detect, 0, 400, 450),
+            ev(Stage::Window, 0, 0, 1000),
+            ev(Stage::Window, 1, 1000, 1600),
+            ev(Stage::RadioWait, 1, 1100, 1500),
+        ];
+        let b = attribute(&events);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].window, 0);
+        assert_eq!(b[0].wall_ns, 1000);
+        assert_eq!(b[0].stage_ns(Stage::Filter), 300);
+        assert_eq!(b[0].stage_ns(Stage::Detect), 50);
+        assert_eq!(b[0].stage_ns(Stage::Other), 650);
+        assert_eq!(b[0].total_ns(), b[0].wall_ns);
+        assert_eq!(b[1].stage_ns(Stage::RadioWait), 400);
+        assert_eq!(b[1].stage_ns(Stage::Other), 200);
+        assert_eq!(b[1].total_ns(), b[1].wall_ns);
+    }
+
+    #[test]
+    fn queue_time_is_response_not_wall() {
+        let events = vec![ev(Stage::Queue, 4, 0, 700), ev(Stage::Window, 4, 700, 1200)];
+        let b = attribute(&events);
+        assert_eq!(b[0].queue_ns, 700);
+        assert_eq!(b[0].wall_ns, 500);
+        assert_eq!(b[0].response_ns(), 1200);
+        assert_eq!(
+            b[0].total_ns(),
+            b[0].wall_ns,
+            "queue is outside the envelope sum"
+        );
+        assert_eq!(b[0].dominant(), (Stage::Queue, 700));
+    }
+
+    #[test]
+    fn leaf_spans_are_clipped_to_the_envelope() {
+        let events = vec![
+            ev(Stage::Window, 0, 100, 200),
+            ev(Stage::Dtw, 0, 50, 300), // sloppy span wider than envelope
+        ];
+        let b = attribute(&events);
+        assert_eq!(b[0].stage_ns(Stage::Dtw), 100);
+        assert_eq!(b[0].stage_ns(Stage::Other), 0);
+        assert_eq!(b[0].total_ns(), b[0].wall_ns);
+    }
+
+    #[test]
+    fn windows_without_envelopes_are_skipped() {
+        let events = vec![
+            ev(Stage::Filter, 0, 0, 10), // envelope evicted by overflow
+            ev(Stage::Window, 1, 20, 40),
+        ];
+        let b = attribute(&events);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].window, 1);
+    }
+
+    #[test]
+    fn miss_report_names_dominant_stage_and_skew() {
+        // Window 0 misses (wall 2 ms, dominant filter), window 1 makes it.
+        let events = vec![
+            ev(Stage::Window, 0, 0, 2_000_000),
+            ev(Stage::Filter, 0, 0, 1_600_000),
+            ev(Stage::Window, 1, 2_000_000, 2_500_000),
+        ];
+        let b = attribute(&events);
+        let r = deadline_miss_report(&b, 1_000_000);
+        assert_eq!(r.windows, 2);
+        assert_eq!(r.misses.len(), 1);
+        let m = &r.misses[0];
+        assert_eq!(m.window, 0);
+        assert_eq!(m.dominant, Stage::Filter);
+        assert_eq!(m.dominant_ns, 1_600_000);
+        // Filter budget is BBF + FFT = 8 ms; observed 1.6 ms → skew 0.2.
+        assert!((m.predicted_ms.unwrap() - 8.0).abs() < 1e-12);
+        assert!((m.skew.unwrap() - 0.2).abs() < 1e-12);
+        assert!((r.miss_rate() - 0.5).abs() < 1e-12);
+        let text = r.to_text();
+        assert!(text.contains("dominant filter"));
+        assert!(text.contains("skew 0.20x"));
+    }
+
+    #[test]
+    fn unbudgeted_dominant_stage_has_no_skew() {
+        let events = vec![
+            ev(Stage::Window, 0, 0, 2_000_000),
+            ev(Stage::RadioWait, 0, 0, 1_900_000),
+        ];
+        let b = attribute(&events);
+        let r = deadline_miss_report(&b, 1_000_000);
+        assert_eq!(r.misses[0].dominant, Stage::RadioWait);
+        assert_eq!(r.misses[0].predicted_ms, None);
+        assert_eq!(r.misses[0].skew, None);
+        assert!(r.to_text().contains("unbudgeted"));
+    }
+
+    #[test]
+    fn stage_skew_table_covers_nonzero_stages_only() {
+        let events = vec![
+            ev(Stage::Window, 0, 0, 1_000_000),
+            ev(Stage::Probe, 0, 0, 250_000),
+        ];
+        let b = attribute(&events);
+        let r = deadline_miss_report(&b, 2_000_000);
+        assert!(r.misses.is_empty());
+        let stages: Vec<Stage> = r.stage_skews.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec![Stage::Probe, Stage::Other]);
+        let probe = &r.stage_skews[0];
+        // CCHECK budget 0.5 ms, observed 0.25 ms → skew 0.5.
+        assert!((probe.skew.unwrap() - 0.5).abs() < 1e-12);
+    }
+}

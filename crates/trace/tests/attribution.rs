@@ -1,0 +1,120 @@
+//! Property test for the attribution invariant: however the leaf spans
+//! of a well-formed trace are laid out, the per-window stage totals
+//! produced by `attribute` equal the window wall time exactly, and
+//! queue waits land in `response_ns` rather than the wall-time sum.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use scalo_trace::{attribute, SpanEvent, Stage};
+
+/// Leaf stages a generated trace may contain (everything the pipeline
+/// records directly — no `Window`, `Queue`, or `Other`).
+const GEN_LEAVES: [Stage; 12] = [
+    Stage::Filter,
+    Stage::Detect,
+    Stage::Sketch,
+    Stage::Probe,
+    Stage::Dtw,
+    Stage::Kalman,
+    Stage::Nn,
+    Stage::Svm,
+    Stage::Radio,
+    Stage::RadioWait,
+    Stage::StorageRead,
+    Stage::StorageWrite,
+];
+
+/// One sampled window: a queue wait plus `(leaf index, gap, duration)`
+/// triples laid out back-to-back inside the envelope.
+type WindowShape = (u64, Vec<(usize, u64, u64)>);
+
+/// Lays the sampled shape out as a well-formed event stream: per window
+/// an optional queue wait, then an envelope containing its leaf spans
+/// back-to-back with gaps. Returns the events plus the expected
+/// (wall, queue) per window.
+fn build_trace(shape: &[WindowShape]) -> (Vec<SpanEvent>, Vec<(u64, u64)>) {
+    let mut events = Vec::new();
+    let mut expected = Vec::new();
+    let mut t = 0u64;
+    for (w, (queue_ns, leaves)) in shape.iter().enumerate() {
+        let window = w as u32;
+        if *queue_ns > 0 {
+            events.push(SpanEvent {
+                stage: Stage::Queue,
+                window,
+                begin_ns: t,
+                end_ns: t + queue_ns,
+                power_uw: 0.0,
+            });
+            t += queue_ns;
+        }
+        let env_begin = t;
+        for &(stage_idx, dur, gap) in leaves {
+            t += gap; // unclaimed time inside the envelope → Other
+            events.push(SpanEvent {
+                stage: GEN_LEAVES[stage_idx % GEN_LEAVES.len()],
+                window,
+                begin_ns: t,
+                end_ns: t + dur,
+                power_uw: 0.0,
+            });
+            t += dur;
+        }
+        t += 1; // envelope always closes strictly after its last leaf
+        events.push(SpanEvent {
+            stage: Stage::Window,
+            window,
+            begin_ns: env_begin,
+            end_ns: t,
+            power_uw: 0.0,
+        });
+        expected.push((t - env_begin, *queue_ns));
+    }
+    (events, expected)
+}
+
+proptest! {
+    #[test]
+    fn stage_totals_equal_wall_time(
+        shape in vec(
+            (0u64..3_000, vec((0usize..64, 1u64..10_000, 0u64..500), 0..8)),
+            1..24,
+        )
+    ) {
+        let (events, expected) = build_trace(&shape);
+        let breakdowns = attribute(&events);
+        prop_assert_eq!(breakdowns.len(), shape.len());
+        for (b, (wall, queue)) in breakdowns.iter().zip(&expected) {
+            // The invariant under test: per-window stage totals equal
+            // the window wall time exactly, residual included.
+            prop_assert_eq!(b.total_ns(), b.wall_ns, "window {}", b.window);
+            prop_assert_eq!(b.wall_ns, *wall);
+            prop_assert_eq!(b.queue_ns, *queue);
+            prop_assert_eq!(b.response_ns(), wall + queue);
+            // The residual is exactly the inter-leaf gap time.
+            let leaf_sum: u64 = GEN_LEAVES.iter().map(|&s| b.stage_ns(s)).sum();
+            prop_assert_eq!(leaf_sum + b.stage_ns(Stage::Other), b.wall_ns);
+        }
+    }
+
+    #[test]
+    fn attribution_is_order_insensitive(
+        shape in vec(
+            (0u64..1_000, vec((0usize..64, 1u64..5_000, 0u64..200), 1..5)),
+            1..8,
+        ),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (mut events, _) = build_trace(&shape);
+        let reference = attribute(&events);
+        // Deterministic Fisher–Yates driven by the sampled seed: the
+        // breakdowns must not depend on event arrival order.
+        let mut state = seed | 1;
+        for i in (1..events.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            events.swap(i, j);
+        }
+        prop_assert_eq!(attribute(&events), reference);
+    }
+}

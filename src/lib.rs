@@ -19,6 +19,9 @@
 //! * [`query`] — the Trill-like query language and dataflow-DAG lowering.
 //! * [`sched`] — the ILP-based system scheduler and throughput models.
 //! * [`core`] — the distributed system itself: nodes, applications, simulation.
+//! * [`trace`] — per-window span tracing and deadline-miss attribution.
+//! * [`fleet`] — the multi-patient serving layer (worker pool, admission
+//!   control, metrics).
 //!
 //! # Quickstart
 //!
@@ -31,6 +34,7 @@
 
 pub use scalo_core as core;
 pub use scalo_data as data;
+pub use scalo_fleet as fleet;
 pub use scalo_hw as hw;
 pub use scalo_ilp as ilp;
 pub use scalo_lsh as lsh;
@@ -40,3 +44,4 @@ pub use scalo_query as query;
 pub use scalo_sched as sched;
 pub use scalo_signal as signal;
 pub use scalo_storage as storage;
+pub use scalo_trace as trace;
