@@ -25,7 +25,29 @@ echo "== zero-allocation steady state (counting allocator) =="
 cargo test -q -p scalo-core --test hot_path
 
 echo "== fleet smoke (pool + admission + metrics JSON) =="
-cargo run --release -p scalo-bench --bin experiments -- fleet --sessions 6
+# The full 16-session population, so the regression guard below compares
+# like-for-like against the committed BENCH_fleet.json baseline.
+cargo run --release -p scalo-bench --bin experiments -- fleet --sessions 16
+
+echo "== fleet throughput regression guard =="
+# The pre-batching seed recorded 6751.2 windows/s at 4 workers; the
+# batched kernel engine must not give that back.
+wps=$(sed -n 's/.*"workers":4,"wall_ms":[^,]*,"windows":[0-9]*,"windows_per_sec":\([0-9.]*\).*/\1/p' BENCH_fleet.json)
+test -n "$wps" || { echo "no 4-worker sweep entry in BENCH_fleet.json" >&2; exit 1; }
+awk -v w="$wps" 'BEGIN {
+  if (w + 0 < 6751.2) { printf "fleet throughput regressed: %.1f < 6751.2 windows/s at 4 workers\n", w; exit 1 }
+  printf "fleet 4-worker throughput: %.1f windows/s (seed baseline 6751.2)\n", w
+}'
+
+echo "== kernel engine smoke (batched vs per-channel microbench) =="
+cargo run --release -p scalo-bench --bin experiments -- kernels --reps 40
+test -s BENCH_kernels.json || { echo "BENCH_kernels.json missing or empty" >&2; exit 1; }
+speedup=$(sed -n 's/.*"name":"filter_fft_features"[^}]*"speedup":\([0-9.]*\).*/\1/p' BENCH_kernels.json)
+test -n "$speedup" || { echo "no filter_fft_features stage in BENCH_kernels.json" >&2; exit 1; }
+awk -v s="$speedup" 'BEGIN {
+  if (s + 0 < 2.0) { printf "batched filter+FFT speedup fell below 2x: %sx\n", s; exit 1 }
+  printf "batched filter+FFT speedup: %sx (floor 2x)\n", s
+}'
 
 echo "== trace smoke (span attribution + chrome://tracing export) =="
 # The binary itself asserts attribution invariants and JSON validity;

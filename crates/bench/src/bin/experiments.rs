@@ -18,7 +18,7 @@ static ALLOC: scalo_alloc::CountingAllocator = scalo_alloc::CountingAllocator;
 const USAGE: &str = "usage: experiments <cmd> [--reps N] [--sessions N]\n\
    cmds: all | quick | table1 | table2 | table3 | fig8a | fig8b | fig8c |\n\
    \x20     fig9a | fig9b | fig10 | fig11 | fig12 | fig13 | fig14 | fig15a |\n\
-   \x20     fig15b | fault-tolerance | fleet | trace | local-scaling |\n\
+   \x20     fig15b | fault-tolerance | fleet | trace | kernels | local-scaling |\n\
    \x20     spike-sorting | storage-layout | compression | external-compression\n\
    flags: --reps N      repetitions for fig15a/fig15b/fault-tolerance (default 10)\n\
    \x20      --sessions N  fleet size for the fleet/trace experiments (default 16)";
@@ -56,6 +56,7 @@ fn main() {
         "fault-tolerance" => x::fault_tolerance(reps),
         "fleet" => x::fleet(sessions),
         "trace" => x::trace(sessions),
+        "kernels" => x::kernels(reps.max(20)),
         "local-scaling" => x::local_scaling_exp(),
         "spike-sorting" => x::spike_sorting_exp(),
         "storage-layout" => x::storage_layout_exp(),
@@ -95,6 +96,7 @@ fn main() {
             x::fault_tolerance(reps);
             x::fleet(sessions);
             x::trace(sessions);
+            x::kernels(reps.max(20));
             x::local_scaling_exp();
             x::spike_sorting_exp();
             x::storage_layout_exp();

@@ -1,0 +1,29 @@
+//! Fleet-level allocation regression guard.
+//!
+//! `fleet_trial` measures heap operations across an entire `Fleet::run`
+//! and divides by windows served, which folds in everything the
+//! per-session hot-path tests cannot see: job scheduling, metric
+//! merges, trace draining, and the confirmation-exchange packets of
+//! every session in the population. Before the batched kernel engine
+//! this sat near 225 allocations per window; recycled exchange scratch
+//! and block ingest brought it under 20. The bound here leaves ~2x
+//! headroom so incidental packet-shape changes don't trip it, while a
+//! regression back toward per-window Vec churn fails loudly.
+
+#[global_allocator]
+static ALLOC: scalo_alloc::CountingAllocator = scalo_alloc::CountingAllocator;
+
+#[test]
+fn fleet_allocations_per_window_stay_bounded() {
+    // Four sessions cover the population's spec variants (movement mix,
+    // reliable transport with bit errors, plain) without the full
+    // 16-session sweep cost.
+    let (report, allocs_per_window) = scalo_bench::experiments::fleet_trial(4, 2, 8);
+    assert!(report.windows > 0, "the trial must serve windows");
+    assert!(report.rejected.is_empty() && report.shed.is_empty());
+    assert!(
+        allocs_per_window <= 40.0,
+        "fleet heap ops per window regressed: {allocs_per_window:.2} \
+         (batched-engine steady state is ~19)"
+    );
+}

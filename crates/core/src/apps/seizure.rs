@@ -5,8 +5,10 @@
 //! (HCOMP-compressed, as a `Hashes` packet); receivers CCHECK them
 //! against their recent local hashes; on a match the origin broadcasts
 //! the full signal windows (`Signal` packets, delivered even when
-//! corrupted); receivers confirm propagation by exact DTW against their
-//! own matching windows; confirmed nodes would then stimulate. Local
+//! corrupted); receivers confirm propagation by banded DTW against
+//! their own matching windows (pruned with LB_Keogh + early abandon at
+//! the decision threshold — decisions identical to the exact distance);
+//! confirmed nodes would then stimulate. Local
 //! detection continues unabated throughout.
 //!
 //! Error-resilience knobs reproduce §6.7: a hash-encoding error rate
@@ -26,7 +28,7 @@ use scalo_lsh::SignalHash;
 use scalo_ml::svm::LinearSvm;
 use scalo_net::compress::{dcomp_decompress, hcomp_compress};
 use scalo_net::packet::{Header, Packet, PayloadKind, Received, BROADCAST};
-use scalo_signal::dtw::{dtw_distance_with, DtwParams};
+use scalo_signal::dtw::{dtw_distance_pruned, DtwParams};
 use scalo_signal::stats::z_normalize_into;
 use scalo_trace::Stage;
 
@@ -244,17 +246,23 @@ impl SeizureApp {
             let now = self.system.now_us();
 
             // 1. Ingest this window on every live node (crashed nodes
-            // neither record nor hash).
+            // neither record nor hash). Each node's electrodes are
+            // scattered into the channel-major block once, then the
+            // batched engine stores and hashes the whole block — the
+            // stored bytes, hashes, and CCHECK state are byte-identical
+            // to the per-electrode loop.
             for node_id in 0..k {
                 if !self.system.is_alive(node_id) {
                     continue;
                 }
+                ws.trace.begin(Stage::Gather);
+                ws.block.reset(electrodes, WINDOW);
                 for e in 0..electrodes {
-                    let win = &recording.nodes[node_id].channels[e][t0..t0 + WINDOW];
-                    self.system
-                        .node_mut(node_id)
-                        .ingest_window_ws(e, now, win, ws);
+                    ws.block
+                        .fill_channel(e, &recording.nodes[node_id].channels[e][t0..t0 + WINDOW]);
                 }
+                ws.trace.end(Stage::Gather);
+                self.system.node_mut(node_id).ingest_block_ws(now, ws);
             }
 
             // If the detecting origin crashed, a surviving detector takes
@@ -293,28 +301,45 @@ impl SeizureApp {
 
             // 3. If an origin has detected, run the exchange this window.
             if let Some((detect_w, origin)) = st.origin_detect {
-                ws.trace.begin(Stage::Sketch);
-                let mut hashes: Vec<SignalHash> = Vec::with_capacity(electrodes);
+                ws.trace.begin(Stage::Gather);
+                ws.block.reset(electrodes, WINDOW);
                 for e in 0..electrodes {
-                    let win = &recording.nodes[origin].channels[e][t0..t0 + WINDOW];
-                    let mut h = match self.system.node(origin).hasher() {
-                        scalo_lsh::eval::MeasureHasher::Ssh(hh) => hh.hash(win),
-                        scalo_lsh::eval::MeasureHasher::Emd(hh) => hh.hash(win),
-                    };
-                    // Encoding-error injection (Figure 15a).
-                    if self.hash_error_rate > 0.0 && self.rng.gen::<f64>() < self.hash_error_rate {
-                        for b in &mut h.0 {
-                            *b = self.rng.gen();
+                    ws.block
+                        .fill_channel(e, &recording.nodes[origin].channels[e][t0..t0 + WINDOW]);
+                }
+                ws.trace.end(Stage::Gather);
+                ws.trace.begin(Stage::Sketch);
+                match self.system.node(origin).hasher() {
+                    scalo_lsh::eval::MeasureHasher::Ssh(hh) => {
+                        hh.hash_block_into(&ws.block, &mut ws.block_hash, &mut ws.hashes)
+                    }
+                    scalo_lsh::eval::MeasureHasher::Emd(hh) => {
+                        ws.hashes.clear();
+                        for e in 0..electrodes {
+                            ws.block.copy_channel_into(e, &mut ws.chan);
+                            ws.hashes.push(hh.hash(&ws.chan));
                         }
                     }
-                    hashes.push(h);
+                }
+                // Encoding-error injection (Figure 15a). Hashing draws
+                // nothing from the RNG, so injecting per electrode after
+                // the batched hash consumes the exact draw sequence the
+                // per-electrode loop did.
+                if self.hash_error_rate > 0.0 {
+                    for h in ws.hashes.iter_mut() {
+                        if self.rng.gen::<f64>() < self.hash_error_rate {
+                            for b in &mut h.0 {
+                                *b = self.rng.gen();
+                            }
+                        }
+                    }
                 }
                 ws.trace.end(Stage::Sketch);
                 // Stage the concatenated hash bytes in the workspace
                 // instead of cloning every hash into a temporary.
                 ws.trace.begin(Stage::Radio);
                 ws.hash_bytes.clear();
-                for h in &hashes {
+                for h in &ws.hashes {
                     ws.hash_bytes.extend_from_slice(&h.0);
                 }
                 let payload: Vec<u8> = hcomp_compress(&ws.hash_bytes);
@@ -353,7 +378,9 @@ impl SeizureApp {
                 // Receivers that got the hashes check for collisions and
                 // remember which (origin electrode → local window) pair
                 // matched — that pair is what exact comparison verifies.
-                let mut responders: Vec<(usize, usize, usize, u64)> = Vec::new();
+                // Received hashes are parsed into recycled workspace slots
+                // and probed via the allocation-free CCHECK visitor.
+                ws.responders.clear();
                 ws.trace.begin(Stage::Probe);
                 for (to, arrival) in &arrivals {
                     let Some(p) = arrival else {
@@ -361,23 +388,30 @@ impl SeizureApp {
                         continue;
                     };
                     let bytes = dcomp_decompress(&p.payload).unwrap_or_default();
-                    let width = hashes.first().map_or(1, |h| h.0.len().max(1));
-                    let received: Vec<SignalHash> = bytes
-                        .chunks(width)
-                        .map(|c| SignalHash(c.to_vec()))
-                        .collect();
-                    let matches = self
-                        .system
-                        .node(*to)
-                        .check_collisions(&received, now, horizon);
-                    if let Some(m) = matches.last() {
+                    let width = ws.hashes.first().map_or(1, |h| h.0.len().max(1));
+                    let mut used = 0;
+                    for chunk in bytes.chunks(width) {
+                        if used < ws.received.len() {
+                            let slot = &mut ws.received[used].0;
+                            slot.clear();
+                            slot.extend_from_slice(chunk);
+                        } else {
+                            ws.received.push(SignalHash(chunk.to_vec()));
+                        }
+                        used += 1;
+                    }
+                    ws.received.truncate(used);
+                    let collision = self.system.node(*to).last_collision_ws(
+                        &ws.received,
+                        now,
+                        horizon,
+                        &mut ws.probes,
+                        &mut ws.probe_owner,
+                        &mut ws.probe_order,
+                    );
+                    if let Some((origin_e, local_e, local_ts)) = collision {
                         if st.confirmed[*to].is_none() {
-                            responders.push((
-                                *to,
-                                m.received_index, // origin electrode
-                                m.local.electrode,
-                                m.local.timestamp_us,
-                            ));
+                            ws.responders.push((*to, origin_e, local_e, local_ts));
                         }
                     }
                 }
@@ -385,11 +419,14 @@ impl SeizureApp {
 
                 // The origin broadcasts the matched electrodes' full
                 // signal windows (CSEL picks the candidates, §3.2);
-                // responders confirm their matched pair with exact DTW.
-                let mut wanted: Vec<usize> = responders.iter().map(|&(_, e, _, _)| e).collect();
-                wanted.sort_unstable();
-                wanted.dedup();
-                for origin_e in wanted {
+                // responders confirm their matched pair with DTW.
+                ws.wanted.clear();
+                ws.wanted
+                    .extend(ws.responders.iter().map(|&(_, e, _, _)| e));
+                ws.wanted.sort_unstable();
+                ws.wanted.dedup();
+                for wi in 0..ws.wanted.len() {
+                    let origin_e = ws.wanted[wi];
                     ws.trace.begin(Stage::Radio);
                     let sig = &recording.nodes[origin].channels[origin_e][t0..t0 + WINDOW];
                     let bytes: Vec<u8> = sig
@@ -411,7 +448,8 @@ impl SeizureApp {
                     let sig_deliveries = self.system.broadcast(origin, &sig_packet);
                     ws.trace.end(Stage::Radio);
                     for d in sig_deliveries {
-                        let Some(&(_, _, local_e, ts)) = responders
+                        let Some(&(_, _, local_e, ts)) = ws
+                            .responders
                             .iter()
                             .find(|&&(to, e, _, _)| to == d.to && e == origin_e)
                         else {
@@ -421,26 +459,39 @@ impl SeizureApp {
                             Received::Clean(p) | Received::CorruptDelivered(p) => p.payload,
                             _ => continue,
                         };
-                        let remote: Vec<f64> = payload
-                            .chunks_exact(2)
-                            .map(|b| i16::from_le_bytes([b[0], b[1]]) as f64 / 8_192.0)
-                            .collect();
+                        ws.remote_win.clear();
+                        ws.remote_win.extend(
+                            payload
+                                .chunks_exact(2)
+                                .map(|b| i16::from_le_bytes([b[0], b[1]]) as f64 / 8_192.0),
+                        );
                         // Compare against the hash-matched stored window.
                         ws.trace.begin(Stage::StorageRead);
-                        let local = self.system.node(d.to).stored_window(local_e, ts);
+                        let found = self.system.node(d.to).stored_window_into(
+                            local_e,
+                            ts,
+                            &mut ws.local_win,
+                        );
                         ws.trace.end(Stage::StorageRead);
-                        let Some(local) = local else {
+                        if !found {
                             continue;
-                        };
+                        }
+                        // LB_Keogh + early-abandon DTW with the confirm
+                        // threshold as the cutoff: both bounds are
+                        // conservative, so `distance < threshold` is the
+                        // same decision the exact banded DP makes (and the
+                        // exact value when neither bound fires).
                         ws.trace.begin(Stage::Dtw);
-                        z_normalize_into(&remote, &mut ws.znorm_a);
-                        z_normalize_into(&local, &mut ws.znorm_b);
-                        let dist = dtw_distance_with(
+                        z_normalize_into(&ws.remote_win, &mut ws.znorm_a);
+                        z_normalize_into(&ws.local_win, &mut ws.znorm_b);
+                        let dist = dtw_distance_pruned(
                             &mut ws.dtw,
                             &ws.znorm_a,
                             &ws.znorm_b,
                             DtwParams::default(),
-                        );
+                            self.dtw_threshold,
+                        )
+                        .distance;
                         ws.trace.end(Stage::Dtw);
                         if dist < self.dtw_threshold && st.confirmed[d.to].is_none() {
                             st.confirmed[d.to] =

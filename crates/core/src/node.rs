@@ -246,20 +246,95 @@ impl Node {
         ws.trace.end(Stage::StorageWrite);
     }
 
+    /// [`Node::ingest_window_ws`] batched over every electrode at once:
+    /// the caller stages the window's channel-major block in `ws.block`
+    /// (one channel per electrode) and this ingests all of them —
+    /// quantised signal appends, one fused block hash, then hash appends
+    /// and CCHECK staging, each phase in electrode order. Per-electrode
+    /// hashes are left in `ws.hashes`.
+    ///
+    /// Stored records, CCHECK state, and hashes are byte-identical to
+    /// looping [`Node::ingest_window_ws`] over the electrodes: the NVM
+    /// partitions are independent, each sees its appends in the same
+    /// order, and nothing reads them mid-loop — phase-batching reorders
+    /// work *across* stores, never within one.
+    pub fn ingest_block_ws(&mut self, timestamp_us: u64, ws: &mut Workspace) {
+        let electrodes = ws.block.channels();
+        assert_eq!(ws.block.samples(), self.window_samples, "window length");
+        ws.trace.begin(Stage::StorageWrite);
+        for e in 0..electrodes {
+            ws.quantized.clear();
+            ws.block.copy_channel_into(e, &mut ws.chan);
+            for &x in &ws.chan {
+                ws.quantized
+                    .extend_from_slice(&((x * 8_192.0) as i16).to_le_bytes());
+            }
+            self.storage.get_mut(PartitionKind::Signals).append_bytes(
+                timestamp_us,
+                e as u32,
+                &ws.quantized,
+            );
+        }
+        ws.trace.end(Stage::StorageWrite);
+        ws.trace.begin(Stage::Sketch);
+        match &self.hasher {
+            MeasureHasher::Ssh(h) => {
+                h.hash_block_into(&ws.block, &mut ws.block_hash, &mut ws.hashes)
+            }
+            // The EMDH pipeline has no batched entry point; the default
+            // deployments hash via SSH, so this branch stays per-channel
+            // (and allocating), exactly like the legacy path.
+            MeasureHasher::Emd(h) => {
+                ws.hashes.clear();
+                for e in 0..electrodes {
+                    ws.block.copy_channel_into(e, &mut ws.chan);
+                    ws.hashes.push(h.hash(&ws.chan));
+                }
+            }
+        }
+        ws.trace.end(Stage::Sketch);
+        ws.trace.begin(Stage::StorageWrite);
+        for (e, hash) in ws.hashes.iter().enumerate() {
+            self.storage.get_mut(PartitionKind::Hashes).append_bytes(
+                timestamp_us,
+                e as u32,
+                &hash.0,
+            );
+            self.ccheck.record_copy(e, timestamp_us, hash);
+        }
+        ws.trace.end(Stage::StorageWrite);
+    }
+
     /// Retrieves a stored signal window (dequantised).
     pub fn stored_window(&self, electrode: usize, timestamp_us: u64) -> Option<Vec<f64>> {
-        let rec = self
+        let mut out = Vec::new();
+        self.stored_window_into(electrode, timestamp_us, &mut out)
+            .then_some(out)
+    }
+
+    /// [`Node::stored_window`] written into a caller-provided buffer
+    /// (cleared first). Returns whether the window was found; byte-identical
+    /// samples, allocation-free once `out` is warm.
+    pub fn stored_window_into(
+        &self,
+        electrode: usize,
+        timestamp_us: u64,
+        out: &mut Vec<f64>,
+    ) -> bool {
+        let Some(rec) = self
             .storage
             .get(PartitionKind::Signals)
-            .range_for_key(electrode as u32, timestamp_us, timestamp_us)
-            .into_iter()
-            .next()?;
-        Some(
+            .record_at(electrode as u32, timestamp_us)
+        else {
+            return false;
+        };
+        out.clear();
+        out.extend(
             rec.data
                 .chunks_exact(2)
-                .map(|b| i16::from_le_bytes([b[0], b[1]]) as f64 / 8_192.0)
-                .collect(),
-        )
+                .map(|b| i16::from_le_bytes([b[0], b[1]]) as f64 / 8_192.0),
+        );
+        true
     }
 
     /// Matches received hashes against recent local hashes (CCHECK),
@@ -292,6 +367,60 @@ impl Node {
             m.received_index = probe_owner[m.received_index];
         }
         matches
+    }
+
+    /// The **last** collision [`Node::check_collisions`] would report for
+    /// `received`, as plain copyable fields `(received index, local
+    /// electrode, local timestamp µs)` — the only fields the propagation
+    /// exchange consumes. Same Hamming-1 probe expansion and match order
+    /// as the allocating form, but the probe set, owner map, and sort
+    /// scratch live in caller-provided buffers (slots recycled), so a warm
+    /// call performs zero heap allocations and clones no records.
+    pub fn last_collision_ws(
+        &self,
+        received: &[SignalHash],
+        now_us: u64,
+        horizon_us: u64,
+        probes: &mut Vec<SignalHash>,
+        probe_owner: &mut Vec<usize>,
+        probe_order: &mut Vec<usize>,
+    ) -> Option<(usize, usize, u64)> {
+        if received.is_empty() {
+            return None;
+        }
+        // Expand the whole batch into one probe list, recycling slot byte
+        // buffers. Per hash the probe order matches `neighbors(1)`:
+        // identity first, then byte-major single-bit flips.
+        fn stage(probes: &mut Vec<SignalHash>, used: &mut usize, bytes: &[u8]) {
+            if *used < probes.len() {
+                let slot = &mut probes[*used].0;
+                slot.clear();
+                slot.extend_from_slice(bytes);
+            } else {
+                probes.push(SignalHash(bytes.to_vec()));
+            }
+            *used += 1;
+        }
+        let mut used = 0;
+        probe_owner.clear();
+        for (i, h) in received.iter().enumerate() {
+            stage(probes, &mut used, &h.0);
+            probe_owner.push(i);
+            for byte in 0..h.0.len() {
+                for bit in 0..8 {
+                    stage(probes, &mut used, &h.0);
+                    probes[used - 1].0[byte] ^= 1 << bit;
+                    probe_owner.push(i);
+                }
+            }
+        }
+        probes.truncate(used);
+        let mut last = None;
+        self.ccheck
+            .for_each_match(probes, now_us, horizon_us, probe_order, |idx, rec| {
+                last = Some((probe_owner[idx], rec.electrode, rec.timestamp_us));
+            });
+        last
     }
 
     /// Number of hash records currently in the CCHECK SRAM.
@@ -381,6 +510,89 @@ mod tests {
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].received_index, 1, "must map to the wide hash");
         assert_eq!(matches[0].local.electrode, 5);
+    }
+
+    #[test]
+    fn block_ingest_matches_per_electrode_ingest() {
+        // The batched entry point must leave byte-identical NVM records
+        // and CCHECK state: same stored windows, same hashes, same
+        // collision responses, across several windows of drift.
+        let cfg = ScaloConfig::default().with_nodes(1).with_electrodes(4);
+        let mut per = Node::new(0, &cfg);
+        let mut batched = Node::new(0, &cfg);
+        let mut ws_per = Workspace::new();
+        let mut ws_blk = Workspace::new();
+        for w in 0..5u64 {
+            let ts = 4_000 * (w + 1);
+            let windows: Vec<Vec<f64>> = (0..4)
+                .map(|e| test_window(w as f64 + e as f64 * 0.7))
+                .collect();
+            for (e, win) in windows.iter().enumerate() {
+                per.ingest_window_ws(e, ts, win, &mut ws_per);
+            }
+            ws_blk.block.reset(4, 120);
+            for (e, win) in windows.iter().enumerate() {
+                ws_blk.block.fill_channel(e, win);
+            }
+            batched.ingest_block_ws(ts, &mut ws_blk);
+            for e in 0..4 {
+                assert_eq!(
+                    per.stored_window(e, ts),
+                    batched.stored_window(e, ts),
+                    "window {w} electrode {e} stored signal"
+                );
+            }
+        }
+        assert_eq!(per.ccheck_len(), batched.ccheck_len());
+        // Both CCHECKs answer a probe batch identically.
+        let probe = match per.hasher() {
+            MeasureHasher::Ssh(h) => h.hash(&test_window(2.0)),
+            MeasureHasher::Emd(h) => h.hash(&test_window(2.0)),
+        };
+        let a = per.check_collisions(std::slice::from_ref(&probe), 25_000, 100_000);
+        let b = batched.check_collisions(std::slice::from_ref(&probe), 25_000, 100_000);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "the probe must actually collide");
+    }
+
+    #[test]
+    fn last_collision_ws_matches_check_collisions_last() {
+        // Reuse the mixed-width regression scenario: the recycled-slot
+        // form must report exactly the final match of the allocating
+        // form, including the cumulative received-index mapping.
+        let cfg = ScaloConfig::default().with_nodes(1);
+        let mut node = Node::new(0, &cfg);
+        let wide = SignalHash(vec![0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77]);
+        node.ccheck.record(5, 1_000, wide.clone());
+        node.ccheck.record(2, 1_200, SignalHash(vec![0xAB]));
+        let narrow = SignalHash(vec![0xAB]);
+        let received = vec![narrow, wide];
+
+        let legacy = node.check_collisions(&received, 1_500, 100_000);
+        // Dirty, undersized scratch: warm reuse must still agree.
+        let mut probes = vec![SignalHash(vec![0xFF; 3]); 2];
+        let mut owner = vec![9usize; 40];
+        let mut order = Vec::new();
+        for _ in 0..2 {
+            let got = node.last_collision_ws(
+                &received,
+                1_500,
+                100_000,
+                &mut probes,
+                &mut owner,
+                &mut order,
+            );
+            let want = legacy
+                .last()
+                .map(|m| (m.received_index, m.local.electrode, m.local.timestamp_us));
+            assert_eq!(got, want);
+            assert!(got.is_some(), "scenario must produce a collision");
+        }
+        // And the empty batch degenerates the same way.
+        assert_eq!(
+            node.last_collision_ws(&[], 1_500, 100_000, &mut probes, &mut owner, &mut order),
+            None
+        );
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! allocating counterparts, so decision digests are unchanged whichever
 //! entry point runs.
 
-use scalo_lsh::ssh::HashScratch;
+use scalo_lsh::ssh::{BlockHashScratch, HashScratch};
 use scalo_lsh::SignalHash;
+use scalo_signal::block::ChannelBlock;
 use scalo_signal::dtw::DtwScratch;
 use scalo_signal::fft::FftScratch;
 use scalo_trace::Recorder;
@@ -42,6 +43,32 @@ pub struct Workspace {
     pub znorm_b: Vec<f64>,
     /// Concatenated hash bytes staged for HCOMP compression.
     pub hash_bytes: Vec<u8>,
+    /// Channel-major block of the current window across all electrodes —
+    /// the batched kernel engine's working set.
+    pub block: ChannelBlock,
+    /// Batched SSH intermediates for hashing the whole block at once.
+    pub block_hash: BlockHashScratch,
+    /// Per-electrode hashes of the current block (slots recycled).
+    pub hashes: Vec<SignalHash>,
+    /// One gathered channel (contiguous) for per-channel kernels.
+    pub chan: Vec<f64>,
+    /// Received hashes parsed from a hash packet (slots recycled).
+    pub received: Vec<SignalHash>,
+    /// Hamming-probe expansion of a received batch (slots recycled).
+    pub probes: Vec<SignalHash>,
+    /// Probe-index → received-index mapping for the expansion.
+    pub probe_owner: Vec<usize>,
+    /// CCHECK sorted-index scratch for collision matching.
+    pub probe_order: Vec<usize>,
+    /// Responder tuples `(node, origin electrode, local electrode,
+    /// local timestamp µs)` staged during an exchange window.
+    pub responders: Vec<(usize, usize, usize, u64)>,
+    /// Sorted/deduped origin electrodes the responders want signals for.
+    pub wanted: Vec<usize>,
+    /// Dequantised local stored window (DTW confirm).
+    pub local_win: Vec<f64>,
+    /// Dequantised remote window from a signal packet (DTW confirm).
+    pub remote_win: Vec<f64>,
     /// The session's span recorder (`scalo-trace`). Disabled — a
     /// branch-and-return no-op — by default; when enabled its ring is
     /// pre-allocated, so recording spans obeys the same zero-allocation

@@ -116,6 +116,56 @@ fn traced_steady_state_windows_perform_zero_allocations() {
     assert_eq!(ws.trace.len(), 1024, "the ring is full");
 }
 
+/// Sessions that *do* seize still have a hard allocation ceiling. The
+/// confirmation exchange cannot be heap-free — packets serialize into
+/// fresh byte buffers, compression emits owned outputs, and the channel
+/// clones payloads on transmit — but everything else is recycled, so
+/// each exchange window costs a small, fixed number of heap operations
+/// and quiet windows between exchanges cost none.
+#[test]
+fn seizure_session_allocations_stay_bounded() {
+    let rec = recording(42, 0.9, vec![SeizureEvent::uniform(0.25, 0.6, 0, 2, 0.0)]);
+    let mut app = trained_app(42);
+    let mut st = app.begin(&rec);
+    let mut ws = Workspace::new();
+    let windows_total = st.windows_total();
+
+    // Window 0 warms rings and scratch; it is allowed to allocate.
+    app.step_window(&rec, &mut st, &mut ws);
+
+    let mut total = 0u64;
+    let mut worst = (0usize, 0u64);
+    for w in 1..windows_total {
+        let (_, c) = scalo_alloc::measure(|| app.step_window(&rec, &mut st, &mut ws));
+        total += c.heap_ops();
+        if c.heap_ops() > worst.1 {
+            worst = (w, c.heap_ops());
+        }
+    }
+    assert!(
+        SeizureApp::snapshot(&st).origin_detect_window.is_some(),
+        "the recording must actually trigger the exchange path"
+    );
+
+    // Measured on the batched engine: ~13.5 heap ops per window averaged
+    // over the session, exactly 10 on steady exchange windows, with a
+    // one-off spike on the first exchange window (hash/packet buffers
+    // growing to size). The bounds below leave ~2x headroom so the test
+    // flags regressions back toward the ~225/window pre-batching number
+    // without being brittle to small packet-shape changes.
+    let mean = total as f64 / (windows_total - 1) as f64;
+    assert!(
+        mean <= 30.0,
+        "per-window heap ops regressed: mean {mean:.2} over {windows_total} windows"
+    );
+    assert!(
+        worst.1 <= 160,
+        "worst window {} performed {} heap ops",
+        worst.0,
+        worst.1
+    );
+}
+
 /// A workspace that already served one session must produce
 /// bit-identical decisions when reused for another: scratch contents
 /// never feed forward, only capacity does.

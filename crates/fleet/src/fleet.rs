@@ -328,6 +328,12 @@ impl Fleet {
         let (done, pool_report) = pool::run_to_completion(jobs, self.cfg.workers);
         let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
 
+        // Per-stage histogram handles for the trace merge below, resolved
+        // lazily (name formatting + registry lock once per *stage*, not
+        // once per span — traced fleets drain tens of thousands of spans)
+        // so an untraced run never materializes empty trace histograms.
+        let mut stage_hists: Vec<Option<Arc<Histogram>>> =
+            vec![None; scalo_trace::Stage::ALL.len()];
         let mut sessions: Vec<SessionServing> = done
             .into_iter()
             .map(|mut job| {
@@ -338,8 +344,15 @@ impl Fleet {
                 // per-stage latency histograms, alongside the counters
                 // the step loop already feeds.
                 for ev in &trace {
-                    self.metrics
-                        .histogram(&format!("trace.stage.{}.span_us", ev.stage.name()))
+                    let idx = scalo_trace::Stage::ALL
+                        .iter()
+                        .position(|s| *s == ev.stage)
+                        .expect("every span stage appears in Stage::ALL");
+                    stage_hists[idx]
+                        .get_or_insert_with(|| {
+                            self.metrics
+                                .histogram(&format!("trace.stage.{}.span_us", ev.stage.name()))
+                        })
                         .observe(ev.dur_ns() / 1_000);
                 }
                 let rec = job.session.trace();

@@ -6,6 +6,7 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use scalo_signal::block::ChannelBlock;
 
 /// The random ±1 projection vector plus sliding parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +73,53 @@ impl Sketcher {
         }
     }
 
+    /// Sketches every channel of a channel-major block at once, returning
+    /// the number of sketch positions per channel.
+    ///
+    /// `bits` is laid out channel-contiguous: channel `c`'s sketch occupies
+    /// `bits[c * n_pos..(c + 1) * n_pos]`. The dot product for each position
+    /// accumulates across projection taps in tap order with one accumulator
+    /// per channel (`acc`), so each channel's bits are **bitwise identical**
+    /// to [`Sketcher::sketch_into`] on the gathered channel — batching
+    /// reorders work across channels, never within one. Allocation-free once
+    /// `acc` and `bits` are warm.
+    pub fn sketch_block_into(
+        &self,
+        block: &ChannelBlock,
+        acc: &mut Vec<f64>,
+        bits: &mut Vec<bool>,
+    ) -> usize {
+        let w = self.projection.len();
+        let channels = block.channels();
+        let samples = block.samples();
+        bits.clear();
+        if samples < w || channels == 0 {
+            return 0;
+        }
+        let n_pos = (samples - w) / self.stride + 1;
+        bits.resize(channels * n_pos, false);
+        acc.clear();
+        acc.resize(channels, 0.0);
+        let data = block.data();
+        let mut pos = 0;
+        let mut p = 0;
+        while pos + w <= samples {
+            acc.fill(0.0);
+            for (k, &r) in self.projection.iter().enumerate() {
+                let frame = &data[(pos + k) * channels..(pos + k + 1) * channels];
+                for (a, &x) in acc.iter_mut().zip(frame) {
+                    *a += x * r;
+                }
+            }
+            for (ch, &a) in acc.iter().enumerate() {
+                bits[ch * n_pos + p] = a > 0.0;
+            }
+            pos += self.stride;
+            p += 1;
+        }
+        n_pos
+    }
+
     /// The raw dot-product sequence (shared with the EMD hash front end).
     pub fn dot_products(&self, signal: &[f64]) -> Vec<f64> {
         let w = self.projection.len();
@@ -133,6 +181,46 @@ mod tests {
             bits_neg,
             "sketch of -x is the complement (no zero dot products here)"
         );
+    }
+
+    #[test]
+    fn block_sketch_matches_per_channel_sketch() {
+        let s = Sketcher::new(16, 4, 9);
+        let channels = 6;
+        let raw: Vec<Vec<f64>> = (0..channels)
+            .map(|c| {
+                (0..120)
+                    .map(|t| ((c + 1) as f64 * t as f64 * 0.11).sin())
+                    .collect()
+            })
+            .collect();
+        let mut block = ChannelBlock::new();
+        block.reset(channels, 120);
+        for (c, ch) in raw.iter().enumerate() {
+            block.fill_channel(c, ch);
+        }
+        let mut acc = Vec::new();
+        let mut bits = Vec::new();
+        let n_pos = s.sketch_block_into(&block, &mut acc, &mut bits);
+        assert_eq!(n_pos, (120 - 16) / 4 + 1);
+        for (c, ch) in raw.iter().enumerate() {
+            assert_eq!(
+                &bits[c * n_pos..(c + 1) * n_pos],
+                s.sketch(ch).as_slice(),
+                "channel {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_sketch_of_short_window_is_empty() {
+        let s = Sketcher::new(16, 4, 9);
+        let mut block = ChannelBlock::new();
+        block.reset(3, 8);
+        let mut acc = Vec::new();
+        let mut bits = vec![true; 4];
+        assert_eq!(s.sketch_block_into(&block, &mut acc, &mut bits), 0);
+        assert!(bits.is_empty());
     }
 
     #[test]

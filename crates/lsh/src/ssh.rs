@@ -5,8 +5,35 @@ use crate::minhash::minhash_signature;
 use crate::ngram::ngram_counts;
 use crate::sketch::Sketcher;
 use crate::SignalHash;
+use scalo_signal::block::{z_normalize_block, BlockStatsScratch, ChannelBlock};
 use scalo_signal::stats::{z_normalize, z_normalize_into};
 use std::collections::HashMap;
+
+/// Packs pooled sketch bits into `out` exactly as [`SshHasher::hash_into`]
+/// always has: `8 × hash_bytes` output bits, evenly sampled across the
+/// pooled sequence (wrapping when the sketch is short), all-zero when the
+/// sketch is empty.
+fn pack_pooled(pooled: &[bool], hash_bytes: usize, out: &mut SignalHash) {
+    let n_bits = hash_bytes * 8;
+    let bytes = &mut out.0;
+    bytes.clear();
+    bytes.resize(hash_bytes, 0);
+    if pooled.is_empty() {
+        return;
+    }
+    for out_bit in 0..n_bits {
+        // Evenly spaced selection keeps the byte representative of the
+        // whole window regardless of sketch length.
+        let idx = if pooled.len() >= n_bits {
+            out_bit * pooled.len() / n_bits
+        } else {
+            out_bit % pooled.len()
+        };
+        if pooled[idx] {
+            bytes[out_bit / 8] |= 1 << (out_bit % 8);
+        }
+    }
+}
 
 /// Reusable buffers for [`SshHasher::hash_into`]: the z-normalised window,
 /// the raw sketch bits, and the pooled bits. One scratch serves any number
@@ -20,6 +47,27 @@ pub struct HashScratch {
 
 impl HashScratch {
     /// An empty scratch; the first hash sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable buffers for [`SshHasher::hash_block_into`]: the z-normalised
+/// block, its per-channel moment scratch, the per-position dot-product
+/// accumulators, and the channel-contiguous sketch/pooled bit buffers. One
+/// scratch serves any hasher and block shape; buffers grow to the largest
+/// block seen.
+#[derive(Debug, Clone, Default)]
+pub struct BlockHashScratch {
+    normalized: ChannelBlock,
+    stats: BlockStatsScratch,
+    acc: Vec<f64>,
+    bits: Vec<bool>,
+    pooled: Vec<bool>,
+}
+
+impl BlockHashScratch {
+    /// An empty scratch; the first batched hash sizes it.
     pub fn new() -> Self {
         Self::default()
     }
@@ -140,25 +188,51 @@ impl SshHasher {
     /// reusable scratch. Bit-identical to the allocating form and
     /// allocation-free once `scratch` and `out` are warm.
     pub fn hash_into(&self, signal: &[f64], scratch: &mut HashScratch, out: &mut SignalHash) {
-        let n_bits = self.config.hash_bytes * 8;
         let pooled = self.pooled_bits_with(signal, scratch);
-        let bytes = &mut out.0;
-        bytes.clear();
-        bytes.resize(self.config.hash_bytes, 0);
-        if pooled.is_empty() {
-            return;
-        }
-        for out_bit in 0..n_bits {
-            // Evenly spaced selection keeps the byte representative of the
-            // whole window regardless of sketch length.
-            let idx = if pooled.len() >= n_bits {
-                out_bit * pooled.len() / n_bits
+        pack_pooled(pooled, self.config.hash_bytes, out);
+    }
+
+    /// Hashes every channel of a channel-major block at once, writing one
+    /// hash per channel into `out` (slots are recycled — inner byte buffers
+    /// keep their allocations across calls).
+    ///
+    /// Each channel's hash is **bitwise identical** to
+    /// [`SshHasher::hash_into`] on the gathered channel: the batched
+    /// z-normalisation, sketch, pooling, and packing each preserve the
+    /// per-channel floating-point operation order, only interleaving work
+    /// *across* channels. Allocation-free once `scratch` and `out` are warm.
+    pub fn hash_block_into(
+        &self,
+        block: &ChannelBlock,
+        scratch: &mut BlockHashScratch,
+        out: &mut Vec<SignalHash>,
+    ) {
+        let channels = block.channels();
+        out.resize_with(channels, || SignalHash(Vec::new()));
+        let src: &ChannelBlock = if self.config.normalize {
+            z_normalize_block(block, &mut scratch.stats, &mut scratch.normalized);
+            &scratch.normalized
+        } else {
+            block
+        };
+        let n_pos = self
+            .sketcher
+            .sketch_block_into(src, &mut scratch.acc, &mut scratch.bits);
+        let n = self.config.ngram;
+        for (ch, hash) in out.iter_mut().enumerate() {
+            let ch_bits = &scratch.bits[ch * n_pos..(ch + 1) * n_pos];
+            let pooled: &[bool] = if n <= 1 {
+                ch_bits
             } else {
-                out_bit % pooled.len()
+                scratch.pooled.clear();
+                scratch.pooled.extend(
+                    ch_bits
+                        .chunks(n)
+                        .map(|chunk| chunk.iter().filter(|&&b| b).count() * 2 > chunk.len()),
+                );
+                &scratch.pooled
             };
-            if pooled[idx] {
-                bytes[out_bit / 8] |= 1 << (out_bit % 8);
-            }
+            pack_pooled(pooled, self.config.hash_bytes, hash);
         }
     }
 
@@ -262,6 +336,47 @@ mod tests {
                 hasher.hash_into(&sig, &mut scratch, &mut out);
                 assert_eq!(out, hasher.hash(&sig), "{measure:?} len {n}");
             }
+        }
+    }
+
+    #[test]
+    fn block_hash_is_bit_identical_to_per_channel_hash() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let channels = 6;
+        let raw: Vec<Vec<f64>> = (0..channels)
+            .map(|_| random_signal(&mut rng, 120))
+            .collect();
+        let mut block = ChannelBlock::new();
+        block.reset(channels, 120);
+        for (c, ch) in raw.iter().enumerate() {
+            block.fill_channel(c, ch);
+        }
+        for measure in [Measure::Dtw, Measure::Euclidean, Measure::Xcor] {
+            let hasher = SshHasher::new(HashConfig::for_measure(measure));
+            let mut scratch = BlockHashScratch::new();
+            let mut out = Vec::new();
+            // Two passes over the same warm scratch/output slots.
+            for pass in 0..2 {
+                hasher.hash_block_into(&block, &mut scratch, &mut out);
+                assert_eq!(out.len(), channels);
+                for (c, ch) in raw.iter().enumerate() {
+                    assert_eq!(out[c], hasher.hash(ch), "{measure:?} ch {c} pass {pass}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_hash_of_short_window_is_all_zero() {
+        let hasher = SshHasher::new(HashConfig::for_measure(Measure::Dtw));
+        let mut block = ChannelBlock::new();
+        block.reset(2, 4); // shorter than the sketch window
+        let mut out = Vec::new();
+        hasher.hash_block_into(&block, &mut BlockHashScratch::new(), &mut out);
+        assert_eq!(out.len(), 2);
+        for (c, h) in out.iter().enumerate() {
+            assert_eq!(*h, hasher.hash(&[0.0; 4]), "channel {c}");
+            assert!(h.0.iter().all(|&b| b == 0));
         }
     }
 

@@ -1,0 +1,301 @@
+//! Channel-major sample blocks for the batched kernel engine.
+//!
+//! The SCALO fabric batches all of a node's electrodes through shared PE
+//! datapaths instead of iterating channels one at a time. This module is
+//! the software analogue: a [`ChannelBlock`] holds one analysis window of
+//! every channel in a single flat buffer, interleaved so each time step is
+//! one contiguous channel-major vector (`data[t * channels + c]` is
+//! channel `c` at time `t`). That layout makes per-sample state updates
+//! (IIR filtering, dot-product accumulation, moment accumulation) inner
+//! loops *over channels* — contiguous, branch-free, and vectorisable —
+//! while per-channel transforms (FFT) gather a strided copy, which is the
+//! same copy the scalar path already performs into its scratch buffer.
+//!
+//! Every batched helper here is **bitwise identical per channel** to its
+//! scalar counterpart in [`crate::stats`]: batching changes the iteration
+//! order across channels, never the floating-point operation order within
+//! one channel.
+
+/// One window of samples for every channel, stored interleaved
+/// (channel-fastest): `data[t * channels + c]`.
+///
+/// # Example
+///
+/// ```
+/// use scalo_signal::block::ChannelBlock;
+///
+/// let mut block = ChannelBlock::new();
+/// block.reset(2, 3);
+/// block.fill_channel(0, &[1.0, 2.0, 3.0]);
+/// block.fill_channel(1, &[4.0, 5.0, 6.0]);
+/// assert_eq!(block.frame(1), &[2.0, 5.0]);
+/// assert_eq!(block.sample(1, 2), 6.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelBlock {
+    channels: usize,
+    samples: usize,
+    data: Vec<f64>,
+}
+
+impl ChannelBlock {
+    /// An empty block; [`ChannelBlock::reset`] shapes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reshapes the block to `channels × samples`, zero-filling. Reuses
+    /// the existing allocation whenever capacity suffices, so a session's
+    /// block allocates once and is recycled every window.
+    pub fn reset(&mut self, channels: usize, samples: usize) {
+        self.channels = channels;
+        self.samples = samples;
+        self.data.clear();
+        self.data.resize(channels * samples, 0.0);
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Samples per channel.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The flat interleaved buffer (`samples × channels` frames).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the flat interleaved buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The channel-major frame at time `t` (one sample per channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn frame(&self, t: usize) -> &[f64] {
+        &self.data[t * self.channels..(t + 1) * self.channels]
+    }
+
+    /// Channel `c`'s sample at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn sample(&self, c: usize, t: usize) -> f64 {
+        assert!(c < self.channels, "channel {c} of {}", self.channels);
+        self.data[t * self.channels + c]
+    }
+
+    /// Scatters one channel's contiguous window into the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range or `samples` has the wrong length.
+    pub fn fill_channel(&mut self, c: usize, samples: &[f64]) {
+        assert!(c < self.channels, "channel {c} of {}", self.channels);
+        assert_eq!(samples.len(), self.samples, "window length");
+        for (t, &x) in samples.iter().enumerate() {
+            self.data[t * self.channels + c] = x;
+        }
+    }
+
+    /// Gathers one channel into a contiguous buffer (cleared first).
+    /// Allocation-free once `out` has capacity for the sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn copy_channel_into(&self, c: usize, out: &mut Vec<f64>) {
+        assert!(c < self.channels, "channel {c} of {}", self.channels);
+        out.clear();
+        out.extend((0..self.samples).map(|t| self.data[t * self.channels + c]));
+    }
+}
+
+/// Per-channel moment buffers for [`z_normalize_block`]. One scratch
+/// serves any channel count; buffers grow to the widest block seen.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStatsScratch {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl BlockStatsScratch {
+    /// An empty scratch; the first batched call sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Z-normalises every channel of `block` into `out`, bitwise identical per
+/// channel to [`crate::stats::z_normalize_into`] on the gathered channel:
+/// the two-pass mean/variance accumulate in sample order, and the
+/// degenerate-deviation branch (`std < 1e-12` ⇒ subtract the mean only) is
+/// taken per channel.
+pub fn z_normalize_block(
+    block: &ChannelBlock,
+    scratch: &mut BlockStatsScratch,
+    out: &mut ChannelBlock,
+) {
+    let c = block.channels();
+    let n = block.samples();
+    out.reset(c, n);
+    if c == 0 {
+        return;
+    }
+    let mean = &mut scratch.mean;
+    let std = &mut scratch.std;
+    mean.clear();
+    mean.resize(c, 0.0);
+    std.clear();
+    std.resize(c, 0.0);
+    // Pass 1: per-channel sums, accumulated in sample order.
+    for frame in block.data().chunks_exact(c) {
+        for (acc, &x) in mean.iter_mut().zip(frame) {
+            *acc += x;
+        }
+    }
+    // `stats::mean` returns 0.0 for an empty slice and divides by n
+    // otherwise; n >= 1 here iff samples > 0.
+    if n > 0 {
+        for m in mean.iter_mut() {
+            *m /= n as f64;
+        }
+    }
+    // Pass 2: per-channel squared deviations (population variance; zero
+    // for fewer than two samples, matching `stats::variance`).
+    if n >= 2 {
+        for frame in block.data().chunks_exact(c) {
+            for ((acc, &m), &x) in std.iter_mut().zip(mean.iter()).zip(frame) {
+                *acc += (x - m) * (x - m);
+            }
+        }
+        for s in std.iter_mut() {
+            *s = (*s / n as f64).sqrt();
+        }
+    }
+    for (frame_in, frame_out) in block
+        .data()
+        .chunks_exact(c)
+        .zip(out.data_mut().chunks_exact_mut(c))
+    {
+        for (ch, (&x, y)) in frame_in.iter().zip(frame_out.iter_mut()).enumerate() {
+            *y = if std[ch] < 1e-12 {
+                x - mean[ch]
+            } else {
+                (x - mean[ch]) / std[ch]
+            };
+        }
+    }
+}
+
+/// Per-channel RMS of `block` written into `out` (cleared first), bitwise
+/// identical per channel to [`crate::stats::rms`] on the gathered channel.
+pub fn rms_block_into(block: &ChannelBlock, out: &mut Vec<f64>) {
+    let c = block.channels();
+    let n = block.samples();
+    out.clear();
+    out.resize(c, 0.0);
+    for frame in block.data().chunks_exact(c) {
+        for (acc, &x) in out.iter_mut().zip(frame) {
+            *acc += x * x;
+        }
+    }
+    if n > 0 {
+        for acc in out.iter_mut() {
+            *acc = (*acc / n as f64).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{rms, z_normalize};
+
+    fn block_of(channels: usize, samples: usize) -> (ChannelBlock, Vec<Vec<f64>>) {
+        let raw: Vec<Vec<f64>> = (0..channels)
+            .map(|c| {
+                (0..samples)
+                    .map(|t| ((c * 31 + t * 7) % 23) as f64 * 0.37 - 4.0)
+                    .collect()
+            })
+            .collect();
+        let mut block = ChannelBlock::new();
+        block.reset(channels, samples);
+        for (c, ch) in raw.iter().enumerate() {
+            block.fill_channel(c, ch);
+        }
+        (block, raw)
+    }
+
+    #[test]
+    fn fill_and_gather_roundtrip() {
+        let (block, raw) = block_of(5, 17);
+        let mut out = vec![9.9; 3];
+        for (c, ch) in raw.iter().enumerate() {
+            block.copy_channel_into(c, &mut out);
+            assert_eq!(&out, ch);
+        }
+        assert_eq!(block.frame(3).len(), 5);
+        assert_eq!(block.sample(2, 3), raw[2][3]);
+    }
+
+    #[test]
+    fn reset_reuses_and_zeroes() {
+        let (mut block, _) = block_of(4, 8);
+        block.reset(2, 8);
+        assert!(block.data().iter().all(|&x| x == 0.0));
+        assert_eq!(block.channels(), 2);
+        assert_eq!(block.samples(), 8);
+    }
+
+    #[test]
+    fn batched_znorm_is_bitwise_identical_per_channel() {
+        let (block, raw) = block_of(7, 120);
+        let mut scratch = BlockStatsScratch::new();
+        let mut out = ChannelBlock::new();
+        z_normalize_block(&block, &mut scratch, &mut out);
+        let mut gathered = Vec::new();
+        for (c, ch) in raw.iter().enumerate() {
+            let legacy = z_normalize(ch);
+            out.copy_channel_into(c, &mut gathered);
+            for (a, b) in legacy.iter().zip(&gathered) {
+                assert_eq!(a.to_bits(), b.to_bits(), "channel {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_znorm_constant_channel_takes_degenerate_branch() {
+        let mut block = ChannelBlock::new();
+        block.reset(2, 6);
+        block.fill_channel(0, &[3.0; 6]); // zero deviation
+        block.fill_channel(1, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut out = ChannelBlock::new();
+        z_normalize_block(&block, &mut BlockStatsScratch::new(), &mut out);
+        let mut gathered = Vec::new();
+        out.copy_channel_into(0, &mut gathered);
+        assert!(gathered.iter().all(|&v| v == 0.0), "{gathered:?}");
+        out.copy_channel_into(1, &mut gathered);
+        let legacy = z_normalize(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(gathered, legacy);
+    }
+
+    #[test]
+    fn batched_rms_is_bitwise_identical_per_channel() {
+        let (block, raw) = block_of(9, 120);
+        let mut out = vec![-1.0; 2];
+        rms_block_into(&block, &mut out);
+        for (c, ch) in raw.iter().enumerate() {
+            assert_eq!(out[c].to_bits(), rms(ch).to_bits(), "channel {c}");
+        }
+    }
+}

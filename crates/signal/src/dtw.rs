@@ -121,6 +121,141 @@ pub fn dtw_distance_with(scratch: &mut DtwScratch, a: &[f64], b: &[f64], params:
     prev[m].sqrt()
 }
 
+/// How a [`dtw_distance_pruned`] call resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DtwResolution {
+    /// The LB_Keogh envelope bound alone proved the distance is at least
+    /// the cutoff; the DP never ran.
+    LowerBounded,
+    /// The DP abandoned at a row whose in-band minimum already met the
+    /// cutoff.
+    Abandoned,
+    /// The full banded DP ran; the distance is exact.
+    Exact,
+}
+
+/// Outcome of [`dtw_distance_pruned`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrunedDtw {
+    /// The exact banded distance when `resolution` is
+    /// [`DtwResolution::Exact`]; otherwise a lower bound on it that is
+    /// guaranteed to be `>= cutoff`. Either way, comparing `distance <
+    /// cutoff` gives exactly the decision the exact distance would.
+    pub distance: f64,
+    /// Which shortcut (if any) resolved the call.
+    pub resolution: DtwResolution,
+}
+
+/// [`dtw_distance_with`] specialised for threshold decisions: computes the
+/// banded distance only as far as needed to decide `distance < cutoff`.
+///
+/// Two shortcuts run before/inside the exact DP, both *conservative* (they
+/// can only fire when the true distance is provably `>= cutoff`, so the
+/// thresholded decision is bit-identical to the exact path's):
+///
+/// 1. **LB_Keogh lower bound** — every warping path visits each row `i`
+///    at least once, paying at least row `i`'s distance to the envelope of
+///    `b` over the row's band window; the row-sum therefore lower-bounds
+///    the DP cost at ~⅓ of one DP row's flops per row.
+/// 2. **Early-abandon row cutoff** — during the DP, once every in-band
+///    cell of a row reaches the squared cutoff, no path through that row
+///    can finish below it.
+///
+/// When neither shortcut fires the full DP completes and the returned
+/// distance is bitwise identical to [`dtw_distance_with`]. A non-finite or
+/// non-positive `cutoff` disables pruning (the exact distance is returned).
+///
+/// # Panics
+///
+/// Panics if either sequence is empty.
+pub fn dtw_distance_pruned(
+    scratch: &mut DtwScratch,
+    a: &[f64],
+    b: &[f64],
+    params: DtwParams,
+    cutoff: f64,
+) -> PrunedDtw {
+    assert!(!a.is_empty() && !b.is_empty(), "DTW of empty sequence");
+    let n = a.len();
+    let m = b.len();
+    let half = (params.band - 1).max(n.abs_diff(m));
+    let prune = cutoff.is_finite() && cutoff > 0.0;
+    let cutoff_sq = cutoff * cutoff;
+
+    if prune {
+        // LB_Keogh over the band geometry of the exact DP: row i may only
+        // match b within [lo, hi], so it pays at least its distance to
+        // that window's envelope.
+        let mut lb_sq = 0.0;
+        for i in 1..=n {
+            let center = i * m / n;
+            let lo = center.saturating_sub(half).max(1);
+            let hi = (center + half).min(m);
+            let mut upper = f64::NEG_INFINITY;
+            let mut lower = f64::INFINITY;
+            for &v in &b[lo - 1..hi] {
+                upper = upper.max(v);
+                lower = lower.min(v);
+            }
+            let q = a[i - 1];
+            let d = if q > upper {
+                q - upper
+            } else if q < lower {
+                lower - q
+            } else {
+                0.0
+            };
+            lb_sq += d * d;
+            if lb_sq >= cutoff_sq {
+                return PrunedDtw {
+                    distance: lb_sq.sqrt(),
+                    resolution: DtwResolution::LowerBounded,
+                };
+            }
+        }
+    }
+
+    // Exact banded DP (the same recurrence as `dtw_distance_with`), with
+    // an early-abandon check per row.
+    const INF: f64 = f64::INFINITY;
+    let prev = &mut scratch.prev;
+    let curr = &mut scratch.curr;
+    prev.clear();
+    prev.resize(m + 1, INF);
+    curr.clear();
+    curr.resize(m + 1, INF);
+    prev[0] = 0.0;
+
+    for i in 1..=n {
+        curr.fill(INF);
+        let center = i * m / n;
+        let lo = center.saturating_sub(half).max(1);
+        let hi = (center + half).min(m);
+        let mut row_min = INF;
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            if best.is_finite() {
+                curr[j] = cost + best;
+                row_min = row_min.min(curr[j]);
+            }
+        }
+        if prune && row_min >= cutoff_sq {
+            // Every path to (n, m) passes through row i with accumulated
+            // cost >= row_min, so the exact distance is >= cutoff.
+            return PrunedDtw {
+                distance: row_min.sqrt(),
+                resolution: DtwResolution::Abandoned,
+            };
+        }
+        std::mem::swap(prev, curr);
+    }
+    PrunedDtw {
+        distance: prev[m].sqrt(),
+        resolution: DtwResolution::Exact,
+    }
+}
+
 /// Number of DP cells evaluated by a banded DTW — the PE's work metric
 /// (latency on the hardware is proportional to this count).
 pub fn dtw_cell_count(len_a: usize, len_b: usize, params: DtwParams) -> usize {
@@ -196,6 +331,51 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_input_panics() {
         let _ = dtw_distance(&[], &[1.0], DtwParams::default());
+    }
+
+    #[test]
+    fn pruned_with_infinite_cutoff_is_exact_bitwise() {
+        let mut scratch = DtwScratch::new();
+        for (na, nb) in [(120, 120), (50, 60), (8, 8)] {
+            let a: Vec<f64> = (0..na).map(|i| (i as f64 * 0.13).sin()).collect();
+            let b: Vec<f64> = (0..nb).map(|i| (i as f64 * 0.11).cos()).collect();
+            let exact = dtw_distance(&a, &b, DtwParams::default());
+            let pruned =
+                dtw_distance_pruned(&mut scratch, &a, &b, DtwParams::default(), f64::INFINITY);
+            assert_eq!(pruned.resolution, DtwResolution::Exact);
+            assert_eq!(pruned.distance.to_bits(), exact.to_bits());
+        }
+    }
+
+    #[test]
+    fn pruned_decision_matches_exact_at_every_cutoff() {
+        let mut scratch = DtwScratch::new();
+        let a: Vec<f64> = (0..120).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..120)
+            .map(|i| ((i as f64 - 6.0) * 0.21).sin() * 1.4)
+            .collect();
+        let exact = dtw_distance(&a, &b, DtwParams::default());
+        for cutoff in [0.01, 0.5 * exact, exact, 2.0 * exact, 100.0] {
+            let p = dtw_distance_pruned(&mut scratch, &a, &b, DtwParams::default(), cutoff);
+            assert_eq!(p.distance < cutoff, exact < cutoff, "cutoff {cutoff}");
+            match p.resolution {
+                DtwResolution::Exact => assert_eq!(p.distance.to_bits(), exact.to_bits()),
+                _ => {
+                    assert!(p.distance >= cutoff, "{} < {cutoff}", p.distance);
+                    assert!(p.distance <= exact, "bound exceeds exact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dissimilar_pair_is_pruned_without_running_the_full_dp() {
+        // Far-apart z-scale signals: the envelope bound alone rejects.
+        let a: Vec<f64> = (0..120).map(|i| (i as f64 * 0.2).sin() * 3.0).collect();
+        let b: Vec<f64> = (0..120).map(|i| -(i as f64 * 0.2).sin() * 3.0).collect();
+        let p = dtw_distance_pruned(&mut DtwScratch::new(), &a, &b, DtwParams::default(), 1.0);
+        assert_ne!(p.resolution, DtwResolution::Exact, "{p:?}");
+        assert!(p.distance >= 1.0);
     }
 
     #[test]

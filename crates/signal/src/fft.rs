@@ -95,11 +95,103 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
     buf
 }
 
-/// Reusable complex buffer for [`fft_real_into`]. Allocates once at the
-/// padded transform size and is free to reuse across windows.
+/// A precomputed radix-2 plan for one transform size: the bit-reversal
+/// permutation plus per-stage twiddle tables.
+///
+/// The twiddles are generated with the same iterative recurrence
+/// (`w ← w · wlen`) that [`fft_in_place`] runs inside its butterfly loop,
+/// so a planned transform is **bitwise identical** to the unplanned one —
+/// the plan only hoists the per-call sin/cos and the twiddle iteration
+/// (one complex multiply per butterfly) out of the hot loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal target index for every position.
+    rev: Vec<u32>,
+    /// Per-stage twiddle tables, concatenated: the stage with half-length
+    /// `h` (`h = 1, 2, …, n/2`) starts at offset `h - 1` and holds `h`
+    /// entries.
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds the plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+        let rev = if n <= 1 {
+            vec![0; n]
+        } else {
+            let bits = n.trailing_zeros();
+            (0..n)
+                .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) as u32)
+                .collect()
+        };
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let angle = -2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex::new(angle.cos(), angle.sin());
+            let mut w = Complex::new(1.0, 0.0);
+            for _ in 0..len / 2 {
+                twiddles.push(w);
+                w = w.mul(wlen);
+            }
+            len <<= 1;
+        }
+        Self { n, rev, twiddles }
+    }
+
+    /// The transform length this plan serves.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+}
+
+/// In-place radix-2 FFT of `buf` through a precomputed [`FftPlan`].
+/// Bitwise identical to [`fft_in_place`].
+///
+/// # Panics
+///
+/// Panics if `buf.len()` differs from the plan's size.
+pub fn fft_in_place_planned(plan: &FftPlan, buf: &mut [Complex]) {
+    let n = buf.len();
+    assert_eq!(n, plan.n, "buffer length {n} vs plan size {}", plan.n);
+    if n <= 1 {
+        return;
+    }
+    for (i, &j) in plan.rev.iter().enumerate() {
+        let j = j as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    let mut half = 1;
+    while half < n {
+        let tw = &plan.twiddles[half - 1..2 * half - 1];
+        for chunk in buf.chunks_mut(2 * half) {
+            for (k, &w) in tw.iter().enumerate() {
+                let u = chunk[k];
+                let v = chunk[k + half].mul(w);
+                chunk[k] = u.add(v);
+                chunk[k + half] = u.sub(v);
+            }
+        }
+        half <<= 1;
+    }
+}
+
+/// Reusable complex buffer for [`fft_real_into`], plus a per-size
+/// [`FftPlan`] cache. Allocates once per distinct padded transform size
+/// and is free to reuse across windows; every transform through a warm
+/// scratch runs planned.
 #[derive(Debug, Clone, Default)]
 pub struct FftScratch {
     buf: Vec<Complex>,
+    plans: Vec<FftPlan>,
 }
 
 impl FftScratch {
@@ -112,19 +204,42 @@ impl FftScratch {
     pub fn spectrum(&self) -> &[Complex] {
         &self.buf
     }
+
+    /// The cached plan for size `n`, building (and caching) it on first
+    /// use. The cache is a linear scan: sessions see one or two distinct
+    /// sizes for their whole lifetime.
+    pub fn plan_for(&mut self, n: usize) -> &FftPlan {
+        let idx = match self.plans.iter().position(|p| p.size() == n) {
+            Some(i) => i,
+            None => {
+                self.plans.push(FftPlan::new(n));
+                self.plans.len() - 1
+            }
+        };
+        &self.plans[idx]
+    }
 }
 
 /// FFT of a real signal into a reusable scratch buffer, zero-padded to the
 /// next power of two. Bit-identical to [`fft_real`] but allocation-free once
-/// `scratch` has warmed to the padded size.
+/// `scratch` has warmed to the padded size (the size's [`FftPlan`] is built
+/// and cached on the first call).
 pub fn fft_real_into<'a>(signal: &[f64], scratch: &'a mut FftScratch) -> &'a [Complex] {
     let n = signal.len().max(1).next_power_of_two();
+    if scratch.plans.iter().all(|p| p.size() != n) {
+        scratch.plans.push(FftPlan::new(n));
+    }
     scratch.buf.clear();
     scratch
         .buf
         .extend(signal.iter().map(|&x| Complex::new(x, 0.0)));
     scratch.buf.resize(n, Complex::default());
-    fft_in_place(&mut scratch.buf);
+    let plan = scratch
+        .plans
+        .iter()
+        .find(|p| p.size() == n)
+        .expect("plan cached above");
+    fft_in_place_planned(plan, &mut scratch.buf);
     &scratch.buf
 }
 
@@ -308,6 +423,47 @@ mod tests {
     fn feature_vector_has_six_bands() {
         let signal = vec![0.5; 120];
         assert_eq!(band_power_features(&signal).len(), 6);
+    }
+
+    #[test]
+    fn planned_fft_is_bitwise_identical_to_legacy() {
+        for n in [1usize, 2, 4, 8, 64, 128, 512] {
+            let plan = FftPlan::new(n);
+            assert_eq!(plan.size(), n);
+            let signal: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin() * 25.0, (i as f64 * 0.11).cos()))
+                .collect();
+            let mut legacy = signal.clone();
+            fft_in_place(&mut legacy);
+            let mut planned = signal;
+            fft_in_place_planned(&plan, &mut planned);
+            for (a, b) in legacy.iter().zip(&planned) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan size")]
+    fn planned_fft_rejects_size_mismatch() {
+        let plan = FftPlan::new(8);
+        let mut buf = vec![Complex::default(); 16];
+        fft_in_place_planned(&plan, &mut buf);
+    }
+
+    #[test]
+    fn scratch_caches_one_plan_per_size() {
+        let mut scratch = FftScratch::new();
+        let sig120: Vec<f64> = (0..120).map(|i| (i as f64 * 0.2).sin()).collect();
+        let sig64: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).cos()).collect();
+        for _ in 0..3 {
+            fft_real_into(&sig120, &mut scratch);
+            fft_real_into(&sig64, &mut scratch);
+        }
+        assert_eq!(scratch.plans.len(), 2, "one plan per padded size");
+        assert_eq!(scratch.plan_for(128).size(), 128);
+        assert_eq!(scratch.plans.len(), 2, "plan_for reuses the cache");
     }
 
     #[test]

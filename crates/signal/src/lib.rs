@@ -31,6 +31,7 @@
 //! assert!(d <= 1.0 + 1e-12, "time-warped signals should be close, got {d}");
 //! ```
 
+pub mod block;
 pub mod dtw;
 pub mod dwt;
 pub mod emd;

@@ -1,0 +1,89 @@
+//! Allocation discipline of the batched kernel engine's admission path.
+//!
+//! Session admission stamps filters and banks out of precomputed
+//! [`BandpassDesign`]s; once a pooled instance has capacity, pointing it
+//! at a design again must not touch the heap — the software analogue of
+//! reprogramming a PE's coefficient registers. Same for the per-size
+//! [`FftPlan`] cache inside [`FftScratch`]: plan once, transform forever.
+
+use scalo_signal::block::ChannelBlock;
+use scalo_signal::fft::{fft_real_into, FftScratch};
+use scalo_signal::filter::{BandpassBank, BandpassDesign, ButterworthBandpass};
+
+#[global_allocator]
+static ALLOC: scalo_alloc::CountingAllocator = scalo_alloc::CountingAllocator;
+
+#[test]
+fn warm_filter_and_bank_reconfigure_are_allocation_free() {
+    let wide = BandpassDesign::new(2, 8.0, 150.0, 30_000.0);
+    let narrow = BandpassDesign::new(2, 20.0, 60.0, 30_000.0);
+
+    // Warm a pooled filter and bank to their working shapes.
+    let mut filter = ButterworthBandpass::from_design(&wide);
+    let mut bank = BandpassBank::new(&wide, 96);
+    let ((), cold) = scalo_alloc::measure(|| {
+        // Flipping between same-shape designs, with resets and real
+        // samples in between, is the admission steady state.
+        let mut frame = [0.125f64; 96];
+        for round in 0..32 {
+            let design = if round % 2 == 0 { &narrow } else { &wide };
+            filter.reconfigure(design);
+            bank.reconfigure(design, 96);
+            let _ = filter.process(0.5);
+            bank.process_frame(&mut frame);
+            filter.reset();
+            bank.reset();
+        }
+    });
+    assert_eq!(
+        cold.heap_ops(),
+        0,
+        "warm reconfigure must not churn the heap: {cold:?}"
+    );
+    // The recycled instances still match freshly stamped ones.
+    filter.reconfigure(&wide);
+    assert_eq!(filter, ButterworthBandpass::from_design(&wide));
+}
+
+#[test]
+fn warm_planned_fft_is_allocation_free() {
+    let xs: Vec<f64> = (0..128).map(|i| (i as f64 * 0.21).sin()).collect();
+    let mut scratch = FftScratch::default();
+    let _ = fft_real_into(&xs, &mut scratch); // caches the size-128 plan
+    let (sum, counts) = scalo_alloc::measure(|| {
+        let mut sum = 0.0;
+        for _ in 0..64 {
+            sum += fft_real_into(&xs, &mut scratch)[3].re;
+        }
+        sum
+    });
+    assert!(sum.is_finite());
+    assert_eq!(
+        counts.heap_ops(),
+        0,
+        "a cached plan must serve repeat transforms heap-free: {counts:?}"
+    );
+}
+
+#[test]
+fn warm_block_reset_and_fill_are_allocation_free() {
+    let window: Vec<f64> = (0..120).map(|i| (i as f64 * 0.17).cos()).collect();
+    let mut block = ChannelBlock::new();
+    block.reset(96, 120);
+    let mut chan = Vec::with_capacity(120);
+    let ((), counts) = scalo_alloc::measure(|| {
+        for _ in 0..16 {
+            block.reset(96, 120);
+            for c in 0..96 {
+                block.fill_channel(c, &window);
+            }
+            block.copy_channel_into(40, &mut chan);
+        }
+    });
+    assert_eq!(
+        counts.heap_ops(),
+        0,
+        "block scatter/gather must reuse its slab: {counts:?}"
+    );
+    assert_eq!(chan, window);
+}

@@ -206,3 +206,94 @@ proptest! {
         prop_assert_eq!(out, legacy);
     }
 }
+
+// --- batched kernel engine ≡ scalar kernels -----------------------------
+//
+// The channel-major engine (planned FFT, fused biquad bank, pruned DTW)
+// must be indistinguishable from the scalar kernels it replaced: bitwise
+// on values where the hot path compares raw floats, and decision-exact
+// where a threshold is the only consumer.
+
+use scalo_signal::dtw::{dtw_distance_pruned, DtwResolution};
+use scalo_signal::fft::{fft_in_place_planned, FftPlan};
+use scalo_signal::filter::{BandpassBank, BandpassDesign};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn planned_fft_equals_legacy_bitwise(x in sig(256), log_n in 1usize..9) {
+        let n = 1 << log_n;
+        let mut legacy: Vec<Complex> = x[..n].iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut planned = legacy.clone();
+        fft_in_place(&mut legacy);
+        let plan = FftPlan::new(n);
+        fft_in_place_planned(&plan, &mut planned);
+        for (a, b) in legacy.iter().zip(&planned) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn pruned_dtw_preserves_threshold_decisions(
+        a in sig(60),
+        b in sig(60),
+        cutoff in 0.5f64..400.0,
+    ) {
+        let params = DtwParams::default();
+        let exact = dtw_distance(&a, &b, params);
+        let mut scratch = DtwScratch::default();
+        let pruned = dtw_distance_pruned(&mut scratch, &a, &b, params, cutoff);
+        // The only consumer of a pruned distance is `dist < cutoff`.
+        prop_assert_eq!(pruned.distance < cutoff, exact < cutoff);
+        match pruned.resolution {
+            // A pruned exit certifies the true distance reaches the cutoff.
+            DtwResolution::LowerBounded | DtwResolution::Abandoned => {
+                prop_assert!(pruned.distance >= cutoff);
+                prop_assert!(exact >= cutoff);
+            }
+            // A completed pass is the exact distance, bit for bit.
+            DtwResolution::Exact => {
+                prop_assert_eq!(pruned.distance.to_bits(), exact.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn unpruned_dtw_equals_exact_bitwise(a in sig(40), b in sig(40)) {
+        // An infinite cutoff disables pruning entirely: the pruned entry
+        // point must degenerate to the exact banded distance.
+        let params = DtwParams::default();
+        let exact = dtw_distance(&a, &b, params);
+        let mut scratch = DtwScratch::default();
+        let got = dtw_distance_pruned(&mut scratch, &a, &b, params, f64::INFINITY);
+        prop_assert_eq!(got.resolution, DtwResolution::Exact);
+        prop_assert_eq!(got.distance.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn bank_equals_per_channel_filters(
+        data in proptest::collection::vec(-50.0f64..50.0, 0..=6 * 64),
+        channels in 1usize..7,
+    ) {
+        let samples = data.len() / channels;
+        let data = &data[..samples * channels];
+        let design = BandpassDesign::new(2, 10.0, 200.0, 1_000.0);
+        let mut interleaved = data.to_vec();
+        let mut bank = BandpassBank::new(&design, channels);
+        bank.process_interleaved(&mut interleaved);
+        for c in 0..channels {
+            let xs: Vec<f64> = (0..samples).map(|t| data[t * channels + c]).collect();
+            let mut reference = Bandpass::from_design(&design);
+            let expected = reference.filter(&xs);
+            for t in 0..samples {
+                prop_assert_eq!(
+                    interleaved[t * channels + c].to_bits(),
+                    expected[t].to_bits(),
+                    "channel {} sample {}", c, t
+                );
+            }
+        }
+    }
+}

@@ -284,6 +284,18 @@ impl Partition {
             .collect()
     }
 
+    /// The oldest record for `key` stamped exactly `timestamp_us`, without
+    /// collecting the scan into a vector — equivalent to
+    /// `range_for_key(key, t, t).first()` but allocation-free, which keeps
+    /// hot-path point lookups (e.g. the DTW confirm's stored-window read)
+    /// off the heap.
+    pub fn record_at(&self, key: u32, timestamp_us: u64) -> Option<&Record> {
+        self.records
+            .iter()
+            .skip(self.placeholders)
+            .find(|r| r.timestamp_us == timestamp_us && r.key == key)
+    }
+
     /// The most recent real record, if any.
     pub fn latest(&self) -> Option<&Record> {
         if self.is_empty() {

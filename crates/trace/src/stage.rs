@@ -55,13 +55,16 @@ pub enum Stage {
     StorageWrite,
     /// Fleet run-queue wait between scheduling quanta (no PE runs).
     Queue,
+    /// Scattering electrode windows into the channel-major block the
+    /// batched kernel engine consumes (pure data movement; no PE runs).
+    Gather,
     /// Envelope time not claimed by any leaf span (attribution only).
     Other,
 }
 
 impl Stage {
     /// Every stage, [`Stage::Window`] first, [`Stage::Other`] last.
-    pub const ALL: [Stage; 15] = [
+    pub const ALL: [Stage; 16] = [
         Stage::Window,
         Stage::Filter,
         Stage::Detect,
@@ -76,12 +79,13 @@ impl Stage {
         Stage::StorageRead,
         Stage::StorageWrite,
         Stage::Queue,
+        Stage::Gather,
         Stage::Other,
     ];
 
     /// The leaf stages (everything except the [`Stage::Window`]
     /// envelope), in attribution order. [`Stage::Other`] is last.
-    pub const LEAVES: [Stage; 14] = [
+    pub const LEAVES: [Stage; 15] = [
         Stage::Filter,
         Stage::Detect,
         Stage::Sketch,
@@ -95,6 +99,7 @@ impl Stage {
         Stage::StorageRead,
         Stage::StorageWrite,
         Stage::Queue,
+        Stage::Gather,
         Stage::Other,
     ];
 
@@ -122,6 +127,7 @@ impl Stage {
             Stage::StorageRead => "storage_read",
             Stage::StorageWrite => "storage_write",
             Stage::Queue => "queue",
+            Stage::Gather => "gather",
             Stage::Other => "other",
         }
     }
@@ -141,7 +147,7 @@ impl Stage {
             Stage::Svm => &[PeKind::Svm],
             Stage::Radio => &[PeKind::Hcomp, PeKind::Npack, PeKind::Dcomp, PeKind::Unpack],
             Stage::StorageRead | Stage::StorageWrite => &[PeKind::Sc],
-            Stage::Window | Stage::RadioWait | Stage::Queue | Stage::Other => &[],
+            Stage::Window | Stage::RadioWait | Stage::Queue | Stage::Gather | Stage::Other => &[],
         }
     }
 
