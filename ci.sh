@@ -55,4 +55,26 @@ echo "== trace smoke (span attribution + chrome://tracing export) =="
 cargo run --release -p scalo-bench --bin experiments -- trace --sessions 2
 test -s trace.json || { echo "trace.json missing or empty" >&2; exit 1; }
 
+echo "== kill-recover-replay smoke (digest equality asserted) =="
+# The durability experiment kills the fleet twice at seeded points,
+# recovers from the write-ahead log, and asserts the merged decision
+# digests equal an uninterrupted baseline — a failed assert exits
+# non-zero here.
+cargo run --release -p scalo-bench --bin experiments -- durability --sessions 4
+cargo run --release -p scalo-bench --bin experiments -- replay --from 20 --to 40
+
+echo "== durability log-overhead regression guard =="
+test -s BENCH_durability.json || { echo "BENCH_durability.json missing or empty" >&2; exit 1; }
+grep -q '"digests_match":true' BENCH_durability.json \
+  || { echo "recovered digests diverged from baseline" >&2; exit 1; }
+# Decision records are 33 B framed; with checkpoints amortised over 64
+# windows the clean-run log must stay under 96 B of frame data per
+# served window.
+bpw=$(sed -n 's/.*"bytes_per_window":\([0-9.]*\).*/\1/p' BENCH_durability.json)
+test -n "$bpw" || { echo "no bytes_per_window in BENCH_durability.json" >&2; exit 1; }
+awk -v b="$bpw" 'BEGIN {
+  if (b + 0 > 96.0) { printf "WAL overhead regressed: %.1f B/window (cap 96)\n", b; exit 1 }
+  printf "WAL overhead: %.1f B/window (cap 96)\n", b
+}'
+
 echo "CI OK"

@@ -68,6 +68,19 @@ impl ChaCha8Rng {
         self.index = 0;
         self.counter = self.counter.wrapping_add(1);
     }
+
+    /// The stream position in 32-bit words consumed since seeding
+    /// (mirrors `rand_chacha`'s `get_word_pos`). Two generators seeded
+    /// identically that report the same word position have produced the
+    /// same draw sequence — the property snapshot/replay verification
+    /// relies on.
+    pub fn get_word_pos(&self) -> u128 {
+        // `counter` is incremented when a block is buffered, so the
+        // words consumed are everything before the buffered block plus
+        // the consumed prefix of it. A fresh generator (counter 0,
+        // index 16) has consumed nothing.
+        (self.counter as u128) * 16 + self.index as u128 - 16
+    }
 }
 
 impl RngCore for ChaCha8Rng {

@@ -15,13 +15,15 @@ use scalo_bench::experiments as x;
 #[global_allocator]
 static ALLOC: scalo_alloc::CountingAllocator = scalo_alloc::CountingAllocator;
 
-const USAGE: &str = "usage: experiments <cmd> [--reps N] [--sessions N]\n\
+const USAGE: &str = "usage: experiments <cmd> [--reps N] [--sessions N] [--from N --to N]\n\
    cmds: all | quick | table1 | table2 | table3 | fig8a | fig8b | fig8c |\n\
    \x20     fig9a | fig9b | fig10 | fig11 | fig12 | fig13 | fig14 | fig15a |\n\
-   \x20     fig15b | fault-tolerance | fleet | trace | kernels | local-scaling |\n\
-   \x20     spike-sorting | storage-layout | compression | external-compression\n\
+   \x20     fig15b | fault-tolerance | fleet | trace | durability | replay |\n\
+   \x20     kernels | local-scaling | spike-sorting | storage-layout |\n\
+   \x20     compression | external-compression\n\
    flags: --reps N      repetitions for fig15a/fig15b/fault-tolerance (default 10)\n\
-   \x20      --sessions N  fleet size for the fleet/trace experiments (default 16)";
+   \x20      --sessions N  fleet size for the fleet/trace/durability experiments (default 16)\n\
+   \x20      --from N --to N  window range for the replay experiment (default 20..40)";
 
 fn flag(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -36,6 +38,8 @@ fn main() {
     let which = args.first().map(String::as_str).unwrap_or("help");
     let reps = flag(&args, "--reps", 10);
     let sessions = flag(&args, "--sessions", 16);
+    let from = flag(&args, "--from", 20);
+    let to = flag(&args, "--to", 40);
 
     match which {
         "table1" => x::table1(),
@@ -56,6 +60,8 @@ fn main() {
         "fault-tolerance" => x::fault_tolerance(reps),
         "fleet" => x::fleet(sessions),
         "trace" => x::trace(sessions),
+        "durability" => x::durability(sessions),
+        "replay" => x::replay(from, to),
         "kernels" => x::kernels(reps.max(20)),
         "local-scaling" => x::local_scaling_exp(),
         "spike-sorting" => x::spike_sorting_exp(),
@@ -96,6 +102,8 @@ fn main() {
             x::fault_tolerance(reps);
             x::fleet(sessions);
             x::trace(sessions);
+            x::durability(sessions);
+            x::replay(from, to);
             x::kernels(reps.max(20));
             x::local_scaling_exp();
             x::spike_sorting_exp();

@@ -12,7 +12,7 @@ use scalo_core::session::SessionSpec;
 use scalo_core::ScaloConfig;
 use scalo_data::ieeg::{generate as gen_ieeg, IeegConfig, SeizureEvent};
 use scalo_data::spikes::{generate as gen_spikes, SpikeConfig};
-use scalo_fleet::{AdmissionEvent, Fleet, FleetConfig, FleetReport};
+use scalo_fleet::{AdmissionEvent, AdmitError, DurabilityConfig, Fleet, FleetConfig, FleetReport};
 use scalo_lsh::eval::{
     calibrated_threshold, generate_pairs, hash_error_histogram, total_error_rate,
 };
@@ -898,8 +898,8 @@ pub fn fleet_trial(sessions: usize, workers: usize, quantum: usize) -> (FleetRep
             .with_budget(16.0 * sessions as f64),
     );
     for spec in fleet_population(sessions) {
-        let admitted = fl.submit(spec);
-        assert!(admitted, "population is sized to fit the budget");
+        fl.submit(spec)
+            .expect("population is sized to fit the budget");
     }
     let (report, served) = scalo_alloc::measure(|| fl.run());
     let allocs_per_window = served.heap_ops() as f64 / report.windows.max(1) as f64;
@@ -1021,20 +1021,25 @@ pub fn fleet(sessions: usize) {
         let spec = SessionSpec::new(id as u64, 0xad0 + id as u64)
             .with_duration_s(0.3)
             .with_priority(priority);
-        assert!(fl.submit(spec));
+        fl.submit(spec).expect("showcase population fits");
     }
     // Equal-priority arrival with no headroom: rejected, nothing shed.
-    let rejected = !fl.submit(
-        SessionSpec::new(5, 0xad5)
-            .with_duration_s(0.3)
-            .with_priority(1),
+    let rejected = matches!(
+        fl.submit(
+            SessionSpec::new(5, 0xad5)
+                .with_duration_s(0.3)
+                .with_priority(1),
+        ),
+        Err(AdmitError::BudgetExhausted { .. })
     );
     // Emergency arrival: sheds the newest lowest-priority session.
-    let admitted = fl.submit(
-        SessionSpec::new(6, 0xad6)
-            .with_duration_s(0.3)
-            .with_priority(9),
-    );
+    let admitted = fl
+        .submit(
+            SessionSpec::new(6, 0xad6)
+                .with_duration_s(0.3)
+                .with_priority(9),
+        )
+        .is_ok();
     let rows: Vec<Vec<String>> = fl
         .admission()
         .log()
@@ -1112,7 +1117,8 @@ pub fn traced_fleet_trial(sessions: usize, workers: usize) -> FleetReport {
             .with_budget(16.0 * sessions.max(1) as f64),
     );
     for spec in traced_population(sessions.max(1)) {
-        assert!(fl.submit(spec), "population is sized to fit the budget");
+        fl.submit(spec)
+            .expect("population is sized to fit the budget");
     }
     fl.run()
 }
@@ -1219,6 +1225,323 @@ pub fn trace(sessions: usize) {
         ),
         Err(e) => eprintln!("\ncould not write trace.json: {e}"),
     }
+}
+
+/// Root for the WAL directories the durability experiments write,
+/// keyed by experiment name so reruns never scan each other's logs.
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target"))
+        .join("scalo-wal")
+        .join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Durability under a seeded crash schedule: measures write-ahead log
+/// overhead on a clean run, then kills the fleet twice mid-run,
+/// recovers from the log each time, and proves the merged decisions are
+/// byte-identical to an uninterrupted baseline. Writes
+/// `BENCH_durability.json` at the repo root.
+pub fn durability(sessions: usize) {
+    use rand::{Rng, SeedableRng};
+    let sessions = sessions.clamp(2, 64);
+    header(&format!(
+        "Durability: {sessions} sessions, write-ahead log + kill/recover/replay"
+    ));
+
+    // Uninterrupted baseline — the digest ground truth, and the wall
+    // time the log overhead is measured against.
+    let mut plain = Fleet::new(FleetConfig::new(2).with_budget(16.0 * sessions as f64));
+    for spec in fleet_population(sessions) {
+        plain.submit(spec).expect("population fits the budget");
+    }
+    let baseline = plain.run();
+    let baseline_digests: std::collections::BTreeMap<u64, String> = baseline
+        .sessions
+        .iter()
+        .map(|s| (s.id, s.digest.clone()))
+        .collect();
+
+    // Clean durable run: same decisions, plus a log. This is where the
+    // steady-state overhead numbers come from.
+    let dcfg = DurabilityConfig::new(wal_dir("durability-clean"));
+    let mut durable = Fleet::open_durable(
+        FleetConfig::new(2).with_budget(16.0 * sessions as f64),
+        &dcfg,
+    )
+    .expect("WAL dir is writable");
+    for spec in fleet_population(sessions) {
+        durable.submit(spec).expect("population fits the budget");
+    }
+    let logged = durable.run();
+    let d = logged
+        .durability
+        .clone()
+        .expect("durable run reports WAL stats");
+    assert!(d.clean_shutdown && d.error.is_none(), "clean run: {d:?}");
+    let logged_digests: std::collections::BTreeMap<u64, String> = logged
+        .sessions
+        .iter()
+        .map(|s| (s.id, s.digest.clone()))
+        .collect();
+    assert_eq!(
+        baseline_digests, logged_digests,
+        "logging must observe, never steer"
+    );
+    let bytes_per_window = d.appended_bytes as f64 / logged.windows.max(1) as f64;
+    let wall_overhead_pct = 100.0 * (logged.wall_ms - baseline.wall_ms) / baseline.wall_ms;
+    table(
+        &[
+            "run", "wall ms", "records", "log KiB", "pad KiB", "pages", "fsyncs", "B/window",
+            "nvm µs",
+        ],
+        &[vec![
+            "clean".into(),
+            f(logged.wall_ms, 1),
+            d.records.to_string(),
+            f(d.appended_bytes as f64 / 1024.0, 1),
+            f(d.padding_bytes as f64 / 1024.0, 1),
+            d.pages_written.to_string(),
+            d.fsyncs.to_string(),
+            f(bytes_per_window, 1),
+            f(d.nvm_time_us, 0),
+        ]],
+    );
+    println!(
+        "baseline {} ms → logged {} ms ({}{}% wall overhead; timing is noisy, bytes are not)",
+        f(baseline.wall_ms, 1),
+        f(logged.wall_ms, 1),
+        if wall_overhead_pct >= 0.0 { "+" } else { "" },
+        f(wall_overhead_pct, 1),
+    );
+
+    // Crash schedule: two seeded kills inside (30%, 60%) of the total
+    // window count — early enough that no session has finished, so the
+    // final report alone carries every session's digest.
+    let total_windows = baseline.windows;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5ca1_0dbe);
+    let kills = [
+        rng.gen_range(total_windows * 3 / 10..total_windows * 6 / 10),
+        rng.gen_range(total_windows * 3 / 10..total_windows * 6 / 10),
+    ];
+    let dcfg = DurabilityConfig::new(wal_dir("durability-crash"));
+    let mut fleet = Fleet::open_durable(
+        FleetConfig::new(2)
+            .with_budget(16.0 * sessions as f64)
+            .with_halt_after_windows(kills[0]),
+        &dcfg,
+    )
+    .expect("WAL dir is writable");
+    for spec in fleet_population(sessions) {
+        fleet.submit(spec).expect("population fits the budget");
+    }
+    let mut merged: std::collections::BTreeMap<u64, String> = std::collections::BTreeMap::new();
+    let mut absorb = |r: &FleetReport| {
+        for s in &r.sessions {
+            merged.insert(s.id, s.digest.clone());
+        }
+    };
+    absorb(&fleet.run());
+
+    let mut recovery_rows = Vec::new();
+    let mut recoveries = Vec::new();
+    for (i, halt) in [Some(kills[1]), None].into_iter().enumerate() {
+        let mut cfg = FleetConfig::new(2).with_budget(16.0 * sessions as f64);
+        if let Some(h) = halt {
+            cfg = cfg.with_halt_after_windows(h);
+        }
+        let (fleet, rec) = Fleet::recover(cfg, &dcfg).expect("recovery succeeds");
+        recovery_rows.push(vec![
+            format!("recovery {}", i + 1),
+            rec.sessions_recovered.to_string(),
+            rec.windows_replayed.to_string(),
+            rec.log_records.to_string(),
+            rec.torn_bytes.to_string(),
+            f(rec.recovery_ms, 2),
+        ]);
+        recoveries.push(rec);
+        absorb(&fleet.run());
+    }
+    table(
+        &["", "sessions", "replayed", "log recs", "torn B", "ms"],
+        &recovery_rows,
+    );
+    let digests_match = merged == baseline_digests;
+    println!(
+        "kill at {:?} windows; merged digests match uninterrupted baseline: {}",
+        kills,
+        if digests_match { "yes" } else { "NO (bug)" }
+    );
+    assert!(digests_match, "recovered decisions diverged from baseline");
+
+    let recoveries_json = recoveries
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"sessions_recovered\":{},\"windows_replayed\":{},\"log_records\":{},\
+                 \"torn_bytes\":{},\"recovery_ms\":{:.3}}}",
+                r.sessions_recovered,
+                r.windows_replayed,
+                r.log_records,
+                r.torn_bytes,
+                r.recovery_ms
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let body = format!(
+        "{{\"bench\":\"durability\",\"sessions\":{sessions},\"windows\":{},\
+         \"digests_match\":{digests_match},\
+         \"log\":{{\"records\":{},\"appended_bytes\":{},\"padding_bytes\":{},\
+         \"bytes_per_window\":{bytes_per_window:.2},\"pages_written\":{},\"fsyncs\":{},\
+         \"segments\":{},\"nvm_time_us\":{:.1}}},\
+         \"kills\":[{},{}],\"recoveries\":[{recoveries_json}]}}\n",
+        logged.windows,
+        d.records,
+        d.appended_bytes,
+        d.padding_bytes,
+        d.pages_written,
+        d.fsyncs,
+        d.segments,
+        d.nvm_time_us,
+        kills[0],
+        kills[1],
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_durability.json");
+    match std::fs::write(path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_durability.json: {e}"),
+    }
+}
+
+/// Time-travel replay of windows `[from, to)` for deadline-miss
+/// forensics: serves the traced population durably, then — for each
+/// session — restores the latest logged checkpoint at or before `from`,
+/// re-executes just the requested range with span tracing on, verifies
+/// every re-executed window against the logged decision digest, and
+/// attributes the range's deadline misses by stage.
+pub fn replay(from: usize, to: usize) {
+    use scalo_core::session::Session;
+    use scalo_core::snapshot::SessionSnapshot;
+    use scalo_storage::wal::{WalRecord, WalScan};
+    use scalo_trace::attribute_range;
+
+    let (from, to) = (from.min(to), to.max(from + 1));
+    header(&format!(
+        "Replay forensics: windows [{from}, {to}), {TRACE_DEADLINE_US} µs budget"
+    ));
+
+    // The log under forensics: a durable run of the traced population.
+    // A tight checkpoint cadence keeps the restore-and-fast-forward
+    // distance to any requested range short.
+    let dir = wal_dir("replay");
+    let dcfg = DurabilityConfig::new(&dir).with_checkpoint_every_windows(16);
+    let mut fleet = Fleet::open_durable(FleetConfig::new(2).with_budget(16.0 * 4.0), &dcfg)
+        .expect("WAL dir is writable");
+    for spec in traced_population(4) {
+        fleet.submit(spec).expect("population fits the budget");
+    }
+    let live = fleet.run();
+    println!(
+        "serving pass logged {} windows across {} sessions\n",
+        live.windows,
+        live.sessions.len()
+    );
+
+    // Fold the log into per-session snapshots + decision digests.
+    let scan = WalScan::open(&dir).expect("log scans clean after a clean shutdown");
+    let mut snapshots: std::collections::BTreeMap<u64, Vec<SessionSnapshot>> = Default::default();
+    let mut decisions: std::collections::BTreeMap<u64, std::collections::BTreeMap<u32, u64>> =
+        Default::default();
+    for rec in &scan.records {
+        match rec {
+            WalRecord::Admit { session, snapshot }
+            | WalRecord::Checkpoint { session, snapshot } => {
+                let snap = SessionSnapshot::decode(snapshot).expect("logged snapshot decodes");
+                snapshots.entry(*session).or_default().push(snap);
+            }
+            WalRecord::Decision {
+                session,
+                window,
+                digest,
+            } => {
+                decisions
+                    .entry(*session)
+                    .or_default()
+                    .insert(*window, *digest);
+            }
+            WalRecord::Shed { .. } | WalRecord::Done { .. } => {}
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut all_misses = 0usize;
+    for (&id, snaps) in &snapshots {
+        // Latest checkpoint at or before `from` (the admit snapshot at
+        // window 0 always qualifies).
+        let snap = snaps
+            .iter()
+            .filter(|s| s.window as usize <= from)
+            .max_by_key(|s| s.window)
+            .expect("admit snapshot bounds every range");
+        let mut session = Session::restore(snap).expect("logged checkpoint restores");
+        let to = to.min(session.windows_total());
+        let mut window = snap.window as usize;
+        while window < from && !session.is_done() {
+            session.step();
+            window += 1;
+        }
+        // Only the range under forensics is traced; the fast-forward
+        // stays dark so attribution sees exactly [from, to).
+        session.set_trace_capacity(16_384);
+        let logged = &decisions[&id];
+        let mut verified = 0usize;
+        while window < to && !session.is_done() {
+            let out = session.step();
+            let digest = session.step_digest();
+            assert_eq!(
+                logged.get(&(out.window as u32)),
+                Some(&digest),
+                "session {id} window {} replayed a different decision",
+                out.window
+            );
+            verified += 1;
+            window += 1;
+        }
+        let events = session.take_trace_events();
+        let breakdowns = attribute_range(&events, from as u32, to as u32);
+        let miss_report = deadline_miss_report(&breakdowns, TRACE_DEADLINE_US * 1_000);
+        all_misses += miss_report.misses.len();
+        let dominant = miss_report
+            .misses
+            .iter()
+            .map(|m| m.dominant)
+            .next()
+            .map_or("-".to_string(), |s| s.name().to_string());
+        rows.push(vec![
+            id.to_string(),
+            format!("{}..{}", snap.window, to),
+            verified.to_string(),
+            miss_report.windows.to_string(),
+            miss_report.misses.len().to_string(),
+            dominant,
+        ]);
+    }
+    table(
+        &[
+            "session",
+            "replayed",
+            "verified",
+            "attributed",
+            "misses",
+            "first dominant",
+        ],
+        &rows,
+    );
+    println!(
+        "\nevery replayed window matched its logged decision digest; \
+         {all_misses} deadline misses attributed in the range"
+    );
 }
 
 /// One before/after row of the kernel microbenchmark.

@@ -59,11 +59,11 @@ impl LoopRun {
 /// relay each intent to the prosthesis and stimulate sensory feedback
 /// when the prosthesis reports contact (here: velocity reversal, a
 /// simple mechanical event).
-pub fn run_external_loop(session: &Session, nodes: usize) -> LoopRun {
+pub fn run_external_loop(session: &Session, nodes: usize) -> Result<LoopRun, String> {
     assert!(nodes >= 1, "need at least one implant");
     let half = session.states.len() / 2;
     let model = fit_kalman(&session.states[..half], &session.features[..half])
-        .expect("synthetic session features are finite");
+        .map_err(|e| format!("external loop: Kalman fit on session features failed: {e}"))?;
     let mut kf = KalmanFilter::new(model);
     let mut stim = StimEngine::new();
 
@@ -83,7 +83,9 @@ pub fn run_external_loop(session: &Session, nodes: usize) -> LoopRun {
         .zip(&session.states[half..])
         .enumerate()
     {
-        let est = kf.step(z).expect("regularised model");
+        let est = kf
+            .step(z)
+            .map_err(|e| format!("external loop: Kalman step {t} failed: {e}"))?;
         let decoded = (est[2], est[3]);
         err += (decoded.0 - truth[2]).abs() + (decoded.1 - truth[3]).abs();
 
@@ -95,7 +97,7 @@ pub fn run_external_loop(session: &Session, nodes: usize) -> LoopRun {
         if reversal {
             latency += hop_ms + stim_setup_ms;
             stim.stimulate(t as u64 * 50_000, StimCommand::standard_burst(0))
-                .expect("standard burst valid");
+                .map_err(|e| format!("external loop: feedback stimulation rejected: {e}"))?;
             stimulated = true;
         }
         steps.push(LoopStep {
@@ -106,16 +108,16 @@ pub fn run_external_loop(session: &Session, nodes: usize) -> LoopRun {
         });
     }
     let n = steps.len().max(1);
-    LoopRun {
+    Ok(LoopRun {
         velocity_error: err / (2 * n) as f64,
         max_latency_ms: steps.iter().map(|s| s.latency_ms).fold(0.0, f64::max),
         feedback_count: stim.log().len(),
         steps,
-    }
+    })
 }
 
 /// Convenience: run the loop on a fresh synthetic session.
-pub fn run_default_loop(nodes: usize, seed: u64) -> LoopRun {
+pub fn run_default_loop(nodes: usize, seed: u64) -> Result<LoopRun, String> {
     let session = generate_session(160, 8 * nodes.max(1), seed);
     run_external_loop(&session, nodes)
 }
@@ -127,7 +129,7 @@ mod tests {
     #[test]
     fn loop_meets_the_50ms_deadline() {
         for nodes in [1usize, 2, 4] {
-            let run = run_default_loop(nodes, 42);
+            let run = run_default_loop(nodes, 42).unwrap();
             assert!(
                 run.meets_deadline(),
                 "{nodes} nodes: worst {} ms",
@@ -139,7 +141,7 @@ mod tests {
 
     #[test]
     fn decoding_tracks_the_reach() {
-        let run = run_default_loop(4, 7);
+        let run = run_default_loop(4, 7).unwrap();
         assert!(
             run.velocity_error < 0.3,
             "velocity error {}",
@@ -151,7 +153,7 @@ mod tests {
     fn direction_reversals_trigger_sensory_feedback() {
         // The synthetic task switches target every 8 windows, so the
         // decode half contains several reversals.
-        let run = run_default_loop(2, 11);
+        let run = run_default_loop(2, 11).unwrap();
         assert!(run.feedback_count >= 2, "{}", run.feedback_count);
         assert_eq!(
             run.feedback_count,
@@ -161,7 +163,7 @@ mod tests {
 
     #[test]
     fn feedback_adds_latency_only_on_contact_steps() {
-        let run = run_default_loop(2, 13);
+        let run = run_default_loop(2, 13).unwrap();
         let with: Vec<_> = run.steps.iter().filter(|s| s.feedback_stimulated).collect();
         let without: Vec<_> = run
             .steps

@@ -11,6 +11,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use scalo_data::split::split_channels;
 use scalo_ml::kalman::{fit_kalman, KalmanFilter, KalmanScratch};
+use scalo_ml::matrix::SingularMatrixError;
 use scalo_ml::nn::{demo_network, DistributedNn};
 use scalo_ml::svm::{DistributedSvm, LinearSvm};
 
@@ -125,23 +126,25 @@ pub fn svm_accuracy(session: &Session, nodes: usize) -> f64 {
                 ds.aggregate(&partials).0
             })
             .collect();
-        let pred = decision
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("4 classes");
+        let mut pred = 0;
+        for (i, v) in decision.iter().enumerate() {
+            if *v > decision[pred] {
+                pred = i;
+            }
+        }
         correct += usize::from(pred == d);
     }
     correct as f64 / (session.features.len() - half) as f64
 }
 
 /// Pipeline B: the centralised Kalman filter. Returns the mean absolute
-/// velocity error on the second half (trained on the first half).
-pub fn kalman_velocity_error(session: &Session) -> f64 {
+/// velocity error on the second half (trained on the first half), or
+/// the singularity the fit/filter hit — possible only if the session's
+/// feature covariance degenerates, which synthetic tuning noise
+/// prevents in practice.
+pub fn kalman_velocity_error(session: &Session) -> Result<f64, SingularMatrixError> {
     let half = session.states.len() / 2;
-    let model = fit_kalman(&session.states[..half], &session.features[..half])
-        .expect("synthetic session features are finite");
+    let model = fit_kalman(&session.states[..half], &session.features[..half])?;
     let mut kf = KalmanFilter::new(model);
     // One scratch for the whole decode loop: steady-state filter steps
     // reuse its buffers instead of allocating per observation.
@@ -149,11 +152,11 @@ pub fn kalman_velocity_error(session: &Session) -> f64 {
     let mut err = 0.0;
     let mut count = 0;
     for (z, truth) in session.features[half..].iter().zip(&session.states[half..]) {
-        let est = kf.step_with(z, &mut scratch).expect("regularised model");
+        let est = kf.step_with(z, &mut scratch)?;
         err += (est[2] - truth[2]).abs() + (est[3] - truth[3]).abs();
         count += 1;
     }
-    err / (2 * count) as f64
+    Ok(err / (2 * count) as f64)
 }
 
 /// Pipeline C: the decomposed shallow NN. Verifies distributed equals
@@ -206,7 +209,7 @@ mod tests {
 
     #[test]
     fn kalman_tracks_velocity() {
-        let err = kalman_velocity_error(&session());
+        let err = kalman_velocity_error(&session()).unwrap();
         assert!(err < 0.3, "velocity error {err}");
     }
 

@@ -142,6 +142,26 @@ pub fn q3_all_data(system: &Scalo, from_us: u64, to_us: u64) -> QueryAnswer {
     }
 }
 
+/// Why a compiled query could not be evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryRunError {
+    /// The DAG contains a hash/collision-check stage but the caller
+    /// supplied no template hash to match against.
+    MissingTemplateHash,
+}
+
+impl std::fmt::Display for QueryRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingTemplateHash => {
+                write!(f, "hash query needs a template hash to match against")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryRunError {}
+
 /// Executes a compiled query-language DAG against the system: the §3.7
 /// path from Listing 2 to data. Dispatch is structural — a
 /// `seizure_detect` selection runs Q1, a hash operator runs Q2 (against
@@ -154,7 +174,7 @@ pub fn run_compiled_query(
     from_us: u64,
     to_us: u64,
     template_hash: Option<&SignalHash>,
-) -> QueryAnswer {
+) -> Result<QueryAnswer, QueryRunError> {
     // Apply any slice from the DAG's selections.
     let (mut from, mut to) = (from_us, to_us);
     for op in &dag.operators {
@@ -181,12 +201,12 @@ pub fn run_compiled_query(
         .iter()
         .any(|op| matches!(op, Operator::Hash { .. } | Operator::CollisionCheck));
     if wants_detection {
-        q1_seizure_signals(system, from, to)
+        Ok(q1_seizure_signals(system, from, to))
     } else if wants_hash {
-        let h = template_hash.expect("hash query needs a template hash");
-        q2_template_match(system, h, from, to)
+        let h = template_hash.ok_or(QueryRunError::MissingTemplateHash)?;
+        Ok(q2_template_match(system, h, from, to))
     } else {
-        q3_all_data(system, from, to)
+        Ok(q3_all_data(system, from, to))
     }
 }
 
@@ -262,7 +282,7 @@ mod tests {
         .unwrap();
         // Nominal range covers only the first loud window (t = 20 ms);
         // the DAG's ±100 ms slice widens it to all of them.
-        let ans = run_compiled_query(&dag, &sys, 20_000, 20_000, None);
+        let ans = run_compiled_query(&dag, &sys, 20_000, 20_000, None).unwrap();
         assert_eq!(ans.matches.len(), 20, "slice widened the range");
     }
 
@@ -276,7 +296,7 @@ mod tests {
             MeasureHasher::Ssh(h) => h.hash(&w),
             MeasureHasher::Emd(h) => h.hash(&w),
         };
-        let ans = run_compiled_query(&dag, &sys, 0, 40_000, Some(&template_hash));
+        let ans = run_compiled_query(&dag, &sys, 0, 40_000, Some(&template_hash)).unwrap();
         assert!(ans.matches.len() >= 20);
     }
 
@@ -284,8 +304,19 @@ mod tests {
     fn compiled_plain_query_runs_as_q3() {
         let sys = loaded_system();
         let dag = scalo_query::compile("var q = stream.window(wsize=4ms)").unwrap();
-        let ans = run_compiled_query(&dag, &sys, 8_000, 16_000, None);
+        let ans = run_compiled_query(&dag, &sys, 8_000, 16_000, None).unwrap();
         assert_eq!(ans.matches.len(), 12);
+    }
+
+    #[test]
+    fn hash_query_without_template_is_a_clean_error() {
+        let sys = loaded_system();
+        let dag =
+            scalo_query::compile("var q = stream.window(wsize=4ms).hash(dtw).ccheck()").unwrap();
+        assert_eq!(
+            run_compiled_query(&dag, &sys, 0, 40_000, None).map(|a| a.bytes),
+            Err(QueryRunError::MissingTemplateHash)
+        );
     }
 
     #[test]

@@ -110,6 +110,39 @@ impl RunState {
     pub fn is_done(&self) -> bool {
         self.window >= self.windows_total
     }
+
+    /// Folds every protocol decision in the state into `h`, for the
+    /// per-window step digests the durability log records. Strictly
+    /// scalar reads — no allocation, no formatting.
+    pub fn fold_digest(&self, h: &mut crate::snapshot::Fnv64) {
+        h.write_u64(self.window as u64);
+        match self.origin_detect {
+            Some((w, node)) => {
+                h.write_u64(1);
+                h.write_u64(w as u64);
+                h.write_u64(node as u64);
+            }
+            None => h.write_u64(0),
+        }
+        match self.first_detect_window {
+            Some(w) => {
+                h.write_u64(1);
+                h.write_u64(w as u64);
+            }
+            None => h.write_u64(0),
+        }
+        h.write_u64(self.failovers as u64);
+        h.write_u64(self.hash_drops as u64);
+        for c in &self.confirmed {
+            match c {
+                Some(delay_ms) => {
+                    h.write_u64(1);
+                    h.write_f64(*delay_ms);
+                }
+                None => h.write_u64(0),
+            }
+        }
+    }
 }
 
 /// The application harness.
@@ -154,6 +187,13 @@ impl SeizureApp {
     /// The underlying system.
     pub fn system(&self) -> &Scalo {
         &self.system
+    }
+
+    /// The application RNG's stream position in 32-bit words — a
+    /// verification cursor for snapshot/restore: two runs that agree on
+    /// the word position have consumed the same draw sequence.
+    pub fn rng_word_pos(&self) -> u64 {
+        self.rng.get_word_pos() as u64
     }
 
     /// Mutable access to the underlying system (fault plans, membership

@@ -126,30 +126,33 @@ fn shape_distance(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// SCALO's classifier: hash shortlist → exact DTW among survivors.
+/// `None` when there are no templates to compare against.
 fn classify_filtered(
     hasher: &SshHasher,
     waveform: &[f64],
     templates: &[(usize, SignalHash, Vec<f64>)],
-) -> (usize, usize) {
+) -> Option<(usize, usize)> {
     let h = hasher.hash(waveform);
     let mut by_hash: Vec<&(usize, SignalHash, Vec<f64>)> = templates.iter().collect();
     by_hash.sort_by_key(|(_, th, _)| h.hamming(th));
-    let shortlist = &by_hash[..shortlist_size(by_hash.len())];
+    let shortlist = &by_hash[..shortlist_size(by_hash.len()).min(by_hash.len())];
     let best = shortlist
         .iter()
         .min_by(|a, b| shape_distance(waveform, &a.2).total_cmp(&shape_distance(waveform, &b.2)))
-        .map(|t| t.0)
-        .expect("templates present");
-    (best, shortlist.len())
+        .map(|t| t.0)?;
+    Some((best, shortlist.len()))
 }
 
-/// The exhaustive baseline: exact DTW against every template.
-fn classify_exhaustive(waveform: &[f64], templates: &[(usize, SignalHash, Vec<f64>)]) -> usize {
+/// The exhaustive baseline: exact DTW against every template. `None`
+/// when there are no templates to compare against.
+fn classify_exhaustive(
+    waveform: &[f64],
+    templates: &[(usize, SignalHash, Vec<f64>)],
+) -> Option<usize> {
     templates
         .iter()
         .min_by(|a, b| shape_distance(waveform, &a.2).total_cmp(&shape_distance(waveform, &b.2)))
         .map(|t| t.0)
-        .expect("templates present")
 }
 
 /// Sorts a dataset both ways and scores against ground truth.
@@ -179,8 +182,14 @@ pub fn sort_dataset(dataset: &SpikeDataset) -> SortResult {
         };
         result.labelled += 1;
         let waveform = reanchor(&dataset.recording, s.peak_index);
-        let (hash_pred, compared) = classify_filtered(&hasher, &waveform, &templates);
-        let exact_pred = classify_exhaustive(&waveform, &templates);
+        // A template-less dataset classifies nothing; every spike stays
+        // unlabelled rather than panicking mid-sort.
+        let Some((hash_pred, compared)) = classify_filtered(&hasher, &waveform, &templates) else {
+            continue;
+        };
+        let Some(exact_pred) = classify_exhaustive(&waveform, &templates) else {
+            continue;
+        };
         result.hash_correct += usize::from(hash_pred == truth);
         result.exact_correct += usize::from(exact_pred == truth);
         result.filtered_comparisons += compared;

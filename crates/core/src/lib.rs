@@ -40,6 +40,7 @@ pub mod membership;
 pub mod node;
 pub mod runtime;
 pub mod session;
+pub mod snapshot;
 pub mod sntp;
 pub mod stim;
 pub mod system;
@@ -47,5 +48,6 @@ pub mod workspace;
 
 pub use config::ScaloConfig;
 pub use session::{Session, SessionSpec};
+pub use snapshot::{SessionSnapshot, SnapshotError};
 pub use system::Scalo;
 pub use workspace::Workspace;

@@ -15,6 +15,7 @@
 use crate::apps::movement;
 use crate::apps::seizure::{PropagationRun, RunState, SeizureApp, WINDOW_US};
 use crate::config::ScaloConfig;
+use crate::snapshot::{fnv1a, Fnv64, SessionSnapshot, SnapshotError};
 use crate::workspace::Workspace;
 use scalo_data::ieeg::{generate, IeegConfig, MultiSiteRecording, SeizureEvent};
 use scalo_trace::{Recorder, SpanEvent, Stage};
@@ -309,7 +310,12 @@ impl Session {
                     }
                     1 => {
                         tr.begin(Stage::Kalman);
-                        let v = movement::kalman_velocity_error(ms);
+                        // A singular fit is a function of the seeded
+                        // features alone, so the sentinel is just as
+                        // deterministic as a real decode — every
+                        // replica and every replay lands on the same
+                        // value, and digests cannot fork on it.
+                        let v = movement::kalman_velocity_error(ms).unwrap_or(f64::MAX);
                         tr.end(Stage::Kalman);
                         v
                     }
@@ -378,6 +384,131 @@ impl Session {
             sim_us: self.app.system().now_us(),
             run: SeizureApp::snapshot(&self.state),
         }
+    }
+
+    /// A cheap, allocation-free fingerprint of every decision made so
+    /// far: the run-state scalars, medium statistics, membership and
+    /// scheduling history lengths, movement results, and the simulation
+    /// clock, folded through FNV-1a. The write-ahead log records one of
+    /// these per window, so recovery can verify deterministic replay
+    /// window-by-window without formatting the full
+    /// [`Self::decision_digest`] string on the hot path. Wall-clock
+    /// values are excluded, exactly as in the full digest.
+    pub fn step_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.state.fold_digest(&mut h);
+        let sys = self.app.system();
+        let stats = sys.stats();
+        h.write_u64(stats.transmissions as u64);
+        h.write_u64(stats.corrupted as u64);
+        h.write_u64(stats.dropped as u64);
+        h.write_u64(stats.retransmissions as u64);
+        h.write_u64(stats.duplicates as u64);
+        h.write_u64(stats.acks_lost as u64);
+        h.write_u64(stats.heartbeats as u64);
+        h.write_u64(sys.membership_log().len() as u64);
+        h.write_u64(sys.schedule_decisions().len() as u64);
+        h.write_u64(sys.now_us());
+        h.write_u64(self.movement_results.len() as u64);
+        for &(round, value) in &self.movement_results {
+            h.write_u64(round as u64);
+            h.write_f64(value);
+        }
+        h.finish()
+    }
+
+    /// Captures a serializable image of the session at the current
+    /// window boundary: spec, cursors, RNG position, movement results,
+    /// and the digest cursor. Pair with [`Self::restore`].
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            spec: self.spec.clone(),
+            window: self.state.window() as u64,
+            steps: self.steps,
+            deadline_misses: self.deadline_misses,
+            wall_us: self.wall_us,
+            rng_word_pos: self.app.rng_word_pos(),
+            movement_results: self
+                .movement_results
+                .iter()
+                .map(|&(r, v)| (r as u64, v))
+                .collect(),
+            step_digest: self.step_digest(),
+            decisions_fnv: fnv1a(self.decision_digest().as_bytes()),
+        }
+    }
+
+    /// Reconstructs a session at `snap`'s window cursor.
+    ///
+    /// Sessions are pure functions of their seed, so restoration is
+    /// deterministic re-execution: rebuild from the spec (recording
+    /// regenerated, detectors retrained) and fast-forward window by
+    /// window to the cursor — with the modeled radio stall suppressed,
+    /// so recovery runs at compute speed rather than simulated-radio
+    /// speed. The snapshot's digest cursor and RNG position are then
+    /// verified byte-for-byte; any divergence (a corrupted image that
+    /// beat the checksum, or code whose decisions drifted from the
+    /// logged run) is an error, never a silently different session.
+    /// Wall-clock accounting (steps, misses, stepping time) is carried
+    /// over from the snapshot, not from the fast-forward.
+    pub fn restore(snap: &SessionSnapshot) -> Result<Self, SnapshotError> {
+        let mut session = Self::new(snap.spec.clone());
+        let stall = session.spec.io_stall_us;
+        session.spec.io_stall_us = 0;
+        while (session.state.window() as u64) < snap.window && !session.state.is_done() {
+            session.step();
+        }
+        session.spec.io_stall_us = stall;
+        // Fast-forward spans are re-execution artifacts, not serving
+        // history: drop them so post-recovery traces start clean.
+        session.workspace.trace.clear();
+        let replayed = session.step_digest();
+        if replayed != snap.step_digest {
+            return Err(SnapshotError::DigestMismatch {
+                session: snap.spec.id,
+                window: snap.window,
+                stored: snap.step_digest,
+                replayed,
+            });
+        }
+        let decisions = fnv1a(session.decision_digest().as_bytes());
+        if decisions != snap.decisions_fnv {
+            return Err(SnapshotError::DigestMismatch {
+                session: snap.spec.id,
+                window: snap.window,
+                stored: snap.decisions_fnv,
+                replayed: decisions,
+            });
+        }
+        if session.app.rng_word_pos() != snap.rng_word_pos {
+            return Err(SnapshotError::DigestMismatch {
+                session: snap.spec.id,
+                window: snap.window,
+                stored: snap.rng_word_pos,
+                replayed: session.app.rng_word_pos(),
+            });
+        }
+        session.steps = snap.steps;
+        session.deadline_misses = snap.deadline_misses;
+        session.wall_us = snap.wall_us;
+        session.movement_results = snap
+            .movement_results
+            .iter()
+            .map(|&(r, v)| (r as usize, v))
+            .collect();
+        Ok(session)
+    }
+
+    /// Re-arms (or disables, with 0) the span recorder with a ring of
+    /// `capacity` events. Used by time-travel replay to trace sessions
+    /// whose original serving run was untraced.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.spec.trace_capacity = capacity;
+        self.workspace.trace = if capacity > 0 {
+            Recorder::with_capacity(capacity, self.spec.electrodes)
+        } else {
+            Recorder::disabled()
+        };
     }
 
     /// A deterministic byte-for-byte digest of every decision the

@@ -1,0 +1,154 @@
+//! Property-based coverage for the snapshot codec, plus the
+//! snapshot → restore → resume equivalence the durability layer rests
+//! on.
+
+use proptest::prelude::*;
+use scalo_core::session::{Session, SessionSpec};
+use scalo_core::snapshot::{SessionSnapshot, SnapshotError};
+
+fn arb_spec() -> impl Strategy<Value = SessionSpec> {
+    (
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u8>(),
+            1usize..5,
+            1usize..9,
+            0.1f64..2.0,
+        ),
+        (
+            0.0f64..1e-3,
+            any::<bool>(),
+            0usize..40,
+            1u64..20_000,
+            0u64..500,
+            0usize..4096,
+        ),
+    )
+        .prop_map(
+            |(
+                (id, seed, priority, nodes, electrodes, duration_s),
+                (
+                    ber,
+                    use_reliable_transport,
+                    movement_every,
+                    step_deadline_us,
+                    io_stall_us,
+                    trace_capacity,
+                ),
+            )| SessionSpec {
+                id,
+                seed,
+                priority,
+                nodes,
+                electrodes,
+                duration_s,
+                ber,
+                use_reliable_transport,
+                movement_every,
+                step_deadline_us,
+                io_stall_us,
+                trace_capacity,
+            },
+        )
+}
+
+fn arb_snapshot() -> impl Strategy<Value = SessionSnapshot> {
+    (
+        arb_spec(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), -1e12f64..1e12), 0..20),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |(
+                spec,
+                (window, steps, deadline_misses, wall_us),
+                (rng_word_pos, movement_results, step_digest, decisions_fnv),
+            )| SessionSnapshot {
+                spec,
+                window,
+                steps,
+                deadline_misses,
+                wall_us,
+                rng_word_pos,
+                movement_results,
+                step_digest,
+                decisions_fnv,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_is_identity(snap in arb_snapshot()) {
+        let bytes = snap.encode();
+        prop_assert_eq!(SessionSnapshot::decode(&bytes), Ok(snap));
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected(snap in arb_snapshot(), frac in 0.0f64..1.0) {
+        let bytes = snap.encode();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(
+            SessionSnapshot::decode(&bytes[..cut]).is_err(),
+            "a {cut}-byte prefix of {} decoded", bytes.len()
+        );
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(snap in arb_snapshot(), pos in any::<u64>(), bit in 0u8..8) {
+        let mut bytes = snap.encode();
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << bit;
+        let decoded = SessionSnapshot::decode(&bytes);
+        prop_assert!(decoded.is_err(), "flip at byte {i} bit {bit} decoded");
+    }
+}
+
+/// The load-bearing equivalence: a session restored from an encoded
+/// snapshot and run to completion makes byte-identical decisions to the
+/// session that never stopped.
+#[test]
+fn restore_resumes_byte_identical() {
+    let spec = SessionSpec::new(5, 0xc0ffee)
+        .with_duration_s(0.4)
+        .with_movement_every(20);
+    let mut original = Session::new(spec.clone());
+    for _ in 0..37 {
+        original.step();
+    }
+    let image = original.snapshot().encode();
+
+    let snap = SessionSnapshot::decode(&image).unwrap();
+    let mut restored = Session::restore(&snap).unwrap();
+    assert_eq!(restored.step_digest(), original.step_digest());
+
+    while !original.step().done {}
+    while !restored.step().done {}
+    assert_eq!(restored.decision_digest(), original.decision_digest());
+    let (a, b) = (original.report(), restored.report());
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.run, b.run);
+}
+
+/// A tampered digest cursor must fail restore loudly.
+#[test]
+fn restore_rejects_forged_digest_cursor() {
+    let mut session = Session::new(SessionSpec::new(6, 0xf00).with_duration_s(0.3));
+    for _ in 0..10 {
+        session.step();
+    }
+    let mut snap = session.snapshot();
+    snap.step_digest ^= 1;
+    assert!(matches!(
+        Session::restore(&snap),
+        Err(SnapshotError::DigestMismatch { session: 6, .. })
+    ));
+}

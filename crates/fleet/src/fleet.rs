@@ -2,12 +2,15 @@
 //! middle, metrics and per-session decision digests on the way out.
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionEvent};
+use crate::durable::{DurabilityConfig, DurabilityError, FleetLogger, RecoveryReport};
 use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::pool::{self, PoolReport, Quantum, WorkUnit};
 use scalo_core::session::{Session, SessionSpec};
 use scalo_trace::SpanEvent;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -21,6 +24,11 @@ pub struct FleetConfig {
     pub quantum_steps: usize,
     /// Admission-control budget.
     pub admission: AdmissionConfig,
+    /// Kill switch for crash-recovery experiments: halt the whole pool
+    /// after this many fleet-wide windows, *without* the final WAL sync
+    /// a clean shutdown performs — buffered log records are genuinely
+    /// lost, exactly as in a process kill.
+    pub halt_after_windows: Option<u64>,
 }
 
 impl FleetConfig {
@@ -31,6 +39,7 @@ impl FleetConfig {
             workers,
             quantum_steps: 8,
             admission: AdmissionConfig::default(),
+            halt_after_windows: None,
         }
     }
 
@@ -46,7 +55,54 @@ impl FleetConfig {
         self.admission = AdmissionConfig { budget };
         self
     }
+
+    /// Arms the seeded-kill switch: the run halts (un-synced) after
+    /// `windows` fleet-wide windows.
+    pub fn with_halt_after_windows(mut self, windows: u64) -> Self {
+        assert!(windows >= 1, "a kill at window 0 serves nothing");
+        self.halt_after_windows = Some(windows);
+        self
+    }
 }
+
+/// Why a [`Fleet::submit`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmitError {
+    /// The session does not fit the remaining admission budget, even
+    /// after shedding every strictly lower-priority session.
+    BudgetExhausted {
+        /// The offered session's cost.
+        cost: f64,
+        /// Budget headroom after hypothetical shedding.
+        headroom: f64,
+    },
+    /// The id was already submitted (a caller bug, not a capacity
+    /// condition).
+    DuplicateId {
+        /// The colliding id.
+        id: u64,
+    },
+    /// The id was admitted earlier and then shed by a higher-priority
+    /// submission; it is not silently resurrected.
+    Shed {
+        /// The shed id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BudgetExhausted { cost, headroom } => {
+                write!(f, "admission: cost {cost} exceeds headroom {headroom}")
+            }
+            Self::DuplicateId { id } => write!(f, "admission: id {id} already submitted"),
+            Self::Shed { id } => write!(f, "admission: id {id} was shed; not resubmitting"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
 
 /// Where a submitted session ended up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +161,32 @@ pub struct FleetReport {
     pub pool: PoolReport,
     /// The metrics registry's JSON export (counters + histograms).
     pub metrics_json: String,
+    /// Write-ahead-log accounting (durable fleets only).
+    pub durability: Option<DurabilitySummary>,
+}
+
+/// Write-ahead-log accounting for one durable run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilitySummary {
+    /// Records appended.
+    pub records: u64,
+    /// Frame bytes appended (padding excluded).
+    pub appended_bytes: u64,
+    /// Zero bytes spent sealing pages at fsync points.
+    pub padding_bytes: u64,
+    /// Pages programmed.
+    pub pages_written: u64,
+    /// Fsync points.
+    pub fsyncs: u64,
+    /// Segment files created.
+    pub segments: u64,
+    /// Modeled NVM time spent programming log pages, µs.
+    pub nvm_time_us: f64,
+    /// Whether the run ended with a final sync (false after a
+    /// [`FleetConfig::halt_after_windows`] kill).
+    pub clean_shutdown: bool,
+    /// The first log-append failure, if any.
+    pub error: Option<String>,
 }
 
 impl FleetReport {
@@ -148,12 +230,31 @@ impl FleetReport {
         }
         let _ = write!(
             out,
-            "],\"rejected\":{:?},\"shed\":{:?},\"admission_events\":{},\"metrics\":{}}}",
+            "],\"rejected\":{:?},\"shed\":{:?},\"admission_events\":{},\"metrics\":{}",
             self.rejected,
             self.shed,
             admission_log_json(&self.admission_log),
             self.metrics_json,
         );
+        if let Some(d) = &self.durability {
+            let _ = write!(
+                out,
+                ",\"wal\":{{\"records\":{},\"appended_bytes\":{},\"padding_bytes\":{},\"pages_written\":{},\"fsyncs\":{},\"segments\":{},\"nvm_time_us\":{:.1},\"clean_shutdown\":{},\"error\":{}}}",
+                d.records,
+                d.appended_bytes,
+                d.padding_bytes,
+                d.pages_written,
+                d.fsyncs,
+                d.segments,
+                d.nvm_time_us,
+                d.clean_shutdown,
+                match &d.error {
+                    Some(e) => format!("{:?}", e),
+                    None => "null".to_string(),
+                },
+            );
+        }
+        out.push('}');
         out
     }
 }
@@ -205,10 +306,47 @@ struct FleetJob {
     session_latency: Arc<Histogram>,
     steps: Arc<Counter>,
     misses: Arc<Counter>,
+    /// Write-ahead logging (durable fleets only).
+    logger: Option<Arc<FleetLogger>>,
+    /// Fleet-wide window counter feeding the kill switch.
+    windows_stepped: Arc<AtomicU64>,
+    /// Kill switch: once set, every job returns immediately.
+    halted: Arc<AtomicBool>,
+    halt_after_windows: Option<u64>,
+}
+
+impl FleetJob {
+    /// Per-window durability hooks: one decision record per window
+    /// (allocation-free), a checkpoint snapshot every cadence windows,
+    /// and a completion record. A log failure halts the fleet — it must
+    /// never keep serving while silently losing its history.
+    fn log_window(&mut self, window: usize, done: bool) {
+        let Some(logger) = &self.logger else { return };
+        let id = self.session.id();
+        let digest = self.session.step_digest();
+        let mut result = logger.log_decision(id, window as u32, digest);
+        if result.is_ok() {
+            let completed = window as u64 + 1;
+            if !done && completed.is_multiple_of(logger.checkpoint_every_windows()) {
+                result = logger.log_checkpoint(&self.session);
+            }
+            if done && result.is_ok() {
+                let fnv = fnv1a(self.session.decision_digest().as_bytes());
+                result = logger.log_done(id, fnv);
+            }
+        }
+        if let Err(e) = result {
+            logger.poison(e);
+            self.halted.store(true, Ordering::Relaxed);
+        }
+    }
 }
 
 impl WorkUnit for FleetJob {
     fn run_quantum(&mut self) -> Quantum {
+        if self.halted.load(Ordering::Relaxed) {
+            return Quantum::Done;
+        }
         // Close any pending run-queue gap as a `queue` span (no-op when
         // the session's recorder is disabled).
         self.session.note_scheduled();
@@ -220,7 +358,18 @@ impl WorkUnit for FleetJob {
             if out.deadline_missed {
                 self.misses.incr();
             }
+            self.log_window(out.window, out.done);
+            if let Some(halt) = self.halt_after_windows {
+                if self.windows_stepped.fetch_add(1, Ordering::Relaxed) + 1 >= halt {
+                    // The kill: stop the pool mid-flight, no final sync.
+                    self.halted.store(true, Ordering::Relaxed);
+                    return Quantum::Done;
+                }
+            }
             if out.done {
+                return Quantum::Done;
+            }
+            if self.halted.load(Ordering::Relaxed) {
                 return Quantum::Done;
             }
         }
@@ -238,6 +387,7 @@ pub struct Fleet {
     metrics: Arc<MetricsRegistry>,
     active: Vec<Session>,
     states: BTreeMap<u64, (u8, SubmitState)>,
+    logger: Option<Arc<FleetLogger>>,
 }
 
 impl Fleet {
@@ -250,7 +400,68 @@ impl Fleet {
             metrics: Arc::new(MetricsRegistry::new()),
             active: Vec::new(),
             states: BTreeMap::new(),
+            logger: None,
         }
+    }
+
+    /// An empty durable fleet: admissions, per-window decisions, and
+    /// periodic checkpoints are written ahead to the log at `dcfg.dir`,
+    /// so a killed process can [`Self::recover`].
+    pub fn open_durable(
+        cfg: FleetConfig,
+        dcfg: &DurabilityConfig,
+    ) -> Result<Self, DurabilityError> {
+        let mut fleet = Self::new(cfg);
+        fleet.logger = Some(Arc::new(FleetLogger::open(dcfg, &fleet.metrics)?));
+        Ok(fleet)
+    }
+
+    /// Recovers a durable fleet from the log at `dcfg.dir`: every
+    /// admitted-but-unfinished session is reconstructed at its last
+    /// checkpoint and re-run to the log head with byte-identical digests
+    /// asserted window by window (see [`crate::durable::recover_sessions`]).
+    /// Recovered sessions are re-admitted, re-checkpointed into a fresh
+    /// log segment (bounding the next recovery), and the fleet is ready
+    /// to [`Self::run`] the remainder.
+    pub fn recover(
+        cfg: FleetConfig,
+        dcfg: &DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), DurabilityError> {
+        let (sessions, report) = crate::durable::recover_sessions(&dcfg.dir)?;
+        let mut fleet = Self::new(cfg);
+        let logger = Arc::new(FleetLogger::open(dcfg, &fleet.metrics)?);
+        for session in sessions {
+            let spec = session.spec();
+            let decision = fleet
+                .admission
+                .offer(spec.id, spec.priority, spec.cost_estimate());
+            if !decision.admitted || !decision.shed.is_empty() {
+                // Same specs, same budget: re-admission shedding or
+                // refusing means the configs diverged from the logged
+                // run — refuse to limp along with a partial fleet.
+                return Err(DurabilityError::ReadmissionFailed { session: spec.id });
+            }
+            fleet
+                .states
+                .insert(spec.id, (spec.priority, SubmitState::Admitted));
+            logger.log_checkpoint(&session)?;
+            fleet.active.push(session);
+        }
+        fleet.logger = Some(logger);
+        fleet.metrics.counter("fleet.recoveries").incr();
+        fleet
+            .metrics
+            .counter("fleet.recovered_sessions")
+            .add(report.sessions_recovered as u64);
+        fleet
+            .metrics
+            .counter("fleet.replayed_windows")
+            .add(report.windows_replayed);
+        fleet
+            .metrics
+            .histogram("fleet.recovery_ms")
+            .observe(report.recovery_ms as u64);
+        Ok((fleet, report))
     }
 
     /// The fleet's metrics registry.
@@ -263,6 +474,11 @@ impl Fleet {
         &self.admission
     }
 
+    /// The write-ahead logger (durable fleets only).
+    pub fn logger(&self) -> Option<&Arc<FleetLogger>> {
+        self.logger.as_ref()
+    }
+
     /// Where each submitted session currently stands.
     pub fn submit_state(&self, id: u64) -> Option<SubmitState> {
         self.states.get(&id).map(|&(_, s)| s)
@@ -271,25 +487,28 @@ impl Fleet {
     /// Offers a session to the fleet. On admission the session is built
     /// (recording generated, detectors trained) and queued; sessions
     /// the admission controller shed to make room are dropped from the
-    /// queue. Returns whether the session was admitted.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `spec.id` was already submitted.
-    pub fn submit(&mut self, spec: SessionSpec) -> bool {
-        assert!(
-            !self.states.contains_key(&spec.id),
-            "session id {} already submitted",
-            spec.id
-        );
-        let decision = self
-            .admission
-            .offer(spec.id, spec.priority, spec.cost_estimate());
+    /// queue. Refusals say why: budget pressure ([`AdmitError::
+    /// BudgetExhausted`]), an id collision ([`AdmitError::DuplicateId`]),
+    /// or an earlier eviction ([`AdmitError::Shed`]).
+    pub fn submit(&mut self, spec: SessionSpec) -> Result<(), AdmitError> {
+        match self.states.get(&spec.id) {
+            Some(&(_, SubmitState::Shed)) => return Err(AdmitError::Shed { id: spec.id }),
+            Some(_) => return Err(AdmitError::DuplicateId { id: spec.id }),
+            None => {}
+        }
+        let cost = spec.cost_estimate();
+        let decision = self.admission.offer(spec.id, spec.priority, cost);
         if !decision.admitted {
             self.states
                 .insert(spec.id, (spec.priority, SubmitState::Rejected));
             self.metrics.counter("fleet.rejected").incr();
-            return false;
+            // The controller logged the post-hypothetical-shed headroom
+            // with its rejection; surface that number to the caller.
+            let headroom = match self.admission.log().last() {
+                Some(AdmissionEvent::Rejected { headroom, .. }) => *headroom,
+                _ => self.admission.headroom(),
+            };
+            return Err(AdmitError::BudgetExhausted { cost, headroom });
         }
         for victim in decision.shed {
             self.active.retain(|s| s.id() != victim);
@@ -297,16 +516,30 @@ impl Fleet {
                 st.1 = SubmitState::Shed;
             }
             self.metrics.counter("fleet.shed").incr();
+            if let Some(logger) = &self.logger {
+                if let Err(e) = logger.log_shed(victim) {
+                    logger.poison(e);
+                }
+            }
         }
         self.states
             .insert(spec.id, (spec.priority, SubmitState::Admitted));
         self.metrics.counter("fleet.admitted").incr();
-        self.active.push(Session::new(spec));
-        true
+        let session = Session::new(spec);
+        if let Some(logger) = &self.logger {
+            if let Err(e) = logger.log_admit(&session) {
+                logger.poison(e);
+            }
+        }
+        self.active.push(session);
+        Ok(())
     }
 
-    /// Runs every admitted session to completion and reports.
+    /// Runs every admitted session to completion (or to the
+    /// [`FleetConfig::halt_after_windows`] kill point) and reports.
     pub fn run(mut self) -> FleetReport {
+        let windows_stepped = Arc::new(AtomicU64::new(0));
+        let halted = Arc::new(AtomicBool::new(false));
         let jobs: Vec<FleetJob> = self
             .active
             .drain(..)
@@ -320,6 +553,10 @@ impl Fleet {
                     steps: self.metrics.counter("fleet.steps"),
                     misses: self.metrics.counter("fleet.deadline_misses"),
                     quantum_steps: self.cfg.quantum_steps,
+                    logger: self.logger.clone(),
+                    windows_stepped: Arc::clone(&windows_stepped),
+                    halted: Arc::clone(&halted),
+                    halt_after_windows: self.cfg.halt_after_windows,
                     session,
                 }
             })
@@ -327,6 +564,29 @@ impl Fleet {
         let t0 = Instant::now();
         let (done, pool_report) = pool::run_to_completion(jobs, self.cfg.workers);
         let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+
+        // A clean shutdown seals and fsyncs the log tail; a halted run
+        // deliberately skips this — the kill loses the buffered tail.
+        let durability = self.logger.as_ref().map(|logger| {
+            let clean_shutdown = !halted.load(Ordering::Relaxed);
+            if clean_shutdown {
+                if let Err(e) = logger.finish() {
+                    logger.poison(e);
+                }
+            }
+            let stats = logger.stats();
+            DurabilitySummary {
+                records: stats.records,
+                appended_bytes: stats.appended_bytes,
+                padding_bytes: stats.padding_bytes,
+                pages_written: stats.pages_written,
+                fsyncs: stats.fsyncs,
+                segments: stats.segments,
+                nvm_time_us: logger.cost().time_us,
+                clean_shutdown,
+                error: logger.error_string(),
+            }
+        });
 
         // Per-stage histogram handles for the trace merge below, resolved
         // lazily (name formatting + registry lock once per *stage*, not
@@ -344,10 +604,13 @@ impl Fleet {
                 // per-stage latency histograms, alongside the counters
                 // the step loop already feeds.
                 for ev in &trace {
-                    let idx = scalo_trace::Stage::ALL
-                        .iter()
-                        .position(|s| *s == ev.stage)
-                        .expect("every span stage appears in Stage::ALL");
+                    // Stage::ALL covers every stage the recorder can
+                    // emit; a span outside it (a future stage this
+                    // build predates) is skipped, not a crash.
+                    let Some(idx) = scalo_trace::Stage::ALL.iter().position(|s| *s == ev.stage)
+                    else {
+                        continue;
+                    };
                     stage_hists[idx]
                         .get_or_insert_with(|| {
                             self.metrics
@@ -393,6 +656,7 @@ impl Fleet {
             admission_log: self.admission.log().to_vec(),
             pool: pool_report,
             metrics_json: self.metrics.to_json(),
+            durability,
         }
     }
 }
@@ -409,7 +673,7 @@ mod tests {
     fn serves_a_small_fleet() {
         let mut fleet = Fleet::new(FleetConfig::new(2).with_quantum_steps(4));
         for id in 0..3 {
-            assert!(fleet.submit(small_spec(id)));
+            fleet.submit(small_spec(id)).unwrap();
         }
         let report = fleet.run();
         assert_eq!(report.sessions.len(), 3);
@@ -431,7 +695,7 @@ mod tests {
         let run = |quantum: usize| {
             let mut fleet = Fleet::new(FleetConfig::new(1).with_quantum_steps(quantum));
             for id in 0..3 {
-                assert!(fleet.submit(small_spec(id)));
+                fleet.submit(small_spec(id)).unwrap();
             }
             fleet.run()
         };
@@ -449,7 +713,9 @@ mod tests {
         let run = |cap: usize| {
             let mut fleet = Fleet::new(FleetConfig::new(2).with_quantum_steps(3));
             for id in 0..3 {
-                assert!(fleet.submit(small_spec(id).with_trace_capacity(cap)));
+                fleet
+                    .submit(small_spec(id).with_trace_capacity(cap))
+                    .unwrap();
             }
             fleet.run()
         };
@@ -478,8 +744,14 @@ mod tests {
     #[test]
     fn over_budget_submission_is_rejected_not_run() {
         let mut fleet = Fleet::new(FleetConfig::new(1).with_budget(8.0));
-        assert!(fleet.submit(small_spec(1)));
-        assert!(!fleet.submit(small_spec(2)), "budget 8 fits one cost-8");
+        fleet.submit(small_spec(1)).unwrap();
+        assert!(
+            matches!(
+                fleet.submit(small_spec(2)),
+                Err(AdmitError::BudgetExhausted { .. })
+            ),
+            "budget 8 fits one cost-8"
+        );
         assert_eq!(fleet.submit_state(2), Some(SubmitState::Rejected));
         let report = fleet.run();
         assert_eq!(report.sessions.len(), 1);
@@ -489,9 +761,9 @@ mod tests {
     #[test]
     fn higher_priority_sheds_queued_lower_priority() {
         let mut fleet = Fleet::new(FleetConfig::new(1).with_budget(16.0));
-        assert!(fleet.submit(small_spec(1).with_priority(1)));
-        assert!(fleet.submit(small_spec(2).with_priority(1)));
-        assert!(fleet.submit(small_spec(3).with_priority(7)));
+        fleet.submit(small_spec(1).with_priority(1)).unwrap();
+        fleet.submit(small_spec(2).with_priority(1)).unwrap();
+        fleet.submit(small_spec(3).with_priority(7)).unwrap();
         assert_eq!(fleet.submit_state(2), Some(SubmitState::Shed));
         let report = fleet.run();
         let ids: Vec<u64> = report.sessions.iter().map(|s| s.id).collect();

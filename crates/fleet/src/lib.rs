@@ -15,7 +15,11 @@
 //! * [`metrics`] — atomic counters and fixed-bucket latency histograms
 //!   for per-session and fleet-wide step latency, deadline misses, and
 //!   throughput, exported as JSON;
-//! * [`fleet`] — the serving loop tying the three together.
+//! * [`fleet`] — the serving loop tying the three together;
+//! * [`durable`] — write-ahead durability: admissions, per-window
+//!   decision digests, and periodic checkpoints in a page-structured
+//!   log (`scalo_storage::wal`), with crash recovery by deterministic
+//!   re-execution and digest-verified replay.
 //!
 //! Determinism is the load-bearing property: a session owns all of its
 //! state and wall-clock timing feeds metrics only, so the same set of
@@ -30,18 +34,24 @@
 //!
 //! let mut fleet = Fleet::new(FleetConfig::new(2));
 //! for id in 0..4 {
-//!     fleet.submit(SessionSpec::new(id, 0xbc1 + id).with_duration_s(0.3));
+//!     fleet
+//!         .submit(SessionSpec::new(id, 0xbc1 + id).with_duration_s(0.3))
+//!         .unwrap();
 //! }
 //! let report = fleet.run();
 //! assert_eq!(report.sessions.len(), 4);
 //! ```
 
 pub mod admission;
+pub mod durable;
 pub mod fleet;
 pub mod metrics;
 pub mod pool;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionEvent};
-pub use fleet::{Fleet, FleetConfig, FleetReport, SessionServing, SubmitState};
+pub use durable::{DurabilityConfig, DurabilityError, FleetLogger, RecoveryReport};
+pub use fleet::{
+    AdmitError, DurabilitySummary, Fleet, FleetConfig, FleetReport, SessionServing, SubmitState,
+};
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use pool::{PoolReport, Quantum, WorkUnit};

@@ -173,22 +173,27 @@ impl MetricsRegistry {
     }
 
     /// The counter named `name`, created on first use.
+    ///
+    /// Poisoned registry locks are neutralized (`into_inner`): the maps
+    /// only ever grow by inserting `Arc`s, so a panic in another thread
+    /// cannot leave them half-updated, and observability should keep
+    /// working while that panic propagates.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("metrics lock");
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("metrics lock");
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
     /// Serialises every metric as one JSON object:
     /// `{"counters":{...},"histograms":{...}}`.
     pub fn to_json(&self) -> String {
-        let counters = self.counters.lock().expect("metrics lock");
-        let histograms = self.histograms.lock().expect("metrics lock");
+        let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::from("{\"counters\":{");
         for (i, (name, c)) in counters.iter().enumerate() {
             if i > 0 {

@@ -80,12 +80,16 @@ pub fn run_to_completion<J: WorkUnit>(jobs: Vec<J>, workers: usize) -> (Vec<J>, 
         quanta: AtomicU64::new(0),
         steals: AtomicU64::new(0),
     };
-    // Round-robin initial placement across the shards.
+    // Round-robin initial placement across the shards. Lock poisoning
+    // is neutralized throughout (`into_inner`): a poisoned shard means
+    // another worker panicked, and the queue itself is still a
+    // consistent VecDeque — draining it lets the surviving workers
+    // finish before `thread::scope` re-raises the original panic.
     for (idx, job) in jobs.into_iter().enumerate() {
         pool.shards[idx % workers]
             .queue
             .lock()
-            .expect("shard lock")
+            .unwrap_or_else(|e| e.into_inner())
             .push_back((idx, job));
     }
     std::thread::scope(|s| {
@@ -102,7 +106,7 @@ pub fn run_to_completion<J: WorkUnit>(jobs: Vec<J>, workers: usize) -> (Vec<J>, 
     let finished = pool
         .finished
         .into_inner()
-        .expect("finished lock")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .map(|j| j.expect("every job retired"))
         .collect();
@@ -116,14 +120,17 @@ fn worker_loop<J: WorkUnit>(pool: &Pool<J>, me: usize) {
             // The timeout (rather than pure signalling) keeps the exit
             // path simple — a worker re-checks `pending` at worst 1 ms
             // after the last job retires.
-            let guard = pool.shards[me].queue.lock().expect("shard lock");
+            let guard = pool.shards[me]
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
             if pool.pending.load(Ordering::Acquire) == 0 {
                 break;
             }
             let _ = pool.shards[me]
                 .cv
                 .wait_timeout(guard, Duration::from_millis(1))
-                .expect("shard lock");
+                .unwrap_or_else(|e| e.into_inner());
             continue;
         };
         pool.quanta.fetch_add(1, Ordering::Relaxed);
@@ -132,7 +139,7 @@ fn worker_loop<J: WorkUnit>(pool: &Pool<J>, me: usize) {
         }
         match job.run_quantum() {
             Quantum::Done => {
-                pool.finished.lock().expect("finished lock")[idx] = Some(job);
+                pool.finished.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(job);
                 if pool.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                     for shard in &pool.shards {
                         shard.cv.notify_all();
@@ -143,7 +150,7 @@ fn worker_loop<J: WorkUnit>(pool: &Pool<J>, me: usize) {
                 pool.shards[me]
                     .queue
                     .lock()
-                    .expect("shard lock")
+                    .unwrap_or_else(|e| e.into_inner())
                     .push_back((idx, job));
                 pool.shards[me].cv.notify_one();
             }
@@ -157,7 +164,7 @@ fn take_job<J>(pool: &Pool<J>, me: usize) -> Option<(usize, J, bool)> {
     if let Some((idx, job)) = pool.shards[me]
         .queue
         .lock()
-        .expect("shard lock")
+        .unwrap_or_else(|e| e.into_inner())
         .pop_front()
     {
         return Some((idx, job, false));
@@ -168,7 +175,7 @@ fn take_job<J>(pool: &Pool<J>, me: usize) -> Option<(usize, J, bool)> {
         if let Some((idx, job)) = pool.shards[victim]
             .queue
             .lock()
-            .expect("shard lock")
+            .unwrap_or_else(|e| e.into_inner())
             .pop_back()
         {
             return Some((idx, job, true));

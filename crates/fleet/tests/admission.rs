@@ -2,7 +2,7 @@
 //! lowest-priority-first shedding.
 
 use scalo_core::session::SessionSpec;
-use scalo_fleet::{AdmissionEvent, Fleet, FleetConfig, SubmitState};
+use scalo_fleet::{AdmissionEvent, AdmitError, Fleet, FleetConfig, SubmitState};
 
 fn spec(id: u64, priority: u8) -> SessionSpec {
     SessionSpec::new(id, 0xace + id)
@@ -14,10 +14,13 @@ fn spec(id: u64, priority: u8) -> SessionSpec {
 fn over_budget_submission_is_rejected() {
     // Default small sessions cost 8 each; budget 20 fits two.
     let mut fleet = Fleet::new(FleetConfig::new(2).with_budget(20.0));
-    assert!(fleet.submit(spec(1, 3)));
-    assert!(fleet.submit(spec(2, 3)));
+    fleet.submit(spec(1, 3)).unwrap();
+    fleet.submit(spec(2, 3)).unwrap();
     assert!(
-        !fleet.submit(spec(3, 3)),
+        matches!(
+            fleet.submit(spec(3, 3)),
+            Err(AdmitError::BudgetExhausted { .. })
+        ),
         "third equal-priority session overflows"
     );
     assert_eq!(fleet.submit_state(3), Some(SubmitState::Rejected));
@@ -42,17 +45,27 @@ fn shedding_evicts_strictly_lowest_priority_first() {
     // then force an 8-unit high-priority arrival: the two priority-1
     // sessions must go (newest first), never the priority-2 or -4 ones.
     let mut fleet = Fleet::new(FleetConfig::new(2).with_budget(32.0));
-    assert!(fleet.submit(spec(10, 1)));
-    assert!(fleet.submit(spec(11, 2)));
-    assert!(fleet.submit(spec(12, 1)));
-    assert!(fleet.submit(spec(13, 4)));
+    fleet.submit(spec(10, 1)).unwrap();
+    fleet.submit(spec(11, 2)).unwrap();
+    fleet.submit(spec(12, 1)).unwrap();
+    fleet.submit(spec(13, 4)).unwrap();
 
     // Needs room for 16: shed both priority-1 sessions, id 12 before 10.
     let big = SessionSpec::new(14, 0xace + 14)
         .with_duration_s(0.3)
         .with_priority(9)
         .with_deployment(4, 4); // cost 16
-    assert!(fleet.submit(big));
+    fleet.submit(big).unwrap();
+    assert_eq!(
+        fleet.submit(spec(12, 9)),
+        Err(AdmitError::Shed { id: 12 }),
+        "a shed id is not silently resurrected"
+    );
+    assert_eq!(
+        fleet.submit(spec(11, 9)),
+        Err(AdmitError::DuplicateId { id: 11 }),
+        "resubmitting an admitted id is a caller bug"
+    );
 
     let shed_order: Vec<u64> = fleet
         .admission()
@@ -77,7 +90,13 @@ fn shedding_evicts_strictly_lowest_priority_first() {
 #[test]
 fn equal_priority_never_displaces() {
     let mut fleet = Fleet::new(FleetConfig::new(1).with_budget(8.0));
-    assert!(fleet.submit(spec(1, 5)));
-    assert!(!fleet.submit(spec(2, 5)), "first come, first served");
+    fleet.submit(spec(1, 5)).unwrap();
+    assert!(
+        matches!(
+            fleet.submit(spec(2, 5)),
+            Err(AdmitError::BudgetExhausted { .. })
+        ),
+        "first come, first served"
+    );
     assert_eq!(fleet.submit_state(1), Some(SubmitState::Admitted));
 }

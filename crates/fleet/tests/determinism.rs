@@ -31,7 +31,9 @@ fn population() -> Vec<SessionSpec> {
 fn digests(workers: usize, quantum: usize) -> BTreeMap<u64, String> {
     let mut fleet = Fleet::new(FleetConfig::new(workers).with_quantum_steps(quantum));
     for spec in population() {
-        assert!(fleet.submit(spec), "population fits the default budget");
+        fleet
+            .submit(spec)
+            .expect("population fits the default budget");
     }
     fleet
         .run()

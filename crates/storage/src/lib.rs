@@ -12,12 +12,15 @@
 //!
 //! Modules: [`nvm`] (the device), [`partition`] (ring-buffer partitions),
 //! [`layout`] (interleaved vs chunked cost model), [`controller`] (the SC
-//! PE).
+//! PE), [`wal`] (the fleet's page-structured write-ahead log, charged
+//! against the same per-page cost model).
 
 pub mod controller;
 pub mod layout;
 pub mod nvm;
 pub mod partition;
+pub mod wal;
+pub mod wal_fnv;
 
 /// NVM page size in bytes (§5).
 pub const PAGE_BYTES: usize = 4 * 1024;

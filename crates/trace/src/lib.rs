@@ -58,6 +58,8 @@ pub mod report;
 pub mod span;
 pub mod stage;
 
-pub use report::{attribute, deadline_miss_report, DeadlineMissReport, WindowBreakdown};
+pub use report::{
+    attribute, attribute_range, deadline_miss_report, DeadlineMissReport, WindowBreakdown,
+};
 pub use span::{Recorder, SpanEvent};
 pub use stage::Stage;

@@ -140,6 +140,17 @@ pub fn attribute(events: &[SpanEvent]) -> Vec<WindowBreakdown> {
     out
 }
 
+/// [`attribute`] restricted to windows in `[from, to)`.
+///
+/// This is the time-travel forensics entry point: a replayed session
+/// re-executes only a window range, and the deadline-miss report for
+/// that range must not dilute its miss rate with windows outside it.
+pub fn attribute_range(events: &[SpanEvent], from: u32, to: u32) -> Vec<WindowBreakdown> {
+    let mut out = attribute(events);
+    out.retain(|b| b.window >= from && b.window < to);
+    out
+}
+
 /// One missed window: who ate the budget, and how far off the Table 1
 /// model the culprit ran.
 #[derive(Debug, Clone, PartialEq)]
@@ -357,6 +368,23 @@ mod tests {
         assert_eq!(b[0].stage_ns(Stage::Dtw), 100);
         assert_eq!(b[0].stage_ns(Stage::Other), 0);
         assert_eq!(b[0].total_ns(), b[0].wall_ns);
+    }
+
+    #[test]
+    fn attribute_range_is_half_open() {
+        let events = vec![
+            ev(Stage::Window, 3, 0, 10),
+            ev(Stage::Window, 4, 10, 20),
+            ev(Stage::Window, 5, 20, 30),
+            ev(Stage::Window, 6, 30, 40),
+        ];
+        let b = attribute_range(&events, 4, 6);
+        assert_eq!(
+            b.iter().map(|w| w.window).collect::<Vec<_>>(),
+            vec![4, 5],
+            "range must include `from` and exclude `to`"
+        );
+        assert!(attribute_range(&events, 7, 9).is_empty());
     }
 
     #[test]

@@ -27,8 +27,10 @@ fn main() {
     );
 
     // Pipeline B: the centralised Kalman filter.
-    let err = kalman_velocity_error(&session);
-    println!("Pipeline B (centralised KF): mean |velocity error| {err:.3}");
+    match kalman_velocity_error(&session) {
+        Ok(err) => println!("Pipeline B (centralised KF): mean |velocity error| {err:.3}"),
+        Err(e) => println!("Pipeline B (centralised KF): fit failed ({e})"),
+    }
 
     // Pipeline C: the decomposed shallow NN is *exactly* the centralised
     // network.
