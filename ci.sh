@@ -39,6 +39,32 @@ awk -v w="$wps" 'BEGIN {
   printf "fleet 4-worker throughput: %.1f windows/s (seed baseline 6751.2)\n", w
 }'
 
+echo "== swap smoke (10k+ admitted sessions over a 512-slot resident set) =="
+# Runs after the fleet smoke so the "swap" section lands in the fresh
+# BENCH_fleet.json. The experiment itself asserts replay-by-seed (two
+# identical trials must agree on the fleet digest) and never-swapped
+# twin equality — a failed assert exits non-zero here.
+cargo run --release -p scalo-bench --bin experiments -- swap --sessions 10240
+admitted=$(sed -n 's/.*"swap":{"sessions":\([0-9]*\).*/\1/p' BENCH_fleet.json)
+test -n "$admitted" || { echo "no swap section in BENCH_fleet.json" >&2; exit 1; }
+test "$admitted" -ge 10000 \
+  || { echo "swap smoke admitted only $admitted sessions (floor 10000)" >&2; exit 1; }
+peak=$(sed -n 's/.*"resident_peak":\([0-9]*\).*/\1/p' BENCH_fleet.json)
+test -n "$peak" && test "$peak" -le 512 \
+  || { echo "resident set exceeded its 512-slot budget: ${peak:-?}" >&2; exit 1; }
+echo "swap smoke: $admitted admitted, resident peak $peak (budget 512)"
+
+echo "== swap-fault latency regression guard =="
+# Fault-in = modeled NVM read + SCSS decode + deterministic restore
+# replay; the current model books p99 well under 50 ms. Flag anything
+# past 200 ms — that means the restore path or the image tier regressed.
+p99=$(sed -n 's/.*"swap_in_us":{"count":[0-9]*,"p50_us":[0-9]*,"p99_us":\([0-9]*\).*/\1/p' BENCH_fleet.json)
+test -n "$p99" || { echo "no swap_in_us histogram in BENCH_fleet.json" >&2; exit 1; }
+awk -v p="$p99" 'BEGIN {
+  if (p + 0 > 200000) { printf "swap-fault p99 regressed: %d us (cap 200000)\n", p; exit 1 }
+  printf "swap-fault p99: %d us (cap 200000)\n", p
+}'
+
 echo "== kernel engine smoke (batched vs per-channel microbench) =="
 cargo run --release -p scalo-bench --bin experiments -- kernels --reps 40
 test -s BENCH_kernels.json || { echo "BENCH_kernels.json missing or empty" >&2; exit 1; }

@@ -18,11 +18,12 @@ static ALLOC: scalo_alloc::CountingAllocator = scalo_alloc::CountingAllocator;
 const USAGE: &str = "usage: experiments <cmd> [--reps N] [--sessions N] [--from N --to N]\n\
    cmds: all | quick | table1 | table2 | table3 | fig8a | fig8b | fig8c |\n\
    \x20     fig9a | fig9b | fig10 | fig11 | fig12 | fig13 | fig14 | fig15a |\n\
-   \x20     fig15b | fault-tolerance | fleet | trace | durability | replay |\n\
-   \x20     kernels | local-scaling | spike-sorting | storage-layout |\n\
-   \x20     compression | external-compression\n\
+   \x20     fig15b | fault-tolerance | fleet | swap | trace | durability |\n\
+   \x20     replay | kernels | local-scaling | spike-sorting |\n\
+   \x20     storage-layout | compression | external-compression\n\
    flags: --reps N      repetitions for fig15a/fig15b/fault-tolerance (default 10)\n\
-   \x20      --sessions N  fleet size for the fleet/trace/durability experiments (default 16)\n\
+   \x20      --sessions N  fleet size for the fleet/trace/durability experiments\n\
+   \x20                    (default 16; the swap experiment defaults to 10240)\n\
    \x20      --from N --to N  window range for the replay experiment (default 20..40)";
 
 fn flag(args: &[String], name: &str, default: usize) -> usize {
@@ -59,6 +60,7 @@ fn main() {
         "fig15b" => x::fig15b(reps),
         "fault-tolerance" => x::fault_tolerance(reps),
         "fleet" => x::fleet(sessions),
+        "swap" => x::swap(flag(&args, "--sessions", 10_240)),
         "trace" => x::trace(sessions),
         "durability" => x::durability(sessions),
         "replay" => x::replay(from, to),
@@ -101,6 +103,7 @@ fn main() {
             x::fig15b(reps);
             x::fault_tolerance(reps);
             x::fleet(sessions);
+            x::swap(flag(&args, "--sessions", 10_240));
             x::trace(sessions);
             x::durability(sessions);
             x::replay(from, to);

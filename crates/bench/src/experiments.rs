@@ -12,7 +12,10 @@ use scalo_core::session::SessionSpec;
 use scalo_core::ScaloConfig;
 use scalo_data::ieeg::{generate as gen_ieeg, IeegConfig, SeizureEvent};
 use scalo_data::spikes::{generate as gen_spikes, SpikeConfig};
-use scalo_fleet::{AdmissionEvent, AdmitError, DurabilityConfig, Fleet, FleetConfig, FleetReport};
+use scalo_fleet::{
+    AdmissionEvent, AdmitError, ArrivalConfig, ArrivalPlan, DurabilityConfig, Fleet, FleetConfig,
+    FleetReport, SwapConfig, SwapFleet, SwapReport,
+};
 use scalo_lsh::eval::{
     calibrated_threshold, generate_pairs, hash_error_histogram, total_error_rate,
 };
@@ -1076,6 +1079,175 @@ pub fn fleet(sessions: usize) {
     println!("\ntraced serving pass: {spans} spans merged into the metrics registry");
     match write_bench_fleet_json(&reports, Some(&traced)) {
         Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
+    }
+}
+
+/// The swap-fleet population: `sessions` single-node implants with a
+/// mixed priority spread and a pinned closed-loop cohort at the top.
+/// Small specs keep 10k cold builds affordable; the `fleet` experiment
+/// covers full-size implants at resident scale.
+fn swap_population(sessions: u64, pinned: u64) -> Vec<SessionSpec> {
+    (0..sessions)
+        .map(|id| {
+            SessionSpec::new(id, 0x5a10 + 193 * id)
+                .with_deployment(1, 1)
+                .with_duration_s(0.2)
+                .with_priority(if id < pinned { 255 } else { (id % 5) as u8 })
+                .with_movement_every(if id % 7 == 1 { 25 } else { 0 })
+        })
+        .collect()
+}
+
+/// One open-loop serving pass over the swap fleet.
+fn swap_trial(specs: &[SessionSpec], cfg: SwapConfig, plan: &ArrivalPlan) -> SwapReport {
+    let mut fleet = SwapFleet::new(cfg);
+    for spec in specs {
+        fleet
+            .submit(spec.clone())
+            .expect("population sized to the admitted capacity");
+    }
+    fleet.run(plan)
+}
+
+/// Merges `report` into `BENCH_fleet.json` as the top-level `"swap"`
+/// section, preserving whatever the `fleet` experiment wrote (and
+/// replacing any previous swap section). Returns the path written.
+pub fn write_bench_swap_json(report: &SwapReport) -> std::io::Result<&'static str> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    let swap_json = report.to_json();
+    let base = std::fs::read_to_string(path)
+        .ok()
+        .map(|s| s.trim_end().to_string())
+        .filter(|s| s.starts_with('{') && s.ends_with('}'));
+    let body = match base {
+        Some(existing) => {
+            // The swap section is always appended last, so cutting at
+            // its key (or the closing brace) leaves the fleet payload.
+            let head = match existing.find(",\"swap\":") {
+                Some(i) => &existing[..i],
+                None => &existing[..existing.len() - 1],
+            };
+            format!("{head},\"swap\":{swap_json}}}\n")
+        }
+        None => format!("{{\"bench\":\"fleet\",\"swap\":{swap_json}}}\n"),
+    };
+    std::fs::write(path, body)?;
+    Ok(path)
+}
+
+/// `scalo-swap` at scale: 10k+ sessions admitted cold over a resident
+/// set two orders of magnitude smaller, served from a bursty open-loop
+/// arrival schedule with LRU eviction to the modeled NVM image tier.
+/// Reports deadline-miss-rate percentiles, swap-fault latency, and
+/// resident occupancy, and merges them into `BENCH_fleet.json` under
+/// `"swap"`.
+pub fn swap(sessions: usize) {
+    let sessions = sessions.max(1) as u64;
+    let resident = 512.min(sessions as usize).max(1);
+    let pinned = if resident >= 64 { 16 } else { 0 };
+    header(&format!(
+        "scalo-swap: {sessions} sessions admitted over {resident} resident slots"
+    ));
+    let specs = swap_population(sessions, pinned);
+    let plan = ArrivalPlan::generate(&ArrivalConfig {
+        horizon_us: 250_000,
+        mean_gap_us: 150_000,
+        burst_windows: 6,
+        ..ArrivalConfig::new(sessions, 0x0a5b)
+    });
+    let cfg = SwapConfig::new(4, resident)
+        .with_admitted_capacity((sessions as usize).max(16 * 1024))
+        .with_image_pages(256 * 1024);
+
+    // Two trials: min-of-reps timing plus a whole-fleet determinism
+    // check — same plan, same seeds, same fleet digest.
+    let a = swap_trial(&specs, cfg, &plan);
+    let b = swap_trial(&specs, cfg, &plan);
+    assert_eq!(
+        a.digest_fnv, b.digest_fnv,
+        "swap serving not replayable by seed"
+    );
+    let report = if b.windows_per_sec() > a.windows_per_sec() {
+        b
+    } else {
+        a
+    };
+
+    // Spot-check the tentpole property against never-swapped twins: a
+    // hot session (many fault-ins) and a quiet one must both match.
+    let mut checked = 0;
+    for s in report.sessions.iter().filter(|s| s.swap_ins > 0).take(2) {
+        let mut twin = scalo_core::session::Session::new(specs[s.id as usize].clone());
+        for _ in 0..s.windows {
+            twin.step();
+        }
+        assert_eq!(
+            s.decisions_fnv,
+            scalo_core::snapshot::fnv1a(twin.decision_digest().as_bytes()),
+            "session {} diverged from its never-swapped twin",
+            s.id
+        );
+        checked += 1;
+    }
+
+    table(
+        &["metric", "value"],
+        &[
+            vec!["admitted sessions".into(), report.admitted.to_string()],
+            vec!["resident budget".into(), report.resident_budget.to_string()],
+            vec!["resident peak".into(), report.resident_peak.to_string()],
+            vec![
+                "swapped peak bytes".into(),
+                report.nvm_image_bytes_peak.to_string(),
+            ],
+            vec!["windows served".into(), report.windows.to_string()],
+            vec!["wall ms".into(), f(report.wall_ms, 1)],
+            vec!["win/s".into(), f(report.windows_per_sec(), 0)],
+            vec![
+                "arrivals served/deferred/dropped".into(),
+                format!(
+                    "{}/{}/{}",
+                    report.arrivals_served, report.arrivals_deferred, report.arrivals_dropped
+                ),
+            ],
+            vec![
+                "cold builds / swap-outs / swap-ins".into(),
+                format!(
+                    "{}/{}/{}",
+                    report.cold_builds, report.swap_outs, report.swap_ins
+                ),
+            ],
+        ],
+    );
+    println!("\n-- deadline-miss rate (per-session distribution) --");
+    table(
+        &["overall", "p50", "p99", "p99.9"],
+        &[vec![
+            f(report.miss_rates.overall, 4),
+            f(report.miss_rates.p50, 4),
+            f(report.miss_rates.p99, 4),
+            f(report.miss_rates.p999, 4),
+        ]],
+    );
+    println!("\n-- swap-fault latency, µs (modeled NVM read + decode + restore) --");
+    table(
+        &["count", "p50", "p99", "p99.9", "max"],
+        &[vec![
+            report.swap_in_us.count.to_string(),
+            report.swap_in_us.p50_us.to_string(),
+            report.swap_in_us.p99_us.to_string(),
+            report.swap_in_us.p999_us.to_string(),
+            report.swap_in_us.max_us.to_string(),
+        ]],
+    );
+    println!(
+        "never-swapped twin cross-check: {checked} sessions byte-identical; \
+         fleet digest {:016x}",
+        report.digest_fnv
+    );
+    match write_bench_swap_json(&report) {
+        Ok(path) => println!("wrote {path} (\"swap\" section)"),
         Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
     }
 }

@@ -365,6 +365,29 @@ impl Session {
         self.workspace.trace.mark_queued();
     }
 
+    /// Records an externally timed fault-in as a [`Stage::SwapIn`] span
+    /// stamped with the next window to be stepped. The swap manager
+    /// calls this right after [`Self::restore`] — the restore that
+    /// rebuilt this session (and with it the recorder) *is* the
+    /// operation being timed, so the span duration comes from outside.
+    /// No-op when untraced.
+    pub fn note_swapped_in(&mut self, dur_ns: u64) {
+        let next = self.state.window() as u32;
+        self.workspace.trace.set_window(next);
+        self.workspace.trace.record_external(Stage::SwapIn, dur_ns);
+    }
+
+    /// Records an externally timed eviction as a [`Stage::SwapOut`]
+    /// span stamped with the next (unserved) window. The swap manager
+    /// calls this right before draining the trace and dropping the
+    /// session — the snapshot encode and NVM program being timed happen
+    /// outside any `step`. No-op when untraced.
+    pub fn note_swapped_out(&mut self, dur_ns: u64) {
+        let next = self.state.window() as u32;
+        self.workspace.trace.set_window(next);
+        self.workspace.trace.record_external(Stage::SwapOut, dur_ns);
+    }
+
     /// Drains the recorded spans (oldest first), leaving the recorder
     /// enabled with an empty ring. Used by the serving layer to export
     /// traces after a session finishes.

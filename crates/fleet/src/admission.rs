@@ -12,20 +12,37 @@
 //! priority — mirroring the membership layer's eviction idiom one level
 //! up: a deterministic, logged state machine that degrades the fleet to
 //! the highest-priority load it can serve.
+//!
+//! With `scalo-swap` the controller reasons about **two tiers**: the
+//! compute budget covers only the *resident* sessions (the ones holding
+//! DRAM state and eligible to step), while a separate
+//! [`AdmissionConfig::admitted_capacity`] bounds the *total* admitted
+//! set — resident plus swapped-to-NVM. A swapped session burns no
+//! compute, so it costs admission capacity but no budget; faulting it
+//! back in ([`AdmissionController::make_resident`]) is what must fit
+//! the budget again.
 
 use std::collections::BTreeMap;
 
 /// Admission-controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdmissionConfig {
-    /// Aggregate compute budget, in session cost units.
+    /// Aggregate compute budget over the *resident* session set, in
+    /// session cost units.
     pub budget: f64,
+    /// Maximum total admitted sessions, resident **plus** swapped
+    /// (`usize::MAX` = unbounded, the classic all-resident fleet).
+    pub admitted_capacity: usize,
 }
 
 impl Default for AdmissionConfig {
-    /// Room for sixteen of the default small sessions (cost 8 each).
+    /// Room for sixteen of the default small sessions (cost 8 each),
+    /// with no separate cap on the admitted set.
     fn default() -> Self {
-        Self { budget: 128.0 }
+        Self {
+            budget: 128.0,
+            admitted_capacity: usize::MAX,
+        }
     }
 }
 
@@ -63,6 +80,9 @@ pub enum AdmissionEvent {
 struct Entry {
     priority: u8,
     cost: f64,
+    /// Whether the session holds DRAM state (charged against the
+    /// budget) or sits swapped on NVM (charged against capacity only).
+    resident: bool,
 }
 
 /// The outcome of one [`AdmissionController::offer`].
@@ -92,9 +112,14 @@ impl AdmissionController {
         }
     }
 
-    /// Aggregate cost of the admitted set.
+    /// Aggregate cost of the **resident** admitted set (swapped
+    /// sessions burn no compute).
     pub fn used(&self) -> f64 {
-        self.admitted.values().map(|e| e.cost).sum()
+        self.admitted
+            .values()
+            .filter(|e| e.resident)
+            .map(|e| e.cost)
+            .sum()
     }
 
     /// Remaining budget.
@@ -110,6 +135,33 @@ impl AdmissionController {
     /// Whether `id` is currently admitted.
     pub fn is_admitted(&self, id: u64) -> bool {
         self.admitted.contains_key(&id)
+    }
+
+    /// Total admitted sessions (resident + swapped).
+    pub fn admitted_count(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Admitted sessions currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.admitted.values().filter(|e| e.resident).count()
+    }
+
+    /// Admitted sessions currently swapped out.
+    pub fn swapped_count(&self) -> usize {
+        self.admitted.len() - self.resident_count()
+    }
+
+    /// Whether `id` is admitted *and* resident.
+    pub fn is_resident(&self, id: u64) -> bool {
+        self.admitted.get(&id).is_some_and(|e| e.resident)
+    }
+
+    /// Remaining admitted-set capacity (resident + swapped).
+    pub fn capacity_headroom(&self) -> usize {
+        self.cfg
+            .admitted_capacity
+            .saturating_sub(self.admitted.len())
     }
 
     /// Every admission transition so far.
@@ -128,12 +180,14 @@ impl AdmissionController {
             "session id {id} already admitted"
         );
         // Plan the eviction sequence without touching state: strictly
-        // lower priority only (equal priority never displaces — first
-        // come, first served), worst candidates first.
+        // lower priority *resident* sessions only (equal priority never
+        // displaces — first come, first served; swapped sessions hold
+        // no budget, so shedding them frees nothing), worst candidates
+        // first.
         let mut candidates: Vec<(u64, Entry)> = self
             .admitted
             .iter()
-            .filter(|(_, e)| e.priority < priority)
+            .filter(|(_, e)| e.priority < priority && e.resident)
             .map(|(&i, &e)| (i, e))
             .collect();
         candidates.sort_by(|a, b| (a.1.priority, b.0).cmp(&(b.1.priority, a.0)));
@@ -147,7 +201,8 @@ impl AdmissionController {
             headroom += entry.cost;
             to_shed.push(victim);
         }
-        if headroom < cost {
+        let over_capacity = self.admitted.len() - to_shed.len() >= self.cfg.admitted_capacity;
+        if headroom < cost || over_capacity {
             self.log
                 .push(AdmissionEvent::Rejected { id, cost, headroom });
             return AdmissionDecision {
@@ -162,11 +217,80 @@ impl AdmissionController {
                 for_id: id,
             });
         }
-        self.admitted.insert(id, Entry { priority, cost });
+        self.admitted.insert(
+            id,
+            Entry {
+                priority,
+                cost,
+                resident: true,
+            },
+        );
         self.log.push(AdmissionEvent::Admitted { id, cost });
         AdmissionDecision {
             admitted: true,
             shed: to_shed,
+        }
+    }
+
+    /// Admits a session directly into the **swapped** tier (the
+    /// `scalo-swap` cold-admit path: the session exists only as a spec
+    /// until its first arrival, so it needs admitted-set capacity but
+    /// no compute budget). Returns `false`, admitting nothing, when the
+    /// admitted set is at capacity. Never sheds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already admitted.
+    pub fn offer_swapped(&mut self, id: u64, priority: u8, cost: f64) -> bool {
+        assert!(
+            !self.admitted.contains_key(&id),
+            "session id {id} already admitted"
+        );
+        if self.admitted.len() >= self.cfg.admitted_capacity {
+            self.log.push(AdmissionEvent::Rejected {
+                id,
+                cost,
+                headroom: self.headroom(),
+            });
+            return false;
+        }
+        self.admitted.insert(
+            id,
+            Entry {
+                priority,
+                cost,
+                resident: false,
+            },
+        );
+        self.log.push(AdmissionEvent::Admitted { id, cost });
+        true
+    }
+
+    /// Moves a swapped session into the resident tier (fault-in),
+    /// charging its cost against the budget. Returns `false` — leaving
+    /// the session swapped — when the budget cannot take it; the caller
+    /// (the swap manager) is expected to evict first. Never sheds. A
+    /// no-op `true` when the session is already resident.
+    pub fn make_resident(&mut self, id: u64) -> bool {
+        let Some(&Entry { cost, resident, .. }) = self.admitted.get(&id) else {
+            return false;
+        };
+        if resident {
+            return true;
+        }
+        if self.headroom() < cost {
+            return false;
+        }
+        self.admitted.get_mut(&id).expect("checked above").resident = true;
+        true
+    }
+
+    /// Moves a resident session into the swapped tier (eviction),
+    /// returning its cost to the budget. A no-op when the session is
+    /// unknown or already swapped.
+    pub fn make_swapped(&mut self, id: u64) {
+        if let Some(e) = self.admitted.get_mut(&id) {
+            e.resident = false;
         }
     }
 
@@ -190,7 +314,10 @@ mod tests {
     use super::*;
 
     fn controller(budget: f64) -> AdmissionController {
-        AdmissionController::new(AdmissionConfig { budget })
+        AdmissionController::new(AdmissionConfig {
+            budget,
+            ..AdmissionConfig::default()
+        })
     }
 
     #[test]
@@ -231,6 +358,51 @@ mod tests {
         assert!(!d.admitted);
         assert!(d.shed.is_empty());
         assert_eq!(ac.admitted_ids(), vec![1, 2], "no collateral eviction");
+    }
+
+    #[test]
+    fn swapped_tier_costs_capacity_not_budget() {
+        let mut ac = AdmissionController::new(AdmissionConfig {
+            budget: 8.0,
+            admitted_capacity: 3,
+        });
+        assert!(ac.offer(1, 1, 8.0).admitted);
+        // Budget is full, but the swapped tier still has capacity.
+        assert!(ac.offer_swapped(2, 1, 8.0));
+        assert!(ac.offer_swapped(3, 1, 8.0));
+        assert_eq!((ac.resident_count(), ac.swapped_count()), (1, 2));
+        assert!((ac.used() - 8.0).abs() < 1e-12, "swapped burn no budget");
+        // Capacity exhausted: both admit paths refuse.
+        assert!(!ac.offer_swapped(4, 1, 8.0));
+        assert!(!ac.offer(5, 1, 0.0).admitted);
+        assert_eq!(ac.capacity_headroom(), 0);
+        assert!(matches!(
+            ac.log().last(),
+            Some(AdmissionEvent::Rejected { id: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn residency_flips_charge_and_release_budget() {
+        let mut ac = AdmissionController::new(AdmissionConfig {
+            budget: 8.0,
+            admitted_capacity: 8,
+        });
+        assert!(ac.offer(1, 1, 8.0).admitted);
+        assert!(ac.offer_swapped(2, 1, 8.0));
+        assert!(!ac.make_resident(2), "budget full: stays swapped");
+        assert!(!ac.is_resident(2));
+        ac.make_swapped(1);
+        assert_eq!(ac.used(), 0.0);
+        assert!(ac.make_resident(2), "eviction freed the budget");
+        assert!(ac.is_resident(2));
+        assert!(ac.make_resident(2), "already resident is a no-op true");
+        // A swapped session is never a shedding candidate: the shed
+        // plan reaches for resident session 2, not swapped session 1.
+        let d = ac.offer(3, 9, 8.0);
+        assert!(d.admitted);
+        assert_eq!(d.shed, vec![2]);
+        assert!(ac.is_admitted(1), "swapped session untouched by shed");
     }
 
     #[test]

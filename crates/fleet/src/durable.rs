@@ -266,6 +266,37 @@ impl FleetLogger {
         Ok(())
     }
 
+    /// Logs a checkpoint from a **pre-encoded** SCSS image, synced
+    /// immediately. This is the swap manager's path: one
+    /// `SessionSnapshot::encode_into` feeds both the NVM image store
+    /// and this record, so a session's swap image and its WAL
+    /// checkpoint are byte-identical by construction (there is no
+    /// second encoder to drift).
+    pub fn log_checkpoint_image(&self, session: u64, image: &[u8]) -> Result<(), WalError> {
+        let mut inner = self.lock();
+        let mut buf = std::mem::take(&mut inner.snap_buf);
+        buf.clear();
+        buf.extend_from_slice(image);
+        let record = WalRecord::Checkpoint {
+            session,
+            snapshot: buf,
+        };
+        let res = inner.wal.append(&record);
+        inner.snap_buf = match record {
+            WalRecord::Checkpoint { snapshot, .. } => snapshot,
+            _ => unreachable!("checkpoint record only"),
+        };
+        let frame = res?;
+        inner.wal.sync()?;
+        inner.records_since_sync = 0;
+        drop(inner);
+        self.bytes.add(frame as u64);
+        self.records.incr();
+        self.checkpoints.incr();
+        self.fsyncs.incr();
+        Ok(())
+    }
+
     /// Logs one window's decision digest. Group-committed: fsynced
     /// every [`DurabilityConfig::sync_every_records`] appends.
     /// Allocation-free in steady state.

@@ -52,7 +52,7 @@ impl FleetConfig {
 
     /// Sets the admission budget.
     pub fn with_budget(mut self, budget: f64) -> Self {
-        self.admission = AdmissionConfig { budget };
+        self.admission.budget = budget;
         self
     }
 
@@ -88,6 +88,25 @@ pub enum AdmitError {
         /// The shed id.
         id: u64,
     },
+    /// The admitted-set capacity (resident **plus** swapped, the
+    /// NVM-image-backed tier) is exhausted — distinct from
+    /// [`AdmitError::BudgetExhausted`], which is about *resident*
+    /// compute.
+    CapacityExhausted {
+        /// Sessions currently admitted (resident + swapped).
+        admitted: usize,
+        /// The configured admitted-set capacity.
+        capacity: usize,
+    },
+    /// A pin-priority (never-swapped) session could not be guaranteed a
+    /// resident slot: the resident budget is already covered by pinned
+    /// sessions.
+    PinnedResidencyExhausted {
+        /// Pinned sessions already holding resident slots.
+        pinned: usize,
+        /// The resident-set budget, in sessions.
+        resident_budget: usize,
+    },
 }
 
 impl fmt::Display for AdmitError {
@@ -98,6 +117,17 @@ impl fmt::Display for AdmitError {
             }
             Self::DuplicateId { id } => write!(f, "admission: id {id} already submitted"),
             Self::Shed { id } => write!(f, "admission: id {id} was shed; not resubmitting"),
+            Self::CapacityExhausted { admitted, capacity } => write!(
+                f,
+                "admission: admitted set full ({admitted} of {capacity})"
+            ),
+            Self::PinnedResidencyExhausted {
+                pinned,
+                resident_budget,
+            } => write!(
+                f,
+                "admission: {pinned} pinned sessions already cover the resident budget of {resident_budget}"
+            ),
         }
     }
 }

@@ -19,7 +19,13 @@
 //! * [`durable`] — write-ahead durability: admissions, per-window
 //!   decision digests, and periodic checkpoints in a page-structured
 //!   log (`scalo_storage::wal`), with crash recovery by deterministic
-//!   re-execution and digest-verified replay.
+//!   re-execution and digest-verified replay;
+//! * [`swap`] — resident-set management (`scalo-swap`): cold admission
+//!   of 10k+ sessions over a bounded DRAM resident set, LRU eviction to
+//!   a modeled NVM image tier through the single SCSS snapshot codec,
+//!   priority pinning, and bounded-latency fault-in on data arrival,
+//!   driven by an open-loop bursty arrival generator
+//!   ([`swap::arrivals`]).
 //!
 //! Determinism is the load-bearing property: a session owns all of its
 //! state and wall-clock timing feeds metrics only, so the same set of
@@ -47,11 +53,14 @@ pub mod durable;
 pub mod fleet;
 pub mod metrics;
 pub mod pool;
+pub mod swap;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionEvent};
 pub use durable::{DurabilityConfig, DurabilityError, FleetLogger, RecoveryReport};
 pub use fleet::{
     AdmitError, DurabilitySummary, Fleet, FleetConfig, FleetReport, SessionServing, SubmitState,
 };
-pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use pool::{PoolReport, Quantum, WorkUnit};
+pub use swap::arrivals::{Arrival, ArrivalConfig, ArrivalPlan};
+pub use swap::{SwapConfig, SwapFleet, SwapOutcomeState, SwapReport, SwapSessionOutcome};

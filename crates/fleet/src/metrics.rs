@@ -1,5 +1,5 @@
-//! Lightweight serving metrics: named counters and fixed-bucket latency
-//! histograms, exported as JSON.
+//! Lightweight serving metrics: named counters, gauges, and
+//! fixed-bucket latency histograms, exported as JSON.
 //!
 //! The registry is the fleet's only shared-mutable state on the hot
 //! path, so it is built from atomics: workers record a step with two
@@ -31,6 +31,50 @@ impl Counter {
     /// The current count.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time level that can go up and down (resident sessions,
+/// swapped sessions, NVM image bytes). Unlike a [`Counter`] it is not
+/// monotone; `set` overwrites, `add`/`sub` adjust. `sub` saturates at
+/// zero rather than wrapping so a racy decrement cannot report 2^64.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    /// High-water mark of every value ever set (peak occupancy).
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge by `n`.
+    pub fn add(&self, n: u64) {
+        let v = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Lowers the gauge by `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// The current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever held.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
     }
 }
 
@@ -163,6 +207,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -183,6 +228,12 @@ impl MetricsRegistry {
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
@@ -190,9 +241,10 @@ impl MetricsRegistry {
     }
 
     /// Serialises every metric as one JSON object:
-    /// `{"counters":{...},"histograms":{...}}`.
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
     pub fn to_json(&self) -> String {
         let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
         let histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::from("{\"counters\":{");
         for (i, (name, c)) in counters.iter().enumerate() {
@@ -200,6 +252,19 @@ impl MetricsRegistry {
                 out.push(',');
             }
             let _ = write!(out, "{}:{}", json_string(name), c.get());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"value\":{},\"peak\":{}}}",
+                json_string(name),
+                g.get(),
+                g.peak()
+            );
         }
         out.push_str("},\"histograms\":{");
         for (i, (name, h)) in histograms.iter().enumerate() {
@@ -274,13 +339,29 @@ mod tests {
     }
 
     #[test]
+    fn gauges_set_add_sub_and_peak() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("fleet.resident_sessions");
+        g.set(5);
+        g.add(3);
+        g.sub(6);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 8);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        assert_eq!(reg.gauge("fleet.resident_sessions").get(), 0);
+    }
+
+    #[test]
     fn json_export_is_wellformed_and_ordered() {
         let reg = MetricsRegistry::new();
         reg.counter("b.steps").add(2);
         reg.counter("a.steps").add(1);
+        reg.gauge("fleet.swapped_sessions").set(7);
         reg.histogram("lat").observe(75);
         let json = reg.to_json();
         assert!(json.starts_with("{\"counters\":{\"a.steps\":1,\"b.steps\":2}"));
+        assert!(json.contains("\"gauges\":{\"fleet.swapped_sessions\":{\"value\":7,\"peak\":7}}"));
         assert!(json.contains("\"lat\":{\"bounds_us\":[50,100,"));
         assert!(json.contains("\"count\":1"));
         assert!(json.ends_with("}}"));

@@ -1,0 +1,265 @@
+//! The open-loop load generator: seeded bursty/Poisson arrivals over
+//! thousands of sessions.
+//!
+//! Each session is an independent Poisson process — its first arrival
+//! lands uniformly inside one mean gap (so a cold fleet ramps instead
+//! of stampeding), and subsequent arrivals follow exponential
+//! inter-arrival gaps. A seeded **hot fraction** of sessions arrives
+//! [`ArrivalConfig::hot_speedup`]× more often; the rest form the long
+//! tail that goes quiet between bursts — exactly the skew a resident
+//! set exploits. Arrivals are quantized into **epochs** of
+//! [`ArrivalConfig::epoch_us`]: the swap fleet serves one epoch's
+//! arrivals as a parallel batch, and multiple arrivals by one session
+//! inside one epoch merge into a single larger burst.
+//!
+//! Everything is a pure function of [`ArrivalConfig::seed`] — the plan
+//! never reads a clock, so a run is replayable by seed alone.
+
+/// One data arrival: at `at_us`, `session`'s implant has `windows`
+/// windows ready to serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time on the open-loop clock, µs.
+    pub at_us: u64,
+    /// The arriving session.
+    pub session: u64,
+    /// Windows of work this arrival carries.
+    pub windows: u32,
+}
+
+/// Load-generator knobs. See the [module docs](self) for the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalConfig {
+    /// Number of sessions (ids `base_id .. base_id + sessions`).
+    pub sessions: u64,
+    /// First session id.
+    pub base_id: u64,
+    /// Open-loop horizon, µs: no arrival lands at or past it.
+    pub horizon_us: u64,
+    /// Epoch (batch) granularity, µs.
+    pub epoch_us: u64,
+    /// Mean inter-arrival gap per cold session, µs.
+    pub mean_gap_us: u64,
+    /// Windows each arrival carries.
+    pub burst_windows: u32,
+    /// Fraction of sessions that are hot (arrive `hot_speedup`× more
+    /// often), in `0.0..=1.0`.
+    pub hot_fraction: f64,
+    /// How much shorter a hot session's mean gap is.
+    pub hot_speedup: u64,
+    /// Seed for the whole plan.
+    pub seed: u64,
+}
+
+impl ArrivalConfig {
+    /// A plan over `sessions` sessions starting at id 0: 1 s horizon,
+    /// 50 ms epochs, 400 ms mean gaps, 12-window bursts, a 10% hot
+    /// fraction arriving 8× as often.
+    pub fn new(sessions: u64, seed: u64) -> Self {
+        Self {
+            sessions,
+            base_id: 0,
+            horizon_us: 1_000_000,
+            epoch_us: 50_000,
+            mean_gap_us: 400_000,
+            burst_windows: 12,
+            hot_fraction: 0.1,
+            hot_speedup: 8,
+            seed,
+        }
+    }
+}
+
+/// A generated arrival schedule, already quantized into epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalPlan {
+    /// Arrivals per epoch, each epoch sorted by `(at_us, session)`,
+    /// with at most one (merged) arrival per session per epoch.
+    pub epochs: Vec<Vec<Arrival>>,
+    /// Total merged arrivals across all epochs.
+    pub total_arrivals: usize,
+    /// The epoch granularity the plan was quantized at, µs.
+    pub epoch_us: u64,
+}
+
+impl ArrivalPlan {
+    /// Generates the plan for `cfg`. Deterministic: a pure function of
+    /// the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon, epoch, mean gap, hot speed-up, or burst
+    /// size is zero.
+    pub fn generate(cfg: &ArrivalConfig) -> Self {
+        assert!(cfg.horizon_us > 0, "horizon must be positive");
+        assert!(cfg.epoch_us > 0, "epoch must be positive");
+        assert!(cfg.mean_gap_us > 0, "mean gap must be positive");
+        assert!(cfg.hot_speedup > 0, "hot speed-up must be positive");
+        assert!(cfg.burst_windows > 0, "a burst must carry work");
+        let n_epochs = (cfg.horizon_us.div_ceil(cfg.epoch_us)) as usize;
+        let mut epochs: Vec<Vec<Arrival>> = vec![Vec::new(); n_epochs];
+        let mut total = 0usize;
+        for s in 0..cfg.sessions {
+            let id = cfg.base_id + s;
+            // An independent RNG stream per session, so adding sessions
+            // never perturbs existing schedules.
+            let mut rng = cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let hot = unit_f64(&mut rng) < cfg.hot_fraction;
+            let gap = if hot {
+                (cfg.mean_gap_us / cfg.hot_speedup).max(1)
+            } else {
+                cfg.mean_gap_us
+            };
+            // Ramp-in: first arrival uniform within one mean gap.
+            let mut t = (unit_f64(&mut rng) * gap as f64) as u64;
+            let mut last_epoch = usize::MAX;
+            while t < cfg.horizon_us {
+                let epoch = (t / cfg.epoch_us) as usize;
+                if epoch == last_epoch {
+                    // Same epoch: merge into the session's pending
+                    // arrival (one fault-in serves the bigger burst).
+                    let merged = epochs[epoch]
+                        .iter_mut()
+                        .rfind(|a| a.session == id)
+                        .expect("merged arrival was just pushed");
+                    merged.windows = merged.windows.saturating_add(cfg.burst_windows);
+                } else {
+                    epochs[epoch].push(Arrival {
+                        at_us: t,
+                        session: id,
+                        windows: cfg.burst_windows,
+                    });
+                    total += 1;
+                    last_epoch = epoch;
+                }
+                // Exponential inter-arrival gap, at least 1 µs so the
+                // process always advances.
+                let exp = -(1.0 - unit_f64(&mut rng)).ln();
+                t += ((exp * gap as f64) as u64).max(1);
+            }
+        }
+        for epoch in &mut epochs {
+            epoch.sort_by_key(|a| (a.at_us, a.session));
+        }
+        Self {
+            epochs,
+            total_arrivals: total,
+            epoch_us: cfg.epoch_us,
+        }
+    }
+
+    /// A plan containing only the first `n` epochs (for crash-recovery
+    /// experiments that stop serving mid-schedule).
+    pub fn truncated(&self, n: usize) -> Self {
+        Self {
+            epochs: self.epochs[..n.min(self.epochs.len())].to_vec(),
+            total_arrivals: self.epochs[..n.min(self.epochs.len())]
+                .iter()
+                .map(Vec::len)
+                .sum(),
+            epoch_us: self.epoch_us,
+        }
+    }
+
+    /// Total windows of work across every arrival.
+    pub fn total_windows(&self) -> u64 {
+        self.epochs
+            .iter()
+            .flatten()
+            .map(|a| u64::from(a.windows))
+            .sum()
+    }
+}
+
+/// SplitMix64 step.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)`.
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let cfg = ArrivalConfig::new(200, 0xA11);
+        let a = ArrivalPlan::generate(&cfg);
+        let b = ArrivalPlan::generate(&cfg);
+        assert_eq!(a, b);
+        let c = ArrivalPlan::generate(&ArrivalConfig::new(200, 0xA12));
+        assert_ne!(a, c, "a different seed reshuffles the schedule");
+        assert!(a.total_arrivals > 0);
+    }
+
+    #[test]
+    fn epochs_are_sorted_and_merged() {
+        let plan = ArrivalPlan::generate(&ArrivalConfig::new(500, 7));
+        for (i, epoch) in plan.epochs.iter().enumerate() {
+            let mut seen = BTreeMap::new();
+            for a in epoch {
+                assert_eq!(
+                    (a.at_us / plan.epoch_us) as usize,
+                    i,
+                    "arrival quantized into its epoch"
+                );
+                assert!(
+                    seen.insert(a.session, a.at_us).is_none(),
+                    "one merged arrival per session per epoch"
+                );
+            }
+            let mut sorted = epoch.clone();
+            sorted.sort_by_key(|a| (a.at_us, a.session));
+            assert_eq!(&sorted, epoch);
+        }
+        assert_eq!(
+            plan.total_arrivals,
+            plan.epochs.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn hot_sessions_arrive_more_often() {
+        let cfg = ArrivalConfig {
+            sessions: 2_000,
+            hot_fraction: 0.1,
+            ..ArrivalConfig::new(2_000, 99)
+        };
+        let plan = ArrivalPlan::generate(&cfg);
+        let mut per_session: BTreeMap<u64, u64> = BTreeMap::new();
+        for a in plan.epochs.iter().flatten() {
+            *per_session.entry(a.session).or_default() += u64::from(a.windows);
+        }
+        let mut loads: Vec<u64> = per_session.values().copied().collect();
+        loads.sort_unstable();
+        // The top decile (the hot sessions) carries far more work than
+        // the median session.
+        let median = loads[loads.len() / 2];
+        let p95 = loads[loads.len() * 95 / 100];
+        assert!(
+            p95 >= median * 3,
+            "hot skew missing: median {median}, p95 {p95}"
+        );
+    }
+
+    #[test]
+    fn truncation_keeps_a_prefix() {
+        let plan = ArrivalPlan::generate(&ArrivalConfig::new(100, 1));
+        let cut = plan.truncated(3);
+        assert_eq!(cut.epochs.len(), 3);
+        assert_eq!(cut.epochs[..], plan.epochs[..3]);
+        assert_eq!(
+            cut.total_arrivals,
+            cut.epochs.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Property coverage for `scalo-swap`: under arbitrary resident
+//! budgets, burst sizes, seeds, and seeded NVM fault rates, every
+//! session's decisions stay byte-identical to a never-swapped twin at
+//! whatever window boundary the churn left it — and fault handling
+//! fails closed instead of corrupting anything.
+
+use proptest::prelude::*;
+use scalo_core::session::{Session, SessionSpec};
+use scalo_core::snapshot::fnv1a;
+use scalo_fleet::{ArrivalConfig, ArrivalPlan, SwapConfig, SwapFleet, SwapOutcomeState};
+
+/// Fault rates from clean through flaky to fully corrupt.
+const FAULT_RATES_PPM: [u32; 3] = [0, 250_000, 1_000_000];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn swap_roundtrip_decisions_are_pure(
+        seed in any::<u64>(),
+        resident in 1usize..4,
+        sessions in 2u64..7,
+        burst in 4u32..24,
+        fault_sel in 0usize..3,
+    ) {
+        let fault_ppm = FAULT_RATES_PPM[fault_sel];
+        let specs: Vec<SessionSpec> = (0..sessions)
+            .map(|id| {
+                SessionSpec::new(id, seed ^ (id * 977 + 1))
+                    .with_deployment(1, 2)
+                    .with_duration_s(0.15)
+                    .with_priority(if id == 0 { 255 } else { 1 })
+                    .with_movement_every(if id % 2 == 1 { 15 } else { 0 })
+            })
+            .collect();
+        let plan = ArrivalPlan::generate(&ArrivalConfig {
+            horizon_us: 300_000,
+            mean_gap_us: 60_000,
+            burst_windows: burst,
+            ..ArrivalConfig::new(sessions, seed)
+        });
+
+        let mut fleet = SwapFleet::new(SwapConfig::new(2, resident).with_faults(fault_ppm, seed));
+        for spec in &specs {
+            fleet.submit(spec.clone()).unwrap();
+        }
+        let report = fleet.run(&plan);
+
+        prop_assert!(
+            report.resident_peak as usize <= resident,
+            "budget {resident} breached: peak {}",
+            report.resident_peak
+        );
+        for s in &report.sessions {
+            if s.pinned {
+                prop_assert_eq!(s.swap_outs, 0, "pinned session {} evicted", s.id);
+            }
+            // Failed sessions fail CLOSED: they report no fingerprint
+            // rather than a wrong one.
+            if s.state == SwapOutcomeState::Failed {
+                prop_assert_eq!(s.decisions_fnv, 0);
+                continue;
+            }
+            if s.windows == 0 {
+                continue;
+            }
+            // The load-bearing property: evict → fault-in → resume at
+            // an arbitrary boundary is invisible to decisions, faults
+            // or not.
+            let mut twin = Session::new(specs[s.id as usize].clone());
+            for _ in 0..s.windows {
+                twin.step();
+            }
+            prop_assert_eq!(
+                s.decisions_fnv,
+                fnv1a(twin.decision_digest().as_bytes()),
+                "session {} diverged at window {} (fault rate {} ppm)",
+                s.id,
+                s.windows,
+                fault_ppm
+            );
+        }
+
+        // Replay by seed: the whole run is a pure function of its
+        // inputs, fault schedule included.
+        let mut again = SwapFleet::new(SwapConfig::new(2, resident).with_faults(fault_ppm, seed));
+        for spec in &specs {
+            again.submit(spec.clone()).unwrap();
+        }
+        let rerun = again.run(&plan);
+        prop_assert_eq!(rerun.digest_fnv, report.digest_fnv);
+        prop_assert_eq!(rerun.swap_outs, report.swap_outs);
+        prop_assert_eq!(rerun.fault_retries, report.fault_retries);
+        prop_assert_eq!(rerun.faults_injected, report.faults_injected);
+    }
+}

@@ -1,0 +1,398 @@
+//! The swap-image tier: named session images on the modeled NVM.
+//!
+//! `scalo-swap` evicts a quiet session by encoding one SCSS snapshot
+//! (see `scalo-core::snapshot`) and parking the bytes here; a later
+//! fault-in reads them back. The store speaks pages: an image occupies
+//! `ceil(len / PAGE_BYTES)` pages on an [`NvmDevice`], every program /
+//! read / erase is charged through [`NvmParams`], and NAND rules hold —
+//! a freed page is only reusable after its whole block is erased, so
+//! the store reclaims **fully-dead blocks** (no copying garbage
+//! collector; a block whose images never fault back in stays pinned).
+//!
+//! The store can inject **seeded read-disturb faults**: with a
+//! configured per-page-read probability the *returned copy* of a page
+//! has one bit flipped (the stored data is intact, so a retry can
+//! succeed). Corruption is always caught downstream by the SCSS
+//! checksum — the fault model exists to prove the fault-in path retries
+//! and fails closed rather than ever acting on a corrupt snapshot.
+
+use crate::nvm::{NvmCost, NvmDevice, NvmParams};
+use crate::{PAGES_PER_BLOCK, PAGE_BYTES};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Why an [`ImageStore`] operation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageStoreError {
+    /// No erased pages left and no fully-dead block to reclaim.
+    Full {
+        /// Pages the rejected image needed.
+        needed: usize,
+        /// Erased pages available (after reclaim).
+        free: usize,
+    },
+    /// No image stored under this id.
+    NotFound(u64),
+    /// An image is already stored under this id (remove it first).
+    AlreadyStored(u64),
+}
+
+impl std::fmt::Display for ImageStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageStoreError::Full { needed, free } => {
+                write!(f, "image store full: need {needed} pages, {free} free")
+            }
+            ImageStoreError::NotFound(id) => write!(f, "no image for session {id}"),
+            ImageStoreError::AlreadyStored(id) => {
+                write!(f, "session {id} already has an image")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageStoreError {}
+
+/// SplitMix64 — the store's only randomness, used to schedule seeded
+/// read-disturb faults deterministically.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    pages: Vec<usize>,
+    len: usize,
+}
+
+/// A named-image store over the modeled NVM. See the
+/// [module docs](self) for the page/block discipline and fault model.
+#[derive(Debug, Clone)]
+pub struct ImageStore {
+    dev: NvmDevice,
+    entries: BTreeMap<u64, Entry>,
+    /// Erased pages ready to program, FIFO for stable allocation order.
+    free: VecDeque<usize>,
+    /// Per-block count of programmed-but-freed pages.
+    dead: Vec<u32>,
+    /// Per-block count of pages holding a live image.
+    live: Vec<u32>,
+    bytes_stored: u64,
+    /// Per-page-read transient corruption probability, in parts per
+    /// million. Zero disables fault injection entirely.
+    fault_rate_ppm: u32,
+    rng: u64,
+    faults_injected: u64,
+}
+
+impl ImageStore {
+    /// A store over a fresh (all-erased) device of `pages` pages, with
+    /// fault injection off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero (the underlying device requires at
+    /// least one page).
+    pub fn new(pages: usize, params: NvmParams) -> Self {
+        let blocks = pages.div_ceil(PAGES_PER_BLOCK);
+        Self {
+            dev: NvmDevice::new(pages, params),
+            entries: BTreeMap::new(),
+            free: (0..pages).collect(),
+            dead: vec![0; blocks],
+            live: vec![0; blocks],
+            bytes_stored: 0,
+            fault_rate_ppm: 0,
+            rng: 0,
+            faults_injected: 0,
+        }
+    }
+
+    /// Enables seeded read-disturb faults: each page read independently
+    /// returns a one-bit-flipped copy with probability
+    /// `rate_ppm / 1_000_000`, scheduled deterministically from `seed`.
+    pub fn with_faults(mut self, rate_ppm: u32, seed: u64) -> Self {
+        self.fault_rate_ppm = rate_ppm.min(1_000_000);
+        self.rng = seed;
+        self
+    }
+
+    /// Pages the image `len` occupies (at least one — an empty image
+    /// still owns a page so its identity survives on the device).
+    fn pages_for(len: usize) -> usize {
+        len.div_ceil(PAGE_BYTES).max(1)
+    }
+
+    /// Stores `image` under `id`, programming one page per 4 KB.
+    /// Returns the modeled cost of the programs (plus any block erase a
+    /// reclaim needed).
+    pub fn put(&mut self, id: u64, image: &[u8]) -> Result<NvmCost, ImageStoreError> {
+        if self.entries.contains_key(&id) {
+            return Err(ImageStoreError::AlreadyStored(id));
+        }
+        let needed = Self::pages_for(image.len());
+        let before = self.dev.cost();
+        while self.free.len() < needed {
+            if !self.reclaim_one_block() {
+                return Err(ImageStoreError::Full {
+                    needed,
+                    free: self.free.len(),
+                });
+            }
+        }
+        let mut pages = Vec::with_capacity(needed);
+        for chunk_idx in 0..needed {
+            let page = self.free.pop_front().expect("free list checked above");
+            let start = chunk_idx * PAGE_BYTES;
+            let end = (start + PAGE_BYTES).min(image.len());
+            self.dev.program_page(page, image[start..end].to_vec());
+            self.live[page / PAGES_PER_BLOCK] += 1;
+            pages.push(page);
+        }
+        self.bytes_stored += image.len() as u64;
+        self.entries.insert(
+            id,
+            Entry {
+                pages,
+                len: image.len(),
+            },
+        );
+        Ok(cost_delta(before, self.dev.cost()))
+    }
+
+    /// Reads the image stored under `id` and the modeled read cost. The
+    /// returned bytes may be corrupt when fault injection is on — the
+    /// caller is expected to verify the SCSS checksum and retry.
+    pub fn read(&mut self, id: u64) -> Result<(Vec<u8>, NvmCost), ImageStoreError> {
+        let entry = self
+            .entries
+            .get(&id)
+            .ok_or(ImageStoreError::NotFound(id))?
+            .clone();
+        let before = self.dev.cost();
+        let mut out = Vec::with_capacity(entry.len);
+        for (chunk_idx, &page) in entry.pages.iter().enumerate() {
+            let mut data = self
+                .dev
+                .read_page(page)
+                .expect("live entry pages are programmed");
+            if self.fault_rate_ppm > 0 {
+                let roll = splitmix64(&mut self.rng) % 1_000_000;
+                if roll < u64::from(self.fault_rate_ppm) && !data.is_empty() {
+                    let bit = splitmix64(&mut self.rng) as usize % (data.len() * 8);
+                    data[bit / 8] ^= 1 << (bit % 8);
+                    self.faults_injected += 1;
+                }
+            }
+            let start = chunk_idx * PAGE_BYTES;
+            let keep = entry.len.saturating_sub(start).min(data.len());
+            out.extend_from_slice(&data[..keep]);
+        }
+        Ok((out, cost_delta(before, self.dev.cost())))
+    }
+
+    /// Frees the image stored under `id`. Its pages become dead and are
+    /// reused only once their whole block is reclaimed (NAND
+    /// erase-before-program).
+    pub fn remove(&mut self, id: u64) -> Result<(), ImageStoreError> {
+        let entry = self
+            .entries
+            .remove(&id)
+            .ok_or(ImageStoreError::NotFound(id))?;
+        for page in entry.pages {
+            let block = page / PAGES_PER_BLOCK;
+            self.live[block] -= 1;
+            self.dead[block] += 1;
+        }
+        self.bytes_stored -= entry.len as u64;
+        Ok(())
+    }
+
+    /// Erases one fully-dead block (no live pages, at least one dead
+    /// page), returning its pages to the free list. Returns whether a
+    /// block was reclaimed.
+    fn reclaim_one_block(&mut self) -> bool {
+        let Some(block) = (0..self.dead.len()).find(|&b| self.dead[b] > 0 && self.live[b] == 0)
+        else {
+            return false;
+        };
+        let start = block * PAGES_PER_BLOCK;
+        let end = (start + PAGES_PER_BLOCK).min(self.dev.num_pages());
+        self.dev.erase_block(start);
+        // Erasing wipes *every* page in the block; erased-but-unused
+        // pages from this block are already on the free list, so only
+        // the dead (previously programmed) ones come back here.
+        for page in start..end {
+            if !self.free.contains(&page) {
+                self.free.push_back(page);
+            }
+        }
+        self.dead[block] = 0;
+        true
+    }
+
+    /// Whether an image is stored under `id`.
+    pub fn contains(&self, id: u64) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// The stored length of `id`'s image, if present.
+    pub fn image_len(&self, id: u64) -> Option<usize> {
+        self.entries.get(&id).map(|e| e.len)
+    }
+
+    /// Number of images currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no image is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes of live images.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    /// Erased pages ready to program right now (before any reclaim).
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total device pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.dev.num_pages()
+    }
+
+    /// Accumulated device cost (programs + reads + erases).
+    pub fn cost(&self) -> NvmCost {
+        self.dev.cost()
+    }
+
+    /// Read-disturb faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+}
+
+fn cost_delta(before: NvmCost, after: NvmCost) -> NvmCost {
+    NvmCost {
+        time_us: after.time_us - before.time_us,
+        energy_nj: after.energy_nj - before.energy_nj,
+        pages_read: after.pages_read - before.pages_read,
+        pages_written: after.pages_written - before.pages_written,
+        blocks_erased: after.blocks_erased - before.blocks_erased,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(pages: usize) -> ImageStore {
+        ImageStore::new(pages, NvmParams::default())
+    }
+
+    #[test]
+    fn put_read_remove_roundtrip() {
+        let mut s = store(PAGES_PER_BLOCK);
+        let image: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        let wcost = s.put(7, &image).unwrap();
+        assert_eq!(wcost.pages_written, 2, "5000 B spans two 4 KB pages");
+        assert!(wcost.time_us > 0.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.bytes_stored(), 5000);
+        assert_eq!(s.image_len(7), Some(5000));
+        let (back, rcost) = s.read(7).unwrap();
+        assert_eq!(back, image);
+        assert_eq!(rcost.pages_read, 2);
+        s.remove(7).unwrap();
+        assert!(!s.contains(7));
+        assert_eq!(s.bytes_stored(), 0);
+        assert_eq!(s.read(7), Err(ImageStoreError::NotFound(7)));
+    }
+
+    #[test]
+    fn duplicate_put_rejected() {
+        let mut s = store(16);
+        s.put(1, b"x").unwrap();
+        assert_eq!(s.put(1, b"y"), Err(ImageStoreError::AlreadyStored(1)));
+    }
+
+    #[test]
+    fn reclaim_erases_fully_dead_blocks() {
+        // One block of pages; fill it, free everything, refill — the
+        // second fill only works if reclaim erased the block.
+        let mut s = store(PAGES_PER_BLOCK);
+        for id in 0..PAGES_PER_BLOCK as u64 {
+            s.put(id, b"img").unwrap();
+        }
+        assert_eq!(s.free_pages(), 0);
+        let err = s.put(999, b"img").unwrap_err();
+        assert!(matches!(err, ImageStoreError::Full { needed: 1, .. }));
+        for id in 0..PAGES_PER_BLOCK as u64 {
+            s.remove(id).unwrap();
+        }
+        let cost = s.put(999, b"img").unwrap();
+        assert_eq!(cost.blocks_erased, 1, "reclaim charged the erase");
+        assert_eq!(s.read(999).unwrap().0, b"img");
+    }
+
+    #[test]
+    fn partially_live_block_is_not_reclaimed() {
+        let mut s = store(PAGES_PER_BLOCK);
+        for id in 0..PAGES_PER_BLOCK as u64 {
+            s.put(id, b"img").unwrap();
+        }
+        // Free all but one: the block still has a live page, so the
+        // store is honestly full.
+        for id in 1..PAGES_PER_BLOCK as u64 {
+            s.remove(id).unwrap();
+        }
+        assert!(matches!(
+            s.put(999, b"img"),
+            Err(ImageStoreError::Full { .. })
+        ));
+        assert_eq!(s.read(0).unwrap().0, b"img", "survivor intact");
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic_and_transient() {
+        let image = vec![0u8; 1000];
+        let run = |seed: u64| {
+            let mut s = store(64).with_faults(500_000, seed);
+            s.put(1, &image).unwrap();
+            let reads: Vec<Vec<u8>> = (0..20).map(|_| s.read(1).unwrap().0).collect();
+            (reads, s.faults_injected())
+        };
+        let (reads_a, faults_a) = run(42);
+        let (reads_b, faults_b) = run(42);
+        assert_eq!(reads_a, reads_b, "same seed, same corruption schedule");
+        assert_eq!(faults_a, faults_b);
+        assert!(faults_a > 0, "50% rate over 20 reads must fault");
+        assert!(
+            reads_a.iter().any(|r| r == &image),
+            "faults are transient: some reads come back clean"
+        );
+        let corrupt = reads_a.iter().find(|r| *r != &image).unwrap();
+        let diff: u32 = corrupt
+            .iter()
+            .zip(&image)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit flips per faulted read");
+    }
+
+    #[test]
+    fn empty_image_still_owns_a_page() {
+        let mut s = store(16);
+        s.put(5, b"").unwrap();
+        assert_eq!(s.free_pages(), 15);
+        assert_eq!(s.read(5).unwrap().0, Vec::<u8>::new());
+    }
+}

@@ -13,9 +13,11 @@
 //! Modules: [`nvm`] (the device), [`partition`] (ring-buffer partitions),
 //! [`layout`] (interleaved vs chunked cost model), [`controller`] (the SC
 //! PE), [`wal`] (the fleet's page-structured write-ahead log, charged
-//! against the same per-page cost model).
+//! against the same per-page cost model), [`image`] (the swap-image tier
+//! `scalo-swap` parks evicted sessions on).
 
 pub mod controller;
+pub mod image;
 pub mod layout;
 pub mod nvm;
 pub mod partition;

@@ -198,6 +198,27 @@ impl Recorder {
         }
     }
 
+    /// Records a span of `stage` whose duration was measured externally
+    /// (e.g. a swap-in that completed *before* this recorder could
+    /// `begin` — the restore path rebuilds the session, and with it the
+    /// recorder, as part of the operation being timed). The span ends
+    /// now and extends `dur_ns` into the past, clamped to the recorder
+    /// epoch, stamped with the current window.
+    pub fn record_external(&mut self, stage: Stage, dur_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let end_ns = self.now_ns();
+        let ev = SpanEvent {
+            stage,
+            window: self.window,
+            begin_ns: end_ns.saturating_sub(dur_ns),
+            end_ns,
+            power_uw: stage.power_uw(self.electrodes) as f32,
+        };
+        self.push(ev);
+    }
+
     fn push(&mut self, ev: SpanEvent) {
         if self.ring.len() < self.capacity {
             self.ring.push(ev); // within capacity: no allocation
@@ -354,6 +375,22 @@ mod tests {
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].stage, Stage::Queue);
         assert_eq!(ev[0].power_uw, 0.0);
+    }
+
+    #[test]
+    fn external_spans_are_clamped_and_stamped() {
+        let mut rec = Recorder::with_capacity(8, 4);
+        rec.set_window(5);
+        rec.record_external(Stage::SwapIn, u64::MAX);
+        let ev = rec.events()[0];
+        assert_eq!(ev.stage, Stage::SwapIn);
+        assert_eq!(ev.window, 5);
+        assert_eq!(ev.begin_ns, 0, "clamped to the recorder epoch");
+        assert!(ev.end_ns >= ev.begin_ns);
+        // Disabled recorders ignore external spans too.
+        let mut off = Recorder::disabled();
+        off.record_external(Stage::SwapOut, 100);
+        assert!(off.is_empty());
     }
 
     #[test]

@@ -58,13 +58,19 @@ pub enum Stage {
     /// Scattering electrode windows into the channel-major block the
     /// batched kernel engine consumes (pure data movement; no PE runs).
     Gather,
+    /// Faulting a swapped session back in: NVM image read through SC
+    /// plus the deterministic restore replay.
+    SwapIn,
+    /// Evicting a quiet session: SCSS encode plus NVM image program
+    /// through SC.
+    SwapOut,
     /// Envelope time not claimed by any leaf span (attribution only).
     Other,
 }
 
 impl Stage {
     /// Every stage, [`Stage::Window`] first, [`Stage::Other`] last.
-    pub const ALL: [Stage; 16] = [
+    pub const ALL: [Stage; 18] = [
         Stage::Window,
         Stage::Filter,
         Stage::Detect,
@@ -80,12 +86,14 @@ impl Stage {
         Stage::StorageWrite,
         Stage::Queue,
         Stage::Gather,
+        Stage::SwapIn,
+        Stage::SwapOut,
         Stage::Other,
     ];
 
     /// The leaf stages (everything except the [`Stage::Window`]
     /// envelope), in attribution order. [`Stage::Other`] is last.
-    pub const LEAVES: [Stage; 15] = [
+    pub const LEAVES: [Stage; 17] = [
         Stage::Filter,
         Stage::Detect,
         Stage::Sketch,
@@ -100,6 +108,8 @@ impl Stage {
         Stage::StorageWrite,
         Stage::Queue,
         Stage::Gather,
+        Stage::SwapIn,
+        Stage::SwapOut,
         Stage::Other,
     ];
 
@@ -128,6 +138,8 @@ impl Stage {
             Stage::StorageWrite => "storage_write",
             Stage::Queue => "queue",
             Stage::Gather => "gather",
+            Stage::SwapIn => "swap_in",
+            Stage::SwapOut => "swap_out",
             Stage::Other => "other",
         }
     }
@@ -146,7 +158,9 @@ impl Stage {
             Stage::Nn => &[PeKind::Bmul, PeKind::Add],
             Stage::Svm => &[PeKind::Svm],
             Stage::Radio => &[PeKind::Hcomp, PeKind::Npack, PeKind::Dcomp, PeKind::Unpack],
-            Stage::StorageRead | Stage::StorageWrite => &[PeKind::Sc],
+            Stage::StorageRead | Stage::StorageWrite | Stage::SwapIn | Stage::SwapOut => {
+                &[PeKind::Sc]
+            }
             Stage::Window | Stage::RadioWait | Stage::Queue | Stage::Gather | Stage::Other => &[],
         }
     }
