@@ -65,6 +65,25 @@ awk -v p="$p99" 'BEGIN {
   printf "swap-fault p99: %d us (cap 200000)\n", p
 }'
 
+echo "== query compilation + hot-reconfigure smoke =="
+# Compiles every catalog entry, admits one session per query string and
+# asserts decision-digest equality against spec-constructed twins, then
+# hot-reconfigures mid-run: one digest-pinned clean cutover and one
+# forced mismatch that must roll back — each assert exits non-zero
+# here. Runs after the swap smoke so the "query" section splices into
+# the fresh BENCH_fleet.json ahead of "swap".
+cargo run --release -p scalo-bench --bin experiments -- query
+grep -q '"query":{"catalog":\[' BENCH_fleet.json \
+  || { echo "no query section in BENCH_fleet.json" >&2; exit 1; }
+grep -q '"digests_match":true' BENCH_fleet.json \
+  || { echo "query-admitted digests diverged from spec twins" >&2; exit 1; }
+grep -q '"swap":{' BENCH_fleet.json \
+  || { echo "query splice clobbered the swap section" >&2; exit 1; }
+reconf_ok=$(sed -n 's/.*"reconfigures":\[{"id":0,"window":[0-9]*,"ok":\(true\|false\).*/\1/p' BENCH_fleet.json)
+test "$reconf_ok" = "true" \
+  || { echo "hot-reconfigure cutover did not succeed" >&2; exit 1; }
+echo "query smoke: catalog compiled, digests match, cutover + rollback exercised"
+
 echo "== kernel engine smoke (batched vs per-channel microbench) =="
 cargo run --release -p scalo-bench --bin experiments -- kernels --reps 40
 test -s BENCH_kernels.json || { echo "BENCH_kernels.json missing or empty" >&2; exit 1; }

@@ -18,7 +18,7 @@ static ALLOC: scalo_alloc::CountingAllocator = scalo_alloc::CountingAllocator;
 const USAGE: &str = "usage: experiments <cmd> [--reps N] [--sessions N] [--from N --to N]\n\
    cmds: all | quick | table1 | table2 | table3 | fig8a | fig8b | fig8c |\n\
    \x20     fig9a | fig9b | fig10 | fig11 | fig12 | fig13 | fig14 | fig15a |\n\
-   \x20     fig15b | fault-tolerance | fleet | swap | trace | durability |\n\
+   \x20     fig15b | fault-tolerance | fleet | swap | query | trace | durability |\n\
    \x20     replay | kernels | local-scaling | spike-sorting |\n\
    \x20     storage-layout | compression | external-compression\n\
    flags: --reps N      repetitions for fig15a/fig15b/fault-tolerance (default 10)\n\
@@ -61,6 +61,7 @@ fn main() {
         "fault-tolerance" => x::fault_tolerance(reps),
         "fleet" => x::fleet(sessions),
         "swap" => x::swap(flag(&args, "--sessions", 10_240)),
+        "query" => x::query(),
         "trace" => x::trace(sessions),
         "durability" => x::durability(sessions),
         "replay" => x::replay(from, to),
@@ -104,6 +105,7 @@ fn main() {
             x::fault_tolerance(reps);
             x::fleet(sessions);
             x::swap(flag(&args, "--sessions", 10_240));
+            x::query();
             x::trace(sessions);
             x::durability(sessions);
             x::replay(from, to);

@@ -6,8 +6,10 @@ use crate::fmt::{f, header, table};
 use scalo_core::apps::seizure::SeizureApp;
 use scalo_core::apps::spike_sort::{modeled_sort_rate_per_node, sort_dataset};
 use scalo_core::arch::{architecture_throughput, Architecture, Fig8Task};
+use scalo_core::catalog::{self, QueryCatalog};
 use scalo_core::fault::{Fault, FaultPlan};
 use scalo_core::membership::MembershipEvent;
+use scalo_core::plan::{resolve_budget, PlanConfig};
 use scalo_core::session::SessionSpec;
 use scalo_core::ScaloConfig;
 use scalo_data::ieeg::{generate as gen_ieeg, IeegConfig, SeizureEvent};
@@ -867,16 +869,29 @@ pub fn fault_tolerance(reps: usize) {
 /// [`fleet`] is wait-overlap plus whatever CPU parallelism the host
 /// offers, exactly as in a real serving tier.
 fn fleet_population(sessions: usize) -> Vec<SessionSpec> {
+    // The app mix per patient comes from the query catalog — the same
+    // compiled plans the serving layer admits by — so the population's
+    // pipeline shapes are defined once (in `scalo_core::catalog`), and
+    // only the serving envelope (duration, priority, radio wait, BER)
+    // is set here.
+    let catalog = QueryCatalog::with_builtins(PlanConfig::default());
     (0..sessions as u64)
         .map(|id| {
-            let mut spec = SessionSpec::new(id, 0xf1ee7 + 31 * id)
+            let app = if id % 4 == 0 {
+                "movement_mix"
+            } else if id % 2 == 1 {
+                "seizure_reliable"
+            } else {
+                "seizure_watch"
+            };
+            let entry = catalog.get(app).expect("built-in catalog entry");
+            let mut spec = entry
+                .spec(id, 0xf1ee7 + 31 * id)
                 .with_duration_s(0.6)
                 .with_priority(1 + (id % 3) as u8)
-                .with_io_stall_us(400)
-                .with_movement_every(if id % 4 == 0 { 25 } else { 0 });
+                .with_io_stall_us(400);
             if id % 2 == 1 {
                 spec = spec.with_ber(1e-4);
-                spec.use_reliable_transport = true;
             }
             spec
         })
@@ -1088,13 +1103,26 @@ pub fn fleet(sessions: usize) {
 /// Small specs keep 10k cold builds affordable; the `fleet` experiment
 /// covers full-size implants at resident scale.
 fn swap_population(sessions: u64, pinned: u64) -> Vec<SessionSpec> {
+    // Single-electrode deployments compile their own catalog (the plan
+    // binds per-channel feature widths), then each spec is just a
+    // catalog entry plus the swap envelope.
+    let catalog = QueryCatalog::with_builtins(PlanConfig {
+        channels: 1,
+        ..PlanConfig::default()
+    });
     (0..sessions)
         .map(|id| {
-            SessionSpec::new(id, 0x5a10 + 193 * id)
+            let app = if id % 7 == 1 {
+                "movement_mix"
+            } else {
+                "seizure_watch"
+            };
+            let entry = catalog.get(app).expect("built-in catalog entry");
+            entry
+                .spec(id, 0x5a10 + 193 * id)
                 .with_deployment(1, 1)
                 .with_duration_s(0.2)
                 .with_priority(if id < pinned { 255 } else { (id % 5) as u8 })
-                .with_movement_every(if id % 7 == 1 { 25 } else { 0 })
         })
         .collect()
 }
@@ -1248,6 +1276,208 @@ pub fn swap(sessions: usize) {
     );
     match write_bench_swap_json(&report) {
         Ok(path) => println!("wrote {path} (\"swap\" section)"),
+        Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
+    }
+}
+
+/// Merges `query_json` into `BENCH_fleet.json` as the top-level
+/// `"query"` section, preserving the fleet payload and any `"swap"`
+/// section (which stays last), replacing a previous query section.
+pub fn write_bench_query_json(query_json: &str) -> std::io::Result<&'static str> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    let base = std::fs::read_to_string(path)
+        .ok()
+        .map(|s| s.trim_end().to_string())
+        .filter(|s| s.starts_with('{') && s.ends_with('}'));
+    let body = match base {
+        Some(existing) => {
+            // Peel the swap tail (always last), then any stale query
+            // section, and re-insert query before swap.
+            let (head, swap_tail) = match existing.find(",\"swap\":") {
+                Some(i) => (&existing[..i], &existing[i..existing.len() - 1]),
+                None => (&existing[..existing.len() - 1], ""),
+            };
+            let head = match head.find(",\"query\":") {
+                Some(i) => &head[..i],
+                None => head,
+            };
+            format!("{head},\"query\":{query_json}{swap_tail}}}\n")
+        }
+        None => format!("{{\"bench\":\"fleet\",\"query\":{query_json}}}\n"),
+    };
+    std::fs::write(path, body)?;
+    Ok(path)
+}
+
+/// Query compilation end to end: compile every catalog entry, admit one
+/// session per query and prove decision-digest equality with its
+/// spec-constructed twin, then hot-reconfigure mid-run — one clean
+/// digest-pinned cutover and one forced mismatch that must roll back.
+/// Merges compile / ILP re-solve / cutover latency into
+/// `BENCH_fleet.json` under `"query"`.
+pub fn query() {
+    header("Query compilation: source -> catalog -> plan -> fleet");
+    let catalog = QueryCatalog::with_builtins(PlanConfig::default());
+
+    // -- the catalog: every built-in app as a compiled window plan --
+    let rows: Vec<Vec<String>> = catalog
+        .entries()
+        .map(|e| {
+            let serving = e.plan().serving_chain();
+            let budget = resolve_budget(e.plan(), 4, ScaloConfig::default().power_limit_mw)
+                .expect("built-ins fit the default deployment");
+            let b = e.binding();
+            vec![
+                e.name().to_string(),
+                e.plan().chains().len().to_string(),
+                serving.step_names().join(">"),
+                format!(
+                    "every={} reliable={}",
+                    b.movement_every, b.use_reliable_transport
+                ),
+                e.compile_us().to_string(),
+                f(budget.predicted_window_ms, 3),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "query",
+            "chains",
+            "serving plan",
+            "binding",
+            "compile us",
+            "pred ms",
+        ],
+        &rows,
+    );
+
+    // -- admission by query string vs spec construction --
+    let entries: Vec<(u64, &str, &str)> = vec![
+        (0, "seizure_watch", catalog::SEIZURE_WATCH),
+        (1, "seizure_reliable", catalog::SEIZURE_RELIABLE),
+        (2, "movement_mix", catalog::MOVEMENT_MIX),
+    ];
+    let base = |id: u64| SessionSpec::new(id, 0xbc1 + 7 * id).with_duration_s(0.3);
+
+    let mut spec_fleet = Fleet::new(FleetConfig::new(2));
+    for &(id, name, _) in &entries {
+        let entry = catalog.get(name).expect("built-in catalog entry");
+        spec_fleet
+            .submit(entry.spec(id, 0xbc1 + 7 * id).with_duration_s(0.3))
+            .unwrap();
+    }
+    let baseline = spec_fleet.run();
+
+    let mut query_fleet = Fleet::new(FleetConfig::new(2));
+    for &(id, _, source) in &entries {
+        query_fleet
+            .submit_query(base(id), source)
+            .expect("built-in queries admit");
+    }
+    let report = query_fleet.run();
+    let identical = baseline
+        .sessions
+        .iter()
+        .zip(&report.sessions)
+        .all(|(a, b)| a.id == b.id && a.digest == b.digest);
+    assert!(identical, "query admission changed decisions");
+    println!(
+        "query-admitted decisions identical to spec-constructed twins: {}",
+        if identical { "yes" } else { "NO (bug)" }
+    );
+
+    // -- hot reconfiguration: clean cutover + forced-mismatch rollback --
+    let mut fleet = Fleet::new(FleetConfig::new(2));
+    fleet.submit_query(base(0), catalog::SEIZURE_WATCH).unwrap();
+    fleet
+        .submit_query(base(1), catalog::SEIZURE_RELIABLE)
+        .unwrap();
+    fleet.schedule_reconfigure(0, 25, catalog::MOVEMENT_MIX, None);
+    // Session 1's pin can never match: the cutover must roll back.
+    fleet.schedule_reconfigure(1, 25, catalog::MOVEMENT_MIX, Some(0x0bad_0bad));
+    let reconfigured = fleet.run();
+    let records = &reconfigured.reconfigures;
+    assert_eq!(records.len(), 2);
+    assert!(
+        records[0].ok,
+        "clean cutover failed: {:?}",
+        records[0].error
+    );
+    assert!(!records[1].ok, "forced digest mismatch must roll back");
+    let rolled_back = reconfigured
+        .sessions
+        .iter()
+        .find(|s| s.id == 1)
+        .map(|s| &s.digest)
+        == baseline
+            .sessions
+            .iter()
+            .find(|s| s.id == 1)
+            .map(|s| &s.digest);
+    assert!(rolled_back, "rolled-back session drifted from its twin");
+    let rec_rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_string(),
+                r.window.to_string(),
+                if r.ok {
+                    "cutover".into()
+                } else {
+                    "rollback".into()
+                },
+                r.compile_us.to_string(),
+                r.resolve_us.to_string(),
+                r.cutover_us.to_string(),
+                r.replayed_windows.to_string(),
+                r.error.clone().unwrap_or_default(),
+            ]
+        })
+        .collect();
+    println!("\n-- hot reconfiguration at window 25 --");
+    table(
+        &[
+            "session",
+            "window",
+            "outcome",
+            "compile us",
+            "resolve us",
+            "cutover us",
+            "replayed",
+            "error",
+        ],
+        &rec_rows,
+    );
+
+    // -- BENCH_fleet.json "query" section --
+    let compile_rows = catalog
+        .entries()
+        .map(|e| {
+            format!(
+                "{{\"name\":\"{}\",\"compile_us\":{}}}",
+                e.name(),
+                e.compile_us()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let rec_json = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":{},\"window\":{},\"ok\":{},\"compile_us\":{},\"resolve_us\":{},\
+                 \"cutover_us\":{},\"replayed_windows\":{}}}",
+                r.id, r.window, r.ok, r.compile_us, r.resolve_us, r.cutover_us, r.replayed_windows
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let query_json = format!(
+        "{{\"catalog\":[{compile_rows}],\"digests_match\":{identical},\"reconfigures\":[{rec_json}]}}"
+    );
+    match write_bench_query_json(&query_json) {
+        Ok(path) => println!("wrote {path} (\"query\" section)"),
         Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
     }
 }

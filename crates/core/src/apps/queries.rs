@@ -199,7 +199,7 @@ pub fn run_compiled_query(
     let wants_hash = dag
         .operators
         .iter()
-        .any(|op| matches!(op, Operator::Hash { .. } | Operator::CollisionCheck));
+        .any(|op| matches!(op, Operator::Hash { .. } | Operator::CollisionCheck { .. }));
     if wants_detection {
         Ok(q1_seizure_signals(system, from, to))
     } else if wants_hash {

@@ -17,6 +17,10 @@
 //!   suspicion/eviction state machine driving graceful degradation;
 //! * [`session`] — resumable per-patient serving sessions (the unit of
 //!   work the `scalo-fleet` serving layer schedules);
+//! * [`plan`] — query → executable window-plan compilation: typed
+//!   validation, kernel binding, and the ILP admission budget;
+//! * [`catalog`] — named query registry with cached compiled plans and
+//!   the three built-in applications;
 //! * [`workspace`] — reusable per-session scratch buffers backing the
 //!   zero-allocation steady-state window pipeline;
 //! * [`sntp`] — daily clock synchronisation (§3.6);
@@ -34,10 +38,12 @@
 
 pub mod apps;
 pub mod arch;
+pub mod catalog;
 pub mod config;
 pub mod fault;
 pub mod membership;
 pub mod node;
+pub mod plan;
 pub mod runtime;
 pub mod session;
 pub mod snapshot;
@@ -46,7 +52,9 @@ pub mod stim;
 pub mod system;
 pub mod workspace;
 
+pub use catalog::{CatalogEntry, QueryCatalog};
 pub use config::ScaloConfig;
+pub use plan::{PlanConfig, PlanError, ProgramPlan, SessionBinding, WindowPlan};
 pub use session::{Session, SessionSpec};
 pub use snapshot::{SessionSnapshot, SnapshotError};
 pub use system::Scalo;

@@ -1,0 +1,1101 @@
+//! Query → plan compilation: the middle layer between the language and
+//! the serving fleet (ROADMAP item 3).
+//!
+//! `scalo-query` lowers fluent source into an untyped operator [`Dag`];
+//! this module takes that DAG the rest of the way to something a
+//! serving tier can run and budget:
+//!
+//! 1. **Validate** the chain into typed operator nodes — window first,
+//!    hash before collision-check, collision-check before DTW confirm,
+//!    a feature stage before any decoder, `call_runtime` terminal.
+//! 2. **Bind** the typed nodes to the batched kernels the window hot
+//!    path already uses — [`BandpassBank`],
+//!    [`FftScratch`](scalo_signal::fft::FftScratch)-backed band
+//!    power, the SSH sketcher, pruned DTW, and the three decoders —
+//!    each with its scratch preallocated at compile time, producing a
+//!    topo-ordered list of [`PlanStep`]s.
+//! 3. **Derive the session binding**: which chain serves at the 4 ms
+//!    seizure cadence, the movement-mix cadence (in serving windows),
+//!    and whether hash broadcasts ride the reliable transport.
+//! 4. **Budget** the placement with the `scalo-sched` seizure ILP
+//!    ([`resolve_budget`]) so admission can refuse queries whose fixed
+//!    overheads alone blow the per-node power limit.
+//!
+//! Executing a compiled [`WindowPlan`] over a [`ChannelBlock`] folds
+//! every stage's outputs through FNV-1a into a window digest, so two
+//! compilations of the same source are checkable for equivalence the
+//! same way sessions are: byte-identical digests or it didn't happen.
+
+use crate::apps::seizure::WINDOW_US;
+use crate::snapshot::Fnv64;
+use crate::workspace::Workspace;
+use scalo_lsh::{HashConfig, Measure, SshHasher};
+use scalo_ml::kalman::{KalmanFilter, KalmanModel, KalmanScratch};
+use scalo_ml::nn::{NnScratch, ShallowNn};
+use scalo_ml::svm::LinearSvm;
+use scalo_ml::Matrix;
+use scalo_query::{compile_program, Dag, Operator, QueryError};
+use scalo_sched::map::pes_for_dag;
+use scalo_sched::seizure::{solve, Priorities, SeizureSchedule};
+use scalo_sched::Scenario;
+use scalo_signal::block::ChannelBlock;
+use scalo_signal::dtw::{dtw_distance_pruned, DtwParams};
+use scalo_signal::fft::band_power_features_into;
+use scalo_signal::filter::{BandpassBank, BandpassDesign};
+use scalo_signal::spike::{spike_band_power, spike_threshold_with};
+use scalo_signal::xcor::max_lagged_pearson;
+use scalo_signal::SAMPLE_RATE_HZ;
+use std::fmt;
+
+/// The serving cadence every plan is scheduled against: the seizure
+/// app's 4 ms window.
+pub const SERVING_WINDOW_MS: f64 = WINDOW_US as f64 / 1_000.0;
+
+/// Why a query could not be compiled to an executable plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The source failed to lex, parse, or lower.
+    Query(QueryError),
+    /// A chain never collected samples into windows.
+    MissingWindow {
+        /// The chain's bound name.
+        chain: String,
+    },
+    /// A chain's window size cannot be served on the 4 ms cadence: the
+    /// serving chain must run *at* [`SERVING_WINDOW_MS`] and auxiliary
+    /// chains at a positive integer multiple of it.
+    CadenceMismatch {
+        /// The chain's bound name.
+        chain: String,
+        /// The offending window size, ms.
+        window_ms: f64,
+    },
+    /// An operator appears somewhere its inputs do not exist.
+    Misplaced {
+        /// The chain's bound name.
+        chain: String,
+        /// The operator, as written in source.
+        op: &'static str,
+        /// What the validator wanted instead.
+        message: &'static str,
+    },
+    /// A chain mixes detection and decode stages; roles are exclusive.
+    AmbiguousRole {
+        /// The chain's bound name.
+        chain: String,
+    },
+    /// The program's chain mix is unservable (no serving chain, or
+    /// more than one of a kind).
+    BadProgram {
+        /// What is wrong with the mix.
+        message: String,
+    },
+    /// The seizure ILP found no feasible placement at this deployment
+    /// and power budget.
+    Infeasible {
+        /// Implants in the deployment.
+        nodes: usize,
+        /// Per-node power budget, mW.
+        power_limit_mw: f64,
+    },
+}
+
+impl From<QueryError> for PlanError {
+    fn from(e: QueryError) -> Self {
+        PlanError::Query(e)
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Query(e) => write!(f, "query error: {e}"),
+            Self::MissingWindow { chain } => {
+                write!(f, "chain `{chain}` never windows the stream")
+            }
+            Self::CadenceMismatch { chain, window_ms } => write!(
+                f,
+                "chain `{chain}` windows at {window_ms} ms, which does not sit on the \
+                 {SERVING_WINDOW_MS} ms serving cadence"
+            ),
+            Self::Misplaced { chain, op, message } => {
+                write!(f, "chain `{chain}`: `{op}` {message}")
+            }
+            Self::AmbiguousRole { chain } => write!(
+                f,
+                "chain `{chain}` mixes seizure-detection and movement-decode stages"
+            ),
+            Self::BadProgram { message } => write!(f, "unservable program: {message}"),
+            Self::Infeasible {
+                nodes,
+                power_limit_mw,
+            } => write!(
+                f,
+                "no feasible placement for {nodes} nodes at {power_limit_mw} mW/node"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// What a validated chain is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainRole {
+    /// The serving chain: seizure detection at the 4 ms cadence.
+    Seizure,
+    /// An auxiliary decode chain folded into the serving loop every
+    /// N windows (the movement mix).
+    Movement,
+}
+
+/// A typed operator node: what the untyped [`Operator`] becomes once
+/// the validator has checked its inputs exist. Stream-shaping operators
+/// (`map`, non-detect `select`) type to nothing — they shape the query,
+/// not the window path.
+#[derive(Debug, Clone, PartialEq)]
+enum TypedNode {
+    Detect,
+    Filter { lo_hz: f64, hi_hz: f64 },
+    Feature(FeatureKind),
+    SpikeDetect,
+    Hash(Measure),
+    CollisionCheck { reliable: bool },
+    Dtw,
+    Classify(ClassifierKind),
+    Stim,
+    Emit,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FeatureKind {
+    Sbp,
+    Fft,
+    Xcor,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClassifierKind {
+    Svm,
+    Nn,
+    Kf,
+}
+
+/// Compile-time configuration: how many channels the bound kernels are
+/// sized for and the seed deterministic decoder weights derive from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanConfig {
+    /// Channels per window block (electrodes on the serving implant).
+    pub channels: usize,
+    /// Seed for deterministically generated decoder weights.
+    pub seed: u64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        Self {
+            channels: 4,
+            seed: 0x5ca1_0b1d,
+        }
+    }
+}
+
+/// One executable stage of a compiled window plan, kernels and scratch
+/// bound at compile time.
+#[derive(Debug)]
+pub enum PlanStep {
+    /// Fused Butterworth band-pass over every channel (in place).
+    Bandpass {
+        /// The bank, its state slabs preallocated for the plan's
+        /// channel count.
+        bank: BandpassBank,
+    },
+    /// Per-channel spectral band-power features (FFT PE path).
+    FftFeatures,
+    /// Per-channel spike-band power (SBP feature path).
+    SpikeBandPower,
+    /// Adjacent-channel lagged-correlation features (XCOR PE path).
+    XcorFeatures {
+        /// Maximum lag searched, in samples.
+        max_lag: usize,
+    },
+    /// Per-channel threshold crossings (NEO + THR path).
+    SpikeDetect {
+        /// Threshold in robust standard deviations.
+        threshold_k: f64,
+    },
+    /// Per-channel seizure vote: band-power features through a seeded
+    /// linear SVM (the BBF→FFT→XCOR→SVM detection cluster).
+    SeizureDetect {
+        /// The detection SVM over the spectral feature bands.
+        svm: LinearSvm,
+    },
+    /// SSH sketch of every channel window.
+    Hash {
+        /// The sketcher, configured for the query's measure.
+        hasher: SshHasher,
+    },
+    /// Pairwise Hamming probe over the window's hashes.
+    CollisionProbe {
+        /// Hamming radius counted as a collision.
+        tolerance: u32,
+        /// Whether the broadcast rides the reliable transport (session
+        /// binding; folded so plans differ when the transport does).
+        reliable: bool,
+    },
+    /// Banded, pruned DTW confirm over adjacent channel pairs.
+    DtwConfirm {
+        /// Band parameters.
+        params: DtwParams,
+        /// Prune/decision cutoff.
+        cutoff: f64,
+    },
+    /// Linear-SVM decode over the last feature vector.
+    ClassifySvm {
+        /// Seeded decoder.
+        svm: LinearSvm,
+    },
+    /// Shallow-NN decode over the last feature vector. Boxed like
+    /// [`PlanStep::ClassifyKf`]: weight matrices dominate the enum.
+    ClassifyNn {
+        /// Seeded decoder.
+        nn: Box<ShallowNn>,
+        /// Preallocated forward-pass scratch.
+        scratch: Box<NnScratch>,
+        /// Preallocated output vector.
+        out: Vec<f64>,
+    },
+    /// Kalman decode treating the feature vector as the observation.
+    /// Boxed: the filter's matrices dwarf every other variant, and the
+    /// steady-state path only follows the pointer once per rotation.
+    ClassifyKf {
+        /// The filter (state carried across windows, like a real
+        /// decoder).
+        kf: Box<KalmanFilter>,
+        /// Preallocated step scratch.
+        scratch: Box<KalmanScratch>,
+    },
+    /// Stimulation command hand-off (DAC path; control decision only).
+    Stim,
+    /// Result hand-off to the MC runtime.
+    Emit,
+}
+
+impl PlanStep {
+    /// The step's name, for reports and tests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Bandpass { .. } => "bandpass",
+            Self::FftFeatures => "fft_features",
+            Self::SpikeBandPower => "spike_band_power",
+            Self::XcorFeatures { .. } => "xcor_features",
+            Self::SpikeDetect { .. } => "spike_detect",
+            Self::SeizureDetect { .. } => "seizure_detect",
+            Self::Hash { .. } => "hash",
+            Self::CollisionProbe { .. } => "collision_probe",
+            Self::DtwConfirm { .. } => "dtw_confirm",
+            Self::ClassifySvm { .. } => "classify_svm",
+            Self::ClassifyNn { .. } => "classify_nn",
+            Self::ClassifyKf { .. } => "classify_kf",
+            Self::Stim => "stim",
+            Self::Emit => "emit",
+        }
+    }
+}
+
+/// One chain compiled to an executable, topo-ordered step list.
+#[derive(Debug)]
+pub struct WindowPlan {
+    name: String,
+    role: ChainRole,
+    window_ms: f64,
+    cadence: usize,
+    predicted_window_ms: f64,
+    steps: Vec<PlanStep>,
+}
+
+impl WindowPlan {
+    /// Validates and binds one lowered chain against `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlanError`] except `Query`/`BadProgram`/`Infeasible`.
+    pub fn compile(dag: &Dag, cfg: &PlanConfig) -> Result<Self, PlanError> {
+        let (window_ms, nodes) = typecheck(dag)?;
+        let role = chain_role(dag, &nodes)?;
+        let cadence = cadence_of(dag, role, window_ms)?;
+        let steps = bind(&nodes, cfg);
+        let predicted_window_ms = pes_for_dag(dag)
+            .into_iter()
+            .map(|pe| scalo_hw::pe::spec(pe).latency.worst_ms(SERVING_WINDOW_MS))
+            .sum();
+        Ok(Self {
+            name: dag.name.clone(),
+            role,
+            window_ms,
+            cadence,
+            predicted_window_ms,
+            steps,
+        })
+    }
+
+    /// The chain's bound name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What the chain is for.
+    pub fn role(&self) -> ChainRole {
+        self.role
+    }
+
+    /// The chain's window size, ms.
+    pub fn window_ms(&self) -> f64 {
+        self.window_ms
+    }
+
+    /// How often the chain runs, in 4 ms serving windows (1 for the
+    /// serving chain itself).
+    pub fn cadence(&self) -> usize {
+        self.cadence
+    }
+
+    /// Serial worst-case PE latency of the chain's fabric mapping, ms —
+    /// what admission compares against the response deadline.
+    pub fn predicted_window_ms(&self) -> f64 {
+        self.predicted_window_ms
+    }
+
+    /// The bound steps, in execution order.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// Step names in execution order, for reports.
+    pub fn step_names(&self) -> Vec<&'static str> {
+        self.steps.iter().map(PlanStep::name).collect()
+    }
+
+    /// Runs every bound step over one window `block`, reusing the
+    /// session workspace's scratch, and returns the FNV-1a digest of
+    /// everything the stages produced. Deterministic: same plan, same
+    /// block, same digest — on any host, any thread.
+    pub fn execute_window(&mut self, block: &mut ChannelBlock, ws: &mut Workspace) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(block.channels() as u64);
+        h.write_u64(block.samples() as u64);
+        for step in &mut self.steps {
+            execute_step(step, block, ws, &mut h);
+        }
+        h.finish()
+    }
+}
+
+fn execute_step(step: &mut PlanStep, block: &mut ChannelBlock, ws: &mut Workspace, h: &mut Fnv64) {
+    let channels = block.channels();
+    match step {
+        PlanStep::Bandpass { bank } => {
+            bank.process_block(block);
+            for &x in block.data() {
+                h.write_f64(x);
+            }
+        }
+        PlanStep::FftFeatures => {
+            for c in 0..channels {
+                block.copy_channel_into(c, &mut ws.chan);
+                band_power_features_into(&ws.chan, &mut ws.fft, &mut ws.features);
+                for &f in &ws.features {
+                    h.write_f64(f);
+                }
+            }
+            // Leave the last channel's features in `ws.features` for a
+            // downstream decoder — matches the per-implant serving path
+            // where the decoder consumes the final electrode's features.
+        }
+        PlanStep::SpikeBandPower => {
+            ws.features.clear();
+            for c in 0..channels {
+                block.copy_channel_into(c, &mut ws.chan);
+                ws.features.push(spike_band_power(&ws.chan));
+            }
+            for &f in &ws.features {
+                h.write_f64(f);
+            }
+        }
+        PlanStep::XcorFeatures { max_lag } => {
+            ws.features.clear();
+            for c in 0..channels {
+                block.copy_channel_into(c, &mut ws.znorm_a);
+                block.copy_channel_into((c + 1) % channels, &mut ws.znorm_b);
+                let (lag, r) = max_lagged_pearson(&ws.znorm_a, &ws.znorm_b, *max_lag);
+                h.write_u64(lag as u64);
+                ws.features.push(r);
+            }
+            for &f in &ws.features {
+                h.write_f64(f);
+            }
+        }
+        PlanStep::SpikeDetect { threshold_k } => {
+            for c in 0..channels {
+                block.copy_channel_into(c, &mut ws.chan);
+                let thr = spike_threshold_with(&mut ws.znorm_a, &ws.chan, *threshold_k);
+                let crossings = ws.chan.iter().filter(|&&x| x.abs() > thr).count();
+                h.write_u64(crossings as u64);
+            }
+        }
+        PlanStep::SeizureDetect { svm } => {
+            for c in 0..channels {
+                block.copy_channel_into(c, &mut ws.chan);
+                band_power_features_into(&ws.chan, &mut ws.fft, &mut ws.features);
+                h.write_u64(u64::from(svm.predict(&ws.features)));
+            }
+        }
+        PlanStep::Hash { hasher } => {
+            hasher.hash_block_into(block, &mut ws.block_hash, &mut ws.hashes);
+            for hash in &ws.hashes {
+                h.write_bytes(&hash.0);
+            }
+        }
+        PlanStep::CollisionProbe {
+            tolerance,
+            reliable,
+        } => {
+            let mut collisions = 0u64;
+            for a in 0..ws.hashes.len() {
+                for b in (a + 1)..ws.hashes.len() {
+                    if ws.hashes[a].hamming(&ws.hashes[b]) <= *tolerance {
+                        collisions += 1;
+                    }
+                }
+            }
+            h.write_u64(collisions);
+            h.write_u64(u64::from(*reliable));
+        }
+        PlanStep::DtwConfirm { params, cutoff } => {
+            for c in 0..channels.saturating_sub(1) {
+                block.copy_channel_into(c, &mut ws.znorm_a);
+                block.copy_channel_into(c + 1, &mut ws.znorm_b);
+                let out =
+                    dtw_distance_pruned(&mut ws.dtw, &ws.znorm_a, &ws.znorm_b, *params, *cutoff);
+                h.write_u64(u64::from(out.distance < *cutoff));
+            }
+        }
+        PlanStep::ClassifySvm { svm } => {
+            h.write_f64(svm.decision(&ws.features));
+        }
+        PlanStep::ClassifyNn { nn, scratch, out } => {
+            nn.forward_into(&ws.features, scratch, out);
+            for &y in out.iter() {
+                h.write_f64(y);
+            }
+        }
+        PlanStep::ClassifyKf { kf, scratch } => {
+            // A singular innovation covariance is a function of the
+            // seeded model alone; the sentinel is as deterministic as a
+            // real decode (same convention as the movement mix).
+            match kf.step_with(&ws.features, scratch) {
+                Ok(state) => {
+                    for &x in state {
+                        h.write_f64(x);
+                    }
+                }
+                Err(_) => h.write_f64(f64::MAX),
+            }
+        }
+        PlanStep::Stim => h.write_u64(0x5717),
+        PlanStep::Emit => h.write_u64(0xca11),
+    }
+}
+
+/// First pass: untyped operators → typed nodes, with input/order
+/// checking. Returns the chain's window size alongside the nodes.
+fn typecheck(dag: &Dag) -> Result<(f64, Vec<TypedNode>), PlanError> {
+    let chain = || dag.name.clone();
+    let misplaced = |op: &'static str, message: &'static str| PlanError::Misplaced {
+        chain: chain(),
+        op,
+        message,
+    };
+    let mut window_ms: Option<f64> = None;
+    let mut nodes = Vec::with_capacity(dag.operators.len());
+    let mut hashed = false;
+    let mut checked = false;
+    let mut detected = false;
+    let mut confirmed = false;
+    let mut featured = false;
+    let mut classified = false;
+    let mut emitted = false;
+    for op in &dag.operators {
+        if emitted {
+            return Err(misplaced("call_runtime", "must terminate the chain"));
+        }
+        // Everything below the match is a compute stage; stream shaping
+        // (`map`, plain `select`) passes through without a typed node.
+        let typed = match op {
+            Operator::Window { ms } => {
+                if window_ms.is_some() {
+                    return Err(misplaced("window", "appears twice; chains take one window"));
+                }
+                window_ms = Some(*ms);
+                continue;
+            }
+            Operator::Map { .. } => continue,
+            Operator::Select {
+                seizure_detect: false,
+                ..
+            } => continue,
+            Operator::Select { .. } => {
+                detected = true;
+                TypedNode::Detect
+            }
+            Operator::Bbf { lo_hz, hi_hz } => TypedNode::Filter {
+                lo_hz: *lo_hz,
+                hi_hz: *hi_hz,
+            },
+            Operator::Sbp => {
+                featured = true;
+                TypedNode::Feature(FeatureKind::Sbp)
+            }
+            Operator::Fft => {
+                featured = true;
+                TypedNode::Feature(FeatureKind::Fft)
+            }
+            Operator::Xcor => {
+                featured = true;
+                TypedNode::Feature(FeatureKind::Xcor)
+            }
+            Operator::SpikeDetect => TypedNode::SpikeDetect,
+            Operator::Hash { measure } => {
+                hashed = true;
+                TypedNode::Hash(match measure.as_str() {
+                    "euclidean" => Measure::Euclidean,
+                    "xcor" => Measure::Xcor,
+                    "emd" => Measure::Emd,
+                    _ => Measure::Dtw,
+                })
+            }
+            Operator::CollisionCheck { reliable } => {
+                if !hashed {
+                    return Err(misplaced("ccheck", "needs a `hash` stage to probe"));
+                }
+                checked = true;
+                TypedNode::CollisionCheck {
+                    reliable: *reliable,
+                }
+            }
+            Operator::Dtw => {
+                if !checked {
+                    return Err(misplaced(
+                        "dtw",
+                        "confirms collision-check candidates; add `ccheck` first",
+                    ));
+                }
+                confirmed = true;
+                TypedNode::Dtw
+            }
+            Operator::Svm | Operator::Nn | Operator::Kf { .. } => {
+                if !featured {
+                    return Err(misplaced(
+                        "decoder",
+                        "classifies features; add a feature stage (sbp/fft/xcor) first",
+                    ));
+                }
+                if classified {
+                    return Err(misplaced("decoder", "appears twice; chains carry one"));
+                }
+                classified = true;
+                TypedNode::Classify(match op {
+                    Operator::Svm => ClassifierKind::Svm,
+                    Operator::Nn => ClassifierKind::Nn,
+                    _ => ClassifierKind::Kf,
+                })
+            }
+            Operator::Stim => {
+                if !detected && !confirmed {
+                    return Err(misplaced("stim", "needs a detection stage upstream"));
+                }
+                TypedNode::Stim
+            }
+            Operator::CallRuntime => {
+                emitted = true;
+                TypedNode::Emit
+            }
+        };
+        nodes.push(typed);
+    }
+    let window_ms = window_ms.ok_or_else(|| PlanError::MissingWindow { chain: chain() })?;
+    if nodes.is_empty() {
+        return Err(PlanError::BadProgram {
+            message: format!(
+                "chain `{}` windows the stream but computes nothing",
+                dag.name
+            ),
+        });
+    }
+    Ok((window_ms, nodes))
+}
+
+/// Second pass: the chain's role, from which stages it carries.
+fn chain_role(dag: &Dag, nodes: &[TypedNode]) -> Result<ChainRole, PlanError> {
+    let seizure = nodes.iter().any(|n| {
+        matches!(
+            n,
+            TypedNode::Detect
+                | TypedNode::Hash(_)
+                | TypedNode::CollisionCheck { .. }
+                | TypedNode::Dtw
+                | TypedNode::Stim
+        )
+    });
+    let movement = nodes.iter().any(|n| matches!(n, TypedNode::Classify(_)));
+    match (seizure, movement) {
+        (true, true) => Err(PlanError::AmbiguousRole {
+            chain: dag.name.clone(),
+        }),
+        (true, false) => Ok(ChainRole::Seizure),
+        (false, true) => Ok(ChainRole::Movement),
+        (false, false) => Err(PlanError::BadProgram {
+            message: format!(
+                "chain `{}` has neither a detection nor a decode stage",
+                dag.name
+            ),
+        }),
+    }
+}
+
+/// Third pass: cadence in serving windows. The serving chain must sit
+/// exactly on the 4 ms cadence; auxiliary chains on a positive integer
+/// multiple of it (this is where Listing 1's 50 ms movement chain is
+/// rejected with a precise error — 50/4 is not integral).
+fn cadence_of(dag: &Dag, role: ChainRole, window_ms: f64) -> Result<usize, PlanError> {
+    let mismatch = || PlanError::CadenceMismatch {
+        chain: dag.name.clone(),
+        window_ms,
+    };
+    match role {
+        ChainRole::Seizure => {
+            if window_ms != SERVING_WINDOW_MS {
+                return Err(mismatch());
+            }
+            Ok(1)
+        }
+        ChainRole::Movement => {
+            let ratio = window_ms / SERVING_WINDOW_MS;
+            if ratio < 1.0 || ratio.fract() != 0.0 {
+                return Err(mismatch());
+            }
+            Ok(ratio as usize)
+        }
+    }
+}
+
+/// Final pass: typed nodes → executable steps with kernels and scratch
+/// bound. Infallible — validation already ran.
+fn bind(nodes: &[TypedNode], cfg: &PlanConfig) -> Vec<PlanStep> {
+    let channels = cfg.channels.max(1);
+    let mut feature_dim = 0usize;
+    let mut steps = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        steps.push(match node {
+            TypedNode::Detect => PlanStep::SeizureDetect {
+                svm: seeded_svm(cfg.seed, 0xd3, scalo_signal::fft::FEATURE_BANDS.len()),
+            },
+            TypedNode::Filter { lo_hz, hi_hz } => {
+                let design = BandpassDesign::new(2, *lo_hz, *hi_hz, SAMPLE_RATE_HZ);
+                PlanStep::Bandpass {
+                    bank: BandpassBank::new(&design, channels),
+                }
+            }
+            TypedNode::Feature(kind) => match kind {
+                FeatureKind::Fft => {
+                    feature_dim = scalo_signal::fft::FEATURE_BANDS.len();
+                    PlanStep::FftFeatures
+                }
+                FeatureKind::Sbp => {
+                    feature_dim = channels;
+                    PlanStep::SpikeBandPower
+                }
+                FeatureKind::Xcor => {
+                    feature_dim = channels;
+                    PlanStep::XcorFeatures { max_lag: 8 }
+                }
+            },
+            TypedNode::SpikeDetect => PlanStep::SpikeDetect { threshold_k: 4.0 },
+            TypedNode::Hash(measure) => PlanStep::Hash {
+                hasher: SshHasher::new(HashConfig::for_measure(*measure)),
+            },
+            TypedNode::CollisionCheck { reliable } => PlanStep::CollisionProbe {
+                tolerance: 8,
+                reliable: *reliable,
+            },
+            TypedNode::Dtw => PlanStep::DtwConfirm {
+                params: DtwParams::with_band(8),
+                cutoff: 25.0,
+            },
+            TypedNode::Classify(kind) => {
+                let dim = feature_dim.max(1);
+                match kind {
+                    ClassifierKind::Svm => PlanStep::ClassifySvm {
+                        svm: seeded_svm(cfg.seed, 0x57, dim),
+                    },
+                    ClassifierKind::Nn => PlanStep::ClassifyNn {
+                        nn: Box::new(seeded_nn(cfg.seed, dim, 8, 3)),
+                        scratch: Box::new(NnScratch::new()),
+                        out: Vec::with_capacity(3),
+                    },
+                    ClassifierKind::Kf => PlanStep::ClassifyKf {
+                        kf: Box::new(seeded_kf(cfg.seed, dim)),
+                        scratch: Box::new(KalmanScratch::new()),
+                    },
+                }
+            }
+            TypedNode::Stim => PlanStep::Stim,
+            TypedNode::Emit => PlanStep::Emit,
+        });
+    }
+    steps
+}
+
+/// SplitMix64: the deterministic weight stream decoder binding draws
+/// from. Same seed, same weights, on every host.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `n` deterministic weights in `[-1, 1)`.
+fn seeded_weights(seed: u64, tag: u64, n: usize) -> Vec<f64> {
+    let mut state = seed ^ tag.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    (0..n)
+        .map(|_| (splitmix(&mut state) >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0)
+        .collect()
+}
+
+fn seeded_svm(seed: u64, tag: u64, dim: usize) -> LinearSvm {
+    LinearSvm::new(seeded_weights(seed, tag, dim), 0.0)
+}
+
+fn seeded_nn(seed: u64, input: usize, hidden: usize, output: usize) -> ShallowNn {
+    let w1 = Matrix::from_vec(hidden, input, seeded_weights(seed, 0x11, hidden * input));
+    let b1 = Matrix::from_vec(hidden, 1, seeded_weights(seed, 0x12, hidden));
+    let w2 = Matrix::from_vec(output, hidden, seeded_weights(seed, 0x13, output * hidden));
+    let b2 = Matrix::from_vec(output, 1, seeded_weights(seed, 0x14, output));
+    ShallowNn::new(w1, b1, w2, b2)
+}
+
+fn seeded_kf(seed: u64, obs: usize) -> KalmanFilter {
+    // Constant-velocity state over a seeded observation projection; Q is
+    // diagonally dominated so the innovation covariance stays regular.
+    let a = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+    let w = Matrix::identity(2).scale(0.01);
+    let h = Matrix::from_vec(obs, 2, seeded_weights(seed, 0x15, obs * 2));
+    let q = Matrix::identity(obs).scale(0.1);
+    KalmanFilter::new(KalmanModel::new(a, w, h, q))
+}
+
+/// The session-level knobs a compiled program pins down: everything a
+/// [`crate::session::SessionSpec`] needs beyond its identity fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionBinding {
+    /// Movement-mix cadence in serving windows (0 = none).
+    pub movement_every: usize,
+    /// Whether hash broadcasts ride the reliable transport.
+    pub use_reliable_transport: bool,
+}
+
+/// A whole program compiled: one [`WindowPlan`] per chain, the derived
+/// session binding, and the canonical re-printed source (whose
+/// recompilation is the identity — pinned by proptest in `scalo-query`).
+#[derive(Debug)]
+pub struct ProgramPlan {
+    source: String,
+    chains: Vec<WindowPlan>,
+    binding: SessionBinding,
+}
+
+impl ProgramPlan {
+    /// Compiles fluent source into an executable program plan.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlanError`]: the source must lex/parse/lower, every chain
+    /// must validate, and the mix must be exactly one serving chain
+    /// plus at most one movement chain.
+    pub fn compile(source: &str, cfg: &PlanConfig) -> Result<Self, PlanError> {
+        let dags = compile_program(source)?;
+        let mut chains = Vec::with_capacity(dags.len());
+        for dag in &dags {
+            chains.push(WindowPlan::compile(dag, cfg)?);
+        }
+        let seizure = chains
+            .iter()
+            .filter(|c| c.role() == ChainRole::Seizure)
+            .count();
+        if seizure != 1 {
+            return Err(PlanError::BadProgram {
+                message: format!(
+                    "programs serve exactly one seizure-detection chain (found {seizure})"
+                ),
+            });
+        }
+        let movement: Vec<&WindowPlan> = chains
+            .iter()
+            .filter(|c| c.role() == ChainRole::Movement)
+            .collect();
+        if movement.len() > 1 {
+            return Err(PlanError::BadProgram {
+                message: format!(
+                    "programs fold in at most one movement chain (found {})",
+                    movement.len()
+                ),
+            });
+        }
+        let reliable = dags
+            .iter()
+            .flat_map(|d| &d.operators)
+            .any(|op| matches!(op, Operator::CollisionCheck { reliable: true }));
+        let binding = SessionBinding {
+            movement_every: movement.first().map_or(0, |c| c.cadence()),
+            use_reliable_transport: reliable,
+        };
+        let source = dags
+            .iter()
+            .map(Dag::to_query)
+            .collect::<Vec<_>>()
+            .join("\n");
+        Ok(Self {
+            source,
+            chains,
+            binding,
+        })
+    }
+
+    /// The canonical (re-printed) source; recompiling it reproduces
+    /// this plan exactly.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The program's name: its serving chain's bound name.
+    pub fn name(&self) -> &str {
+        self.serving_chain().name()
+    }
+
+    /// The session-level binding the program pins down.
+    pub fn binding(&self) -> SessionBinding {
+        self.binding
+    }
+
+    /// Every compiled chain, serving chain first among equals.
+    pub fn chains(&self) -> &[WindowPlan] {
+        &self.chains
+    }
+
+    /// Mutable access, for executing chains.
+    pub fn chains_mut(&mut self) -> &mut [WindowPlan] {
+        &mut self.chains
+    }
+
+    /// The 4 ms serving chain.
+    pub fn serving_chain(&self) -> &WindowPlan {
+        self.chains
+            .iter()
+            .find(|c| c.role() == ChainRole::Seizure)
+            .expect("ProgramPlan::compile guarantees one serving chain")
+    }
+}
+
+/// The solved placement budget for a compiled program on a deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleBudget {
+    /// The seizure ILP's solved flows.
+    pub schedule: SeizureSchedule,
+    /// Serial worst-case PE latency of the serving chain, ms.
+    pub predicted_window_ms: f64,
+}
+
+/// Re-solves the seizure ILP for `plan` on a `nodes`-implant deployment
+/// under `power_limit_mw` per node — the admission gate for
+/// query-backed sessions and the re-solve step of hot reconfiguration.
+///
+/// # Errors
+///
+/// [`PlanError::Infeasible`] when the solver finds no placement (fixed
+/// overheads alone exceed the budget).
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or `power_limit_mw` is not positive
+/// (admission validates deployments before budgeting them).
+pub fn resolve_budget(
+    plan: &ProgramPlan,
+    nodes: usize,
+    power_limit_mw: f64,
+) -> Result<ScheduleBudget, PlanError> {
+    let scenario = Scenario::new(nodes, power_limit_mw);
+    let schedule = solve(&scenario, Priorities::equal()).map_err(|_| PlanError::Infeasible {
+        nodes,
+        power_limit_mw,
+    })?;
+    Ok(ScheduleBudget {
+        schedule,
+        predicted_window_ms: plan.serving_chain().predicted_window_ms(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEIZURE: &str = "var watch = stream.window(wsize=4ms).seizure_detect().hash(dtw)\
+                           .ccheck().dtw().stim().call_runtime()";
+    const MIX: &str = "var watch = stream.window(wsize=4ms).seizure_detect().hash(dtw)\
+                       .ccheck(reliable).dtw().stim().call_runtime()\n\
+                       var decode = stream.window(wsize=100ms).sbp().kf(kf_params).call_runtime()";
+
+    fn block(seed: u64, channels: usize) -> ChannelBlock {
+        let mut b = ChannelBlock::new();
+        b.reset(channels, crate::apps::seizure::WINDOW);
+        let mut state = seed;
+        for x in b.data_mut() {
+            *x = (splitmix(&mut state) >> 11) as f64 / (1u64 << 52) as f64 - 0.5;
+        }
+        b
+    }
+
+    #[test]
+    fn seizure_chain_compiles_to_ordered_steps() {
+        let plan = ProgramPlan::compile(SEIZURE, &PlanConfig::default()).unwrap();
+        assert_eq!(plan.name(), "watch");
+        assert_eq!(plan.binding().movement_every, 0);
+        assert!(!plan.binding().use_reliable_transport);
+        let serving = plan.serving_chain();
+        assert_eq!(serving.cadence(), 1);
+        assert_eq!(
+            serving.step_names(),
+            [
+                "seizure_detect",
+                "hash",
+                "collision_probe",
+                "dtw_confirm",
+                "stim",
+                "emit"
+            ]
+        );
+        assert!(serving.predicted_window_ms() > 0.0);
+    }
+
+    #[test]
+    fn program_mix_derives_session_binding() {
+        let plan = ProgramPlan::compile(MIX, &PlanConfig::default()).unwrap();
+        assert_eq!(plan.chains().len(), 2);
+        assert_eq!(
+            plan.binding(),
+            SessionBinding {
+                movement_every: 25,
+                use_reliable_transport: true,
+            }
+        );
+        // Canonical source recompiles to the same binding.
+        let again = ProgramPlan::compile(plan.source(), &PlanConfig::default()).unwrap();
+        assert_eq!(again.binding(), plan.binding());
+        assert_eq!(again.source(), plan.source());
+    }
+
+    #[test]
+    fn execution_digest_is_deterministic_and_input_sensitive() {
+        let cfg = PlanConfig::default();
+        let mut a = ProgramPlan::compile(SEIZURE, &cfg).unwrap();
+        let mut b = ProgramPlan::compile(SEIZURE, &cfg).unwrap();
+        let mut ws = Workspace::new();
+        let d1 = a.chains_mut()[0].execute_window(&mut block(7, cfg.channels), &mut ws);
+        let d2 = b.chains_mut()[0].execute_window(&mut block(7, cfg.channels), &mut ws);
+        assert_eq!(d1, d2, "two compilations of one source must agree");
+        let d3 = a.chains_mut()[0].execute_window(&mut block(8, cfg.channels), &mut ws);
+        assert_ne!(d1, d3, "different windows must digest differently");
+    }
+
+    #[test]
+    fn every_decoder_shape_executes() {
+        let cfg = PlanConfig::default();
+        for decoder in ["svm()", "nn()", "kf(kf_params)"] {
+            let src =
+                format!("var decode = stream.window(wsize=8ms).fft().{decoder}.call_runtime()");
+            let mut plan = ProgramPlan::compile(
+                &format!("var watch = stream.window(wsize=4ms).seizure_detect()\n{src}"),
+                &cfg,
+            )
+            .unwrap();
+            let mut ws = Workspace::new();
+            let movement = &mut plan.chains_mut()[1];
+            assert_eq!(movement.cadence(), 2);
+            let d = movement.execute_window(&mut block(3, cfg.channels), &mut ws);
+            assert_ne!(d, 0, "decoder {decoder} must fold outputs");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_misordered_chains() {
+        let cfg = PlanConfig::default();
+        let compile = |src: &str| ProgramPlan::compile(src, &cfg);
+        // ccheck without a hash.
+        assert!(matches!(
+            compile("var q = stream.window(wsize=4ms).ccheck()"),
+            Err(PlanError::Misplaced { op: "ccheck", .. })
+        ));
+        // dtw without a ccheck.
+        assert!(matches!(
+            compile("var q = stream.window(wsize=4ms).hash(dtw).dtw()"),
+            Err(PlanError::Misplaced { op: "dtw", .. })
+        ));
+        // A decoder without features.
+        assert!(matches!(
+            compile("var q = stream.window(wsize=8ms).svm()"),
+            Err(PlanError::Misplaced { op: "decoder", .. })
+        ));
+        // stim with nothing to act on.
+        assert!(matches!(
+            compile("var q = stream.window(wsize=4ms).hash(dtw).stim()"),
+            Err(PlanError::Misplaced { op: "stim", .. })
+        ));
+        // No window at all.
+        assert!(matches!(
+            compile("var q = stream.seizure_detect()"),
+            Err(PlanError::MissingWindow { .. })
+        ));
+        // Listing 1 alone: 50 ms does not sit on the 4 ms cadence.
+        assert!(matches!(
+            compile("var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()"),
+            Err(PlanError::CadenceMismatch { .. })
+        ));
+        // Detection and decode in one chain.
+        assert!(matches!(
+            compile("var q = stream.window(wsize=4ms).seizure_detect().fft().svm()"),
+            Err(PlanError::AmbiguousRole { .. })
+        ));
+        // Two serving chains.
+        assert!(matches!(
+            compile(
+                "var a = stream.window(wsize=4ms).seizure_detect()\n\
+                 var b = stream.window(wsize=4ms).seizure_detect()"
+            ),
+            Err(PlanError::BadProgram { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_resolves_on_default_deployment() {
+        let plan = ProgramPlan::compile(SEIZURE, &PlanConfig::default()).unwrap();
+        let budget = resolve_budget(&plan, 4, 15.0).unwrap();
+        assert!(budget.schedule.weighted_mbps > 0.0);
+        assert!(budget.predicted_window_ms > 0.0);
+        // A starvation budget is infeasible, typed as such.
+        assert!(matches!(
+            resolve_budget(&plan, 4, 1e-3),
+            Err(PlanError::Infeasible { nodes: 4, .. })
+        ));
+    }
+}

@@ -15,6 +15,7 @@
 use crate::apps::movement;
 use crate::apps::seizure::{PropagationRun, RunState, SeizureApp, WINDOW_US};
 use crate::config::ScaloConfig;
+use crate::plan::{PlanConfig, PlanError, ProgramPlan};
 use crate::snapshot::{fnv1a, Fnv64, SessionSnapshot, SnapshotError};
 use crate::workspace::Workspace;
 use scalo_data::ieeg::{generate, IeegConfig, MultiSiteRecording, SeizureEvent};
@@ -58,6 +59,14 @@ pub struct SessionSpec {
     /// enabled `scalo-trace` recorder, pre-allocated at admission so
     /// steady-state recording stays allocation-free.
     pub trace_capacity: usize,
+    /// The canonical query source this spec was compiled from, if the
+    /// session is query-backed ([`SessionSpec::with_query`]). Carried
+    /// through snapshots and the WAL so recovery and swap fault-in
+    /// restore query-backed sessions as such. Decisions never read it —
+    /// the compiled binding already set the fields that matter — so a
+    /// query-backed spec digests identically to the equivalent
+    /// hand-built one.
+    pub query: Option<String>,
 }
 
 impl SessionSpec {
@@ -77,7 +86,30 @@ impl SessionSpec {
             step_deadline_us: WINDOW_US,
             io_stall_us: 0,
             trace_capacity: 0,
+            query: None,
         }
+    }
+
+    /// Compiles `source` ([`ProgramPlan::compile`] against this spec's
+    /// deployment and seed) and binds the result: movement cadence and
+    /// transport from the program, the canonical re-printed source
+    /// stored as the spec's query.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlanError`] — the source must compile to a servable
+    /// program.
+    pub fn with_query(mut self, source: &str) -> Result<Self, PlanError> {
+        let cfg = PlanConfig {
+            channels: self.electrodes,
+            seed: self.seed,
+        };
+        let plan = ProgramPlan::compile(source, &cfg)?;
+        let binding = plan.binding();
+        self.movement_every = binding.movement_every;
+        self.use_reliable_transport = binding.use_reliable_transport;
+        self.query = Some(plan.source().to_string());
+        Ok(self)
     }
 
     /// Sets the admission priority.
@@ -147,6 +179,84 @@ impl SessionSpec {
     }
 }
 
+/// The decision-affecting knobs a reconfiguration can change, plus the
+/// query they came from: one epoch of a session's binding timeline.
+///
+/// Restoration replays a session epoch by epoch — epoch 0's binding
+/// from window 0, each later binding from its recorded window — so a
+/// snapshot taken *after* a hot reconfiguration still verifies
+/// digest-for-digest (see [`Session::restore`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBinding {
+    /// Movement-mix cadence in windows (0 = none).
+    pub movement_every: usize,
+    /// Whether hash broadcasts ride the reliable transport.
+    pub use_reliable_transport: bool,
+    /// The canonical query source behind this binding, if any.
+    pub query: Option<String>,
+}
+
+impl QueryBinding {
+    /// The binding a spec currently pins down.
+    pub fn of(spec: &SessionSpec) -> Self {
+        Self {
+            movement_every: spec.movement_every,
+            use_reliable_transport: spec.use_reliable_transport,
+            query: spec.query.clone(),
+        }
+    }
+}
+
+/// Why a hot reconfiguration was refused. The live session is untouched
+/// on every variant — cutover is all-or-nothing by construction (the
+/// new configuration is built on a restored twin and only swapped in
+/// once the twin's replay digest-verified).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReconfigureError {
+    /// The new spec changes an identity field (id, seed, deployment,
+    /// duration, or BER) — that is a new patient, not a new query.
+    Identity {
+        /// Which field differed.
+        field: &'static str,
+    },
+    /// The caller's expected digest did not match the live session at
+    /// the cutover boundary.
+    Digest {
+        /// What the caller expected.
+        expected: u64,
+        /// What the live session digested to.
+        actual: u64,
+    },
+    /// The pre-cutover replay failed to reproduce the live session.
+    Restore(SnapshotError),
+}
+
+impl std::fmt::Display for ReconfigureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Identity { field } => {
+                write!(f, "reconfiguration may not change identity field `{field}`")
+            }
+            Self::Digest { expected, actual } => write!(
+                f,
+                "cutover digest mismatch: expected {expected:016x}, live session is {actual:016x}"
+            ),
+            Self::Restore(e) => write!(f, "cutover replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigureError {}
+
+/// What a successful [`Session::reconfigure`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigureOutcome {
+    /// The window boundary the new binding took effect at.
+    pub window: u64,
+    /// Windows the digest-checking replay re-executed.
+    pub replayed_windows: u64,
+}
+
 /// What one [`Session::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepOutcome {
@@ -204,6 +314,13 @@ pub struct Session {
     steps: u64,
     deadline_misses: u64,
     wall_us: u64,
+    /// The binding the session was admitted with (epoch 0 of the
+    /// timeline).
+    initial_binding: QueryBinding,
+    /// Hot reconfigurations applied so far: `(window, binding)` pairs in
+    /// application order. Snapshots carry the whole timeline so restore
+    /// can replay it faithfully.
+    reconfigures: Vec<(u64, QueryBinding)>,
 }
 
 impl Session {
@@ -230,6 +347,7 @@ impl Session {
             // recorder adds nothing to the steady-state window path.
             workspace.trace = Recorder::with_capacity(spec.trace_capacity, spec.electrodes);
         }
+        let initial_binding = QueryBinding::of(&spec);
         Self {
             spec,
             app,
@@ -241,6 +359,8 @@ impl Session {
             steps: 0,
             deadline_misses: 0,
             wall_us: 0,
+            initial_binding,
+            reconfigures: Vec::new(),
         }
     }
 
@@ -262,6 +382,104 @@ impl Session {
     /// Whether every window has been processed.
     pub fn is_done(&self) -> bool {
         self.state.is_done()
+    }
+
+    /// The next window to be stepped (also the boundary a hot
+    /// reconfiguration would cut over at).
+    pub fn window(&self) -> u64 {
+        self.state.window() as u64
+    }
+
+    /// Hot reconfigurations applied so far: `(window, binding)` pairs.
+    pub fn reconfigure_log(&self) -> &[(u64, QueryBinding)] {
+        &self.reconfigures
+    }
+
+    /// Applies a binding's decision-affecting knobs in place. The
+    /// movement engine is created or dropped to match — created from
+    /// the same seed derivation as admission, so a replayed transition
+    /// reproduces the live one exactly.
+    fn apply_binding(&mut self, binding: &QueryBinding) {
+        self.spec.movement_every = binding.movement_every;
+        self.spec.use_reliable_transport = binding.use_reliable_transport;
+        self.spec.query = binding.query.clone();
+        self.app.use_reliable_transport = binding.use_reliable_transport;
+        if binding.movement_every > 0 {
+            if self.movement.is_none() {
+                self.movement = Some(movement::generate_session(24, 8, self.spec.seed ^ 0x33));
+            }
+        } else {
+            self.movement = None;
+        }
+    }
+
+    /// Hot-reconfigures the session to `new_spec` at the current window
+    /// boundary, with digest-checked cutover and rollback on mismatch.
+    ///
+    /// Identity fields (id, seed, deployment, duration, BER) are
+    /// immutable — changing the application means changing the query
+    /// binding (movement cadence, transport) and forward-only serving
+    /// knobs (priority, deadline, stall, trace capacity).
+    ///
+    /// Cutover builds the reconfigured session as a *twin*: snapshot
+    /// the live session, restore the twin through the full binding
+    /// timeline (which digest-verifies the replay), apply the new
+    /// binding, and only then swap it in. The live session is untouched
+    /// on any error — a failed cutover *is* the rollback. The replay
+    /// makes cutover cost proportional to the session's age; the fleet
+    /// reports that latency per reconfiguration.
+    ///
+    /// `expected_step_digest` optionally pins the live session's
+    /// [`Self::step_digest`] at the boundary; a mismatch aborts before
+    /// any work (the forced-mismatch rollback path).
+    ///
+    /// # Errors
+    ///
+    /// [`ReconfigureError`] — identity change, digest mismatch, or a
+    /// replay that failed to reproduce the live session.
+    pub fn reconfigure(
+        &mut self,
+        new_spec: SessionSpec,
+        expected_step_digest: Option<u64>,
+    ) -> Result<ReconfigureOutcome, ReconfigureError> {
+        let identity: [(&'static str, bool); 6] = [
+            ("id", new_spec.id == self.spec.id),
+            ("seed", new_spec.seed == self.spec.seed),
+            ("nodes", new_spec.nodes == self.spec.nodes),
+            ("electrodes", new_spec.electrodes == self.spec.electrodes),
+            ("duration_s", new_spec.duration_s == self.spec.duration_s),
+            ("ber", new_spec.ber == self.spec.ber),
+        ];
+        for (field, same) in identity {
+            if !same {
+                return Err(ReconfigureError::Identity { field });
+            }
+        }
+        if let Some(expected) = expected_step_digest {
+            let actual = self.step_digest();
+            if expected != actual {
+                return Err(ReconfigureError::Digest { expected, actual });
+            }
+        }
+        let snap = self.snapshot();
+        let mut twin = Self::restore(&snap).map_err(ReconfigureError::Restore)?;
+        let window = snap.window;
+        twin.apply_binding(&QueryBinding::of(&new_spec));
+        twin.reconfigures
+            .push((window, QueryBinding::of(&new_spec)));
+        // Forward-only serving knobs follow the new spec immediately;
+        // none of them feed decisions.
+        twin.spec.priority = new_spec.priority;
+        twin.spec.step_deadline_us = new_spec.step_deadline_us;
+        twin.spec.io_stall_us = new_spec.io_stall_us;
+        if new_spec.trace_capacity != twin.spec.trace_capacity {
+            twin.set_trace_capacity(new_spec.trace_capacity);
+        }
+        *self = twin;
+        Ok(ReconfigureOutcome {
+            window,
+            replayed_windows: window,
+        })
     }
 
     /// Total windows in this session's recording.
@@ -388,6 +606,20 @@ impl Session {
         self.workspace.trace.record_external(Stage::SwapOut, dur_ns);
     }
 
+    /// Records an externally timed hot reconfiguration as a
+    /// [`Stage::Reconfigure`] span stamped with the cutover window. The
+    /// serving layer calls this right after [`Self::reconfigure`] — the
+    /// snapshot/replay/swap being timed rebuilt this session (and with
+    /// it the recorder), so the duration comes from outside. No-op when
+    /// untraced.
+    pub fn note_reconfigured(&mut self, dur_ns: u64) {
+        let next = self.state.window() as u32;
+        self.workspace.trace.set_window(next);
+        self.workspace
+            .trace
+            .record_external(Stage::Reconfigure, dur_ns);
+    }
+
     /// Drains the recorded spans (oldest first), leaving the recorder
     /// enabled with an empty ring. Used by the serving layer to export
     /// traces after a session finishes.
@@ -458,6 +690,8 @@ impl Session {
                 .collect(),
             step_digest: self.step_digest(),
             decisions_fnv: fnv1a(self.decision_digest().as_bytes()),
+            initial_binding: self.initial_binding.clone(),
+            reconfigures: self.reconfigures.clone(),
         }
     }
 
@@ -474,14 +708,31 @@ impl Session {
     /// logged run) is an error, never a silently different session.
     /// Wall-clock accounting (steps, misses, stepping time) is carried
     /// over from the snapshot, not from the fast-forward.
+    ///
+    /// Sessions that were hot-reconfigured replay their whole binding
+    /// timeline: the rebuild starts from the *initial* binding, each
+    /// recorded reconfiguration is re-applied at its window, and only
+    /// then does the fast-forward reach the cursor — so a snapshot
+    /// taken after any number of reconfigurations still verifies.
     pub fn restore(snap: &SessionSnapshot) -> Result<Self, SnapshotError> {
-        let mut session = Self::new(snap.spec.clone());
-        let stall = session.spec.io_stall_us;
+        let mut base = snap.spec.clone();
+        base.movement_every = snap.initial_binding.movement_every;
+        base.use_reliable_transport = snap.initial_binding.use_reliable_transport;
+        base.query = snap.initial_binding.query.clone();
+        let mut session = Self::new(base);
         session.spec.io_stall_us = 0;
+        for (window, binding) in &snap.reconfigures {
+            while (session.state.window() as u64) < *window && !session.state.is_done() {
+                session.step();
+            }
+            session.apply_binding(binding);
+            session.reconfigures.push((*window, binding.clone()));
+        }
         while (session.state.window() as u64) < snap.window && !session.state.is_done() {
             session.step();
         }
-        session.spec.io_stall_us = stall;
+        session.spec = snap.spec.clone();
+        session.app.use_reliable_transport = snap.spec.use_reliable_transport;
         // Fast-forward spans are re-execution artifacts, not serving
         // history: drop them so post-recovery traces start clean.
         session.workspace.trace.clear();
@@ -647,6 +898,97 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6), "different seeds must differ");
+    }
+
+    #[test]
+    fn query_backed_spec_digests_like_the_hand_built_one() {
+        let run = |spec: SessionSpec| {
+            let mut s = Session::new(spec);
+            while !s.step().done {}
+            s.decision_digest()
+        };
+        let by_query = SessionSpec::new(11, 0x77)
+            .with_duration_s(0.5)
+            .with_query(crate::catalog::MOVEMENT_MIX)
+            .unwrap();
+        assert_eq!(by_query.movement_every, 25);
+        let by_hand = SessionSpec::new(11, 0x77)
+            .with_duration_s(0.5)
+            .with_movement_every(25);
+        assert_eq!(run(by_query), run(by_hand));
+    }
+
+    #[test]
+    fn reconfigure_cuts_over_and_stays_restorable() {
+        // Admit plain seizure watch, run a while, then hot-switch to
+        // the movement mix.
+        let spec = SessionSpec::new(21, 0x9a9)
+            .with_duration_s(0.5)
+            .with_query(crate::catalog::SEIZURE_WATCH)
+            .unwrap();
+        let mut session = Session::new(spec.clone());
+        for _ in 0..40 {
+            session.step();
+        }
+        let new_spec = SessionSpec::new(21, 0x9a9)
+            .with_duration_s(0.5)
+            .with_query(crate::catalog::MOVEMENT_MIX)
+            .unwrap();
+        let expected = session.step_digest();
+        let outcome = session.reconfigure(new_spec, Some(expected)).unwrap();
+        assert_eq!(outcome.window, 40);
+        assert_eq!(session.reconfigure_log().len(), 1);
+        assert_eq!(session.spec().movement_every, 25);
+        for _ in 0..40 {
+            session.step();
+        }
+        assert!(
+            !session.movement_results.is_empty(),
+            "the new binding's movement mix must actually run"
+        );
+        // A snapshot taken after the cutover must restore (timeline
+        // replay) and keep digesting identically.
+        let snap = session.snapshot();
+        let restored = Session::restore(&snap).unwrap();
+        assert_eq!(restored.step_digest(), session.step_digest());
+        assert_eq!(restored.decision_digest(), session.decision_digest());
+        // And a second reconfiguration on top still works.
+        let mut session = restored;
+        let back = SessionSpec::new(21, 0x9a9)
+            .with_duration_s(0.5)
+            .with_query(crate::catalog::SEIZURE_RELIABLE)
+            .unwrap();
+        session.reconfigure(back, None).unwrap();
+        assert_eq!(session.reconfigure_log().len(), 2);
+        assert!(session.spec().use_reliable_transport);
+        while !session.step().done {}
+        let snap = session.snapshot();
+        assert!(Session::restore(&snap).is_ok());
+    }
+
+    #[test]
+    fn reconfigure_rolls_back_on_digest_mismatch_and_identity_change() {
+        let spec = SessionSpec::new(22, 0x5e5).with_duration_s(0.4);
+        let mut session = Session::new(spec.clone());
+        for _ in 0..20 {
+            session.step();
+        }
+        let live = session.step_digest();
+        // Forced mismatch: the caller pins a wrong digest; the live
+        // session must be untouched.
+        let err = session
+            .reconfigure(spec.clone().with_movement_every(25), Some(live ^ 1))
+            .unwrap_err();
+        assert!(matches!(err, ReconfigureError::Digest { .. }));
+        assert_eq!(session.step_digest(), live, "rollback must be total");
+        assert_eq!(session.spec().movement_every, 0);
+        assert!(session.reconfigure_log().is_empty());
+        // Identity fields are immutable.
+        let err = session
+            .reconfigure(SessionSpec::new(22, 0x5e6).with_duration_s(0.4), None)
+            .unwrap_err();
+        assert_eq!(err, ReconfigureError::Identity { field: "seed" });
+        assert_eq!(session.step_digest(), live);
     }
 
     #[test]

@@ -20,14 +20,17 @@
 //! cursor, then *verifies* the checkpointed digest cursor and RNG
 //! position byte-for-byte — divergence is an error, never silent.
 
-use crate::session::SessionSpec;
+use crate::session::{QueryBinding, SessionSpec};
 use std::fmt;
 
 /// Magic bytes opening every encoded snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SCSS";
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Current snapshot format version. Version 2 added the session's
+/// query source and binding timeline (initial binding plus every hot
+/// reconfiguration), so recovery replays reconfigured sessions epoch
+/// by epoch.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// Incremental 64-bit FNV-1a hasher, allocation-free. Used for the
 /// per-window step digests, the snapshot checksum, and the WAL record
@@ -173,6 +176,13 @@ pub struct SessionSnapshot {
     pub step_digest: u64,
     /// FNV-1a of the full decision digest string at the cursor.
     pub decisions_fnv: u64,
+    /// The binding the session was admitted with — epoch 0 of the
+    /// replay timeline.
+    pub initial_binding: QueryBinding,
+    /// Hot reconfigurations applied before the snapshot, `(window,
+    /// binding)` in application order, windows non-decreasing and at
+    /// most the cursor.
+    pub reconfigures: Vec<(u64, QueryBinding)>,
 }
 
 impl SessionSnapshot {
@@ -203,6 +213,13 @@ impl SessionSnapshot {
         put_u64(out, s.step_deadline_us);
         put_u64(out, s.io_stall_us);
         put_u64(out, s.trace_capacity as u64);
+        put_opt_str(out, s.query.as_deref());
+        put_binding(out, &self.initial_binding);
+        put_u64(out, self.reconfigures.len() as u64);
+        for (window, binding) in &self.reconfigures {
+            put_u64(out, *window);
+            put_binding(out, binding);
+        }
         put_u64(out, self.window);
         put_u64(out, self.steps);
         put_u64(out, self.deadline_misses);
@@ -261,6 +278,25 @@ impl SessionSnapshot {
         let step_deadline_us = r.u64()?;
         let io_stall_us = r.u64()?;
         let trace_capacity = r.u64()? as usize;
+        let query = r.opt_str()?;
+        let initial_binding = r.binding()?;
+        let n_reconfigures = r.u64()? as usize;
+        // Each transition is at least 8 (window) + 9 (binding fixed
+        // part) + 9 (opt-str header) bytes; bound the allocation by
+        // what actually remains.
+        if n_reconfigures > r.bytes.len().saturating_sub(r.pos) / 26 {
+            return Err(SnapshotError::Invalid("reconfigure count"));
+        }
+        let mut reconfigures = Vec::with_capacity(n_reconfigures);
+        let mut last_window = 0u64;
+        for _ in 0..n_reconfigures {
+            let at = r.u64()?;
+            if at < last_window {
+                return Err(SnapshotError::Invalid("reconfigure windows out of order"));
+            }
+            last_window = at;
+            reconfigures.push((at, r.binding()?));
+        }
         if nodes == 0 || electrodes == 0 {
             return Err(SnapshotError::Invalid("degenerate deployment"));
         }
@@ -280,8 +316,12 @@ impl SessionSnapshot {
             step_deadline_us,
             io_stall_us,
             trace_capacity,
+            query,
         };
         let window = r.u64()?;
+        if reconfigures.last().is_some_and(|&(at, _)| at > window) {
+            return Err(SnapshotError::Invalid("reconfigure beyond the cursor"));
+        }
         let steps = r.u64()?;
         let deadline_misses = r.u64()?;
         let wall_us = r.u64()?;
@@ -313,6 +353,8 @@ impl SessionSnapshot {
             movement_results,
             step_digest,
             decisions_fnv,
+            initial_binding,
+            reconfigures,
         })
     }
 }
@@ -323,6 +365,23 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 
 fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+fn put_binding(out: &mut Vec<u8>, b: &QueryBinding) {
+    put_u64(out, b.movement_every as u64);
+    out.push(u8::from(b.use_reliable_transport));
+    put_opt_str(out, b.query.as_deref());
 }
 
 struct Reader<'a> {
@@ -353,6 +412,29 @@ impl Reader<'_> {
     fn f64(&mut self) -> Result<f64, SnapshotError> {
         Ok(f64::from_bits(self.u64()?))
     }
+
+    fn opt_str(&mut self) -> Result<Option<String>, SnapshotError> {
+        if self.u8()? == 0 {
+            return Ok(None);
+        }
+        let len = self.u64()? as usize;
+        // The length is attacker-controlled until the take() below
+        // bounds it against the actual buffer.
+        if len > self.bytes.len().saturating_sub(self.pos) {
+            return Err(SnapshotError::Truncated { offset: self.pos });
+        }
+        let s = std::str::from_utf8(self.take(len)?)
+            .map_err(|_| SnapshotError::Invalid("non-UTF-8 query"))?;
+        Ok(Some(s.to_string()))
+    }
+
+    fn binding(&mut self) -> Result<QueryBinding, SnapshotError> {
+        Ok(QueryBinding {
+            movement_every: self.u64()? as usize,
+            use_reliable_transport: self.u8()? != 0,
+            query: self.opt_str()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -360,15 +442,17 @@ mod tests {
     use super::*;
 
     fn sample() -> SessionSnapshot {
+        let spec = SessionSpec::new(7, 0xfeed)
+            .with_priority(3)
+            .with_deployment(3, 5)
+            .with_duration_s(0.7)
+            .with_ber(1e-4)
+            .with_movement_every(25)
+            .with_io_stall_us(400)
+            .with_trace_capacity(1024);
+        let initial_binding = QueryBinding::of(&spec);
         SessionSnapshot {
-            spec: SessionSpec::new(7, 0xfeed)
-                .with_priority(3)
-                .with_deployment(3, 5)
-                .with_duration_s(0.7)
-                .with_ber(1e-4)
-                .with_movement_every(25)
-                .with_io_stall_us(400)
-                .with_trace_capacity(1024),
+            spec,
             window: 42,
             steps: 42,
             deadline_misses: 3,
@@ -377,6 +461,8 @@ mod tests {
             movement_results: vec![(0, 0.91), (1, -2.5)],
             step_digest: 0xdead_beef_cafe_f00d,
             decisions_fnv: 0x0123_4567_89ab_cdef,
+            initial_binding,
+            reconfigures: Vec::new(),
         }
     }
 
@@ -385,6 +471,62 @@ mod tests {
         let snap = sample();
         let bytes = snap.encode();
         assert_eq!(SessionSnapshot::decode(&bytes), Ok(snap));
+    }
+
+    #[test]
+    fn roundtrip_with_query_and_timeline() {
+        let mut snap = sample();
+        snap.spec.query = Some("var q = stream.window(wsize=4ms).seizure_detect()".into());
+        snap.initial_binding = QueryBinding {
+            movement_every: 0,
+            use_reliable_transport: false,
+            query: snap.spec.query.clone(),
+        };
+        snap.reconfigures = vec![
+            (
+                10,
+                QueryBinding {
+                    movement_every: 25,
+                    use_reliable_transport: true,
+                    query: Some("var q2 = stream.window(wsize=4ms).seizure_detect()".into()),
+                },
+            ),
+            (
+                30,
+                QueryBinding {
+                    movement_every: 0,
+                    use_reliable_transport: false,
+                    query: None,
+                },
+            ),
+        ];
+        let bytes = snap.encode();
+        assert_eq!(SessionSnapshot::decode(&bytes), Ok(snap));
+    }
+
+    #[test]
+    fn out_of_order_or_overrunning_timeline_rejected() {
+        let reconfigure = |at| {
+            (
+                at,
+                QueryBinding {
+                    movement_every: 5,
+                    use_reliable_transport: false,
+                    query: None,
+                },
+            )
+        };
+        let mut snap = sample();
+        snap.reconfigures = vec![reconfigure(30), reconfigure(10)];
+        assert_eq!(
+            SessionSnapshot::decode(&snap.encode()),
+            Err(SnapshotError::Invalid("reconfigure windows out of order"))
+        );
+        snap.reconfigures = vec![reconfigure(snap.window + 1)];
+        assert_eq!(
+            SessionSnapshot::decode(&snap.encode()),
+            Err(SnapshotError::Invalid("reconfigure beyond the cursor"))
+        );
     }
 
     #[test]

@@ -3,8 +3,12 @@
 //! on.
 
 use proptest::prelude::*;
-use scalo_core::session::{Session, SessionSpec};
+use scalo_core::session::{QueryBinding, Session, SessionSpec};
 use scalo_core::snapshot::{SessionSnapshot, SnapshotError};
+
+fn arb_opt_query() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![Just(None), "[a-z0-9(). =]{0,32}".prop_map(Some),]
+}
 
 fn arb_spec() -> impl Strategy<Value = SessionSpec> {
     (
@@ -24,6 +28,7 @@ fn arb_spec() -> impl Strategy<Value = SessionSpec> {
             0u64..500,
             0usize..4096,
         ),
+        arb_opt_query(),
     )
         .prop_map(
             |(
@@ -36,6 +41,7 @@ fn arb_spec() -> impl Strategy<Value = SessionSpec> {
                     io_stall_us,
                     trace_capacity,
                 ),
+                query,
             )| SessionSpec {
                 id,
                 seed,
@@ -49,8 +55,19 @@ fn arb_spec() -> impl Strategy<Value = SessionSpec> {
                 step_deadline_us,
                 io_stall_us,
                 trace_capacity,
+                query,
             },
         )
+}
+
+fn arb_binding() -> impl Strategy<Value = QueryBinding> {
+    (0usize..40, any::<bool>(), arb_opt_query()).prop_map(
+        |(movement_every, use_reliable_transport, query)| QueryBinding {
+            movement_every,
+            use_reliable_transport,
+            query,
+        },
+    )
 }
 
 fn arb_snapshot() -> impl Strategy<Value = SessionSnapshot> {
@@ -63,22 +80,42 @@ fn arb_snapshot() -> impl Strategy<Value = SessionSnapshot> {
             any::<u64>(),
             any::<u64>(),
         ),
+        (
+            arb_binding(),
+            proptest::collection::vec((any::<u64>(), arb_binding()), 0..4),
+        ),
     )
         .prop_map(
             |(
                 spec,
                 (window, steps, deadline_misses, wall_us),
                 (rng_word_pos, movement_results, step_digest, decisions_fnv),
-            )| SessionSnapshot {
-                spec,
-                window,
-                steps,
-                deadline_misses,
-                wall_us,
-                rng_word_pos,
-                movement_results,
-                step_digest,
-                decisions_fnv,
+                (initial_binding, raw_reconfigures),
+            )| {
+                // The codec requires transition windows non-decreasing
+                // and at most the cursor; fold raw draws into that shape.
+                let mut at: Vec<u64> = raw_reconfigures
+                    .iter()
+                    .map(|(w, _)| w.checked_rem(window.wrapping_add(1)).unwrap_or(*w))
+                    .collect();
+                at.sort_unstable();
+                let reconfigures = at
+                    .into_iter()
+                    .zip(raw_reconfigures.into_iter().map(|(_, b)| b))
+                    .collect();
+                SessionSnapshot {
+                    spec,
+                    window,
+                    steps,
+                    deadline_misses,
+                    wall_us,
+                    rng_word_pos,
+                    movement_results,
+                    step_digest,
+                    decisions_fnv,
+                    initial_binding,
+                    reconfigures,
+                }
             },
         )
 }

@@ -5,7 +5,9 @@ use crate::admission::{AdmissionConfig, AdmissionController, AdmissionEvent};
 use crate::durable::{DurabilityConfig, DurabilityError, FleetLogger, RecoveryReport};
 use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::pool::{self, PoolReport, Quantum, WorkUnit};
+use scalo_core::plan::{resolve_budget, PlanConfig, PlanError, ProgramPlan};
 use scalo_core::session::{Session, SessionSpec};
+use scalo_core::ScaloConfig;
 use scalo_trace::SpanEvent;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -134,6 +136,60 @@ impl fmt::Display for AdmitError {
 
 impl std::error::Error for AdmitError {}
 
+/// Why a [`Fleet::submit_query`] was refused: either the query did not
+/// compile to a servable, schedulable plan, or the compiled session
+/// failed ordinary admission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySubmitError {
+    /// The compiled spec was refused by admission control.
+    Admit(AdmitError),
+    /// The query failed to compile or the seizure ILP found no feasible
+    /// placement for it.
+    Plan(PlanError),
+}
+
+impl fmt::Display for QuerySubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Admit(e) => write!(f, "{e}"),
+            Self::Plan(e) => write!(f, "query admission: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QuerySubmitError {}
+
+/// A pending hot reconfiguration: at `at_window`, recompile `source`
+/// and cut the session over to it.
+#[derive(Debug, Clone, PartialEq)]
+struct ReconfigureRequest {
+    at_window: u64,
+    source: String,
+    expected_step_digest: Option<u64>,
+}
+
+/// What one scheduled hot reconfiguration did (or failed to do).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigureRecord {
+    /// The session id.
+    pub id: u64,
+    /// The window boundary the cutover ran at.
+    pub window: u64,
+    /// Whether the cutover committed (false = typed rollback, the live
+    /// session kept its old configuration).
+    pub ok: bool,
+    /// The failure, rendered, when `ok` is false.
+    pub error: Option<String>,
+    /// Query compile latency, µs.
+    pub compile_us: u64,
+    /// Seizure-ILP re-solve latency, µs.
+    pub resolve_us: u64,
+    /// Snapshot → digest-verified replay → swap latency, µs.
+    pub cutover_us: u64,
+    /// Windows the digest-checking replay re-executed.
+    pub replayed_windows: u64,
+}
+
 /// Where a submitted session ended up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitState {
@@ -187,6 +243,8 @@ pub struct FleetReport {
     pub shed: Vec<u64>,
     /// The admission transition log.
     pub admission_log: Vec<AdmissionEvent>,
+    /// Hot reconfigurations attempted during the run, by session id.
+    pub reconfigures: Vec<ReconfigureRecord>,
     /// Worker-pool accounting.
     pub pool: PoolReport,
     /// The metrics registry's JSON export (counters + histograms).
@@ -256,6 +314,27 @@ impl FleetReport {
                 s.wall_us,
                 s.sim_us,
                 fnv1a(s.digest.as_bytes()),
+            );
+        }
+        out.push_str("],\"reconfigures\":[");
+        for (i, r) in self.reconfigures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"window\":{},\"ok\":{},\"error\":{},\"compile_us\":{},\"resolve_us\":{},\"cutover_us\":{},\"replayed_windows\":{}}}",
+                r.id,
+                r.window,
+                r.ok,
+                match &r.error {
+                    Some(e) => format!("{e:?}"),
+                    None => "null".to_string(),
+                },
+                r.compile_us,
+                r.resolve_us,
+                r.cutover_us,
+                r.replayed_windows,
             );
         }
         let _ = write!(
@@ -343,6 +422,13 @@ struct FleetJob {
     /// Kill switch: once set, every job returns immediately.
     halted: Arc<AtomicBool>,
     halt_after_windows: Option<u64>,
+    /// Pending hot reconfiguration, taken when its window arrives.
+    reconfigure: Option<ReconfigureRequest>,
+    /// What the reconfiguration did, harvested into the report.
+    reconfigure_record: Option<ReconfigureRecord>,
+    reconfigure_total: Arc<Counter>,
+    reconfigure_failed: Arc<Counter>,
+    cutover_hist: Arc<Histogram>,
 }
 
 impl FleetJob {
@@ -370,6 +456,91 @@ impl FleetJob {
             self.halted.store(true, Ordering::Relaxed);
         }
     }
+
+    /// Applies a scheduled reconfiguration once its window boundary has
+    /// arrived: recompile the new query against the session's
+    /// deployment, re-solve the seizure ILP, and hand the resulting
+    /// spec to the session's digest-checked cutover. Every failure is a
+    /// typed rollback — the session keeps serving its old configuration
+    /// and the record says why.
+    fn maybe_reconfigure(&mut self) {
+        let due = self
+            .reconfigure
+            .as_ref()
+            .is_some_and(|req| self.session.window() >= req.at_window);
+        if !due || self.session.is_done() {
+            return;
+        }
+        let req = self.reconfigure.take().expect("checked above");
+        self.reconfigure_total.incr();
+        let window = self.session.window();
+        let spec = self.session.spec().clone();
+        let t_compile = Instant::now();
+        let cfg = PlanConfig {
+            channels: spec.electrodes,
+            seed: spec.seed,
+        };
+        let compiled = ProgramPlan::compile(&req.source, &cfg);
+        let compile_us = t_compile.elapsed().as_micros() as u64;
+        let mut record = ReconfigureRecord {
+            id: spec.id,
+            window,
+            ok: false,
+            error: None,
+            compile_us,
+            resolve_us: 0,
+            cutover_us: 0,
+            replayed_windows: 0,
+        };
+        let outcome = compiled
+            .and_then(|plan| {
+                let t_resolve = Instant::now();
+                let budget =
+                    resolve_budget(&plan, spec.nodes, ScaloConfig::default().power_limit_mw);
+                record.resolve_us = t_resolve.elapsed().as_micros() as u64;
+                budget.map(|_| plan)
+            })
+            .map_err(|e| e.to_string())
+            .and_then(|plan| {
+                let binding = plan.binding();
+                let mut new_spec = spec;
+                new_spec.movement_every = binding.movement_every;
+                new_spec.use_reliable_transport = binding.use_reliable_transport;
+                new_spec.query = Some(plan.source().to_string());
+                let t_cut = Instant::now();
+                let result = self
+                    .session
+                    .reconfigure(new_spec, req.expected_step_digest)
+                    .map_err(|e| e.to_string());
+                let cutover_ns = t_cut.elapsed().as_nanos() as u64;
+                record.cutover_us = cutover_ns / 1_000;
+                self.cutover_hist.observe(record.cutover_us);
+                if result.is_ok() {
+                    self.session.note_reconfigured(cutover_ns);
+                }
+                result
+            });
+        match outcome {
+            Ok(out) => {
+                record.ok = true;
+                record.replayed_windows = out.replayed_windows;
+                // Checkpoint right at the cutover so durable recovery
+                // replays the decision suffix from a snapshot that
+                // already carries the new binding epoch.
+                if let Some(logger) = &self.logger {
+                    if let Err(e) = logger.log_checkpoint(&self.session) {
+                        logger.poison(e);
+                        self.halted.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) => {
+                record.error = Some(e);
+                self.reconfigure_failed.incr();
+            }
+        }
+        self.reconfigure_record = Some(record);
+    }
 }
 
 impl WorkUnit for FleetJob {
@@ -381,6 +552,7 @@ impl WorkUnit for FleetJob {
         // the session's recorder is disabled).
         self.session.note_scheduled();
         for _ in 0..self.quantum_steps {
+            self.maybe_reconfigure();
             let out = self.session.step();
             self.fleet_latency.observe(out.wall_us);
             self.session_latency.observe(out.wall_us);
@@ -418,6 +590,7 @@ pub struct Fleet {
     active: Vec<Session>,
     states: BTreeMap<u64, (u8, SubmitState)>,
     logger: Option<Arc<FleetLogger>>,
+    reconfigures: BTreeMap<u64, ReconfigureRequest>,
 }
 
 impl Fleet {
@@ -431,6 +604,7 @@ impl Fleet {
             active: Vec::new(),
             states: BTreeMap::new(),
             logger: None,
+            reconfigures: BTreeMap::new(),
         }
     }
 
@@ -565,6 +739,64 @@ impl Fleet {
         Ok(())
     }
 
+    /// Offers a query-backed session: compiles `source` into a window
+    /// plan, re-solves the ILP admission budget for the spec's
+    /// deployment, binds the derived session knobs (movement cadence,
+    /// reliable transport, canonical query text) onto `base`, and then
+    /// admits through the normal [`Fleet::submit`] path. Compile and
+    /// budget-resolve latency land in the `fleet.query_compile_us` /
+    /// `fleet.query_resolve_us` histograms.
+    pub fn submit_query(
+        &mut self,
+        base: SessionSpec,
+        source: &str,
+    ) -> Result<(), QuerySubmitError> {
+        let cfg = PlanConfig {
+            channels: base.electrodes,
+            seed: base.seed,
+        };
+        let t0 = Instant::now();
+        let plan = ProgramPlan::compile(source, &cfg).map_err(QuerySubmitError::Plan)?;
+        self.metrics
+            .histogram("fleet.query_compile_us")
+            .observe(t0.elapsed().as_micros() as u64);
+        let t1 = Instant::now();
+        resolve_budget(&plan, base.nodes, ScaloConfig::default().power_limit_mw)
+            .map_err(QuerySubmitError::Plan)?;
+        self.metrics
+            .histogram("fleet.query_resolve_us")
+            .observe(t1.elapsed().as_micros() as u64);
+        let binding = plan.binding();
+        let mut spec = base;
+        spec.movement_every = binding.movement_every;
+        spec.use_reliable_transport = binding.use_reliable_transport;
+        spec.query = Some(plan.source().to_string());
+        self.submit(spec).map_err(QuerySubmitError::Admit)
+    }
+
+    /// Schedules a hot reconfiguration for session `id`: once the
+    /// session reaches `at_window` during [`Fleet::run`], `source` is
+    /// compiled, the budget re-solved, and the session cut over at the
+    /// window boundary — rolling back (and recording the error) if the
+    /// compile, solve, or digest pin fails. One pending request per
+    /// session; a later call replaces an earlier one.
+    pub fn schedule_reconfigure(
+        &mut self,
+        id: u64,
+        at_window: u64,
+        source: &str,
+        expected_step_digest: Option<u64>,
+    ) {
+        self.reconfigures.insert(
+            id,
+            ReconfigureRequest {
+                at_window,
+                source: source.to_string(),
+                expected_step_digest,
+            },
+        );
+    }
+
     /// Runs every admitted session to completion (or to the
     /// [`FleetConfig::halt_after_windows`] kill point) and reports.
     pub fn run(mut self) -> FleetReport {
@@ -587,6 +819,11 @@ impl Fleet {
                     windows_stepped: Arc::clone(&windows_stepped),
                     halted: Arc::clone(&halted),
                     halt_after_windows: self.cfg.halt_after_windows,
+                    reconfigure: self.reconfigures.remove(&id),
+                    reconfigure_record: None,
+                    reconfigure_total: self.metrics.counter("fleet.reconfigure_total"),
+                    reconfigure_failed: self.metrics.counter("fleet.reconfigure_failed"),
+                    cutover_hist: self.metrics.histogram("fleet.reconfigure_cutover_us"),
                     session,
                 }
             })
@@ -624,9 +861,13 @@ impl Fleet {
         // so an untraced run never materializes empty trace histograms.
         let mut stage_hists: Vec<Option<Arc<Histogram>>> =
             vec![None; scalo_trace::Stage::ALL.len()];
+        let mut reconfigures: Vec<ReconfigureRecord> = Vec::new();
         let mut sessions: Vec<SessionServing> = done
             .into_iter()
             .map(|mut job| {
+                if let Some(rec) = job.reconfigure_record.take() {
+                    reconfigures.push(rec);
+                }
                 let report = job.session.report();
                 self.admission.release(report.id);
                 let trace = job.session.take_trace_events();
@@ -667,6 +908,7 @@ impl Fleet {
             })
             .collect();
         sessions.sort_by_key(|s| s.id);
+        reconfigures.sort_by_key(|r| r.id);
 
         let by_state = |want: SubmitState| {
             self.states
@@ -681,6 +923,7 @@ impl Fleet {
             windows: sessions.iter().map(|s| s.steps).sum(),
             deadline_misses: sessions.iter().map(|s| s.deadline_misses).sum(),
             sessions,
+            reconfigures,
             rejected: by_state(SubmitState::Rejected),
             shed: by_state(SubmitState::Shed),
             admission_log: self.admission.log().to_vec(),
@@ -799,5 +1042,109 @@ mod tests {
         let ids: Vec<u64> = report.sessions.iter().map(|s| s.id).collect();
         assert_eq!(ids, vec![1, 3], "newest low-priority session shed first");
         assert_eq!(report.shed, vec![2]);
+    }
+
+    #[test]
+    fn query_admission_matches_spec_construction() {
+        use scalo_core::catalog;
+
+        // Every built-in app, admitted by query string, must decide
+        // byte-identically to the same deployment built by hand.
+        let mut reliable = small_spec(2);
+        reliable.use_reliable_transport = true;
+        let by_hand = [
+            small_spec(1),
+            reliable,
+            small_spec(3).with_movement_every(25),
+        ];
+        let sources = [
+            catalog::SEIZURE_WATCH,
+            catalog::SEIZURE_RELIABLE,
+            catalog::MOVEMENT_MIX,
+        ];
+
+        let mut spec_fleet = Fleet::new(FleetConfig::new(2));
+        for spec in &by_hand {
+            spec_fleet.submit(spec.clone()).unwrap();
+        }
+        let baseline = spec_fleet.run();
+
+        let mut query_fleet = Fleet::new(FleetConfig::new(2));
+        for (spec, source) in by_hand.iter().zip(sources) {
+            // The base spec carries deployment knobs only; the query
+            // supplies movement cadence and transport reliability.
+            let base = SessionSpec::new(spec.id, spec.seed).with_duration_s(0.3);
+            query_fleet.submit_query(base, source).unwrap();
+        }
+        let report = query_fleet.run();
+
+        for (a, b) in baseline.sessions.iter().zip(&report.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.digest, b.digest, "session {} diverged", a.id);
+        }
+        assert!(report.metrics_json.contains("fleet.query_compile_us"));
+        assert!(report.metrics_json.contains("fleet.query_resolve_us"));
+    }
+
+    #[test]
+    fn malformed_query_is_refused_before_admission() {
+        let mut fleet = Fleet::new(FleetConfig::new(1));
+        let err = fleet
+            .submit_query(small_spec(9), "var broken = stream.window(wsize=4ms")
+            .unwrap_err();
+        assert!(matches!(err, QuerySubmitError::Plan(_)));
+        assert_eq!(fleet.submit_state(9), None, "nothing was admitted");
+    }
+
+    #[test]
+    fn hot_reconfigure_cuts_over_mid_run() {
+        use scalo_core::catalog;
+
+        let mut fleet = Fleet::new(FleetConfig::new(1).with_quantum_steps(4));
+        fleet
+            .submit_query(small_spec(4), catalog::SEIZURE_WATCH)
+            .unwrap();
+        fleet.schedule_reconfigure(4, 20, catalog::MOVEMENT_MIX, None);
+        let report = fleet.run();
+
+        assert_eq!(report.reconfigures.len(), 1);
+        let rec = &report.reconfigures[0];
+        assert_eq!(rec.id, 4);
+        assert!(rec.ok, "cutover failed: {:?}", rec.error);
+        assert_eq!(rec.window, 20);
+        assert_eq!(rec.replayed_windows, 20);
+        assert!(report.metrics_json.contains("fleet.reconfigure_total"));
+        assert!(report.metrics_json.contains("fleet.reconfigure_cutover_us"));
+        assert!(report.to_json().contains("\"reconfigures\""));
+    }
+
+    #[test]
+    fn reconfigure_digest_mismatch_rolls_back() {
+        use scalo_core::catalog;
+
+        // Pin the cutover to a digest the session will never have: the
+        // reconfiguration must fail, and the session must finish with
+        // decisions identical to a run that never tried.
+        let mut baseline = Fleet::new(FleetConfig::new(1));
+        baseline.submit(small_spec(5)).unwrap();
+        let want = baseline.run().sessions[0].digest.clone();
+
+        let mut fleet = Fleet::new(FleetConfig::new(1));
+        fleet.submit(small_spec(5)).unwrap();
+        fleet.schedule_reconfigure(5, 10, catalog::MOVEMENT_MIX, Some(0xdead_beef));
+        let report = fleet.run();
+
+        let rec = &report.reconfigures[0];
+        assert!(!rec.ok);
+        assert!(
+            rec.error.as_deref().unwrap_or("").contains("digest"),
+            "unexpected error: {:?}",
+            rec.error
+        );
+        assert_eq!(
+            report.sessions[0].digest, want,
+            "rolled-back session must keep its old configuration"
+        );
+        assert!(report.metrics_json.contains("fleet.reconfigure_failed"));
     }
 }

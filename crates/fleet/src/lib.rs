@@ -58,7 +58,8 @@ pub mod swap;
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionEvent};
 pub use durable::{DurabilityConfig, DurabilityError, FleetLogger, RecoveryReport};
 pub use fleet::{
-    AdmitError, DurabilitySummary, Fleet, FleetConfig, FleetReport, SessionServing, SubmitState,
+    AdmitError, DurabilitySummary, Fleet, FleetConfig, FleetReport, QuerySubmitError,
+    ReconfigureRecord, SessionServing, SubmitState,
 };
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use pool::{PoolReport, Quantum, WorkUnit};

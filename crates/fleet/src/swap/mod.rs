@@ -46,12 +46,14 @@ pub mod arrivals;
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::durable::{DurabilityConfig, DurabilityError, FleetLogger};
-use crate::fleet::{AdmitError, DurabilitySummary};
+use crate::fleet::{AdmitError, DurabilitySummary, QuerySubmitError};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use crate::pool::{self, PoolReport, Quantum, WorkUnit};
 use arrivals::{Arrival, ArrivalPlan};
+use scalo_core::plan::{resolve_budget, PlanConfig, ProgramPlan};
 use scalo_core::session::{Session, SessionSpec};
 use scalo_core::snapshot::{fnv1a, Fnv64, SessionSnapshot};
+use scalo_core::ScaloConfig;
 use scalo_storage::image::{ImageStore, ImageStoreError};
 use scalo_storage::nvm::{NvmCost, NvmParams};
 use std::collections::BTreeMap;
@@ -629,6 +631,41 @@ impl SwapFleet {
             },
         );
         Ok(())
+    }
+
+    /// Cold-admits a query-backed session: compiles `source`, re-solves
+    /// the admission budget for the spec's deployment, binds the
+    /// derived knobs onto `base`, and admits through
+    /// [`SwapFleet::submit`]. The expensive session build (and thus the
+    /// query-backed configuration) still happens lazily at first
+    /// arrival — swap-out and fault-in round-trip the query through the
+    /// snapshot codec.
+    pub fn submit_query(
+        &mut self,
+        base: SessionSpec,
+        source: &str,
+    ) -> Result<(), QuerySubmitError> {
+        let cfg = PlanConfig {
+            channels: base.electrodes,
+            seed: base.seed,
+        };
+        let t0 = Instant::now();
+        let plan = ProgramPlan::compile(source, &cfg).map_err(QuerySubmitError::Plan)?;
+        self.metrics
+            .histogram("fleet.query_compile_us")
+            .observe(t0.elapsed().as_micros() as u64);
+        let t1 = Instant::now();
+        resolve_budget(&plan, base.nodes, ScaloConfig::default().power_limit_mw)
+            .map_err(QuerySubmitError::Plan)?;
+        self.metrics
+            .histogram("fleet.query_resolve_us")
+            .observe(t1.elapsed().as_micros() as u64);
+        let binding = plan.binding();
+        let mut spec = base;
+        spec.movement_every = binding.movement_every;
+        spec.use_reliable_transport = binding.use_reliable_transport;
+        spec.query = Some(plan.source().to_string());
+        self.submit(spec).map_err(QuerySubmitError::Admit)
     }
 
     /// Serves the arrival plan epoch by epoch and reports.

@@ -175,6 +175,47 @@ fn shed_sessions_are_not_resurrected() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A hot reconfiguration survives a crash: the cutover forces a
+/// checkpoint carrying the new binding epoch, so a kill *after* the
+/// cutover recovers a session that finishes byte-identical to an
+/// uninterrupted reconfigured run.
+#[test]
+fn reconfigured_session_recovers_byte_identical() {
+    use scalo_core::catalog;
+
+    let spec = SessionSpec::new(7, 0x7ec0).with_duration_s(0.3);
+
+    // Uninterrupted reconfigured baseline.
+    let mut plain = Fleet::new(FleetConfig::new(1));
+    plain.submit(spec.clone()).unwrap();
+    plain.schedule_reconfigure(7, 20, catalog::MOVEMENT_MIX, None);
+    let baseline = plain.run();
+    assert!(baseline.reconfigures[0].ok, "{:?}", baseline.reconfigures);
+    let want = baseline.sessions[0].digest.clone();
+
+    // Durable run, killed after the cutover but before completion.
+    let dir = wal_dir("reconfig");
+    let dcfg = durability_config(&dir);
+    let mut fleet =
+        Fleet::open_durable(FleetConfig::new(1).with_halt_after_windows(40), &dcfg).unwrap();
+    fleet.submit(spec).unwrap();
+    fleet.schedule_reconfigure(7, 20, catalog::MOVEMENT_MIX, None);
+    let crashed = fleet.run();
+    assert!(crashed.reconfigures[0].ok, "{:?}", crashed.reconfigures);
+    assert!(!crashed.durability.as_ref().unwrap().clean_shutdown);
+
+    // Recovery restores the query-backed epoch from the checkpoint and
+    // the run completes with the baseline's decisions.
+    let (fleet, rec) = Fleet::recover(FleetConfig::new(1), &dcfg).unwrap();
+    assert_eq!(rec.sessions_recovered, 1, "{rec:?}");
+    let finished = fleet.run();
+    assert_eq!(
+        finished.sessions[0].digest, want,
+        "recovered reconfigured session diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Quiet windows stay zero-alloc with logging enabled: for every
 /// window, (step + digest + decision append) performs exactly as many
 /// heap operations as the same window on an unlogged twin session —

@@ -110,6 +110,56 @@ fn evict_fault_in_resume_is_byte_identical_to_never_swapped() {
     assert!(small.to_json().contains("\"digest_fnv\""));
 }
 
+/// Query-backed sessions swap like any other: admitted by query
+/// string, evicted and faulted back in through the snapshot codec
+/// (which round-trips the query), and byte-identical to the equivalent
+/// spec-constructed population under the same churn.
+#[test]
+fn query_backed_sessions_survive_swap_churn() {
+    use scalo_core::catalog;
+
+    let sources = [
+        catalog::SEIZURE_WATCH,
+        catalog::SEIZURE_RELIABLE,
+        catalog::MOVEMENT_MIX,
+    ];
+    // The spec-constructed twin population: bindings mirrored by hand.
+    let specs: Vec<SessionSpec> = (0..6u64)
+        .map(|id| {
+            let mut spec = SessionSpec::new(id, query_seed(id)).with_duration_s(0.25);
+            match id % 3 {
+                1 => spec.use_reliable_transport = true,
+                2 => spec.movement_every = 25,
+                _ => {}
+            }
+            spec
+        })
+        .collect();
+    let plan = dense_plan(6, 0x933);
+
+    let baseline = run_plan(&specs, SwapConfig::new(2, 2), &plan);
+    assert!(baseline.swap_outs > 0, "2 slots over 6 sessions must churn");
+
+    let mut fleet = SwapFleet::new(SwapConfig::new(2, 2));
+    for id in 0..6u64 {
+        let base = SessionSpec::new(id, query_seed(id)).with_duration_s(0.25);
+        fleet
+            .submit_query(base, sources[(id % 3) as usize])
+            .unwrap();
+    }
+    let queried = fleet.run(&plan);
+
+    assert_eq!(
+        queried.digest_fnv, baseline.digest_fnv,
+        "query admission changed decisions under swap churn"
+    );
+    assert!(queried.metrics_json.contains("fleet.query_compile_us"));
+}
+
+fn query_seed(id: u64) -> u64 {
+    0x9a0 + 977 * id
+}
+
 /// Priority pinning: pinned sessions are never eviction victims, while
 /// the low-priority tail swaps around them.
 #[test]

@@ -5,10 +5,16 @@
 //! language produces are linear; `map`/grouping operators carry their
 //! sub-expressions as attributes rather than branches, matching how the
 //! paper's artifact feeds its ILP.
+//!
+//! Lowered DAGs are also *re-printable*: [`Dag::to_query`] emits
+//! canonical source whose parse → lower round-trip is the identity,
+//! which is what lets sessions persist queries as text and recompile
+//! them bit-identically after recovery or swap fault-in.
 
 use crate::parser::{Arg, OpCall, QueryAst};
 use crate::QueryError;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// A dataflow operator, with its static parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,7 +68,11 @@ pub enum Operator {
         measure: String,
     },
     /// Hash collision check against stored hashes.
-    CollisionCheck,
+    CollisionCheck {
+        /// Whether the hash broadcast rides the reliable (seq/ACK)
+        /// transport instead of raw TDMA frames.
+        reliable: bool,
+    },
     /// Exact DTW comparison.
     Dtw,
     /// Spike detection (NEO + THR).
@@ -71,6 +81,70 @@ pub enum Operator {
     Stim,
     /// Hand result to the MC runtime / external radio.
     CallRuntime,
+}
+
+impl Operator {
+    /// The operator as a canonical fluent call (leading dot included).
+    fn write_call(&self, out: &mut String) {
+        match self {
+            Operator::Window { ms } => {
+                let _ = write!(out, ".window(wsize={ms}ms)");
+            }
+            Operator::Map { projection, key } => match key {
+                Some(k) => {
+                    let _ = write!(out, ".map({projection}, {k})");
+                }
+                None => {
+                    let _ = write!(out, ".map({projection})");
+                }
+            },
+            Operator::Select {
+                predicate,
+                slice,
+                seizure_detect,
+            } => {
+                // `.seizure_detect()` lowers to this exact Select; print
+                // it back as the sugar so the round trip stays closed.
+                if *seizure_detect && slice.is_none() && predicate == "seizure_detect()" {
+                    out.push_str(".seizure_detect()");
+                    return;
+                }
+                match slice {
+                    Some((from, to)) => {
+                        let _ = write!(out, ".select({predicate}, w[{from}ms:{to}ms])");
+                    }
+                    None => {
+                        let _ = write!(out, ".select({predicate})");
+                    }
+                }
+            }
+            Operator::Sbp => out.push_str(".sbp()"),
+            Operator::Fft => out.push_str(".fft()"),
+            Operator::Bbf { lo_hz, hi_hz } => {
+                let _ = write!(out, ".bbf({lo_hz}, {hi_hz})");
+            }
+            Operator::Xcor => out.push_str(".xcor()"),
+            Operator::Svm => out.push_str(".svm()"),
+            Operator::Nn => out.push_str(".nn()"),
+            Operator::Kf { params } => {
+                let _ = write!(out, ".kf({params})");
+            }
+            Operator::Hash { measure } => {
+                let _ = write!(out, ".hash({measure})");
+            }
+            Operator::CollisionCheck { reliable } => {
+                if *reliable {
+                    out.push_str(".ccheck(reliable)");
+                } else {
+                    out.push_str(".ccheck()");
+                }
+            }
+            Operator::Dtw => out.push_str(".dtw()"),
+            Operator::SpikeDetect => out.push_str(".spike_detect()"),
+            Operator::Stim => out.push_str(".stim()"),
+            Operator::CallRuntime => out.push_str(".call_runtime()"),
+        }
+    }
 }
 
 /// A lowered dataflow DAG (linear chain of operators).
@@ -89,7 +163,7 @@ impl Dag {
         self.operators.iter().any(|op| {
             matches!(
                 op,
-                Operator::CollisionCheck | Operator::Kf { .. } | Operator::CallRuntime
+                Operator::CollisionCheck { .. } | Operator::Kf { .. } | Operator::CallRuntime
             )
         })
     }
@@ -100,6 +174,20 @@ impl Dag {
             Operator::Window { ms } => Some(*ms),
             _ => None,
         })
+    }
+
+    /// Pretty-prints the DAG back to canonical fluent source.
+    ///
+    /// The round trip is closed: `compile(&dag.to_query()) == dag` for
+    /// every DAG this crate lowers (pinned by proptest). Lambdas and
+    /// projections are re-emitted in their token-joined captured form,
+    /// which the lexer re-tokenises identically.
+    pub fn to_query(&self) -> String {
+        let mut out = format!("var {} = stream", self.name);
+        for op in &self.operators {
+            op.write_call(&mut out);
+        }
+        out
     }
 }
 
@@ -210,7 +298,14 @@ fn lower_op(op: &OpCall) -> Result<Operator, QueryError> {
             }
             Ok(Operator::Hash { measure })
         }
-        "ccheck" | "collision_check" => Ok(Operator::CollisionCheck),
+        "ccheck" | "collision_check" => {
+            let reliable = match op.args.first() {
+                None => false,
+                Some(Arg::Ident(flag)) if flag == "reliable" => true,
+                _ => return Err(bad("accepts only the `reliable` transport flag")),
+            };
+            Ok(Operator::CollisionCheck { reliable })
+        }
         "dtw" => Ok(Operator::Dtw),
         "spike_detect" | "spikes" => Ok(Operator::SpikeDetect),
         "stim" | "stimulate" => Ok(Operator::Stim),
@@ -241,6 +336,20 @@ fn lower_op(op: &OpCall) -> Result<Operator, QueryError> {
 /// ```
 pub fn compile(input: &str) -> Result<Dag, QueryError> {
     lower(&crate::parser::parse(input)?)
+}
+
+/// Parses and lowers a whole program: one DAG per `var` statement, in
+/// order. Multi-statement programs express application mixes — each
+/// chain keeps its own window cadence.
+///
+/// # Errors
+///
+/// Any [`QueryError`].
+pub fn compile_program(input: &str) -> Result<Vec<Dag>, QueryError> {
+    crate::parser::parse_program(input)?
+        .iter()
+        .map(lower)
+        .collect()
 }
 
 #[cfg(test)]
@@ -318,5 +427,51 @@ mod tests {
     fn zero_window_rejected() {
         let ast = parse("var q = stream.window(wsize=0ms)").unwrap();
         assert!(lower(&ast).is_err());
+    }
+
+    #[test]
+    fn ccheck_transport_flag() {
+        let dag = compile("var q = stream.hash(dtw).ccheck(reliable)").unwrap();
+        assert_eq!(
+            dag.operators[1],
+            Operator::CollisionCheck { reliable: true }
+        );
+        let dag = compile("var q = stream.hash(dtw).ccheck()").unwrap();
+        assert_eq!(
+            dag.operators[1],
+            Operator::CollisionCheck { reliable: false }
+        );
+        assert!(compile("var q = stream.ccheck(7)").is_err());
+    }
+
+    #[test]
+    fn pretty_print_round_trips_the_listings() {
+        for src in [
+            "var movements = stream.window(wsize=50ms).sbp().kf(kf_params).call_runtime()",
+            "var seizure_data = stream.Map( s => s.select(s => s.data), s.locID)\
+             .window(wsize=4ms).select(w => w.time >= -5000)\
+             .select(w => w.seizure_detect(), w[-100ms:100ms])",
+            "var s = stream.window(wsize=4ms).seizure_detect().hash(dtw)\
+             .ccheck(reliable).dtw().stim().call_runtime()",
+        ] {
+            let dag = compile(src).unwrap();
+            let printed = dag.to_query();
+            let reparsed = compile(&printed).unwrap();
+            assert_eq!(dag, reparsed, "round trip broke for:\n{printed}");
+            // The second print is a fixed point.
+            assert_eq!(printed, reparsed.to_query());
+        }
+    }
+
+    #[test]
+    fn program_compiles_per_statement() {
+        let dags = compile_program(
+            "var seizures = stream.window(wsize=4ms).seizure_detect().hash(dtw).ccheck()\n\
+             var movements = stream.window(wsize=100ms).sbp().kf(kf_params).call_runtime()",
+        )
+        .unwrap();
+        assert_eq!(dags.len(), 2);
+        assert_eq!(dags[0].window_ms(), Some(4.0));
+        assert_eq!(dags[1].window_ms(), Some(100.0));
     }
 }

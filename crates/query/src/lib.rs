@@ -11,28 +11,62 @@
 //! scheduling static (fixed loop iterations, no data-dependent control
 //! flow). This crate implements that subset: a [`lexer`], a [`parser`]
 //! producing a fluent-chain AST, and a [`dag`] lowering that turns the
-//! chain into the dataflow DAG the ILP scheduler consumes.
+//! chain into the dataflow DAG the ILP scheduler consumes. A *program*
+//! is one or more `var` statements ([`parse_program`]); multi-statement
+//! programs express application mixes (one chain per cadence).
+//!
+//! Lowered DAGs pretty-print back to canonical source with
+//! [`Dag::to_query`]; parse → lower → print → parse is a fixed point,
+//! which is what lets the serving layer persist a session's query as
+//! text and recompile it bit-identically on recovery.
 
 pub mod dag;
 pub mod lexer;
 pub mod parser;
 
-pub use dag::{compile, lower, Dag, Operator};
-pub use parser::{parse, Arg, OpCall, QueryAst};
+pub use dag::{compile, compile_program, lower, Dag, Operator};
+pub use parser::{parse, parse_program, Arg, OpCall, QueryAst};
+
+/// A source position: 1-based line and column of a token or character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (byte offset within the line).
+    pub col: u32,
+}
+
+impl Span {
+    /// A span at `line`/`col`.
+    pub fn new(line: u32, col: u32) -> Self {
+        Self { line, col }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
 
 /// Errors produced while parsing or lowering a query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {
     /// Unexpected character in the input.
     Lex {
-        /// Byte position.
-        at: usize,
+        /// Where the character sits in the source.
+        span: Span,
         /// Offending character.
         found: char,
     },
     /// Unexpected token.
     Parse {
-        /// Human-readable description.
+        /// Where the offending token starts.
+        span: Span,
+        /// The offending token, re-stringified (`"end of input"` when
+        /// the source ran out).
+        found: String,
+        /// What the parser wanted instead.
         message: String,
     },
     /// Unknown operator name during lowering.
@@ -46,13 +80,29 @@ pub enum QueryError {
     },
 }
 
+impl QueryError {
+    /// The source position the error points at, if it carries one
+    /// (lex and parse errors do; lowering errors are positionless —
+    /// the chain was well-formed, the operator semantics were not).
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            QueryError::Lex { span, .. } | QueryError::Parse { span, .. } => Some(*span),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QueryError::Lex { at, found } => {
-                write!(f, "unexpected character {found:?} at byte {at}")
+            QueryError::Lex { span, found } => {
+                write!(f, "unexpected character {found:?} at {span}")
             }
-            QueryError::Parse { message } => write!(f, "parse error: {message}"),
+            QueryError::Parse {
+                span,
+                found,
+                message,
+            } => write!(f, "parse error at {span}: {message}, found `{found}`"),
             QueryError::UnknownOperator(op) => write!(f, "unknown operator `{op}`"),
             QueryError::BadArguments { op, message } => {
                 write!(f, "bad arguments for `{op}`: {message}")

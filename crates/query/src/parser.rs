@@ -1,7 +1,12 @@
 //! Parser: token stream → fluent-chain AST.
+//!
+//! Errors point at the offending token: every [`QueryError::Parse`]
+//! carries the token's 1-based line/column [`Span`] and its
+//! re-stringified text, so a clinician typo in a multi-line program is
+//! reported as `parse error at line 2, column 14: expected ...`.
 
-use crate::lexer::{lex, Token};
-use crate::QueryError;
+use crate::lexer::{lex, SpannedToken, Token};
+use crate::{QueryError, Span};
 
 /// An argument to an operator call.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,49 +72,88 @@ pub struct QueryAst {
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<SpannedToken>,
     pos: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + off).map(|s| &s.tok)
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
         if t.is_some() {
             self.pos += 1;
         }
         t
     }
 
+    /// The span of the token at `pos` (for the just-consumed token, pass
+    /// `pos - 1`); past the end, the position right after the last token.
+    fn span_of(&self, pos: usize) -> Span {
+        match self.tokens.get(pos) {
+            Some(s) => s.span,
+            None => self
+                .tokens
+                .last()
+                .map(|s| Span::new(s.span.line, s.span.col + 1))
+                .unwrap_or(Span::new(1, 1)),
+        }
+    }
+
+    /// A parse error pointing at the token at `pos` (or end of input).
+    fn err_at(&self, pos: usize, message: String) -> QueryError {
+        QueryError::Parse {
+            span: self.span_of(pos),
+            found: match self.tokens.get(pos) {
+                Some(s) => display_token(&s.tok),
+                None => "end of input".into(),
+            },
+            message,
+        }
+    }
+
+    /// A parse error pointing at the *current* token.
+    fn err_here(&self, message: String) -> QueryError {
+        self.err_at(self.pos, message)
+    }
+
     fn expect_ident(&mut self) -> Result<String, QueryError> {
-        match self.next() {
-            Some(Token::Ident(s)) => Ok(s),
-            other => Err(err(format!("expected identifier, found {other:?}"))),
+        match self.peek() {
+            Some(Token::Ident(_)) => match self.next() {
+                Some(Token::Ident(s)) => Ok(s),
+                _ => unreachable!("peeked an identifier"),
+            },
+            _ => Err(self.err_here("expected identifier".into())),
         }
     }
 
     fn expect(&mut self, want: &Token) -> Result<(), QueryError> {
-        match self.next() {
-            Some(ref t) if t == want => Ok(()),
-            other => Err(err(format!("expected {want:?}, found {other:?}"))),
+        if self.peek() == Some(want) {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected `{}`", display_token(want))))
         }
     }
 
     fn parse_statement(&mut self) -> Result<QueryAst, QueryError> {
+        let kw_pos = self.pos;
         let kw = self.expect_ident()?;
         if kw != "var" {
-            return Err(err(format!("expected `var`, found `{kw}`")));
+            return Err(self.err_at(kw_pos, "expected `var`".into()));
         }
         let name = self.expect_ident()?;
         self.expect(&Token::Eq)?;
+        let source_pos = self.pos;
         let source = self.expect_ident()?;
         if source != "stream" {
-            return Err(err(format!(
-                "chains must start at `stream`, found `{source}`"
-            )));
+            return Err(self.err_at(source_pos, "chains must start at `stream`".into()));
         }
         let mut ops = Vec::new();
         while self.peek() == Some(&Token::Dot) {
@@ -140,16 +184,18 @@ impl Parser {
 
     fn parse_arg(&mut self) -> Result<Arg, QueryError> {
         // Lambda: `ident => …` captured raw until `,` / `)` at depth 0.
-        if let (Some(Token::Ident(_)), Some(Token::FatArrow)) =
-            (self.peek(), self.tokens.get(self.pos + 1))
-        {
+        if let (Some(Token::Ident(_)), Some(Token::FatArrow)) = (self.peek(), self.peek_at(1)) {
             return Ok(Arg::Lambda(self.capture_raw()?));
         }
+        let arg_pos = self.pos;
         match self.next() {
-            Some(Token::Minus) => match self.next() {
-                Some(Token::Number(v, unit)) => Ok(number_arg(-v, unit)),
-                other => Err(err(format!("expected number after `-`, found {other:?}"))),
-            },
+            Some(Token::Minus) => {
+                let pos = self.pos;
+                match self.next() {
+                    Some(Token::Number(v, unit)) => Ok(number_arg(-v, unit)),
+                    _ => Err(self.err_at(pos, "expected number after `-`".into())),
+                }
+            }
             Some(Token::Number(v, unit)) => Ok(number_arg(v, unit)),
             Some(Token::Str(s)) => Ok(Arg::Str(s)),
             Some(Token::Ident(name)) => {
@@ -171,8 +217,8 @@ impl Parser {
                 // Dotted path? `s.locID` (not a call — no parens).
                 let mut path = name;
                 while self.peek() == Some(&Token::Dot) {
-                    if let Some(Token::Ident(_)) = self.tokens.get(self.pos + 1) {
-                        if self.tokens.get(self.pos + 2) == Some(&Token::LParen) {
+                    if let Some(Token::Ident(_)) = self.peek_at(1) {
+                        if self.peek_at(2) == Some(&Token::LParen) {
                             break; // a method call, not a path
                         }
                         self.next();
@@ -184,7 +230,7 @@ impl Parser {
                 }
                 Ok(Arg::Ident(path))
             }
-            other => Err(err(format!("unexpected argument token {other:?}"))),
+            _ => Err(self.err_at(arg_pos, "expected an argument".into())),
         }
     }
 
@@ -195,13 +241,14 @@ impl Parser {
         } else {
             1.0
         };
+        let pos = self.pos;
         match self.next() {
             Some(Token::Number(v, unit)) => match number_arg(sign * v, unit) {
                 Arg::Duration(ms) => Ok(ms),
                 Arg::Number(n) => Ok(n),
                 _ => unreachable!("number_arg returns Duration or Number"),
             },
-            other => Err(err(format!("expected duration, found {other:?}"))),
+            _ => Err(self.err_at(pos, "expected duration".into())),
         }
     }
 
@@ -212,7 +259,7 @@ impl Parser {
         let mut parts: Vec<String> = Vec::new();
         loop {
             match self.peek() {
-                None => return Err(err("unterminated lambda".into())),
+                None => return Err(self.err_here("unterminated lambda".into())),
                 Some(Token::Comma) if depth == 0 => break,
                 Some(Token::RParen) if depth == 0 => break,
                 Some(t) => {
@@ -230,7 +277,8 @@ impl Parser {
     }
 }
 
-fn display_token(t: &Token) -> String {
+/// Re-stringifies one token (used for lambda capture and error text).
+pub(crate) fn display_token(t: &Token) -> String {
     match t {
         Token::Ident(s) => s.clone(),
         Token::Number(v, Some(u)) => format!("{v}{u}"),
@@ -264,10 +312,6 @@ fn number_arg(v: f64, unit: Option<String>) -> Arg {
     }
 }
 
-fn err(message: String) -> QueryError {
-    QueryError::Parse { message }
-}
-
 /// Parses one `var … = stream.…` statement.
 ///
 /// # Errors
@@ -278,12 +322,30 @@ pub fn parse(input: &str) -> Result<QueryAst, QueryError> {
     let mut p = Parser { tokens, pos: 0 };
     let ast = p.parse_statement()?;
     if p.pos != p.tokens.len() {
-        return Err(err(format!(
-            "trailing tokens after statement (at token {})",
-            p.pos
-        )));
+        return Err(p.err_here("expected end of input after statement".into()));
     }
     Ok(ast)
+}
+
+/// Parses a *program*: one or more `var` statements, in order. Used for
+/// application mixes where each cadence gets its own chain (e.g. a 4 ms
+/// seizure chain plus a 100 ms movement chain).
+///
+/// # Errors
+///
+/// [`QueryError::Lex`], [`QueryError::Parse`], or a parse error on an
+/// empty program.
+pub fn parse_program(input: &str) -> Result<Vec<QueryAst>, QueryError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    if p.tokens.is_empty() {
+        return Err(p.err_here("expected a `var` statement".into()));
+    }
+    while p.pos < p.tokens.len() {
+        statements.push(p.parse_statement()?);
+    }
+    Ok(statements)
 }
 
 #[cfg(test)]
@@ -362,5 +424,80 @@ mod tests {
     #[test]
     fn rejects_missing_var() {
         assert!(parse("q = stream.window()").is_err());
+    }
+
+    #[test]
+    fn parses_two_statement_program() {
+        let program = format!("{LISTING_1}\n{LISTING_2}");
+        let statements = parse_program(&program).unwrap();
+        assert_eq!(statements.len(), 2);
+        assert_eq!(statements[0].name, "movements");
+        assert_eq!(statements[1].name, "seizure_data");
+        // A single statement is a one-entry program.
+        assert_eq!(parse_program(LISTING_1).unwrap().len(), 1);
+        // An empty program is an error, not an empty vec.
+        assert!(parse_program("  // just a comment\n").is_err());
+    }
+
+    // The three most common malformed-query shapes, each asserting the
+    // span and offending token the error must carry.
+
+    #[test]
+    fn malformed_missing_var_keyword_points_at_first_token() {
+        let err = parse("movements = stream.sbp()").unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::Parse {
+                span: Span::new(1, 1),
+                found: "movements".into(),
+                message: "expected `var`".into(),
+            }
+        );
+        assert!(err.to_string().contains("line 1, column 1"), "{err}");
+    }
+
+    #[test]
+    fn malformed_unclosed_call_points_past_last_token() {
+        // A forgotten `)` on a multi-line program: the error lands at
+        // end-of-input with the closing paren named.
+        let err = parse("var q = stream\n  .window(wsize=4ms").unwrap_err();
+        match &err {
+            QueryError::Parse {
+                span,
+                found,
+                message,
+            } => {
+                assert_eq!(span.line, 2, "{err}");
+                assert_eq!(found, "end of input");
+                assert!(message.contains("expected `)`"), "{err}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_bad_argument_points_at_offending_token() {
+        // A stray `=` where an argument belongs.
+        let err = parse("var q = stream.window(=4ms)").unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::Parse {
+                span: Span::new(1, 23),
+                found: "=".into(),
+                message: "expected an argument".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_tokens_are_spanned() {
+        let err = parse("var q = stream.sbp() extra").unwrap_err();
+        match err {
+            QueryError::Parse { span, found, .. } => {
+                assert_eq!(span, Span::new(1, 22));
+                assert_eq!(found, "extra");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

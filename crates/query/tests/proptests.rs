@@ -15,8 +15,13 @@ fn op_chain() -> impl Strategy<Value = String> {
         Just(".nn()".to_string()),
         Just(".dtw()".to_string()),
         Just(".ccheck()".to_string()),
+        Just(".ccheck(reliable)".to_string()),
         Just(".hash(dtw)".to_string()),
+        Just(".hash(xcor)".to_string()),
         Just(".kf(params)".to_string()),
+        Just(".seizure_detect()".to_string()),
+        Just(".spike_detect()".to_string()),
+        Just(".stim()".to_string()),
         Just(".call_runtime()".to_string()),
         (1u32..2_000).prop_map(|ms| format!(".window(wsize={ms}ms)")),
         (1u32..100).prop_map(|lo| format!(".bbf({lo}, {})", lo + 10)),
@@ -55,5 +60,17 @@ proptest! {
         let a = compile(&format!("var q = stream.window(wsize={secs}s)")).unwrap();
         let b = compile(&format!("var q = stream.window(wsize={}ms)", secs * 1_000)).unwrap();
         prop_assert_eq!(a.window_ms(), b.window_ms());
+    }
+
+    /// The printer closes the loop: lower, pretty-print, re-lower — the
+    /// DAGs are equal and the canonical text is a fixed point of the
+    /// printer (so catalogs can key on it).
+    #[test]
+    fn pretty_print_round_trips(src in op_chain()) {
+        let dag = compile(&src).expect("generated chain lowers");
+        let printed = dag.to_query();
+        let reparsed = compile(&printed).expect("canonical text re-parses");
+        prop_assert_eq!(&reparsed, &dag);
+        prop_assert_eq!(reparsed.to_query(), printed);
     }
 }

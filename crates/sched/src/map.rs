@@ -35,7 +35,7 @@ pub fn pes_for_operator(op: &Operator) -> Vec<PeKind> {
             "emd" => vec![PeKind::Hconv, PeKind::Emdh],
             _ => vec![PeKind::Hconv, PeKind::Ngram],
         },
-        Operator::CollisionCheck => vec![PeKind::Ccheck],
+        Operator::CollisionCheck { .. } => vec![PeKind::Ccheck],
         Operator::Dtw => vec![PeKind::Dtw],
         Operator::SpikeDetect => vec![PeKind::Neo, PeKind::Thr],
         Operator::Stim => vec![], // DAC path, not a PE

@@ -64,13 +64,17 @@ pub enum Stage {
     /// Evicting a quiet session: SCSS encode plus NVM image program
     /// through SC.
     SwapOut,
+    /// Hot query reconfiguration: re-compile, ILP re-solve, and
+    /// digest-checked cutover at a window boundary (control plane — no
+    /// fabric PE runs).
+    Reconfigure,
     /// Envelope time not claimed by any leaf span (attribution only).
     Other,
 }
 
 impl Stage {
     /// Every stage, [`Stage::Window`] first, [`Stage::Other`] last.
-    pub const ALL: [Stage; 18] = [
+    pub const ALL: [Stage; 19] = [
         Stage::Window,
         Stage::Filter,
         Stage::Detect,
@@ -88,12 +92,13 @@ impl Stage {
         Stage::Gather,
         Stage::SwapIn,
         Stage::SwapOut,
+        Stage::Reconfigure,
         Stage::Other,
     ];
 
     /// The leaf stages (everything except the [`Stage::Window`]
     /// envelope), in attribution order. [`Stage::Other`] is last.
-    pub const LEAVES: [Stage; 17] = [
+    pub const LEAVES: [Stage; 18] = [
         Stage::Filter,
         Stage::Detect,
         Stage::Sketch,
@@ -110,6 +115,7 @@ impl Stage {
         Stage::Gather,
         Stage::SwapIn,
         Stage::SwapOut,
+        Stage::Reconfigure,
         Stage::Other,
     ];
 
@@ -140,6 +146,7 @@ impl Stage {
             Stage::Gather => "gather",
             Stage::SwapIn => "swap_in",
             Stage::SwapOut => "swap_out",
+            Stage::Reconfigure => "reconfigure",
             Stage::Other => "other",
         }
     }
@@ -161,7 +168,12 @@ impl Stage {
             Stage::StorageRead | Stage::StorageWrite | Stage::SwapIn | Stage::SwapOut => {
                 &[PeKind::Sc]
             }
-            Stage::Window | Stage::RadioWait | Stage::Queue | Stage::Gather | Stage::Other => &[],
+            Stage::Window
+            | Stage::RadioWait
+            | Stage::Queue
+            | Stage::Gather
+            | Stage::Reconfigure
+            | Stage::Other => &[],
         }
     }
 
