@@ -24,7 +24,10 @@ const USAGE: &str = "usage: experiments <cmd> [--reps N] [--sessions N] [--from 
    flags: --reps N      repetitions for fig15a/fig15b/fault-tolerance (default 10)\n\
    \x20      --sessions N  fleet size for the fleet/trace/durability experiments\n\
    \x20                    (default 16; the swap experiment defaults to 10240)\n\
-   \x20      --from N --to N  window range for the replay experiment (default 20..40)";
+   \x20      --from N --to N  window range for the replay experiment (default 20..40)\n\
+   \x20      --channels N  electrode count for the kernels experiment\n\
+   \x20                    (default: the node width); set SCALO_SIMD=scalar|sse2|avx2\n\
+   \x20                    to pin the kernel dispatch level";
 
 fn flag(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
@@ -65,7 +68,7 @@ fn main() {
         "trace" => x::trace(sessions),
         "durability" => x::durability(sessions),
         "replay" => x::replay(from, to),
-        "kernels" => x::kernels(reps.max(20)),
+        "kernels" => x::kernels(reps.max(20), flag(&args, "--channels", 0)),
         "local-scaling" => x::local_scaling_exp(),
         "spike-sorting" => x::spike_sorting_exp(),
         "storage-layout" => x::storage_layout_exp(),
@@ -109,7 +112,7 @@ fn main() {
             x::trace(sessions);
             x::durability(sessions);
             x::replay(from, to);
-            x::kernels(reps.max(20));
+            x::kernels(reps.max(20), flag(&args, "--channels", 0));
             x::local_scaling_exp();
             x::spike_sorting_exp();
             x::storage_layout_exp();

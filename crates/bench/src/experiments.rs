@@ -948,8 +948,9 @@ pub fn write_bench_fleet_json(
     let traced_field = traced
         .map(|r| format!(",\"traced\":{}", r.to_json()))
         .unwrap_or_default();
+    let isa = scalo_signal::simd::SimdLevel::active().name();
     let body = format!(
-        "{{\"bench\":\"fleet\",\"allocs_per_window\":[{allocs}],\"sweep\":[{}]{traced_field}}}\n",
+        "{{\"bench\":\"fleet\",\"simd_isa\":\"{isa}\",\"allocs_per_window\":[{allocs}],\"sweep\":[{}]{traced_field}}}\n",
         reports
             .iter()
             .map(|(r, _)| r.to_json())
@@ -1977,9 +1978,13 @@ fn min_time_us(reps: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
     (best, check)
 }
 
-/// Writes `BENCH_kernels.json` at the repo root.
+/// Writes `BENCH_kernels.json` at the repo root. The `simd_isa` field
+/// records which dispatch level the batched kernels actually ran at
+/// (`SCALO_SIMD` clamps it), so a stored result is never mistaken for a
+/// different lane's numbers.
 pub fn write_bench_kernels_json(
     reps: usize,
+    channels: usize,
     stages: &[KernelStage],
 ) -> std::io::Result<&'static str> {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
@@ -1996,23 +2001,34 @@ pub fn write_bench_kernels_json(
         })
         .collect::<Vec<_>>()
         .join(",");
+    let isa = scalo_signal::simd::SimdLevel::active().name();
     let body = format!(
-        "{{\"bench\":\"kernels\",\"channels\":{ELECTRODES_PER_NODE},\"samples\":{WINDOW_SAMPLES},\"reps\":{reps},\"stages\":[{rows}]}}\n"
+        "{{\"bench\":\"kernels\",\"simd_isa\":\"{isa}\",\"channels\":{channels},\"samples\":{WINDOW_SAMPLES},\"reps\":{reps},\"stages\":[{rows}]}}\n"
     );
     std::fs::write(path, body)?;
     Ok(path)
 }
 
 /// Kernel-engine microbenchmark: the batched channel-major hot-path
-/// kernels against the legacy per-channel APIs they wrap, at the full
-/// 96-channel node width. Each pair is checked for equivalence (bitwise
-/// checksums, or decision equality for pruned DTW) before the timings
-/// are trusted; results land in `BENCH_kernels.json`.
-pub fn kernels(reps: usize) {
+/// kernels against the legacy per-channel APIs they wrap. Each pair is
+/// checked for equivalence (bitwise checksums, or decision equality for
+/// pruned DTW) before the timings are trusted; results land in
+/// `BENCH_kernels.json`.
+///
+/// `channels` scales the electrode count for the filter/FFT/sketch
+/// stages (`0` means the full node width); the DTW stage confirms a
+/// fixed candidate set and does not vary with it. The SIMD level is the
+/// process-wide active one — pin it with `SCALO_SIMD` for per-ISA runs.
+pub fn kernels(reps: usize, channels: usize) {
+    let channels = if channels == 0 {
+        ELECTRODES_PER_NODE
+    } else {
+        channels
+    };
+    let isa = scalo_signal::simd::SimdLevel::active();
     header(&format!(
-        "Kernel engine: batched channel-major vs per-channel scalar ({ELECTRODES_PER_NODE} ch × {WINDOW_SAMPLES} samples, min of {reps} reps)"
+        "Kernel engine: batched channel-major vs per-channel scalar ({channels} ch × {WINDOW_SAMPLES} samples, simd_isa={isa}, min of {reps} reps)"
     ));
-    let channels = ELECTRODES_PER_NODE;
     let samples = WINDOW_SAMPLES;
 
     // Deterministic per-channel tones with drifting frequency and phase:
@@ -2085,6 +2101,42 @@ pub fn kernels(reps: usize) {
         batched_check.to_bits(),
         "batched filter+FFT features must be bitwise identical"
     );
+    if std::env::var("SCALO_KERNEL_PROFILE").is_ok() {
+        let (t_copy_bank, _) = min_time_us(reps, || {
+            block_buf.copy_from_slice(&interleaved);
+            bank.process_interleaved(&mut block_buf);
+            bank.reset();
+            block_buf[0]
+        });
+        let (t_gather, _) = min_time_us(reps, || {
+            let mut acc = 0.0;
+            for c in 0..channels {
+                chan.clear();
+                chan.extend((0..samples).map(|t| block_buf[t * channels + c]));
+                acc += chan[0];
+            }
+            acc
+        });
+        let (t_feat, _) = min_time_us(reps, || {
+            let mut acc = 0.0;
+            for _ in 0..channels {
+                band_power_features_into(&chan, &mut fft_scratch, &mut features);
+                acc += features[0];
+            }
+            acc
+        });
+        let (t_fft_only, _) = min_time_us(reps, || {
+            let mut acc = 0.0;
+            for _ in 0..channels {
+                acc += fft_real_into(&chan, &mut fft_scratch)[5].re;
+            }
+            acc
+        });
+        println!(
+            "profile: copy+bank {t_copy_bank:.1}µs gather {t_gather:.1}µs \
+             features {t_feat:.1}µs (fft only {t_fft_only:.1}µs)"
+        );
+    }
     stages.push(KernelStage {
         name: "filter_fft_features",
         per_channel_us: legacy_us,
@@ -2224,7 +2276,7 @@ pub fn kernels(reps: usize) {
         .collect();
     table(&["stage", "per-channel µs", "batched µs", "speedup"], &rows);
 
-    match write_bench_kernels_json(reps, &stages) {
+    match write_bench_kernels_json(reps, channels, &stages) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write BENCH_kernels.json: {e}"),
     }

@@ -17,6 +17,7 @@ use scalo_lsh::SignalHash;
 use scalo_signal::block::ChannelBlock;
 use scalo_signal::dtw::DtwScratch;
 use scalo_signal::fft::FftScratch;
+use scalo_signal::simd::SimdLevel;
 use scalo_trace::Recorder;
 
 /// Reusable buffers for one session's window pipeline. All fields are
@@ -77,12 +78,25 @@ pub struct Workspace {
     /// `detect_seizure_traced`, the exchange) can emit spans without a
     /// new parameter on every hot-path signature.
     pub trace: Recorder,
+    /// The SIMD dispatch level captured when this workspace was built.
+    /// Every kernel scratch constructed alongside it (DTW, block stats,
+    /// sketcher) resolves [`SimdLevel::active`] at the same moment, so
+    /// this field is the single value to report in trace/bench metadata
+    /// (`simd_isa`) — dispatch is decided once per workspace, never per
+    /// call.
+    simd: SimdLevel,
 }
 
 impl Workspace {
     /// An empty workspace; buffers grow to their working sizes during the
-    /// first window and are reused thereafter.
+    /// first window and are reused thereafter. The SIMD dispatch level is
+    /// captured here (see [`Workspace::simd_level`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The SIMD dispatch level this workspace's kernels run at.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
     }
 }

@@ -13,23 +13,49 @@ use scalo_signal::block::ChannelBlock;
 pub struct Sketcher {
     projection: Vec<f64>,
     stride: usize,
+    level: scalo_signal::simd::SimdLevel,
 }
 
 impl Sketcher {
     /// Creates a sketcher with a `window`-length ±1 projection drawn from
-    /// `seed`.
+    /// `seed`, dispatching the batched block sketch at the process-wide
+    /// [`scalo_signal::simd::SimdLevel::active`] level.
     ///
     /// # Panics
     ///
     /// Panics if `window` or `stride` is zero.
     pub fn new(window: usize, stride: usize, seed: u64) -> Self {
+        Self::with_level(
+            window,
+            stride,
+            seed,
+            scalo_signal::simd::SimdLevel::active(),
+        )
+    }
+
+    /// [`Sketcher::new`] pinned to an explicit dispatch level — for the
+    /// ISA-sweep equivalence tests and A/B benchmarking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn with_level(
+        window: usize,
+        stride: usize,
+        seed: u64,
+        level: scalo_signal::simd::SimdLevel,
+    ) -> Self {
         assert!(window > 0, "sketch window must be positive");
         assert!(stride > 0, "sketch stride must be positive");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let projection = (0..window)
             .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
             .collect();
-        Self { projection, stride }
+        Self {
+            projection,
+            stride,
+            level,
+        }
     }
 
     /// Window length of the projection.
@@ -104,13 +130,13 @@ impl Sketcher {
         let mut pos = 0;
         let mut p = 0;
         while pos + w <= samples {
-            acc.fill(0.0);
-            for (k, &r) in self.projection.iter().enumerate() {
-                let frame = &data[(pos + k) * channels..(pos + k + 1) * channels];
-                for (a, &x) in acc.iter_mut().zip(frame) {
-                    *a += x * r;
-                }
-            }
+            scalo_signal::simd::dot_frames(
+                self.level,
+                &data[pos * channels..(pos + w) * channels],
+                channels,
+                &self.projection,
+                acc,
+            );
             for (ch, &a) in acc.iter().enumerate() {
                 bits[ch * n_pos + p] = a > 0.0;
             }

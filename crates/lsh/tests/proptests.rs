@@ -123,3 +123,43 @@ proptest! {
         prop_assert_eq!(out, legacy);
     }
 }
+
+// --- SIMD lanes ≡ scalar reference, at every detected ISA level ---------
+//
+// The block sketcher's tap accumulation dispatches through
+// `scalo_signal::simd::dot_frames`; sweep every level this host can run
+// against a pinned-scalar sketcher, over odd channel counts (so the
+// 4/2-lane loops, the AVX2→SSE2 tail handoff, and the scalar remainder
+// all fire) and window/stride combinations that leave partial tails.
+
+use scalo_signal::block::ChannelBlock;
+use scalo_signal::simd::SimdLevel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn block_sketch_isa_sweep_matches_scalar(
+        data in proptest::collection::vec(-5.0f64..5.0, 0..=9 * 40),
+        channels in 1usize..10,
+        window in 1usize..16,
+        stride in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let samples = data.len() / channels;
+        let mut block = ChannelBlock::new();
+        block.reset(channels, samples);
+        block.data_mut().copy_from_slice(&data[..channels * samples]);
+        let scalar = Sketcher::with_level(window, stride, seed, SimdLevel::Scalar);
+        let mut acc = Vec::new();
+        let mut scalar_bits = Vec::new();
+        let n_pos = scalar.sketch_block_into(&block, &mut acc, &mut scalar_bits);
+        for level in SimdLevel::supported() {
+            let sk = Sketcher::with_level(window, stride, seed, level);
+            let mut bits = vec![true; 3];
+            let got = sk.sketch_block_into(&block, &mut acc, &mut bits);
+            prop_assert_eq!(got, n_pos, "level {}", level);
+            prop_assert_eq!(&bits, &scalar_bits, "level {}", level);
+        }
+    }
+}

@@ -120,17 +120,36 @@ impl ChannelBlock {
 }
 
 /// Per-channel moment buffers for [`z_normalize_block`]. One scratch
-/// serves any channel count; buffers grow to the widest block seen.
-#[derive(Debug, Clone, Default)]
+/// serves any channel count; buffers grow to the widest block seen. The
+/// SIMD dispatch level is captured at construction (see [`crate::simd`]).
+#[derive(Debug, Clone)]
 pub struct BlockStatsScratch {
     mean: Vec<f64>,
     std: Vec<f64>,
+    level: crate::simd::SimdLevel,
+}
+
+impl Default for BlockStatsScratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl BlockStatsScratch {
-    /// An empty scratch; the first batched call sizes it.
+    /// An empty scratch; the first batched call sizes it. Dispatches at
+    /// the process-wide [`crate::simd::SimdLevel::active`] level.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_level(crate::simd::SimdLevel::active())
+    }
+
+    /// [`BlockStatsScratch::new`] pinned to an explicit dispatch level —
+    /// for the ISA-sweep equivalence tests and A/B benchmarking.
+    pub fn with_level(level: crate::simd::SimdLevel) -> Self {
+        Self {
+            mean: Vec::new(),
+            std: Vec::new(),
+            level,
+        }
     }
 }
 
@@ -150,6 +169,7 @@ pub fn z_normalize_block(
     if c == 0 {
         return;
     }
+    let level = scratch.level;
     let mean = &mut scratch.mean;
     let std = &mut scratch.std;
     mean.clear();
@@ -157,11 +177,7 @@ pub fn z_normalize_block(
     std.clear();
     std.resize(c, 0.0);
     // Pass 1: per-channel sums, accumulated in sample order.
-    for frame in block.data().chunks_exact(c) {
-        for (acc, &x) in mean.iter_mut().zip(frame) {
-            *acc += x;
-        }
-    }
+    crate::simd::sum_into(level, block.data(), c, mean);
     // `stats::mean` returns 0.0 for an empty slice and divides by n
     // otherwise; n >= 1 here iff samples > 0.
     if n > 0 {
@@ -172,28 +188,12 @@ pub fn z_normalize_block(
     // Pass 2: per-channel squared deviations (population variance; zero
     // for fewer than two samples, matching `stats::variance`).
     if n >= 2 {
-        for frame in block.data().chunks_exact(c) {
-            for ((acc, &m), &x) in std.iter_mut().zip(mean.iter()).zip(frame) {
-                *acc += (x - m) * (x - m);
-            }
-        }
+        crate::simd::sq_dev_sum_into(level, block.data(), c, mean, std);
         for s in std.iter_mut() {
             *s = (*s / n as f64).sqrt();
         }
     }
-    for (frame_in, frame_out) in block
-        .data()
-        .chunks_exact(c)
-        .zip(out.data_mut().chunks_exact_mut(c))
-    {
-        for (ch, (&x, y)) in frame_in.iter().zip(frame_out.iter_mut()).enumerate() {
-            *y = if std[ch] < 1e-12 {
-                x - mean[ch]
-            } else {
-                (x - mean[ch]) / std[ch]
-            };
-        }
-    }
+    crate::simd::znorm_apply(level, block.data(), out.data_mut(), c, mean, std);
 }
 
 /// Per-channel RMS of `block` written into `out` (cleared first), bitwise
@@ -203,11 +203,7 @@ pub fn rms_block_into(block: &ChannelBlock, out: &mut Vec<f64>) {
     let n = block.samples();
     out.clear();
     out.resize(c, 0.0);
-    for frame in block.data().chunks_exact(c) {
-        for (acc, &x) in out.iter_mut().zip(frame) {
-            *acc += x * x;
-        }
-    }
+    crate::simd::sq_sum_into(crate::simd::SimdLevel::active(), block.data(), c, out);
     if n > 0 {
         for acc in out.iter_mut() {
             *acc = (*acc / n as f64).sqrt();

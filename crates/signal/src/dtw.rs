@@ -64,17 +64,91 @@ pub fn dtw_distance(a: &[f64], b: &[f64], params: DtwParams) -> f64 {
 }
 
 /// Reusable rolling-row buffers for [`dtw_distance_with`]. One scratch
-/// serves any sequence length; rows grow to the longest `b` seen.
-#[derive(Debug, Clone, Default)]
+/// serves any sequence length; rows grow to the longest `b` seen. The
+/// SIMD dispatch level is captured at construction (see [`crate::simd`]).
+#[derive(Debug, Clone)]
 pub struct DtwScratch {
     prev: Vec<f64>,
     curr: Vec<f64>,
+    /// Per-row squared-difference buffer for the two-pass SIMD row.
+    cost: Vec<f64>,
+    level: crate::simd::SimdLevel,
+}
+
+impl Default for DtwScratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DtwScratch {
-    /// An empty scratch; the first distance call sizes it.
+    /// An empty scratch; the first distance call sizes it. Dispatches at
+    /// the process-wide [`crate::simd::SimdLevel::active`] level.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_level(crate::simd::SimdLevel::active())
+    }
+
+    /// [`DtwScratch::new`] pinned to an explicit dispatch level — for the
+    /// ISA-sweep equivalence tests and A/B benchmarking.
+    pub fn with_level(level: crate::simd::SimdLevel) -> Self {
+        Self {
+            prev: Vec::new(),
+            curr: Vec::new(),
+            cost: Vec::new(),
+            level,
+        }
+    }
+
+    /// One banded DP row: updates `curr[lo..=hi]` from `prev` and returns
+    /// the row's in-band minimum. The caller has already filled `curr`
+    /// with `+∞` and owns the row swap.
+    ///
+    /// The scalar arm is the original three-way recurrence. The SIMD arms
+    /// split it into a vector pass (squared cost plus the two
+    /// `prev`-row candidates, via [`crate::simd::dtw_row_pass1`]) and a
+    /// sequential scalar pass folding in the left-neighbour candidate —
+    /// **value-identical** to the scalar arm: IEEE-754 addition is
+    /// monotone, so taking `min` after adding the (finite, nonnegative)
+    /// cost commutes exactly with taking it before, and unreachable `+∞`
+    /// cells stay `+∞` on both paths.
+    fn dp_row(&mut self, a_i: f64, b: &[f64], lo: usize, hi: usize) -> f64 {
+        const INF: f64 = f64::INFINITY;
+        let mut row_min = INF;
+        if self.level == crate::simd::SimdLevel::Scalar {
+            for j in lo..=hi {
+                let cost = (a_i - b[j - 1]) * (a_i - b[j - 1]);
+                let best = self.prev[j].min(self.curr[j - 1]).min(self.prev[j - 1]);
+                if best.is_finite() {
+                    self.curr[j] = cost + best;
+                    row_min = row_min.min(self.curr[j]);
+                }
+            }
+            return row_min;
+        }
+        let len = hi + 1 - lo;
+        if self.cost.len() < len {
+            self.cost.resize(len, 0.0);
+        }
+        // Pass 1 (vector): cost[k] = (a_i − b[j−1])² and
+        // curr[j] = cost[k] + min(prev[j], prev[j−1]) for j = lo + k.
+        crate::simd::dtw_row_pass1(
+            self.level,
+            a_i,
+            &b[lo - 1..hi],
+            &self.prev[lo - 1..=hi],
+            &mut self.cost[..len],
+            &mut self.curr[lo..=hi],
+        );
+        // Pass 2 (sequential): fold in the in-row left neighbour.
+        for k in 0..len {
+            let j = lo + k;
+            let t = self.cost[k] + self.curr[j - 1];
+            if t < self.curr[j] {
+                self.curr[j] = t;
+            }
+            row_min = row_min.min(self.curr[j]);
+        }
+        row_min
     }
 }
 
@@ -95,30 +169,22 @@ pub fn dtw_distance_with(scratch: &mut DtwScratch, a: &[f64], b: &[f64], params:
 
     const INF: f64 = f64::INFINITY;
     // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
-    let prev = &mut scratch.prev;
-    let curr = &mut scratch.curr;
-    prev.clear();
-    prev.resize(m + 1, INF);
-    curr.clear();
-    curr.resize(m + 1, INF);
-    prev[0] = 0.0;
+    scratch.prev.clear();
+    scratch.prev.resize(m + 1, INF);
+    scratch.curr.clear();
+    scratch.curr.resize(m + 1, INF);
+    scratch.prev[0] = 0.0;
 
     for i in 1..=n {
-        curr.fill(INF);
+        scratch.curr.fill(INF);
         // Column window induced by the band around the scaled diagonal.
         let center = i * m / n;
         let lo = center.saturating_sub(half).max(1);
         let hi = (center + half).min(m);
-        for j in lo..=hi {
-            let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
-            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
-            if best.is_finite() {
-                curr[j] = cost + best;
-            }
-        }
-        std::mem::swap(prev, curr);
+        scratch.dp_row(a[i - 1], b, lo, hi);
+        std::mem::swap(&mut scratch.prev, &mut scratch.curr);
     }
-    prev[m].sqrt()
+    scratch.prev[m].sqrt()
 }
 
 /// How a [`dtw_distance_pruned`] call resolved.
@@ -191,12 +257,7 @@ pub fn dtw_distance_pruned(
             let center = i * m / n;
             let lo = center.saturating_sub(half).max(1);
             let hi = (center + half).min(m);
-            let mut upper = f64::NEG_INFINITY;
-            let mut lower = f64::INFINITY;
-            for &v in &b[lo - 1..hi] {
-                upper = upper.max(v);
-                lower = lower.min(v);
-            }
+            let (lower, upper) = crate::simd::min_max(scratch.level, &b[lo - 1..hi]);
             let q = a[i - 1];
             let d = if q > upper {
                 q - upper
@@ -218,28 +279,18 @@ pub fn dtw_distance_pruned(
     // Exact banded DP (the same recurrence as `dtw_distance_with`), with
     // an early-abandon check per row.
     const INF: f64 = f64::INFINITY;
-    let prev = &mut scratch.prev;
-    let curr = &mut scratch.curr;
-    prev.clear();
-    prev.resize(m + 1, INF);
-    curr.clear();
-    curr.resize(m + 1, INF);
-    prev[0] = 0.0;
+    scratch.prev.clear();
+    scratch.prev.resize(m + 1, INF);
+    scratch.curr.clear();
+    scratch.curr.resize(m + 1, INF);
+    scratch.prev[0] = 0.0;
 
     for i in 1..=n {
-        curr.fill(INF);
+        scratch.curr.fill(INF);
         let center = i * m / n;
         let lo = center.saturating_sub(half).max(1);
         let hi = (center + half).min(m);
-        let mut row_min = INF;
-        for j in lo..=hi {
-            let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
-            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
-            if best.is_finite() {
-                curr[j] = cost + best;
-                row_min = row_min.min(curr[j]);
-            }
-        }
+        let row_min = scratch.dp_row(a[i - 1], b, lo, hi);
         if prune && row_min >= cutoff_sq {
             // Every path to (n, m) passes through row i with accumulated
             // cost >= row_min, so the exact distance is >= cutoff.
@@ -248,10 +299,10 @@ pub fn dtw_distance_pruned(
                 resolution: DtwResolution::Abandoned,
             };
         }
-        std::mem::swap(prev, curr);
+        std::mem::swap(&mut scratch.prev, &mut scratch.curr);
     }
     PrunedDtw {
-        distance: prev[m].sqrt(),
+        distance: scratch.prev[m].sqrt(),
         resolution: DtwResolution::Exact,
     }
 }

@@ -8,6 +8,11 @@
 use crate::SAMPLE_RATE_HZ;
 
 /// A complex number, kept local to avoid external dependencies.
+///
+/// `#[repr(C)]` so a `[Complex]` slice is a well-defined sequence of
+/// adjacent `[re, im]` `f64` pairs — the layout the [`crate::simd`]
+/// butterfly kernels load two or four lanes at a time.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
@@ -27,18 +32,18 @@ impl Complex {
         self.re.hypot(self.im)
     }
 
-    fn mul(self, other: Self) -> Self {
+    pub(crate) fn mul(self, other: Self) -> Self {
         Self::new(
             self.re * other.re - self.im * other.im,
             self.re * other.im + self.im * other.re,
         )
     }
 
-    fn add(self, other: Self) -> Self {
+    pub(crate) fn add(self, other: Self) -> Self {
         Self::new(self.re + other.re, self.im + other.im)
     }
 
-    fn sub(self, other: Self) -> Self {
+    pub(crate) fn sub(self, other: Self) -> Self {
         Self::new(self.re - other.re, self.im - other.im)
     }
 }
@@ -106,30 +111,47 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FftPlan {
     n: usize,
-    /// Bit-reversal target index for every position.
-    rev: Vec<u32>,
+    /// Bit-reversal swap pairs `(i, j)` with `j > i` — exactly the swaps
+    /// the unplanned permutation loop performs, so replaying them in
+    /// order is the identical permutation without the per-index branch.
+    swaps: Vec<(u32, u32)>,
     /// Per-stage twiddle tables, concatenated: the stage with half-length
     /// `h` (`h = 1, 2, …, n/2`) starts at offset `h - 1` and holds `h`
     /// entries.
     twiddles: Vec<Complex>,
+    /// SIMD dispatch level, captured once at plan construction.
+    level: crate::simd::SimdLevel,
 }
 
 impl FftPlan {
-    /// Builds the plan for transforms of length `n`.
+    /// Builds the plan for transforms of length `n`, dispatching at the
+    /// process-wide [`crate::simd::SimdLevel::active`] level.
     ///
     /// # Panics
     ///
     /// Panics if `n` is not a power of two.
     pub fn new(n: usize) -> Self {
+        Self::with_level(n, crate::simd::SimdLevel::active())
+    }
+
+    /// [`FftPlan::new`] pinned to an explicit dispatch level — for the
+    /// ISA-sweep equivalence tests and A/B benchmarking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn with_level(n: usize, level: crate::simd::SimdLevel) -> Self {
         assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
-        let rev = if n <= 1 {
-            vec![0; n]
-        } else {
+        let mut swaps = Vec::new();
+        if n > 1 {
             let bits = n.trailing_zeros();
-            (0..n)
-                .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) as u32)
-                .collect()
-        };
+            for i in 0..n {
+                let j = i.reverse_bits() >> (usize::BITS - bits);
+                if j > i {
+                    swaps.push((i as u32, j as u32));
+                }
+            }
+        }
         let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
         let mut len = 2;
         while len <= n {
@@ -142,12 +164,22 @@ impl FftPlan {
             }
             len <<= 1;
         }
-        Self { n, rev, twiddles }
+        Self {
+            n,
+            swaps,
+            twiddles,
+            level,
+        }
     }
 
     /// The transform length this plan serves.
     pub fn size(&self) -> usize {
         self.n
+    }
+
+    /// The dispatch level this plan was constructed with.
+    pub fn simd_level(&self) -> crate::simd::SimdLevel {
+        self.level
     }
 }
 
@@ -163,25 +195,10 @@ pub fn fft_in_place_planned(plan: &FftPlan, buf: &mut [Complex]) {
     if n <= 1 {
         return;
     }
-    for (i, &j) in plan.rev.iter().enumerate() {
-        let j = j as usize;
-        if j > i {
-            buf.swap(i, j);
-        }
+    for &(i, j) in &plan.swaps {
+        buf.swap(i as usize, j as usize);
     }
-    let mut half = 1;
-    while half < n {
-        let tw = &plan.twiddles[half - 1..2 * half - 1];
-        for chunk in buf.chunks_mut(2 * half) {
-            for (k, &w) in tw.iter().enumerate() {
-                let u = chunk[k];
-                let v = chunk[k + half].mul(w);
-                chunk[k] = u.add(v);
-                chunk[k + half] = u.sub(v);
-            }
-        }
-        half <<= 1;
-    }
+    crate::simd::fft_stages(plan.level, buf, &plan.twiddles);
 }
 
 /// Reusable complex buffer for [`fft_real_into`], plus a per-size

@@ -290,11 +290,12 @@ impl BandpassDesign {
 
 /// A fused multi-channel Butterworth cascade: one coefficient set shared
 /// by every channel, with flat `f64` state slabs laid out channel-fastest
-/// so the per-sample section update is a straight-line loop over channels
-/// the compiler can vectorise. Per channel, the output is **bitwise
-/// identical** to running one [`ButterworthBandpass`] per channel — the
-/// bank only changes the iteration order *across* channels, never the
-/// operation order within one.
+/// so the per-sample section update runs channels as SIMD lanes (see
+/// [`crate::simd`]; the dispatch level is captured at construction). Per
+/// channel, the output is **bitwise identical** to running one
+/// [`ButterworthBandpass`] per channel — the bank only changes the
+/// iteration order *across* channels and sections, never the operation
+/// order within one channel's section stream.
 ///
 /// # Example
 ///
@@ -316,22 +317,45 @@ pub struct BandpassBank {
     /// (`z2`), where `c` is the channel count.
     state: Vec<f64>,
     channels: usize,
+    level: crate::simd::SimdLevel,
 }
 
 impl BandpassBank {
-    /// A bank filtering `channels` parallel streams through `design`.
+    /// A bank filtering `channels` parallel streams through `design`,
+    /// dispatching at the process-wide [`crate::simd::SimdLevel::active`]
+    /// level.
     ///
     /// # Panics
     ///
     /// Panics if `channels` is zero.
     pub fn new(design: &BandpassDesign, channels: usize) -> Self {
+        Self::with_level(design, channels, crate::simd::SimdLevel::active())
+    }
+
+    /// [`BandpassBank::new`] pinned to an explicit dispatch level — for
+    /// the ISA-sweep equivalence tests and A/B benchmarking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn with_level(
+        design: &BandpassDesign,
+        channels: usize,
+        level: crate::simd::SimdLevel,
+    ) -> Self {
         let mut bank = Self {
             coeffs: Vec::new(),
             state: Vec::new(),
             channels: 0,
+            level,
         };
         bank.reconfigure(design, channels);
         bank
+    }
+
+    /// The dispatch level this bank was constructed with.
+    pub fn simd_level(&self) -> crate::simd::SimdLevel {
+        self.level
     }
 
     /// Re-points the bank at `design` with `channels` streams, reusing the
@@ -389,18 +413,20 @@ impl BandpassBank {
     /// channel `c` at time `t` (the [`crate::block::ChannelBlock`]
     /// layout).
     ///
+    /// Runs section-outer (each section streams the whole block before
+    /// the next starts) so one section's biquad state stays in registers
+    /// across the block — bitwise identical to the frame-outer order
+    /// because each channel's per-section sample stream is unchanged.
+    ///
     /// # Panics
     ///
     /// Panics if `data.len()` is not a multiple of the channel count.
     pub fn process_interleaved(&mut self, data: &mut [f64]) {
-        assert_eq!(
-            data.len() % self.channels,
-            0,
-            "interleaved length vs {} channels",
-            self.channels
-        );
-        for frame in data.chunks_exact_mut(self.channels) {
-            self.process_frame(frame);
+        let c = self.channels;
+        assert_eq!(data.len() % c, 0, "interleaved length vs {c} channels");
+        for (s, slab) in self.state.chunks_exact_mut(2 * c).enumerate() {
+            let (z1, z2) = slab.split_at_mut(c);
+            crate::simd::biquad_block(self.level, data, c, &self.coeffs[s], z1, z2);
         }
     }
 

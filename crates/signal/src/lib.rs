@@ -19,6 +19,10 @@
 //! modelled by [`window::Adc`], which quantises to the 16-bit resolution the
 //! hardware uses.
 //!
+//! The batched hot paths ([`filter::BandpassBank`], [`fft::FftPlan`],
+//! [`block`], [`dtw`]) dispatch to runtime-selected SIMD lanes — see
+//! [`simd`] and the `PERFORMANCE.md` guide at the repository root.
+//!
 //! # Example
 //!
 //! ```
@@ -31,6 +35,8 @@
 //! assert!(d <= 1.0 + 1e-12, "time-warped signals should be close, got {d}");
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod block;
 pub mod dtw;
 pub mod dwt;
@@ -38,6 +44,7 @@ pub mod emd;
 pub mod fft;
 pub mod filter;
 pub mod resample;
+pub mod simd;
 pub mod spike;
 pub mod stats;
 pub mod window;

@@ -1,0 +1,1414 @@
+//! Runtime-dispatched SIMD lanes for the batched kernel engine.
+//!
+//! The channel-major layout ([`crate::block::ChannelBlock`], the
+//! [`crate::filter::BandpassBank`] state slabs) was built so the per-sample
+//! inner loops run *across channels* — independent, contiguous streams that
+//! map one channel to one vector lane. This module supplies those lanes:
+//! explicit `std::arch` kernels at two x86-64 ISA levels (SSE2, the
+//! architectural baseline, and AVX2), selected **once per process** by
+//! [`SimdLevel::active`] and captured by kernel constructors
+//! ([`crate::filter::BandpassBank::new`], [`crate::fft::FftPlan::new`],
+//! [`crate::dtw::DtwScratch`], `scalo_lsh::sketch::Sketcher`), never
+//! re-detected per call. The scalar fallback is the portable reference:
+//! every dispatch primitive's `Scalar` arm is the plain-Rust loop the
+//! repository shipped before any SIMD existed.
+//!
+//! # Equivalence contract
+//!
+//! Two tiers, spelled out per primitive and enforced by the proptest
+//! suites (see `PERFORMANCE.md` at the repo root for the full argument):
+//!
+//! - **Bitwise-identical**: the vector kernel performs the *same
+//!   floating-point operations in the same order per output element* as
+//!   the scalar arm — lanes only batch independent channels (filter bank,
+//!   reductions, sketch dots) or keep the exact scalar operation sequence
+//!   per butterfly (FFT: the complex multiply is built from shuffles plus
+//!   the identical mul/sub/add sequence, never FMA, never re-associated).
+//! - **Value-identical** (still digest-identical downstream): the pruned
+//!   DTW row update is restructured into two passes whose results are
+//!   provably equal to the scalar recurrence by IEEE-754 addition
+//!   monotonicity (`min(c + x, c + y) == c + min(x, y)` exactly), and the
+//!   LB_Keogh envelope min/max re-associates a NaN-free reduction.
+//!
+//! # Selection
+//!
+//! `SCALO_SIMD=scalar|sse2|avx2` overrides auto-detection for A/B runs;
+//! requests above what the CPU supports clamp down with a one-time
+//! warning on stderr. The resolved level is surfaced as the `simd_isa`
+//! field in `BENCH_kernels.json` / `BENCH_fleet.json`.
+
+use std::sync::OnceLock;
+
+/// Environment variable that forces a dispatch level
+/// (`scalar|sse2|avx2`). Read once per process by [`SimdLevel::active`].
+pub const SIMD_ENV: &str = "SCALO_SIMD";
+
+/// An instruction-set level the kernel engine can dispatch to.
+///
+/// Ordering is by width: `Scalar < Sse2 < Avx2`, so "clamp to detected"
+/// is a plain `min`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar Rust — the reference implementation.
+    Scalar,
+    /// 128-bit SSE2 lanes (two `f64`s) — the x86-64 baseline.
+    Sse2,
+    /// 256-bit AVX2 lanes (four `f64`s).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Stable lower-case name (`scalar`/`sse2`/`avx2`) — the value of the
+    /// `simd_isa` bench field and the accepted [`SIMD_ENV`] spellings.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a [`SimdLevel::name`] back to the level.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "scalar" => Some(SimdLevel::Scalar),
+            "sse2" => Some(SimdLevel::Sse2),
+            "avx2" => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
+
+    /// The widest level this CPU supports, probed with
+    /// `is_x86_feature_detected!`. [`SimdLevel::Scalar`] on other
+    /// architectures.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") {
+                SimdLevel::Avx2
+            } else if is_x86_feature_detected!("sse2") {
+                SimdLevel::Sse2
+            } else {
+                SimdLevel::Scalar
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            SimdLevel::Scalar
+        }
+    }
+
+    /// Every level this CPU can run, narrowest first (always starts with
+    /// [`SimdLevel::Scalar`]). The ISA-sweep equivalence tests iterate
+    /// this to pin each lane against the scalar reference.
+    pub fn supported() -> Vec<Self> {
+        let top = Self::detect();
+        [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+            .into_iter()
+            .filter(|&l| l <= top)
+            .collect()
+    }
+
+    /// The process-wide dispatch level: [`SimdLevel::detect`] clamped by
+    /// the [`SIMD_ENV`] override, resolved once (`OnceLock`) and captured
+    /// by kernel constructors. An override the CPU cannot honour, or an
+    /// unrecognised spelling, warns once on stderr and falls back to the
+    /// detected level.
+    pub fn active() -> Self {
+        static ACTIVE: OnceLock<SimdLevel> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            let detected = Self::detect();
+            match std::env::var(SIMD_ENV) {
+                Err(_) => detected,
+                Ok(v) => match Self::from_name(&v) {
+                    Some(req) if req <= detected => req,
+                    Some(req) => {
+                        eprintln!(
+                            "{SIMD_ENV}={} exceeds this CPU (detected {}); using {}",
+                            req.name(),
+                            detected.name(),
+                            detected.name()
+                        );
+                        detected
+                    }
+                    None => {
+                        eprintln!(
+                            "{SIMD_ENV}={v:?} unrecognised (want scalar|sse2|avx2); using {}",
+                            detected.name()
+                        );
+                        detected
+                    }
+                },
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Default for SimdLevel {
+    /// [`SimdLevel::active`] — what every constructor captures.
+    fn default() -> Self {
+        Self::active()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch primitives. Each takes the pre-resolved level, runs the scalar
+// reference loop on `Scalar` (and on non-x86-64 targets), and otherwise
+// calls the matching `x86` kernel. Bitwise-identical unless noted.
+// ---------------------------------------------------------------------------
+
+/// `acc[c] += Σ_t data[t·channels + c]`, accumulating in ascending `t`
+/// per channel — the batched moment pass 1. Bitwise-identical across
+/// levels (lanes are independent channels).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not `acc.len()` frames of `channels`.
+pub fn sum_into(level: SimdLevel, data: &[f64], channels: usize, acc: &mut [f64]) {
+    assert_eq!(acc.len(), channels, "accumulator width");
+    assert_eq!(data.len() % channels.max(1), 0, "frame alignment");
+    #[cfg(target_arch = "x86_64")]
+    let frames = data.len() / channels.max(1);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Sse2`/`Avx2` values only exist when `SimdLevel::detect`
+        // (or an explicit test sweep over `SimdLevel::supported`) confirmed
+        // the CPU feature, so the target-feature contract holds.
+        SimdLevel::Sse2 => unsafe { x86::sum_into_sse2(data, frames, channels, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — `Avx2` implies `is_x86_feature_detected!("avx2")`.
+        SimdLevel::Avx2 => unsafe { x86::sum_into_avx2(data, frames, channels, acc) },
+        _ => {
+            for frame in data.chunks_exact(channels) {
+                for (a, &x) in acc.iter_mut().zip(frame) {
+                    *a += x;
+                }
+            }
+        }
+    }
+}
+
+/// `acc[c] += Σ_t (data[t·channels + c] − mean[c])²` in ascending `t` —
+/// the batched moment pass 2. Bitwise-identical across levels.
+///
+/// # Panics
+///
+/// Panics if the widths disagree.
+pub fn sq_dev_sum_into(
+    level: SimdLevel,
+    data: &[f64],
+    channels: usize,
+    mean: &[f64],
+    acc: &mut [f64],
+) {
+    assert_eq!(acc.len(), channels, "accumulator width");
+    assert_eq!(mean.len(), channels, "mean width");
+    assert_eq!(data.len() % channels.max(1), 0, "frame alignment");
+    #[cfg(target_arch = "x86_64")]
+    let frames = data.len() / channels.max(1);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Sse2` is only constructed on CPUs where the feature was
+        // detected (see `sum_into`).
+        SimdLevel::Sse2 => unsafe { x86::sq_dev_sum_into_sse2(data, frames, channels, mean, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` implies the avx2 feature was detected.
+        SimdLevel::Avx2 => unsafe { x86::sq_dev_sum_into_avx2(data, frames, channels, mean, acc) },
+        _ => {
+            for frame in data.chunks_exact(channels) {
+                for ((a, &m), &x) in acc.iter_mut().zip(mean).zip(frame) {
+                    *a += (x - m) * (x - m);
+                }
+            }
+        }
+    }
+}
+
+/// `acc[c] += Σ_t data[t·channels + c]²` in ascending `t` — the batched
+/// RMS accumulation. Bitwise-identical across levels.
+///
+/// # Panics
+///
+/// Panics if the widths disagree.
+pub fn sq_sum_into(level: SimdLevel, data: &[f64], channels: usize, acc: &mut [f64]) {
+    assert_eq!(acc.len(), channels, "accumulator width");
+    assert_eq!(data.len() % channels.max(1), 0, "frame alignment");
+    #[cfg(target_arch = "x86_64")]
+    let frames = data.len() / channels.max(1);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Sse2` is only constructed on CPUs where the feature was
+        // detected (see `sum_into`).
+        SimdLevel::Sse2 => unsafe { x86::sq_sum_into_sse2(data, frames, channels, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` implies the avx2 feature was detected.
+        SimdLevel::Avx2 => unsafe { x86::sq_sum_into_avx2(data, frames, channels, acc) },
+        _ => {
+            for frame in data.chunks_exact(channels) {
+                for (a, &x) in acc.iter_mut().zip(frame) {
+                    *a += x * x;
+                }
+            }
+        }
+    }
+}
+
+/// The z-normalisation apply pass: `out = (x − mean[c]) / std[c]`, or
+/// `x − mean[c]` alone where `std[c] < 1e-12` (the degenerate branch of
+/// `crate::stats::z_normalize_into`). The vector arms compute both
+/// candidates and blend on the same `std < 1e-12` predicate, which is
+/// bitwise-identical per element to the scalar branch (the discarded
+/// division is never observable).
+///
+/// # Panics
+///
+/// Panics if the widths disagree.
+pub fn znorm_apply(
+    level: SimdLevel,
+    input: &[f64],
+    output: &mut [f64],
+    channels: usize,
+    mean: &[f64],
+    std: &[f64],
+) {
+    assert_eq!(input.len(), output.len(), "block shapes");
+    assert_eq!(mean.len(), channels, "mean width");
+    assert_eq!(std.len(), channels, "std width");
+    assert_eq!(input.len() % channels.max(1), 0, "frame alignment");
+    #[cfg(target_arch = "x86_64")]
+    let frames = input.len() / channels.max(1);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Sse2` is only constructed on CPUs where the feature was
+        // detected (see `sum_into`).
+        SimdLevel::Sse2 => unsafe {
+            x86::znorm_apply_sse2(input, output, frames, channels, mean, std)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` implies the avx2 feature was detected.
+        SimdLevel::Avx2 => unsafe {
+            x86::znorm_apply_avx2(input, output, frames, channels, mean, std)
+        },
+        _ => {
+            for (frame_in, frame_out) in input
+                .chunks_exact(channels)
+                .zip(output.chunks_exact_mut(channels))
+            {
+                for (ch, (&x, y)) in frame_in.iter().zip(frame_out.iter_mut()).enumerate() {
+                    *y = if std[ch] < 1e-12 {
+                        x - mean[ch]
+                    } else {
+                        (x - mean[ch]) / std[ch]
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// One sketch position's dot products: `acc[c] = Σ_k proj[k] ·
+/// data[k·channels + c]`, accumulating in tap order `k` per channel
+/// (`acc` is overwritten). Bitwise-identical across levels — the scalar
+/// arm is the `sketch_block_into` tap loop, the vector arms keep each
+/// channel's accumulation sequence while batching channels into lanes.
+///
+/// # Panics
+///
+/// Panics if `data` is not exactly `proj.len()` frames of `channels`.
+pub fn dot_frames(level: SimdLevel, data: &[f64], channels: usize, proj: &[f64], acc: &mut [f64]) {
+    assert_eq!(acc.len(), channels, "accumulator width");
+    assert_eq!(data.len(), proj.len() * channels, "tap window shape");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Sse2` is only constructed on CPUs where the feature was
+        // detected (see `sum_into`).
+        SimdLevel::Sse2 => unsafe { x86::dot_frames_sse2(data, channels, proj, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` implies the avx2 feature was detected.
+        SimdLevel::Avx2 => unsafe { x86::dot_frames_avx2(data, channels, proj, acc) },
+        _ => {
+            acc.fill(0.0);
+            for (k, &r) in proj.iter().enumerate() {
+                let frame = &data[k * channels..(k + 1) * channels];
+                for (a, &x) in acc.iter_mut().zip(frame) {
+                    *a += x * r;
+                }
+            }
+        }
+    }
+}
+
+/// One biquad section over a whole interleaved block: every frame of
+/// `data` through the direct-form-II-transposed update with shared
+/// coefficients `co = [b0, b1, b2, a1, a2]` and per-channel state rows
+/// `z1`/`z2`. Bitwise-identical across levels: each channel's recurrence
+/// runs in sample order with the exact scalar operation sequence
+/// (`y = b0·x + z1; z1' = (b1·x − a1·y) + z2; z2' = b2·x − a2·y`); the
+/// vector arms batch channels into lanes and keep the state in registers
+/// across frames.
+///
+/// # Panics
+///
+/// Panics if the widths disagree.
+pub fn biquad_block(
+    level: SimdLevel,
+    data: &mut [f64],
+    channels: usize,
+    co: &[f64; 5],
+    z1: &mut [f64],
+    z2: &mut [f64],
+) {
+    assert_eq!(z1.len(), channels, "z1 width");
+    assert_eq!(z2.len(), channels, "z2 width");
+    assert_eq!(data.len() % channels.max(1), 0, "frame alignment");
+    #[cfg(target_arch = "x86_64")]
+    let frames = data.len() / channels.max(1);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Sse2` is only constructed on CPUs where the feature was
+        // detected (see `sum_into`).
+        SimdLevel::Sse2 => unsafe { x86::biquad_block_sse2(data, frames, channels, co, z1, z2) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` implies the avx2 feature was detected.
+        SimdLevel::Avx2 => unsafe { x86::biquad_block_avx2(data, frames, channels, co, z1, z2) },
+        _ => {
+            let [b0, b1, b2, a1, a2] = *co;
+            for frame in data.chunks_exact_mut(channels) {
+                for ((x, z1), z2) in frame.iter_mut().zip(z1.iter_mut()).zip(z2.iter_mut()) {
+                    let y = b0 * *x + *z1;
+                    *z1 = b1 * *x - a1 * y + *z2;
+                    *z2 = b2 * *x - a2 * y;
+                    *x = y;
+                }
+            }
+        }
+    }
+}
+
+/// All butterfly stages of a planned radix-2 FFT (after the caller's
+/// bit-reversal permutation), reading the per-stage twiddles laid out as
+/// in `crate::fft::FftPlan` (stage of half-length `h` at offset `h − 1`,
+/// `h` entries). Bitwise-identical across levels: the vector complex
+/// multiply is shuffle + the same `mul`/`sub`/`add` sequence as the
+/// scalar `Complex::mul` (no FMA; the SSE2 arm folds the subtraction
+/// into `a + (−b)`, exact under IEEE-754), and butterflies are only
+/// batched, never re-associated.
+///
+/// # Panics
+///
+/// Panics if `twiddles` is shorter than `buf.len() − 1`.
+pub fn fft_stages(
+    level: SimdLevel,
+    buf: &mut [crate::fft::Complex],
+    twiddles: &[crate::fft::Complex],
+) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(twiddles.len() >= n - 1, "twiddle table vs transform size");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Sse2` is only constructed on CPUs where the feature was
+        // detected (see `sum_into`).
+        SimdLevel::Sse2 => unsafe { x86::fft_stages_sse2(buf, twiddles) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` implies the avx2 feature was detected.
+        SimdLevel::Avx2 => unsafe { x86::fft_stages_avx2(buf, twiddles) },
+        _ => {
+            let mut half = 1;
+            while half < n {
+                let tw = &twiddles[half - 1..2 * half - 1];
+                for chunk in buf.chunks_mut(2 * half) {
+                    for (k, &w) in tw.iter().enumerate() {
+                        let u = chunk[k];
+                        let v = chunk[k + half].mul(w);
+                        chunk[k] = u.add(v);
+                        chunk[k + half] = u.sub(v);
+                    }
+                }
+                half <<= 1;
+            }
+        }
+    }
+}
+
+/// `(min, max)` of `xs` — the LB_Keogh envelope reduction. The scalar arm
+/// folds in slice order; the vector arms reduce lane-wise then
+/// horizontally. Min/max over a NaN-free set is order-independent up to
+/// the sign of zero, and the LB_Keogh consumer is insensitive to that
+/// sign (`q > upper` / `q < lower` compare ±0 equal, and the envelope
+/// distance is only computed against strictly-nonzero `q` excursions), so
+/// downstream results stay bitwise-identical. Returns `(+∞, −∞)` for an
+/// empty slice.
+pub fn min_max(level: SimdLevel, xs: &[f64]) -> (f64, f64) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Sse2` is only constructed on CPUs where the feature was
+        // detected (see `sum_into`).
+        SimdLevel::Sse2 => unsafe { x86::min_max_sse2(xs) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` implies the avx2 feature was detected.
+        SimdLevel::Avx2 => unsafe { x86::min_max_avx2(xs) },
+        _ => {
+            let mut lower = f64::INFINITY;
+            let mut upper = f64::NEG_INFINITY;
+            for &v in xs {
+                upper = upper.max(v);
+                lower = lower.min(v);
+            }
+            (lower, upper)
+        }
+    }
+}
+
+/// Vectorised first pass of one banded DTW DP row (the second,
+/// order-dependent pass stays scalar in `crate::dtw`): for every in-band
+/// column `k`, `cost[k] = (a_i − b_win[k])²` and `curr[k] = cost[k] +
+/// min(prev_win[k], prev_win[k + 1])`. Combined with the scalar pass 2
+/// (`curr[k] = min(curr[k], cost[k] + left_neighbour)`), the row is
+/// **value-identical** to the scalar three-way recurrence: IEEE-754
+/// addition is monotone, so `min(c + x, c + y) == c + min(x, y)` exactly,
+/// unreachable (infinite) cells stay infinite on both paths, and no
+/// negative zeros arise (all DP cells are `≥ +0` or `+∞`).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree (`prev_win` needs one extra
+/// leading element: `prev_win[k]` is the column left of `curr[k]`).
+pub fn dtw_row_pass1(
+    level: SimdLevel,
+    a_i: f64,
+    b_win: &[f64],
+    prev_win: &[f64],
+    cost: &mut [f64],
+    curr: &mut [f64],
+) {
+    let len = b_win.len();
+    assert_eq!(cost.len(), len, "cost row width");
+    assert_eq!(curr.len(), len, "curr row width");
+    assert_eq!(prev_win.len(), len + 1, "prev row needs a leading column");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Sse2` is only constructed on CPUs where the feature was
+        // detected (see `sum_into`).
+        SimdLevel::Sse2 => unsafe { x86::dtw_row_pass1_sse2(a_i, b_win, prev_win, cost, curr) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` implies the avx2 feature was detected.
+        SimdLevel::Avx2 => unsafe { x86::dtw_row_pass1_avx2(a_i, b_win, prev_win, cost, curr) },
+        _ => {
+            for (k, (&b, (c, t))) in b_win
+                .iter()
+                .zip(cost.iter_mut().zip(curr.iter_mut()))
+                .enumerate()
+            {
+                let d = (a_i - b) * (a_i - b);
+                *c = d;
+                *t = d + prev_win[k + 1].min(prev_win[k]);
+            }
+        }
+    }
+}
+
+/// The x86-64 kernels. Every function is `#[target_feature]`-gated and
+/// therefore unsafe to call from ungated code: the dispatchers above hold
+/// the invariant that a [`SimdLevel`] above `Scalar` is only ever
+/// constructed after `is_x86_feature_detected!` confirmed the feature.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use crate::fft::Complex;
+    use std::arch::x86_64::*;
+
+    /// Bounds check shared by every strided kernel: the view must hold
+    /// `frames` rows of `stride` floats of which the leading `lanes`
+    /// belong to this call — the last row of an offset remainder view is
+    /// short, so the requirement is `(frames − 1)·stride + lanes`
+    /// elements. Each kernel asserts this once up front, making the
+    /// pointer arithmetic in its SAFETY comments locally checkable.
+    fn check_view(len: usize, frames: usize, stride: usize, lanes: usize) {
+        assert!(lanes <= stride, "lanes {lanes} exceed stride {stride}");
+        if frames > 0 {
+            assert!(
+                len >= (frames - 1) * stride + lanes,
+                "strided view too short: {len} < ({frames}-1)*{stride}+{lanes}"
+            );
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn sum_into_sse2(data: &[f64], frames: usize, stride: usize, acc: &mut [f64]) {
+        let lanes = acc.len();
+        check_view(data.len(), frames, stride, lanes);
+        let mut c = 0;
+        while c + 2 <= lanes {
+            // SAFETY: c + 2 <= lanes bounds the lane offset in `acc` and,
+            // via `check_view`, in every row `t * stride + c` of `data`.
+            unsafe {
+                let mut av = _mm_loadu_pd(acc.as_ptr().add(c));
+                for t in 0..frames {
+                    av = _mm_add_pd(av, _mm_loadu_pd(data.as_ptr().add(t * stride + c)));
+                }
+                _mm_storeu_pd(acc.as_mut_ptr().add(c), av);
+            }
+            c += 2;
+        }
+        while c < lanes {
+            for t in 0..frames {
+                acc[c] += data[t * stride + c];
+            }
+            c += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn sum_into_avx2(data: &[f64], frames: usize, stride: usize, acc: &mut [f64]) {
+        let lanes = acc.len();
+        check_view(data.len(), frames, stride, lanes);
+        let mut c = 0;
+        while c + 4 <= lanes {
+            // SAFETY: c + 4 <= lanes bounds the lane offset in `acc` and,
+            // via `check_view`, in every row `t * stride + c` of `data`.
+            unsafe {
+                let mut av = _mm256_loadu_pd(acc.as_ptr().add(c));
+                for t in 0..frames {
+                    av = _mm256_add_pd(av, _mm256_loadu_pd(data.as_ptr().add(t * stride + c)));
+                }
+                _mm256_storeu_pd(acc.as_mut_ptr().add(c), av);
+            }
+            c += 4;
+        }
+        if c < lanes {
+            // Remainder lanes go through the SSE2 kernel on an offset view
+            // (avx2 implies sse2, so no unsafe block is needed).
+            sum_into_sse2(&data[c..], frames, stride, &mut acc[c..]);
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn sq_dev_sum_into_sse2(
+        data: &[f64],
+        frames: usize,
+        stride: usize,
+        mean: &[f64],
+        acc: &mut [f64],
+    ) {
+        let lanes = acc.len();
+        assert_eq!(mean.len(), lanes);
+        check_view(data.len(), frames, stride, lanes);
+        let mut c = 0;
+        while c + 2 <= lanes {
+            // SAFETY: c + 2 <= lanes bounds the lane offset in `acc`/`mean`
+            // and, via `check_view`, in every row `t * stride + c` of `data`.
+            unsafe {
+                let mv = _mm_loadu_pd(mean.as_ptr().add(c));
+                let mut av = _mm_loadu_pd(acc.as_ptr().add(c));
+                for t in 0..frames {
+                    let d = _mm_sub_pd(_mm_loadu_pd(data.as_ptr().add(t * stride + c)), mv);
+                    av = _mm_add_pd(av, _mm_mul_pd(d, d));
+                }
+                _mm_storeu_pd(acc.as_mut_ptr().add(c), av);
+            }
+            c += 2;
+        }
+        while c < lanes {
+            for t in 0..frames {
+                let d = data[t * stride + c] - mean[c];
+                acc[c] += d * d;
+            }
+            c += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn sq_dev_sum_into_avx2(
+        data: &[f64],
+        frames: usize,
+        stride: usize,
+        mean: &[f64],
+        acc: &mut [f64],
+    ) {
+        let lanes = acc.len();
+        assert_eq!(mean.len(), lanes);
+        check_view(data.len(), frames, stride, lanes);
+        let mut c = 0;
+        while c + 4 <= lanes {
+            // SAFETY: c + 4 <= lanes bounds the lane offset in `acc`/`mean`
+            // and, via `check_view`, in every row `t * stride + c` of `data`.
+            unsafe {
+                let mv = _mm256_loadu_pd(mean.as_ptr().add(c));
+                let mut av = _mm256_loadu_pd(acc.as_ptr().add(c));
+                for t in 0..frames {
+                    let d = _mm256_sub_pd(_mm256_loadu_pd(data.as_ptr().add(t * stride + c)), mv);
+                    av = _mm256_add_pd(av, _mm256_mul_pd(d, d));
+                }
+                _mm256_storeu_pd(acc.as_mut_ptr().add(c), av);
+            }
+            c += 4;
+        }
+        if c < lanes {
+            sq_dev_sum_into_sse2(&data[c..], frames, stride, &mean[c..], &mut acc[c..]);
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn sq_sum_into_sse2(data: &[f64], frames: usize, stride: usize, acc: &mut [f64]) {
+        let lanes = acc.len();
+        check_view(data.len(), frames, stride, lanes);
+        let mut c = 0;
+        while c + 2 <= lanes {
+            // SAFETY: c + 2 <= lanes bounds the lane offset in `acc` and,
+            // via `check_view`, in every row `t * stride + c` of `data`.
+            unsafe {
+                let mut av = _mm_loadu_pd(acc.as_ptr().add(c));
+                for t in 0..frames {
+                    let x = _mm_loadu_pd(data.as_ptr().add(t * stride + c));
+                    av = _mm_add_pd(av, _mm_mul_pd(x, x));
+                }
+                _mm_storeu_pd(acc.as_mut_ptr().add(c), av);
+            }
+            c += 2;
+        }
+        while c < lanes {
+            for t in 0..frames {
+                let x = data[t * stride + c];
+                acc[c] += x * x;
+            }
+            c += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn sq_sum_into_avx2(data: &[f64], frames: usize, stride: usize, acc: &mut [f64]) {
+        let lanes = acc.len();
+        check_view(data.len(), frames, stride, lanes);
+        let mut c = 0;
+        while c + 4 <= lanes {
+            // SAFETY: c + 4 <= lanes bounds the lane offset in `acc` and,
+            // via `check_view`, in every row `t * stride + c` of `data`.
+            unsafe {
+                let mut av = _mm256_loadu_pd(acc.as_ptr().add(c));
+                for t in 0..frames {
+                    let x = _mm256_loadu_pd(data.as_ptr().add(t * stride + c));
+                    av = _mm256_add_pd(av, _mm256_mul_pd(x, x));
+                }
+                _mm256_storeu_pd(acc.as_mut_ptr().add(c), av);
+            }
+            c += 4;
+        }
+        if c < lanes {
+            sq_sum_into_sse2(&data[c..], frames, stride, &mut acc[c..]);
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn znorm_apply_sse2(
+        input: &[f64],
+        output: &mut [f64],
+        frames: usize,
+        stride: usize,
+        mean: &[f64],
+        std: &[f64],
+    ) {
+        let lanes = mean.len();
+        assert_eq!(std.len(), lanes);
+        check_view(input.len(), frames, stride, lanes);
+        check_view(output.len(), frames, stride, lanes);
+        let eps = _mm_set1_pd(1e-12);
+        let mut c = 0;
+        while c + 2 <= lanes {
+            // SAFETY: c + 2 <= lanes bounds the lane offset in `mean`/`std`
+            // and, via `check_view`, in every row `t * stride + c` of the
+            // input and output views.
+            unsafe {
+                let mv = _mm_loadu_pd(mean.as_ptr().add(c));
+                let sv = _mm_loadu_pd(std.as_ptr().add(c));
+                // Lane-wise `std < 1e-12` predicate: all-ones selects the
+                // subtract-only branch, exactly the scalar condition.
+                let degenerate = _mm_cmplt_pd(sv, eps);
+                for t in 0..frames {
+                    let x = _mm_loadu_pd(input.as_ptr().add(t * stride + c));
+                    let d = _mm_sub_pd(x, mv);
+                    let q = _mm_div_pd(d, sv);
+                    let r = _mm_or_pd(_mm_and_pd(degenerate, d), _mm_andnot_pd(degenerate, q));
+                    _mm_storeu_pd(output.as_mut_ptr().add(t * stride + c), r);
+                }
+            }
+            c += 2;
+        }
+        while c < lanes {
+            for t in 0..frames {
+                let x = input[t * stride + c];
+                output[t * stride + c] = if std[c] < 1e-12 {
+                    x - mean[c]
+                } else {
+                    (x - mean[c]) / std[c]
+                };
+            }
+            c += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn znorm_apply_avx2(
+        input: &[f64],
+        output: &mut [f64],
+        frames: usize,
+        stride: usize,
+        mean: &[f64],
+        std: &[f64],
+    ) {
+        let lanes = mean.len();
+        assert_eq!(std.len(), lanes);
+        check_view(input.len(), frames, stride, lanes);
+        check_view(output.len(), frames, stride, lanes);
+        let eps = _mm256_set1_pd(1e-12);
+        let mut c = 0;
+        while c + 4 <= lanes {
+            // SAFETY: c + 4 <= lanes bounds the lane offset in `mean`/`std`
+            // and, via `check_view`, in every row `t * stride + c` of the
+            // input and output views.
+            unsafe {
+                let mv = _mm256_loadu_pd(mean.as_ptr().add(c));
+                let sv = _mm256_loadu_pd(std.as_ptr().add(c));
+                let degenerate = _mm256_cmp_pd::<_CMP_LT_OQ>(sv, eps);
+                for t in 0..frames {
+                    let x = _mm256_loadu_pd(input.as_ptr().add(t * stride + c));
+                    let d = _mm256_sub_pd(x, mv);
+                    let q = _mm256_div_pd(d, sv);
+                    let r = _mm256_blendv_pd(q, d, degenerate);
+                    _mm256_storeu_pd(output.as_mut_ptr().add(t * stride + c), r);
+                }
+            }
+            c += 4;
+        }
+        if c < lanes {
+            znorm_apply_sse2(
+                &input[c..],
+                &mut output[c..],
+                frames,
+                stride,
+                &mean[c..],
+                &std[c..],
+            );
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn dot_frames_sse2(data: &[f64], stride: usize, proj: &[f64], acc: &mut [f64]) {
+        let taps = proj.len();
+        let lanes = acc.len();
+        check_view(data.len(), taps, stride, lanes);
+        let mut c = 0;
+        while c + 2 <= lanes {
+            // SAFETY: c + 2 <= lanes bounds the lane offset in `acc` and,
+            // via `check_view`, in every row `k * stride + c` of `data`.
+            unsafe {
+                let mut av = _mm_setzero_pd();
+                for (k, &r) in proj.iter().enumerate() {
+                    let x = _mm_loadu_pd(data.as_ptr().add(k * stride + c));
+                    av = _mm_add_pd(av, _mm_mul_pd(x, _mm_set1_pd(r)));
+                }
+                _mm_storeu_pd(acc.as_mut_ptr().add(c), av);
+            }
+            c += 2;
+        }
+        while c < lanes {
+            let mut a = 0.0;
+            for k in 0..taps {
+                a += data[k * stride + c] * proj[k];
+            }
+            acc[c] = a;
+            c += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn dot_frames_avx2(data: &[f64], stride: usize, proj: &[f64], acc: &mut [f64]) {
+        let lanes = acc.len();
+        check_view(data.len(), proj.len(), stride, lanes);
+        let mut c = 0;
+        while c + 4 <= lanes {
+            // SAFETY: c + 4 <= lanes bounds the lane offset in `acc` and,
+            // via `check_view`, in every row `k * stride + c` of `data`.
+            unsafe {
+                let mut av = _mm256_setzero_pd();
+                for (k, &r) in proj.iter().enumerate() {
+                    let x = _mm256_loadu_pd(data.as_ptr().add(k * stride + c));
+                    av = _mm256_add_pd(av, _mm256_mul_pd(x, _mm256_set1_pd(r)));
+                }
+                _mm256_storeu_pd(acc.as_mut_ptr().add(c), av);
+            }
+            c += 4;
+        }
+        if c < lanes {
+            dot_frames_sse2(&data[c..], stride, proj, &mut acc[c..]);
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn biquad_block_sse2(
+        data: &mut [f64],
+        frames: usize,
+        stride: usize,
+        co: &[f64; 5],
+        z1: &mut [f64],
+        z2: &mut [f64],
+    ) {
+        let lanes = z1.len();
+        assert_eq!(z2.len(), lanes);
+        check_view(data.len(), frames, stride, lanes);
+        let b0 = _mm_set1_pd(co[0]);
+        let b1 = _mm_set1_pd(co[1]);
+        let b2 = _mm_set1_pd(co[2]);
+        let a1 = _mm_set1_pd(co[3]);
+        let a2 = _mm_set1_pd(co[4]);
+        let mut c = 0;
+        while c + 2 <= lanes {
+            // SAFETY: c + 2 <= lanes bounds the lane offset in `z1`/`z2`
+            // and, via `check_view`, in every row of `data`; the walking
+            // pointer `p` visits exactly rows 0..frames at lane offset c.
+            unsafe {
+                let mut z1v = _mm_loadu_pd(z1.as_ptr().add(c));
+                let mut z2v = _mm_loadu_pd(z2.as_ptr().add(c));
+                let mut p = data.as_mut_ptr().add(c);
+                for _ in 0..frames {
+                    let x = _mm_loadu_pd(p);
+                    let y = _mm_add_pd(_mm_mul_pd(b0, x), z1v);
+                    z1v = _mm_add_pd(_mm_sub_pd(_mm_mul_pd(b1, x), _mm_mul_pd(a1, y)), z2v);
+                    z2v = _mm_sub_pd(_mm_mul_pd(b2, x), _mm_mul_pd(a2, y));
+                    _mm_storeu_pd(p, y);
+                    p = p.add(stride);
+                }
+                _mm_storeu_pd(z1.as_mut_ptr().add(c), z1v);
+                _mm_storeu_pd(z2.as_mut_ptr().add(c), z2v);
+            }
+            c += 2;
+        }
+        while c < lanes {
+            let mut s1 = z1[c];
+            let mut s2 = z2[c];
+            for t in 0..frames {
+                let x = data[t * stride + c];
+                let y = co[0] * x + s1;
+                s1 = co[1] * x - co[3] * y + s2;
+                s2 = co[2] * x - co[4] * y;
+                data[t * stride + c] = y;
+            }
+            z1[c] = s1;
+            z2[c] = s2;
+            c += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn biquad_block_avx2(
+        data: &mut [f64],
+        frames: usize,
+        stride: usize,
+        co: &[f64; 5],
+        z1: &mut [f64],
+        z2: &mut [f64],
+    ) {
+        let lanes = z1.len();
+        assert_eq!(z2.len(), lanes);
+        check_view(data.len(), frames, stride, lanes);
+        let b0 = _mm256_set1_pd(co[0]);
+        let b1 = _mm256_set1_pd(co[1]);
+        let b2 = _mm256_set1_pd(co[2]);
+        let a1 = _mm256_set1_pd(co[3]);
+        let a2 = _mm256_set1_pd(co[4]);
+        let mut c = 0;
+        // The recurrence is serial in `t` per lane, so a single 4-lane
+        // walk is latency-bound: every frame waits ~3 dependent vector
+        // ops regardless of SIMD width. Walking four independent 4-lane
+        // chunks in one frame loop gives the out-of-order core four
+        // dependency chains to overlap — each lane still sees exactly
+        // the scalar operation sequence, so results stay bitwise equal.
+        while c + 16 <= lanes {
+            // SAFETY: c + 16 <= lanes bounds the widest lane offset
+            // (c + 12 .. c + 16) in `z1`/`z2` and, via `check_view`, in
+            // every row of `data`; the walking pointer `p` visits exactly
+            // rows 0..frames at lane offsets c..c + 16.
+            unsafe {
+                let zp1 = z1.as_mut_ptr().add(c);
+                let zp2 = z2.as_mut_ptr().add(c);
+                let mut z1a = _mm256_loadu_pd(zp1);
+                let mut z1b = _mm256_loadu_pd(zp1.add(4));
+                let mut z1c = _mm256_loadu_pd(zp1.add(8));
+                let mut z1d = _mm256_loadu_pd(zp1.add(12));
+                let mut z2a = _mm256_loadu_pd(zp2);
+                let mut z2b = _mm256_loadu_pd(zp2.add(4));
+                let mut z2c = _mm256_loadu_pd(zp2.add(8));
+                let mut z2d = _mm256_loadu_pd(zp2.add(12));
+                let mut p = data.as_mut_ptr().add(c);
+                for _ in 0..frames {
+                    let xa = _mm256_loadu_pd(p);
+                    let xb = _mm256_loadu_pd(p.add(4));
+                    let xc = _mm256_loadu_pd(p.add(8));
+                    let xd = _mm256_loadu_pd(p.add(12));
+                    let ya = _mm256_add_pd(_mm256_mul_pd(b0, xa), z1a);
+                    let yb = _mm256_add_pd(_mm256_mul_pd(b0, xb), z1b);
+                    let yc = _mm256_add_pd(_mm256_mul_pd(b0, xc), z1c);
+                    let yd = _mm256_add_pd(_mm256_mul_pd(b0, xd), z1d);
+                    z1a = _mm256_add_pd(
+                        _mm256_sub_pd(_mm256_mul_pd(b1, xa), _mm256_mul_pd(a1, ya)),
+                        z2a,
+                    );
+                    z1b = _mm256_add_pd(
+                        _mm256_sub_pd(_mm256_mul_pd(b1, xb), _mm256_mul_pd(a1, yb)),
+                        z2b,
+                    );
+                    z1c = _mm256_add_pd(
+                        _mm256_sub_pd(_mm256_mul_pd(b1, xc), _mm256_mul_pd(a1, yc)),
+                        z2c,
+                    );
+                    z1d = _mm256_add_pd(
+                        _mm256_sub_pd(_mm256_mul_pd(b1, xd), _mm256_mul_pd(a1, yd)),
+                        z2d,
+                    );
+                    z2a = _mm256_sub_pd(_mm256_mul_pd(b2, xa), _mm256_mul_pd(a2, ya));
+                    z2b = _mm256_sub_pd(_mm256_mul_pd(b2, xb), _mm256_mul_pd(a2, yb));
+                    z2c = _mm256_sub_pd(_mm256_mul_pd(b2, xc), _mm256_mul_pd(a2, yc));
+                    z2d = _mm256_sub_pd(_mm256_mul_pd(b2, xd), _mm256_mul_pd(a2, yd));
+                    _mm256_storeu_pd(p, ya);
+                    _mm256_storeu_pd(p.add(4), yb);
+                    _mm256_storeu_pd(p.add(8), yc);
+                    _mm256_storeu_pd(p.add(12), yd);
+                    p = p.add(stride);
+                }
+                _mm256_storeu_pd(zp1, z1a);
+                _mm256_storeu_pd(zp1.add(4), z1b);
+                _mm256_storeu_pd(zp1.add(8), z1c);
+                _mm256_storeu_pd(zp1.add(12), z1d);
+                _mm256_storeu_pd(zp2, z2a);
+                _mm256_storeu_pd(zp2.add(4), z2b);
+                _mm256_storeu_pd(zp2.add(8), z2c);
+                _mm256_storeu_pd(zp2.add(12), z2d);
+            }
+            c += 16;
+        }
+        while c + 4 <= lanes {
+            // SAFETY: c + 4 <= lanes bounds the lane offset in `z1`/`z2`
+            // and, via `check_view`, in every row of `data`; the walking
+            // pointer `p` visits exactly rows 0..frames at lane offset c.
+            unsafe {
+                let mut z1v = _mm256_loadu_pd(z1.as_ptr().add(c));
+                let mut z2v = _mm256_loadu_pd(z2.as_ptr().add(c));
+                let mut p = data.as_mut_ptr().add(c);
+                for _ in 0..frames {
+                    let x = _mm256_loadu_pd(p);
+                    let y = _mm256_add_pd(_mm256_mul_pd(b0, x), z1v);
+                    z1v = _mm256_add_pd(
+                        _mm256_sub_pd(_mm256_mul_pd(b1, x), _mm256_mul_pd(a1, y)),
+                        z2v,
+                    );
+                    z2v = _mm256_sub_pd(_mm256_mul_pd(b2, x), _mm256_mul_pd(a2, y));
+                    _mm256_storeu_pd(p, y);
+                    p = p.add(stride);
+                }
+                _mm256_storeu_pd(z1.as_mut_ptr().add(c), z1v);
+                _mm256_storeu_pd(z2.as_mut_ptr().add(c), z2v);
+            }
+            c += 4;
+        }
+        if c < lanes {
+            biquad_block_sse2(
+                &mut data[c..],
+                frames,
+                stride,
+                co,
+                &mut z1[c..],
+                &mut z2[c..],
+            );
+        }
+    }
+
+    /// Complex product of the `[re, im]` pair in `v` with `w`, as the
+    /// exact scalar operation sequence: `re = v.re·w.re − v.im·w.im`
+    /// (folded into `a + (−b)`, bitwise-equal under IEEE-754) and
+    /// `im = v.im·w.re + v.re·w.im` (addition commuted, exact).
+    #[target_feature(enable = "sse2")]
+    fn mulc2(v: __m128d, w: __m128d) -> __m128d {
+        let wre = _mm_unpacklo_pd(w, w);
+        let wim = _mm_unpackhi_pd(w, w);
+        let vswap = _mm_shuffle_pd::<0b01>(v, v);
+        let sign = _mm_set_pd(0.0, -0.0); // negate the low (re) lane only
+        _mm_add_pd(_mm_mul_pd(v, wre), _mm_xor_pd(_mm_mul_pd(vswap, wim), sign))
+    }
+
+    /// Two complex products at once: lanes `[re0, im0, re1, im1]`.
+    /// `_mm256_addsub_pd` subtracts in even lanes and adds in odd lanes —
+    /// exactly the scalar `re`/`im` combination, no re-association.
+    #[target_feature(enable = "avx2")]
+    fn mulc4(v: __m256d, w: __m256d) -> __m256d {
+        let wre = _mm256_movedup_pd(w);
+        let wim = _mm256_permute_pd::<0b1111>(w);
+        let vswap = _mm256_permute_pd::<0b0101>(v);
+        _mm256_addsub_pd(_mm256_mul_pd(v, wre), _mm256_mul_pd(vswap, wim))
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn fft_stages_sse2(buf: &mut [Complex], twiddles: &[Complex]) {
+        let n = buf.len();
+        let mut half = 1;
+        while half < n {
+            let tw = &twiddles[half - 1..2 * half - 1];
+            for chunk in buf.chunks_exact_mut(2 * half) {
+                let (us, vs) = chunk.split_at_mut(half);
+                // `Complex` is `#[repr(C)]`: each element is an adjacent
+                // `[re, im]` f64 pair, so complex index k is f64 offset 2k.
+                let up = us.as_mut_ptr().cast::<f64>();
+                let vp = vs.as_mut_ptr().cast::<f64>();
+                let wp = tw.as_ptr().cast::<f64>();
+                for k in 0..half {
+                    // SAFETY: k < half = len(us) = len(vs) = len(tw), so
+                    // f64 offsets 2k..2k+2 are in bounds of all three.
+                    unsafe {
+                        let u = _mm_loadu_pd(up.add(2 * k));
+                        let v = _mm_loadu_pd(vp.add(2 * k));
+                        let w = _mm_loadu_pd(wp.add(2 * k));
+                        let t = mulc2(v, w);
+                        _mm_storeu_pd(up.add(2 * k), _mm_add_pd(u, t));
+                        _mm_storeu_pd(vp.add(2 * k), _mm_sub_pd(u, t));
+                    }
+                }
+            }
+            half <<= 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn fft_stages_avx2(buf: &mut [Complex], twiddles: &[Complex]) {
+        let n = buf.len();
+        let mut half = 1;
+        if n >= 4 {
+            // Fused stages 1 + 2: both operate entirely within each
+            // 4-complex block, so the intermediate stage-1 results stay
+            // in registers. Each butterfly still runs the scalar
+            // operation sequence on table twiddles — only the
+            // store/reload between the stages is elided.
+            let p = buf.as_mut_ptr().cast::<f64>();
+            let wp = twiddles.as_ptr().cast::<f64>();
+            // SAFETY: n >= 4 implies the twiddle table holds stages for
+            // half = 1 (offset 0, one entry) and half = 2 (offset 1, two
+            // entries) — f64 offsets 0..6.
+            let (w1v, w2v) = unsafe {
+                let w1 = _mm_loadu_pd(wp);
+                (_mm256_set_m128d(w1, w1), _mm256_loadu_pd(wp.add(2)))
+            };
+            for i in (0..n).step_by(4) {
+                // SAFETY: n is a multiple of 4 here, so complexes
+                // i..i + 4 (f64 offsets 2i..2i + 8) are in bounds.
+                unsafe {
+                    let a = _mm256_loadu_pd(p.add(2 * i)); // [c0, c1]
+                    let b = _mm256_loadu_pd(p.add(2 * i + 4)); // [c2, c3]
+                                                               // Stage 1: butterflies (c0, c1) and (c2, c3).
+                    let u = _mm256_permute2f128_pd::<0x20>(a, b); // [c0, c2]
+                    let v = _mm256_permute2f128_pd::<0x31>(a, b); // [c1, c3]
+                    let t = mulc4(v, w1v);
+                    let nu = _mm256_add_pd(u, t); // [c0', c2']
+                    let nv = _mm256_sub_pd(u, t); // [c1', c3']
+                                                  // Stage 2: butterflies (c0', c2') and (c1', c3').
+                    let us = _mm256_permute2f128_pd::<0x20>(nu, nv); // [c0', c1']
+                    let vs = _mm256_permute2f128_pd::<0x31>(nu, nv); // [c2', c3']
+                    let t2 = mulc4(vs, w2v);
+                    _mm256_storeu_pd(p.add(2 * i), _mm256_add_pd(us, t2));
+                    _mm256_storeu_pd(p.add(2 * i + 4), _mm256_sub_pd(us, t2));
+                }
+            }
+            half = 4;
+        }
+        while half < n {
+            let tw = &twiddles[half - 1..2 * half - 1];
+            if half == 1 {
+                // Stage 1's butterflies are adjacent (u at 2i, v at 2i+1),
+                // so the 256-bit k-loop below has nothing contiguous to
+                // load; run them at SSE width (w = tw[0] = 1 + 0i, and the
+                // multiply is kept so zero signs match the scalar path).
+                let p = buf.as_mut_ptr().cast::<f64>();
+                for i in (0..n).step_by(2) {
+                    // SAFETY: n is even here (n >= 2 and a power of two),
+                    // so complexes i and i+1 (f64 offsets 2i..2i+4) are in
+                    // bounds; tw has one entry.
+                    unsafe {
+                        let u = _mm_loadu_pd(p.add(2 * i));
+                        let v = _mm_loadu_pd(p.add(2 * i + 2));
+                        let w = _mm_loadu_pd(tw.as_ptr().cast::<f64>());
+                        let t = mulc2(v, w);
+                        _mm_storeu_pd(p.add(2 * i), _mm_add_pd(u, t));
+                        _mm_storeu_pd(p.add(2 * i + 2), _mm_sub_pd(u, t));
+                    }
+                }
+            } else {
+                // half >= 2 is even, so the k-loop pairs up exactly.
+                for chunk in buf.chunks_exact_mut(2 * half) {
+                    let (us, vs) = chunk.split_at_mut(half);
+                    let up = us.as_mut_ptr().cast::<f64>();
+                    let vp = vs.as_mut_ptr().cast::<f64>();
+                    let wp = tw.as_ptr().cast::<f64>();
+                    let mut k = 0;
+                    // Two independent butterfly pairs per iteration: the
+                    // quads share no lanes, so this only widens the
+                    // instruction window — each butterfly's operation
+                    // sequence is unchanged.
+                    while k + 4 <= half {
+                        // SAFETY: k + 4 <= half = len(us) = len(vs) =
+                        // len(tw), so f64 offsets 2k..2k+8 are in bounds.
+                        unsafe {
+                            let u0 = _mm256_loadu_pd(up.add(2 * k));
+                            let u1 = _mm256_loadu_pd(up.add(2 * k + 4));
+                            let v0 = _mm256_loadu_pd(vp.add(2 * k));
+                            let v1 = _mm256_loadu_pd(vp.add(2 * k + 4));
+                            let w0 = _mm256_loadu_pd(wp.add(2 * k));
+                            let w1 = _mm256_loadu_pd(wp.add(2 * k + 4));
+                            let t0 = mulc4(v0, w0);
+                            let t1 = mulc4(v1, w1);
+                            _mm256_storeu_pd(up.add(2 * k), _mm256_add_pd(u0, t0));
+                            _mm256_storeu_pd(up.add(2 * k + 4), _mm256_add_pd(u1, t1));
+                            _mm256_storeu_pd(vp.add(2 * k), _mm256_sub_pd(u0, t0));
+                            _mm256_storeu_pd(vp.add(2 * k + 4), _mm256_sub_pd(u1, t1));
+                        }
+                        k += 4;
+                    }
+                    while k + 2 <= half {
+                        // SAFETY: k + 2 <= half = len(us) = len(vs) =
+                        // len(tw), so f64 offsets 2k..2k+4 are in bounds.
+                        unsafe {
+                            let u = _mm256_loadu_pd(up.add(2 * k));
+                            let v = _mm256_loadu_pd(vp.add(2 * k));
+                            let w = _mm256_loadu_pd(wp.add(2 * k));
+                            let t = mulc4(v, w);
+                            _mm256_storeu_pd(up.add(2 * k), _mm256_add_pd(u, t));
+                            _mm256_storeu_pd(vp.add(2 * k), _mm256_sub_pd(u, t));
+                        }
+                        k += 2;
+                    }
+                }
+            }
+            half <<= 1;
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn min_max_sse2(xs: &[f64]) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut chunks = xs.chunks_exact(2);
+        let mut lov = _mm_set1_pd(f64::INFINITY);
+        let mut hiv = _mm_set1_pd(f64::NEG_INFINITY);
+        for pair in &mut chunks {
+            // SAFETY: `pair` is exactly two f64s.
+            let v = unsafe { _mm_loadu_pd(pair.as_ptr()) };
+            lov = _mm_min_pd(lov, v);
+            hiv = _mm_max_pd(hiv, v);
+        }
+        let mut lanes = [0.0f64; 2];
+        // SAFETY: `lanes` is a 16-byte f64 array.
+        unsafe { _mm_storeu_pd(lanes.as_mut_ptr(), lov) };
+        lo = lo.min(lanes[0]).min(lanes[1]);
+        // SAFETY: `lanes` is a 16-byte f64 array.
+        unsafe { _mm_storeu_pd(lanes.as_mut_ptr(), hiv) };
+        hi = hi.max(lanes[0]).max(lanes[1]);
+        for &v in chunks.remainder() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn min_max_avx2(xs: &[f64]) -> (f64, f64) {
+        let mut chunks = xs.chunks_exact(4);
+        let mut lov = _mm256_set1_pd(f64::INFINITY);
+        let mut hiv = _mm256_set1_pd(f64::NEG_INFINITY);
+        for quad in &mut chunks {
+            // SAFETY: `quad` is exactly four f64s.
+            let v = unsafe { _mm256_loadu_pd(quad.as_ptr()) };
+            lov = _mm256_min_pd(lov, v);
+            hiv = _mm256_max_pd(hiv, v);
+        }
+        let mut lanes = [0.0f64; 4];
+        // SAFETY: `lanes` is a 32-byte f64 array.
+        unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), lov) };
+        let mut lo = lanes[0].min(lanes[1]).min(lanes[2]).min(lanes[3]);
+        // SAFETY: `lanes` is a 32-byte f64 array.
+        unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), hiv) };
+        let mut hi = lanes[0].max(lanes[1]).max(lanes[2]).max(lanes[3]);
+        for &v in chunks.remainder() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub fn dtw_row_pass1_sse2(
+        a_i: f64,
+        b_win: &[f64],
+        prev_win: &[f64],
+        cost: &mut [f64],
+        curr: &mut [f64],
+    ) {
+        let len = b_win.len();
+        let av = _mm_set1_pd(a_i);
+        let mut k = 0;
+        while k + 2 <= len {
+            // SAFETY: k + 2 <= len bounds b_win/cost/curr; prev_win has
+            // len + 1 elements so k + 1 .. k + 3 is in bounds too.
+            unsafe {
+                let d = _mm_sub_pd(av, _mm_loadu_pd(b_win.as_ptr().add(k)));
+                let cv = _mm_mul_pd(d, d);
+                let pl = _mm_loadu_pd(prev_win.as_ptr().add(k));
+                let pd = _mm_loadu_pd(prev_win.as_ptr().add(k + 1));
+                _mm_storeu_pd(cost.as_mut_ptr().add(k), cv);
+                _mm_storeu_pd(curr.as_mut_ptr().add(k), _mm_add_pd(cv, _mm_min_pd(pd, pl)));
+            }
+            k += 2;
+        }
+        while k < len {
+            let d = (a_i - b_win[k]) * (a_i - b_win[k]);
+            cost[k] = d;
+            curr[k] = d + prev_win[k + 1].min(prev_win[k]);
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn dtw_row_pass1_avx2(
+        a_i: f64,
+        b_win: &[f64],
+        prev_win: &[f64],
+        cost: &mut [f64],
+        curr: &mut [f64],
+    ) {
+        let len = b_win.len();
+        let av = _mm256_set1_pd(a_i);
+        let mut k = 0;
+        while k + 4 <= len {
+            // SAFETY: k + 4 <= len bounds b_win/cost/curr; prev_win has
+            // len + 1 elements so k + 1 .. k + 5 is in bounds too.
+            unsafe {
+                let d = _mm256_sub_pd(av, _mm256_loadu_pd(b_win.as_ptr().add(k)));
+                let cv = _mm256_mul_pd(d, d);
+                let pl = _mm256_loadu_pd(prev_win.as_ptr().add(k));
+                let pd = _mm256_loadu_pd(prev_win.as_ptr().add(k + 1));
+                _mm256_storeu_pd(cost.as_mut_ptr().add(k), cv);
+                _mm256_storeu_pd(
+                    curr.as_mut_ptr().add(k),
+                    _mm256_add_pd(cv, _mm256_min_pd(pd, pl)),
+                );
+            }
+            k += 4;
+        }
+        while k < len {
+            let d = (a_i - b_win[k]) * (a_i - b_win[k]);
+            cost[k] = d;
+            curr[k] = d + prev_win[k + 1].min(prev_win[k]);
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for l in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+            assert_eq!(SimdLevel::from_name(l.name()), Some(l));
+            assert_eq!(format!("{l}"), l.name());
+        }
+        assert_eq!(SimdLevel::from_name("neon"), None);
+    }
+
+    #[test]
+    fn supported_starts_scalar_ends_detected() {
+        let levels = SimdLevel::supported();
+        assert_eq!(levels.first(), Some(&SimdLevel::Scalar));
+        assert_eq!(levels.last(), Some(&SimdLevel::detect()));
+        assert!(levels.windows(2).all(|w| w[0] < w[1]), "{levels:?}");
+    }
+
+    #[test]
+    fn active_is_at_most_detected_and_stable() {
+        let a = SimdLevel::active();
+        assert!(a <= SimdLevel::detect());
+        assert_eq!(a, SimdLevel::active(), "OnceLock must pin the choice");
+        assert_eq!(SimdLevel::default(), a);
+    }
+
+    fn frames(channels: usize, frames: usize) -> Vec<f64> {
+        (0..channels * frames)
+            .map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.17)
+            .collect()
+    }
+
+    #[test]
+    fn reductions_match_scalar_bitwise_at_every_level() {
+        for &channels in &[1usize, 2, 3, 5, 8, 13] {
+            let data = frames(channels, 29);
+            let mean: Vec<f64> = (0..channels).map(|c| c as f64 * 0.3 - 1.0).collect();
+            for level in SimdLevel::supported() {
+                let mut want = vec![0.25; channels];
+                let mut got = want.clone();
+                sum_into(SimdLevel::Scalar, &data, channels, &mut want);
+                sum_into(level, &data, channels, &mut got);
+                assert_eq!(bits(&want), bits(&got), "sum {level} ch={channels}");
+
+                let mut want = vec![0.5; channels];
+                let mut got = want.clone();
+                sq_dev_sum_into(SimdLevel::Scalar, &data, channels, &mean, &mut want);
+                sq_dev_sum_into(level, &data, channels, &mean, &mut got);
+                assert_eq!(bits(&want), bits(&got), "sqdev {level} ch={channels}");
+
+                let mut want = vec![0.0; channels];
+                let mut got = want.clone();
+                sq_sum_into(SimdLevel::Scalar, &data, channels, &mut want);
+                sq_sum_into(level, &data, channels, &mut got);
+                assert_eq!(bits(&want), bits(&got), "sqsum {level} ch={channels}");
+            }
+        }
+    }
+
+    #[test]
+    fn znorm_apply_blends_degenerate_channels_identically() {
+        let channels = 6;
+        let data = frames(channels, 17);
+        let mean: Vec<f64> = (0..channels).map(|c| c as f64 * 0.1).collect();
+        // Channels 1 and 4 take the subtract-only branch.
+        let std: Vec<f64> = (0..channels)
+            .map(|c| if c % 3 == 1 { 1e-13 } else { 0.7 + c as f64 })
+            .collect();
+        let mut want = vec![0.0; data.len()];
+        znorm_apply(SimdLevel::Scalar, &data, &mut want, channels, &mean, &std);
+        for level in SimdLevel::supported() {
+            let mut got = vec![0.0; data.len()];
+            znorm_apply(level, &data, &mut got, channels, &mean, &std);
+            assert_eq!(bits(&want), bits(&got), "{level}");
+        }
+    }
+
+    #[test]
+    fn min_max_matches_scalar() {
+        for n in [0usize, 1, 2, 3, 7, 16, 33] {
+            let xs: Vec<f64> = (0..n).map(|i| ((i * 29 % 17) as f64 - 8.0) * 0.9).collect();
+            let want = min_max(SimdLevel::Scalar, &xs);
+            for level in SimdLevel::supported() {
+                let got = min_max(level, &xs);
+                assert_eq!(want.0.to_bits(), got.0.to_bits(), "{level} n={n}");
+                assert_eq!(want.1.to_bits(), got.1.to_bits(), "{level} n={n}");
+            }
+        }
+    }
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+}

@@ -297,3 +297,100 @@ proptest! {
         }
     }
 }
+
+// --- SIMD lanes ≡ scalar reference, at every detected ISA level ---------
+//
+// Each dispatchable kernel is swept over `SimdLevel::supported()` (the
+// narrowest-first list this host can run) and compared against a pinned
+// scalar instance on the same input. Channel counts deliberately include
+// odd values and counts below/above the vector widths, so the 16/4/2-lane
+// main loops, the cross-width tail handoffs, and the scalar remainders
+// are all exercised. Equality is bitwise (`to_bits`) throughout — the
+// lanes preserve the scalar operation order, not just the mathematics.
+
+use scalo_signal::block::{z_normalize_block, BlockStatsScratch, ChannelBlock};
+use scalo_signal::simd::SimdLevel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bank_isa_sweep_is_bitwise_identical(
+        data in proptest::collection::vec(-50.0f64..50.0, 0..=9 * 40),
+        channels in 1usize..10,
+    ) {
+        let samples = data.len() / channels;
+        let data = &data[..samples * channels];
+        let design = BandpassDesign::new(2, 10.0, 200.0, 1_000.0);
+        let mut scalar_out = data.to_vec();
+        BandpassBank::with_level(&design, channels, SimdLevel::Scalar)
+            .process_interleaved(&mut scalar_out);
+        for level in SimdLevel::supported() {
+            let mut out = data.to_vec();
+            BandpassBank::with_level(&design, channels, level).process_interleaved(&mut out);
+            for (i, (a, b)) in out.iter().zip(&scalar_out).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "level {} index {}", level, i);
+            }
+        }
+    }
+
+    #[test]
+    fn planned_fft_isa_sweep_is_bitwise_identical(x in sig(512), log_n in 0usize..10) {
+        let n = 1 << log_n;
+        let input: Vec<Complex> = x[..n].iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let mut scalar_buf = input.clone();
+        fft_in_place_planned(&FftPlan::with_level(n, SimdLevel::Scalar), &mut scalar_buf);
+        for level in SimdLevel::supported() {
+            let mut buf = input.clone();
+            fft_in_place_planned(&FftPlan::with_level(n, level), &mut buf);
+            for (a, b) in buf.iter().zip(&scalar_buf) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "level {}", level);
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "level {}", level);
+            }
+        }
+    }
+
+    #[test]
+    fn znorm_isa_sweep_is_bitwise_identical(
+        data in proptest::collection::vec(-50.0f64..50.0, 0..=9 * 40),
+        channels in 1usize..10,
+    ) {
+        let samples = data.len() / channels;
+        let mut block = ChannelBlock::new();
+        block.reset(channels, samples);
+        block.data_mut().copy_from_slice(&data[..samples * channels]);
+        let mut scalar_out = ChannelBlock::new();
+        z_normalize_block(
+            &block,
+            &mut BlockStatsScratch::with_level(SimdLevel::Scalar),
+            &mut scalar_out,
+        );
+        for level in SimdLevel::supported() {
+            let mut out = ChannelBlock::new();
+            z_normalize_block(&block, &mut BlockStatsScratch::with_level(level), &mut out);
+            for (a, b) in out.data().iter().zip(scalar_out.data()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "level {}", level);
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_isa_sweep_is_value_identical(a in sig(60), b in sig(60), cutoff in 0.5f64..400.0) {
+        let params = DtwParams::default();
+        let mut scalar_scratch = DtwScratch::with_level(SimdLevel::Scalar);
+        let exact_scalar = dtw_distance_with(&mut scalar_scratch, &a, &b, params);
+        let pruned_scalar = dtw_distance_pruned(&mut scalar_scratch, &a, &b, params, cutoff);
+        for level in SimdLevel::supported() {
+            let mut scratch = DtwScratch::with_level(level);
+            let exact = dtw_distance_with(&mut scratch, &a, &b, params);
+            prop_assert_eq!(exact.to_bits(), exact_scalar.to_bits(), "level {}", level);
+            let pruned = dtw_distance_pruned(&mut scratch, &a, &b, params, cutoff);
+            prop_assert_eq!(
+                pruned.distance.to_bits(),
+                pruned_scalar.distance.to_bits(),
+                "level {}", level
+            );
+            prop_assert_eq!(pruned.resolution, pruned_scalar.resolution, "level {}", level);
+        }
+    }
+}
