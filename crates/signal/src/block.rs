@@ -198,12 +198,17 @@ pub fn z_normalize_block(
 
 /// Per-channel RMS of `block` written into `out` (cleared first), bitwise
 /// identical per channel to [`crate::stats::rms`] on the gathered channel.
-pub fn rms_block_into(block: &ChannelBlock, out: &mut Vec<f64>) {
+///
+/// Takes the ISA `level` explicitly (like every other kernel owner's
+/// `with_level` constructor) so callers pin dispatch once at construction
+/// time; pass [`crate::simd::SimdLevel::active()`] for the default
+/// env-resolved lane.
+pub fn rms_block_into(level: crate::simd::SimdLevel, block: &ChannelBlock, out: &mut Vec<f64>) {
     let c = block.channels();
     let n = block.samples();
     out.clear();
     out.resize(c, 0.0);
-    crate::simd::sq_sum_into(crate::simd::SimdLevel::active(), block.data(), c, out);
+    crate::simd::sq_sum_into(level, block.data(), c, out);
     if n > 0 {
         for acc in out.iter_mut() {
             *acc = (*acc / n as f64).sqrt();
@@ -289,7 +294,7 @@ mod tests {
     fn batched_rms_is_bitwise_identical_per_channel() {
         let (block, raw) = block_of(9, 120);
         let mut out = vec![-1.0; 2];
-        rms_block_into(&block, &mut out);
+        rms_block_into(crate::simd::SimdLevel::active(), &block, &mut out);
         for (c, ch) in raw.iter().enumerate() {
             assert_eq!(out[c].to_bits(), rms(ch).to_bits(), "channel {c}");
         }

@@ -231,6 +231,13 @@ pub struct PrunedDtw {
 /// distance is bitwise identical to [`dtw_distance_with`]. A non-finite or
 /// non-positive `cutoff` disables pruning (the exact distance is returned).
 ///
+/// **NaN precondition:** `a` and `b` must be NaN-free. The LB_Keogh
+/// envelope uses [`crate::simd::min_max`], whose scalar and vector arms
+/// treat NaN differently (`f64::min` ignores it, `_mm_min_pd` propagates
+/// it), so a NaN sample would make the prune decision — and therefore the
+/// decision digest — diverge across ISA levels. Debug builds assert this
+/// inside `min_max`; release builds do not check.
+///
 /// # Panics
 ///
 /// Panics if either sequence is empty.

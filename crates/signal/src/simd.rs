@@ -402,7 +402,14 @@ pub fn biquad_block(
 ///
 /// # Panics
 ///
-/// Panics if `twiddles` is shorter than `buf.len() − 1`.
+/// Panics if `buf.len()` is not a power of two, or if `twiddles` is
+/// shorter than `buf.len() − 1`. The power-of-two check is load-bearing
+/// for soundness: the vector kernels assume it (the AVX2 fused stage-1+2
+/// loop strides whole 4-complex blocks and the stage-1 arm strides
+/// 2-complex pairs without remainder handling), so a composite `n` would
+/// read and write out of bounds. `FftPlan` only constructs power-of-two
+/// transforms, but this entry point is safe and public, so the invariant
+/// is asserted here rather than trusted.
 pub fn fft_stages(
     level: SimdLevel,
     buf: &mut [crate::fft::Complex],
@@ -412,6 +419,10 @@ pub fn fft_stages(
     if n <= 1 {
         return;
     }
+    assert!(
+        n.is_power_of_two(),
+        "fft_stages requires a power-of-two transform size, got {n}"
+    );
     assert!(twiddles.len() >= n - 1, "twiddle table vs transform size");
     match level {
         #[cfg(target_arch = "x86_64")]
@@ -425,7 +436,10 @@ pub fn fft_stages(
             let mut half = 1;
             while half < n {
                 let tw = &twiddles[half - 1..2 * half - 1];
-                for chunk in buf.chunks_mut(2 * half) {
+                // `2 * half` divides the power-of-two `n`, so exact
+                // chunking covers the whole buffer — same traversal as
+                // the vector arms.
+                for chunk in buf.chunks_exact_mut(2 * half) {
                     for (k, &w) in tw.iter().enumerate() {
                         let u = chunk[k];
                         let v = chunk[k + half].mul(w);
@@ -447,7 +461,18 @@ pub fn fft_stages(
 /// distance is only computed against strictly-nonzero `q` excursions), so
 /// downstream results stay bitwise-identical. Returns `(+∞, −∞)` for an
 /// empty slice.
+///
+/// **NaN precondition:** `xs` must be NaN-free, and this is only checked
+/// by a `debug_assert`. Scalar `f64::min`/`max` ignore a NaN operand
+/// while `_mm_min_pd`/`_mm256_min_pd` propagate it, so a NaN input would
+/// make the result (and any pruning decision built on it) diverge across
+/// ISA levels — see [`crate::dtw::dtw_distance_pruned`], which states the
+/// precondition where user-supplied signals enter.
 pub fn min_max(level: SimdLevel, xs: &[f64]) -> (f64, f64) {
+    debug_assert!(
+        xs.iter().all(|v| !v.is_nan()),
+        "min_max requires NaN-free input for cross-lane equivalence"
+    );
     match level {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `Sse2` is only constructed on CPUs where the feature was
@@ -1406,6 +1431,17 @@ mod tests {
                 assert_eq!(want.1.to_bits(), got.1.to_bits(), "{level} n={n}");
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two transform size")]
+    fn fft_stages_rejects_non_power_of_two() {
+        // n = 6 with 5 twiddles passes the table-length check but would
+        // run the vector kernels out of bounds; the dispatcher must
+        // refuse it before any lane is entered.
+        let mut buf = vec![crate::fft::Complex { re: 0.0, im: 0.0 }; 6];
+        let twiddles = vec![crate::fft::Complex { re: 1.0, im: 0.0 }; 5];
+        fft_stages(SimdLevel::active(), &mut buf, &twiddles);
     }
 
     fn bits(xs: &[f64]) -> Vec<u64> {
