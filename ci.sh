@@ -33,6 +33,12 @@ cargo bench --workspace --no-run
 echo "== zero-allocation steady state (counting allocator) =="
 cargo test -q -p scalo-core --test hot_path
 
+echo "== lock-free pool stress (Chase-Lev steal/take race, release) =="
+# The workspace run exercises this in debug; re-run it in release, where
+# the missing debug-assert fences make a stale-slot read or a double
+# `top` CAS win far more likely to slip through.
+cargo test -q --release -p scalo-fleet --lib chase_lev_steal_take_race_claims_each_entry_once
+
 echo "== fleet smoke, scalar SIMD lane (digest baseline) =="
 # First pass with kernel dispatch pinned to the portable scalar
 # reference: the per-session decision digests it produces are the
@@ -63,6 +69,32 @@ test -n "$wps" || { echo "no 4-worker sweep entry in BENCH_fleet.json" >&2; exit
 awk -v w="$wps" 'BEGIN {
   if (w + 0 < 6751.2) { printf "fleet throughput regressed: %.1f < 6751.2 windows/s at 4 workers\n", w; exit 1 }
   printf "fleet 4-worker throughput: %.1f windows/s (seed baseline 6751.2)\n", w
+}'
+
+echo "== cohort batching guard (digest parity + speedup floor) =="
+# The fleet experiment serves the population twice per worker count —
+# solo jobs and shape-twin cohorts — and asserts per-session decision
+# digests are byte-identical (a diverged run exits non-zero above).
+# Double-check the recorded verdict, then hold the 4-worker cohort
+# throughput floor: cohorts amortise the radio stall and fuse the
+# signal kernels, so they must clear a multiple of the 6751.2 win/s
+# solo seed baseline. The kernel share of the win scales with the SIMD
+# lane, so the multiplier steps down on narrower hosts.
+cohort_ok=$(sed -n 's/.*"cohort":{"digests_match":\(true\|false\).*/\1/p' BENCH_fleet.json)
+test "$cohort_ok" = "true" \
+  || { echo "cohort-batched decisions diverged from solo serving" >&2; exit 1; }
+cwps=$(sed -n 's/.*"workers":4,"solo_wps":[0-9.]*,"cohort_wps":\([0-9.]*\).*/\1/p' BENCH_fleet.json)
+test -n "$cwps" || { echo "no 4-worker cohort sweep entry in BENCH_fleet.json" >&2; exit 1; }
+fleet_isa=$(sed -n 's/.*"simd_isa":"\([a-z0-9]*\)".*/\1/p' BENCH_fleet.json)
+case "$fleet_isa" in
+  avx2) mult=1.5 ;;
+  sse2) mult=1.35 ;;
+  *)    mult=1.2 ;;
+esac
+awk -v c="$cwps" -v m="$mult" -v i="$fleet_isa" 'BEGIN {
+  floor = m * 6751.2
+  if (c + 0 < floor) { printf "cohort throughput below %.1fx floor (%s lane): %.1f < %.1f windows/s at 4 workers\n", m, i, c, floor; exit 1 }
+  printf "cohort 4-worker throughput: %.1f windows/s (floor %.1f = %.1fx solo seed, %s lane)\n", c, floor, m, i
 }'
 
 echo "== swap smoke (10k+ admitted sessions over a 512-slot resident set) =="

@@ -35,7 +35,7 @@ fn bench_fleet(c: &mut Criterion) {
             r.windows_per_sec()
         );
     }
-    match write_bench_fleet_json(&reports, None) {
+    match write_bench_fleet_json(&reports, None, None) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
     }

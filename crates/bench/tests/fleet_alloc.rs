@@ -3,12 +3,16 @@
 //! `fleet_trial` measures heap operations across an entire `Fleet::run`
 //! and divides by windows served, which folds in everything the
 //! per-session hot-path tests cannot see: job scheduling, metric
-//! merges, trace draining, and the confirmation-exchange packets of
-//! every session in the population. Before the batched kernel engine
-//! this sat near 225 allocations per window; recycled exchange scratch
-//! and block ingest brought it under 20. The bound here leaves ~2x
-//! headroom so incidental packet-shape changes don't trip it, while a
-//! regression back toward per-window Vec churn fails loudly.
+//! merges, trace draining, and per-session warmup. Before the batched
+//! kernel engine this sat near 225 allocations per window; recycled
+//! block ingest brought it to ~19, and recycling the exchange
+//! packet/compress/transmit buffers in the workspace dropped it to
+//! ~12 — at this point the number is dominated by one-off setup
+//! (session construction, scratch warmup, link state) amortized over a
+//! short 0.6 s trial, since steady-state windows allocate nothing (see
+//! `crates/core/tests/hot_path.rs`). The bound leaves headroom for
+//! incidental shape changes while failing loudly on a regression back
+//! toward per-window Vec churn.
 
 #[global_allocator]
 static ALLOC: scalo_alloc::CountingAllocator = scalo_alloc::CountingAllocator;
@@ -22,8 +26,8 @@ fn fleet_allocations_per_window_stay_bounded() {
     assert!(report.windows > 0, "the trial must serve windows");
     assert!(report.rejected.is_empty() && report.shed.is_empty());
     assert!(
-        allocs_per_window <= 40.0,
+        allocs_per_window <= 20.0,
         "fleet heap ops per window regressed: {allocs_per_window:.2} \
-         (batched-engine steady state is ~19)"
+         (recycled-exchange steady state measures ~12, all warmup)"
     );
 }

@@ -19,15 +19,15 @@
 use crate::config::ScaloConfig;
 use crate::node::Node;
 use crate::stim::{StimCommand, StimEngine};
-use crate::system::Scalo;
+use crate::system::{ArrivalWs, Scalo};
 use crate::workspace::Workspace;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use scalo_data::ieeg::MultiSiteRecording;
 use scalo_lsh::SignalHash;
 use scalo_ml::svm::LinearSvm;
-use scalo_net::compress::{dcomp_decompress, hcomp_compress};
-use scalo_net::packet::{Header, Packet, PayloadKind, Received, BROADCAST};
+use scalo_net::compress::{dcomp_decompress_into, hcomp_compress_into};
+use scalo_net::packet::{Header, PayloadKind, BROADCAST};
 use scalo_signal::dtw::{dtw_distance_pruned, DtwParams};
 use scalo_signal::stats::z_normalize_into;
 use scalo_trace::Stage;
@@ -143,6 +143,28 @@ impl RunState {
             }
         }
     }
+}
+
+/// One member's view of a cohort's fused per-window kernel results
+/// ([`crate::cohort`]): per-node hash and detection-feature lanes
+/// computed once for the whole cohort, sliced here by the member's lane
+/// offset. Consuming a view replaces the member's own Sketch and
+/// feature-extraction work; every decision stays bit-identical because
+/// hashers are config-deterministic and the per-channel kernels are
+/// width-independent (a lane's result does not depend on how many other
+/// lanes share the block).
+#[derive(Debug, Clone, Copy)]
+pub struct WindowPre<'a> {
+    /// Fused ingest hashes, indexed `[node][lane]` with one lane per
+    /// (member, electrode) pair.
+    pub hashes: &'a [Vec<SignalHash>],
+    /// Fused detection features, indexed `[node]`, flat
+    /// `lane * n_feat ..` per lane.
+    pub features: &'a [Vec<f64>],
+    /// Features per lane.
+    pub n_feat: usize,
+    /// This member's first lane (member index × electrodes).
+    pub lane0: usize,
 }
 
 /// The application harness.
@@ -262,6 +284,33 @@ impl SeizureApp {
         st: &mut RunState,
         ws: &mut Workspace,
     ) -> bool {
+        self.step_window_inner(recording, st, ws, None)
+    }
+
+    /// [`Self::step_window`] consuming a cohort's fused kernel results:
+    /// ingest copies this member's precomputed hash lanes instead of
+    /// hashing, and local detection votes on the precomputed feature
+    /// lanes instead of re-running the FFT feature path. Everything else
+    /// — storage, CCHECK, the confirmation exchange, RNG draws — runs
+    /// exactly as in the self-computing form, so decisions are
+    /// bit-identical.
+    pub fn step_window_pre(
+        &mut self,
+        recording: &MultiSiteRecording,
+        st: &mut RunState,
+        ws: &mut Workspace,
+        pre: &WindowPre<'_>,
+    ) -> bool {
+        self.step_window_inner(recording, st, ws, Some(pre))
+    }
+
+    fn step_window_inner(
+        &mut self,
+        recording: &MultiSiteRecording,
+        st: &mut RunState,
+        ws: &mut Workspace,
+        pre: Option<&WindowPre<'_>>,
+    ) -> bool {
         if st.is_done() {
             return false;
         }
@@ -297,12 +346,17 @@ impl SeizureApp {
                 }
                 ws.trace.begin(Stage::Gather);
                 ws.block.reset(electrodes, WINDOW);
-                for e in 0..electrodes {
-                    ws.block
-                        .fill_channel(e, &recording.nodes[node_id].channels[e][t0..t0 + WINDOW]);
-                }
+                ws.block
+                    .fill_channels(|e| &recording.nodes[node_id].channels[e][t0..t0 + WINDOW]);
                 ws.trace.end(Stage::Gather);
-                self.system.node_mut(node_id).ingest_block_ws(now, ws);
+                match pre {
+                    Some(p) => self.system.node_mut(node_id).ingest_block_prehashed(
+                        now,
+                        ws,
+                        &p.hashes[node_id][p.lane0..p.lane0 + electrodes],
+                    ),
+                    None => self.system.node_mut(node_id).ingest_block_ws(now, ws),
+                }
             }
 
             // If the detecting origin crashed, a surviving detector takes
@@ -323,13 +377,20 @@ impl SeizureApp {
                 }
                 let mut votes = 0;
                 for e in 0..electrodes {
-                    let win = &recording.nodes[node_id].channels[e][t0..t0 + WINDOW];
-                    if self
-                        .system
-                        .node(node_id)
-                        .detect_seizure_traced(win, ws)
-                        .unwrap_or(false)
-                    {
+                    let vote = match pre {
+                        Some(p) => {
+                            let f = &p.features[node_id][(p.lane0 + e) * p.n_feat..][..p.n_feat];
+                            ws.trace.begin(Stage::Detect);
+                            let v = self.system.node(node_id).detect_with_features(f);
+                            ws.trace.end(Stage::Detect);
+                            v
+                        }
+                        None => {
+                            let win = &recording.nodes[node_id].channels[e][t0..t0 + WINDOW];
+                            self.system.node(node_id).detect_seizure_traced(win, ws)
+                        }
+                    };
+                    if vote.unwrap_or(false) {
                         votes += 1;
                     }
                 }
@@ -343,10 +404,8 @@ impl SeizureApp {
             if let Some((detect_w, origin)) = st.origin_detect {
                 ws.trace.begin(Stage::Gather);
                 ws.block.reset(electrodes, WINDOW);
-                for e in 0..electrodes {
-                    ws.block
-                        .fill_channel(e, &recording.nodes[origin].channels[e][t0..t0 + WINDOW]);
-                }
+                ws.block
+                    .fill_channels(|e| &recording.nodes[origin].channels[e][t0..t0 + WINDOW]);
                 ws.trace.end(Stage::Gather);
                 ws.trace.begin(Stage::Sketch);
                 match self.system.node(origin).hasher() {
@@ -382,55 +441,54 @@ impl SeizureApp {
                 for h in &ws.hashes {
                     ws.hash_bytes.extend_from_slice(&h.0);
                 }
-                let payload: Vec<u8> = hcomp_compress(&ws.hash_bytes);
-                let hash_packet = Packet::new(
-                    Header {
-                        src: origin as u8,
-                        dst: BROADCAST,
-                        flow: 1,
-                        seq: w as u16,
-                        len: 0,
-                        kind: PayloadKind::Hashes,
-                        timestamp_us: now as u32,
-                    },
-                    payload,
-                );
+                hcomp_compress_into(&ws.hash_bytes, &mut ws.comp, &mut ws.compressed);
+                let hash_header = Header {
+                    src: origin as u8,
+                    dst: BROADCAST,
+                    flow: 1,
+                    seq: w as u16,
+                    len: 0,
+                    kind: PayloadKind::Hashes,
+                    timestamp_us: now as u32,
+                };
                 // Fire-and-forget or reliable delivery, unified into
-                // per-receiver arrivals.
-                let arrivals: Vec<(usize, Option<Packet>)> = if self.use_reliable_transport {
-                    self.system
-                        .reliable_broadcast(origin, &hash_packet)
-                        .into_iter()
-                        .map(|d| (d.to, d.outcome.packet))
-                        .collect()
+                // per-receiver arrivals in the recycled broadcast scratch.
+                if self.use_reliable_transport {
+                    self.system.reliable_broadcast_ws(
+                        origin,
+                        hash_header,
+                        &ws.compressed,
+                        &mut ws.net,
+                    );
                 } else {
                     self.system
-                        .broadcast(origin, &hash_packet)
-                        .into_iter()
-                        .map(|d| match d.received {
-                            Received::Clean(p) => (d.to, Some(p)),
-                            _ => (d.to, None),
-                        })
-                        .collect()
-                };
+                        .broadcast_ws(origin, hash_header, &ws.compressed, &mut ws.net);
+                }
                 ws.trace.end(Stage::Radio);
 
                 // Receivers that got the hashes check for collisions and
                 // remember which (origin electrode → local window) pair
                 // matched — that pair is what exact comparison verifies.
-                // Received hashes are parsed into recycled workspace slots
-                // and probed via the allocation-free CCHECK visitor.
+                // Hash packets drop on any corruption, so every delivered
+                // payload is byte-identical to the compressed batch the
+                // origin still holds: DCOMP and the chunk parse run once
+                // per window (into recycled slots) instead of per receiver,
+                // then each receiver probes via the allocation-free CCHECK
+                // visitor.
                 ws.responders.clear();
                 ws.trace.begin(Stage::Probe);
-                for (to, arrival) in &arrivals {
-                    let Some(p) = arrival else {
-                        st.hash_drops += 1;
-                        continue;
-                    };
-                    let bytes = dcomp_decompress(&p.payload).unwrap_or_default();
+                let any_delivered = ws
+                    .net
+                    .arrivals
+                    .iter()
+                    .any(|&(_, a)| matches!(a, ArrivalWs::Clean(_)));
+                if any_delivered {
+                    if !dcomp_decompress_into(&ws.compressed, &mut ws.decompressed) {
+                        ws.decompressed.clear();
+                    }
                     let width = ws.hashes.first().map_or(1, |h| h.0.len().max(1));
                     let mut used = 0;
-                    for chunk in bytes.chunks(width) {
+                    for chunk in ws.decompressed.chunks(width) {
                         if used < ws.received.len() {
                             let slot = &mut ws.received[used].0;
                             slot.clear();
@@ -441,7 +499,14 @@ impl SeizureApp {
                         used += 1;
                     }
                     ws.received.truncate(used);
-                    let collision = self.system.node(*to).last_collision_ws(
+                }
+                for ai in 0..ws.net.arrivals.len() {
+                    let (to, arrival) = ws.net.arrivals[ai];
+                    if !matches!(arrival, ArrivalWs::Clean(_)) {
+                        st.hash_drops += 1;
+                        continue;
+                    }
+                    let collision = self.system.node(to).last_collision_ws(
                         &ws.received,
                         now,
                         horizon,
@@ -450,8 +515,8 @@ impl SeizureApp {
                         &mut ws.probe_order,
                     );
                     if let Some((origin_e, local_e, local_ts)) = collision {
-                        if st.confirmed[*to].is_none() {
-                            ws.responders.push((*to, origin_e, local_e, local_ts));
+                        if st.confirmed[to].is_none() {
+                            ws.responders.push((to, origin_e, local_e, local_ts));
                         }
                     }
                 }
@@ -469,49 +534,50 @@ impl SeizureApp {
                     let origin_e = ws.wanted[wi];
                     ws.trace.begin(Stage::Radio);
                     let sig = &recording.nodes[origin].channels[origin_e][t0..t0 + WINDOW];
-                    let bytes: Vec<u8> = sig
-                        .iter()
-                        .flat_map(|&x| ((x * 8_192.0) as i16).to_le_bytes())
-                        .collect();
-                    let sig_packet = Packet::new(
-                        Header {
-                            src: origin as u8,
-                            dst: BROADCAST,
-                            flow: 2,
-                            seq: origin_e as u16,
-                            len: 0,
-                            kind: PayloadKind::Signal,
-                            timestamp_us: now as u32,
-                        },
-                        bytes,
-                    );
-                    let sig_deliveries = self.system.broadcast(origin, &sig_packet);
+                    ws.sig_bytes.clear();
+                    for &x in sig {
+                        ws.sig_bytes
+                            .extend_from_slice(&((x * 8_192.0) as i16).to_le_bytes());
+                    }
+                    let sig_header = Header {
+                        src: origin as u8,
+                        dst: BROADCAST,
+                        flow: 2,
+                        seq: origin_e as u16,
+                        len: 0,
+                        kind: PayloadKind::Signal,
+                        timestamp_us: now as u32,
+                    };
+                    self.system
+                        .broadcast_ws(origin, sig_header, &ws.sig_bytes, &mut ws.net);
                     ws.trace.end(Stage::Radio);
-                    for d in sig_deliveries {
+                    for ai in 0..ws.net.arrivals.len() {
+                        let (to, arrival) = ws.net.arrivals[ai];
                         let Some(&(_, _, local_e, ts)) = ws
                             .responders
                             .iter()
-                            .find(|&&(to, e, _, _)| to == d.to && e == origin_e)
+                            .find(|&&(t, e, _, _)| t == to && e == origin_e)
                         else {
                             continue;
                         };
-                        let payload = match d.received {
-                            Received::Clean(p) | Received::CorruptDelivered(p) => p.payload,
-                            _ => continue,
+                        // Signal packets deliver even when corrupted.
+                        let slot = match arrival {
+                            ArrivalWs::Clean(s) | ArrivalWs::Corrupt(s) => s,
+                            ArrivalWs::Dropped => continue,
                         };
                         ws.remote_win.clear();
                         ws.remote_win.extend(
-                            payload
+                            ws.net
+                                .payload(slot)
                                 .chunks_exact(2)
                                 .map(|b| i16::from_le_bytes([b[0], b[1]]) as f64 / 8_192.0),
                         );
                         // Compare against the hash-matched stored window.
                         ws.trace.begin(Stage::StorageRead);
-                        let found = self.system.node(d.to).stored_window_into(
-                            local_e,
-                            ts,
-                            &mut ws.local_win,
-                        );
+                        let found =
+                            self.system
+                                .node(to)
+                                .stored_window_into(local_e, ts, &mut ws.local_win);
                         ws.trace.end(Stage::StorageRead);
                         if !found {
                             continue;
@@ -533,12 +599,12 @@ impl SeizureApp {
                         )
                         .distance;
                         ws.trace.end(Stage::Dtw);
-                        if dist < self.dtw_threshold && st.confirmed[d.to].is_none() {
-                            st.confirmed[d.to] =
+                        if dist < self.dtw_threshold && st.confirmed[to].is_none() {
+                            st.confirmed[to] =
                                 Some((w - detect_w) as f64 * WINDOW_US as f64 / 1_000.0);
                             // Figure 3a's final stage: stimulate the site
                             // anticipating seizure spread.
-                            self.stim[d.to]
+                            self.stim[to]
                                 .stimulate(now, StimCommand::standard_burst(local_e))
                                 .expect("standard burst is valid");
                         }

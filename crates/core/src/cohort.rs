@@ -1,0 +1,354 @@
+//! Cohort-batched session stepping: cross-session kernel fusion.
+//!
+//! A fleet serving many patients admits sessions whose per-window work
+//! is *structurally identical* — same deployment shape, same recording
+//! length, same decode cadence and transport — differing only in seed.
+//! Stepping them one at a time re-pays the window's fixed costs once
+//! per session: the modeled radio stall, the hash-kernel setup, the FFT
+//! plan walk. A [`Cohort`] steps all of them through one window at
+//! once:
+//!
+//! * the modeled radio stall ([`SessionSpec::io_stall_us`]) is served
+//!   **once** for the whole cohort — the implant radios are concurrent
+//!   devices, so one wall-clock wait covers every member;
+//! * each implant position's windows are gathered into one fused
+//!   channel-major block of `members × electrodes` lanes and hashed
+//!   with **one** batched SSH walk (`SshHasher::hash_block_into`);
+//! * detection features for every lane run through **one** shared
+//!   [`FftScratch`] (the plan is built once and walked lane by lane);
+//! * only then does each member run its own window step, consuming its
+//!   lanes of the fused results (`Session::step_with_pre`) — storage,
+//!   CCHECK, the confirmation exchange, movement decode, and every RNG
+//!   draw stay per-member.
+//!
+//! Fusion is bitwise-safe by construction: hashers are deterministic
+//! functions of the measure config (no per-session seed, see
+//! `MeasureHasher::for_measure`), and every per-channel kernel in the
+//! block engine is width-independent — a lane's sketch, z-norm, and
+//! band powers do not depend on how many other lanes share the block.
+//! Members' simulation clocks may drift apart (reliable-transport
+//! airtime advances them), but clocks only feed member-local ingest
+//! timestamps and the member's own exchange, both of which run inside
+//! the per-member step. The equivalence tests below (and the fleet's
+//! digest guards) hold cohort-stepped decisions byte-identical to solo
+//! stepping.
+
+use crate::apps::seizure::{WindowPre, WINDOW};
+use crate::node::Node;
+use crate::session::{Session, SessionSpec, StepOutcome};
+use scalo_lsh::eval::MeasureHasher;
+use scalo_lsh::ssh::BlockHashScratch;
+use scalo_lsh::SignalHash;
+use scalo_signal::block::ChannelBlock;
+use scalo_signal::fft::FftScratch;
+
+/// The structural identity sessions must share to step as one cohort:
+/// every spec field that shapes the per-window work. Seeds (and ids,
+/// priorities, deadlines, trace capacities) are deliberately excluded —
+/// members are *different patients* with the same workload shape.
+///
+/// Float fields are keyed by bit pattern, so two specs compare equal
+/// exactly when their recordings and channels are generated alike. Keys
+/// order lexicographically (field order), giving the fleet's grouping
+/// pass a deterministic cohort order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CohortKey {
+    /// Implants per deployment.
+    pub nodes: usize,
+    /// Electrodes per implant (the fused block's per-member lane count).
+    pub electrodes: usize,
+    /// Recording length, as `f64::to_bits` (fixes `windows_total`, so
+    /// members finish in lockstep).
+    pub duration_bits: u64,
+    /// Channel bit-error ratio, as `f64::to_bits`.
+    pub ber_bits: u64,
+    /// Movement-mix cadence in windows.
+    pub movement_every: usize,
+    /// Whether hash broadcasts ride the reliable transport.
+    pub use_reliable_transport: bool,
+    /// Modeled per-window device wait in µs (shared by the cohort).
+    pub io_stall_us: u64,
+}
+
+impl CohortKey {
+    /// The cohort a spec would join.
+    pub fn of(spec: &SessionSpec) -> Self {
+        Self {
+            nodes: spec.nodes,
+            electrodes: spec.electrodes,
+            duration_bits: spec.duration_s.to_bits(),
+            ber_bits: spec.ber.to_bits(),
+            movement_every: spec.movement_every,
+            use_reliable_transport: spec.use_reliable_transport,
+            io_stall_us: spec.io_stall_us,
+        }
+    }
+}
+
+/// Reusable scratch for stepping one cohort: the fused channel-major
+/// block, the batched hash intermediates, and per-node lane results.
+/// One `Cohort` serves any member count; buffers grow to the largest
+/// cohort seen and are recycled window to window (steady-state cohort
+/// windows allocate nothing).
+#[derive(Debug, Default)]
+pub struct Cohort {
+    /// `members × electrodes` lanes of the current window, per implant
+    /// position in turn.
+    fused: ChannelBlock,
+    /// Batched SSH intermediates for the fused block.
+    scratch: BlockHashScratch,
+    /// Fused ingest hashes, indexed `[node][lane]`.
+    hashes: Vec<Vec<SignalHash>>,
+    /// Fused detection features, indexed `[node]`, `n_feat` per lane.
+    features: Vec<Vec<f64>>,
+    /// The shared FFT scratch — one plan, walked over every lane.
+    fft: FftScratch,
+    /// One gathered lane (contiguous) for per-lane kernels.
+    chan: Vec<f64>,
+    /// One lane's feature vector before it lands in the flat buffer.
+    feat_tmp: Vec<f64>,
+    /// Features per lane.
+    n_feat: usize,
+}
+
+impl Cohort {
+    /// An empty cohort scratch; the first window sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Steps every session in `sessions` through exactly one window,
+    /// pushing one [`StepOutcome`] per member (in order) onto `out`
+    /// (cleared first). Members must share a [`CohortKey`] and sit at
+    /// the same window cursor — the cohort steps in lockstep from
+    /// admission, and a shared `duration_bits` makes them finish
+    /// together. Decisions are bit-identical to calling
+    /// [`Session::step`] on each member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` is empty, or if members disagree on the
+    /// cohort key or window cursor.
+    pub fn step_window(&mut self, sessions: &mut [Session], out: &mut Vec<StepOutcome>) {
+        out.clear();
+        let first = &sessions[0];
+        let key = CohortKey::of(first.spec());
+        let cursor = first.window();
+        for s in sessions.iter() {
+            assert_eq!(CohortKey::of(s.spec()), key, "cohort member shape drift");
+            assert_eq!(s.window(), cursor, "cohort member cursor drift");
+        }
+        if first.is_done() {
+            // Lockstep: everyone is done; per-member step() returns the
+            // no-op "done" outcome without touching the recording.
+            for s in sessions.iter_mut() {
+                out.push(s.step());
+            }
+            return;
+        }
+        let members = sessions.len();
+        let electrodes = key.electrodes;
+        let lanes = members * electrodes;
+        let w = cursor as usize;
+        let t0 = w * WINDOW;
+
+        // One wall-clock radio wait covers the whole cohort: the modeled
+        // implant radios stream concurrently. Each member records its
+        // share as an external RadioWait span so traces keep attributing
+        // the wait.
+        let stall_ns = key.io_stall_us * 1_000;
+        if key.io_stall_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(key.io_stall_us));
+        }
+
+        let Self {
+            fused,
+            scratch,
+            hashes,
+            features,
+            fft,
+            chan,
+            feat_tmp,
+            n_feat,
+        } = self;
+        if hashes.len() < key.nodes {
+            hashes.resize_with(key.nodes, Vec::new);
+        }
+        if features.len() < key.nodes {
+            features.resize_with(key.nodes, Vec::new);
+        }
+        for node_id in 0..key.nodes {
+            // Gather every member's window at this implant position into
+            // the fused block: lane `m * electrodes + e` is member m's
+            // electrode e.
+            fused.reset(lanes, WINDOW);
+            for (m, s) in sessions.iter().enumerate() {
+                let rec = s.recording();
+                for e in 0..electrodes {
+                    fused.fill_channel(
+                        m * electrodes + e,
+                        &rec.nodes[node_id].channels[e][t0..t0 + WINDOW],
+                    );
+                }
+            }
+            // One batched hash over all members' lanes. Any member's
+            // hasher works: they are identical functions of the measure
+            // config.
+            let node_hashes = &mut hashes[node_id];
+            match sessions[0].app().system().node(node_id).hasher() {
+                MeasureHasher::Ssh(h) => h.hash_block_into(fused, scratch, node_hashes),
+                // EMDH has no batched entry point; fall back to the
+                // per-lane walk (still one loop for the whole cohort).
+                MeasureHasher::Emd(h) => {
+                    node_hashes.clear();
+                    for lane in 0..lanes {
+                        fused.copy_channel_into(lane, chan);
+                        node_hashes.push(h.hash(chan));
+                    }
+                }
+            }
+            // One FFT-plan walk over every lane for the detection
+            // features.
+            let node_feats = &mut features[node_id];
+            node_feats.clear();
+            for lane in 0..lanes {
+                fused.copy_channel_into(lane, chan);
+                Node::detection_features_into(chan, fft, feat_tmp);
+                *n_feat = feat_tmp.len();
+                node_feats.extend_from_slice(feat_tmp);
+            }
+        }
+
+        // Fan out: each member consumes its lanes and runs its own
+        // protocol step (storage, CCHECK, exchange, movement, RNG).
+        for (m, s) in sessions.iter_mut().enumerate() {
+            let pre = WindowPre {
+                hashes,
+                features,
+                n_feat: *n_feat,
+                lane0: m * electrodes,
+            };
+            out.push(s.step_with_pre(&pre, stall_ns));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(id: u64, seed: u64) -> SessionSpec {
+        SessionSpec::new(id, seed).with_duration_s(0.4)
+    }
+
+    /// Steps `specs` solo and as one cohort; both runs must agree on
+    /// every decision digest, step digest, and RNG cursor.
+    fn assert_cohort_matches_solo(specs: &[SessionSpec]) {
+        let mut solo: Vec<Session> = specs.iter().cloned().map(Session::new).collect();
+        for s in solo.iter_mut() {
+            while !s.step().done {}
+        }
+        let mut batched: Vec<Session> = specs.iter().cloned().map(Session::new).collect();
+        let mut cohort = Cohort::new();
+        let mut out = Vec::new();
+        loop {
+            cohort.step_window(&mut batched, &mut out);
+            if out.iter().all(|o| o.done) {
+                break;
+            }
+        }
+        for (a, b) in solo.iter().zip(&batched) {
+            assert_eq!(a.step_digest(), b.step_digest(), "session {}", a.id());
+            assert_eq!(
+                a.decision_digest(),
+                b.decision_digest(),
+                "session {}",
+                a.id()
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_cohort_matches_solo() {
+        assert_cohort_matches_solo(&[shape(0, 0x11)]);
+    }
+
+    #[test]
+    fn prime_cohort_matches_solo() {
+        let specs: Vec<SessionSpec> = (0..3).map(|i| shape(i, 0x40 + 7 * i)).collect();
+        assert_cohort_matches_solo(&specs);
+    }
+
+    #[test]
+    fn movement_mix_cohort_matches_solo() {
+        let specs: Vec<SessionSpec> = (0..2)
+            .map(|i| shape(i, 0x90 + i).with_movement_every(25))
+            .collect();
+        assert_cohort_matches_solo(&specs);
+    }
+
+    #[test]
+    fn reliable_noisy_cohort_matches_solo() {
+        // Reliable transport advances member clocks by per-member
+        // airtime — the case where members' `now_us` drift apart while
+        // the fused kernels stay legal.
+        let specs: Vec<SessionSpec> = (0..4)
+            .map(|i| {
+                let mut s = shape(i, 0x23 + i).with_ber(1e-3);
+                s.use_reliable_transport = true;
+                s
+            })
+            .collect();
+        assert_cohort_matches_solo(&specs);
+    }
+
+    #[test]
+    fn membership_churn_keeps_digests() {
+        // Four members step together for a while; one leaves mid-run
+        // (continues solo), the remaining three keep cohort-stepping.
+        // Everyone must still match an all-solo twin.
+        let specs: Vec<SessionSpec> = (0..4).map(|i| shape(i, 0x77 + 3 * i)).collect();
+        let mut solo: Vec<Session> = specs.iter().cloned().map(Session::new).collect();
+        for s in solo.iter_mut() {
+            while !s.step().done {}
+        }
+
+        let mut members: Vec<Session> = specs.iter().cloned().map(Session::new).collect();
+        let mut cohort = Cohort::new();
+        let mut out = Vec::new();
+        for _ in 0..40 {
+            cohort.step_window(&mut members, &mut out);
+        }
+        let mut leaver = members.remove(1);
+        while !leaver.step().done {}
+        loop {
+            cohort.step_window(&mut members, &mut out);
+            if out.iter().all(|o| o.done) {
+                break;
+            }
+        }
+        members.insert(1, leaver);
+        for (a, b) in solo.iter().zip(&members) {
+            assert_eq!(
+                a.decision_digest(),
+                b.decision_digest(),
+                "session {}",
+                a.id()
+            );
+        }
+    }
+
+    #[test]
+    fn key_separates_shapes_and_ignores_seeds() {
+        let a = CohortKey::of(&shape(0, 1));
+        assert_eq!(a, CohortKey::of(&shape(9, 2)), "seed and id are not shape");
+        assert_ne!(a, CohortKey::of(&shape(0, 1).with_movement_every(25)));
+        assert_ne!(a, CohortKey::of(&shape(0, 1).with_deployment(4, 4)));
+        assert_ne!(a, CohortKey::of(&shape(0, 1).with_ber(1e-3)));
+        assert_ne!(a, CohortKey::of(&shape(0, 1).with_io_stall_us(100)));
+        assert_ne!(
+            a,
+            CohortKey::of(&SessionSpec::new(0, 1).with_duration_s(0.8))
+        );
+    }
+}

@@ -17,6 +17,9 @@
 //!   suspicion/eviction state machine driving graceful degradation;
 //! * [`session`] — resumable per-patient serving sessions (the unit of
 //!   work the `scalo-fleet` serving layer schedules);
+//! * [`cohort`] — cohort-batched stepping: structurally identical
+//!   sessions share one radio stall, one fused block hash, and one
+//!   FFT-plan walk per window, with per-session decisions unchanged;
 //! * [`plan`] — query → executable window-plan compilation: typed
 //!   validation, kernel binding, and the ILP admission budget;
 //! * [`catalog`] — named query registry with cached compiled plans and
@@ -39,6 +42,7 @@
 pub mod apps;
 pub mod arch;
 pub mod catalog;
+pub mod cohort;
 pub mod config;
 pub mod fault;
 pub mod membership;
@@ -53,6 +57,7 @@ pub mod system;
 pub mod workspace;
 
 pub use catalog::{CatalogEntry, QueryCatalog};
+pub use cohort::{Cohort, CohortKey};
 pub use config::ScaloConfig;
 pub use plan::{PlanConfig, PlanError, ProgramPlan, SessionBinding, WindowPlan};
 pub use session::{Session, SessionSpec};

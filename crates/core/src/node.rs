@@ -305,6 +305,75 @@ impl Node {
         ws.trace.end(Stage::StorageWrite);
     }
 
+    /// [`Node::ingest_block_ws`] with the Sketch phase precomputed by the
+    /// cohort engine ([`crate::cohort`]): quantised signal appends still
+    /// run from `ws.block` exactly as in the batched form, but the
+    /// per-electrode hashes arrive in `hashes` — this node's lanes of a
+    /// fused cross-session block hash — and are copied into `ws.hashes`
+    /// instead of recomputed. Hashers are config-deterministic (no
+    /// per-node or per-session seed) and every per-channel kernel is
+    /// width-independent, so the fused lanes are bit-identical to what
+    /// [`Node::ingest_block_ws`] would have computed: stored records and
+    /// CCHECK state match byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashes` does not hold one hash per block channel.
+    pub fn ingest_block_prehashed(
+        &mut self,
+        timestamp_us: u64,
+        ws: &mut Workspace,
+        hashes: &[SignalHash],
+    ) {
+        let electrodes = ws.block.channels();
+        assert_eq!(ws.block.samples(), self.window_samples, "window length");
+        assert_eq!(hashes.len(), electrodes, "one hash per electrode");
+        ws.trace.begin(Stage::StorageWrite);
+        for e in 0..electrodes {
+            ws.quantized.clear();
+            ws.block.copy_channel_into(e, &mut ws.chan);
+            for &x in &ws.chan {
+                ws.quantized
+                    .extend_from_slice(&((x * 8_192.0) as i16).to_le_bytes());
+            }
+            self.storage.get_mut(PartitionKind::Signals).append_bytes(
+                timestamp_us,
+                e as u32,
+                &ws.quantized,
+            );
+        }
+        ws.trace.end(Stage::StorageWrite);
+        // The hashes keep landing in `ws.hashes` (slots recycled) so the
+        // workspace contract matches the self-hashing form.
+        ws.hashes.resize_with(electrodes, || SignalHash(Vec::new()));
+        for (slot, h) in ws.hashes.iter_mut().zip(hashes) {
+            slot.0.clear();
+            slot.0.extend_from_slice(&h.0);
+        }
+        ws.trace.begin(Stage::StorageWrite);
+        for (e, hash) in ws.hashes.iter().enumerate() {
+            self.storage.get_mut(PartitionKind::Hashes).append_bytes(
+                timestamp_us,
+                e as u32,
+                &hash.0,
+            );
+            self.ccheck.record_copy(e, timestamp_us, hash);
+        }
+        ws.trace.end(Stage::StorageWrite);
+    }
+
+    /// The SVM vote on an already-extracted feature vector — the
+    /// detection tail of [`Node::detect_seizure_ws`] when the cohort
+    /// engine computed the features in a fused lane walk. Same decision
+    /// bit-for-bit for the same features.
+    pub fn detect_with_features(&self, features: &[f64]) -> Result<bool, NodeError> {
+        let detector = self
+            .detector
+            .as_ref()
+            .ok_or(NodeError::DetectorMissing { node: self.id })?;
+        Ok(detector.predict(features))
+    }
+
     /// Retrieves a stored signal window (dequantised).
     pub fn stored_window(&self, electrode: usize, timestamp_us: u64) -> Option<Vec<f64>> {
         let mut out = Vec::new();

@@ -13,7 +13,7 @@
 //! makes fleet execution reproducible on any worker count.
 
 use crate::apps::movement;
-use crate::apps::seizure::{PropagationRun, RunState, SeizureApp, WINDOW_US};
+use crate::apps::seizure::{PropagationRun, RunState, SeizureApp, WindowPre, WINDOW_US};
 use crate::config::ScaloConfig;
 use crate::plan::{PlanConfig, PlanError, ProgramPlan};
 use crate::snapshot::{fnv1a, Fnv64, SessionSnapshot, SnapshotError};
@@ -369,6 +369,18 @@ impl Session {
         &self.spec
     }
 
+    /// The session's synthetic recording — the cohort engine reads it to
+    /// gather this member's lanes into the fused block.
+    pub(crate) fn recording(&self) -> &MultiSiteRecording {
+        &self.recording
+    }
+
+    /// The application harness (the cohort engine borrows a member's
+    /// hasher; all members' hashers are identical by construction).
+    pub(crate) fn app(&self) -> &SeizureApp {
+        &self.app
+    }
+
     /// Fleet-unique id.
     pub fn id(&self) -> u64 {
         self.spec.id
@@ -492,6 +504,23 @@ impl Session {
     /// call does a bounded slice of work and returns; wall-clock timing
     /// feeds metrics only, never decisions.
     pub fn step(&mut self) -> StepOutcome {
+        self.step_inner(None)
+    }
+
+    /// [`Self::step`] as one member of a cohort ([`crate::cohort`]): the
+    /// fused kernel results in `pre` replace this session's own Sketch
+    /// and feature-extraction work, and the modeled radio stall — served
+    /// once for the whole cohort before any member stepped — is recorded
+    /// here as an externally timed [`Stage::RadioWait`] span
+    /// (`stall_ns`, 0 when the spec has no stall) rather than slept
+    /// again. Decisions are bit-identical to [`Self::step`]; wall-clock
+    /// accounting covers only this member's own compute, so per-step
+    /// deadlines measure work, not the shared wait.
+    pub(crate) fn step_with_pre(&mut self, pre: &WindowPre<'_>, stall_ns: u64) -> StepOutcome {
+        self.step_inner(Some((pre, stall_ns)))
+    }
+
+    fn step_inner(&mut self, pre: Option<(&WindowPre<'_>, u64)>) -> StepOutcome {
         let window = self.state.window();
         if self.state.is_done() {
             return StepOutcome {
@@ -504,14 +533,31 @@ impl Session {
         let t0 = Instant::now();
         self.workspace.trace.set_window(window as u32);
         self.workspace.trace.begin(Stage::Window);
-        if self.spec.io_stall_us > 0 {
-            self.workspace.trace.begin(Stage::RadioWait);
-            std::thread::sleep(std::time::Duration::from_micros(self.spec.io_stall_us));
-            self.workspace.trace.end(Stage::RadioWait);
+        match pre {
+            None => {
+                if self.spec.io_stall_us > 0 {
+                    self.workspace.trace.begin(Stage::RadioWait);
+                    std::thread::sleep(std::time::Duration::from_micros(self.spec.io_stall_us));
+                    self.workspace.trace.end(Stage::RadioWait);
+                }
+            }
+            Some((_, stall_ns)) => {
+                if stall_ns > 0 {
+                    self.workspace
+                        .trace
+                        .record_external(Stage::RadioWait, stall_ns);
+                }
+            }
         }
-        let more = self
-            .app
-            .step_window(&self.recording, &mut self.state, &mut self.workspace);
+        let more = match pre {
+            Some((p, _)) => {
+                self.app
+                    .step_window_pre(&self.recording, &mut self.state, &mut self.workspace, p)
+            }
+            None => self
+                .app
+                .step_window(&self.recording, &mut self.state, &mut self.workspace),
+        };
         if let Some(ms) = &self.movement {
             let every = self.spec.movement_every;
             if every > 0 && self.state.window().is_multiple_of(every) {

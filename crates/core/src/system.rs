@@ -24,7 +24,7 @@ use scalo_net::ber::ErrorChannel;
 use scalo_net::packet::{
     frame_into, receive, receive_ref, Header, Packet, PayloadKind, Received, ReceivedRef,
 };
-use scalo_net::reliable::{FlowStats, ReliableLink, ReliablePolicy, SendOutcome};
+use scalo_net::reliable::{FlowStats, LinkScratch, ReliableLink, ReliablePolicy, SendOutcome};
 use scalo_net::tdma::TdmaSchedule;
 use scalo_sched::seizure::{solve as solve_seizure, Priorities};
 use scalo_sched::Scenario;
@@ -46,6 +46,63 @@ pub struct ReliableDelivery {
     pub to: usize,
     /// The full exchange outcome (delivery flag, attempts, airtime).
     pub outcome: SendOutcome,
+}
+
+/// Per-receiver delivery classification of a scratch broadcast. Payload
+/// indices resolve through [`BroadcastScratch::payload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalWs {
+    /// Header and payload verified; slot holds the payload bytes.
+    Clean(usize),
+    /// Payload checksum failed but the kind's policy delivers anyway
+    /// (signal packets); slot holds the corrupted bytes.
+    Corrupt(usize),
+    /// Nothing delivered (checksum drop, truncation, or a reliable
+    /// exchange that exhausted its attempts).
+    Dropped,
+}
+
+/// Recycled buffers for [`Scalo::broadcast_ws`] and
+/// [`Scalo::reliable_broadcast_ws`]: the framed wire, the per-receiver
+/// corrupted copy, a pool of payload slots, and the reliable link's frame
+/// scratch. One scratch serves any packet size and receiver count; buffers
+/// grow to the largest broadcast seen.
+#[derive(Debug, Clone, Default)]
+pub struct BroadcastScratch {
+    wire: Vec<u8>,
+    rx: Vec<u8>,
+    payloads: Vec<Vec<u8>>,
+    used: usize,
+    link: LinkScratch,
+    /// `(receiver, arrival)` per live receiver, in ascending receiver
+    /// order — the same order the allocating broadcasts return.
+    pub arrivals: Vec<(usize, ArrivalWs)>,
+}
+
+impl BroadcastScratch {
+    /// An empty scratch; the first broadcast sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The payload bytes behind an [`ArrivalWs::Clean`] /
+    /// [`ArrivalWs::Corrupt`] slot index. Valid until the next broadcast
+    /// through this scratch.
+    pub fn payload(&self, slot: usize) -> &[u8] {
+        &self.payloads[slot]
+    }
+}
+
+/// Copies `bytes` into the next recycled payload slot, returning its index.
+fn stash(payloads: &mut Vec<Vec<u8>>, used: &mut usize, bytes: &[u8]) -> usize {
+    if *used == payloads.len() {
+        payloads.push(Vec::new());
+    }
+    let slot = &mut payloads[*used];
+    slot.clear();
+    slot.extend_from_slice(bytes);
+    *used += 1;
+    *used - 1
 }
 
 /// Statistics of the medium since construction.
@@ -460,6 +517,118 @@ impl Scalo {
         out
     }
 
+    /// [`Scalo::broadcast`] through recycled buffers: identical channel
+    /// draws, error policy, and statistics, with per-receiver arrivals
+    /// written into `ws` instead of allocating a delivery vector and
+    /// payload copies. Allocation-free once `ws` is warm. Like
+    /// [`scalo_net::packet::frame_into`], the header's `len` field is
+    /// overwritten with the payload length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn broadcast_ws(
+        &mut self,
+        from: usize,
+        header: Header,
+        payload: &[u8],
+        ws: &mut BroadcastScratch,
+    ) {
+        assert!(from < self.nodes.len(), "unknown sender {from}");
+        ws.arrivals.clear();
+        ws.used = 0;
+        if !self.alive[from] {
+            return;
+        }
+        frame_into(header, payload, &mut ws.wire);
+        for to in 0..self.nodes.len() {
+            if to == from || !self.alive[to] {
+                continue;
+            }
+            let flips = self.channel.transmit_into(&ws.wire, &mut ws.rx);
+            self.stats.transmissions += 1;
+            if flips > 0 {
+                self.stats.corrupted += 1;
+            }
+            let arrival = match receive_ref(&ws.rx) {
+                ReceivedRef::Clean(_, pl) => {
+                    ArrivalWs::Clean(stash(&mut ws.payloads, &mut ws.used, pl))
+                }
+                ReceivedRef::CorruptDelivered(_, pl) => {
+                    ArrivalWs::Corrupt(stash(&mut ws.payloads, &mut ws.used, pl))
+                }
+                ReceivedRef::DroppedHeaderError | ReceivedRef::DroppedPayloadError(_) => {
+                    self.stats.dropped += 1;
+                    ArrivalWs::Dropped
+                }
+                ReceivedRef::Truncated => ArrivalWs::Dropped,
+            };
+            ws.arrivals.push((to, arrival));
+        }
+    }
+
+    /// [`Scalo::reliable_broadcast`] through recycled buffers: identical
+    /// channel draws, link state, statistics, and airtime charging, with
+    /// per-receiver arrivals written into `ws`. A delivered arrival is
+    /// reported [`ArrivalWs::Clean`] with **no payload slot filled** — the
+    /// reliable path serves error-sensitive kinds whose delivered payload
+    /// is byte-identical to `payload`, which the caller still holds (the
+    /// slot index is `usize::MAX` to make an accidental lookup loud).
+    /// Allocation-free once `ws` and the per-receiver links are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range, or (debug builds) on a `Signal`
+    /// header — corrupt-but-delivered signal payloads need
+    /// [`Scalo::reliable_broadcast`].
+    pub fn reliable_broadcast_ws(
+        &mut self,
+        from: usize,
+        header: Header,
+        payload: &[u8],
+        ws: &mut BroadcastScratch,
+    ) {
+        assert!(from < self.nodes.len(), "unknown sender {from}");
+        ws.arrivals.clear();
+        ws.used = 0;
+        if !self.alive[from] {
+            return;
+        }
+        let rate = self.config.radio.data_rate_mbps;
+        let policy = self.reliable_policy;
+        let flow = header.flow;
+        let mut airtime_ms = 0.0;
+        for to in 0..self.nodes.len() {
+            if to == from || !self.alive[to] {
+                continue;
+            }
+            let link = self
+                .links
+                .entry((from, to, flow))
+                .or_insert_with(|| ReliableLink::new(flow, policy));
+            let mut h = header;
+            h.dst = to as u8;
+            let before = link.stats();
+            let outcome = link.send_ws(&mut self.channel, rate, h, payload, &mut ws.link);
+            let after = link.stats();
+            self.stats.transmissions += after.transmissions - before.transmissions;
+            self.stats.retransmissions += after.retransmissions - before.retransmissions;
+            self.stats.duplicates += after.duplicates - before.duplicates;
+            self.stats.acks_lost += after.acks_lost - before.acks_lost;
+            if !outcome.delivered {
+                self.stats.dropped += 1;
+            }
+            airtime_ms += outcome.airtime_ms;
+            let arrival = if outcome.delivered {
+                ArrivalWs::Clean(usize::MAX)
+            } else {
+                ArrivalWs::Dropped
+            };
+            ws.arrivals.push((to, arrival));
+        }
+        self.advance_us((airtime_ms * 1_000.0).round() as u64);
+    }
+
     /// Broadcasts a packet reliably: each live receiver gets its own
     /// sequence/ACK/retransmission exchange on the (from, to, flow)
     /// link. The airtime of every attempt and ACK — the exchanges
@@ -617,6 +786,86 @@ mod tests {
             delivered_corrupt > 0,
             "signals should pass through corrupted"
         );
+    }
+
+    #[test]
+    fn scratch_broadcast_matches_allocating_draw_for_draw() {
+        // Same config + seed ⇒ same channel draws; the scratch broadcast
+        // must report the identical per-receiver classification, payload
+        // bytes, and medium stats as the allocating one.
+        let cfg = ScaloConfig::default()
+            .with_nodes(6)
+            .with_ber(2e-3)
+            .with_seed(41);
+        let mut a = Scalo::new(cfg.clone());
+        let mut b = Scalo::new(cfg);
+        let mut ws = BroadcastScratch::new();
+        for kind in [PayloadKind::Hashes, PayloadKind::Signal] {
+            for rep in 0..200 {
+                let p = packet(kind);
+                let deliveries = a.broadcast(0, &p);
+                b.broadcast_ws(0, p.header, &p.payload, &mut ws);
+                assert_eq!(deliveries.len(), ws.arrivals.len());
+                for (d, &(to, arr)) in deliveries.iter().zip(&ws.arrivals) {
+                    assert_eq!(d.to, to);
+                    match (&d.received, arr) {
+                        (Received::Clean(dp), ArrivalWs::Clean(s)) => {
+                            assert_eq!(dp.payload, ws.payload(s));
+                        }
+                        (Received::CorruptDelivered(dp), ArrivalWs::Corrupt(s)) => {
+                            assert_eq!(dp.payload, ws.payload(s));
+                        }
+                        (
+                            Received::DroppedHeaderError
+                            | Received::DroppedPayloadError(_)
+                            | Received::Truncated,
+                            ArrivalWs::Dropped,
+                        ) => {}
+                        other => panic!("classification mismatch at rep {rep}: {other:?}"),
+                    }
+                }
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn scratch_reliable_broadcast_matches_allocating() {
+        let cfg = ScaloConfig::default()
+            .with_nodes(4)
+            .with_ber(1e-3)
+            .with_seed(5);
+        let mut a = Scalo::new(cfg.clone());
+        let mut b = Scalo::new(cfg);
+        let mut ws = BroadcastScratch::new();
+        for _ in 0..50 {
+            let p = packet(PayloadKind::Hashes);
+            let deliveries = a.reliable_broadcast(0, &p);
+            b.reliable_broadcast_ws(0, p.header, &p.payload, &mut ws);
+            assert_eq!(deliveries.len(), ws.arrivals.len());
+            for (d, &(to, arr)) in deliveries.iter().zip(&ws.arrivals) {
+                assert_eq!(d.to, to);
+                match arr {
+                    ArrivalWs::Clean(_) => {
+                        assert!(d.outcome.delivered);
+                        // A delivered hash payload is byte-identical to
+                        // the sent one — the contract the scratch path's
+                        // slotless Clean arrivals rely on.
+                        assert_eq!(
+                            d.outcome.packet.as_ref().map(|pk| pk.payload.as_slice()),
+                            Some(p.payload.as_slice()),
+                        );
+                    }
+                    ArrivalWs::Dropped => assert!(!d.outcome.delivered),
+                    ArrivalWs::Corrupt(_) => panic!("reliable path never reports corrupt"),
+                }
+            }
+            // Airtime charged to the clock must match draw-for-draw too.
+            assert_eq!(a.now_us(), b.now_us());
+            a.advance_us(4_000);
+            b.advance_us(4_000);
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

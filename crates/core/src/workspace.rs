@@ -14,6 +14,7 @@
 
 use scalo_lsh::ssh::{BlockHashScratch, HashScratch};
 use scalo_lsh::SignalHash;
+use scalo_net::compress::CompressScratch;
 use scalo_signal::block::ChannelBlock;
 use scalo_signal::dtw::DtwScratch;
 use scalo_signal::fft::FftScratch;
@@ -44,6 +45,18 @@ pub struct Workspace {
     pub znorm_b: Vec<f64>,
     /// Concatenated hash bytes staged for HCOMP compression.
     pub hash_bytes: Vec<u8>,
+    /// HCOMP intermediates (frequency dictionary, rank sort, γ bits).
+    pub comp: CompressScratch,
+    /// Compressed hash batch staged for the exchange broadcast.
+    pub compressed: Vec<u8>,
+    /// DCOMP output for a received hash batch (parsed once per window —
+    /// every clean reliable delivery carries the same bytes).
+    pub decompressed: Vec<u8>,
+    /// Quantised (i16 LE) signal-response payload staged for framing.
+    pub sig_bytes: Vec<u8>,
+    /// Broadcast scratch (wire frame, per-receiver arrivals, payload
+    /// slots) for the exchange-phase packet traffic.
+    pub net: crate::system::BroadcastScratch,
     /// Channel-major block of the current window across all electrodes —
     /// the batched kernel engine's working set.
     pub block: ChannelBlock,

@@ -1,0 +1,137 @@
+//! Property-based equivalence for cohort-batched stepping: across
+//! arbitrary seeds, ragged cohort sizes (singleton, prime, power of
+//! two), shape variants, and mid-run membership churn, the fused
+//! executor must reproduce per-session stepping **byte for byte** —
+//! same step digest, same decision digest.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use scalo_core::cohort::Cohort;
+use scalo_core::session::{Session, SessionSpec};
+
+/// One structural shape shared by every member of a generated cohort.
+/// Seeds vary per member; the shape must not, or they would not share
+/// a `CohortKey`.
+#[derive(Debug, Clone)]
+struct Shape {
+    nodes: usize,
+    electrodes: usize,
+    movement_every: usize,
+    ber: f64,
+    reliable: bool,
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (
+        prop_oneof![Just((2usize, 4usize)), Just((3, 2)), Just((2, 8))],
+        prop_oneof![Just(0usize), Just(25), Just(40)],
+        prop_oneof![Just(0.0f64), Just(1e-3)],
+        any::<bool>(),
+    )
+        .prop_map(
+            |((nodes, electrodes), movement_every, ber, reliable)| Shape {
+                nodes,
+                electrodes,
+                movement_every,
+                ber,
+                reliable,
+            },
+        )
+}
+
+fn spec(shape: &Shape, id: u64, seed: u64) -> SessionSpec {
+    let mut s = SessionSpec::new(id, seed)
+        .with_duration_s(0.4)
+        .with_deployment(shape.nodes, shape.electrodes)
+        .with_ber(shape.ber);
+    if shape.movement_every > 0 {
+        s = s.with_movement_every(shape.movement_every);
+    }
+    s.use_reliable_transport = shape.reliable;
+    s
+}
+
+fn run_solo(specs: &[SessionSpec]) -> Vec<Session> {
+    let mut solo: Vec<Session> = specs.iter().cloned().map(Session::new).collect();
+    for s in solo.iter_mut() {
+        while !s.step().done {}
+    }
+    solo
+}
+
+fn assert_twins(solo: &[Session], batched: &[Session]) -> Result<(), TestCaseError> {
+    for (a, b) in solo.iter().zip(batched) {
+        prop_assert_eq!(a.step_digest(), b.step_digest(), "session {}", a.id());
+        prop_assert_eq!(
+            a.decision_digest(),
+            b.decision_digest(),
+            "session {}",
+            a.id()
+        );
+    }
+    Ok(())
+}
+
+// Full solo runs dominate each case's cost; 8 cases keeps the suite in
+// CI budget while still sweeping seeds × shapes × sizes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cohort stepping matches solo stepping for ragged cohort sizes:
+    /// 1 (degenerate), 3 (prime), 4 (power of two).
+    #[test]
+    fn cohort_matches_solo_across_seeds_and_sizes(
+        shape in arb_shape(),
+        members in prop_oneof![Just(1usize), Just(3), Just(4)],
+        seeds in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let specs: Vec<SessionSpec> = (0..members)
+            .map(|i| spec(&shape, i as u64, seeds[i]))
+            .collect();
+        let solo = run_solo(&specs);
+
+        let mut batched: Vec<Session> = specs.iter().cloned().map(Session::new).collect();
+        let mut cohort = Cohort::new();
+        let mut out = Vec::new();
+        loop {
+            cohort.step_window(&mut batched, &mut out);
+            if out.iter().all(|o| o.done) {
+                break;
+            }
+        }
+        assert_twins(&solo, &batched)?;
+    }
+
+    /// A member leaving mid-run (finishing solo) must not perturb the
+    /// survivors, and the leaver must match its own solo twin — the
+    /// fleet's membership-churn path in miniature.
+    #[test]
+    fn churn_preserves_every_twin(
+        shape in arb_shape(),
+        seeds in proptest::collection::vec(any::<u64>(), 4),
+        churn_at in 1usize..60,
+        leaver_idx in 0usize..4,
+    ) {
+        let specs: Vec<SessionSpec> = (0..4)
+            .map(|i| spec(&shape, i as u64, seeds[i as usize]))
+            .collect();
+        let solo = run_solo(&specs);
+
+        let mut members: Vec<Session> = specs.iter().cloned().map(Session::new).collect();
+        let mut cohort = Cohort::new();
+        let mut out = Vec::new();
+        for _ in 0..churn_at {
+            cohort.step_window(&mut members, &mut out);
+        }
+        let mut leaver = members.remove(leaver_idx);
+        while !leaver.step().done {}
+        loop {
+            cohort.step_window(&mut members, &mut out);
+            if out.iter().all(|o| o.done) {
+                break;
+            }
+        }
+        members.insert(leaver_idx, leaver);
+        assert_twins(&solo, &members)?;
+    }
+}

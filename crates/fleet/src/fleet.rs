@@ -5,8 +5,9 @@ use crate::admission::{AdmissionConfig, AdmissionController, AdmissionEvent};
 use crate::durable::{DurabilityConfig, DurabilityError, FleetLogger, RecoveryReport};
 use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::pool::{self, PoolReport, Quantum, WorkUnit};
+use scalo_core::cohort::{Cohort, CohortKey};
 use scalo_core::plan::{resolve_budget, PlanConfig, PlanError, ProgramPlan};
-use scalo_core::session::{Session, SessionSpec};
+use scalo_core::session::{Session, SessionSpec, StepOutcome};
 use scalo_core::ScaloConfig;
 use scalo_trace::SpanEvent;
 use std::collections::BTreeMap;
@@ -31,6 +32,15 @@ pub struct FleetConfig {
     /// a clean shutdown performs — buffered log records are genuinely
     /// lost, exactly as in a process kill.
     pub halt_after_windows: Option<u64>,
+    /// Cohort-batched execution: group admitted sessions whose specs
+    /// share a [`CohortKey`] (same deployment shape, duration, BER,
+    /// cadence, transport, stall) and step each group in lockstep
+    /// through the fused cohort engine — one radio stall, one block
+    /// hash, one FFT-plan walk per cohort window. Decisions are
+    /// bit-identical to solo stepping; sessions with a pending hot
+    /// reconfiguration are ejected to solo jobs so cutover replay never
+    /// runs inside a lockstep group.
+    pub cohort: bool,
 }
 
 impl FleetConfig {
@@ -42,7 +52,14 @@ impl FleetConfig {
             quantum_steps: 8,
             admission: AdmissionConfig::default(),
             halt_after_windows: None,
+            cohort: false,
         }
+    }
+
+    /// Enables (or disables) cohort-batched execution.
+    pub fn with_cohort(mut self, on: bool) -> Self {
+        self.cohort = on;
+        self
     }
 
     /// Sets the scheduling quantum, in windows.
@@ -245,6 +262,12 @@ pub struct FleetReport {
     pub admission_log: Vec<AdmissionEvent>,
     /// Hot reconfigurations attempted during the run, by session id.
     pub reconfigures: Vec<ReconfigureRecord>,
+    /// Job group sizes the scheduler formed, largest first (cohort mode
+    /// only; empty otherwise). A size ≥ 2 is a fused cohort; a 1 is a
+    /// solo job — a shape with no twin, or a session ejected for a
+    /// pending reconfiguration. The sizes sum to the served session
+    /// count, so this doubles as the cohort occupancy histogram.
+    pub cohorts: Vec<usize>,
     /// Worker-pool accounting.
     pub pool: PoolReport,
     /// The metrics registry's JSON export (counters + histograms).
@@ -299,6 +322,7 @@ impl FleetReport {
             self.pool.quanta,
             self.pool.steals,
         );
+        let _ = write!(out, ",\"cohorts\":{:?}", self.cohorts);
         out.push_str(",\"sessions\":[");
         for (i, s) in self.sessions.iter().enumerate() {
             if i > 0 {
@@ -431,32 +455,39 @@ struct FleetJob {
     cutover_hist: Arc<Histogram>,
 }
 
-impl FleetJob {
-    /// Per-window durability hooks: one decision record per window
-    /// (allocation-free), a checkpoint snapshot every cadence windows,
-    /// and a completion record. A log failure halts the fleet — it must
-    /// never keep serving while silently losing its history.
-    fn log_window(&mut self, window: usize, done: bool) {
-        let Some(logger) = &self.logger else { return };
-        let id = self.session.id();
-        let digest = self.session.step_digest();
-        let mut result = logger.log_decision(id, window as u32, digest);
-        if result.is_ok() {
-            let completed = window as u64 + 1;
-            if !done && completed.is_multiple_of(logger.checkpoint_every_windows()) {
-                result = logger.log_checkpoint(&self.session);
-            }
-            if done && result.is_ok() {
-                let fnv = fnv1a(self.session.decision_digest().as_bytes());
-                result = logger.log_done(id, fnv);
-            }
+/// Per-window durability hooks, shared by solo and cohort jobs: one
+/// decision record per window (allocation-free), a checkpoint snapshot
+/// every cadence windows, and a completion record. A log failure halts
+/// the fleet — it must never keep serving while silently losing its
+/// history.
+fn log_window(
+    logger: &Option<Arc<FleetLogger>>,
+    halted: &AtomicBool,
+    session: &Session,
+    window: usize,
+    done: bool,
+) {
+    let Some(logger) = logger else { return };
+    let id = session.id();
+    let digest = session.step_digest();
+    let mut result = logger.log_decision(id, window as u32, digest);
+    if result.is_ok() {
+        let completed = window as u64 + 1;
+        if !done && completed.is_multiple_of(logger.checkpoint_every_windows()) {
+            result = logger.log_checkpoint(session);
         }
-        if let Err(e) = result {
-            logger.poison(e);
-            self.halted.store(true, Ordering::Relaxed);
+        if done && result.is_ok() {
+            let fnv = fnv1a(session.decision_digest().as_bytes());
+            result = logger.log_done(id, fnv);
         }
     }
+    if let Err(e) = result {
+        logger.poison(e);
+        halted.store(true, Ordering::Relaxed);
+    }
+}
 
+impl FleetJob {
     /// Applies a scheduled reconfiguration once its window boundary has
     /// arrived: recompile the new query against the session's
     /// deployment, re-solve the seizure ILP, and hand the resulting
@@ -560,7 +591,13 @@ impl WorkUnit for FleetJob {
             if out.deadline_missed {
                 self.misses.incr();
             }
-            self.log_window(out.window, out.done);
+            log_window(
+                &self.logger,
+                &self.halted,
+                &self.session,
+                out.window,
+                out.done,
+            );
             if let Some(halt) = self.halt_after_windows {
                 if self.windows_stepped.fetch_add(1, Ordering::Relaxed) + 1 >= halt {
                     // The kill: stop the pool mid-flight, no final sync.
@@ -577,6 +614,91 @@ impl WorkUnit for FleetJob {
         }
         self.session.note_yielded();
         Quantum::Yield
+    }
+}
+
+/// A pooled *cohort*: structurally identical sessions stepped in
+/// lockstep through the fused kernel engine ([`scalo_core::cohort`]).
+/// One quantum advances every member by `quantum_steps` windows, so the
+/// scheduling granularity is `members × quantum_steps` session-windows.
+struct CohortJob {
+    sessions: Vec<Session>,
+    cohort: Cohort,
+    outcomes: Vec<StepOutcome>,
+    quantum_steps: usize,
+    fleet_latency: Arc<Histogram>,
+    /// Per-member `session.<id>.step_latency_us` handles, member order.
+    session_latency: Vec<Arc<Histogram>>,
+    steps: Arc<Counter>,
+    misses: Arc<Counter>,
+    logger: Option<Arc<FleetLogger>>,
+    windows_stepped: Arc<AtomicU64>,
+    halted: Arc<AtomicBool>,
+    halt_after_windows: Option<u64>,
+}
+
+impl WorkUnit for CohortJob {
+    fn run_quantum(&mut self) -> Quantum {
+        if self.halted.load(Ordering::Relaxed) {
+            return Quantum::Done;
+        }
+        for s in self.sessions.iter_mut() {
+            s.note_scheduled();
+        }
+        for _ in 0..self.quantum_steps {
+            self.cohort
+                .step_window(&mut self.sessions, &mut self.outcomes);
+            for (m, out) in self.outcomes.iter().enumerate() {
+                self.fleet_latency.observe(out.wall_us);
+                self.session_latency[m].observe(out.wall_us);
+                self.steps.incr();
+                if out.deadline_missed {
+                    self.misses.incr();
+                }
+                log_window(
+                    &self.logger,
+                    &self.halted,
+                    &self.sessions[m],
+                    out.window,
+                    out.done,
+                );
+            }
+            if let Some(halt) = self.halt_after_windows {
+                let n = self.outcomes.len() as u64;
+                if self.windows_stepped.fetch_add(n, Ordering::Relaxed) + n >= halt {
+                    self.halted.store(true, Ordering::Relaxed);
+                    return Quantum::Done;
+                }
+            }
+            // Lockstep: a shared duration means members finish together.
+            if self.outcomes.iter().all(|o| o.done) {
+                return Quantum::Done;
+            }
+            if self.halted.load(Ordering::Relaxed) {
+                return Quantum::Done;
+            }
+        }
+        for s in self.sessions.iter_mut() {
+            s.note_yielded();
+        }
+        Quantum::Yield
+    }
+}
+
+/// The pool's single job type: a solo session or a fused cohort. The
+/// generic Chase-Lev pool runs one job type per invocation, so the two
+/// shapes meet here.
+enum JobKind {
+    Solo(Box<FleetJob>),
+    Cohort(Box<CohortJob>),
+}
+
+impl WorkUnit for JobKind {
+    fn run_quantum(&mut self) -> Quantum {
+        match self {
+            JobKind::Solo(j) => j.run_quantum(),
+            JobKind::Cohort(j) => j.run_quantum(),
+        }
     }
 }
 
@@ -802,32 +924,85 @@ impl Fleet {
     pub fn run(mut self) -> FleetReport {
         let windows_stepped = Arc::new(AtomicU64::new(0));
         let halted = Arc::new(AtomicBool::new(false));
-        let jobs: Vec<FleetJob> = self
-            .active
-            .drain(..)
-            .map(|session| {
-                let id = session.id();
-                FleetJob {
-                    fleet_latency: self.metrics.histogram("fleet.step_latency_us"),
-                    session_latency: self
-                        .metrics
-                        .histogram(&format!("session.{id}.step_latency_us")),
-                    steps: self.metrics.counter("fleet.steps"),
-                    misses: self.metrics.counter("fleet.deadline_misses"),
-                    quantum_steps: self.cfg.quantum_steps,
-                    logger: self.logger.clone(),
-                    windows_stepped: Arc::clone(&windows_stepped),
-                    halted: Arc::clone(&halted),
-                    halt_after_windows: self.cfg.halt_after_windows,
-                    reconfigure: self.reconfigures.remove(&id),
-                    reconfigure_record: None,
-                    reconfigure_total: self.metrics.counter("fleet.reconfigure_total"),
-                    reconfigure_failed: self.metrics.counter("fleet.reconfigure_failed"),
-                    cutover_hist: self.metrics.histogram("fleet.reconfigure_cutover_us"),
-                    session,
+        // Group the admitted set into pool jobs. In cohort mode,
+        // sessions sharing a CohortKey step as one fused lockstep job;
+        // sessions with a pending reconfiguration (whose cutover replay
+        // would desync the lockstep cursor) and shapes without a twin
+        // stay solo. BTreeMap keeps the grouping order deterministic.
+        let groups: Vec<Vec<Session>> = if self.cfg.cohort {
+            let mut by_key: BTreeMap<CohortKey, Vec<Session>> = BTreeMap::new();
+            let mut solo: Vec<Session> = Vec::new();
+            for session in self.active.drain(..) {
+                if self.reconfigures.contains_key(&session.id()) {
+                    solo.push(session);
+                } else {
+                    by_key
+                        .entry(CohortKey::of(session.spec()))
+                        .or_default()
+                        .push(session);
+                }
+            }
+            let mut groups: Vec<Vec<Session>> = by_key.into_values().collect();
+            groups.extend(solo.into_iter().map(|s| vec![s]));
+            groups
+        } else {
+            self.active.drain(..).map(|s| vec![s]).collect()
+        };
+        let mut cohorts: Vec<usize> = Vec::new();
+        let jobs: Vec<JobKind> = groups
+            .into_iter()
+            .map(|mut group| {
+                if self.cfg.cohort {
+                    cohorts.push(group.len());
+                }
+                if group.len() >= 2 {
+                    let session_latency = group
+                        .iter()
+                        .map(|s| {
+                            self.metrics
+                                .histogram(&format!("session.{}.step_latency_us", s.id()))
+                        })
+                        .collect();
+                    JobKind::Cohort(Box::new(CohortJob {
+                        cohort: Cohort::new(),
+                        outcomes: Vec::with_capacity(group.len()),
+                        quantum_steps: self.cfg.quantum_steps,
+                        fleet_latency: self.metrics.histogram("fleet.step_latency_us"),
+                        session_latency,
+                        steps: self.metrics.counter("fleet.steps"),
+                        misses: self.metrics.counter("fleet.deadline_misses"),
+                        logger: self.logger.clone(),
+                        windows_stepped: Arc::clone(&windows_stepped),
+                        halted: Arc::clone(&halted),
+                        halt_after_windows: self.cfg.halt_after_windows,
+                        sessions: group,
+                    }))
+                } else {
+                    let session = group.pop().expect("groups are non-empty");
+                    let id = session.id();
+                    JobKind::Solo(Box::new(FleetJob {
+                        fleet_latency: self.metrics.histogram("fleet.step_latency_us"),
+                        session_latency: self
+                            .metrics
+                            .histogram(&format!("session.{id}.step_latency_us")),
+                        steps: self.metrics.counter("fleet.steps"),
+                        misses: self.metrics.counter("fleet.deadline_misses"),
+                        quantum_steps: self.cfg.quantum_steps,
+                        logger: self.logger.clone(),
+                        windows_stepped: Arc::clone(&windows_stepped),
+                        halted: Arc::clone(&halted),
+                        halt_after_windows: self.cfg.halt_after_windows,
+                        reconfigure: self.reconfigures.remove(&id),
+                        reconfigure_record: None,
+                        reconfigure_total: self.metrics.counter("fleet.reconfigure_total"),
+                        reconfigure_failed: self.metrics.counter("fleet.reconfigure_failed"),
+                        cutover_hist: self.metrics.histogram("fleet.reconfigure_cutover_us"),
+                        session,
+                    }))
                 }
             })
             .collect();
+        cohorts.sort_unstable_by(|a, b| b.cmp(a));
         let t0 = Instant::now();
         let (done, pool_report) = pool::run_to_completion(jobs, self.cfg.workers);
         let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
@@ -862,15 +1037,24 @@ impl Fleet {
         let mut stage_hists: Vec<Option<Arc<Histogram>>> =
             vec![None; scalo_trace::Stage::ALL.len()];
         let mut reconfigures: Vec<ReconfigureRecord> = Vec::new();
-        let mut sessions: Vec<SessionServing> = done
-            .into_iter()
-            .map(|mut job| {
-                if let Some(rec) = job.reconfigure_record.take() {
-                    reconfigures.push(rec);
+        let mut served: Vec<Session> = Vec::new();
+        for job in done {
+            match job {
+                JobKind::Solo(mut j) => {
+                    if let Some(rec) = j.reconfigure_record.take() {
+                        reconfigures.push(rec);
+                    }
+                    served.push(j.session);
                 }
-                let report = job.session.report();
+                JobKind::Cohort(c) => served.extend(c.sessions),
+            }
+        }
+        let mut sessions: Vec<SessionServing> = served
+            .into_iter()
+            .map(|mut session| {
+                let report = session.report();
                 self.admission.release(report.id);
-                let trace = job.session.take_trace_events();
+                let trace = session.take_trace_events();
                 // Merge the session's spans into the registry as
                 // per-stage latency histograms, alongside the counters
                 // the step loop already feeds.
@@ -889,7 +1073,7 @@ impl Fleet {
                         })
                         .observe(ev.dur_ns() / 1_000);
                 }
-                let rec = job.session.trace();
+                let rec = session.trace();
                 self.metrics.counter("trace.spans").add(trace.len() as u64);
                 self.metrics.counter("trace.dropped").add(rec.dropped());
                 self.metrics
@@ -897,12 +1081,12 @@ impl Fleet {
                     .add(rec.unbalanced());
                 SessionServing {
                     id: report.id,
-                    priority: job.session.priority(),
+                    priority: session.priority(),
                     steps: report.steps,
                     deadline_misses: report.deadline_misses,
                     wall_us: report.wall_us,
                     sim_us: report.sim_us,
-                    digest: job.session.decision_digest(),
+                    digest: session.decision_digest(),
                     trace,
                 }
             })
@@ -924,6 +1108,7 @@ impl Fleet {
             deadline_misses: sessions.iter().map(|s| s.deadline_misses).sum(),
             sessions,
             reconfigures,
+            cohorts,
             rejected: by_state(SubmitState::Rejected),
             shed: by_state(SubmitState::Shed),
             admission_log: self.admission.log().to_vec(),
@@ -1042,6 +1227,82 @@ mod tests {
         let ids: Vec<u64> = report.sessions.iter().map(|s| s.id).collect();
         assert_eq!(ids, vec![1, 3], "newest low-priority session shed first");
         assert_eq!(report.shed, vec![2]);
+    }
+
+    #[test]
+    fn cohort_mode_keeps_digests_and_records_occupancy() {
+        // Three shapes: four plain sessions, two movement-mix, one
+        // reliable — cohort mode must fuse [4, 2] and leave the loner
+        // solo, with every decision digest identical to solo serving.
+        let submit_all = |fleet: &mut Fleet| {
+            for id in 0..4 {
+                fleet.submit(small_spec(id)).unwrap();
+            }
+            for id in 4..6 {
+                fleet
+                    .submit(small_spec(id).with_movement_every(25))
+                    .unwrap();
+            }
+            let mut reliable = small_spec(6);
+            reliable.use_reliable_transport = true;
+            fleet.submit(reliable).unwrap();
+        };
+        let mut solo = Fleet::new(FleetConfig::new(2).with_quantum_steps(4));
+        submit_all(&mut solo);
+        let solo = solo.run();
+        assert!(solo.cohorts.is_empty(), "cohort mode off records no groups");
+
+        let mut fused = Fleet::new(FleetConfig::new(2).with_quantum_steps(4).with_cohort(true));
+        submit_all(&mut fused);
+        let fused = fused.run();
+        assert_eq!(fused.cohorts, vec![4, 2, 1], "occupancy histogram");
+        assert_eq!(
+            fused.cohorts.iter().sum::<usize>(),
+            fused.sessions.len(),
+            "group sizes cover the served set"
+        );
+        assert_eq!(solo.sessions.len(), fused.sessions.len());
+        assert_eq!(solo.windows, fused.windows);
+        for (a, b) in solo.sessions.iter().zip(&fused.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.digest, b.digest, "session {} digest drifted", a.id);
+            assert_eq!(a.steps, b.steps);
+        }
+    }
+
+    #[test]
+    fn cohort_mode_ejects_pending_reconfigures_to_solo() {
+        use scalo_core::catalog;
+
+        // Session 1 has a scheduled cutover: it must run solo (lockstep
+        // replay would desync a cohort) while its three shape-twins fuse
+        // — and the cutover must still commit with digests matching a
+        // solo fleet running the same schedule.
+        let run = |cohort: bool| {
+            let mut fleet = Fleet::new(
+                FleetConfig::new(2)
+                    .with_quantum_steps(4)
+                    .with_cohort(cohort),
+            );
+            for id in 0..4 {
+                fleet.submit(small_spec(id)).unwrap();
+            }
+            fleet.schedule_reconfigure(1, 20, catalog::MOVEMENT_MIX, None);
+            fleet.run()
+        };
+        let solo = run(false);
+        let fused = run(true);
+        assert_eq!(fused.cohorts, vec![3, 1], "reconfigure-due session ejected");
+        assert_eq!(fused.reconfigures.len(), 1);
+        assert!(
+            fused.reconfigures[0].ok,
+            "{:?}",
+            fused.reconfigures[0].error
+        );
+        for (a, b) in solo.sessions.iter().zip(&fused.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.digest, b.digest, "session {} digest drifted", a.id);
+        }
     }
 
     #[test]

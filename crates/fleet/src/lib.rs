@@ -6,9 +6,10 @@
 //! of work), and the fleet multiplexes them over a std-only worker
 //! pool:
 //!
-//! * [`pool`] — sharded run-queues (`std::thread` + `Mutex`/`Condvar`)
-//!   with work stealing, so one patient's slow seizure-confirmation
-//!   step never stalls the rest of the fleet;
+//! * [`pool`] — lock-free Chase-Lev work-stealing deques (built on
+//!   `std::thread` and atomics, no locks), so one patient's slow
+//!   seizure-confirmation step never stalls the rest of the fleet and
+//!   idle workers steal without contending on a mutex;
 //! * [`admission`] — an aggregate compute budget at the front door,
 //!   degrading gracefully by shedding lowest-priority sessions first
 //!   (the membership layer's eviction idiom, one level up);

@@ -1,23 +1,38 @@
-//! A std-only worker pool over sharded run-queues with work stealing.
+//! A std-only worker pool over lock-free Chase-Lev work-stealing deques.
 //!
-//! Each worker owns one shard (a `Mutex<VecDeque>` + `Condvar`) and
-//! services it front-to-back; a worker whose shard runs dry steals from
-//! the *back* of its neighbours' shards, so a patient whose
-//! seizure-confirmation step runs long ties up one worker while every
-//! other session drains through the remaining shards. Jobs are
-//! cooperative: [`WorkUnit::run_quantum`] does a bounded slice of work
-//! and yields, and a yielded job goes to the back of its worker's shard
-//! — round-robin service within a shard, stealing across them.
+//! Each worker owns one deque and services it LIFO from the bottom
+//! (`take`); a worker whose deque runs dry steals FIFO from the *top* of
+//! its neighbours' deques, so a patient whose seizure-confirmation step
+//! runs long ties up one worker while every other job drains through the
+//! remaining deques. Jobs are cooperative: [`WorkUnit::run_quantum`] does
+//! a bounded slice of work and yields, and a yielded job goes back to its
+//! worker's deque.
+//!
+//! The deque is the fixed-capacity Chase-Lev design with the
+//! memory-ordering recipe of Lê, Pop, Cohen & Zappa Nardelli ("Correct
+//! and Efficient Work-Stealing for Weak Memory Models", PPoPP '13),
+//! hand-rolled on `std::sync::atomic` — no locks, no condvars, no
+//! dependencies. Queue entries are job *indices*; the jobs themselves
+//! live in a shared slot table and ownership of slot `i` is conferred by
+//! holding index `i` popped from a deque (each index is in at most one
+//! deque at a time, so at most one thread can hold it).
+//!
+//! Why the buffer never needs to grow (the hard part of a general
+//! Chase-Lev deque): the total number of queue entries alive across the
+//! whole pool is bounded by the job count `n`, which is known up front.
+//! With capacity the next power of two *strictly greater* than `n`, a
+//! deque can never hold `capacity` entries, so a push can never overwrite
+//! a ring slot a concurrent thief is still reading (overwriting slot
+//! `t % cap` would require `bottom − t ≥ cap > n`). That removes the
+//! buffer-growth/reclamation problem entirely.
 //!
 //! The pool is deliberately oblivious to what a job computes, which is
-//! what makes fleet execution reproducible: a job owns all of its
-//! state, so which worker (or how many workers) steps it can change
-//! only the interleaving, never a result.
+//! what makes fleet execution reproducible: a job owns all of its state,
+//! so which worker (or how many workers) steps it can change only the
+//! interleaving, never a result.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
 /// What one scheduling quantum accomplished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,20 +56,142 @@ pub struct PoolReport {
     pub workers: usize,
     /// Quanta executed across all workers.
     pub quanta: u64,
-    /// Quanta whose job was stolen from another worker's shard.
+    /// Quanta whose job was stolen from another worker's deque.
     pub steals: u64,
 }
 
-struct Shard<J> {
-    queue: Mutex<VecDeque<(usize, J)>>,
-    cv: Condvar,
+/// A fixed-capacity Chase-Lev work-stealing deque of `usize` entries.
+///
+/// One thread (the owner) calls [`Deque::push`]/[`Deque::take`] at the
+/// bottom; any thread may call [`Deque::steal`] at the top. The memory
+/// orderings are exactly the PPoPP '13 recipe:
+///
+/// * `push` writes the ring slot (`Relaxed`), issues a `Release` fence,
+///   then publishes the new `bottom` (`Relaxed`). A thief that observes
+///   the new `bottom` via its `Acquire` load therefore also observes the
+///   slot write — and, transitively, every write the owner made before
+///   the push (the job state handed over through the slot table).
+/// * `take` decrements `bottom`, then a `SeqCst` fence orders that
+///   decrement against the thief's `top` read: either the thief sees the
+///   reservation and backs off, or the owner sees the thief's `top`
+///   increment and backs off — the last entry is claimed by whoever wins
+///   the `SeqCst` CAS on `top`.
+/// * `steal` reads `top` (`Acquire`), fences `SeqCst`, reads `bottom`
+///   (`Acquire`), reads the slot, then claims it with a `SeqCst` CAS on
+///   `top`. A failed CAS means another thief (or the owner's `take`) won
+///   the race for that entry; the caller retries from a fresh `top`.
+///
+/// A successful `top` CAS is what transfers entry ownership to a thief;
+/// combined with the capacity bound argued at the module level, the value
+/// read from the ring slot before the CAS cannot have been overwritten,
+/// so a claimed index is never stale and never claimed twice.
+pub(crate) struct Deque {
+    top: AtomicI64,
+    bottom: AtomicI64,
+    ring: Box<[AtomicUsize]>,
+    mask: i64,
 }
 
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Steal {
+    /// The deque had no entries.
+    Empty,
+    /// Lost a race with the owner or another thief; retry is fair game.
+    Retry,
+    /// Claimed an entry.
+    Got(usize),
+}
+
+impl Deque {
+    /// A deque that can hold up to `n` entries concurrently.
+    pub(crate) fn with_capacity_for(n: usize) -> Self {
+        // Strictly greater than n so `bottom − top == capacity` is
+        // unreachable (see the module-level growth argument).
+        let cap = (n + 1).next_power_of_two();
+        Self {
+            top: AtomicI64::new(0),
+            bottom: AtomicI64::new(0),
+            ring: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+            mask: cap as i64 - 1,
+        }
+    }
+
+    /// Owner-only: pushes `entry` at the bottom.
+    pub(crate) fn push(&self, entry: usize) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        self.ring[(b & self.mask) as usize].store(entry, Ordering::Relaxed);
+        // Publish the slot write (and everything before it) to thieves
+        // that acquire the new bottom.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner-only: pops from the bottom (LIFO).
+    pub(crate) fn take(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom reservation against concurrent top reads: a
+        // thief's SeqCst fence and this one are totally ordered, so one
+        // side observes the other's write and backs off.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: undo the reservation.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let entry = self.ring[(b & self.mask) as usize].load(Ordering::Relaxed);
+        if t == b {
+            // Last entry: race any thief for it via the top CAS.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(entry);
+        }
+        Some(entry)
+    }
+
+    /// Any thread: steals from the top (FIFO).
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let entry = self.ring[(t & self.mask) as usize].load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        Steal::Got(entry)
+    }
+}
+
+/// One job slot. Exclusive access is conferred by holding the slot's
+/// index popped from a deque (or, before the workers start and after
+/// they join, by `&mut` on the pool itself).
+struct Slot<J>(UnsafeCell<Option<J>>);
+
+// SAFETY: slots are shared across worker threads, but the deque protocol
+// guarantees at most one thread holds a given index at a time (each
+// index lives in at most one deque, and push/steal hand it over with
+// Release/Acquire + SeqCst-CAS ordering), so all access to the inner
+// `Option<J>` is externally synchronized. `J: Send` is required by
+// `WorkUnit`, so moving the job between threads is sound.
+unsafe impl<J: Send> Sync for Slot<J> {}
+
 struct Pool<J> {
-    shards: Vec<Shard<J>>,
+    deques: Vec<Deque>,
+    slots: Vec<Slot<J>>,
     /// Jobs not yet retired; 0 means every worker should exit.
     pending: AtomicUsize,
-    finished: Mutex<Vec<Option<J>>>,
     quanta: AtomicU64,
     steals: AtomicU64,
 }
@@ -69,28 +206,19 @@ pub fn run_to_completion<J: WorkUnit>(jobs: Vec<J>, workers: usize) -> (Vec<J>, 
     assert!(workers >= 1, "need at least one worker");
     let n = jobs.len();
     let pool = Pool {
-        shards: (0..workers)
-            .map(|_| Shard {
-                queue: Mutex::new(VecDeque::new()),
-                cv: Condvar::new(),
-            })
+        deques: (0..workers).map(|_| Deque::with_capacity_for(n)).collect(),
+        slots: jobs
+            .into_iter()
+            .map(|j| Slot(UnsafeCell::new(Some(j))))
             .collect(),
         pending: AtomicUsize::new(n),
-        finished: Mutex::new((0..n).map(|_| None).collect()),
         quanta: AtomicU64::new(0),
         steals: AtomicU64::new(0),
     };
-    // Round-robin initial placement across the shards. Lock poisoning
-    // is neutralized throughout (`into_inner`): a poisoned shard means
-    // another worker panicked, and the queue itself is still a
-    // consistent VecDeque — draining it lets the surviving workers
-    // finish before `thread::scope` re-raises the original panic.
-    for (idx, job) in jobs.into_iter().enumerate() {
-        pool.shards[idx % workers]
-            .queue
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push_back((idx, job));
+    // Round-robin initial placement across the deques (single-threaded:
+    // the workers have not started yet).
+    for idx in 0..n {
+        pool.deques[idx % workers].push(idx);
     }
     std::thread::scope(|s| {
         for me in 0..workers {
@@ -104,81 +232,76 @@ pub fn run_to_completion<J: WorkUnit>(jobs: Vec<J>, workers: usize) -> (Vec<J>, 
         steals: pool.steals.load(Ordering::Relaxed),
     };
     let finished = pool
-        .finished
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
+        .slots
         .into_iter()
-        .map(|j| j.expect("every job retired"))
+        .map(|s| s.0.into_inner().expect("every job retired"))
         .collect();
     (finished, report)
 }
 
 fn worker_loop<J: WorkUnit>(pool: &Pool<J>, me: usize) {
-    while pool.pending.load(Ordering::Acquire) > 0 {
-        let Some((idx, mut job, stolen)) = take_job(pool, me) else {
-            // Nothing runnable anywhere: park briefly on our own shard.
-            // The timeout (rather than pure signalling) keeps the exit
-            // path simple — a worker re-checks `pending` at worst 1 ms
-            // after the last job retires.
-            let guard = pool.shards[me]
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+    // Exponential idle backoff instead of a condvar: spin first (another
+    // worker usually yields a stealable job within microseconds), then
+    // yield the CPU, then sleep briefly. Wakeups are therefore batched
+    // naturally — a burst of yielded jobs is picked up by one pass over
+    // the victims rather than one notification per job.
+    let mut idle = 0u32;
+    loop {
+        let claimed = match pool.deques[me].take() {
+            Some(idx) => Some((idx, false)),
+            None => steal_round(pool, me).map(|idx| (idx, true)),
+        };
+        let Some((idx, stolen)) = claimed else {
             if pool.pending.load(Ordering::Acquire) == 0 {
                 break;
             }
-            let _ = pool.shards[me]
-                .cv
-                .wait_timeout(guard, Duration::from_millis(1))
-                .unwrap_or_else(|e| e.into_inner());
+            idle += 1;
+            if idle < 64 {
+                std::hint::spin_loop();
+            } else if idle < 128 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
             continue;
         };
+        idle = 0;
+        // SAFETY: we hold `idx` freshly popped from a deque, which is the
+        // pool's exclusivity token for slot `idx` (see `Slot`); the
+        // take/steal orderings make the previous holder's writes visible.
+        let mut job = unsafe { (*pool.slots[idx].0.get()).take() }.expect("queued slot is full");
         pool.quanta.fetch_add(1, Ordering::Relaxed);
         if stolen {
             pool.steals.fetch_add(1, Ordering::Relaxed);
         }
-        match job.run_quantum() {
+        let outcome = job.run_quantum();
+        // SAFETY: still the exclusive holder of `idx`; returning the job
+        // to its slot happens before the index is republished (push) or
+        // retired (pending decrement), either of which orders the write
+        // for the next observer.
+        unsafe { *pool.slots[idx].0.get() = Some(job) };
+        match outcome {
             Quantum::Done => {
-                pool.finished.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(job);
-                if pool.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    for shard in &pool.shards {
-                        shard.cv.notify_all();
-                    }
-                }
+                pool.pending.fetch_sub(1, Ordering::AcqRel);
             }
-            Quantum::Yield => {
-                pool.shards[me]
-                    .queue
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push_back((idx, job));
-                pool.shards[me].cv.notify_one();
-            }
+            Quantum::Yield => pool.deques[me].push(idx),
         }
     }
 }
 
-/// Pops from the front of our own shard, or steals from the back of the
-/// first non-empty neighbour.
-fn take_job<J>(pool: &Pool<J>, me: usize) -> Option<(usize, J, bool)> {
-    if let Some((idx, job)) = pool.shards[me]
-        .queue
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .pop_front()
-    {
-        return Some((idx, job, false));
-    }
-    let k = pool.shards.len();
+/// One pass over the other workers' deques, retrying a victim whose
+/// steal raced (`Steal::Retry`) rather than skipping work that is still
+/// there.
+fn steal_round<J>(pool: &Pool<J>, me: usize) -> Option<usize> {
+    let k = pool.deques.len();
     for off in 1..k {
         let victim = (me + off) % k;
-        if let Some((idx, job)) = pool.shards[victim]
-            .queue
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop_back()
-        {
-            return Some((idx, job, true));
+        loop {
+            match pool.deques[victim].steal() {
+                Steal::Got(idx) => return Some(idx),
+                Steal::Retry => std::hint::spin_loop(),
+                Steal::Empty => break,
+            }
         }
     }
     None
@@ -187,6 +310,7 @@ fn take_job<J>(pool: &Pool<J>, me: usize) -> Option<(usize, J, bool)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
 
     /// Counts down `remaining` one tick per quantum.
     struct Ticker {
@@ -251,5 +375,80 @@ mod tests {
         assert_eq!(done.len(), 33);
         assert!(done.iter().all(|t| t.remaining == 0));
         assert_eq!(report.quanta, 512 + 32);
+    }
+
+    /// The steal/take race, hammered directly on one deque: an owner
+    /// pushes tokens and drains from the bottom while thieves gang up on
+    /// the top. Every pushed token must be claimed by exactly one thread
+    /// — a lost token means a steal observed a stale ring slot, a double
+    /// claim means two threads won the same `top` CAS.
+    #[test]
+    fn chase_lev_steal_take_race_claims_each_entry_once() {
+        const TOKENS: usize = 20_000;
+        const THIEVES: usize = 3;
+        // Capacity covers the worst case of every token outstanding at
+        // once — the pool proper sizes its deques the same way.
+        let deque = Deque::with_capacity_for(TOKENS);
+        let claims: Vec<AtomicU32> = (0..TOKENS).map(|_| AtomicU32::new(0)).collect();
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let deque = &deque;
+            let claims = &claims;
+            for _ in 0..THIEVES {
+                s.spawn(|| loop {
+                    match deque.steal() {
+                        Steal::Got(tok) => {
+                            claims[tok].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            // The owner drains the deque before raising
+                            // the flag, so Empty + flag means finished.
+                            if done.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            // Owner: push in bursts, take a few back, repeat — keeps the
+            // deque short so the bottom/top race on the *last* entry (the
+            // contended case) fires constantly.
+            let mut next = 0usize;
+            while next < TOKENS {
+                let burst = 1 + next % 7;
+                for _ in 0..burst {
+                    if next == TOKENS {
+                        break;
+                    }
+                    deque.push(next);
+                    next += 1;
+                }
+                for _ in 0..(burst / 2 + 1) {
+                    if let Some(tok) = deque.take() {
+                        claims[tok].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Drain what the thieves leave behind.
+            while let Some(tok) = deque.take() {
+                claims[tok].fetch_add(1, Ordering::Relaxed);
+            }
+            done.store(1, Ordering::Release);
+        });
+        let mut missing = Vec::new();
+        let mut duplicated = Vec::new();
+        for (tok, c) in claims.iter().enumerate() {
+            match c.load(Ordering::Relaxed) {
+                1 => {}
+                0 => missing.push(tok),
+                _ => duplicated.push(tok),
+            }
+        }
+        assert!(
+            missing.is_empty() && duplicated.is_empty(),
+            "lost {missing:?} / duplicated {duplicated:?}"
+        );
     }
 }

@@ -8,6 +8,13 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use scalo_signal::block::ChannelBlock;
 
+/// Channel-tile width of [`Sketcher::sketch_block_into`]: the tap window
+/// over one tile (`16 taps × 64 lanes × 8 B = 8 KiB`) stays L1-resident
+/// across overlapping sketch positions, and 64 lanes is a whole number
+/// of SSE2/AVX2 vectors so tiling never changes which SIMD arm a lane
+/// takes.
+pub const SKETCH_TILE_LANES: usize = 64;
+
 /// The random ±1 projection vector plus sliding parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sketcher {
@@ -109,6 +116,17 @@ impl Sketcher {
     /// to [`Sketcher::sketch_into`] on the gathered channel — batching
     /// reorders work across channels, never within one. Allocation-free once
     /// `acc` and `bits` are warm.
+    ///
+    /// Wide blocks are processed in channel *tiles* of [`SKETCH_TILE_LANES`]
+    /// lanes, every sketch position per tile before the next tile: the
+    /// sliding tap window re-reads each frame ~`window / stride` times, and
+    /// tiling keeps that re-read set (`window × tile` lanes, ~8 KiB at the
+    /// default 16-tap window) resident in L1 instead of streaming the full
+    /// block width per position — the 256-channel case used to spill the
+    /// per-position working set (16 × 256 lanes = 32 KiB, a whole L1) and
+    /// pay L2 latency on every re-read. Blocks at or under one tile take
+    /// the exact pre-tiling traversal. Per channel the tap accumulation
+    /// order is unchanged, so the bits stay bitwise identical.
     pub fn sketch_block_into(
         &self,
         block: &ChannelBlock,
@@ -127,21 +145,26 @@ impl Sketcher {
         acc.clear();
         acc.resize(channels, 0.0);
         let data = block.data();
-        let mut pos = 0;
-        let mut p = 0;
-        while pos + w <= samples {
-            scalo_signal::simd::dot_frames(
-                self.level,
-                &data[pos * channels..(pos + w) * channels],
-                channels,
-                &self.projection,
-                acc,
-            );
-            for (ch, &a) in acc.iter().enumerate() {
-                bits[ch * n_pos + p] = a > 0.0;
+        let mut c0 = 0;
+        while c0 < channels {
+            let tile = SKETCH_TILE_LANES.min(channels - c0);
+            let mut pos = 0;
+            let mut p = 0;
+            while pos + w <= samples {
+                scalo_signal::simd::dot_frames_view(
+                    self.level,
+                    &data[pos * channels + c0..],
+                    channels,
+                    &self.projection,
+                    &mut acc[c0..c0 + tile],
+                );
+                for (j, &a) in acc[c0..c0 + tile].iter().enumerate() {
+                    bits[(c0 + j) * n_pos + p] = a > 0.0;
+                }
+                pos += self.stride;
+                p += 1;
             }
-            pos += self.stride;
-            p += 1;
+            c0 += tile;
         }
         n_pos
     }
@@ -235,6 +258,37 @@ mod tests {
                 s.sketch(ch).as_slice(),
                 "channel {c}"
             );
+        }
+    }
+
+    #[test]
+    fn tiled_block_sketch_matches_per_channel_at_wide_widths() {
+        // Widths past one tile (65), a ragged multi-tile width (96), and
+        // the L2-regression width the tiling exists for (256).
+        for channels in [65usize, 96, 256] {
+            let s = Sketcher::new(16, 4, 21);
+            let raw: Vec<Vec<f64>> = (0..channels)
+                .map(|c| {
+                    (0..120)
+                        .map(|t| ((c * 7 + 3) as f64 * t as f64 * 0.013).sin() - 0.1)
+                        .collect()
+                })
+                .collect();
+            let mut block = ChannelBlock::new();
+            block.reset(channels, 120);
+            for (c, ch) in raw.iter().enumerate() {
+                block.fill_channel(c, ch);
+            }
+            let mut acc = Vec::new();
+            let mut bits = Vec::new();
+            let n_pos = s.sketch_block_into(&block, &mut acc, &mut bits);
+            for (c, ch) in raw.iter().enumerate() {
+                assert_eq!(
+                    &bits[c * n_pos..(c + 1) * n_pos],
+                    s.sketch(ch).as_slice(),
+                    "{channels} channels, channel {c}"
+                );
+            }
         }
     }
 

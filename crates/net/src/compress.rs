@@ -56,6 +56,17 @@ impl BitWriter {
         self.bit_len
     }
 
+    /// Resets to an empty stream, keeping the backing allocation.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.bit_len = 0;
+    }
+
+    /// The backing bytes written so far (zero-padded).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
     /// Finishes and returns the backing bytes (zero-padded).
     pub fn into_bytes(self) -> Vec<u8> {
         self.bytes
@@ -106,16 +117,28 @@ impl<'a> BitReader<'a> {
 /// HFREQ: distinct byte values of `data` ordered by descending frequency
 /// (ties broken by value for determinism).
 pub fn frequency_dictionary(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    frequency_dictionary_into(data, &mut out);
+    out
+}
+
+/// [`frequency_dictionary`] written into a caller-provided buffer (cleared
+/// first). Byte-identical to the allocating form; allocation-free once
+/// `out` has capacity for the distinct values (≤ 256).
+pub fn frequency_dictionary_into(data: &[u8], out: &mut Vec<u8>) {
     let mut counts = [0usize; 256];
     for &b in data {
         counts[b as usize] += 1;
     }
-    let mut present: Vec<u8> = (0u16..256)
-        .filter(|&v| counts[v as usize] > 0)
-        .map(|v| v as u8)
-        .collect();
-    present.sort_by_key(|&v| (std::cmp::Reverse(counts[v as usize]), v));
-    present
+    out.clear();
+    out.extend(
+        (0u16..256)
+            .filter(|&v| counts[v as usize] > 0)
+            .map(|v| v as u8),
+    );
+    // Unstable sort is safe here: the (count, value) key is unique per
+    // distinct value.
+    out.sort_unstable_by_key(|&v| (std::cmp::Reverse(counts[v as usize]), v));
 }
 
 /// HCOMP: compresses a hash batch with HFREQ frequency sorting →
@@ -131,14 +154,48 @@ pub fn frequency_dictionary(data: &[u8]) -> Vec<u8> {
 /// Format: `[dict_len: u16 LE][dict bytes][γ-coded (index+1, run) pairs]`,
 /// with an (index = dict_len + 1) sentinel terminating the stream.
 pub fn hcomp_compress(data: &[u8]) -> Vec<u8> {
-    let dict = frequency_dictionary(data);
+    let mut out = Vec::new();
+    hcomp_compress_into(data, &mut CompressScratch::new(), &mut out);
+    out
+}
+
+/// Reusable buffers for [`hcomp_compress_into`]: the frequency dictionary,
+/// the rank-sorted copy of the batch, and the γ bit stream. One scratch
+/// serves any batch size; buffers grow to the largest batch seen.
+#[derive(Debug, Clone, Default)]
+pub struct CompressScratch {
+    dict: Vec<u8>,
+    sorted: Vec<u8>,
+    bits: BitWriter,
+}
+
+impl CompressScratch {
+    /// An empty scratch; the first compression sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`hcomp_compress`] written into a caller-provided buffer (cleared
+/// first). Byte-identical to the allocating form; allocation-free once
+/// `scratch` and `out` are warm.
+pub fn hcomp_compress_into(data: &[u8], scratch: &mut CompressScratch, out: &mut Vec<u8>) {
+    frequency_dictionary_into(data, &mut scratch.dict);
     let mut rank = [0u8; 256];
-    for (i, &v) in dict.iter().enumerate() {
+    for (i, &v) in scratch.dict.iter().enumerate() {
         rank[v as usize] = i as u8;
     }
-    let mut sorted = data.to_vec();
-    sorted.sort_by_key(|&b| rank[b as usize]);
-    encode_with_dictionary(&sorted, &dict, &rank)
+    scratch.sorted.clear();
+    scratch.sorted.extend_from_slice(data);
+    // Unstable sort is safe here: equal ranks are equal byte values.
+    scratch.sorted.sort_unstable_by_key(|&b| rank[b as usize]);
+    encode_with_dictionary(
+        &scratch.sorted,
+        &scratch.dict,
+        &rank,
+        &mut scratch.bits,
+        out,
+    );
 }
 
 /// Order-preserving HCOMP variant (no HFREQ reordering): same coding
@@ -149,15 +206,23 @@ pub fn hcomp_compress_ordered(data: &[u8]) -> Vec<u8> {
     for (i, &v) in dict.iter().enumerate() {
         rank[v as usize] = i as u8;
     }
-    encode_with_dictionary(data, &dict, &rank)
+    let mut out = Vec::new();
+    encode_with_dictionary(data, &dict, &rank, &mut BitWriter::new(), &mut out);
+    out
 }
 
-fn encode_with_dictionary(data: &[u8], dict: &[u8], rank: &[u8; 256]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(dict.len() + 4 + data.len() / 4);
+fn encode_with_dictionary(
+    data: &[u8],
+    dict: &[u8],
+    rank: &[u8; 256],
+    bits: &mut BitWriter,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
     out.extend_from_slice(&(dict.len() as u16).to_le_bytes());
     out.extend_from_slice(dict);
 
-    let mut bits = BitWriter::new();
+    bits.clear();
     let mut i = 0;
     while i < data.len() {
         let idx = rank[data[i] as usize];
@@ -171,35 +236,50 @@ fn encode_with_dictionary(data: &[u8], dict: &[u8], rank: &[u8; 256]) -> Vec<u8>
     }
     // Sentinel: index value dict_len + 1 (never produced by real data).
     bits.push_gamma(dict.len() as u32 + 1);
-    out.extend(bits.into_bytes());
-    out
+    out.extend_from_slice(bits.bytes());
 }
 
 /// DCOMP: inverse of [`hcomp_compress`].
 ///
 /// Returns `None` if the stream is malformed.
 pub fn dcomp_decompress(compressed: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    dcomp_decompress_into(compressed, &mut out).then_some(out)
+}
+
+/// [`dcomp_decompress`] written into a caller-provided buffer (cleared
+/// first). Returns `false` — leaving `out` in an unspecified cleared-or-
+/// partial state — where the allocating form returns `None`; byte-identical
+/// output otherwise, and allocation-free once `out` is warm.
+pub fn dcomp_decompress_into(compressed: &[u8], out: &mut Vec<u8>) -> bool {
+    out.clear();
     if compressed.len() < 2 {
-        return None;
+        return false;
     }
     let dict_len = u16::from_le_bytes([compressed[0], compressed[1]]) as usize;
     let rest = &compressed[2..];
     if rest.len() < dict_len || dict_len > 256 {
-        return None;
+        return false;
     }
     let dict = &rest[..dict_len];
     let mut reader = BitReader::new(&rest[dict_len..]);
-    let mut out = Vec::new();
     loop {
-        let idx = reader.read_gamma()? as usize;
+        let Some(idx) = reader.read_gamma() else {
+            return false;
+        };
+        let idx = idx as usize;
         if idx == dict_len + 1 {
-            return Some(out); // sentinel
+            return true; // sentinel
         }
-        let value = *dict.get(idx.checked_sub(1)?)?;
-        let run = reader.read_gamma()? as usize;
-        out.extend(std::iter::repeat_n(value, run));
+        let Some(value) = idx.checked_sub(1).and_then(|i| dict.get(i)) else {
+            return false;
+        };
+        let Some(run) = reader.read_gamma() else {
+            return false;
+        };
+        out.extend(std::iter::repeat_n(*value, run as usize));
         if out.len() > 1 << 24 {
-            return None; // malformed stream guard
+            return false; // malformed stream guard
         }
     }
 }
@@ -368,6 +448,27 @@ mod tests {
         let h = ratio(data.len(), hcomp_compress(&data).len());
         let l = ratio(data.len(), lz_compress(&data).len());
         assert!(h > 0.7 * l, "HCOMP {h:.2} vs LZ {l:.2}");
+    }
+
+    #[test]
+    fn warm_scratch_compress_is_byte_identical() {
+        let mut scratch = CompressScratch::new();
+        let mut out = Vec::new();
+        let mut decoded = Vec::new();
+        for data in [
+            hash_stream(500),
+            vec![],
+            vec![7u8],
+            vec![0xFF; 96],
+            (0..=255u8).collect::<Vec<_>>(),
+            hash_stream(31),
+        ] {
+            hcomp_compress_into(&data, &mut scratch, &mut out);
+            assert_eq!(out, hcomp_compress(&data), "{data:?}");
+            assert!(dcomp_decompress_into(&out, &mut decoded));
+            assert_eq!(Some(decoded.clone()), dcomp_decompress(&out));
+        }
+        assert!(!dcomp_decompress_into(&[10, 0, 1, 2], &mut decoded));
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //!   callers can charge it against their TDMA budget.
 
 use crate::ber::ErrorChannel;
-use crate::packet::{receive, Header, Packet, PayloadKind, Received};
+use crate::packet::{
+    frame_into, receive, receive_ref, Header, Packet, PayloadKind, Received, ReceivedRef,
+};
 use crate::tx_time_ms;
 use std::collections::HashSet;
 use std::collections::VecDeque;
@@ -113,6 +115,46 @@ pub struct SendOutcome {
     pub airtime_ms: f64,
 }
 
+/// Outcome of one reliable send through recycled buffers: the fields of
+/// [`SendOutcome`] minus the materialised packet. A delivered
+/// error-sensitive payload (`Hashes`, `Features`, `Control`) is
+/// byte-identical to the sent payload, which the caller still holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendOutcomeWs {
+    /// Whether the receiver delivered the packet (even if the final ACK
+    /// was lost and the sender gave up).
+    pub delivered: bool,
+    /// Whether the sender saw an ACK (false means it exhausted its
+    /// attempts).
+    pub acked: bool,
+    /// Transmissions used.
+    pub attempts: u32,
+    /// Sender-observed latency: airtime plus timeout waits, in ms.
+    pub latency_ms: f64,
+    /// Channel airtime consumed (data + ACKs), in ms — charge this
+    /// against the sender's TDMA budget.
+    pub airtime_ms: f64,
+}
+
+/// Recycled wire buffers for [`ReliableLink::send_ws`]: the framed data
+/// packet, its received copy, and the ACK frame in both directions. One
+/// scratch serves any number of links; buffers grow to the largest frame
+/// seen.
+#[derive(Debug, Clone, Default)]
+pub struct LinkScratch {
+    wire: Vec<u8>,
+    rx: Vec<u8>,
+    ack_wire: Vec<u8>,
+    ack_rx: Vec<u8>,
+}
+
+impl LinkScratch {
+    /// An empty scratch; the first send sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Receiver-side duplicate suppression over a bounded window of
 /// recently seen sequence numbers.
 #[derive(Debug, Clone, Default)]
@@ -161,7 +203,12 @@ impl ReliableLink {
             flow,
             policy,
             next_seq: 0,
-            dup: DupFilter::default(),
+            // Pre-size the duplicate filter to its bounded window so its
+            // growth never lands on the zero-allocation send path.
+            dup: DupFilter {
+                seen: HashSet::with_capacity(DUP_WINDOW + 1),
+                order: VecDeque::with_capacity(DUP_WINDOW + 1),
+            },
             stats: FlowStats::default(),
         }
     }
@@ -258,6 +305,117 @@ impl ReliableLink {
             airtime_ms,
         }
     }
+
+    /// [`ReliableLink::send`] through recycled buffers: identical channel
+    /// draws, link state transitions, statistics, and outcome fields, but
+    /// the delivered packet is never materialised — allocation-free once
+    /// `ws` (and the duplicate filter) are warm.
+    ///
+    /// Intended for error-sensitive payload kinds (`Hashes`, `Features`,
+    /// `Control`), where a delivered payload is byte-identical to the sent
+    /// one. A corrupt-but-delivered `Signal` payload would be dropped on
+    /// the floor here, so `Signal` flows must use [`ReliableLink::send`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `header.kind` is [`PayloadKind::Signal`].
+    pub fn send_ws(
+        &mut self,
+        channel: &mut ErrorChannel,
+        rate_mbps: f64,
+        mut header: Header,
+        payload: &[u8],
+        ws: &mut LinkScratch,
+    ) -> SendOutcomeWs {
+        debug_assert!(
+            header.kind != PayloadKind::Signal,
+            "Signal flows deliver corrupted payloads; use `send`"
+        );
+        header.flow = self.flow;
+        header.seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        frame_into(header, payload, &mut ws.wire);
+        let data_ms = tx_time_ms(payload.len(), rate_mbps);
+
+        self.stats.data_packets += 1;
+        let mut delivered = false;
+        let mut latency_ms = 0.0;
+        let mut airtime_ms = 0.0;
+        let mut timeout_ms = self.policy.ack_timeout_ms;
+
+        for attempt in 1..=self.policy.max_attempts {
+            self.stats.transmissions += 1;
+            if attempt > 1 {
+                self.stats.retransmissions += 1;
+            }
+            latency_ms += data_ms;
+            airtime_ms += data_ms;
+
+            let _ = channel.transmit_into(&ws.wire, &mut ws.rx);
+            let deliverable = match receive_ref(&ws.rx) {
+                ReceivedRef::Clean(h, _) | ReceivedRef::CorruptDelivered(h, _) => Some(h),
+                _ => None,
+            };
+            if let Some(h) = deliverable {
+                // Receiver side: suppress duplicates, deliver fresh
+                // packets, and ACK either way (the sender is clearly
+                // still waiting).
+                if self.dup.insert(h.seq) {
+                    self.stats.delivered += 1;
+                    delivered = true;
+                } else {
+                    self.stats.duplicates += 1;
+                }
+                let seq = h.seq.to_le_bytes();
+                frame_into(
+                    Header {
+                        src: h.dst,
+                        dst: h.src,
+                        flow: h.flow,
+                        seq: h.seq,
+                        len: 0,
+                        kind: PayloadKind::Control,
+                        timestamp_us: h.timestamp_us,
+                    },
+                    &[ACK_MAGIC, h.flow, seq[0], seq[1]],
+                    &mut ws.ack_wire,
+                );
+                let ack_ms = tx_time_ms(4, rate_mbps);
+                latency_ms += ack_ms;
+                airtime_ms += ack_ms;
+                self.stats.acks_sent += 1;
+                let _ = channel.transmit_into(&ws.ack_wire, &mut ws.ack_rx);
+                let acked = matches!(
+                    receive_ref(&ws.ack_rx),
+                    ReceivedRef::Clean(ah, apl) if is_ack_parts(ah, apl, &header)
+                );
+                if acked {
+                    // A deliverable arrival is either fresh (flagged in
+                    // `delivered`) or a duplicate of an earlier attempt in
+                    // this same exchange — delivered either way.
+                    return SendOutcomeWs {
+                        delivered: true,
+                        acked: true,
+                        attempts: attempt,
+                        latency_ms,
+                        airtime_ms,
+                    };
+                }
+                self.stats.acks_lost += 1;
+            }
+            latency_ms += timeout_ms;
+            timeout_ms = (timeout_ms * self.policy.backoff).min(self.policy.max_backoff_ms);
+        }
+
+        self.stats.gave_up += 1;
+        SendOutcomeWs {
+            delivered,
+            acked: false,
+            attempts: self.policy.max_attempts,
+            latency_ms,
+            airtime_ms,
+        }
+    }
 }
 
 /// Builds the ACK frame for a delivered data header: a 4-byte `Control`
@@ -281,11 +439,17 @@ pub fn ack_packet(data: &Header) -> Packet {
 
 /// Whether `candidate` acknowledges the data packet with header `data`.
 pub fn is_ack(candidate: &Packet, data: &Header) -> bool {
-    candidate.header.kind == PayloadKind::Control
-        && candidate.payload.len() == 4
-        && candidate.payload[0] == ACK_MAGIC
-        && candidate.payload[1] == data.flow
-        && u16::from_le_bytes([candidate.payload[2], candidate.payload[3]]) == data.seq
+    is_ack_parts(candidate.header, &candidate.payload, data)
+}
+
+/// [`is_ack`] over a borrowed header/payload pair (the
+/// [`crate::packet::ReceivedRef`] shape).
+pub fn is_ack_parts(header: Header, payload: &[u8], data: &Header) -> bool {
+    header.kind == PayloadKind::Control
+        && payload.len() == 4
+        && payload[0] == ACK_MAGIC
+        && payload[1] == data.flow
+        && u16::from_le_bytes([payload[2], payload[3]]) == data.seq
 }
 
 #[cfg(test)]
@@ -399,6 +563,33 @@ mod tests {
             "latency {} vs {expect}",
             out.latency_ms
         );
+    }
+
+    #[test]
+    fn send_ws_matches_send_draw_for_draw() {
+        // Identical channels, one link driven through `send`, the other
+        // through `send_ws`: every outcome field, the link statistics,
+        // and the RNG stream (checked implicitly — a divergence on one
+        // send desynchronises everything after it) must agree across a
+        // long lossy run.
+        let mut ch_a = ErrorChannel::new(2e-3, 0xCAFE);
+        let mut ch_b = ch_a.clone();
+        let mut link_a = ReliableLink::new(1, ReliablePolicy::default());
+        let mut link_b = ReliableLink::new(1, ReliablePolicy::default());
+        let mut ws = LinkScratch::new();
+        for i in 0..300u16 {
+            let payload = vec![i as u8; 8 + (i % 9) as usize];
+            let a = link_a.send(&mut ch_a, RATE, header(), payload.clone());
+            let b = link_b.send_ws(&mut ch_b, RATE, header(), &payload, &mut ws);
+            assert_eq!(a.packet.is_some(), b.delivered, "send {i}");
+            assert_eq!(a.acked, b.acked, "send {i}");
+            assert_eq!(a.attempts, b.attempts, "send {i}");
+            assert_eq!(a.latency_ms, b.latency_ms, "send {i}");
+            assert_eq!(a.airtime_ms, b.airtime_ms, "send {i}");
+        }
+        assert_eq!(link_a.stats(), link_b.stats());
+        let s = link_a.stats();
+        assert!(s.retransmissions > 0 && s.acks_lost > 0, "{s:?}");
     }
 
     #[test]

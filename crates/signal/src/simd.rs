@@ -324,18 +324,50 @@ pub fn znorm_apply(
 pub fn dot_frames(level: SimdLevel, data: &[f64], channels: usize, proj: &[f64], acc: &mut [f64]) {
     assert_eq!(acc.len(), channels, "accumulator width");
     assert_eq!(data.len(), proj.len() * channels, "tap window shape");
+    dot_frames_view(level, data, channels, proj, acc);
+}
+
+/// [`dot_frames`] over a strided sub-view: `acc.len()` lanes starting at
+/// the head of `data`, with consecutive frames `stride` elements apart
+/// (`acc[c] = Σ_k proj[k] · data[k·stride + c]`). With `stride ==
+/// acc.len()` this is exactly [`dot_frames`]; with `stride >` lanes it
+/// computes a channel *tile* of a wider block without gathering — the
+/// cache-blocked sketch walks a block tile by tile so each tile's
+/// working set stays resident across sketch positions. Per lane the
+/// accumulation order is identical to [`dot_frames`], so tiling changes
+/// which lanes are grouped, never a lane's result.
+///
+/// # Panics
+///
+/// Panics if `acc.len() > stride` or `data` is shorter than the strided
+/// view (`(proj.len() − 1) · stride + acc.len()`).
+pub fn dot_frames_view(
+    level: SimdLevel,
+    data: &[f64],
+    stride: usize,
+    proj: &[f64],
+    acc: &mut [f64],
+) {
+    let lanes = acc.len();
+    assert!(lanes <= stride, "lanes {lanes} exceed stride {stride}");
+    if !proj.is_empty() {
+        assert!(
+            data.len() >= (proj.len() - 1) * stride + lanes,
+            "strided view too short"
+        );
+    }
     match level {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `Sse2` is only constructed on CPUs where the feature was
         // detected (see `sum_into`).
-        SimdLevel::Sse2 => unsafe { x86::dot_frames_sse2(data, channels, proj, acc) },
+        SimdLevel::Sse2 => unsafe { x86::dot_frames_sse2(data, stride, proj, acc) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `Avx2` implies the avx2 feature was detected.
-        SimdLevel::Avx2 => unsafe { x86::dot_frames_avx2(data, channels, proj, acc) },
+        SimdLevel::Avx2 => unsafe { x86::dot_frames_avx2(data, stride, proj, acc) },
         _ => {
             acc.fill(0.0);
             for (k, &r) in proj.iter().enumerate() {
-                let frame = &data[k * channels..(k + 1) * channels];
+                let frame = &data[k * stride..k * stride + lanes];
                 for (a, &x) in acc.iter_mut().zip(frame) {
                     *a += x * r;
                 }
